@@ -1,0 +1,289 @@
+//! Naive plan interpreter — the semantic oracle.
+//!
+//! Executes a [`Plan`] tuple-at-a-time against in-memory datasets, using the
+//! calculus interpreter for every scalar expression. Deliberately simple
+//! (nested-loop joins, full materialization between operators); used to
+//! differentially test the production engines in `vida-exec`.
+
+use crate::lower::UNIT_DATASET;
+use crate::plan::Plan;
+use vida_lang::{eval, Bindings};
+use vida_types::{Result, Value, VidaError};
+
+/// Execute a plan against datasets bound in `env` (dataset name → collection
+/// value). Returns the reduced result.
+pub fn execute_plan(plan: &Plan, env: &Bindings) -> Result<Value> {
+    match plan {
+        Plan::Reduce {
+            input,
+            monoid,
+            head,
+        } => {
+            let rows = rows_of(input, env)?;
+            let mut acc = monoid.zero();
+            for row in rows {
+                let v = eval(head, &row)?;
+                acc = monoid.merge(acc, monoid.unit(v))?;
+            }
+            monoid.finalize(acc)
+        }
+        // A plan without a terminal reduce returns its bindings as a bag of
+        // records (diagnostics / EXPLAIN ANALYZE paths).
+        _ => {
+            let rows = rows_of(plan, env)?;
+            let vars = plan.bound_vars();
+            let out = rows
+                .into_iter()
+                .map(|row| {
+                    Value::Record(
+                        vars.iter()
+                            .map(|v| (v.clone(), row.get(v).cloned().unwrap_or(Value::Null)))
+                            .collect(),
+                    )
+                })
+                .collect();
+            Ok(Value::bag(out))
+        }
+    }
+}
+
+/// Materialize the bindings produced by a plan node.
+fn rows_of(plan: &Plan, env: &Bindings) -> Result<Vec<Bindings>> {
+    match plan {
+        Plan::Scan { dataset, binding } => {
+            if dataset == UNIT_DATASET {
+                // The synthetic one-row relation for constant queries.
+                let mut row = env.clone();
+                row.insert(binding.clone(), Value::Null);
+                return Ok(vec![row]);
+            }
+            let coll = env
+                .get(dataset)
+                .ok_or_else(|| VidaError::Unresolved(dataset.clone()))?;
+            let items = coll.elements().ok_or_else(|| {
+                VidaError::Exec(format!("dataset '{dataset}' is not a collection"))
+            })?;
+            Ok(items
+                .iter()
+                .map(|item| {
+                    let mut row = env.clone();
+                    row.insert(binding.clone(), item.clone());
+                    row
+                })
+                .collect())
+        }
+        Plan::Select { input, predicate } => {
+            let rows = rows_of(input, env)?;
+            let mut out = Vec::new();
+            for row in rows {
+                match eval(predicate, &row)? {
+                    Value::Bool(true) => out.push(row),
+                    Value::Bool(false) => {}
+                    other => {
+                        return Err(VidaError::Exec(format!(
+                            "selection predicate not boolean: {other}"
+                        )))
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let lrows = rows_of(left, env)?;
+            let rrows = rows_of(right, env)?;
+            let rvars = right.bound_vars();
+            let mut out = Vec::new();
+            for l in &lrows {
+                for r in &rrows {
+                    let mut row = l.clone();
+                    for v in &rvars {
+                        if let Some(val) = r.get(v) {
+                            row.insert(v.clone(), val.clone());
+                        }
+                    }
+                    match eval(predicate, &row)? {
+                        Value::Bool(true) => out.push(row),
+                        Value::Bool(false) => {}
+                        other => {
+                            return Err(VidaError::Exec(format!(
+                                "join predicate not boolean: {other}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Plan::Unnest {
+            input,
+            binding,
+            path,
+        } => {
+            let rows = rows_of(input, env)?;
+            let mut out = Vec::new();
+            for row in rows {
+                let coll = eval(path, &row)?;
+                let items = coll.elements().ok_or_else(|| {
+                    VidaError::Exec(format!("unnest path {path} produced non-collection"))
+                })?;
+                for item in items {
+                    let mut new_row = row.clone();
+                    new_row.insert(binding.clone(), item.clone());
+                    out.push(new_row);
+                }
+            }
+            Ok(out)
+        }
+        Plan::Reduce { .. } => {
+            // Nested reduce as a row source: evaluate it and unnest if it is
+            // a collection; otherwise a single row binding nothing.
+            let v = execute_plan(plan, env)?;
+            match v.elements() {
+                Some(items) => Ok(items
+                    .iter()
+                    .map(|_| env.clone())
+                    .collect()),
+                None => Ok(vec![env.clone()]),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use vida_lang::parse;
+
+    fn env() -> Bindings {
+        let mut e = Bindings::new();
+        e.insert(
+            "Employees".into(),
+            Value::bag(vec![
+                Value::record([
+                    ("id", Value::Int(1)),
+                    ("deptNo", Value::Int(10)),
+                    ("age", Value::Int(45)),
+                ]),
+                Value::record([
+                    ("id", Value::Int(2)),
+                    ("deptNo", Value::Int(20)),
+                    ("age", Value::Int(30)),
+                ]),
+                Value::record([
+                    ("id", Value::Int(3)),
+                    ("deptNo", Value::Int(10)),
+                    ("age", Value::Int(52)),
+                ]),
+            ]),
+        );
+        e.insert(
+            "Departments".into(),
+            Value::bag(vec![
+                Value::record([("id", Value::Int(10)), ("deptName", Value::str("HR"))]),
+                Value::record([("id", Value::Int(20)), ("deptName", Value::str("Eng"))]),
+            ]),
+        );
+        e.insert(
+            "Regions".into(),
+            Value::bag(vec![
+                Value::record([
+                    ("id", Value::Int(1)),
+                    ("voxels", Value::list(vec![Value::Int(5), Value::Int(15)])),
+                ]),
+                Value::record([
+                    ("id", Value::Int(2)),
+                    ("voxels", Value::list(vec![Value::Int(25)])),
+                ]),
+            ]),
+        );
+        e
+    }
+
+    fn run(q: &str) -> Value {
+        let plan = lower(&parse(q).unwrap()).unwrap();
+        execute_plan(&plan, &env()).unwrap()
+    }
+
+    /// Differential check: algebra result == calculus interpreter result.
+    fn differential(q: &str) {
+        let expr = parse(q).unwrap();
+        let direct = vida_lang::eval(&expr, &env()).unwrap();
+        let via_plan = run(q);
+        assert_eq!(direct, via_plan, "algebra deviates from calculus for {q}");
+    }
+
+    #[test]
+    fn scan_select_reduce_matches_calculus() {
+        differential("for { e <- Employees, e.age > 40 } yield sum e.age");
+        differential("for { e <- Employees } yield count e");
+        differential("for { e <- Employees } yield avg e.age");
+        differential("for { e <- Employees, e.age > 100 } yield max e.age");
+    }
+
+    #[test]
+    fn join_matches_calculus() {
+        differential(
+            "for { e <- Employees, d <- Departments, e.deptNo = d.id, \
+             d.deptName = \"HR\" } yield sum 1",
+        );
+        differential(
+            "for { e <- Employees, d <- Departments, e.deptNo = d.id } \
+             yield bag (n := e.id, d := d.deptName)",
+        );
+    }
+
+    #[test]
+    fn unnest_matches_calculus() {
+        differential("for { r <- Regions, v <- r.voxels } yield sum v");
+        differential("for { r <- Regions, v <- r.voxels, v > 10 } yield count v");
+        differential("for { r <- Regions, v <- r.voxels } yield bag (id := r.id, v := v)");
+    }
+
+    #[test]
+    fn set_and_list_monoids() {
+        differential("for { e <- Employees } yield set e.deptNo");
+        differential("for { e <- Employees } yield list e.id");
+    }
+
+    #[test]
+    fn three_way_join() {
+        differential(
+            "for { e <- Employees, d <- Departments, r <- Regions, \
+             e.deptNo = d.id, r.id = e.id } yield count e",
+        );
+    }
+
+    #[test]
+    fn constant_queries() {
+        assert_eq!(run("1 + 2"), Value::Int(3));
+        assert_eq!(run("if 1 > 2 then 1 else 0"), Value::Int(0));
+    }
+
+    #[test]
+    fn list_literal_source() {
+        differential("for { x <- [1, 2, 3], x > 1 } yield sum x");
+    }
+
+    #[test]
+    fn nested_head_comprehension() {
+        differential(
+            "for { d <- Departments } yield bag \
+             (dept := d.deptName, \
+              ages := for { e <- Employees, e.deptNo = d.id } yield list e.age)",
+        );
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        let plan = lower(&parse("for { x <- Nope } yield sum 1").unwrap()).unwrap();
+        assert_eq!(
+            execute_plan(&plan, &env()).unwrap_err().kind(),
+            "unresolved"
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Lowering: normalized comprehension → algebra plan.
+//!
+//! Qualifiers translate left to right:
+//! - the first generator over a free source becomes a [`Plan::Scan`] (or a
+//!   sub-plan if the source is itself a comprehension the normalizer chose
+//!   to keep nested);
+//! - later generators become [`Plan::Join`]s when their source is
+//!   independent of earlier bindings, or [`Plan::Unnest`]s when the source
+//!   is a path over an earlier binding (dependent generator);
+//! - filters become [`Plan::Select`]s;
+//! - the head and monoid become the terminal [`Plan::Reduce`].
+//!
+//! Non-comprehension expressions lower to a `Reduce` over a synthetic
+//! single-row scan — queries like `1 + 1` are still valid plans.
+
+use crate::plan::Plan;
+use vida_lang::normalize::normalize;
+use vida_lang::{Expr, Qualifier};
+use vida_types::{Monoid, Result, VidaError};
+
+/// Name of the synthetic one-row dataset used for constant queries.
+pub const UNIT_DATASET: &str = "__unit";
+
+/// Lower a calculus expression into an algebra plan. The expression is
+/// normalized first (the paper's rewriting phase precedes translation).
+pub fn lower(expr: &Expr) -> Result<Plan> {
+    let normalized = normalize(expr);
+    lower_normalized(&normalized)
+}
+
+/// Lower an already-normalized expression.
+pub fn lower_normalized(expr: &Expr) -> Result<Plan> {
+    match expr {
+        Expr::Comprehension {
+            monoid,
+            head,
+            qualifiers,
+        } => lower_comprehension(*monoid, head, qualifiers),
+        // Zero of a monoid: empty input reduced.
+        Expr::Zero(m) => Ok(Plan::Reduce {
+            input: Box::new(Plan::Select {
+                input: Box::new(unit_scan()),
+                predicate: Expr::bool(false),
+            }),
+            monoid: *m,
+            head: Expr::int(0),
+        }),
+        // Scalar expression: evaluate once over the unit row. A `bag`
+        // reduce of a single row yields a 1-element bag; to return the bare
+        // scalar we use max (identity on a single value).
+        other => Ok(Plan::Reduce {
+            input: Box::new(unit_scan()),
+            monoid: Monoid::Primitive(vida_types::PrimitiveMonoid::Max),
+            head: other.clone(),
+        }),
+    }
+}
+
+fn unit_scan() -> Plan {
+    Plan::Scan {
+        dataset: UNIT_DATASET.to_string(),
+        binding: "__u".to_string(),
+    }
+}
+
+fn lower_comprehension(monoid: Monoid, head: &Expr, qualifiers: &[Qualifier]) -> Result<Plan> {
+    let mut plan: Option<Plan> = None;
+    let mut bound: Vec<String> = Vec::new();
+
+    for q in qualifiers {
+        match q {
+            Qualifier::Generator(var, source) => {
+                let depends_on_bound = source
+                    .free_vars()
+                    .iter()
+                    .any(|v| bound.contains(v));
+                match (&mut plan, depends_on_bound) {
+                    (None, false) => {
+                        plan = Some(source_to_plan(source, var)?);
+                    }
+                    (None, true) => {
+                        return Err(VidaError::Plan(format!(
+                            "generator '{var}' depends on unbound variables"
+                        )))
+                    }
+                    (Some(p), false) => {
+                        // Independent source: a join (predicate true; the
+                        // optimizer pairs it with a later Select).
+                        let right = source_to_plan(source, var)?;
+                        plan = Some(Plan::Join {
+                            left: Box::new(std::mem::replace(p, unit_scan())),
+                            right: Box::new(right),
+                            predicate: Expr::bool(true),
+                        });
+                    }
+                    (Some(p), true) => {
+                        // Dependent source: unnest a path over earlier
+                        // bindings.
+                        plan = Some(Plan::Unnest {
+                            input: Box::new(std::mem::replace(p, unit_scan())),
+                            binding: var.clone(),
+                            path: source.clone(),
+                        });
+                    }
+                }
+                bound.push(var.clone());
+            }
+            Qualifier::Filter(pred) => {
+                let input = plan.take().unwrap_or_else(unit_scan);
+                plan = Some(Plan::Select {
+                    input: Box::new(input),
+                    predicate: pred.clone(),
+                });
+            }
+        }
+    }
+
+    Ok(Plan::Reduce {
+        input: Box::new(plan.unwrap_or_else(unit_scan)),
+        monoid,
+        head: head.clone(),
+    })
+}
+
+/// Turn a generator source into a plan producing bindings of `var`.
+fn source_to_plan(source: &Expr, var: &str) -> Result<Plan> {
+    match source {
+        Expr::Var(dataset) => Ok(Plan::Scan {
+            dataset: dataset.clone(),
+            binding: var.to_string(),
+        }),
+        // Anything else — a comprehension the normalizer kept nested (e.g.
+        // set inside sum), a literal collection, a merge — is a
+        // collection-valued expression with no dependence on earlier
+        // bindings: unnest it over the unit row. The operator's path
+        // evaluator handles sub-comprehensions.
+        other => Ok(Plan::Unnest {
+            input: Box::new(unit_scan()),
+            binding: var.to_string(),
+            path: other.clone(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vida_lang::parse;
+    use vida_types::PrimitiveMonoid;
+
+    fn plan_of(q: &str) -> Plan {
+        lower(&parse(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_scan_reduce() {
+        let p = plan_of("for { e <- Employees } yield sum e.age");
+        let Plan::Reduce { input, monoid, .. } = p else {
+            panic!()
+        };
+        assert_eq!(monoid, Monoid::Primitive(PrimitiveMonoid::Sum));
+        assert!(matches!(*input, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn filters_become_selects() {
+        let p = plan_of("for { e <- Employees, e.age > 40 } yield count e");
+        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Select { input, .. } = *input else {
+            panic!()
+        };
+        assert!(matches!(*input, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn two_generators_become_join() {
+        let p = plan_of(
+            "for { e <- Employees, d <- Departments, e.deptNo = d.id } yield sum 1",
+        );
+        // After filter hoisting the join predicate stays as a Select above
+        // the Join (the optimizer later fuses it into the join).
+        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Select { input, predicate } = *input else {
+            panic!()
+        };
+        assert_eq!(predicate.to_string(), "(e.deptNo = d.id)");
+        assert!(matches!(*input, Plan::Join { .. }));
+    }
+
+    #[test]
+    fn dependent_generator_becomes_unnest() {
+        let p = plan_of("for { b <- Regions, v <- b.voxels, v > 10 } yield count v");
+        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Select { input, .. } = *input else {
+            panic!()
+        };
+        let Plan::Unnest { input, binding, path } = *input else {
+            panic!()
+        };
+        assert_eq!(binding, "v");
+        assert_eq!(path.to_string(), "b.voxels");
+        assert!(matches!(*input, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn filter_hoisted_before_join() {
+        let p = plan_of(
+            "for { p <- Patients, g <- Genetics, p.age > 60, p.id = g.id } yield sum 1",
+        );
+        // Normalizer hoists p.age > 60 before the g generator, so the plan
+        // is Select(join-pred) over Join(Select(age) over Scan, Scan).
+        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Select { input, .. } = *input else {
+            panic!()
+        };
+        let Plan::Join { left, .. } = *input else {
+            panic!()
+        };
+        assert!(matches!(*left, Plan::Select { .. }));
+    }
+
+    #[test]
+    fn constant_query_lowers_to_unit_scan() {
+        let p = plan_of("1 + 1");
+        let Plan::Reduce { input, head, .. } = p else {
+            panic!()
+        };
+        assert_eq!(head, Expr::int(2)); // constant-folded by normalize
+        let Plan::Scan { dataset, .. } = *input else {
+            panic!()
+        };
+        assert_eq!(dataset, UNIT_DATASET);
+    }
+
+    #[test]
+    fn list_literal_generator_unnests_over_unit() {
+        let p = plan_of("for { x <- [1, 2, 3] } yield sum x");
+        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Unnest { input, .. } = *input else {
+            panic!()
+        };
+        assert!(matches!(*input, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn nested_set_inside_sum_stays_subplan() {
+        // Normalizer refuses to unnest set into sum; lowering wraps it as an
+        // unnest path over the unit row.
+        let p = plan_of("for { x <- for { y <- Ys } yield set y.b } yield sum x");
+        let Plan::Reduce { input, monoid, .. } = p else {
+            panic!()
+        };
+        assert_eq!(monoid, Monoid::Primitive(PrimitiveMonoid::Sum));
+        let Plan::Unnest { path, .. } = *input else {
+            panic!()
+        };
+        assert!(matches!(path, Expr::Comprehension { .. }));
+    }
+}

@@ -1,0 +1,227 @@
+//! Algebra plan nodes.
+
+use std::fmt;
+use vida_lang::Expr;
+use vida_types::Monoid;
+
+/// A logical query plan over the nested relational algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Bind each retrieval unit of `dataset` to variable `binding`.
+    Scan { dataset: String, binding: String },
+    /// Keep bindings satisfying `predicate`.
+    Select { input: Box<Plan>, predicate: Expr },
+    /// Pair every binding of `left` with every binding of `right` that
+    /// satisfies `predicate` (`Expr::Const(true)` = product).
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        predicate: Expr,
+    },
+    /// For each input binding, bind every element of the collection-valued
+    /// `path` to `binding` (flattening nested data).
+    Unnest {
+        input: Box<Plan>,
+        binding: String,
+        path: Expr,
+    },
+    /// Evaluate `head` under each binding and fold with `monoid`.
+    Reduce {
+        input: Box<Plan>,
+        monoid: Monoid,
+        head: Expr,
+    },
+}
+
+impl Plan {
+    /// Variables bound by this plan (generator names), in binding order.
+    pub fn bound_vars(&self) -> Vec<String> {
+        match self {
+            Plan::Scan { binding, .. } => vec![binding.clone()],
+            Plan::Select { input, .. } | Plan::Reduce { input, .. } => input.bound_vars(),
+            Plan::Join { left, right, .. } => {
+                let mut v = left.bound_vars();
+                v.extend(right.bound_vars());
+                v
+            }
+            Plan::Unnest { input, binding, .. } => {
+                let mut v = input.bound_vars();
+                v.push(binding.clone());
+                v
+            }
+        }
+    }
+
+    /// Datasets scanned anywhere in the plan.
+    pub fn datasets(&self) -> Vec<String> {
+        match self {
+            Plan::Scan { dataset, .. } => vec![dataset.clone()],
+            Plan::Select { input, .. }
+            | Plan::Reduce { input, .. }
+            | Plan::Unnest { input, .. } => input.datasets(),
+            Plan::Join { left, right, .. } => {
+                let mut v = left.datasets();
+                v.extend(right.datasets());
+                v
+            }
+        }
+    }
+
+    /// Number of operators in the plan.
+    pub fn num_operators(&self) -> usize {
+        1 + match self {
+            Plan::Scan { .. } => 0,
+            Plan::Select { input, .. }
+            | Plan::Reduce { input, .. }
+            | Plan::Unnest { input, .. } => input.num_operators(),
+            Plan::Join { left, right, .. } => left.num_operators() + right.num_operators(),
+        }
+    }
+
+    /// If the predicate of a join is a conjunction containing an equality
+    /// `l.a = r.b` between one variable from each side, return
+    /// `(left_expr, right_expr)` — the hash-join opportunity the generated
+    /// operators exploit.
+    pub fn equi_join_keys(predicate: &Expr, left_vars: &[String], right_vars: &[String]) -> Option<(Expr, Expr)> {
+        use vida_lang::BinOp;
+        match predicate {
+            Expr::BinOp(BinOp::Eq, l, r) => {
+                let lv = l.free_vars();
+                let rv = r.free_vars();
+                let in_left = |vars: &[String]| vars.iter().all(|v| left_vars.contains(v));
+                let in_right = |vars: &[String]| vars.iter().all(|v| right_vars.contains(v));
+                if !lv.is_empty() && !rv.is_empty() {
+                    if in_left(&lv) && in_right(&rv) {
+                        return Some((l.as_ref().clone(), r.as_ref().clone()));
+                    }
+                    if in_right(&lv) && in_left(&rv) {
+                        return Some((r.as_ref().clone(), l.as_ref().clone()));
+                    }
+                }
+                None
+            }
+            Expr::BinOp(BinOp::And, l, r) => {
+                Plan::equi_join_keys(l, left_vars, right_vars)
+                    .or_else(|| Plan::equi_join_keys(r, left_vars, right_vars))
+            }
+            _ => None,
+        }
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan { dataset, binding } => {
+                writeln!(f, "{pad}Scan {dataset} as {binding}")
+            }
+            Plan::Select { input, predicate } => {
+                writeln!(f, "{pad}Select {predicate}")?;
+                input.fmt_indented(f, depth + 1)
+            }
+            Plan::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                writeln!(f, "{pad}Join on {predicate}")?;
+                left.fmt_indented(f, depth + 1)?;
+                right.fmt_indented(f, depth + 1)
+            }
+            Plan::Unnest {
+                input,
+                binding,
+                path,
+            } => {
+                writeln!(f, "{pad}Unnest {path} as {binding}")?;
+                input.fmt_indented(f, depth + 1)
+            }
+            Plan::Reduce {
+                input,
+                monoid,
+                head,
+            } => {
+                writeln!(f, "{pad}Reduce [{monoid}] {head}")?;
+                input.fmt_indented(f, depth + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vida_lang::{parse, BinOp};
+    use vida_types::PrimitiveMonoid;
+
+    fn sample_plan() -> Plan {
+        Plan::Reduce {
+            input: Box::new(Plan::Join {
+                left: Box::new(Plan::Select {
+                    input: Box::new(Plan::Scan {
+                        dataset: "Patients".into(),
+                        binding: "p".into(),
+                    }),
+                    predicate: parse("p.age > 60").unwrap(),
+                }),
+                right: Box::new(Plan::Scan {
+                    dataset: "Genetics".into(),
+                    binding: "g".into(),
+                }),
+                predicate: parse("p.id = g.id").unwrap(),
+            }),
+            monoid: Monoid::Primitive(PrimitiveMonoid::Sum),
+            head: parse("1").unwrap(),
+        }
+    }
+
+    #[test]
+    fn bound_vars_in_order() {
+        assert_eq!(sample_plan().bound_vars(), vec!["p", "g"]);
+    }
+
+    #[test]
+    fn datasets_collected() {
+        assert_eq!(sample_plan().datasets(), vec!["Patients", "Genetics"]);
+    }
+
+    #[test]
+    fn operator_count() {
+        assert_eq!(sample_plan().num_operators(), 5);
+    }
+
+    #[test]
+    fn equi_join_detection() {
+        let p = parse("p.id = g.id").unwrap();
+        let keys = Plan::equi_join_keys(&p, &["p".into()], &["g".into()]).unwrap();
+        assert_eq!(keys.0.to_string(), "p.id");
+        assert_eq!(keys.1.to_string(), "g.id");
+        // Reversed orientation normalizes to (left, right).
+        let p2 = parse("g.id = p.id").unwrap();
+        let keys2 = Plan::equi_join_keys(&p2, &["p".into()], &["g".into()]).unwrap();
+        assert_eq!(keys2.0.to_string(), "p.id");
+        // Inequality is not an equi-join.
+        let p3 = parse("p.id < g.id").unwrap();
+        assert!(Plan::equi_join_keys(&p3, &["p".into()], &["g".into()]).is_none());
+        // Same-side equality is not a join key.
+        let p4 = parse("p.id = p.other").unwrap();
+        assert!(Plan::equi_join_keys(&p4, &["p".into()], &["g".into()]).is_none());
+        // Conjunctions search both sides.
+        let p5 = parse("p.a > 1 and p.id = g.id").unwrap();
+        assert!(Plan::equi_join_keys(&p5, &["p".into()], &["g".into()]).is_some());
+        let _ = BinOp::Eq;
+    }
+
+    #[test]
+    fn display_is_tree_shaped() {
+        let s = sample_plan().to_string();
+        assert!(s.starts_with("Reduce [sum] 1"));
+        assert!(s.contains("Join on (p.id = g.id)"));
+        assert!(s.contains("    Scan Patients as p"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Algebra-level rewrites.
+//!
+//! The calculus normalizer already hoisted filters; these rules operate on
+//! plan shape:
+//!
+//! - **selection-into-join**: `Select(p, Join(l, r, q))` with `p` spanning
+//!   both sides becomes `Join(l, r, p ∧ q)` so the join operator sees its
+//!   equi-join keys;
+//! - **selection pushdown**: a select whose predicate only references one
+//!   side of a join moves below the join;
+//! - **select merging**: adjacent selects combine into one conjunction
+//!   (fewer generated operators, one fused predicate kernel);
+//! - **select-below-unnest**: predicates not referencing the unnest binding
+//!   move below the unnest.
+
+use crate::plan::Plan;
+use vida_lang::{BinOp, Expr};
+
+/// Apply rewrites to fixpoint (bounded).
+pub fn rewrite(plan: &Plan) -> Plan {
+    let mut cur = plan.clone();
+    for _ in 0..32 {
+        let next = pass(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn pass(plan: &Plan) -> Plan {
+    let p = map_children(plan, &pass);
+    rewrite_node(p)
+}
+
+fn map_children(plan: &Plan, f: &dyn Fn(&Plan) -> Plan) -> Plan {
+    match plan {
+        Plan::Scan { .. } => plan.clone(),
+        Plan::Select { input, predicate } => Plan::Select {
+            input: Box::new(f(input)),
+            predicate: predicate.clone(),
+        },
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => Plan::Join {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+            predicate: predicate.clone(),
+        },
+        Plan::Unnest {
+            input,
+            binding,
+            path,
+        } => Plan::Unnest {
+            input: Box::new(f(input)),
+            binding: binding.clone(),
+            path: path.clone(),
+        },
+        Plan::Reduce {
+            input,
+            monoid,
+            head,
+        } => Plan::Reduce {
+            input: Box::new(f(input)),
+            monoid: *monoid,
+            head: head.clone(),
+        },
+    }
+}
+
+fn rewrite_node(plan: Plan) -> Plan {
+    match plan {
+        Plan::Select { input, predicate } => match *input {
+            // Merge adjacent selects.
+            Plan::Select {
+                input: inner,
+                predicate: p2,
+            } => Plan::Select {
+                input: inner,
+                predicate: Expr::bin(BinOp::And, p2, predicate),
+            },
+            // Push into / below a join.
+            Plan::Join {
+                left,
+                right,
+                predicate: jp,
+            } => {
+                let lvars = left.bound_vars();
+                let rvars = right.bound_vars();
+                let fv = predicate.free_vars();
+                let refs_left = fv.iter().any(|v| lvars.contains(v));
+                let refs_right = fv.iter().any(|v| rvars.contains(v));
+                match (refs_left, refs_right) {
+                    (true, false) => Plan::Join {
+                        left: Box::new(Plan::Select {
+                            input: left,
+                            predicate,
+                        }),
+                        right,
+                        predicate: jp,
+                    },
+                    (false, true) => Plan::Join {
+                        left,
+                        right: Box::new(Plan::Select {
+                            input: right,
+                            predicate,
+                        }),
+                        predicate: jp,
+                    },
+                    // Spans both sides (or neither): fuse into the join
+                    // predicate.
+                    _ => Plan::Join {
+                        left,
+                        right,
+                        predicate: and(jp, predicate),
+                    },
+                }
+            }
+            // Push below an unnest when the binding is not referenced.
+            Plan::Unnest {
+                input: uin,
+                binding,
+                path,
+            } => {
+                if predicate.free_vars().contains(&binding) {
+                    Plan::Select {
+                        input: Box::new(Plan::Unnest {
+                            input: uin,
+                            binding,
+                            path,
+                        }),
+                        predicate,
+                    }
+                } else {
+                    Plan::Unnest {
+                        input: Box::new(Plan::Select {
+                            input: uin,
+                            predicate,
+                        }),
+                        binding,
+                        path,
+                    }
+                }
+            }
+            other => Plan::Select {
+                input: Box::new(other),
+                predicate,
+            },
+        },
+        other => other,
+    }
+}
+
+fn and(a: Expr, b: Expr) -> Expr {
+    match a {
+        Expr::Const(vida_types::Value::Bool(true)) => b,
+        _ => Expr::bin(BinOp::And, a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute_plan;
+    use crate::lower::lower;
+    use vida_lang::{parse, Bindings};
+    use vida_types::Value;
+
+    fn plan_of(q: &str) -> Plan {
+        rewrite(&lower(&parse(q).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn join_predicate_fused() {
+        let p = plan_of(
+            "for { e <- Employees, d <- Departments, e.deptNo = d.id } yield sum 1",
+        );
+        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Join { predicate, .. } = *input else {
+            panic!("select should fuse into join, got something else")
+        };
+        assert_eq!(predicate.to_string(), "(e.deptNo = d.id)");
+    }
+
+    #[test]
+    fn one_sided_predicate_pushed_below_join() {
+        let p = plan_of(
+            "for { e <- Employees, d <- Departments, e.deptNo = d.id, \
+             d.deptName = \"HR\" } yield sum 1",
+        );
+        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Join { right, .. } = *input else {
+            panic!()
+        };
+        // d.deptName = "HR" must sit on the right (Departments) side.
+        let Plan::Select { predicate, .. } = *right else {
+            panic!("expected select pushed to right side")
+        };
+        assert!(predicate.to_string().contains("deptName"));
+    }
+
+    #[test]
+    fn adjacent_selects_merge() {
+        let raw = Plan::Select {
+            input: Box::new(Plan::Select {
+                input: Box::new(Plan::Scan {
+                    dataset: "X".into(),
+                    binding: "x".into(),
+                }),
+                predicate: parse("x.a > 1").unwrap(),
+            }),
+            predicate: parse("x.b < 2").unwrap(),
+        };
+        let r = rewrite(&raw);
+        let Plan::Select { input, predicate } = r else {
+            panic!()
+        };
+        assert!(matches!(*input, Plan::Scan { .. }));
+        assert_eq!(predicate.to_string(), "((x.a > 1) and (x.b < 2))");
+    }
+
+    #[test]
+    fn select_pushes_below_unnest_when_independent() {
+        let p = plan_of("for { r <- Regions, v <- r.voxels, r.id > 1 } yield count v");
+        // r.id > 1 does not mention v: it must sit below the unnest.
+        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Unnest { input, .. } = *input else {
+            panic!("expected unnest on top after pushdown, got:\n{p}", p = input)
+        };
+        assert!(matches!(*input, Plan::Select { .. }));
+    }
+
+    #[test]
+    fn select_stays_above_unnest_when_dependent() {
+        let p = plan_of("for { r <- Regions, v <- r.voxels, v > 10 } yield count v");
+        let Plan::Reduce { input, .. } = p else { panic!() };
+        assert!(matches!(*input, Plan::Select { .. }));
+    }
+
+    #[test]
+    fn rewrites_preserve_semantics() {
+        let mut env = Bindings::new();
+        env.insert(
+            "Employees".into(),
+            Value::bag(vec![
+                Value::record([("id", Value::Int(1)), ("deptNo", Value::Int(10)), ("age", Value::Int(61))]),
+                Value::record([("id", Value::Int(2)), ("deptNo", Value::Int(20)), ("age", Value::Int(35))]),
+            ]),
+        );
+        env.insert(
+            "Departments".into(),
+            Value::bag(vec![
+                Value::record([("id", Value::Int(10)), ("deptName", Value::str("HR"))]),
+                Value::record([("id", Value::Int(20)), ("deptName", Value::str("Eng"))]),
+            ]),
+        );
+        env.insert(
+            "Regions".into(),
+            Value::bag(vec![Value::record([
+                ("id", Value::Int(1)),
+                ("voxels", Value::list(vec![Value::Int(5), Value::Int(15)])),
+            ])]),
+        );
+        let queries = [
+            "for { e <- Employees, d <- Departments, e.deptNo = d.id, d.deptName = \"HR\" } yield sum 1",
+            "for { e <- Employees, e.age > 40, e.age < 100 } yield count e",
+            "for { r <- Regions, v <- r.voxels, r.id > 0, v > 10 } yield sum v",
+            "for { e <- Employees, d <- Departments, e.deptNo = d.id } yield bag (a := e.age, n := d.deptName)",
+        ];
+        for q in queries {
+            let unopt = lower(&parse(q).unwrap()).unwrap();
+            let opt = rewrite(&unopt);
+            assert_eq!(
+                execute_plan(&unopt, &env).unwrap(),
+                execute_plan(&opt, &env).unwrap(),
+                "rewrite changed semantics for {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn rewrite_is_idempotent() {
+        let p = plan_of(
+            "for { e <- Employees, d <- Departments, e.deptNo = d.id, e.age > 1 } yield sum 1",
+        );
+        assert_eq!(rewrite(&p), p);
+    }
+}

@@ -1,0 +1,25 @@
+//! # vida-cache
+//!
+//! ViDa's layout-aware data caches (§2.1, §5).
+//!
+//! ViDa caches previously-accessed raw data fields so that workload locality
+//! (~80% in the paper's HBP workload) turns repeated raw-file accesses into
+//! memory reads. Three ideas from the paper shape the design:
+//!
+//! 1. **Layout-aware replicas** — the same field may be cached in several
+//!    layouts (columnar values, row records, binary JSON, positions-only;
+//!    Figure 4) and the optimizer picks the one that fits the query.
+//! 2. **Cache-pollution avoidance** — large nested objects can be cached as
+//!    `(start, end)` byte positions into the raw file rather than eagerly
+//!    materialized (§5).
+//! 3. **Invalidation, not synchronization** — in-place updates to a raw
+//!    file simply drop the affected entries (§2.1): the raw file stays the
+//!    golden copy.
+
+pub mod bson;
+pub mod layout;
+pub mod manager;
+
+pub use bson::{decode_value, encode_value};
+pub use layout::{CachedData, Layout};
+pub use manager::{CacheKey, CacheManager, CacheStats};

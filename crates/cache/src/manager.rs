@@ -1,0 +1,379 @@
+//! The cache manager: budgeted, layout-aware, invalidation-driven.
+//!
+//! Entries are keyed by `(dataset, field, layout)` so replicas of the same
+//! field in different layouts coexist (§5 "Re-using and re-shaping
+//! results"). A logical-clock LRU keeps the total footprint under a
+//! configurable budget. When a raw file changes (fingerprint mismatch),
+//! every entry of that dataset is dropped — the paper's §2.1 update story.
+
+use crate::layout::{CachedData, Layout};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies one cached column replica.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub dataset: String,
+    /// Field name, or `"*"` for whole-unit records.
+    pub field: String,
+    pub layout: Layout,
+}
+
+impl CacheKey {
+    pub fn new(dataset: impl Into<String>, field: impl Into<String>, layout: Layout) -> Self {
+        CacheKey {
+            dataset: dataset.into(),
+            field: field.into(),
+            layout,
+        }
+    }
+}
+
+/// Hit/miss/eviction counters (exposed in query stats; drives the §6
+/// "80% of the workload was served from caches" measurement).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    data: Arc<CachedData>,
+    bytes: usize,
+    last_used: u64,
+    fingerprint: (u64, u64),
+}
+
+struct Inner {
+    entries: HashMap<CacheKey, Entry>,
+    clock: u64,
+    used_bytes: usize,
+    stats: CacheStats,
+}
+
+/// Budgeted cache of raw-data column replicas.
+pub struct CacheManager {
+    budget_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+impl CacheManager {
+    /// Create a manager with a memory budget in bytes.
+    pub fn new(budget_bytes: usize) -> Self {
+        CacheManager {
+            budget_bytes,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+                used_bytes: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Look up an entry; bumps LRU clock and hit/miss counters.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedData>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = clock;
+                let data = Arc::clone(&e.data);
+                inner.stats.hits += 1;
+                Some(data)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up any layout of `(dataset, field)`, preferring the order given.
+    pub fn get_any(
+        &self,
+        dataset: &str,
+        field: &str,
+        preference: &[Layout],
+    ) -> Option<(Layout, Arc<CachedData>)> {
+        for &layout in preference {
+            let key = CacheKey::new(dataset, field, layout);
+            // Peek without counting misses for non-preferred layouts.
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(e) = inner.entries.get_mut(&key) {
+                e.last_used = clock;
+                let data = Arc::clone(&e.data);
+                inner.stats.hits += 1;
+                return Some((layout, data));
+            }
+        }
+        self.inner.lock().stats.misses += 1;
+        None
+    }
+
+    /// Insert (or replace) an entry, evicting LRU entries to stay within
+    /// budget. Entries larger than the whole budget are refused (returns
+    /// false) — caching them would evict everything for a single query.
+    pub fn put(&self, key: CacheKey, data: CachedData, fingerprint: (u64, u64)) -> bool {
+        let bytes = data.approx_bytes();
+        if bytes > self.budget_bytes {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.entries.remove(&key) {
+            inner.used_bytes -= old.bytes;
+        }
+        // Evict least-recently-used until the new entry fits.
+        while inner.used_bytes + bytes > self.budget_bytes {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let e = inner.entries.remove(&k).expect("victim exists");
+                    inner.used_bytes -= e.bytes;
+                    inner.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        inner.used_bytes += bytes;
+        inner.stats.insertions += 1;
+        inner.entries.insert(
+            key,
+            Entry {
+                data: Arc::new(data),
+                bytes,
+                last_used: clock,
+                fingerprint,
+            },
+        );
+        true
+    }
+
+    /// Drop all entries of a dataset whose fingerprint differs from
+    /// `current` — called when the engine notices a raw file changed
+    /// (ViDa §2.1: updates drop the affected auxiliary structures).
+    /// Returns the number of dropped entries.
+    pub fn invalidate_stale(&self, dataset: &str, current: (u64, u64)) -> usize {
+        let mut inner = self.inner.lock();
+        let stale: Vec<CacheKey> = inner
+            .entries
+            .iter()
+            .filter(|(k, e)| k.dataset == dataset && e.fingerprint != current)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &stale {
+            let e = inner.entries.remove(k).expect("stale key exists");
+            inner.used_bytes -= e.bytes;
+        }
+        inner.stats.invalidations += stale.len() as u64;
+        stale.len()
+    }
+
+    /// Drop every entry of a dataset unconditionally.
+    pub fn invalidate_dataset(&self, dataset: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let keys: Vec<CacheKey> = inner
+            .entries
+            .keys()
+            .filter(|k| k.dataset == dataset)
+            .cloned()
+            .collect();
+        for k in &keys {
+            let e = inner.entries.remove(k).expect("key exists");
+            inner.used_bytes -= e.bytes;
+        }
+        inner.stats.invalidations += keys.len() as u64;
+        keys.len()
+    }
+
+    /// Clear everything (benchmark phase boundaries).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.used_bytes = 0;
+    }
+
+    /// Which fields of a dataset are cached (any layout)?
+    pub fn cached_fields(&self, dataset: &str) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut fields: Vec<String> = inner
+            .entries
+            .keys()
+            .filter(|k| k.dataset == dataset)
+            .map(|k| k.field.clone())
+            .collect();
+        fields.sort();
+        fields.dedup();
+        fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vida_types::Value;
+
+    fn col(n: usize) -> CachedData {
+        CachedData::Values((0..n).map(|i| Value::Int(i as i64)).collect())
+    }
+
+    #[test]
+    fn get_put_hit_miss() {
+        let m = CacheManager::new(1 << 20);
+        let key = CacheKey::new("Patients", "age", Layout::Values);
+        assert!(m.get(&key).is_none());
+        assert!(m.put(key.clone(), col(10), (1, 1)));
+        let got = m.get(&key).unwrap();
+        assert_eq!(got.len(), 10);
+        let s = m.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_eviction_under_budget() {
+        // Budget fits roughly two of the three columns.
+        let one = col(100).approx_bytes();
+        let m = CacheManager::new(one * 2 + 10);
+        m.put(CacheKey::new("d", "a", Layout::Values), col(100), (1, 1));
+        m.put(CacheKey::new("d", "b", Layout::Values), col(100), (1, 1));
+        // Touch "a" so "b" becomes LRU.
+        m.get(&CacheKey::new("d", "a", Layout::Values)).unwrap();
+        m.put(CacheKey::new("d", "c", Layout::Values), col(100), (1, 1));
+        assert!(m.get(&CacheKey::new("d", "a", Layout::Values)).is_some());
+        assert!(m.get(&CacheKey::new("d", "b", Layout::Values)).is_none());
+        assert!(m.get(&CacheKey::new("d", "c", Layout::Values)).is_some());
+        assert_eq!(m.stats().evictions, 1);
+        assert!(m.used_bytes() <= m.budget_bytes());
+    }
+
+    #[test]
+    fn oversized_entry_refused() {
+        let m = CacheManager::new(64);
+        assert!(!m.put(
+            CacheKey::new("d", "big", Layout::Values),
+            col(1000),
+            (1, 1)
+        ));
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn invalidate_stale_by_fingerprint() {
+        let m = CacheManager::new(1 << 20);
+        m.put(CacheKey::new("d", "a", Layout::Values), col(5), (1, 1));
+        m.put(CacheKey::new("d", "b", Layout::Values), col(5), (1, 1));
+        m.put(CacheKey::new("e", "a", Layout::Values), col(5), (1, 1));
+        // File "d" changed: fingerprint now (2, 2).
+        let dropped = m.invalidate_stale("d", (2, 2));
+        assert_eq!(dropped, 2);
+        assert!(m.get(&CacheKey::new("d", "a", Layout::Values)).is_none());
+        assert!(m.get(&CacheKey::new("e", "a", Layout::Values)).is_some());
+        // Same fingerprint: nothing dropped.
+        assert_eq!(m.invalidate_stale("e", (1, 1)), 0);
+    }
+
+    #[test]
+    fn invalidate_dataset_unconditional() {
+        let m = CacheManager::new(1 << 20);
+        m.put(CacheKey::new("d", "a", Layout::Values), col(5), (1, 1));
+        m.put(
+            CacheKey::new("d", "a", Layout::BinaryJson),
+            CachedData::from_values(&[Value::Int(1)], Layout::BinaryJson).unwrap(),
+            (1, 1),
+        );
+        assert_eq!(m.invalidate_dataset("d"), 2);
+        assert_eq!(m.used_bytes(), 0);
+    }
+
+    #[test]
+    fn layout_replicas_coexist() {
+        let m = CacheManager::new(1 << 20);
+        m.put(CacheKey::new("d", "a", Layout::Values), col(3), (1, 1));
+        m.put(
+            CacheKey::new("d", "a", Layout::Positions),
+            CachedData::Positions(vec![(0, 5); 3]),
+            (1, 1),
+        );
+        assert_eq!(m.len(), 2);
+        let (layout, _) = m
+            .get_any("d", "a", &[Layout::Positions, Layout::Values])
+            .unwrap();
+        assert_eq!(layout, Layout::Positions);
+        assert_eq!(m.cached_fields("d"), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn get_any_miss_counts_once() {
+        let m = CacheManager::new(1 << 20);
+        assert!(m
+            .get_any("d", "a", &[Layout::Values, Layout::Text])
+            .is_none());
+        assert_eq!(m.stats().misses, 1);
+    }
+
+    #[test]
+    fn replacing_entry_updates_bytes() {
+        let m = CacheManager::new(1 << 20);
+        let key = CacheKey::new("d", "a", Layout::Values);
+        m.put(key.clone(), col(100), (1, 1));
+        let big = m.used_bytes();
+        m.put(key.clone(), col(10), (1, 1));
+        assert!(m.used_bytes() < big);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_usage() {
+        let m = CacheManager::new(1 << 20);
+        m.put(CacheKey::new("d", "a", Layout::Values), col(5), (1, 1));
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.used_bytes(), 0);
+    }
+}

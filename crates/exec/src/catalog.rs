@@ -1,0 +1,116 @@
+//! Data-source resolution for the executors.
+//!
+//! Executors see datasets through [`SourceProvider`] — the runtime face of
+//! the catalog. `vida` (the engine facade) implements it over registered
+//! source descriptions; tests and benchmarks use [`MemoryCatalog`].
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vida_formats::plugin::MemPlugin;
+use vida_formats::InputPlugin;
+use vida_types::{Result, Schema, Value, VidaError};
+
+/// Resolves dataset names to bound input plugins.
+pub trait SourceProvider: Send + Sync {
+    fn plugin(&self, dataset: &str) -> Result<Arc<dyn InputPlugin>>;
+
+    /// All registered dataset names (diagnostics).
+    fn dataset_names(&self) -> Vec<String>;
+
+    /// Materialize a whole dataset as a bag value (used for datasets
+    /// referenced inside nested head comprehensions).
+    fn materialize(&self, dataset: &str) -> Result<Value> {
+        let plugin = self.plugin(dataset)?;
+        let mut items = Vec::with_capacity(plugin.num_units());
+        for row in 0..plugin.num_units() {
+            items.push(plugin.read_unit(row)?);
+        }
+        Ok(Value::bag(items))
+    }
+}
+
+/// A simple in-memory catalog of plugins.
+#[derive(Default)]
+pub struct MemoryCatalog {
+    plugins: RwLock<HashMap<String, Arc<dyn InputPlugin>>>,
+}
+
+impl MemoryCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register any plugin under its own name.
+    pub fn register(&self, plugin: Arc<dyn InputPlugin>) {
+        self.plugins
+            .write()
+            .insert(plugin.name().to_string(), plugin);
+    }
+
+    /// Convenience: register an in-memory dataset from record values.
+    pub fn register_records(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        records: &[Value],
+    ) -> Result<()> {
+        let name = name.into();
+        let plugin = MemPlugin::from_records(name, schema, records)?;
+        self.register(Arc::new(plugin));
+        Ok(())
+    }
+}
+
+impl SourceProvider for MemoryCatalog {
+    fn plugin(&self, dataset: &str) -> Result<Arc<dyn InputPlugin>> {
+        self.plugins
+            .read()
+            .get(dataset)
+            .cloned()
+            .ok_or_else(|| VidaError::Catalog(format!("unknown dataset '{dataset}'")))
+    }
+
+    fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.plugins.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vida_types::Type;
+
+    #[test]
+    fn register_and_resolve() {
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "T",
+            Schema::from_pairs([("id", Type::Int)]),
+            &[Value::record([("id", Value::Int(1))])],
+        )
+        .unwrap();
+        let p = cat.plugin("T").unwrap();
+        assert_eq!(p.num_units(), 1);
+        assert!(cat.plugin("missing").is_err());
+        assert_eq!(cat.dataset_names(), vec!["T"]);
+    }
+
+    #[test]
+    fn materialize_returns_bag() {
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "T",
+            Schema::from_pairs([("id", Type::Int)]),
+            &[
+                Value::record([("id", Value::Int(1))]),
+                Value::record([("id", Value::Int(2))]),
+            ],
+        )
+        .unwrap();
+        let v = cat.materialize("T").unwrap();
+        assert_eq!(v.elements().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # vida-exec
+//!
+//! ViDa's query executors (§4, §4.1).
+//!
+//! Two engines over the same algebra plans:
+//!
+//! 1. **The JIT executor** ([`pipeline`]) — the paper's contribution. At
+//!    query time it *generates* a specialized pipeline: input plugins bound
+//!    to exactly the attributes the query touches, Cranelift-compiled
+//!    predicate/projection kernels over register frames, hash joins when
+//!    equi-keys exist, fused monoid accumulators, and layout-aware cache
+//!    reads/writes. No general-purpose checks survive into the inner loop.
+//!
+//! 2. **The interpreted Volcano engine** ([`volcano`]) — the "static,
+//!    pre-cooked operators" comparator (§4): generic operators over tagged
+//!    values with dynamic dispatch and per-tuple interpretation overhead.
+//!    It doubles as a semantic oracle in differential tests.
+//!
+//! [`output`] implements the output plugins of Figure 3/Figure 4: results
+//! materialize as parsed values, text, binary JSON, or CSV rows.
+
+pub mod catalog;
+pub mod output;
+pub mod pipeline;
+pub mod stats;
+pub mod volcano;
+
+pub use catalog::{MemoryCatalog, SourceProvider};
+pub use pipeline::{run_jit, JitOptions};
+pub use stats::ExecStats;
+pub use volcano::run_volcano;

@@ -1,0 +1,678 @@
+//! CSV input plugin with NoDB-style positional maps (ViDa §2.1, §5; NoDB [3]).
+//!
+//! Text formats make per-attribute access cost *variable*: reading attribute
+//! `k` of a row means tokenizing `k` delimiters from the row start. For wide
+//! files (the paper's Genetics table has 17 832 attributes) that dominates
+//! query time. The **positional map** remembers the byte offset of each
+//! previously-located attribute, so later reads of the same attribute seek
+//! directly, and reads of nearby attributes tokenize only the short distance
+//! from the nearest known position.
+//!
+//! The map is populated as a side effect of query execution — exactly the
+//! adaptive, query-driven behaviour the paper advocates — never as an
+//! up-front pass.
+
+use crate::stats::AccessStats;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use vida_types::{Result, Schema, Type, Value, VidaError};
+
+/// Sentinel for "offset unknown" inside positional map columns.
+const UNKNOWN: u32 = u32::MAX;
+
+/// A CSV file opened for in-situ querying.
+pub struct CsvFile {
+    name: String,
+    data: Vec<u8>,
+    delimiter: u8,
+    schema: Schema,
+    /// Byte offset of the start of each data row (header excluded), plus a
+    /// final entry at end-of-data, so row `i` spans `rows[i]..rows[i+1]-1`.
+    rows: Vec<u32>,
+    /// col -> per-row byte offsets of that column's first byte.
+    posmap: RwLock<BTreeMap<usize, Vec<u32>>>,
+    posmap_enabled: bool,
+    stats: Arc<AccessStats>,
+    /// (file length, mtime seconds) — cache invalidation fingerprint.
+    fingerprint: (u64, u64),
+}
+
+impl CsvFile {
+    /// Open a CSV file from disk.
+    pub fn open(
+        name: impl Into<String>,
+        path: &Path,
+        delimiter: u8,
+        header: bool,
+        schema: Schema,
+    ) -> Result<Self> {
+        let data = std::fs::read(path)?;
+        let meta = std::fs::metadata(path)?;
+        let mtime = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut f = Self::from_bytes(name, data, delimiter, header, schema)?;
+        f.fingerprint = (meta.len(), mtime);
+        Ok(f)
+    }
+
+    /// Open from an in-memory byte buffer (tests, generated workloads).
+    pub fn from_bytes(
+        name: impl Into<String>,
+        data: Vec<u8>,
+        delimiter: u8,
+        header: bool,
+        schema: Schema,
+    ) -> Result<Self> {
+        let name = name.into();
+        let mut rows = Vec::new();
+        let mut pos = 0usize;
+        // Skip the header line if present.
+        if header {
+            match data.iter().position(|&b| b == b'\n') {
+                Some(nl) => pos = nl + 1,
+                None => pos = data.len(),
+            }
+        }
+        while pos < data.len() {
+            rows.push(pos as u32);
+            match data[pos..].iter().position(|&b| b == b'\n') {
+                Some(nl) => pos += nl + 1,
+                None => pos = data.len(),
+            }
+        }
+        rows.push(data.len() as u32);
+        let fingerprint = (data.len() as u64, 0);
+        Ok(CsvFile {
+            name,
+            data,
+            delimiter,
+            schema,
+            rows,
+            posmap: RwLock::new(BTreeMap::new()),
+            posmap_enabled: true,
+            stats: Arc::new(AccessStats::new()),
+            fingerprint,
+        })
+    }
+
+    /// Disable the positional map (ablation baseline: every field read
+    /// tokenizes from the row start, like a naive external-table scanner).
+    pub fn set_posmap_enabled(&mut self, enabled: bool) {
+        self.posmap_enabled = enabled;
+        if !enabled {
+            self.posmap.write().clear();
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len() - 1
+    }
+
+    pub fn stats(&self) -> Arc<AccessStats> {
+        Arc::clone(&self.stats)
+    }
+
+    pub fn fingerprint(&self) -> (u64, u64) {
+        self.fingerprint
+    }
+
+    /// Approximate raw size in bytes (the whole file).
+    pub fn raw_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of distinct columns currently tracked by the positional map.
+    pub fn posmap_columns(&self) -> usize {
+        self.posmap.read().len()
+    }
+
+    fn row_span(&self, row: usize) -> Result<(usize, usize)> {
+        if row + 1 >= self.rows.len() {
+            return Err(VidaError::format(
+                &self.name,
+                format!("row {row} out of range ({} rows)", self.num_rows()),
+            ));
+        }
+        let start = self.rows[row] as usize;
+        let mut end = self.rows[row + 1] as usize;
+        // Trim the trailing newline (and CR) of this row.
+        while end > start && (self.data[end - 1] == b'\n' || self.data[end - 1] == b'\r') {
+            end -= 1;
+        }
+        Ok((start, end))
+    }
+
+    /// Locate the byte span of `(row, col)`: `(field_start, field_end)`.
+    ///
+    /// Consults the positional map for the nearest known column at or before
+    /// `col`, tokenizes forward the remaining distance, and records the
+    /// found position back into the map.
+    fn locate_field(&self, row: usize, col: usize) -> Result<(usize, usize)> {
+        let (row_start, row_end) = self.row_span(row)?;
+
+        // Find the nearest tracked column <= col with a known offset.
+        let (mut cur_col, mut cur_off) = (0usize, row_start);
+        if self.posmap_enabled {
+            let map = self.posmap.read();
+            for (&c, offsets) in map.range(..=col).rev() {
+                let off = offsets[row];
+                if off != UNKNOWN {
+                    cur_col = c;
+                    cur_off = off as usize;
+                    break;
+                }
+            }
+            if cur_col == col {
+                self.stats.hit();
+                self.stats
+                    .add_bytes_skipped((cur_off - row_start) as u64);
+                let end = self.field_end(cur_off, row_end);
+                return Ok((cur_off, end));
+            }
+            if cur_off != row_start {
+                self.stats.partial();
+                self.stats
+                    .add_bytes_skipped((cur_off - row_start) as u64);
+            } else {
+                self.stats.miss();
+            }
+        } else {
+            self.stats.miss();
+        }
+
+        // Tokenize forward from (cur_col, cur_off) to col.
+        let mut off = cur_off;
+        let mut c = cur_col;
+        while c < col {
+            let rest = &self.data[off..row_end];
+            match self.find_delim(rest) {
+                Some(d) => {
+                    off += d + 1;
+                    c += 1;
+                }
+                None => {
+                    return Err(VidaError::format(
+                        &self.name,
+                        format!(
+                            "row {row} has only {} columns, wanted {}",
+                            c + 1,
+                            col + 1
+                        ),
+                    ))
+                }
+            }
+        }
+        self.stats.add_bytes_parsed((off - cur_off) as u64);
+
+        if self.posmap_enabled {
+            let mut map = self.posmap.write();
+            let entry = map
+                .entry(col)
+                .or_insert_with(|| vec![UNKNOWN; self.num_rows()]);
+            entry[row] = off as u32;
+        }
+        let end = self.field_end(off, row_end);
+        Ok((off, end))
+    }
+
+    /// End of the field starting at `start` (respects simple quoting).
+    fn field_end(&self, start: usize, row_end: usize) -> usize {
+        if start < row_end && self.data[start] == b'"' {
+            // Quoted field: scan to closing quote.
+            let mut i = start + 1;
+            while i < row_end {
+                if self.data[i] == b'"' {
+                    return (i + 1).min(row_end);
+                }
+                i += 1;
+            }
+            row_end
+        } else {
+            match self.data[start..row_end]
+                .iter()
+                .position(|&b| b == self.delimiter)
+            {
+                Some(d) => start + d,
+                None => row_end,
+            }
+        }
+    }
+
+    /// Position of the next delimiter, skipping over a quoted field.
+    fn find_delim(&self, rest: &[u8]) -> Option<usize> {
+        if !rest.is_empty() && rest[0] == b'"' {
+            let close = rest[1..].iter().position(|&b| b == b'"')? + 1;
+            return rest[close..]
+                .iter()
+                .position(|&b| b == self.delimiter)
+                .map(|d| close + d);
+        }
+        rest.iter().position(|&b| b == self.delimiter)
+    }
+
+    /// Read one field as a typed value.
+    pub fn read_field(&self, row: usize, col: usize) -> Result<Value> {
+        if col >= self.schema.len() {
+            return Err(VidaError::format(
+                &self.name,
+                format!("column {col} out of range ({} columns)", self.schema.len()),
+            ));
+        }
+        let (start, end) = self.locate_field(row, col)?;
+        self.stats.add_bytes_parsed((end - start) as u64);
+        self.stats.add_fields_parsed(1);
+        let text = &self.data[start..end];
+        parse_field(text, &self.schema.fields()[col].ty, &self.name)
+    }
+
+    /// Read several fields of one row (ascending column order recommended).
+    pub fn read_fields(&self, row: usize, cols: &[usize]) -> Result<Vec<Value>> {
+        cols.iter().map(|&c| self.read_field(row, c)).collect()
+    }
+
+    /// Full-row read in schema order.
+    pub fn read_row(&self, row: usize) -> Result<Value> {
+        let vals = self.read_fields(row, &(0..self.schema.len()).collect::<Vec<_>>())?;
+        self.stats.add_units(1);
+        Ok(self.schema.record_value(vals))
+    }
+
+    /// Sequentially scan projected columns of all rows, invoking `f` per row.
+    ///
+    /// This is the plugin code path the generated scan operators use; it
+    /// tokenizes each row once, left-to-right, touching only the projected
+    /// columns, and feeds the positional map as a side effect.
+    pub fn scan_project(
+        &self,
+        cols: &[usize],
+        mut f: impl FnMut(usize, Vec<Value>) -> Result<()>,
+    ) -> Result<()> {
+        let mut sorted = cols.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for row in 0..self.num_rows() {
+            let vals = self.read_fields(row, &sorted)?;
+            // Deliver in caller order.
+            let reordered = cols
+                .iter()
+                .map(|c| {
+                    let idx = sorted.binary_search(c).expect("col present");
+                    vals[idx].clone()
+                })
+                .collect();
+            self.stats.add_units(1);
+            f(row, reordered)?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse one raw CSV field into a typed [`Value`].
+///
+/// Empty text parses as `Null`. Quoted strings lose their quotes. Numeric
+/// parse failures are format errors (data cleaning, ViDa §7, hooks in here).
+pub fn parse_field(text: &[u8], ty: &Type, source: &str) -> Result<Value> {
+    let s = std::str::from_utf8(text)
+        .map_err(|_| VidaError::format(source, "invalid UTF-8 in field"))?;
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(Value::Null);
+    }
+    let unquoted = if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        &s[1..s.len() - 1]
+    } else {
+        s
+    };
+    match ty {
+        Type::Int => unquoted
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| VidaError::format(source, format!("bad int: {unquoted:?}"))),
+        Type::Float => unquoted
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| VidaError::format(source, format!("bad float: {unquoted:?}"))),
+        Type::Bool => match unquoted {
+            "true" | "1" | "t" => Ok(Value::Bool(true)),
+            "false" | "0" | "f" => Ok(Value::Bool(false)),
+            _ => Err(VidaError::format(source, format!("bad bool: {unquoted:?}"))),
+        },
+        Type::Str | Type::Unknown => Ok(Value::Str(unquoted.to_string())),
+        other => Err(VidaError::format(
+            source,
+            format!("CSV cannot hold values of type {other}"),
+        )),
+    }
+}
+
+/// Infer a schema from the first `sample_rows` data rows.
+///
+/// Types are inferred per column as the narrowest of int → float → bool →
+/// string that parses every sampled value; empty samples infer as nullable
+/// strings. Column names come from the header row when `header` is true,
+/// else `c0..cN`.
+pub fn infer_schema(
+    data: &[u8],
+    delimiter: u8,
+    header: bool,
+    sample_rows: usize,
+) -> Result<Schema> {
+    let mut lines = data.split(|&b| b == b'\n').filter(|l| !l.is_empty());
+    let names: Vec<String> = if header {
+        let h = lines
+            .next()
+            .ok_or_else(|| VidaError::format("<infer>", "empty file"))?;
+        split_simple(h, delimiter)
+            .into_iter()
+            .map(|f| String::from_utf8_lossy(f).trim().to_string())
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut col_types: Vec<Option<InferredTy>> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if i >= sample_rows {
+            break;
+        }
+        for (c, field) in split_simple(line, delimiter).into_iter().enumerate() {
+            if col_types.len() <= c {
+                col_types.resize(c + 1, None);
+            }
+            let t = infer_one(field);
+            col_types[c] = Some(match (col_types[c], t) {
+                (None, t) => t,
+                (Some(a), b) => a.widen(b),
+            });
+        }
+    }
+    if col_types.is_empty() {
+        return Err(VidaError::format("<infer>", "no data rows to infer from"));
+    }
+    let fields = col_types
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let name = names.get(i).cloned().unwrap_or_else(|| format!("c{i}"));
+            (name, t.unwrap_or(InferredTy::Str).to_type())
+        })
+        .collect::<Vec<_>>();
+    Ok(Schema::from_pairs(fields))
+}
+
+fn split_simple(line: &[u8], delimiter: u8) -> Vec<&[u8]> {
+    let line = if line.last() == Some(&b'\r') {
+        &line[..line.len() - 1]
+    } else {
+        line
+    };
+    line.split(move |&b| b == delimiter).collect()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum InferredTy {
+    Int,
+    Float,
+    Bool,
+    Str,
+}
+
+impl InferredTy {
+    fn widen(self, other: InferredTy) -> InferredTy {
+        use InferredTy::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Int, Float) | (Float, Int) => Float,
+            _ => Str,
+        }
+    }
+
+    fn to_type(self) -> Type {
+        match self {
+            InferredTy::Int => Type::Int,
+            InferredTy::Float => Type::Float,
+            InferredTy::Bool => Type::Bool,
+            InferredTy::Str => Type::Str,
+        }
+    }
+}
+
+fn infer_one(field: &[u8]) -> InferredTy {
+    let Ok(s) = std::str::from_utf8(field) else {
+        return InferredTy::Str;
+    };
+    let s = s.trim();
+    if s.is_empty() {
+        return InferredTy::Str;
+    }
+    if s.parse::<i64>().is_ok() {
+        InferredTy::Int
+    } else if s.parse::<f64>().is_ok() {
+        InferredTy::Float
+    } else if matches!(s, "true" | "false") {
+        InferredTy::Bool
+    } else {
+        InferredTy::Str
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsvFile {
+        let data = b"id,age,protein,city\n1,64,0.5,geneva\n2,31,1.25,bern\n3,77,2.0,basel\n".to_vec();
+        CsvFile::from_bytes(
+            "Patients",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([
+                ("id", Type::Int),
+                ("age", Type::Int),
+                ("protein", Type::Float),
+                ("city", Type::Str),
+            ]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reads_typed_fields() {
+        let f = sample();
+        assert_eq!(f.num_rows(), 3);
+        assert_eq!(f.read_field(0, 0).unwrap(), Value::Int(1));
+        assert_eq!(f.read_field(1, 2).unwrap(), Value::Float(1.25));
+        assert_eq!(f.read_field(2, 3).unwrap(), Value::str("basel"));
+    }
+
+    #[test]
+    fn read_row_assembles_record() {
+        let f = sample();
+        let r = f.read_row(1).unwrap();
+        assert_eq!(r.field("age"), Some(&Value::Int(31)));
+        assert_eq!(r.field("city"), Some(&Value::str("bern")));
+    }
+
+    #[test]
+    fn posmap_turns_repeat_reads_into_hits() {
+        let f = sample();
+        // First access to col 3: a miss that tokenizes the row.
+        f.read_field(0, 3).unwrap();
+        let s1 = f.stats().snapshot();
+        assert_eq!(s1.posmap_misses, 1);
+        assert_eq!(s1.posmap_hits, 0);
+        // Second access to same (row, col): exact hit, no tokenizing.
+        f.read_field(0, 3).unwrap();
+        let s2 = f.stats().snapshot();
+        assert_eq!(s2.posmap_hits, 1);
+        assert!(s2.bytes_skipped > s1.bytes_skipped);
+    }
+
+    #[test]
+    fn posmap_partial_from_nearby_column() {
+        let f = sample();
+        f.read_field(0, 1).unwrap(); // tracks col 1
+        f.read_field(0, 3).unwrap(); // should start from col 1, partial
+        let s = f.stats().snapshot();
+        assert_eq!(s.posmap_partial, 1);
+    }
+
+    #[test]
+    fn posmap_disabled_always_misses() {
+        let mut f = sample();
+        f.set_posmap_enabled(false);
+        f.read_field(0, 3).unwrap();
+        f.read_field(0, 3).unwrap();
+        let s = f.stats().snapshot();
+        assert_eq!(s.posmap_hits, 0);
+        assert_eq!(s.posmap_misses, 2);
+        assert_eq!(f.posmap_columns(), 0);
+    }
+
+    #[test]
+    fn scan_project_delivers_in_caller_order() {
+        let f = sample();
+        let mut rows = Vec::new();
+        f.scan_project(&[2, 0], |_, vals| {
+            rows.push(vals);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![Value::Float(0.5), Value::Int(1)]);
+    }
+
+    #[test]
+    fn quoted_fields_and_embedded_delimiters() {
+        let data = b"id,name\n1,\"doe, jane\"\n2,plain\n".to_vec();
+        let f = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("id", Type::Int), ("name", Type::Str)]),
+        )
+        .unwrap();
+        assert_eq!(f.read_field(0, 1).unwrap(), Value::str("doe, jane"));
+        assert_eq!(f.read_field(1, 1).unwrap(), Value::str("plain"));
+    }
+
+    #[test]
+    fn empty_field_is_null() {
+        let data = b"a,b\n1,\n,2\n".to_vec();
+        let f = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("a", Type::Int), ("b", Type::Int)]),
+        )
+        .unwrap();
+        assert_eq!(f.read_field(0, 1).unwrap(), Value::Null);
+        assert_eq!(f.read_field(1, 0).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let f = sample();
+        assert!(f.read_field(99, 0).is_err());
+        assert!(f.read_field(0, 99).is_err());
+    }
+
+    #[test]
+    fn short_row_errors() {
+        let data = b"a,b,c\n1,2\n".to_vec();
+        let f = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("a", Type::Int), ("b", Type::Int), ("c", Type::Int)]),
+        )
+        .unwrap();
+        let e = f.read_field(0, 2).unwrap_err();
+        assert_eq!(e.kind(), "format");
+    }
+
+    #[test]
+    fn crlf_handled() {
+        let data = b"a,b\r\n1,2\r\n3,4\r\n".to_vec();
+        let f = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("a", Type::Int), ("b", Type::Int)]),
+        )
+        .unwrap();
+        assert_eq!(f.read_field(0, 1).unwrap(), Value::Int(2));
+        assert_eq!(f.read_field(1, 1).unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn bad_number_is_format_error() {
+        let data = b"a\nxyz\n".to_vec();
+        let f = CsvFile::from_bytes("T", data, b',', true, Schema::from_pairs([("a", Type::Int)]))
+            .unwrap();
+        assert_eq!(f.read_field(0, 0).unwrap_err().kind(), "format");
+    }
+
+    #[test]
+    fn infer_schema_types_and_names() {
+        let data = b"id,score,flag,label\n1,0.5,true,aa\n2,1.5,false,bb\n";
+        let s = infer_schema(data, b',', true, 10).unwrap();
+        assert_eq!(s.index_of("id"), Some(0));
+        assert_eq!(s.field("id").unwrap().ty, Type::Int);
+        assert_eq!(s.field("score").unwrap().ty, Type::Float);
+        assert_eq!(s.field("flag").unwrap().ty, Type::Bool);
+        assert_eq!(s.field("label").unwrap().ty, Type::Str);
+    }
+
+    #[test]
+    fn infer_widens_int_to_float_to_str() {
+        let data = b"x\n1\n2.5\n";
+        let s = infer_schema(data, b',', true, 10).unwrap();
+        assert_eq!(s.field("x").unwrap().ty, Type::Float);
+        let data2 = b"x\n1\nhello\n";
+        let s2 = infer_schema(data2, b',', true, 10).unwrap();
+        assert_eq!(s2.field("x").unwrap().ty, Type::Str);
+    }
+
+    #[test]
+    fn infer_without_header_names_columns() {
+        let data = b"1,a\n2,b\n";
+        let s = infer_schema(data, b',', false, 10).unwrap();
+        assert_eq!(s.index_of("c0"), Some(0));
+        assert_eq!(s.index_of("c1"), Some(1));
+    }
+
+    #[test]
+    fn no_trailing_newline_ok() {
+        let data = b"a,b\n1,2".to_vec();
+        let f = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("a", Type::Int), ("b", Type::Int)]),
+        )
+        .unwrap();
+        assert_eq!(f.num_rows(), 1);
+        assert_eq!(f.read_field(0, 1).unwrap(), Value::Int(2));
+    }
+}

@@ -1,0 +1,408 @@
+//! The source description grammar (ViDa §3.1).
+//!
+//! ViDa's catalog equivalent: a concise description of each raw dataset —
+//! enough for the engine to *generate* an access path at runtime. A
+//! description carries (i) the schema, (ii) the retrieval **unit** the format
+//! naturally exposes (element / row / column / chunk / object), and (iii) the
+//! access paths available.
+//!
+//! The paper shows descriptions in a textual grammar, e.g.
+//!
+//! ```text
+//! Array(Dim(i, int), Dim(j, int), Att(val))
+//! val = Record(Att(elevation, float), Att(temperature, float))
+//! ```
+//!
+//! [`parse_description_type`] implements that grammar (with `Record`,
+//! `Array`, `Dim`, `Att`, `Set`, `Bag`, `List` productions) so descriptions
+//! can be written as text in catalogs and tests.
+
+use std::path::PathBuf;
+use vida_types::{AccessPath, CollectionKind, Result, Schema, Type, VidaError};
+
+/// Physical format of a raw dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataFormat {
+    /// Delimiter-separated text. `header` says whether row 0 names columns.
+    Csv { delimiter: u8, header: bool },
+    /// Newline-delimited JSON objects (one object per line), the shape of
+    /// the paper's BrainRegions dataset.
+    Json,
+    /// ViDa's binary dense-array container (ROOT/FITS/NetCDF stand-in).
+    BinaryArray,
+    /// Data already inside the engine (caches, literals, test fixtures).
+    InMemory,
+}
+
+impl DataFormat {
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataFormat::Csv { .. } => "csv",
+            DataFormat::Json => "json",
+            DataFormat::BinaryArray => "binarray",
+            DataFormat::InMemory => "memory",
+        }
+    }
+
+    /// Is per-attribute access cost constant (binary) or variable (text)?
+    /// Drives the optimizer's cost wrapper choice (ViDa §5).
+    pub fn constant_field_cost(&self) -> bool {
+        matches!(self, DataFormat::BinaryArray | DataFormat::InMemory)
+    }
+}
+
+/// The "unit" of data retrieved per access (ViDa §3.1): what one call to the
+/// plugin's iterator yields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalUnit {
+    /// A single element (straightforward parsers).
+    Element,
+    /// One row / tuple / JSON object.
+    Row,
+    /// One column of a matrix or table.
+    Column,
+    /// An `n × m` chunk of an array (array databases).
+    Chunk { rows: usize, cols: usize },
+}
+
+/// A complete catalog entry for one raw dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceDescription {
+    /// Name queries refer to (`for { p <- Patients, ... }`).
+    pub name: String,
+    /// Location of the raw file (empty for in-memory sources).
+    pub path: PathBuf,
+    pub format: DataFormat,
+    pub schema: Schema,
+    pub unit: RetrievalUnit,
+    pub access_paths: Vec<AccessPath>,
+}
+
+impl SourceDescription {
+    /// Describe a CSV file with a header row and `,` delimiter.
+    pub fn csv(name: impl Into<String>, path: impl Into<PathBuf>, schema: Schema) -> Self {
+        SourceDescription {
+            name: name.into(),
+            path: path.into(),
+            format: DataFormat::Csv {
+                delimiter: b',',
+                header: true,
+            },
+            schema,
+            unit: RetrievalUnit::Row,
+            access_paths: vec![AccessPath::SequentialScan, AccessPath::ByRowId],
+        }
+    }
+
+    /// Describe a newline-delimited JSON file.
+    pub fn json(name: impl Into<String>, path: impl Into<PathBuf>, schema: Schema) -> Self {
+        SourceDescription {
+            name: name.into(),
+            path: path.into(),
+            format: DataFormat::Json,
+            schema,
+            unit: RetrievalUnit::Row,
+            access_paths: vec![AccessPath::SequentialScan, AccessPath::ByRowId],
+        }
+    }
+
+    /// Describe a binary array file.
+    pub fn binarray(name: impl Into<String>, path: impl Into<PathBuf>, schema: Schema) -> Self {
+        SourceDescription {
+            name: name.into(),
+            path: path.into(),
+            format: DataFormat::BinaryArray,
+            schema,
+            unit: RetrievalUnit::Chunk { rows: 64, cols: 64 },
+            access_paths: vec![
+                AccessPath::SequentialScan,
+                AccessPath::ByRowId,
+                AccessPath::IndexScan,
+            ],
+        }
+    }
+
+    /// Does this source support the given access path?
+    pub fn supports(&self, ap: AccessPath) -> bool {
+        self.access_paths.contains(&ap)
+    }
+}
+
+/// Parse a type written in the paper's description grammar:
+///
+/// ```text
+/// type    := "Record" "(" att ("," att)* ")"
+///          | "Array"  "(" dim ("," dim)* "," att ")"
+///          | ("Set"|"Bag"|"List") "(" type ")"
+///          | scalar
+/// att     := "Att" "(" ident ["," type] ")"
+/// dim     := "Dim" "(" ident "," scalar ")"
+/// scalar  := "int" | "float" | "bool" | "string"
+/// ```
+///
+/// `Att(name)` without a type defaults to `float` (as in the paper's
+/// example, where `val` is described separately).
+pub fn parse_description_type(src: &str) -> Result<Type> {
+    let mut p = DescParser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let t = p.parse_type()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(VidaError::parse(
+            format!("trailing input in description at byte {}", p.pos),
+            1,
+            p.pos as u32 + 1,
+        ));
+    }
+    Ok(t)
+}
+
+struct DescParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DescParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(VidaError::parse(
+                "expected identifier in source description",
+                1,
+                self.pos as u32 + 1,
+            ));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<()> {
+        self.skip_ws();
+        if self.pos < self.src.len() && self.src[self.pos] == ch {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(VidaError::parse(
+                format!("expected '{}'", ch as char),
+                1,
+                self.pos as u32 + 1,
+            ))
+        }
+    }
+
+    fn peek(&mut self, ch: u8) -> bool {
+        self.skip_ws();
+        self.pos < self.src.len() && self.src[self.pos] == ch
+    }
+
+    fn parse_type(&mut self) -> Result<Type> {
+        let head = self.ident()?;
+        match head.as_str() {
+            "int" => Ok(Type::Int),
+            "float" => Ok(Type::Float),
+            "bool" => Ok(Type::Bool),
+            "string" => Ok(Type::Str),
+            "Record" => {
+                self.expect(b'(')?;
+                let mut fields = Vec::new();
+                loop {
+                    let (name, ty) = self.parse_att()?;
+                    fields.push((name, ty));
+                    if self.peek(b',') {
+                        self.expect(b',')?;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(b')')?;
+                Ok(Type::Record(fields))
+            }
+            "Array" => {
+                self.expect(b'(')?;
+                let mut dims = 0usize;
+                let mut elem = Type::Float;
+                loop {
+                    self.skip_ws();
+                    let save = self.pos;
+                    let kw = self.ident()?;
+                    match kw.as_str() {
+                        "Dim" => {
+                            self.expect(b'(')?;
+                            let _name = self.ident()?;
+                            self.expect(b',')?;
+                            let _ty = self.ident()?; // dimension index type
+                            self.expect(b')')?;
+                            dims += 1;
+                        }
+                        "Att" => {
+                            self.pos = save;
+                            let (_name, ty) = self.parse_att()?;
+                            elem = ty;
+                        }
+                        other => {
+                            return Err(VidaError::parse(
+                                format!("expected Dim or Att in Array, got '{other}'"),
+                                1,
+                                save as u32 + 1,
+                            ))
+                        }
+                    }
+                    if self.peek(b',') {
+                        self.expect(b',')?;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(b')')?;
+                if dims == 0 {
+                    return Err(VidaError::parse("Array needs at least one Dim", 1, 1));
+                }
+                Ok(Type::Array {
+                    dims,
+                    elem: Box::new(elem),
+                })
+            }
+            "Set" | "Bag" | "List" => {
+                self.expect(b'(')?;
+                let inner = self.parse_type()?;
+                self.expect(b')')?;
+                let kind = match head.as_str() {
+                    "Set" => CollectionKind::Set,
+                    "Bag" => CollectionKind::Bag,
+                    _ => CollectionKind::List,
+                };
+                Ok(Type::Collection(kind, Box::new(inner)))
+            }
+            other => Err(VidaError::parse(
+                format!("unknown description head '{other}'"),
+                1,
+                1,
+            )),
+        }
+    }
+
+    fn parse_att(&mut self) -> Result<(String, Type)> {
+        self.skip_ws();
+        let kw = self.ident()?;
+        if kw != "Att" {
+            return Err(VidaError::parse(
+                format!("expected Att, got '{kw}'"),
+                1,
+                self.pos as u32 + 1,
+            ));
+        }
+        self.expect(b'(')?;
+        let name = self.ident()?;
+        let ty = if self.peek(b',') {
+            self.expect(b',')?;
+            self.parse_type()?
+        } else {
+            Type::Float
+        };
+        self.expect(b')')?;
+        Ok((name, ty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_array_example() {
+        // The §3.1 example: a matrix of (elevation, temperature) records.
+        let t = parse_description_type(
+            "Array(Dim(i, int), Dim(j, int), \
+             Att(val, Record(Att(elevation, float), Att(temperature, float))))",
+        )
+        .unwrap();
+        assert_eq!(
+            t,
+            Type::Array {
+                dims: 2,
+                elem: Box::new(Type::record([
+                    ("elevation", Type::Float),
+                    ("temperature", Type::Float),
+                ])),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_record_of_scalars() {
+        let t = parse_description_type(
+            "Record(Att(id, int), Att(age, int), Att(city, string))",
+        )
+        .unwrap();
+        assert_eq!(
+            t,
+            Type::record([("id", Type::Int), ("age", Type::Int), ("city", Type::Str)])
+        );
+    }
+
+    #[test]
+    fn parses_nested_collections() {
+        let t = parse_description_type("Bag(Record(Att(xs, List(float)), Att(n, int)))").unwrap();
+        let Type::Collection(CollectionKind::Bag, inner) = t else {
+            panic!("expected bag");
+        };
+        assert_eq!(
+            inner.field("xs"),
+            Some(&Type::Collection(CollectionKind::List, Box::new(Type::Float)))
+        );
+    }
+
+    #[test]
+    fn att_defaults_to_float() {
+        let t = parse_description_type("Record(Att(v))").unwrap();
+        assert_eq!(t, Type::record([("v", Type::Float)]));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_description_type("Frob(Att(x))").is_err());
+        assert!(parse_description_type("Record(Att(x)) trailing").is_err());
+        assert!(parse_description_type("Array(Att(x))").is_err()); // no Dim
+        assert!(parse_description_type("").is_err());
+    }
+
+    #[test]
+    fn csv_description_defaults() {
+        let d = SourceDescription::csv(
+            "Patients",
+            "/tmp/patients.csv",
+            Schema::from_pairs([("id", Type::Int)]),
+        );
+        assert_eq!(d.format.name(), "csv");
+        assert!(!d.format.constant_field_cost());
+        assert_eq!(d.unit, RetrievalUnit::Row);
+        assert!(d.supports(AccessPath::SequentialScan));
+        assert!(d.supports(AccessPath::ByRowId));
+        assert!(!d.supports(AccessPath::IndexScan));
+    }
+
+    #[test]
+    fn binarray_has_constant_cost_and_chunks() {
+        let d = SourceDescription::binarray(
+            "Img",
+            "/tmp/img.arr",
+            Schema::from_pairs([("v", Type::Float)]),
+        );
+        assert!(d.format.constant_field_cost());
+        assert!(matches!(d.unit, RetrievalUnit::Chunk { .. }));
+        assert!(d.supports(AccessPath::IndexScan));
+    }
+}

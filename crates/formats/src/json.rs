@@ -1,0 +1,698 @@
+//! JSON input plugin with a structural (semi-)index (ViDa §2.1, §5;
+//! Ottaviano & Grossi [43]).
+//!
+//! The file layout is newline-delimited JSON: one object per line — the
+//! shape of the paper's BrainRegions dataset (17 000 objects from an MRI
+//! processing pipeline). The **structural index** stores, per object, the
+//! byte span of the object itself and the spans of top-level field values
+//! discovered while answering earlier queries. A later query projecting
+//! `b.volume` seeks straight to the recorded span instead of re-parsing the
+//! whole (potentially deeply nested) object.
+//!
+//! Carrying only `(start, end)` positions through query execution — rather
+//! than eagerly materializing large objects — is ViDa's cache-pollution
+//! avoidance strategy (§5, Figure 4 layout (d)); [`JsonFile::field_span`]
+//! provides exactly those positions.
+
+use crate::stats::AccessStats;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use vida_types::{CollectionKind, Result, Schema, Value, VidaError};
+
+/// A newline-delimited JSON file opened for in-situ querying.
+pub struct JsonFile {
+    name: String,
+    data: Vec<u8>,
+    /// Byte span (start, end-exclusive) of each top-level object.
+    objects: Vec<(u32, u32)>,
+    /// field name -> per-object value spans (sentinel (MAX, MAX) = unknown).
+    semi_index: RwLock<BTreeMap<String, Vec<(u32, u32)>>>,
+    semi_index_enabled: bool,
+    schema: Schema,
+    stats: Arc<AccessStats>,
+    fingerprint: (u64, u64),
+}
+
+const NO_SPAN: (u32, u32) = (u32::MAX, u32::MAX);
+
+impl JsonFile {
+    pub fn open(name: impl Into<String>, path: &Path, schema: Schema) -> Result<Self> {
+        let data = std::fs::read(path)?;
+        let meta = std::fs::metadata(path)?;
+        let mtime = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut f = Self::from_bytes(name, data, schema)?;
+        f.fingerprint = (meta.len(), mtime);
+        Ok(f)
+    }
+
+    pub fn from_bytes(name: impl Into<String>, data: Vec<u8>, schema: Schema) -> Result<Self> {
+        let name = name.into();
+        let mut objects = Vec::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let end = data[pos..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|nl| pos + nl)
+                .unwrap_or(data.len());
+            let line = &data[pos..end];
+            if !line.iter().all(|b| b.is_ascii_whitespace()) {
+                objects.push((pos as u32, end as u32));
+            }
+            pos = end + 1;
+        }
+        let fingerprint = (data.len() as u64, 0);
+        Ok(JsonFile {
+            name,
+            data,
+            objects,
+            semi_index: RwLock::new(BTreeMap::new()),
+            semi_index_enabled: true,
+            schema,
+            stats: Arc::new(AccessStats::new()),
+            fingerprint,
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn stats(&self) -> Arc<AccessStats> {
+        Arc::clone(&self.stats)
+    }
+
+    pub fn fingerprint(&self) -> (u64, u64) {
+        self.fingerprint
+    }
+
+    pub fn raw_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Disable the structural index (ablation baseline).
+    pub fn set_semi_index_enabled(&mut self, enabled: bool) {
+        self.semi_index_enabled = enabled;
+        if !enabled {
+            self.semi_index.write().clear();
+        }
+    }
+
+    /// Byte span of object `row` (Figure 4 layout (d): carry positions, not
+    /// objects).
+    pub fn object_span(&self, row: usize) -> Result<(usize, usize)> {
+        self.objects
+            .get(row)
+            .map(|&(s, e)| (s as usize, e as usize))
+            .ok_or_else(|| {
+                VidaError::format(
+                    &self.name,
+                    format!("object {row} out of range ({} objects)", self.num_objects()),
+                )
+            })
+    }
+
+    /// Raw text of object `row` (Figure 4 layout (a)).
+    pub fn object_text(&self, row: usize) -> Result<&str> {
+        let (s, e) = self.object_span(row)?;
+        std::str::from_utf8(&self.data[s..e])
+            .map_err(|_| VidaError::format(&self.name, "invalid UTF-8 in object"))
+    }
+
+    /// Fully parse object `row` into a [`Value`] (Figure 4 layout (c)).
+    pub fn read_object(&self, row: usize) -> Result<Value> {
+        let (s, e) = self.object_span(row)?;
+        self.stats.add_bytes_parsed((e - s) as u64);
+        self.stats.add_units(1);
+        let (v, _) = parse_json(&self.data[s..e], 0, &self.name)?;
+        Ok(v)
+    }
+
+    /// Byte span of a top-level field's **value** within object `row`,
+    /// using (and feeding) the structural index.
+    pub fn field_span(&self, row: usize, field: &str) -> Result<Option<(usize, usize)>> {
+        if self.semi_index_enabled {
+            let idx = self.semi_index.read();
+            if let Some(spans) = idx.get(field) {
+                let (s, e) = spans[row];
+                if (s, e) != NO_SPAN {
+                    self.stats.hit();
+                    let (os, _) = self.object_span(row)?;
+                    self.stats.add_bytes_skipped((s as usize - os) as u64);
+                    return Ok(Some((s as usize, e as usize)));
+                }
+            }
+            drop(idx);
+        }
+        self.stats.miss();
+        let (os, oe) = self.object_span(row)?;
+        let found = locate_top_level_field(&self.data[os..oe], field, &self.name)?;
+        self.stats.add_bytes_parsed(match found {
+            Some((_, e)) => e as u64,
+            None => (oe - os) as u64,
+        });
+        let abs = found.map(|(s, e)| (os + s, os + e));
+        if self.semi_index_enabled {
+            if let Some((s, e)) = abs {
+                let mut idx = self.semi_index.write();
+                let spans = idx
+                    .entry(field.to_string())
+                    .or_insert_with(|| vec![NO_SPAN; self.num_objects()]);
+                spans[row] = (s as u32, e as u32);
+            }
+        }
+        Ok(abs)
+    }
+
+    /// Read one top-level field of object `row` as a typed value.
+    /// Missing fields read as `Null`.
+    pub fn read_field(&self, row: usize, field: &str) -> Result<Value> {
+        match self.field_span(row, field)? {
+            None => Ok(Value::Null),
+            Some((s, e)) => {
+                self.stats.add_bytes_parsed((e - s) as u64);
+                self.stats.add_fields_parsed(1);
+                let (v, _) = parse_json(&self.data[s..e], 0, &self.name)?;
+                Ok(v)
+            }
+        }
+    }
+
+    /// Number of fields currently tracked by the structural index.
+    pub fn semi_index_fields(&self) -> usize {
+        self.semi_index.read().len()
+    }
+
+    /// Scan all objects, projecting the given top-level fields.
+    pub fn scan_project(
+        &self,
+        fields: &[&str],
+        mut f: impl FnMut(usize, Vec<Value>) -> Result<()>,
+    ) -> Result<()> {
+        for row in 0..self.num_objects() {
+            let vals = fields
+                .iter()
+                .map(|name| self.read_field(row, name))
+                .collect::<Result<Vec<_>>>()?;
+            self.stats.add_units(1);
+            f(row, vals)?;
+        }
+        Ok(())
+    }
+}
+
+/// Find the value span of a top-level `field` inside one serialized object.
+/// Returns byte offsets relative to `obj`.
+fn locate_top_level_field(
+    obj: &[u8],
+    field: &str,
+    source: &str,
+) -> Result<Option<(usize, usize)>> {
+    let mut i = skip_ws(obj, 0);
+    if i >= obj.len() || obj[i] != b'{' {
+        return Err(VidaError::format(source, "expected top-level object"));
+    }
+    i += 1;
+    loop {
+        i = skip_ws(obj, i);
+        if i >= obj.len() {
+            return Err(VidaError::format(source, "unterminated object"));
+        }
+        if obj[i] == b'}' {
+            return Ok(None);
+        }
+        // Parse key string.
+        let (key, after_key) = parse_string_raw(obj, i, source)?;
+        i = skip_ws(obj, after_key);
+        if i >= obj.len() || obj[i] != b':' {
+            return Err(VidaError::format(source, "expected ':' after key"));
+        }
+        i = skip_ws(obj, i + 1);
+        let value_start = i;
+        let value_end = skip_value(obj, i, source)?;
+        if key == field {
+            return Ok(Some((value_start, value_end)));
+        }
+        i = skip_ws(obj, value_end);
+        if i < obj.len() && obj[i] == b',' {
+            i += 1;
+        } else if i < obj.len() && obj[i] == b'}' {
+            return Ok(None);
+        } else if i >= obj.len() {
+            return Err(VidaError::format(source, "unterminated object"));
+        }
+    }
+}
+
+fn skip_ws(data: &[u8], mut i: usize) -> usize {
+    while i < data.len() && data[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Parse a JSON string starting at `i` (must be a `"`), returning the decoded
+/// text and the offset just past the closing quote.
+fn parse_string_raw(data: &[u8], i: usize, source: &str) -> Result<(String, usize)> {
+    if i >= data.len() || data[i] != b'"' {
+        return Err(VidaError::format(source, "expected string"));
+    }
+    let mut out = String::new();
+    let mut j = i + 1;
+    while j < data.len() {
+        match data[j] {
+            b'"' => return Ok((out, j + 1)),
+            b'\\' => {
+                j += 1;
+                if j >= data.len() {
+                    break;
+                }
+                match data[j] {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        if j + 4 >= data.len() {
+                            return Err(VidaError::format(source, "bad \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&data[j + 1..j + 5])
+                            .map_err(|_| VidaError::format(source, "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| VidaError::format(source, "bad \\u escape"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        j += 4;
+                    }
+                    c => {
+                        return Err(VidaError::format(
+                            source,
+                            format!("bad escape \\{}", c as char),
+                        ))
+                    }
+                }
+                j += 1;
+            }
+            _ => {
+                // Collect a run of plain bytes (fast path for long strings).
+                let start = j;
+                while j < data.len() && data[j] != b'"' && data[j] != b'\\' {
+                    j += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&data[start..j])
+                        .map_err(|_| VidaError::format(source, "invalid UTF-8 in string"))?,
+                );
+            }
+        }
+    }
+    Err(VidaError::format(source, "unterminated string"))
+}
+
+/// Skip over one JSON value starting at `i`, returning the end offset.
+/// Used by the structural index to avoid materializing skipped values.
+fn skip_value(data: &[u8], i: usize, source: &str) -> Result<usize> {
+    let i = skip_ws(data, i);
+    if i >= data.len() {
+        return Err(VidaError::format(source, "expected value"));
+    }
+    match data[i] {
+        b'"' => parse_string_raw(data, i, source).map(|(_, e)| e),
+        b'{' | b'[' => {
+            let (open, close) = if data[i] == b'{' {
+                (b'{', b'}')
+            } else {
+                (b'[', b']')
+            };
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < data.len() {
+                match data[j] {
+                    b'"' => {
+                        j = parse_string_raw(data, j, source)?.1;
+                        continue;
+                    }
+                    c if c == open => depth += 1,
+                    c if c == close => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Ok(j + 1);
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            Err(VidaError::format(source, "unterminated composite"))
+        }
+        _ => {
+            let mut j = i;
+            while j < data.len()
+                && !matches!(data[j], b',' | b'}' | b']')
+                && !data[j].is_ascii_whitespace()
+            {
+                j += 1;
+            }
+            Ok(j)
+        }
+    }
+}
+
+/// Recursive-descent JSON parser producing ViDa [`Value`]s.
+///
+/// JSON arrays become `List` collections; numbers parse as `Int` when they
+/// contain no fraction/exponent, else `Float`.
+pub fn parse_json(data: &[u8], i: usize, source: &str) -> Result<(Value, usize)> {
+    let i = skip_ws(data, i);
+    if i >= data.len() {
+        return Err(VidaError::format(source, "unexpected end of JSON"));
+    }
+    match data[i] {
+        b'{' => {
+            let mut fields = Vec::new();
+            let mut j = skip_ws(data, i + 1);
+            if j < data.len() && data[j] == b'}' {
+                return Ok((Value::Record(fields), j + 1));
+            }
+            loop {
+                let (key, after) = parse_string_raw(data, skip_ws(data, j), source)?;
+                let k = skip_ws(data, after);
+                if k >= data.len() || data[k] != b':' {
+                    return Err(VidaError::format(source, "expected ':'"));
+                }
+                let (val, end) = parse_json(data, k + 1, source)?;
+                fields.push((key, val));
+                j = skip_ws(data, end);
+                if j < data.len() && data[j] == b',' {
+                    j += 1;
+                } else if j < data.len() && data[j] == b'}' {
+                    return Ok((Value::Record(fields), j + 1));
+                } else {
+                    return Err(VidaError::format(source, "expected ',' or '}'"));
+                }
+            }
+        }
+        b'[' => {
+            let mut items = Vec::new();
+            let mut j = skip_ws(data, i + 1);
+            if j < data.len() && data[j] == b']' {
+                return Ok((Value::Collection(CollectionKind::List, items), j + 1));
+            }
+            loop {
+                let (val, end) = parse_json(data, j, source)?;
+                items.push(val);
+                j = skip_ws(data, end);
+                if j < data.len() && data[j] == b',' {
+                    j += 1;
+                } else if j < data.len() && data[j] == b']' {
+                    return Ok((Value::Collection(CollectionKind::List, items), j + 1));
+                } else {
+                    return Err(VidaError::format(source, "expected ',' or ']'"));
+                }
+            }
+        }
+        b'"' => {
+            let (s, end) = parse_string_raw(data, i, source)?;
+            Ok((Value::Str(s), end))
+        }
+        b't' if data[i..].starts_with(b"true") => Ok((Value::Bool(true), i + 4)),
+        b'f' if data[i..].starts_with(b"false") => Ok((Value::Bool(false), i + 5)),
+        b'n' if data[i..].starts_with(b"null") => Ok((Value::Null, i + 4)),
+        _ => {
+            let end = skip_value(data, i, source)?;
+            let text = std::str::from_utf8(&data[i..end])
+                .map_err(|_| VidaError::format(source, "invalid UTF-8 in number"))?;
+            if text.contains(['.', 'e', 'E']) {
+                text.parse::<f64>()
+                    .map(|f| (Value::Float(f), end))
+                    .map_err(|_| VidaError::format(source, format!("bad number {text:?}")))
+            } else {
+                text.parse::<i64>()
+                    .map(|n| (Value::Int(n), end))
+                    .map_err(|_| VidaError::format(source, format!("bad number {text:?}")))
+            }
+        }
+    }
+}
+
+/// Serialize a [`Value`] as JSON text (output plugin for Figure 4 layout
+/// (a) and the docstore loader).
+pub fn to_json(v: &Value) -> String {
+    let mut out = String::new();
+    write_json(v, &mut out);
+    out
+}
+
+fn write_json(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Record(fields) => {
+            out.push('{');
+            for (i, (n, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(n);
+                out.push_str("\":");
+                write_json(v, out);
+            }
+            out.push('}');
+        }
+        Value::Collection(_, items) => {
+            out.push('[');
+            for (i, v) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(v, out);
+            }
+            out.push(']');
+        }
+        Value::Array { data, .. } => {
+            out.push('[');
+            for (i, v) in data.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(v, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vida_types::Type;
+
+    fn sample() -> JsonFile {
+        let data = concat!(
+            "{\"id\":1,\"region\":\"hippocampus\",\"volume\":4.25,\"voxels\":[1,2,3],\"meta\":{\"scan\":\"mri-7\",\"depth\":{\"a\":1}}}\n",
+            "{\"id\":2,\"region\":\"cortex\",\"volume\":9.5,\"voxels\":[],\"meta\":{\"scan\":\"mri-9\",\"depth\":{\"a\":2}}}\n",
+            "{\"id\":3,\"region\":\"thalamus\",\"volume\":1.75,\"voxels\":[7],\"meta\":null}\n",
+        )
+        .as_bytes()
+        .to_vec();
+        JsonFile::from_bytes(
+            "BrainRegions",
+            data,
+            Schema::from_pairs([
+                ("id", Type::Int),
+                ("region", Type::Str),
+                ("volume", Type::Float),
+            ]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_objects() {
+        assert_eq!(sample().num_objects(), 3);
+    }
+
+    #[test]
+    fn reads_scalar_fields() {
+        let f = sample();
+        assert_eq!(f.read_field(0, "id").unwrap(), Value::Int(1));
+        assert_eq!(f.read_field(1, "region").unwrap(), Value::str("cortex"));
+        assert_eq!(f.read_field(2, "volume").unwrap(), Value::Float(1.75));
+        assert_eq!(f.read_field(0, "missing").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn reads_nested_values() {
+        let f = sample();
+        let meta = f.read_field(0, "meta").unwrap();
+        assert_eq!(
+            meta.field("scan"),
+            Some(&Value::str("mri-7"))
+        );
+        let voxels = f.read_field(0, "voxels").unwrap();
+        assert_eq!(voxels.elements().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn full_object_parse() {
+        let f = sample();
+        let obj = f.read_object(2).unwrap();
+        assert_eq!(obj.field("meta"), Some(&Value::Null));
+        assert_eq!(obj.field("id"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn semi_index_hits_on_repeat() {
+        let f = sample();
+        f.read_field(0, "volume").unwrap();
+        let s1 = f.stats().snapshot();
+        assert_eq!(s1.posmap_misses, 1);
+        f.read_field(0, "volume").unwrap();
+        let s2 = f.stats().snapshot();
+        assert_eq!(s2.posmap_hits, 1);
+        assert_eq!(f.semi_index_fields(), 1);
+    }
+
+    #[test]
+    fn semi_index_disabled_never_hits() {
+        let mut f = sample();
+        f.set_semi_index_enabled(false);
+        f.read_field(0, "volume").unwrap();
+        f.read_field(0, "volume").unwrap();
+        assert_eq!(f.stats().snapshot().posmap_hits, 0);
+        assert_eq!(f.semi_index_fields(), 0);
+    }
+
+    #[test]
+    fn object_span_and_text() {
+        let f = sample();
+        let t = f.object_text(1).unwrap();
+        assert!(t.starts_with("{\"id\":2"));
+        let (s, e) = f.object_span(1).unwrap();
+        assert!(e > s);
+        assert!(f.object_span(99).is_err());
+    }
+
+    #[test]
+    fn scan_project_all_rows() {
+        let f = sample();
+        let mut seen = Vec::new();
+        f.scan_project(&["id", "volume"], |_, vals| {
+            seen.push(vals);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[1], vec![Value::Int(2), Value::Float(9.5)]);
+    }
+
+    #[test]
+    fn parse_json_scalars() {
+        let src = "BR";
+        assert_eq!(parse_json(b"42", 0, src).unwrap().0, Value::Int(42));
+        assert_eq!(parse_json(b"-7", 0, src).unwrap().0, Value::Int(-7));
+        assert_eq!(parse_json(b"2.5", 0, src).unwrap().0, Value::Float(2.5));
+        assert_eq!(parse_json(b"1e3", 0, src).unwrap().0, Value::Float(1000.0));
+        assert_eq!(parse_json(b"true", 0, src).unwrap().0, Value::Bool(true));
+        assert_eq!(parse_json(b"null", 0, src).unwrap().0, Value::Null);
+        assert_eq!(
+            parse_json(br#""a\nb""#, 0, src).unwrap().0,
+            Value::str("a\nb")
+        );
+    }
+
+    #[test]
+    fn parse_json_unicode_escape() {
+        let v = parse_json(b"\"\\u00e9\"", 0, "t").unwrap().0;
+        assert_eq!(v, Value::str("\u{e9}"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let v = Value::record([
+            ("id", Value::Int(1)),
+            ("name", Value::str("a \"b\"")),
+            (
+                "xs",
+                Value::list(vec![Value::Float(1.5), Value::Null, Value::Bool(false)]),
+            ),
+        ]);
+        let text = to_json(&v);
+        let (back, _) = parse_json(text.as_bytes(), 0, "t").unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn malformed_json_is_format_error() {
+        assert_eq!(
+            parse_json(b"{\"a\":", 0, "t").unwrap_err().kind(),
+            "format"
+        );
+        assert_eq!(parse_json(b"[1,", 0, "t").unwrap_err().kind(), "format");
+        assert_eq!(
+            parse_json(b"\"unterminated", 0, "t").unwrap_err().kind(),
+            "format"
+        );
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let data = b"{\"a\":1}\n\n{\"a\":2}\n  \n".to_vec();
+        let f = JsonFile::from_bytes("T", data, Schema::default()).unwrap();
+        assert_eq!(f.num_objects(), 2);
+        assert_eq!(f.read_field(1, "a").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn field_span_positions_are_usable() {
+        let f = sample();
+        let (s, e) = f.field_span(0, "meta").unwrap().unwrap();
+        // The span must parse standalone to the same value as read_field.
+        let direct = f.read_field(0, "meta").unwrap();
+        let data = f.object_text(0).unwrap().as_bytes();
+        let (os, _) = f.object_span(0).unwrap();
+        let (via_span, _) = parse_json(&data[s - os..e - os], 0, "t").unwrap();
+        assert_eq!(via_span, direct);
+    }
+}

@@ -1,0 +1,485 @@
+//! The input-plugin abstraction (ViDa §4.1, Figure 3).
+//!
+//! Every ViDa operator obtains its inputs through a *file-format-specific
+//! input plugin*. The JIT executor binds one plugin per input at pipeline
+//! generation time; the plugin exposes field-granular access so generated
+//! scans touch only the attributes a query needs (no "database page" is ever
+//! built — §4.1).
+//!
+//! Plugins also expose a per-column **cost factor** used by the optimizer's
+//! format wrappers (§5): text formats report position-dependent costs that
+//! shrink once positional structures are populated; binary formats report a
+//! constant.
+
+use crate::binarray::ArrayFile;
+use crate::csv::CsvFile;
+use crate::description::{DataFormat, SourceDescription};
+use crate::json::JsonFile;
+use crate::stats::AccessStats;
+use std::sync::Arc;
+use vida_types::{Result, Schema, Value, VidaError};
+
+/// A bound, format-specific reader for one raw dataset.
+pub trait InputPlugin: Send + Sync {
+    /// Dataset name as registered in the catalog.
+    fn name(&self) -> &str;
+
+    /// Schema of one retrieval unit.
+    fn schema(&self) -> &Schema;
+
+    /// Number of retrieval units (rows / objects / elements).
+    fn num_units(&self) -> usize;
+
+    /// Read one field of one unit, by schema column index.
+    fn read_field(&self, row: usize, col: usize) -> Result<Value>;
+
+    /// Read one whole unit as a record in schema order.
+    fn read_unit(&self, row: usize) -> Result<Value> {
+        let cols: Vec<usize> = (0..self.schema().len()).collect();
+        let mut vals = Vec::with_capacity(cols.len());
+        for c in cols {
+            vals.push(self.read_field(row, c)?);
+        }
+        Ok(self.schema().record_value(vals))
+    }
+
+    /// Scan all units, projecting `cols` (schema indexes, caller order).
+    fn scan_project(
+        &self,
+        cols: &[usize],
+        f: &mut dyn FnMut(usize, Vec<Value>) -> Result<()>,
+    ) -> Result<()> {
+        for row in 0..self.num_units() {
+            let mut vals = Vec::with_capacity(cols.len());
+            for &c in cols {
+                vals.push(self.read_field(row, c)?);
+            }
+            f(row, vals)?;
+        }
+        Ok(())
+    }
+
+    /// Shared access-statistics counters.
+    fn stats(&self) -> Arc<AccessStats>;
+
+    /// `(len, mtime)` fingerprint for cache invalidation.
+    fn fingerprint(&self) -> (u64, u64);
+
+    /// Relative CPU cost of fetching column `col` of a fresh unit, where
+    /// `1.0` is one buffer-pool-resident attribute fetch in a loaded DBMS
+    /// (the paper's `const_cost`, §5).
+    fn field_cost_factor(&self, col: usize) -> f64;
+
+    /// Raw size of the underlying file in bytes.
+    fn raw_bytes(&self) -> usize;
+}
+
+/// CSV-backed plugin.
+pub struct CsvPlugin {
+    file: CsvFile,
+}
+
+impl CsvPlugin {
+    pub fn new(file: CsvFile) -> Self {
+        CsvPlugin { file }
+    }
+
+    pub fn file(&self) -> &CsvFile {
+        &self.file
+    }
+
+    pub fn file_mut(&mut self) -> &mut CsvFile {
+        &mut self.file
+    }
+}
+
+impl InputPlugin for CsvPlugin {
+    fn name(&self) -> &str {
+        self.file.name()
+    }
+
+    fn schema(&self) -> &Schema {
+        self.file.schema()
+    }
+
+    fn num_units(&self) -> usize {
+        self.file.num_rows()
+    }
+
+    fn read_field(&self, row: usize, col: usize) -> Result<Value> {
+        self.file.read_field(row, col)
+    }
+
+    fn scan_project(
+        &self,
+        cols: &[usize],
+        f: &mut dyn FnMut(usize, Vec<Value>) -> Result<()>,
+    ) -> Result<()> {
+        self.file.scan_project(cols, |row, vals| f(row, vals))
+    }
+
+    fn stats(&self) -> Arc<AccessStats> {
+        self.file.stats()
+    }
+
+    fn fingerprint(&self) -> (u64, u64) {
+        self.file.fingerprint()
+    }
+
+    fn field_cost_factor(&self, col: usize) -> f64 {
+        // Tokenize-from-row-start cost grows with column position; the
+        // paper's example pegs un-indexed CSV at ~3x a loaded DBMS fetch.
+        // Once the positional map tracks this column, cost approaches 1.
+        let tracked = self.file.posmap_columns();
+        let base = 3.0 + 0.002 * col as f64;
+        if tracked > 0 {
+            // Positional help: interpolate toward constant cost.
+            1.0 + (base - 1.0) / (1.0 + tracked as f64)
+        } else {
+            base
+        }
+    }
+
+    fn raw_bytes(&self) -> usize {
+        self.file.raw_bytes()
+    }
+}
+
+/// JSON-backed plugin. Schema columns map to top-level object fields.
+pub struct JsonPlugin {
+    file: JsonFile,
+    /// Column index -> top-level field name (from schema order).
+    columns: Vec<String>,
+}
+
+impl JsonPlugin {
+    pub fn new(file: JsonFile) -> Self {
+        let columns = file
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        JsonPlugin { file, columns }
+    }
+
+    pub fn file(&self) -> &JsonFile {
+        &self.file
+    }
+
+    pub fn file_mut(&mut self) -> &mut JsonFile {
+        &mut self.file
+    }
+}
+
+impl InputPlugin for JsonPlugin {
+    fn name(&self) -> &str {
+        self.file.name()
+    }
+
+    fn schema(&self) -> &Schema {
+        self.file.schema()
+    }
+
+    fn num_units(&self) -> usize {
+        self.file.num_objects()
+    }
+
+    fn read_field(&self, row: usize, col: usize) -> Result<Value> {
+        let field = self.columns.get(col).ok_or_else(|| {
+            VidaError::format(self.file.name(), format!("column {col} out of range"))
+        })?;
+        self.file.read_field(row, field)
+    }
+
+    fn stats(&self) -> Arc<AccessStats> {
+        self.file.stats()
+    }
+
+    fn fingerprint(&self) -> (u64, u64) {
+        self.file.fingerprint()
+    }
+
+    fn field_cost_factor(&self, _col: usize) -> f64 {
+        // Navigating JSON text is costlier than CSV tokenization; the
+        // structural index collapses it toward a constant.
+        if self.file.semi_index_fields() > 0 {
+            1.5
+        } else {
+            4.0
+        }
+    }
+
+    fn raw_bytes(&self) -> usize {
+        self.file.raw_bytes()
+    }
+}
+
+/// Binary-array-backed plugin exposing the relational `(i0.., val)` view.
+pub struct ArrayPlugin {
+    file: ArrayFile,
+    schema: Schema,
+}
+
+impl ArrayPlugin {
+    pub fn new(file: ArrayFile) -> Self {
+        let schema = file.relational_schema();
+        ArrayPlugin { file, schema }
+    }
+
+    pub fn file(&self) -> &ArrayFile {
+        &self.file
+    }
+}
+
+impl InputPlugin for ArrayPlugin {
+    fn name(&self) -> &str {
+        self.file.name()
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn num_units(&self) -> usize {
+        self.file.len()
+    }
+
+    fn read_field(&self, row: usize, col: usize) -> Result<Value> {
+        let rank = self.file.dims().len();
+        if col < rank {
+            // Reconstruct the multi-index component for dimension `col`.
+            let mut rem = row;
+            let mut idx = vec![0usize; rank];
+            for d in (0..rank).rev() {
+                idx[d] = rem % self.file.dims()[d];
+                rem /= self.file.dims()[d];
+            }
+            Ok(Value::Int(idx[col] as i64))
+        } else if col == rank {
+            let mut rem = row;
+            let mut idx = vec![0usize; rank];
+            for d in (0..rank).rev() {
+                idx[d] = rem % self.file.dims()[d];
+                rem /= self.file.dims()[d];
+            }
+            self.file.read_element(&idx)
+        } else {
+            Err(VidaError::format(
+                self.file.name(),
+                format!("column {col} out of range"),
+            ))
+        }
+    }
+
+    fn stats(&self) -> Arc<AccessStats> {
+        self.file.stats()
+    }
+
+    fn fingerprint(&self) -> (u64, u64) {
+        self.file.fingerprint()
+    }
+
+    fn field_cost_factor(&self, _col: usize) -> f64 {
+        1.0 // binary: constant, position-independent (§5)
+    }
+
+    fn raw_bytes(&self) -> usize {
+        self.file.raw_bytes()
+    }
+}
+
+/// In-memory plugin over materialized records (tests, caches, literals).
+pub struct MemPlugin {
+    name: String,
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+    stats: Arc<AccessStats>,
+}
+
+impl MemPlugin {
+    pub fn new(name: impl Into<String>, schema: Schema, rows: Vec<Vec<Value>>) -> Self {
+        MemPlugin {
+            name: name.into(),
+            schema,
+            rows,
+            stats: Arc::new(AccessStats::new()),
+        }
+    }
+
+    /// Build from record values (each must match the schema's field order).
+    pub fn from_records(
+        name: impl Into<String>,
+        schema: Schema,
+        records: &[Value],
+    ) -> Result<Self> {
+        let name = name.into();
+        let rows = records
+            .iter()
+            .map(|r| match r {
+                Value::Record(fields) => Ok(fields.iter().map(|(_, v)| v.clone()).collect()),
+                other => Err(VidaError::format(&name, format!("non-record {other}"))),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(MemPlugin::new(name, schema, rows))
+    }
+}
+
+impl InputPlugin for MemPlugin {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn num_units(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn read_field(&self, row: usize, col: usize) -> Result<Value> {
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .cloned()
+            .ok_or_else(|| {
+                VidaError::format(&self.name, format!("({row},{col}) out of range"))
+            })
+    }
+
+    fn stats(&self) -> Arc<AccessStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn fingerprint(&self) -> (u64, u64) {
+        (self.rows.len() as u64, 1)
+    }
+
+    fn field_cost_factor(&self, _col: usize) -> f64 {
+        1.0
+    }
+
+    fn raw_bytes(&self) -> usize {
+        self.rows.len() * self.schema.len() * 8
+    }
+}
+
+/// Open the right plugin for a source description (the plugin catalog of
+/// Figure 3).
+pub fn open_plugin(desc: &SourceDescription) -> Result<Box<dyn InputPlugin>> {
+    match &desc.format {
+        DataFormat::Csv { delimiter, header } => {
+            let file = CsvFile::open(
+                desc.name.clone(),
+                &desc.path,
+                *delimiter,
+                *header,
+                desc.schema.clone(),
+            )?;
+            Ok(Box::new(CsvPlugin::new(file)))
+        }
+        DataFormat::Json => {
+            let file = JsonFile::open(desc.name.clone(), &desc.path, desc.schema.clone())?;
+            Ok(Box::new(JsonPlugin::new(file)))
+        }
+        DataFormat::BinaryArray => {
+            let file = ArrayFile::open(desc.name.clone(), &desc.path)?;
+            Ok(Box::new(ArrayPlugin::new(file)))
+        }
+        DataFormat::InMemory => Err(VidaError::Catalog(
+            "in-memory sources are registered directly, not opened from disk".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binarray::{encode_array, ElemType};
+    use vida_types::Type;
+
+    fn csv_plugin() -> CsvPlugin {
+        let data = b"id,x\n1,10.0\n2,20.0\n".to_vec();
+        let file = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("id", Type::Int), ("x", Type::Float)]),
+        )
+        .unwrap();
+        CsvPlugin::new(file)
+    }
+
+    #[test]
+    fn csv_plugin_reads_units() {
+        let p = csv_plugin();
+        assert_eq!(p.num_units(), 2);
+        let u = p.read_unit(1).unwrap();
+        assert_eq!(u.field("x"), Some(&Value::Float(20.0)));
+    }
+
+    #[test]
+    fn csv_cost_factor_drops_with_posmap() {
+        let p = csv_plugin();
+        let before = p.field_cost_factor(1);
+        assert!(before >= 3.0);
+        p.read_field(0, 1).unwrap(); // populates positional map
+        let after = p.field_cost_factor(1);
+        assert!(after < before, "posmap should reduce cost factor");
+    }
+
+    #[test]
+    fn json_plugin_maps_columns_to_fields() {
+        let data = b"{\"a\":1,\"b\":\"x\"}\n{\"a\":2,\"b\":\"y\"}\n".to_vec();
+        let file = JsonFile::from_bytes(
+            "J",
+            data,
+            Schema::from_pairs([("a", Type::Int), ("b", Type::Str)]),
+        )
+        .unwrap();
+        let p = JsonPlugin::new(file);
+        assert_eq!(p.read_field(1, 0).unwrap(), Value::Int(2));
+        assert_eq!(p.read_field(0, 1).unwrap(), Value::str("x"));
+        assert!(p.read_field(0, 5).is_err());
+        assert!(p.field_cost_factor(0) > 1.0);
+    }
+
+    #[test]
+    fn array_plugin_relational_view() {
+        let vals: Vec<Value> = (0..6).map(|i| Value::Float(i as f64)).collect();
+        let bytes = encode_array(ElemType::F64, &[2, 3], &vals).unwrap();
+        let p = ArrayPlugin::new(ArrayFile::from_bytes("A", bytes).unwrap());
+        assert_eq!(p.num_units(), 6);
+        // unit 4 -> (i0=1, i1=1, val=4.0)
+        assert_eq!(p.read_field(4, 0).unwrap(), Value::Int(1));
+        assert_eq!(p.read_field(4, 1).unwrap(), Value::Int(1));
+        assert_eq!(p.read_field(4, 2).unwrap(), Value::Float(4.0));
+        assert_eq!(p.field_cost_factor(2), 1.0);
+    }
+
+    #[test]
+    fn mem_plugin_round_trip() {
+        let schema = Schema::from_pairs([("id", Type::Int)]);
+        let recs = vec![
+            Value::record([("id", Value::Int(1))]),
+            Value::record([("id", Value::Int(2))]),
+        ];
+        let p = MemPlugin::from_records("M", schema, &recs).unwrap();
+        assert_eq!(p.num_units(), 2);
+        assert_eq!(p.read_unit(0).unwrap(), recs[0]);
+    }
+
+    #[test]
+    fn scan_project_default_impl() {
+        let p = csv_plugin();
+        let mut got = Vec::new();
+        p.scan_project(&[1], &mut |_, vals| {
+            got.push(vals);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, vec![vec![Value::Float(10.0)], vec![Value::Float(20.0)]]);
+    }
+}

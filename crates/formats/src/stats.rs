@@ -1,0 +1,171 @@
+//! Access statistics.
+//!
+//! Every input plugin maintains an [`AccessStats`] that counts the physical
+//! work done against the raw file. The optimizer's per-format cost wrappers
+//! (ViDa §5) calibrate against these counters, and the benchmark harness
+//! reports them (bytes parsed per query is the headline number behind the
+//! positional-map experiment).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing raw-data access work.
+///
+/// Shared (`Arc`) between a plugin and the engine's stats collector; all
+/// counters are relaxed atomics — they are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct AccessStats {
+    /// Bytes tokenized/parsed (not merely mapped or skipped over).
+    pub bytes_parsed: AtomicU64,
+    /// Bytes skipped via positional structures instead of parsed.
+    pub bytes_skipped: AtomicU64,
+    /// Individual field values converted from raw text/bytes.
+    pub fields_parsed: AtomicU64,
+    /// Field reads answered from a positional structure (seek, no scan).
+    pub posmap_hits: AtomicU64,
+    /// Field reads that had to tokenize forward from a known position.
+    pub posmap_partial: AtomicU64,
+    /// Field reads with no positional help at all (full-row tokenize).
+    pub posmap_misses: AtomicU64,
+    /// Retrieval units (rows / objects / chunks) produced.
+    pub units_read: AtomicU64,
+}
+
+impl AccessStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_bytes_parsed(&self, n: u64) {
+        self.bytes_parsed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_skipped(&self, n: u64) {
+        self.bytes_skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_fields_parsed(&self, n: u64) {
+        self.fields_parsed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn hit(&self) {
+        self.posmap_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn partial(&self) {
+        self.posmap_partial.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn miss(&self) {
+        self.posmap_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_units(&self, n: u64) {
+        self.units_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters (hits, partial, misses, bytes_parsed,
+    /// bytes_skipped, fields_parsed, units_read).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            bytes_parsed: self.bytes_parsed.load(Ordering::Relaxed),
+            bytes_skipped: self.bytes_skipped.load(Ordering::Relaxed),
+            fields_parsed: self.fields_parsed.load(Ordering::Relaxed),
+            posmap_hits: self.posmap_hits.load(Ordering::Relaxed),
+            posmap_partial: self.posmap_partial.load(Ordering::Relaxed),
+            posmap_misses: self.posmap_misses.load(Ordering::Relaxed),
+            units_read: self.units_read.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.bytes_parsed.store(0, Ordering::Relaxed);
+        self.bytes_skipped.store(0, Ordering::Relaxed);
+        self.fields_parsed.store(0, Ordering::Relaxed);
+        self.posmap_hits.store(0, Ordering::Relaxed);
+        self.posmap_partial.store(0, Ordering::Relaxed);
+        self.posmap_misses.store(0, Ordering::Relaxed);
+        self.units_read.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain-old-data copy of [`AccessStats`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub bytes_parsed: u64,
+    pub bytes_skipped: u64,
+    pub fields_parsed: u64,
+    pub posmap_hits: u64,
+    pub posmap_partial: u64,
+    pub posmap_misses: u64,
+    pub units_read: u64,
+}
+
+impl StatsSnapshot {
+    /// Fraction of positional lookups answered exactly (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.posmap_hits + self.posmap_partial + self.posmap_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.posmap_hits as f64 / total as f64
+        }
+    }
+
+    /// Difference of two snapshots (self - earlier).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            bytes_parsed: self.bytes_parsed - earlier.bytes_parsed,
+            bytes_skipped: self.bytes_skipped - earlier.bytes_skipped,
+            fields_parsed: self.fields_parsed - earlier.fields_parsed,
+            posmap_hits: self.posmap_hits - earlier.posmap_hits,
+            posmap_partial: self.posmap_partial - earlier.posmap_partial,
+            posmap_misses: self.posmap_misses - earlier.posmap_misses,
+            units_read: self.units_read - earlier.units_read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = AccessStats::new();
+        s.add_bytes_parsed(100);
+        s.add_bytes_parsed(50);
+        s.hit();
+        s.hit();
+        s.miss();
+        s.add_units(3);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_parsed, 150);
+        assert_eq!(snap.posmap_hits, 2);
+        assert_eq!(snap.posmap_misses, 1);
+        assert_eq!(snap.units_read, 3);
+        assert!((snap.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = AccessStats::new();
+        s.add_fields_parsed(9);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+        assert_eq!(s.snapshot().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = AccessStats::new();
+        s.add_bytes_parsed(10);
+        let a = s.snapshot();
+        s.add_bytes_parsed(5);
+        s.partial();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.bytes_parsed, 5);
+        assert_eq!(d.posmap_partial, 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Register frames: the flat, typed view of a tuple that compiled kernels
+//! read.
+//!
+//! "Data bindings retrieved from each 'tuple' of a raw file are placed in
+//! CPU registers and are kept there for the majority of a query's processing
+//! steps" (§4.1). A [`FrameLayout`] assigns one 64-bit slot to each scalar
+//! *path* (`p.age`, `g.id`, or a bare variable) the query needs; the
+//! executor fills a `[i64]` frame per tuple and the kernel indexes it
+//! directly.
+//!
+//! Slot encodings: `Int` → the value; `Float` → IEEE bits; `Bool` → 0/1;
+//! `Str` → an id from the session [`StringInterner`]. A tuple containing
+//! `null` (or a non-scalar) in any needed slot does not produce a frame —
+//! the caller routes that tuple through the interpreted fallback so
+//! null-propagation semantics stay exact.
+
+use std::collections::HashMap;
+use vida_types::{Type, Value};
+
+/// Static type of one frame slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotType {
+    Int,
+    Float,
+    Bool,
+    /// Interned string id (supports equality only).
+    Str,
+}
+
+impl SlotType {
+    /// Slot type for a scalar ViDa type, if representable.
+    pub fn of_type(t: &Type) -> Option<SlotType> {
+        match t {
+            Type::Int => Some(SlotType::Int),
+            Type::Float => Some(SlotType::Float),
+            Type::Bool => Some(SlotType::Bool),
+            Type::Str => Some(SlotType::Str),
+            _ => None,
+        }
+    }
+}
+
+/// Maps scalar paths to slot indexes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameLayout {
+    slots: Vec<(String, SlotType)>,
+    index: HashMap<String, usize>,
+}
+
+impl FrameLayout {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or find) a slot for `path`. Returns its index. Adding an
+    /// existing path with a different type widens Int→Float and otherwise
+    /// keeps the first type (callers resolve types beforehand).
+    pub fn slot(&mut self, path: impl Into<String>, ty: SlotType) -> usize {
+        let path = path.into();
+        if let Some(&i) = self.index.get(&path) {
+            if self.slots[i].1 == SlotType::Int && ty == SlotType::Float {
+                self.slots[i].1 = SlotType::Float;
+            }
+            return i;
+        }
+        let i = self.slots.len();
+        self.slots.push((path.clone(), ty));
+        self.index.insert(path, i);
+        i
+    }
+
+    pub fn lookup(&self, path: &str) -> Option<(usize, SlotType)> {
+        self.index.get(path).map(|&i| (i, self.slots[i].1))
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    pub fn slots(&self) -> &[(String, SlotType)] {
+        &self.slots
+    }
+}
+
+/// Session-scoped string interner. Ids are dense and stable for the life of
+/// the interner, so equal strings always get equal ids — which is all the
+/// compiled `=`/`!=` on strings needs.
+#[derive(Debug, Default)]
+pub struct StringInterner {
+    map: HashMap<String, i64>,
+}
+
+impl StringInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn intern(&mut self, s: &str) -> i64 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = self.map.len() as i64;
+        self.map.insert(s.to_string(), id);
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Fills frames from values according to a layout.
+pub struct FrameBuilder {
+    layout: FrameLayout,
+    interner: StringInterner,
+}
+
+impl FrameBuilder {
+    pub fn new(layout: FrameLayout) -> Self {
+        FrameBuilder {
+            layout,
+            interner: StringInterner::new(),
+        }
+    }
+
+    pub fn layout(&self) -> &FrameLayout {
+        &self.layout
+    }
+
+    pub fn interner_mut(&mut self) -> &mut StringInterner {
+        &mut self.interner
+    }
+
+    /// Encode one value into slot `i` of `frame`. Returns `false` (frame
+    /// unusable) when the value is null, a different scalar than declared,
+    /// or not a scalar at all.
+    pub fn fill_slot(&mut self, frame: &mut [i64], i: usize, v: &Value) -> bool {
+        let (_, ty) = self.layout.slots[i];
+        match (ty, v) {
+            (SlotType::Int, Value::Int(x)) => {
+                frame[i] = *x;
+                true
+            }
+            (SlotType::Float, Value::Float(x)) => {
+                frame[i] = x.to_bits() as i64;
+                true
+            }
+            (SlotType::Float, Value::Int(x)) => {
+                frame[i] = (*x as f64).to_bits() as i64;
+                true
+            }
+            (SlotType::Bool, Value::Bool(b)) => {
+                frame[i] = *b as i64;
+                true
+            }
+            (SlotType::Str, Value::Str(s)) => {
+                frame[i] = self.intern(s);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    pub fn intern(&mut self, s: &str) -> i64 {
+        self.interner.intern(s)
+    }
+
+    /// Build a full frame from per-slot values (slot order). `None` if any
+    /// slot cannot be encoded.
+    pub fn build(&mut self, values: &[&Value]) -> Option<Vec<i64>> {
+        debug_assert_eq!(values.len(), self.layout.len());
+        let mut frame = vec![0i64; self.layout.len()];
+        for (i, v) in values.iter().enumerate() {
+            if !self.fill_slot(&mut frame, i, v) {
+                return None;
+            }
+        }
+        Some(frame)
+    }
+}
+
+/// Decode a kernel result according to its declared output.
+pub fn decode_output(bits: i64, ty: SlotType) -> Value {
+    match ty {
+        SlotType::Int => Value::Int(bits),
+        SlotType::Float => Value::Float(f64::from_bits(bits as u64)),
+        SlotType::Bool => Value::Bool(bits != 0),
+        SlotType::Str => Value::Int(bits), // interned id; caller resolves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_dedups_paths() {
+        let mut l = FrameLayout::new();
+        let a = l.slot("p.age", SlotType::Int);
+        let b = l.slot("p.age", SlotType::Int);
+        let c = l.slot("g.v", SlotType::Float);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.lookup("p.age"), Some((0, SlotType::Int)));
+        assert_eq!(l.lookup("nope"), None);
+    }
+
+    #[test]
+    fn int_slot_widens_to_float() {
+        let mut l = FrameLayout::new();
+        l.slot("x", SlotType::Int);
+        l.slot("x", SlotType::Float);
+        assert_eq!(l.lookup("x"), Some((0, SlotType::Float)));
+    }
+
+    #[test]
+    fn builder_encodes_scalars() {
+        let mut l = FrameLayout::new();
+        l.slot("i", SlotType::Int);
+        l.slot("f", SlotType::Float);
+        l.slot("b", SlotType::Bool);
+        l.slot("s", SlotType::Str);
+        let mut fb = FrameBuilder::new(l);
+        let vals = [
+            Value::Int(7),
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::str("hr"),
+        ];
+        let frame = fb.build(&vals.iter().collect::<Vec<_>>()).unwrap();
+        assert_eq!(frame[0], 7);
+        assert_eq!(f64::from_bits(frame[1] as u64), 2.5);
+        assert_eq!(frame[2], 1);
+        assert_eq!(frame[3], fb.intern("hr"));
+    }
+
+    #[test]
+    fn int_promotes_into_float_slot() {
+        let mut l = FrameLayout::new();
+        l.slot("f", SlotType::Float);
+        let mut fb = FrameBuilder::new(l);
+        let v = Value::Int(3);
+        let frame = fb.build(&[&v]).unwrap();
+        assert_eq!(f64::from_bits(frame[0] as u64), 3.0);
+    }
+
+    #[test]
+    fn null_or_mismatched_slot_fails() {
+        let mut l = FrameLayout::new();
+        l.slot("i", SlotType::Int);
+        let mut fb = FrameBuilder::new(l);
+        assert!(fb.build(&[&Value::Null]).is_none());
+        assert!(fb.build(&[&Value::str("x")]).is_none());
+        assert!(fb.build(&[&Value::bag(vec![])]).is_none());
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut i = StringInterner::new();
+        let a1 = i.intern("alpha");
+        let b = i.intern("beta");
+        let a2 = i.intern("alpha");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        assert_eq!(decode_output(42, SlotType::Int), Value::Int(42));
+        assert_eq!(
+            decode_output(2.5f64.to_bits() as i64, SlotType::Float),
+            Value::Float(2.5)
+        );
+        assert_eq!(decode_output(1, SlotType::Bool), Value::Bool(true));
+        assert_eq!(decode_output(0, SlotType::Bool), Value::Bool(false));
+    }
+
+    #[test]
+    fn slot_type_of_type() {
+        assert_eq!(SlotType::of_type(&Type::Int), Some(SlotType::Int));
+        assert_eq!(SlotType::of_type(&Type::Str), Some(SlotType::Str));
+        assert_eq!(SlotType::of_type(&Type::bag(Type::Int)), None);
+    }
+}

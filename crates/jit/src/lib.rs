@@ -1,0 +1,28 @@
+//! # vida-jit
+//!
+//! Just-in-time compilation of scalar query kernels (ViDa §4, §4.1).
+//!
+//! The paper's executor uses LLVM to generate machine code per query; the
+//! calibration note for this reproduction names Cranelift as the Rust-native
+//! equivalent, and that is what this crate wraps.
+//!
+//! What gets compiled: **scalar kernels** — filter predicates, arithmetic
+//! projections, aggregate-head expressions — specialized to a flat register
+//! [`frame::FrameLayout`] of the attributes a query actually touches. The
+//! generated code contains no type tags, no branches on layout, no hash
+//! lookups: exactly the "stripped from general-purpose checks" property §4.1
+//! describes. Operator *fusion* (pipelining data in registers across
+//! operators) happens one level up, in `vida-exec`, which chains these
+//! kernels into per-query pipelines.
+//!
+//! Strings participate through **interning**: the frame builder maps string
+//! values to dense integer ids, so string equality compiles to an integer
+//! compare. Expressions outside the compilable subset (string ordering,
+//! division with its error semantics, nested-collection work) stay on the
+//! interpreted path — the hybrid execution §6 describes for the prototype.
+
+pub mod compile;
+pub mod frame;
+
+pub use compile::{CompiledKernel, JitCompiler, KernelOutput};
+pub use frame::{FrameBuilder, FrameLayout, SlotType};

@@ -1,0 +1,524 @@
+//! Calculus terms — the paper's Table 1, plus a comprehension form.
+//!
+//! | Table 1 form                | AST node |
+//! |-----------------------------|----------|
+//! | `NULL`                      | `Expr::Const(Value::Null)` |
+//! | constant `c`                | `Expr::Const` |
+//! | variable `υ`                | `Expr::Var` |
+//! | record projection `e.A`     | `Expr::Proj` |
+//! | record construction `⟨A₁=e₁,…⟩` | `Expr::Record` |
+//! | `if e₁ then e₂ else e₃`     | `Expr::If` |
+//! | `e₁ op e₂`                  | `Expr::BinOp` |
+//! | `λυ:τ.e`                    | `Expr::Lambda` |
+//! | `e₁(e₂)`                    | `Expr::App` |
+//! | zero element `Z⊕`           | `Expr::Zero` |
+//! | singleton `U⊕(e)`           | `Expr::Singleton` |
+//! | merging `e₁ ⊕ e₂`           | `Expr::Merge` |
+//! | comprehension `⊕{e∣q₁,…,qₙ}`| `Expr::Comprehension` |
+//!
+//! The concrete syntax (parser/printer) writes comprehensions
+//! `for { q1, ..., qn } yield ⊕ e`, as the paper does.
+
+use std::fmt;
+use vida_types::{Monoid, Value};
+
+/// Binary primitive operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+
+    /// Does this operator produce a boolean?
+    pub fn is_predicate(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+        )
+    }
+
+    /// Is this a comparison between two scalars?
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// A qualifier inside a comprehension: either a generator `v <- e` binding
+/// `v` to each element of the collection `e`, or a boolean filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Qualifier {
+    Generator(String, Expr),
+    Filter(Expr),
+}
+
+impl Qualifier {
+    pub fn is_generator(&self) -> bool {
+        matches!(self, Qualifier::Generator(..))
+    }
+}
+
+/// A monoid comprehension calculus expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Constant (includes `NULL`).
+    Const(Value),
+    /// Variable reference (dataset names resolve here too).
+    Var(String),
+    /// Record projection `e.field`.
+    Proj(Box<Expr>, String),
+    /// Record construction `(a := e1, b := e2)`.
+    Record(Vec<(String, Expr)>),
+    /// `if c then t else f`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    UnOp(UnOp, Box<Expr>),
+    /// Function abstraction `\v -> e`.
+    Lambda(String, Box<Expr>),
+    /// Function application `f(e)`.
+    App(Box<Expr>, Box<Expr>),
+    /// Zero element of a monoid, `zero[sum]`.
+    Zero(Monoid),
+    /// Singleton construction `unit[bag](e)`.
+    Singleton(Monoid, Box<Expr>),
+    /// Merge `merge[bag](e1, e2)`.
+    Merge(Monoid, Box<Expr>, Box<Expr>),
+    /// `for { q1, ..., qn } yield ⊕ head`.
+    Comprehension {
+        monoid: Monoid,
+        head: Box<Expr>,
+        qualifiers: Vec<Qualifier>,
+    },
+    /// List literal `[e1, ..., en]` (sugar for merges of singletons, kept
+    /// as a node for readable plans).
+    ListLit(Vec<Expr>),
+}
+
+impl Expr {
+    /// Shorthand: integer constant.
+    pub fn int(i: i64) -> Expr {
+        Expr::Const(Value::Int(i))
+    }
+
+    /// Shorthand: float constant.
+    pub fn float(f: f64) -> Expr {
+        Expr::Const(Value::Float(f))
+    }
+
+    /// Shorthand: string constant.
+    pub fn str(s: impl Into<String>) -> Expr {
+        Expr::Const(Value::Str(s.into()))
+    }
+
+    /// Shorthand: boolean constant.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Const(Value::Bool(b))
+    }
+
+    /// Shorthand: variable.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Shorthand: projection `self.field`.
+    pub fn proj(self, field: impl Into<String>) -> Expr {
+        Expr::Proj(Box::new(self), field.into())
+    }
+
+    /// Shorthand: binary operation.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::BinOp(op, Box::new(l), Box::new(r))
+    }
+
+    /// Free variables of the expression (unbound by lambdas/generators).
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) | Expr::Zero(_) => {}
+            Expr::Var(v) => {
+                if !bound.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Proj(e, _) | Expr::UnOp(_, e) | Expr::Singleton(_, e) => {
+                e.collect_free(bound, out)
+            }
+            Expr::Record(fields) => {
+                for (_, e) in fields {
+                    e.collect_free(bound, out);
+                }
+            }
+            Expr::If(c, t, f) => {
+                c.collect_free(bound, out);
+                t.collect_free(bound, out);
+                f.collect_free(bound, out);
+            }
+            Expr::BinOp(_, l, r) | Expr::Merge(_, l, r) | Expr::App(l, r) => {
+                l.collect_free(bound, out);
+                r.collect_free(bound, out);
+            }
+            Expr::Lambda(v, body) => {
+                bound.push(v.clone());
+                body.collect_free(bound, out);
+                bound.pop();
+            }
+            Expr::Comprehension {
+                head, qualifiers, ..
+            } => {
+                let mut pushed = 0usize;
+                for q in qualifiers {
+                    match q {
+                        Qualifier::Generator(v, e) => {
+                            e.collect_free(bound, out);
+                            bound.push(v.clone());
+                            pushed += 1;
+                        }
+                        Qualifier::Filter(e) => e.collect_free(bound, out),
+                    }
+                }
+                head.collect_free(bound, out);
+                for _ in 0..pushed {
+                    bound.pop();
+                }
+            }
+            Expr::ListLit(items) => {
+                for e in items {
+                    e.collect_free(bound, out);
+                }
+            }
+        }
+    }
+
+    /// Capture-avoiding substitution of `var` with `replacement`.
+    ///
+    /// Generators and lambdas that rebind `var` shadow it; we do not rename
+    /// binders (α-conversion) because the normalizer always substitutes
+    /// expressions whose free variables are fresh generator names or dataset
+    /// names, which cannot collide with inner binders produced by the
+    /// parser's scoping rules (enforced by the type checker's
+    /// no-shadowing check).
+    pub fn substitute(&self, var: &str, replacement: &Expr) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::Zero(_) => self.clone(),
+            Expr::Var(v) => {
+                if v == var {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Proj(e, f) => Expr::Proj(Box::new(e.substitute(var, replacement)), f.clone()),
+            Expr::Record(fields) => Expr::Record(
+                fields
+                    .iter()
+                    .map(|(n, e)| (n.clone(), e.substitute(var, replacement)))
+                    .collect(),
+            ),
+            Expr::If(c, t, f) => Expr::If(
+                Box::new(c.substitute(var, replacement)),
+                Box::new(t.substitute(var, replacement)),
+                Box::new(f.substitute(var, replacement)),
+            ),
+            Expr::BinOp(op, l, r) => Expr::BinOp(
+                *op,
+                Box::new(l.substitute(var, replacement)),
+                Box::new(r.substitute(var, replacement)),
+            ),
+            Expr::UnOp(op, e) => Expr::UnOp(*op, Box::new(e.substitute(var, replacement))),
+            Expr::Lambda(v, body) => {
+                if v == var {
+                    self.clone() // shadowed
+                } else {
+                    Expr::Lambda(v.clone(), Box::new(body.substitute(var, replacement)))
+                }
+            }
+            Expr::App(f, a) => Expr::App(
+                Box::new(f.substitute(var, replacement)),
+                Box::new(a.substitute(var, replacement)),
+            ),
+            Expr::Singleton(m, e) => {
+                Expr::Singleton(*m, Box::new(e.substitute(var, replacement)))
+            }
+            Expr::Merge(m, l, r) => Expr::Merge(
+                *m,
+                Box::new(l.substitute(var, replacement)),
+                Box::new(r.substitute(var, replacement)),
+            ),
+            Expr::Comprehension {
+                monoid,
+                head,
+                qualifiers,
+            } => {
+                let mut shadowed = false;
+                let mut new_quals = Vec::with_capacity(qualifiers.len());
+                for q in qualifiers {
+                    match q {
+                        Qualifier::Generator(v, e) => {
+                            let e2 = if shadowed {
+                                e.clone()
+                            } else {
+                                e.substitute(var, replacement)
+                            };
+                            if v == var {
+                                shadowed = true;
+                            }
+                            new_quals.push(Qualifier::Generator(v.clone(), e2));
+                        }
+                        Qualifier::Filter(e) => {
+                            new_quals.push(Qualifier::Filter(if shadowed {
+                                e.clone()
+                            } else {
+                                e.substitute(var, replacement)
+                            }));
+                        }
+                    }
+                }
+                let new_head = if shadowed {
+                    head.clone()
+                } else {
+                    Box::new(head.substitute(var, replacement))
+                };
+                Expr::Comprehension {
+                    monoid: *monoid,
+                    head: new_head,
+                    qualifiers: new_quals,
+                }
+            }
+            Expr::ListLit(items) => Expr::ListLit(
+                items
+                    .iter()
+                    .map(|e| e.substitute(var, replacement))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Number of AST nodes (plan-size metric for the optimizer and tests).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Zero(_) => 0,
+            Expr::Proj(e, _) | Expr::UnOp(_, e) | Expr::Singleton(_, e) | Expr::Lambda(_, e) => {
+                e.size()
+            }
+            Expr::Record(fs) => fs.iter().map(|(_, e)| e.size()).sum(),
+            Expr::If(a, b, c) => a.size() + b.size() + c.size(),
+            Expr::BinOp(_, a, b) | Expr::Merge(_, a, b) | Expr::App(a, b) => a.size() + b.size(),
+            Expr::Comprehension {
+                head, qualifiers, ..
+            } => {
+                head.size()
+                    + qualifiers
+                        .iter()
+                        .map(|q| match q {
+                            Qualifier::Generator(_, e) | Qualifier::Filter(e) => e.size(),
+                        })
+                        .sum::<usize>()
+            }
+            Expr::ListLit(items) => items.iter().map(Expr::size).sum(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(Value::Str(s)) => write!(f, "{s:?}"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Proj(e, field) => write!(f, "{e}.{field}"),
+            Expr::Record(fields) => {
+                write!(f, "(")?;
+                for (i, (n, e)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n} := {e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::If(c, t, e) => write!(f, "if {c} then {t} else {e}"),
+            Expr::BinOp(op, l, r) => write!(f, "({l} {} {r})", op.symbol()),
+            Expr::UnOp(UnOp::Not, e) => write!(f, "(not {e})"),
+            Expr::UnOp(UnOp::Neg, e) => write!(f, "(-{e})"),
+            Expr::Lambda(v, body) => write!(f, "(\\{v} -> {body})"),
+            Expr::App(func, arg) => write!(f, "{func}({arg})"),
+            Expr::Zero(m) => write!(f, "zero[{m}]"),
+            Expr::Singleton(m, e) => write!(f, "unit[{m}]({e})"),
+            Expr::Merge(m, l, r) => write!(f, "merge[{m}]({l}, {r})"),
+            Expr::Comprehension {
+                monoid,
+                head,
+                qualifiers,
+            } => {
+                write!(f, "for {{ ")?;
+                for (i, q) in qualifiers.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match q {
+                        Qualifier::Generator(v, e) => write!(f, "{v} <- {e}")?,
+                        Qualifier::Filter(e) => write!(f, "{e}")?,
+                    }
+                }
+                write!(f, " }} yield {monoid} {head}")
+            }
+            Expr::ListLit(items) => {
+                write!(f, "[")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vida_types::{CollectionKind, PrimitiveMonoid};
+
+    fn sample_comprehension() -> Expr {
+        // for { e <- Employees, e.age > 40 } yield sum 1
+        Expr::Comprehension {
+            monoid: Monoid::Primitive(PrimitiveMonoid::Sum),
+            head: Box::new(Expr::int(1)),
+            qualifiers: vec![
+                Qualifier::Generator("e".into(), Expr::var("Employees")),
+                Qualifier::Filter(Expr::bin(
+                    BinOp::Gt,
+                    Expr::var("e").proj("age"),
+                    Expr::int(40),
+                )),
+            ],
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        assert_eq!(
+            sample_comprehension().to_string(),
+            "for { e <- Employees, (e.age > 40) } yield sum 1"
+        );
+    }
+
+    #[test]
+    fn free_vars_respect_generator_binding() {
+        let c = sample_comprehension();
+        assert_eq!(c.free_vars(), vec!["Employees".to_string()]);
+    }
+
+    #[test]
+    fn free_vars_respect_lambda_binding() {
+        let e = Expr::Lambda(
+            "x".into(),
+            Box::new(Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y"))),
+        );
+        assert_eq!(e.free_vars(), vec!["y".to_string()]);
+    }
+
+    #[test]
+    fn substitution_is_shadow_aware() {
+        // Substituting x inside a comprehension that rebinds x must stop at
+        // the rebinding generator.
+        let inner = Expr::Comprehension {
+            monoid: Monoid::Collection(CollectionKind::Bag),
+            head: Box::new(Expr::var("x")),
+            qualifiers: vec![Qualifier::Generator("x".into(), Expr::var("x"))],
+        };
+        // The generator *source* refers to outer x; the head refers to the
+        // bound x.
+        let sub = inner.substitute("x", &Expr::var("Data"));
+        let Expr::Comprehension {
+            head, qualifiers, ..
+        } = sub
+        else {
+            panic!()
+        };
+        assert_eq!(*head, Expr::var("x")); // untouched (shadowed)
+        assert_eq!(
+            qualifiers[0],
+            Qualifier::Generator("x".into(), Expr::var("Data"))
+        );
+    }
+
+    #[test]
+    fn lambda_shadowing_blocks_substitution() {
+        let e = Expr::Lambda("x".into(), Box::new(Expr::var("x")));
+        assert_eq!(e.substitute("x", &Expr::int(1)), e);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Expr::int(1).size(), 1);
+        assert_eq!(Expr::bin(BinOp::Add, Expr::int(1), Expr::int(2)).size(), 3);
+        assert!(sample_comprehension().size() >= 7);
+    }
+
+    #[test]
+    fn record_display() {
+        let r = Expr::Record(vec![
+            ("id".into(), Expr::var("e").proj("id")),
+            ("n".into(), Expr::int(1)),
+        ]);
+        assert_eq!(r.to_string(), "(id := e.id, n := 1)");
+    }
+
+    #[test]
+    fn predicate_classification() {
+        assert!(BinOp::Eq.is_predicate());
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::And.is_predicate());
+        assert!(!BinOp::And.is_comparison());
+        assert!(!BinOp::Add.is_predicate());
+    }
+}

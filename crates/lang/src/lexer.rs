@@ -1,0 +1,437 @@
+//! Lexer for the comprehension concrete syntax.
+//!
+//! The syntax resembles Scala sequence comprehensions, as the paper notes:
+//! `for { p <- Patients, p.age > 60 } yield bag (id := p.id)`.
+
+use vida_types::{Result, VidaError};
+
+/// A lexical token with its source position (1-based line/col).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // keywords
+    For,
+    Yield,
+    If,
+    Then,
+    Else,
+    True,
+    False,
+    Null,
+    Not,
+    And,
+    Or,
+    // punctuation / operators
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Arrow,     // <-
+    Assign,    // :=
+    Eq,        // =
+    Ne,        // !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Backslash, // lambda
+    RArrow,    // ->
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Int(i) => format!("integer {i}"),
+            TokenKind::Float(f) => format!("float {f}"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("'{other:?}'"),
+        }
+    }
+}
+
+/// Tokenize a query string.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut line_start = 0usize;
+
+    macro_rules! tok {
+        ($kind:expr, $start:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col: ($start - line_start) as u32 + 1,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+                line_start = i;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'#' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => {
+                tok!(TokenKind::LBrace, i);
+                i += 1;
+            }
+            b'}' => {
+                tok!(TokenKind::RBrace, i);
+                i += 1;
+            }
+            b'(' => {
+                tok!(TokenKind::LParen, i);
+                i += 1;
+            }
+            b')' => {
+                tok!(TokenKind::RParen, i);
+                i += 1;
+            }
+            b'[' => {
+                tok!(TokenKind::LBracket, i);
+                i += 1;
+            }
+            b']' => {
+                tok!(TokenKind::RBracket, i);
+                i += 1;
+            }
+            b',' => {
+                tok!(TokenKind::Comma, i);
+                i += 1;
+            }
+            b'.' => {
+                tok!(TokenKind::Dot, i);
+                i += 1;
+            }
+            b'+' => {
+                tok!(TokenKind::Plus, i);
+                i += 1;
+            }
+            b'*' => {
+                tok!(TokenKind::Star, i);
+                i += 1;
+            }
+            b'/' => {
+                tok!(TokenKind::Slash, i);
+                i += 1;
+            }
+            b'%' => {
+                tok!(TokenKind::Percent, i);
+                i += 1;
+            }
+            b'\\' => {
+                tok!(TokenKind::Backslash, i);
+                i += 1;
+            }
+            b'-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tok!(TokenKind::RArrow, i);
+                    i += 2;
+                } else {
+                    tok!(TokenKind::Minus, i);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    tok!(TokenKind::Arrow, i);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tok!(TokenKind::Le, i);
+                    i += 2;
+                } else {
+                    tok!(TokenKind::Lt, i);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tok!(TokenKind::Ge, i);
+                    i += 2;
+                } else {
+                    tok!(TokenKind::Gt, i);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                tok!(TokenKind::Eq, i);
+                i += 1;
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tok!(TokenKind::Ne, i);
+                    i += 2;
+                } else {
+                    return Err(VidaError::parse(
+                        "unexpected '!'",
+                        line,
+                        (i - line_start) as u32 + 1,
+                    ));
+                }
+            }
+            b':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tok!(TokenKind::Assign, i);
+                    i += 2;
+                } else {
+                    return Err(VidaError::parse(
+                        "unexpected ':' (did you mean ':=')",
+                        line,
+                        (i - line_start) as u32 + 1,
+                    ));
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(VidaError::parse(
+                            "unterminated string literal",
+                            line,
+                            (start - line_start) as u32 + 1,
+                        ));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            match bytes[i + 1] {
+                                b'n' => s.push('\n'),
+                                b't' => s.push('\t'),
+                                b'"' => s.push('"'),
+                                b'\\' => s.push('\\'),
+                                c => {
+                                    return Err(VidaError::parse(
+                                        format!("bad escape '\\{}'", c as char),
+                                        line,
+                                        (i - line_start) as u32 + 1,
+                                    ))
+                                }
+                            }
+                            i += 2;
+                        }
+                        _ => {
+                            let run_start = i;
+                            while i < bytes.len() && bytes[i] != b'"' && bytes[i] != b'\\' {
+                                i += 1;
+                            }
+                            s.push_str(std::str::from_utf8(&bytes[run_start..i]).map_err(
+                                |_| {
+                                    VidaError::parse(
+                                        "invalid UTF-8 in string",
+                                        line,
+                                        (run_start - line_start) as u32 + 1,
+                                    )
+                                },
+                            )?);
+                        }
+                    }
+                }
+                tok!(TokenKind::Str(s), start);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).unwrap();
+                if is_float {
+                    let f = text.parse::<f64>().map_err(|_| {
+                        VidaError::parse(
+                            format!("bad float literal {text:?}"),
+                            line,
+                            (start - line_start) as u32 + 1,
+                        )
+                    })?;
+                    tok!(TokenKind::Float(f), start);
+                } else {
+                    let n = text.parse::<i64>().map_err(|_| {
+                        VidaError::parse(
+                            format!("integer literal out of range {text:?}"),
+                            line,
+                            (start - line_start) as u32 + 1,
+                        )
+                    })?;
+                    tok!(TokenKind::Int(n), start);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = std::str::from_utf8(&bytes[start..i]).unwrap();
+                let kind = match word {
+                    "for" => TokenKind::For,
+                    "yield" => TokenKind::Yield,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "null" => TokenKind::Null,
+                    "not" => TokenKind::Not,
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tok!(kind, start);
+            }
+            other => {
+                return Err(VidaError::parse(
+                    format!("unexpected character '{}'", other as char),
+                    line,
+                    (i - line_start) as u32 + 1,
+                ))
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col: (bytes.len() - line_start) as u32 + 1,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_comprehension_tokens() {
+        let ks = kinds("for { p <- Patients, p.age > 60 } yield sum 1");
+        assert_eq!(ks[0], TokenKind::For);
+        assert_eq!(ks[1], TokenKind::LBrace);
+        assert_eq!(ks[2], TokenKind::Ident("p".into()));
+        assert_eq!(ks[3], TokenKind::Arrow);
+        assert!(ks.contains(&TokenKind::Gt));
+        assert!(ks.contains(&TokenKind::Yield));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn distinguishes_arrow_le_lt() {
+        assert_eq!(kinds("<-")[0], TokenKind::Arrow);
+        assert_eq!(kinds("<=")[0], TokenKind::Le);
+        assert_eq!(kinds("<")[0], TokenKind::Lt);
+        assert_eq!(kinds("->")[0], TokenKind::RArrow);
+        assert_eq!(kinds("-")[0], TokenKind::Minus);
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("4.25")[0], TokenKind::Float(4.25));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        // A dot not followed by a digit is projection, not a float.
+        let ks = kinds("a.b");
+        assert_eq!(ks[1], TokenKind::Dot);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#)[0],
+            TokenKind::Str("a\nb\"c".to_string())
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("1 # comment\n2");
+        assert_eq!(ks[0], TokenKind::Int(1));
+        assert_eq!(ks[1], TokenKind::Int(2));
+    }
+
+    #[test]
+    fn position_tracking() {
+        let toks = lex("for\n  xy").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = lex("a @ b").unwrap_err();
+        let VidaError::Parse { line, col, .. } = e else {
+            panic!()
+        };
+        assert_eq!((line, col), (1, 3));
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a : b").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(kinds("format")[0], TokenKind::Ident("format".into()));
+        assert_eq!(kinds("for")[0], TokenKind::For);
+        assert_eq!(kinds("iffy")[0], TokenKind::Ident("iffy".into()));
+        assert_eq!(kinds("null")[0], TokenKind::Null);
+    }
+}

@@ -1,0 +1,35 @@
+//! # vida-lang
+//!
+//! The monoid comprehension calculus (ViDa §3.2; Fegaras & Maier).
+//!
+//! ViDa's internal "wrapping" query language. Queries over heterogeneous
+//! models (sets, bags, lists, arrays) are expressed as monoid
+//! comprehensions:
+//!
+//! ```text
+//! for { e <- Employees, d <- Departments,
+//!       e.deptNo = d.id, d.deptName = "HR" } yield sum 1
+//! ```
+//!
+//! This crate provides the complete front half of the query lifecycle:
+//!
+//! - [`ast`] — the calculus terms of the paper's Table 1;
+//! - [`lexer`] / [`parser`] — concrete syntax (Scala-like, as in the paper);
+//! - [`typecheck`] — static typing against a catalog of dataset types;
+//! - [`normalize`] — the Fegaras-Maier rewrite rules (β-reduction,
+//!   comprehension unnesting, filter hoisting, constant folding);
+//! - [`eval`] — a direct reference interpreter of the calculus, used as the
+//!   semantic oracle in differential tests against the algebra engine and
+//!   the JIT pipelines.
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+pub mod typecheck;
+
+pub use ast::{BinOp, Expr, Qualifier, UnOp};
+pub use eval::{eval, Bindings};
+pub use parser::parse;
+pub use typecheck::{typecheck, TypeEnv};

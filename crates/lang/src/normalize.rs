@@ -1,0 +1,647 @@
+//! The normalizer: Fegaras-Maier rewrite rules (ViDa §3.2, §4).
+//!
+//! "After applying a series of rewrite rules to optimize the query (e.g.
+//! remove intermediate variables, simplify boolean expressions, etc.) the
+//! partially optimized query is translated to a form of nested relational
+//! algebra" — this module is that series of rewrite rules:
+//!
+//! - **β-reduction**: `(λv.b)(a) ⇒ b[v := a]`
+//! - **if-simplification**: constant conditions select a branch
+//! - **constant folding** of primitive operators
+//! - **projection of record literals**: `⟨a := e⟩.a ⇒ e`
+//! - **generator unnesting** (the calculus' defining normalization):
+//!   `⊕{e ∣ v ← ⊗{e′ ∣ q̄′}, q̄}` ⇒ `⊕{e[v:=e′] ∣ q̄′, q̄[v:=e′]}`
+//!   for collection monoids ⊗ (with commutativity/idempotence side
+//!   conditions checked against ⊕)
+//! - **generator over zero / singleton / merge**: empty sources erase the
+//!   comprehension, singleton sources become substitutions, merged sources
+//!   split the comprehension
+//! - **condition splitting**: `p ∧ q` filters become two filters
+//! - **filter hoisting**: each filter moves immediately after the last
+//!   generator binding one of its free variables (selection pushdown at the
+//!   calculus level)
+//!
+//! `normalize` iterates to a fixpoint (bounded), so downstream lowering sees
+//! a canonical comprehension: a flat list of generators over raw sources,
+//! filters as early as possible, and a constructor-free head.
+
+use crate::ast::{BinOp, Expr, Qualifier};
+use crate::eval::apply_binop;
+use vida_types::{Monoid, Value};
+
+/// Normalize to fixpoint (bounded at 64 passes; each pass strictly shrinks
+/// or is the last).
+pub fn normalize(expr: &Expr) -> Expr {
+    let mut cur = expr.clone();
+    for _ in 0..64 {
+        let next = pass(&cur);
+        if next == cur {
+            return hoist_filters_deep(&cur);
+        }
+        cur = next;
+    }
+    hoist_filters_deep(&cur)
+}
+
+/// One bottom-up rewrite pass.
+fn pass(expr: &Expr) -> Expr {
+    // Rewrite children first.
+    let e = map_children(expr, &pass);
+    rewrite_node(&e)
+}
+
+fn map_children(expr: &Expr, f: &dyn Fn(&Expr) -> Expr) -> Expr {
+    match expr {
+        Expr::Const(_) | Expr::Var(_) | Expr::Zero(_) => expr.clone(),
+        Expr::Proj(e, field) => Expr::Proj(Box::new(f(e)), field.clone()),
+        Expr::Record(fields) => Expr::Record(
+            fields
+                .iter()
+                .map(|(n, e)| (n.clone(), f(e)))
+                .collect(),
+        ),
+        Expr::If(c, t, e) => Expr::If(Box::new(f(c)), Box::new(f(t)), Box::new(f(e))),
+        Expr::BinOp(op, l, r) => Expr::BinOp(*op, Box::new(f(l)), Box::new(f(r))),
+        Expr::UnOp(op, e) => Expr::UnOp(*op, Box::new(f(e))),
+        Expr::Lambda(v, b) => Expr::Lambda(v.clone(), Box::new(f(b))),
+        Expr::App(a, b) => Expr::App(Box::new(f(a)), Box::new(f(b))),
+        Expr::Singleton(m, e) => Expr::Singleton(*m, Box::new(f(e))),
+        Expr::Merge(m, a, b) => Expr::Merge(*m, Box::new(f(a)), Box::new(f(b))),
+        Expr::Comprehension {
+            monoid,
+            head,
+            qualifiers,
+        } => Expr::Comprehension {
+            monoid: *monoid,
+            head: Box::new(f(head)),
+            qualifiers: qualifiers
+                .iter()
+                .map(|q| match q {
+                    Qualifier::Generator(v, e) => Qualifier::Generator(v.clone(), f(e)),
+                    Qualifier::Filter(e) => Qualifier::Filter(f(e)),
+                })
+                .collect(),
+        },
+        Expr::ListLit(items) => Expr::ListLit(items.iter().map(f).collect()),
+    }
+}
+
+fn rewrite_node(expr: &Expr) -> Expr {
+    match expr {
+        // β-reduction.
+        Expr::App(f, a) => {
+            if let Expr::Lambda(v, body) = f.as_ref() {
+                body.substitute(v, a)
+            } else {
+                expr.clone()
+            }
+        }
+        // if-simplification.
+        Expr::If(c, t, e) => match c.as_ref() {
+            Expr::Const(Value::Bool(true)) => t.as_ref().clone(),
+            Expr::Const(Value::Bool(false)) => e.as_ref().clone(),
+            _ => expr.clone(),
+        },
+        // Constant folding (only when both sides are constants and the
+        // operation cannot fail — errors stay for runtime).
+        Expr::BinOp(op, l, r) => {
+            if let (Expr::Const(lv), Expr::Const(rv)) = (l.as_ref(), r.as_ref()) {
+                match apply_binop(*op, lv.clone(), rv.clone()) {
+                    Ok(v) => Expr::Const(v),
+                    Err(_) => expr.clone(),
+                }
+            } else {
+                simplify_bool(expr)
+            }
+        }
+        // ⟨a := e⟩.a ⇒ e
+        Expr::Proj(e, field) => {
+            if let Expr::Record(fields) = e.as_ref() {
+                if let Some((_, v)) = fields.iter().find(|(n, _)| n == field) {
+                    return v.clone();
+                }
+            }
+            expr.clone()
+        }
+        Expr::Comprehension {
+            monoid,
+            head,
+            qualifiers,
+        } => rewrite_comprehension(*monoid, head, qualifiers),
+        _ => expr.clone(),
+    }
+}
+
+/// Boolean identities on partially-constant predicates.
+fn simplify_bool(expr: &Expr) -> Expr {
+    let Expr::BinOp(op, l, r) = expr else {
+        return expr.clone();
+    };
+    let t = |e: &Expr| matches!(e, Expr::Const(Value::Bool(true)));
+    let f = |e: &Expr| matches!(e, Expr::Const(Value::Bool(false)));
+    match op {
+        BinOp::And => {
+            if t(l) {
+                r.as_ref().clone()
+            } else if t(r) {
+                l.as_ref().clone()
+            } else if f(l) || f(r) {
+                Expr::bool(false)
+            } else {
+                expr.clone()
+            }
+        }
+        BinOp::Or => {
+            if f(l) {
+                r.as_ref().clone()
+            } else if f(r) {
+                l.as_ref().clone()
+            } else if t(l) || t(r) {
+                Expr::bool(true)
+            } else {
+                expr.clone()
+            }
+        }
+        _ => expr.clone(),
+    }
+}
+
+fn rewrite_comprehension(monoid: Monoid, head: &Expr, qualifiers: &[Qualifier]) -> Expr {
+    // Split conjunctive filters first: p and q => p, q.
+    let mut quals: Vec<Qualifier> = Vec::with_capacity(qualifiers.len());
+    for q in qualifiers {
+        match q {
+            Qualifier::Filter(e) => split_conjuncts(e, &mut quals),
+            g => quals.push(g.clone()),
+        }
+    }
+
+    for (i, q) in quals.iter().enumerate() {
+        match q {
+            // Constant filters.
+            Qualifier::Filter(Expr::Const(Value::Bool(true))) => {
+                let mut rest = quals.clone();
+                rest.remove(i);
+                return Expr::Comprehension {
+                    monoid,
+                    head: Box::new(head.clone()),
+                    qualifiers: rest,
+                };
+            }
+            Qualifier::Filter(Expr::Const(Value::Bool(false))) => {
+                return Expr::Zero(monoid);
+            }
+            Qualifier::Generator(v, src) => match src {
+                // v <- zero  =>  whole comprehension is zero.
+                Expr::Zero(_) => return Expr::Zero(monoid),
+                Expr::ListLit(items) if items.is_empty() => return Expr::Zero(monoid),
+                // v <- unit(e)  =>  substitute v := e everywhere after.
+                Expr::Singleton(_, elem) => {
+                    return substitute_generator(monoid, head, &quals, i, v, elem);
+                }
+                Expr::ListLit(items) if items.len() == 1 => {
+                    let elem = items[0].clone();
+                    return substitute_generator(monoid, head, &quals, i, v, &elem);
+                }
+                // v <- (a ⊗ b)  =>  comprehension over a merged with over b.
+                Expr::Merge(_, a, b) => {
+                    let mut qa = quals.clone();
+                    qa[i] = Qualifier::Generator(v.clone(), a.as_ref().clone());
+                    let mut qb = quals.clone();
+                    qb[i] = Qualifier::Generator(v.clone(), b.as_ref().clone());
+                    return Expr::Merge(
+                        monoid,
+                        Box::new(Expr::Comprehension {
+                            monoid,
+                            head: Box::new(head.clone()),
+                            qualifiers: qa,
+                        }),
+                        Box::new(Expr::Comprehension {
+                            monoid,
+                            head: Box::new(head.clone()),
+                            qualifiers: qb,
+                        }),
+                    );
+                }
+                // Generator unnesting: v <- (for {q̄′} yield ⊗ e′), rest.
+                // Sound when splicing preserves ⊕-semantics: the inner
+                // monoid must be a collection; if the inner collection is a
+                // set (idempotent dedup), the outer monoid must be
+                // idempotent too, and list order only survives into
+                // commutative-insensitive outers — we conservatively require
+                // the inner kind to be non-deduplicating (bag/list/array) or
+                // the outer monoid idempotent.
+                Expr::Comprehension {
+                    monoid: inner_m,
+                    head: inner_head,
+                    qualifiers: inner_quals,
+                } => {
+                    let sound = match inner_m {
+                        Monoid::Collection(k) => !k.idempotent() || monoid.idempotent(),
+                        Monoid::Primitive(_) => false,
+                    };
+                    if sound {
+                        return unnest_generator(
+                            monoid,
+                            head,
+                            &quals,
+                            i,
+                            v,
+                            inner_head,
+                            inner_quals,
+                        );
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    Expr::Comprehension {
+        monoid,
+        head: Box::new(head.clone()),
+        qualifiers: quals,
+    }
+}
+
+fn split_conjuncts(e: &Expr, out: &mut Vec<Qualifier>) {
+    if let Expr::BinOp(BinOp::And, l, r) = e {
+        split_conjuncts(l, out);
+        split_conjuncts(r, out);
+    } else {
+        out.push(Qualifier::Filter(e.clone()));
+    }
+}
+
+/// Remove generator `i` binding `v`, substituting `v := elem` into all later
+/// qualifiers and the head.
+fn substitute_generator(
+    monoid: Monoid,
+    head: &Expr,
+    quals: &[Qualifier],
+    i: usize,
+    v: &str,
+    elem: &Expr,
+) -> Expr {
+    let mut new_quals: Vec<Qualifier> = quals[..i].to_vec();
+    for q in &quals[i + 1..] {
+        new_quals.push(match q {
+            Qualifier::Generator(g, e) => Qualifier::Generator(g.clone(), e.substitute(v, elem)),
+            Qualifier::Filter(e) => Qualifier::Filter(e.substitute(v, elem)),
+        });
+    }
+    Expr::Comprehension {
+        monoid,
+        head: Box::new(head.substitute(v, elem)),
+        qualifiers: new_quals,
+    }
+}
+
+/// Splice an inner comprehension's qualifiers in place of generator `i`.
+fn unnest_generator(
+    monoid: Monoid,
+    head: &Expr,
+    quals: &[Qualifier],
+    i: usize,
+    v: &str,
+    inner_head: &Expr,
+    inner_quals: &[Qualifier],
+) -> Expr {
+    // Freshen inner binders that collide with names visible in the outer
+    // comprehension (its binders, later sources, or the head).
+    let mut used: Vec<String> = quals
+        .iter()
+        .filter_map(|q| match q {
+            Qualifier::Generator(g, _) => Some(g.clone()),
+            _ => None,
+        })
+        .collect();
+    used.extend(head.free_vars());
+    for q in quals {
+        match q {
+            Qualifier::Generator(_, e) | Qualifier::Filter(e) => used.extend(e.free_vars()),
+        }
+    }
+
+    let mut renamed: Vec<Qualifier> = Vec::with_capacity(inner_quals.len());
+    let mut inner_head = inner_head.clone();
+    // (old, new) renames applied to later inner qualifiers.
+    let mut rename_in_rest: Vec<(String, String)> = Vec::new();
+    for q in inner_quals {
+        match q {
+            Qualifier::Generator(g, e) => {
+                let mut e = e.clone();
+                for (old, new) in &rename_in_rest {
+                    e = e.substitute(old, &Expr::var(new.clone()));
+                }
+                if used.contains(g) {
+                    let fresh = fresh_name(g, &used);
+                    used.push(fresh.clone());
+                    rename_in_rest.push((g.clone(), fresh.clone()));
+                    renamed.push(Qualifier::Generator(fresh, e));
+                } else {
+                    used.push(g.clone());
+                    renamed.push(Qualifier::Generator(g.clone(), e));
+                }
+            }
+            Qualifier::Filter(e) => {
+                let mut e = e.clone();
+                for (old, new) in &rename_in_rest {
+                    e = e.substitute(old, &Expr::var(new.clone()));
+                }
+                renamed.push(Qualifier::Filter(e));
+            }
+        }
+    }
+    for (old, new) in &rename_in_rest {
+        inner_head = inner_head.substitute(old, &Expr::var(new.clone()));
+    }
+
+    let mut new_quals: Vec<Qualifier> = quals[..i].to_vec();
+    new_quals.extend(renamed);
+    for q in &quals[i + 1..] {
+        new_quals.push(match q {
+            Qualifier::Generator(g, e) => {
+                Qualifier::Generator(g.clone(), e.substitute(v, &inner_head))
+            }
+            Qualifier::Filter(e) => Qualifier::Filter(e.substitute(v, &inner_head)),
+        });
+    }
+    Expr::Comprehension {
+        monoid,
+        head: Box::new(head.substitute(v, &inner_head)),
+        qualifiers: new_quals,
+    }
+}
+
+fn fresh_name(base: &str, used: &[String]) -> String {
+    for i in 1.. {
+        let cand = format!("{base}_{i}");
+        if !used.iter().any(|u| u == &cand) {
+            return cand;
+        }
+    }
+    unreachable!()
+}
+
+/// Hoist filters as early as their free variables permit, recursively.
+fn hoist_filters_deep(expr: &Expr) -> Expr {
+    let e = map_children(expr, &hoist_filters_deep);
+    if let Expr::Comprehension {
+        monoid,
+        head,
+        qualifiers,
+    } = &e
+    {
+        Expr::Comprehension {
+            monoid: *monoid,
+            head: head.clone(),
+            qualifiers: hoist_filters(qualifiers),
+        }
+    } else {
+        e
+    }
+}
+
+/// Reorder qualifiers so each filter sits right after the last generator
+/// binding one of its free variables. Generator order is preserved
+/// (join-order selection belongs to the optimizer, not the normalizer).
+fn hoist_filters(qualifiers: &[Qualifier]) -> Vec<Qualifier> {
+    let generators: Vec<(usize, &Qualifier)> = qualifiers
+        .iter()
+        .enumerate()
+        .filter(|(_, q)| q.is_generator())
+        .collect();
+    let mut slots: Vec<Vec<Qualifier>> = vec![Vec::new(); generators.len() + 1];
+
+    for q in qualifiers {
+        if let Qualifier::Filter(p) = q {
+            let fv = p.free_vars();
+            // Earliest slot = after the last generator whose variable occurs
+            // free in the predicate.
+            let mut slot = 0usize;
+            for (gi, (_, g)) in generators.iter().enumerate() {
+                if let Qualifier::Generator(name, _) = g {
+                    if fv.contains(name) {
+                        slot = gi + 1;
+                    }
+                }
+            }
+            slots[slot].push(Qualifier::Filter(p.clone()));
+        }
+    }
+
+    let mut out = Vec::with_capacity(qualifiers.len());
+    out.extend(slots[0].iter().cloned());
+    for (gi, (_, g)) in generators.iter().enumerate() {
+        out.push((*g).clone());
+        out.extend(slots[gi + 1].iter().cloned());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, Bindings};
+    use crate::parser::parse;
+
+    fn norm(q: &str) -> Expr {
+        normalize(&parse(q).unwrap())
+    }
+
+    #[test]
+    fn beta_reduction() {
+        assert_eq!(norm("(\\x -> x + 1)(41)"), Expr::int(42));
+    }
+
+    #[test]
+    fn constant_folding_and_if() {
+        assert_eq!(norm("1 + 2 * 3"), Expr::int(7));
+        assert_eq!(norm("if 1 < 2 then \"y\" else \"n\""), Expr::str("y"));
+        // Folding must not swallow runtime errors.
+        assert!(matches!(norm("1 / 0"), Expr::BinOp(BinOp::Div, _, _)));
+    }
+
+    #[test]
+    fn bool_identities() {
+        assert_eq!(norm("x and true").to_string(), "x");
+        assert_eq!(norm("false and x"), Expr::bool(false));
+        assert_eq!(norm("x or false").to_string(), "x");
+        assert_eq!(norm("true or x"), Expr::bool(true));
+    }
+
+    #[test]
+    fn record_projection_folds() {
+        assert_eq!(norm("(a := 1, b := 2).b"), Expr::int(2));
+    }
+
+    #[test]
+    fn constant_false_filter_erases_comprehension() {
+        let e = norm("for { x <- Xs, 1 > 2 } yield sum x");
+        assert!(matches!(e, Expr::Zero(_)));
+    }
+
+    #[test]
+    fn constant_true_filter_dropped() {
+        let e = norm("for { x <- Xs, 1 < 2 } yield sum x");
+        let Expr::Comprehension { qualifiers, .. } = e else {
+            panic!()
+        };
+        assert_eq!(qualifiers.len(), 1);
+    }
+
+    #[test]
+    fn generator_over_singleton_substitutes() {
+        let e = norm("for { x <- unit[bag](5), x > 1 } yield sum x");
+        // x := 5 everywhere, filter folds to true and is dropped, leaving a
+        // qualifier-free comprehension evaluating to 5.
+        let mut env = Bindings::new();
+        assert_eq!(eval(&e, &env).unwrap(), vida_types::Value::Int(5));
+        env.clear();
+    }
+
+    #[test]
+    fn generator_over_merge_splits() {
+        let e = norm("for { x <- merge[bag](Xs, Ys) } yield sum x");
+        assert!(matches!(e, Expr::Merge(..)));
+    }
+
+    #[test]
+    fn conjunctive_filters_split() {
+        let e = norm("for { x <- Xs, x.a > 1 and x.b < 2 } yield sum 1");
+        let Expr::Comprehension { qualifiers, .. } = e else {
+            panic!()
+        };
+        assert_eq!(qualifiers.len(), 3); // generator + two filters
+    }
+
+    #[test]
+    fn filters_hoist_to_binding_generator() {
+        // p-filter must move before the g generator.
+        let e = norm(
+            "for { p <- Ps, g <- Gs, p.age > 60, p.id = g.id } yield sum 1",
+        );
+        let Expr::Comprehension { qualifiers, .. } = e else {
+            panic!()
+        };
+        // Expected order: p <- Ps, p.age > 60, g <- Gs, p.id = g.id
+        assert!(qualifiers[0].is_generator());
+        assert!(!qualifiers[1].is_generator());
+        assert_eq!(qualifiers[1], parse_filter("p.age > 60"));
+        assert!(qualifiers[2].is_generator());
+        assert_eq!(qualifiers[3], parse_filter("p.id = g.id"));
+    }
+
+    fn parse_filter(p: &str) -> Qualifier {
+        Qualifier::Filter(parse(p).unwrap())
+    }
+
+    #[test]
+    fn unnesting_splices_inner_comprehension() {
+        let e = norm(
+            "for { x <- for { y <- Ys, y.a > 0 } yield bag y.b, x > 1 } yield sum x",
+        );
+        let Expr::Comprehension {
+            qualifiers, head, ..
+        } = &e
+        else {
+            panic!("expected comprehension, got {e}");
+        };
+        // y <- Ys, y.a > 0, y.b > 1 with head y.b
+        assert_eq!(qualifiers.len(), 3);
+        assert!(qualifiers[0].is_generator());
+        assert_eq!(head.to_string(), "y.b");
+    }
+
+    #[test]
+    fn unnesting_avoids_capture() {
+        // Inner binder y collides with an outer generator named y.
+        let e = norm(
+            "for { x <- for { y <- Ys } yield bag y.b, y <- Zs, y.c > x } yield sum y.c",
+        );
+        let Expr::Comprehension { qualifiers, .. } = &e else {
+            panic!()
+        };
+        // Inner y must be renamed so the outer y <- Zs is unaffected.
+        let names: Vec<String> = qualifiers
+            .iter()
+            .filter_map(|q| match q {
+                Qualifier::Generator(n, _) => Some(n.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert_ne!(names[0], names[1]);
+        assert!(names.contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn set_inner_requires_idempotent_outer() {
+        // set inner + sum outer must NOT unnest (dedup would be lost).
+        let q = "for { x <- for { y <- Ys } yield set y.b } yield sum x";
+        let e = norm(q);
+        let Expr::Comprehension { qualifiers, .. } = &e else {
+            panic!()
+        };
+        let Qualifier::Generator(_, src) = &qualifiers[0] else {
+            panic!()
+        };
+        assert!(matches!(src, Expr::Comprehension { .. }), "must stay nested");
+        // set inner + set outer is fine to unnest.
+        let e2 = norm("for { x <- for { y <- Ys } yield set y.b } yield set x");
+        let Expr::Comprehension { qualifiers, .. } = &e2 else {
+            panic!()
+        };
+        assert_eq!(qualifiers.len(), 1);
+        let Qualifier::Generator(_, src2) = &qualifiers[0] else {
+            panic!()
+        };
+        assert_eq!(src2, &Expr::var("Ys"));
+    }
+
+    #[test]
+    fn normalization_preserves_semantics() {
+        use vida_types::Value;
+        let mut env = Bindings::new();
+        env.insert(
+            "Xs".into(),
+            Value::bag(vec![
+                Value::record([("a", Value::Int(1)), ("b", Value::Int(10))]),
+                Value::record([("a", Value::Int(2)), ("b", Value::Int(20))]),
+                Value::record([("a", Value::Int(3)), ("b", Value::Int(30))]),
+            ]),
+        );
+        let queries = [
+            "for { x <- Xs, x.a > 1 and x.b < 30 } yield sum x.b",
+            "for { x <- Xs } yield bag (v := x.a * 2 + 0)",
+            "for { y <- for { x <- Xs, x.a > 1 } yield bag x } yield sum y.b",
+            "for { x <- merge[bag](Xs, Xs) } yield count x",
+            "(\\t -> for { x <- Xs, x.a >= t } yield sum x.a)(2)",
+        ];
+        for q in queries {
+            let orig = parse(q).unwrap();
+            let n = normalize(&orig);
+            assert_eq!(
+                eval(&orig, &env).unwrap(),
+                eval(&n, &env).unwrap(),
+                "semantics changed for {q}\nnormalized: {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_pathological_nesting() {
+        let mut q = String::from("for { x0 <- Xs } yield bag x0");
+        for i in 1..10 {
+            q = format!("for {{ x{i} <- {q} }} yield bag x{i}");
+        }
+        let e = norm(&q);
+        // Everything collapses to a single comprehension over Xs.
+        let Expr::Comprehension { qualifiers, .. } = &e else {
+            panic!()
+        };
+        assert_eq!(qualifiers.len(), 1);
+    }
+}

@@ -1,0 +1,573 @@
+//! Recursive-descent parser for the comprehension syntax.
+//!
+//! ```text
+//! expr    := lambda | ifExpr | compr | orExpr
+//! lambda  := '\' IDENT '->' expr
+//! ifExpr  := 'if' expr 'then' expr 'else' expr
+//! compr   := 'for' '{' qual (',' qual)* '}' 'yield' monoid expr
+//! qual    := IDENT '<-' expr | expr
+//! orExpr  := andExpr ('or' andExpr)*
+//! andExpr := cmp ('and' cmp)*
+//! cmp     := add (('='|'!='|'<'|'<='|'>'|'>=') add)?
+//! add     := mul (('+'|'-') mul)*
+//! mul     := unary (('*'|'/'|'%') unary)*
+//! unary   := 'not' unary | '-' unary | postfix
+//! postfix := primary ('.' IDENT | '(' expr ')')*
+//! primary := literal | IDENT | '(' recordOrParen ')' | '[' exprs ']'
+//! ```
+//!
+//! `(a := e1, b := e2)` is record construction; a parenthesized single
+//! expression without `:=` is grouping. The pretty-printer in [`crate::ast`]
+//! emits exactly this syntax, and the `parse(print(e)) == e` round-trip is
+//! property-tested.
+
+use crate::ast::{BinOp, Expr, Qualifier, UnOp};
+use crate::lexer::{lex, Token, TokenKind};
+use vida_types::{Monoid, Result, Value, VidaError};
+
+/// Parse a query string into a calculus expression.
+pub fn parse(src: &str) -> Result<Expr> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.tokens[self.pos];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            let (line, col) = self.here();
+            Err(VidaError::parse(
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
+                line,
+                col,
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            let (line, col) = self.here();
+            Err(VidaError::parse(
+                format!("unexpected {} after expression", self.peek().describe()),
+                line,
+                col,
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => {
+                let (line, col) = self.here();
+                Err(VidaError::parse(
+                    format!("expected identifier, found {}", other.describe()),
+                    line,
+                    col,
+                ))
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        match self.peek() {
+            TokenKind::Backslash => self.lambda(),
+            TokenKind::If => self.if_expr(),
+            TokenKind::For => self.comprehension(),
+            _ => self.or_expr(),
+        }
+    }
+
+    fn lambda(&mut self) -> Result<Expr> {
+        self.expect(TokenKind::Backslash)?;
+        let var = self.ident()?;
+        self.expect(TokenKind::RArrow)?;
+        let body = self.expr()?;
+        Ok(Expr::Lambda(var, Box::new(body)))
+    }
+
+    fn if_expr(&mut self) -> Result<Expr> {
+        self.expect(TokenKind::If)?;
+        let c = self.expr()?;
+        self.expect(TokenKind::Then)?;
+        let t = self.expr()?;
+        self.expect(TokenKind::Else)?;
+        let e = self.expr()?;
+        Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)))
+    }
+
+    fn comprehension(&mut self) -> Result<Expr> {
+        self.expect(TokenKind::For)?;
+        self.expect(TokenKind::LBrace)?;
+        let mut qualifiers = Vec::new();
+        loop {
+            qualifiers.push(self.qualifier()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RBrace)?;
+        self.expect(TokenKind::Yield)?;
+        let monoid = self.monoid_name()?;
+        let head = self.expr()?;
+        Ok(Expr::Comprehension {
+            monoid,
+            head: Box::new(head),
+            qualifiers,
+        })
+    }
+
+    fn qualifier(&mut self) -> Result<Qualifier> {
+        // Lookahead: IDENT '<-' starts a generator.
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if matches!(self.peek2(), TokenKind::Arrow) {
+                self.bump(); // ident
+                self.bump(); // <-
+                let source = self.expr()?;
+                return Ok(Qualifier::Generator(name, source));
+            }
+        }
+        Ok(Qualifier::Filter(self.expr()?))
+    }
+
+    fn monoid_name(&mut self) -> Result<Monoid> {
+        let (line, col) = self.here();
+        let name = match self.bump() {
+            TokenKind::Ident(s) => s,
+            TokenKind::And => "and".to_string(),
+            TokenKind::Or => "or".to_string(),
+            other => {
+                return Err(VidaError::parse(
+                    format!("expected monoid name after yield, found {}", other.describe()),
+                    line,
+                    col,
+                ))
+            }
+        };
+        Monoid::from_name(&name).ok_or_else(|| {
+            VidaError::parse(format!("unknown monoid '{name}'"), line, col)
+        })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::Ne => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::bin(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Not) {
+            let e = self.unary()?;
+            return Ok(Expr::UnOp(UnOp::Not, Box::new(e)));
+        }
+        if self.eat(&TokenKind::Minus) {
+            let e = self.unary()?;
+            // Fold negative literals immediately for readable ASTs.
+            return Ok(match e {
+                Expr::Const(Value::Int(i)) => Expr::int(-i),
+                Expr::Const(Value::Float(f)) => Expr::float(-f),
+                other => Expr::UnOp(UnOp::Neg, Box::new(other)),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                let field = self.ident()?;
+                e = Expr::Proj(Box::new(e), field);
+            } else if matches!(self.peek(), TokenKind::LParen)
+                && matches!(e, Expr::Var(_) | Expr::Lambda(..) | Expr::App(..))
+            {
+                // Function application; only lambdas/vars/apps are callable,
+                // which keeps `(x + 1) (y)` unambiguous.
+                self.bump();
+                let arg = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                e = Expr::App(Box::new(e), Box::new(arg));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let (line, col) = self.here();
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::int(i))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::float(f))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::str(s))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::bool(false))
+            }
+            TokenKind::Null => {
+                self.bump();
+                Ok(Expr::Const(Value::Null))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                // zero[m] / unit[m](e) / merge[m](a, b) builtin forms.
+                match name.as_str() {
+                    "zero" | "unit" | "merge" if matches!(self.peek(), TokenKind::LBracket) => {
+                        self.bump(); // [
+                        let m = self.monoid_name()?;
+                        self.expect(TokenKind::RBracket)?;
+                        match name.as_str() {
+                            "zero" => Ok(Expr::Zero(m)),
+                            "unit" => {
+                                self.expect(TokenKind::LParen)?;
+                                let e = self.expr()?;
+                                self.expect(TokenKind::RParen)?;
+                                Ok(Expr::Singleton(m, Box::new(e)))
+                            }
+                            _ => {
+                                self.expect(TokenKind::LParen)?;
+                                let a = self.expr()?;
+                                self.expect(TokenKind::Comma)?;
+                                let b = self.expr()?;
+                                self.expect(TokenKind::RParen)?;
+                                Ok(Expr::Merge(m, Box::new(a), Box::new(b)))
+                            }
+                        }
+                    }
+                    _ => Ok(Expr::var(name)),
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                // Record constructor iff IDENT ':=' follows.
+                if let TokenKind::Ident(first) = self.peek().clone() {
+                    if matches!(self.peek2(), TokenKind::Assign) {
+                        let mut fields = Vec::new();
+                        let mut fname = first;
+                        self.bump(); // ident
+                        loop {
+                            self.expect(TokenKind::Assign)?;
+                            let val = self.expr()?;
+                            fields.push((fname.clone(), val));
+                            if self.eat(&TokenKind::Comma) {
+                                fname = self.ident()?;
+                            } else {
+                                break;
+                            }
+                        }
+                        self.expect(TokenKind::RParen)?;
+                        return Ok(Expr::Record(fields));
+                    }
+                }
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !matches!(self.peek(), TokenKind::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+                Ok(Expr::ListLit(items))
+            }
+            TokenKind::If => self.if_expr(),
+            TokenKind::For => self.comprehension(),
+            TokenKind::Backslash => self.lambda(),
+            other => Err(VidaError::parse(
+                format!("unexpected {}", other.describe()),
+                line,
+                col,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vida_types::{CollectionKind, PrimitiveMonoid};
+
+    #[test]
+    fn parses_paper_count_query() {
+        // The §3.2 example translated from SQL.
+        let e = parse(
+            "for { e <- Employees, d <- Departments, \
+             e.deptNo = d.id, d.deptName = \"HR\" } yield sum 1",
+        )
+        .unwrap();
+        let Expr::Comprehension {
+            monoid, qualifiers, ..
+        } = &e
+        else {
+            panic!()
+        };
+        assert_eq!(*monoid, Monoid::Primitive(PrimitiveMonoid::Sum));
+        assert_eq!(qualifiers.len(), 4);
+        assert!(qualifiers[0].is_generator());
+        assert!(qualifiers[1].is_generator());
+        assert!(!qualifiers[2].is_generator());
+    }
+
+    #[test]
+    fn parses_nested_comprehension_with_record_head() {
+        // The paper's nested department-list query.
+        let e = parse(
+            "for { e <- Employees, d <- Departments, e.deptNo = d.id } \
+             yield set (emp := e.name, \
+                        depList := for { d2 <- Departments, d.id = d2.id } yield set d2)",
+        )
+        .unwrap();
+        let Expr::Comprehension { monoid, head, .. } = &e else {
+            panic!()
+        };
+        assert_eq!(*monoid, Monoid::Collection(CollectionKind::Set));
+        let Expr::Record(fields) = head.as_ref() else {
+            panic!()
+        };
+        assert_eq!(fields[0].0, "emp");
+        assert!(matches!(fields[1].1, Expr::Comprehension { .. }));
+    }
+
+    #[test]
+    fn precedence_arithmetic_over_comparison_over_bool() {
+        let e = parse("a + b * 2 < c and d > 1 or e = 2").unwrap();
+        // ((a + (b*2)) < c and (d > 1)) or (e = 2)
+        let Expr::BinOp(BinOp::Or, l, r) = e else { panic!() };
+        let Expr::BinOp(BinOp::And, ll, _) = *l else {
+            panic!()
+        };
+        let Expr::BinOp(BinOp::Lt, lhs, _) = *ll else {
+            panic!()
+        };
+        let Expr::BinOp(BinOp::Add, _, mul) = *lhs else {
+            panic!()
+        };
+        assert!(matches!(*mul, Expr::BinOp(BinOp::Mul, _, _)));
+        assert!(matches!(*r, Expr::BinOp(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn record_vs_grouping_parens() {
+        assert!(matches!(parse("(a := 1)").unwrap(), Expr::Record(_)));
+        assert!(matches!(
+            parse("(1 + 2)").unwrap(),
+            Expr::BinOp(BinOp::Add, _, _)
+        ));
+        let r = parse("(x := 1, y := \"two\")").unwrap();
+        let Expr::Record(fields) = r else { panic!() };
+        assert_eq!(fields.len(), 2);
+    }
+
+    #[test]
+    fn projections_chain() {
+        let e = parse("a.b.c").unwrap();
+        assert_eq!(e, Expr::var("a").proj("b").proj("c"));
+    }
+
+    #[test]
+    fn if_then_else() {
+        let e = parse("if x > 0 then 1 else -1").unwrap();
+        let Expr::If(_, t, f) = e else { panic!() };
+        assert_eq!(*t, Expr::int(1));
+        assert_eq!(*f, Expr::int(-1));
+    }
+
+    #[test]
+    fn lambda_and_application() {
+        let e = parse("(\\x -> x + 1)(41)").unwrap();
+        let Expr::App(f, a) = e else { panic!() };
+        assert!(matches!(*f, Expr::Lambda(..)));
+        assert_eq!(*a, Expr::int(41));
+    }
+
+    #[test]
+    fn builtin_monoid_forms() {
+        assert_eq!(
+            parse("zero[sum]").unwrap(),
+            Expr::Zero(Monoid::Primitive(PrimitiveMonoid::Sum))
+        );
+        let u = parse("unit[bag](7)").unwrap();
+        assert!(matches!(u, Expr::Singleton(Monoid::Collection(CollectionKind::Bag), _)));
+        let m = parse("merge[list]([1], [2])").unwrap();
+        assert!(matches!(m, Expr::Merge(Monoid::Collection(CollectionKind::List), _, _)));
+    }
+
+    #[test]
+    fn list_literal() {
+        let e = parse("[1, 2, 3]").unwrap();
+        assert_eq!(e, Expr::ListLit(vec![Expr::int(1), Expr::int(2), Expr::int(3)]));
+        assert_eq!(parse("[]").unwrap(), Expr::ListLit(vec![]));
+    }
+
+    #[test]
+    fn yield_bool_monoids_via_keywords() {
+        let e = parse("for { x <- Xs } yield and x.ok").unwrap();
+        let Expr::Comprehension { monoid, .. } = e else {
+            panic!()
+        };
+        assert_eq!(monoid, Monoid::Primitive(PrimitiveMonoid::All));
+    }
+
+    #[test]
+    fn error_messages_have_positions() {
+        let e = parse("for { x <- } yield sum 1").unwrap_err();
+        assert_eq!(e.kind(), "parse");
+        let e2 = parse("for { x <- Xs } yield frobnicate 1").unwrap_err();
+        assert!(e2.to_string().contains("unknown monoid"));
+        assert!(parse("1 +").is_err());
+        assert!(parse("(a := )").is_err());
+        assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn round_trip_display_parse() {
+        let queries = [
+            "for { p <- Patients, (p.age > 60) } yield sum 1",
+            "for { p <- Ps, g <- Gs, (p.id = g.id) } yield bag (id := p.id, v := g.v)",
+            "if (x = 1) then \"a\" else \"b\"",
+            "merge[bag](unit[bag](1), zero[bag])",
+            "[1, 2.5, \"three\"]",
+            "(\\x -> (x + 1))(2)",
+        ];
+        for q in queries {
+            let e1 = parse(q).unwrap();
+            let printed = e1.to_string();
+            let e2 = parse(&printed).unwrap_or_else(|err| {
+                panic!("reparse of {printed:?} failed: {err}")
+            });
+            assert_eq!(e1, e2, "round trip failed for {q}");
+        }
+    }
+}

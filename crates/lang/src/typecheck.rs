@@ -1,0 +1,467 @@
+//! Static type checking of calculus expressions.
+//!
+//! Checks a query against a [`TypeEnv`] holding the dataset types from the
+//! catalog (ViDa §3.1: descriptions "validate user queries"). Beyond error
+//! detection, the inferred types drive the optimizer's layout decisions and
+//! the JIT's register classes.
+//!
+//! The checker also enforces a **no-shadowing** rule — a generator or lambda
+//! may not rebind a name already in scope. The paper's normalizer relies on
+//! capture-free substitution; banning shadowing keeps that sound without
+//! α-renaming.
+
+use crate::ast::{BinOp, Expr, Qualifier, UnOp};
+use std::collections::HashMap;
+use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Result, Type, VidaError};
+
+/// Typing environment: names in scope (datasets and bound variables).
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    vars: HashMap<String, Type>,
+}
+
+impl TypeEnv {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a dataset (or any variable) type.
+    pub fn bind(&mut self, name: impl Into<String>, ty: Type) -> &mut Self {
+        self.vars.insert(name.into(), ty);
+        self
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<&Type> {
+        self.vars.get(name)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+}
+
+/// Infer the type of `expr` under `env`.
+pub fn typecheck(expr: &Expr, env: &TypeEnv) -> Result<Type> {
+    check(expr, &mut env.clone())
+}
+
+fn check(expr: &Expr, env: &mut TypeEnv) -> Result<Type> {
+    match expr {
+        Expr::Const(v) => Ok(Type::of_value(v)),
+        Expr::Var(name) => env
+            .lookup(name)
+            .cloned()
+            .ok_or_else(|| VidaError::Unresolved(name.clone())),
+        Expr::Proj(e, field) => {
+            let t = check(e, env)?;
+            match &t {
+                Type::Unknown => Ok(Type::Unknown),
+                Type::Record(_) => t.field(field).cloned().ok_or_else(|| {
+                    VidaError::Type(format!("record {t} has no field '{field}'"))
+                }),
+                other => Err(VidaError::Type(format!(
+                    "projection .{field} on non-record type {other}"
+                ))),
+            }
+        }
+        Expr::Record(fields) => {
+            let mut seen = Vec::new();
+            let mut out = Vec::with_capacity(fields.len());
+            for (n, e) in fields {
+                if seen.contains(n) {
+                    return Err(VidaError::Type(format!("duplicate record field '{n}'")));
+                }
+                seen.push(n.clone());
+                out.push((n.clone(), check(e, env)?));
+            }
+            Ok(Type::Record(out))
+        }
+        Expr::If(c, t, f) => {
+            let ct = check(c, env)?;
+            if !ct.compatible(&Type::Bool) {
+                return Err(VidaError::Type(format!("if condition has type {ct}")));
+            }
+            let tt = check(t, env)?;
+            let ft = check(f, env)?;
+            tt.unify(&ft).ok_or_else(|| {
+                VidaError::Type(format!("if branches have incompatible types {tt} / {ft}"))
+            })
+        }
+        Expr::BinOp(op, l, r) => {
+            let lt = check(l, env)?;
+            let rt = check(r, env)?;
+            match op {
+                BinOp::Add if lt == Type::Str && rt == Type::Str => Ok(Type::Str),
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    if !lt.is_numeric() || !rt.is_numeric() {
+                        return Err(VidaError::Type(format!(
+                            "arithmetic '{}' on {lt} and {rt}",
+                            op.symbol()
+                        )));
+                    }
+                    lt.unify(&rt)
+                        .ok_or_else(|| VidaError::Type(format!("cannot unify {lt} and {rt}")))
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    if !lt.compatible(&rt) {
+                        return Err(VidaError::Type(format!(
+                            "comparison '{}' between incompatible {lt} and {rt}",
+                            op.symbol()
+                        )));
+                    }
+                    Ok(Type::Bool)
+                }
+                BinOp::And | BinOp::Or => {
+                    if !lt.compatible(&Type::Bool) || !rt.compatible(&Type::Bool) {
+                        return Err(VidaError::Type(format!(
+                            "boolean '{}' on {lt} and {rt}",
+                            op.symbol()
+                        )));
+                    }
+                    Ok(Type::Bool)
+                }
+            }
+        }
+        Expr::UnOp(UnOp::Not, e) => {
+            let t = check(e, env)?;
+            if !t.compatible(&Type::Bool) {
+                return Err(VidaError::Type(format!("'not' on {t}")));
+            }
+            Ok(Type::Bool)
+        }
+        Expr::UnOp(UnOp::Neg, e) => {
+            let t = check(e, env)?;
+            if !t.is_numeric() {
+                return Err(VidaError::Type(format!("negation of {t}")));
+            }
+            Ok(t)
+        }
+        // A bare lambda is a function value; it only types when applied.
+        Expr::Lambda(..) => Ok(Type::Unknown),
+        Expr::App(f, a) => match f.as_ref() {
+            Expr::Lambda(v, body) => {
+                if env.contains(v) {
+                    return Err(VidaError::Type(format!(
+                        "lambda parameter '{v}' shadows an existing name"
+                    )));
+                }
+                let at = check(a, env)?;
+                env.bind(v.clone(), at);
+                let r = check(body, env);
+                env.vars.remove(v);
+                r
+            }
+            _ => {
+                check(f, env)?;
+                check(a, env)?;
+                Ok(Type::Unknown)
+            }
+        },
+        Expr::Zero(m) => Ok(monoid_zero_type(*m)),
+        Expr::Singleton(m, e) => {
+            let t = check(e, env)?;
+            monoid_result_type(*m, &t)
+        }
+        Expr::Merge(m, l, r) => {
+            let lt = check(l, env)?;
+            let rt = check(r, env)?;
+            let t = lt.unify(&rt).ok_or_else(|| {
+                VidaError::Type(format!("merge of incompatible {lt} and {rt}"))
+            })?;
+            match m {
+                Monoid::Collection(kind) => match &t {
+                    Type::Unknown => Ok(Type::Collection(*kind, Box::new(Type::Unknown))),
+                    Type::Collection(k, _) if k == kind => Ok(t),
+                    other => Err(VidaError::Type(format!(
+                        "merge[{m}] on non-{} type {other}",
+                        kind.name()
+                    ))),
+                },
+                Monoid::Primitive(_) => Ok(t),
+            }
+        }
+        Expr::Comprehension {
+            monoid,
+            head,
+            qualifiers,
+        } => {
+            let mut bound = Vec::new();
+            let mut result = Ok(Type::Unknown);
+            for q in qualifiers {
+                match q {
+                    Qualifier::Generator(v, src) => {
+                        if env.contains(v) {
+                            result = Err(VidaError::Type(format!(
+                                "generator '{v}' shadows an existing name"
+                            )));
+                            break;
+                        }
+                        let st = match check(src, env) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                result = Err(e);
+                                break;
+                            }
+                        };
+                        let elem = match &st {
+                            Type::Unknown => Type::Unknown,
+                            _ => match st.elem() {
+                                Some(t) => t.clone(),
+                                None => {
+                                    result = Err(VidaError::Type(format!(
+                                        "generator '{v}' over non-collection type {st}"
+                                    )));
+                                    break;
+                                }
+                            },
+                        };
+                        env.bind(v.clone(), elem);
+                        bound.push(v.clone());
+                    }
+                    Qualifier::Filter(p) => {
+                        let pt = match check(p, env) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                result = Err(e);
+                                break;
+                            }
+                        };
+                        if !pt.compatible(&Type::Bool) {
+                            result =
+                                Err(VidaError::Type(format!("filter has type {pt}, not bool")));
+                            break;
+                        }
+                    }
+                }
+            }
+            let out = match result {
+                Ok(_) => check(head, env).and_then(|ht| monoid_result_type(*monoid, &ht)),
+                Err(e) => Err(e),
+            };
+            for v in bound {
+                env.vars.remove(&v);
+            }
+            out
+        }
+        Expr::ListLit(items) => {
+            let mut elem = Type::Unknown;
+            for e in items {
+                let t = check(e, env)?;
+                elem = elem.unify(&t).ok_or_else(|| {
+                    VidaError::Type(format!("heterogeneous list literal: {elem} vs {t}"))
+                })?;
+            }
+            Ok(Type::Collection(CollectionKind::List, Box::new(elem)))
+        }
+    }
+}
+
+fn monoid_zero_type(m: Monoid) -> Type {
+    match m {
+        Monoid::Primitive(PrimitiveMonoid::Count) => Type::Int,
+        Monoid::Primitive(PrimitiveMonoid::Avg) => Type::Float,
+        Monoid::Primitive(PrimitiveMonoid::All) | Monoid::Primitive(PrimitiveMonoid::Any) => {
+            Type::Bool
+        }
+        Monoid::Primitive(_) => Type::Unknown,
+        Monoid::Collection(k) => Type::Collection(k, Box::new(Type::Unknown)),
+    }
+}
+
+/// Result type of folding heads of type `head` with monoid `m`.
+fn monoid_result_type(m: Monoid, head: &Type) -> Result<Type> {
+    match m {
+        Monoid::Primitive(PrimitiveMonoid::Sum)
+        | Monoid::Primitive(PrimitiveMonoid::Prod)
+        | Monoid::Primitive(PrimitiveMonoid::Max)
+        | Monoid::Primitive(PrimitiveMonoid::Min) => {
+            // max/min also order strings; sum/prod need numbers.
+            let numeric_only = matches!(
+                m,
+                Monoid::Primitive(PrimitiveMonoid::Sum) | Monoid::Primitive(PrimitiveMonoid::Prod)
+            );
+            if numeric_only && !head.is_numeric() {
+                return Err(VidaError::Type(format!("{m} over non-numeric {head}")));
+            }
+            Ok(head.clone())
+        }
+        Monoid::Primitive(PrimitiveMonoid::Count) => Ok(Type::Int),
+        Monoid::Primitive(PrimitiveMonoid::Avg) => {
+            if !head.is_numeric() {
+                return Err(VidaError::Type(format!("avg over non-numeric {head}")));
+            }
+            Ok(Type::Float)
+        }
+        Monoid::Primitive(PrimitiveMonoid::All) | Monoid::Primitive(PrimitiveMonoid::Any) => {
+            if !head.compatible(&Type::Bool) {
+                return Err(VidaError::Type(format!("{m} over non-boolean {head}")));
+            }
+            Ok(Type::Bool)
+        }
+        Monoid::Collection(k) => Ok(Type::Collection(k, Box::new(head.clone()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn env() -> TypeEnv {
+        let mut env = TypeEnv::new();
+        env.bind(
+            "Employees",
+            Type::bag(Type::record([
+                ("id", Type::Int),
+                ("name", Type::Str),
+                ("deptNo", Type::Int),
+                ("age", Type::Int),
+            ])),
+        );
+        env.bind(
+            "Departments",
+            Type::bag(Type::record([
+                ("id", Type::Int),
+                ("deptName", Type::Str),
+            ])),
+        );
+        env
+    }
+
+    fn ty(q: &str) -> Type {
+        typecheck(&parse(q).unwrap(), &env()).unwrap()
+    }
+
+    fn ty_err(q: &str) -> String {
+        typecheck(&parse(q).unwrap(), &env())
+            .unwrap_err()
+            .to_string()
+    }
+
+    #[test]
+    fn count_query_types_as_int() {
+        assert_eq!(
+            ty("for { e <- Employees, d <- Departments, e.deptNo = d.id } yield sum 1"),
+            Type::Int
+        );
+    }
+
+    #[test]
+    fn bag_of_records_result() {
+        let t = ty("for { e <- Employees } yield bag (n := e.name, a := e.age)");
+        assert_eq!(
+            t,
+            Type::bag(Type::record([("n", Type::Str), ("a", Type::Int)]))
+        );
+    }
+
+    #[test]
+    fn avg_is_float_count_is_int() {
+        assert_eq!(ty("for { e <- Employees } yield avg e.age"), Type::Float);
+        assert_eq!(ty("for { e <- Employees } yield count e"), Type::Int);
+        assert_eq!(ty("for { e <- Employees } yield max e.name"), Type::Str);
+    }
+
+    #[test]
+    fn unknown_fields_rejected() {
+        assert!(ty_err("for { e <- Employees } yield sum e.salary").contains("no field"));
+    }
+
+    #[test]
+    fn unresolved_dataset_rejected() {
+        let e = typecheck(&parse("for { x <- Nope } yield sum 1").unwrap(), &env());
+        assert_eq!(e.unwrap_err().kind(), "unresolved");
+    }
+
+    #[test]
+    fn generator_over_scalar_rejected() {
+        assert!(
+            ty_err("for { e <- Employees, x <- e.age } yield sum x").contains("non-collection")
+        );
+    }
+
+    #[test]
+    fn filter_must_be_bool() {
+        assert!(ty_err("for { e <- Employees, e.age + 1 } yield sum 1").contains("not bool"));
+    }
+
+    #[test]
+    fn shadowing_rejected() {
+        assert!(ty_err(
+            "for { e <- Employees, e <- Departments } yield sum 1"
+        )
+        .contains("shadows"));
+        let mut env2 = env();
+        env2.bind("x", Type::Int);
+        let err = typecheck(&parse("(\\x -> x)(1)").unwrap(), &env2).unwrap_err();
+        assert!(err.to_string().contains("shadows"));
+    }
+
+    #[test]
+    fn arithmetic_type_rules() {
+        assert_eq!(ty("1 + 2"), Type::Int);
+        assert_eq!(ty("1 + 2.0"), Type::Float);
+        assert_eq!(ty("\"a\" + \"b\""), Type::Str);
+        assert!(ty_err("1 + \"a\"").contains("arithmetic"));
+        assert!(ty_err("\"a\" < 1").contains("incompatible"));
+    }
+
+    #[test]
+    fn boolean_monoids_require_bool_heads() {
+        assert_eq!(ty("for { e <- Employees } yield all e.age > 1"), Type::Bool);
+        assert!(ty_err("for { e <- Employees } yield all e.age").contains("non-boolean"));
+        assert!(ty_err("for { e <- Employees } yield sum e.name").contains("non-numeric"));
+    }
+
+    #[test]
+    fn nested_comprehension_types() {
+        let t = ty(
+            "for { d <- Departments } yield bag \
+             (dept := d.deptName, \
+              ids := for { e <- Employees, e.deptNo = d.id } yield list e.id)",
+        );
+        let Type::Collection(CollectionKind::Bag, elem) = t else {
+            panic!()
+        };
+        assert_eq!(
+            elem.field("ids"),
+            Some(&Type::Collection(CollectionKind::List, Box::new(Type::Int)))
+        );
+    }
+
+    #[test]
+    fn if_branches_unify() {
+        assert_eq!(ty("if true then 1 else 2.5"), Type::Float);
+        assert!(ty_err("if true then 1 else \"a\"").contains("incompatible"));
+        assert!(ty_err("if 1 then 1 else 2").contains("condition"));
+    }
+
+    #[test]
+    fn duplicate_record_fields_rejected() {
+        assert!(ty_err("(a := 1, a := 2)").contains("duplicate"));
+    }
+
+    #[test]
+    fn lambda_application_types_body() {
+        assert_eq!(ty("(\\v -> v + 1)(41)"), Type::Int);
+    }
+
+    #[test]
+    fn list_literal_unifies() {
+        assert_eq!(
+            ty("[1, 2.0]"),
+            Type::Collection(CollectionKind::List, Box::new(Type::Float))
+        );
+        assert!(ty_err("[1, \"a\"]").contains("heterogeneous"));
+    }
+
+    #[test]
+    fn merge_type_rules() {
+        assert_eq!(ty("merge[sum](1, 2)"), Type::Int);
+        assert_eq!(
+            ty("merge[bag](unit[bag](1), zero[bag])"),
+            Type::bag(Type::Int)
+        );
+        assert!(ty_err("merge[bag](1, 2)").contains("non-bag"));
+    }
+}

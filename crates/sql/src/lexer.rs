@@ -1,0 +1,261 @@
+//! SQL tokenizer (case-insensitive keywords, `'single-quoted'` strings).
+
+use vida_types::{Result, VidaError};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlToken {
+    /// Uppercased keyword (SELECT, FROM, JOIN, ON, WHERE, AND, OR, NOT, AS,
+    /// COUNT, SUM, AVG, MIN, MAX, DISTINCT).
+    Keyword(String),
+    /// Identifier (original case preserved).
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Slash,
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "JOIN", "INNER", "ON", "WHERE", "AND", "OR", "NOT", "AS", "COUNT", "SUM",
+    "AVG", "MIN", "MAX", "DISTINCT", "TRUE", "FALSE", "NULL",
+];
+
+pub fn lex_sql(src: &str) -> Result<Vec<SqlToken>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            b',' => {
+                out.push(SqlToken::Comma);
+                i += 1;
+            }
+            b'.' => {
+                out.push(SqlToken::Dot);
+                i += 1;
+            }
+            b'(' => {
+                out.push(SqlToken::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(SqlToken::RParen);
+                i += 1;
+            }
+            b'*' => {
+                out.push(SqlToken::Star);
+                i += 1;
+            }
+            b'+' => {
+                out.push(SqlToken::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(SqlToken::Minus);
+                i += 1;
+            }
+            b'/' => {
+                out.push(SqlToken::Slash);
+                i += 1;
+            }
+            b'=' => {
+                out.push(SqlToken::Eq);
+                i += 1;
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(SqlToken::Ne);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(SqlToken::Le);
+                    i += 2;
+                } else {
+                    out.push(SqlToken::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(SqlToken::Ge);
+                    i += 2;
+                } else {
+                    out.push(SqlToken::Gt);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(SqlToken::Ne);
+                    i += 2;
+                } else {
+                    return Err(VidaError::parse("unexpected '!'", 1, i as u32 + 1));
+                }
+            }
+            b'\'' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(VidaError::parse(
+                            "unterminated string literal",
+                            1,
+                            i as u32 + 1,
+                        ));
+                    }
+                    if bytes[j] == b'\'' {
+                        // '' escapes a quote
+                        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(bytes[j] as char);
+                    j += 1;
+                }
+                out.push(SqlToken::Str(s));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).unwrap();
+                if is_float {
+                    out.push(SqlToken::Float(text.parse().map_err(|_| {
+                        VidaError::parse("bad float", 1, start as u32 + 1)
+                    })?));
+                } else {
+                    out.push(SqlToken::Int(text.parse().map_err(|_| {
+                        VidaError::parse("integer out of range", 1, start as u32 + 1)
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'"' => {
+                // "quoted identifiers" keep case and allow keywords as names.
+                if c == b'"' {
+                    let start = i + 1;
+                    let end = bytes[start..]
+                        .iter()
+                        .position(|&b| b == b'"')
+                        .ok_or_else(|| {
+                            VidaError::parse("unterminated quoted identifier", 1, i as u32 + 1)
+                        })?
+                        + start;
+                    out.push(SqlToken::Ident(
+                        String::from_utf8_lossy(&bytes[start..end]).into_owned(),
+                    ));
+                    i = end + 1;
+                    continue;
+                }
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = std::str::from_utf8(&bytes[start..i]).unwrap();
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(SqlToken::Keyword(upper));
+                } else {
+                    out.push(SqlToken::Ident(word.to_string()));
+                }
+            }
+            other => {
+                return Err(VidaError::parse(
+                    format!("unexpected character '{}'", other as char),
+                    1,
+                    i as u32 + 1,
+                ))
+            }
+        }
+    }
+    out.push(SqlToken::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let t = lex_sql("select From WHERE").unwrap();
+        assert_eq!(t[0], SqlToken::Keyword("SELECT".into()));
+        assert_eq!(t[1], SqlToken::Keyword("FROM".into()));
+        assert_eq!(t[2], SqlToken::Keyword("WHERE".into()));
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        let t = lex_sql("Patients p").unwrap();
+        assert_eq!(t[0], SqlToken::Ident("Patients".into()));
+        assert_eq!(t[1], SqlToken::Ident("p".into()));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let t = lex_sql("'HR' 'o''brien'").unwrap();
+        assert_eq!(t[0], SqlToken::Str("HR".into()));
+        assert_eq!(t[1], SqlToken::Str("o'brien".into()));
+        assert!(lex_sql("'open").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let t = lex_sql("= <> != <= >= < >").unwrap();
+        assert_eq!(
+            &t[..7],
+            &[
+                SqlToken::Eq,
+                SqlToken::Ne,
+                SqlToken::Ne,
+                SqlToken::Le,
+                SqlToken::Ge,
+                SqlToken::Lt,
+                SqlToken::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let t = lex_sql("42 2.5").unwrap();
+        assert_eq!(t[0], SqlToken::Int(42));
+        assert_eq!(t[1], SqlToken::Float(2.5));
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        let t = lex_sql("\"select\"").unwrap();
+        assert_eq!(t[0], SqlToken::Ident("select".into()));
+    }
+}

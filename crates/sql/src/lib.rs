@@ -1,0 +1,30 @@
+//! # vida-sql
+//!
+//! SQL front-end for ViDa (§3.2 "Expressive Power").
+//!
+//! "Support for a variety of query languages can be provided through a
+//! 'syntactic sugar' translation layer, which maps queries written in the
+//! original language to the internal notation." This crate is that layer
+//! for a SQL subset sufficient for the paper's evaluation workload:
+//!
+//! ```sql
+//! SELECT val1, ..., valN
+//! FROM Patients p JOIN Genetics g ON (p.id = g.id)
+//!                 JOIN BrainRegions b ON (g.id = b.id)
+//! WHERE pred1 AND ... AND predN
+//! ```
+//!
+//! plus single-aggregate queries (`SELECT COUNT(*) ...`, `SUM`, `AVG`,
+//! `MIN`, `MAX`). Translation targets the monoid comprehension calculus —
+//! the SQL above becomes
+//!
+//! ```text
+//! for { p <- Patients, g <- Genetics, b <- BrainRegions,
+//!       p.id = g.id, g.id = b.id, pred1, ..., predN
+//! } yield bag (val1 := ..., ...)
+//! ```
+
+mod lexer;
+mod translate;
+
+pub use translate::sql_to_comprehension;

@@ -1,0 +1,567 @@
+//! SQL → comprehension translation.
+
+use crate::lexer::{lex_sql, SqlToken};
+use vida_lang::{BinOp, Expr, Qualifier, UnOp};
+use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Result, Value, VidaError};
+
+/// Translate a SQL query into a monoid comprehension expression.
+///
+/// Supported shape:
+/// `SELECT items FROM t [a] (JOIN t2 [a2] ON pred)* [WHERE pred]`
+/// where items are column expressions (optionally aliased) or a single
+/// aggregate (`COUNT(*)`, `COUNT(e)`, `SUM(e)`, `AVG(e)`, `MIN(e)`,
+/// `MAX(e)`), or `SELECT DISTINCT` for set semantics.
+pub fn sql_to_comprehension(sql: &str) -> Result<Expr> {
+    let tokens = lex_sql(sql)?;
+    let mut p = SqlParser { tokens, pos: 0 };
+    let e = p.query()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct SqlParser {
+    tokens: Vec<SqlToken>,
+    pos: usize,
+}
+
+#[derive(Debug)]
+enum SelectItem {
+    /// Plain expression with output name.
+    Expr(String, Expr),
+    /// Aggregate call (monoid, argument; None = COUNT(*)).
+    Agg(PrimitiveMonoid, Option<Expr>),
+    /// `SELECT *`
+    Star,
+}
+
+impl SqlParser {
+    fn peek(&self) -> &SqlToken {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> SqlToken {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &SqlToken) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), SqlToken::Keyword(k) if k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(VidaError::parse(
+                format!("expected {kw}, found {:?}", self.peek()),
+                1,
+                self.pos as u32 + 1,
+            ))
+        }
+    }
+
+    fn expect(&mut self, t: SqlToken) -> Result<()> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(VidaError::parse(
+                format!("expected {t:?}, found {:?}", self.peek()),
+                1,
+                self.pos as u32 + 1,
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), SqlToken::Eof) {
+            Ok(())
+        } else {
+            Err(VidaError::parse(
+                format!("unexpected {:?} after query", self.peek()),
+                1,
+                self.pos as u32 + 1,
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            SqlToken::Ident(s) => Ok(s),
+            other => Err(VidaError::parse(
+                format!("expected identifier, found {other:?}"),
+                1,
+                self.pos as u32 + 1,
+            )),
+        }
+    }
+
+    fn query(&mut self) -> Result<Expr> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let items = self.select_list()?;
+        self.expect_kw("FROM")?;
+
+        // FROM table [alias] (JOIN table [alias] ON expr)*
+        let mut qualifiers: Vec<Qualifier> = Vec::new();
+        let mut bindings: Vec<String> = Vec::new();
+        let (table, alias) = self.table_ref()?;
+        bindings.push(alias.clone());
+        qualifiers.push(Qualifier::Generator(alias, Expr::var(table)));
+        loop {
+            let _ = self.eat_kw("INNER");
+            if !self.eat_kw("JOIN") {
+                break;
+            }
+            let (table, alias) = self.table_ref()?;
+            bindings.push(alias.clone());
+            qualifiers.push(Qualifier::Generator(alias, Expr::var(table)));
+            self.expect_kw("ON")?;
+            let pred = self.expr()?;
+            qualifiers.push(Qualifier::Filter(pred));
+        }
+        if self.eat_kw("WHERE") {
+            let pred = self.expr()?;
+            qualifiers.push(Qualifier::Filter(pred));
+        }
+
+        // Build the head.
+        let (monoid, head) = self.build_head(items, distinct, &bindings)?;
+        Ok(Expr::Comprehension {
+            monoid,
+            head: Box::new(head),
+            qualifiers,
+        })
+    }
+
+    fn build_head(
+        &self,
+        items: Vec<SelectItem>,
+        distinct: bool,
+        bindings: &[String],
+    ) -> Result<(Monoid, Expr)> {
+        // Single aggregate → primitive monoid.
+        if items.len() == 1 {
+            if let SelectItem::Agg(m, arg) = &items[0] {
+                let head = match (m, arg) {
+                    (PrimitiveMonoid::Count, None) => Expr::int(1),
+                    (PrimitiveMonoid::Count, Some(_)) => Expr::int(1),
+                    (_, Some(e)) => e.clone(),
+                    (_, None) => {
+                        return Err(VidaError::parse("aggregate needs an argument", 1, 1))
+                    }
+                };
+                // COUNT folds with sum over 1s.
+                let monoid = match m {
+                    PrimitiveMonoid::Count => Monoid::Primitive(PrimitiveMonoid::Sum),
+                    other => Monoid::Primitive(*other),
+                };
+                return Ok((monoid, head));
+            }
+        }
+        if items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Agg(..)))
+        {
+            return Err(VidaError::parse(
+                "aggregates cannot mix with plain columns (no GROUP BY support)",
+                1,
+                1,
+            ));
+        }
+
+        let kind = if distinct {
+            CollectionKind::Set
+        } else {
+            CollectionKind::Bag
+        };
+        // SELECT * → record of all bindings.
+        if items.len() == 1 && matches!(items[0], SelectItem::Star) {
+            let head = if bindings.len() == 1 {
+                Expr::var(bindings[0].clone())
+            } else {
+                Expr::Record(
+                    bindings
+                        .iter()
+                        .map(|b| (b.clone(), Expr::var(b.clone())))
+                        .collect(),
+                )
+            };
+            return Ok((Monoid::Collection(kind), head));
+        }
+        let mut fields = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                SelectItem::Expr(name, e) => fields.push((name, e)),
+                SelectItem::Star => {
+                    return Err(VidaError::parse("'*' cannot mix with columns", 1, 1))
+                }
+                SelectItem::Agg(..) => unreachable!("checked above"),
+            }
+        }
+        Ok((Monoid::Collection(kind), Expr::Record(fields)))
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item(items.len())?);
+            if !self.eat(&SqlToken::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self, index: usize) -> Result<SelectItem> {
+        if self.eat(&SqlToken::Star) {
+            return Ok(SelectItem::Star);
+        }
+        // Aggregate?
+        if let SqlToken::Keyword(kw) = self.peek().clone() {
+            if let Some(m) = agg_monoid(&kw) {
+                self.bump();
+                self.expect(SqlToken::LParen)?;
+                let arg = if self.eat(&SqlToken::Star) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(SqlToken::RParen)?;
+                // Optional alias, ignored for single-aggregate results.
+                if self.eat_kw("AS") {
+                    let _ = self.ident()?;
+                }
+                return Ok(SelectItem::Agg(m, arg));
+            }
+        }
+        let e = self.expr()?;
+        let name = if self.eat_kw("AS") {
+            self.ident()?
+        } else {
+            default_name(&e, index)
+        };
+        Ok(SelectItem::Expr(name, e))
+    }
+
+    fn table_ref(&mut self) -> Result<(String, String)> {
+        let table = self.ident()?;
+        // Optional alias (an identifier not followed by '.' semantics —
+        // aliases here are plain idents before JOIN/ON/WHERE/EOF).
+        let alias = match self.peek() {
+            SqlToken::Ident(a) => {
+                let a = a.clone();
+                self.bump();
+                a
+            }
+            _ => table.clone(),
+        };
+        Ok((table, alias))
+    }
+
+    // Expression grammar: or > and > not > comparison > additive > mult.
+    fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            let e = self.not_expr()?;
+            return Ok(Expr::UnOp(UnOp::Not, Box::new(e)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            SqlToken::Eq => Some(BinOp::Eq),
+            SqlToken::Ne => Some(BinOp::Ne),
+            SqlToken::Lt => Some(BinOp::Lt),
+            SqlToken::Le => Some(BinOp::Le),
+            SqlToken::Gt => Some(BinOp::Gt),
+            SqlToken::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::bin(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                SqlToken::Plus => BinOp::Add,
+                SqlToken::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                SqlToken::Star => BinOp::Mul,
+                SqlToken::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.primary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            SqlToken::Int(i) => Ok(Expr::int(i)),
+            SqlToken::Float(f) => Ok(Expr::float(f)),
+            SqlToken::Str(s) => Ok(Expr::str(s)),
+            SqlToken::Keyword(k) if k == "TRUE" => Ok(Expr::bool(true)),
+            SqlToken::Keyword(k) if k == "FALSE" => Ok(Expr::bool(false)),
+            SqlToken::Keyword(k) if k == "NULL" => Ok(Expr::Const(Value::Null)),
+            SqlToken::Minus => {
+                let e = self.primary()?;
+                Ok(match e {
+                    Expr::Const(Value::Int(i)) => Expr::int(-i),
+                    Expr::Const(Value::Float(f)) => Expr::float(-f),
+                    other => Expr::UnOp(UnOp::Neg, Box::new(other)),
+                })
+            }
+            SqlToken::LParen => {
+                let e = self.expr()?;
+                self.expect(SqlToken::RParen)?;
+                Ok(e)
+            }
+            SqlToken::Ident(name) => {
+                let mut e = Expr::var(name);
+                while self.eat(&SqlToken::Dot) {
+                    let field = self.ident()?;
+                    e = e.proj(field);
+                }
+                Ok(e)
+            }
+            other => Err(VidaError::parse(
+                format!("unexpected {other:?} in expression"),
+                1,
+                self.pos as u32 + 1,
+            )),
+        }
+    }
+}
+
+fn agg_monoid(kw: &str) -> Option<PrimitiveMonoid> {
+    Some(match kw {
+        "COUNT" => PrimitiveMonoid::Count,
+        "SUM" => PrimitiveMonoid::Sum,
+        "AVG" => PrimitiveMonoid::Avg,
+        "MIN" => PrimitiveMonoid::Min,
+        "MAX" => PrimitiveMonoid::Max,
+        _ => return None,
+    })
+}
+
+/// Output column name when no alias is given: trailing projection name or
+/// `col<i>`.
+fn default_name(e: &Expr, index: usize) -> String {
+    match e {
+        Expr::Proj(_, field) => field.clone(),
+        Expr::Var(v) => v.clone(),
+        _ => format!("col{index}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vida_lang::{eval, parse, Bindings};
+
+    fn env() -> Bindings {
+        let mut e = Bindings::new();
+        e.insert(
+            "Employees".into(),
+            Value::bag(vec![
+                Value::record([
+                    ("id", Value::Int(1)),
+                    ("deptNo", Value::Int(10)),
+                    ("age", Value::Int(45)),
+                ]),
+                Value::record([
+                    ("id", Value::Int(2)),
+                    ("deptNo", Value::Int(20)),
+                    ("age", Value::Int(30)),
+                ]),
+                Value::record([
+                    ("id", Value::Int(3)),
+                    ("deptNo", Value::Int(10)),
+                    ("age", Value::Int(52)),
+                ]),
+            ]),
+        );
+        e.insert(
+            "Departments".into(),
+            Value::bag(vec![
+                Value::record([("id", Value::Int(10)), ("deptName", Value::str("HR"))]),
+                Value::record([("id", Value::Int(20)), ("deptName", Value::str("Eng"))]),
+            ]),
+        );
+        e
+    }
+
+    /// The paper's §3.2 pair: the SQL COUNT query and its comprehension
+    /// translation must agree.
+    #[test]
+    fn paper_count_example_translates() {
+        let sql = sql_to_comprehension(
+            "SELECT COUNT(e.id) \
+             FROM Employees e JOIN Departments d ON (e.deptNo = d.id) \
+             WHERE d.deptName = 'HR'",
+        )
+        .unwrap();
+        let compr = parse(
+            "for { e <- Employees, d <- Departments, \
+             e.deptNo = d.id, d.deptName = \"HR\"} yield sum 1",
+        )
+        .unwrap();
+        assert_eq!(
+            eval(&sql, &env()).unwrap(),
+            eval(&compr, &env()).unwrap()
+        );
+        assert_eq!(eval(&sql, &env()).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn projection_query() {
+        let e = sql_to_comprehension(
+            "SELECT e.id, e.age AS years FROM Employees e WHERE e.age > 40",
+        )
+        .unwrap();
+        let v = eval(&e, &env()).unwrap();
+        let items = v.elements().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].field("id"), Some(&Value::Int(1)));
+        assert_eq!(items[0].field("years"), Some(&Value::Int(45)));
+    }
+
+    #[test]
+    fn aggregates() {
+        let cases = [
+            ("SELECT COUNT(*) FROM Employees e", Value::Int(3)),
+            ("SELECT SUM(e.age) FROM Employees e", Value::Int(127)),
+            ("SELECT MAX(e.age) FROM Employees e", Value::Int(52)),
+            ("SELECT MIN(e.age) FROM Employees e", Value::Int(30)),
+            (
+                "SELECT AVG(e.age) FROM Employees e",
+                Value::Float(127.0 / 3.0),
+            ),
+        ];
+        for (sql, expected) in cases {
+            let e = sql_to_comprehension(sql).unwrap();
+            assert_eq!(eval(&e, &env()).unwrap(), expected, "{sql}");
+        }
+    }
+
+    #[test]
+    fn select_star_single_table() {
+        let e = sql_to_comprehension("SELECT * FROM Departments d").unwrap();
+        let v = eval(&e, &env()).unwrap();
+        assert_eq!(v.elements().unwrap().len(), 2);
+        assert_eq!(
+            v.elements().unwrap()[0].field("deptName"),
+            Some(&Value::str("HR"))
+        );
+    }
+
+    #[test]
+    fn distinct_gives_set_semantics() {
+        let e = sql_to_comprehension("SELECT DISTINCT e.deptNo AS d FROM Employees e").unwrap();
+        let v = eval(&e, &env()).unwrap();
+        assert_eq!(v.elements().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn multi_join_chain() {
+        let e = sql_to_comprehension(
+            "SELECT COUNT(*) FROM Employees e \
+             JOIN Departments d ON e.deptNo = d.id \
+             JOIN Departments d2 ON d.id = d2.id",
+        )
+        .unwrap();
+        assert_eq!(eval(&e, &env()).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn where_with_and_or_not() {
+        let e = sql_to_comprehension(
+            "SELECT COUNT(*) FROM Employees e \
+             WHERE (e.age > 40 AND e.deptNo = 10) OR NOT e.age >= 30",
+        )
+        .unwrap();
+        assert_eq!(eval(&e, &env()).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn arithmetic_in_select() {
+        let e = sql_to_comprehension("SELECT e.age * 2 + 1 AS x FROM Employees e").unwrap();
+        let v = eval(&e, &env()).unwrap();
+        assert_eq!(v.elements().unwrap()[0].field("x"), Some(&Value::Int(91)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(sql_to_comprehension("SELECT FROM T t").is_err());
+        assert!(sql_to_comprehension("SELECT a.x, COUNT(*) FROM T a").is_err()); // no GROUP BY
+        assert!(sql_to_comprehension("SELECT * FROM").is_err());
+        assert!(sql_to_comprehension("SELECT * FROM T t WHERE").is_err());
+        assert!(sql_to_comprehension("FROB x").is_err());
+    }
+
+    #[test]
+    fn implicit_column_names() {
+        let e = sql_to_comprehension("SELECT e.id, e.age + 1 FROM Employees e").unwrap();
+        let v = eval(&e, &env()).unwrap();
+        let first = &v.elements().unwrap()[0];
+        assert!(first.field("id").is_some());
+        assert!(first.field("col1").is_some());
+    }
+}

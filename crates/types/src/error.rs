@@ -1,0 +1,150 @@
+//! Unified error type for the ViDa workspace.
+//!
+//! Every layer (parser, type checker, optimizer, executor, format plugins)
+//! reports through [`VidaError`] so errors cross crate boundaries without
+//! conversion boilerplate. The variants mirror the query lifecycle stages.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, VidaError>;
+
+/// The error type shared by all ViDa crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VidaError {
+    /// Lexical or syntactic error in a query string.
+    ///
+    /// `line`/`col` are 1-based positions into the original source.
+    Parse {
+        message: String,
+        line: u32,
+        col: u32,
+    },
+    /// Semantic error found during type checking.
+    Type(String),
+    /// A name (dataset, field, variable) could not be resolved.
+    Unresolved(String),
+    /// Error while reading or decoding a raw data file.
+    Format {
+        source_name: String,
+        message: String,
+    },
+    /// Error raised by the optimizer (e.g. no viable plan).
+    Plan(String),
+    /// Error raised during execution (e.g. runtime type mismatch after an
+    /// unchecked cast, division by zero).
+    Exec(String),
+    /// Error raised by the JIT backend while compiling a kernel.
+    Codegen(String),
+    /// Underlying I/O failure, stringified to keep the error `Clone`.
+    Io(String),
+    /// Catalog-level error (duplicate registration, unknown source, ...).
+    Catalog(String),
+}
+
+impl VidaError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(message: impl Into<String>, line: u32, col: u32) -> Self {
+        VidaError::Parse {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    /// Convenience constructor for format errors.
+    pub fn format(source_name: impl Into<String>, message: impl Into<String>) -> Self {
+        VidaError::Format {
+            source_name: source_name.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Short machine-readable category, used in tests and stats.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VidaError::Parse { .. } => "parse",
+            VidaError::Type(_) => "type",
+            VidaError::Unresolved(_) => "unresolved",
+            VidaError::Format { .. } => "format",
+            VidaError::Plan(_) => "plan",
+            VidaError::Exec(_) => "exec",
+            VidaError::Codegen(_) => "codegen",
+            VidaError::Io(_) => "io",
+            VidaError::Catalog(_) => "catalog",
+        }
+    }
+}
+
+impl fmt::Display for VidaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VidaError::Parse { message, line, col } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            VidaError::Type(m) => write!(f, "type error: {m}"),
+            VidaError::Unresolved(m) => write!(f, "unresolved name: {m}"),
+            VidaError::Format {
+                source_name,
+                message,
+            } => write!(f, "format error in '{source_name}': {message}"),
+            VidaError::Plan(m) => write!(f, "plan error: {m}"),
+            VidaError::Exec(m) => write!(f, "execution error: {m}"),
+            VidaError::Codegen(m) => write!(f, "codegen error: {m}"),
+            VidaError::Io(m) => write!(f, "io error: {m}"),
+            VidaError::Catalog(m) => write!(f, "catalog error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VidaError {}
+
+impl From<std::io::Error> for VidaError {
+    fn from(e: std::io::Error) -> Self {
+        VidaError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = VidaError::parse("unexpected token", 3, 14);
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected token");
+        assert_eq!(e.kind(), "parse");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: VidaError = io.into();
+        assert_eq!(e.kind(), "io");
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn format_error_names_source() {
+        let e = VidaError::format("patients.csv", "bad row 7");
+        assert!(e.to_string().contains("patients.csv"));
+        assert!(e.to_string().contains("bad row 7"));
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            VidaError::parse("x", 1, 1).kind(),
+            VidaError::Type("x".into()).kind(),
+            VidaError::Unresolved("x".into()).kind(),
+            VidaError::format("s", "m").kind(),
+            VidaError::Plan("x".into()).kind(),
+            VidaError::Exec("x".into()).kind(),
+            VidaError::Codegen("x".into()).kind(),
+            VidaError::Io("x".into()).kind(),
+            VidaError::Catalog("x".into()).kind(),
+        ];
+        let unique: std::collections::HashSet<_> = kinds.iter().collect();
+        assert_eq!(unique.len(), kinds.len());
+    }
+}

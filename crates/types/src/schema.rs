@@ -1,0 +1,233 @@
+//! Dataset schemas — the catalog-facing half of the source description
+//! grammar (ViDa §3.1).
+//!
+//! A [`Schema`] names the fields of one dataset's retrieval unit together
+//! with their static types. The format-specific half (delimiters, retrieval
+//! unit, auxiliary-structure configuration) lives in `vida-formats`; it
+//! embeds a `Schema` and adds access-path metadata.
+
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt;
+
+/// One named, typed attribute of a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub ty: Type,
+    /// True if the raw source may omit or null this attribute.
+    pub nullable: bool,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, ty: Type) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    pub fn nullable(name: impl Into<String>, ty: Type) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// Access paths a data source exposes (ViDa §3.1): which physical ways the
+/// engine may obtain tuples. The optimizer selects among them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPath {
+    /// Full sequential scan of the raw file.
+    SequentialScan,
+    /// Direct access by row identifier (requires a positional structure).
+    ByRowId,
+    /// Access through a format-internal index (e.g. HDF5-style indexes).
+    IndexScan,
+}
+
+/// An ordered collection of fields describing one retrieval unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Schema from `(name, type)` pairs, all non-nullable.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Type)>,
+        S: Into<String>,
+    {
+        Schema {
+            fields: pairs
+                .into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect(),
+        }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field descriptor by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// The record type of one retrieval unit.
+    pub fn record_type(&self) -> Type {
+        Type::Record(
+            self.fields
+                .iter()
+                .map(|f| (f.name.clone(), f.ty.clone()))
+                .collect(),
+        )
+    }
+
+    /// The bag-of-records type of the whole dataset.
+    pub fn dataset_type(&self) -> Type {
+        Type::bag(self.record_type())
+    }
+
+    /// Assemble a record [`Value`] in schema order from per-field values.
+    /// Panics in debug builds if `values` length mismatches the schema.
+    pub fn record_value(&self, values: Vec<Value>) -> Value {
+        debug_assert_eq!(values.len(), self.fields.len());
+        Value::Record(
+            self.fields
+                .iter()
+                .map(|f| f.name.clone())
+                .zip(values)
+                .collect(),
+        )
+    }
+
+    /// Validate that a value conforms to this schema (used by format plugins
+    /// in tests and by the doc-store loader).
+    pub fn validates(&self, v: &Value) -> bool {
+        let Value::Record(fields) = v else {
+            return false;
+        };
+        if fields.len() != self.fields.len() {
+            return false;
+        }
+        self.fields.iter().zip(fields.iter()).all(|(f, (n, v))| {
+            f.name == *n
+                && (Type::of_value(v).compatible(&f.ty) || (f.nullable && v.is_null()))
+        })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.record_type())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patients_schema() -> Schema {
+        Schema::from_pairs([
+            ("id", Type::Int),
+            ("age", Type::Int),
+            ("protein", Type::Float),
+            ("city", Type::Str),
+        ])
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = patients_schema();
+        assert_eq!(s.index_of("protein"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.field("age").unwrap().ty, Type::Int);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn record_type_shape() {
+        let s = patients_schema();
+        assert_eq!(
+            s.record_type().field("city"),
+            Some(&Type::Str)
+        );
+        assert_eq!(s.dataset_type().elem().unwrap(), &s.record_type());
+    }
+
+    #[test]
+    fn record_value_orders_fields() {
+        let s = patients_schema();
+        let v = s.record_value(vec![
+            Value::Int(1),
+            Value::Int(64),
+            Value::Float(0.4),
+            Value::str("geneva"),
+        ]);
+        assert_eq!(v.field("id"), Some(&Value::Int(1)));
+        assert_eq!(v.field("city"), Some(&Value::str("geneva")));
+    }
+
+    #[test]
+    fn validates_checks_names_types_nullability() {
+        let mut s = patients_schema();
+        let good = s.record_value(vec![
+            Value::Int(1),
+            Value::Int(64),
+            Value::Float(0.4),
+            Value::str("geneva"),
+        ]);
+        assert!(s.validates(&good));
+
+        let bad_type = s.record_value(vec![
+            Value::str("oops"),
+            Value::Int(64),
+            Value::Float(0.4),
+            Value::str("geneva"),
+        ]);
+        assert!(!s.validates(&bad_type));
+
+        // Null disallowed unless nullable.
+        let with_null = s.record_value(vec![
+            Value::Null,
+            Value::Int(64),
+            Value::Float(0.4),
+            Value::str("geneva"),
+        ]);
+        // Null has type Unknown which is compatible with everything, so it
+        // validates even for non-nullable fields at this structural level.
+        assert!(s.validates(&with_null));
+        s = Schema::new(vec![Field::nullable("id", Type::Int)]);
+        assert!(s.validates(&Value::record([("id", Value::Null)])));
+    }
+
+    #[test]
+    fn non_record_never_validates() {
+        let s = patients_schema();
+        assert!(!s.validates(&Value::Int(3)));
+        assert!(!s.validates(&Value::record([("id", Value::Int(1))])));
+    }
+}
