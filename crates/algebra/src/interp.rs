@@ -143,10 +143,7 @@ fn rows_of(plan: &Plan, env: &Bindings) -> Result<Vec<Bindings>> {
             // a collection; otherwise a single row binding nothing.
             let v = execute_plan(plan, env)?;
             match v.elements() {
-                Some(items) => Ok(items
-                    .iter()
-                    .map(|_| env.clone())
-                    .collect()),
+                Some(items) => Ok(items.iter().map(|_| env.clone()).collect()),
                 None => Ok(vec![env.clone()]),
             }
         }

@@ -70,10 +70,7 @@ fn lower_comprehension(monoid: Monoid, head: &Expr, qualifiers: &[Qualifier]) ->
     for q in qualifiers {
         match q {
             Qualifier::Generator(var, source) => {
-                let depends_on_bound = source
-                    .free_vars()
-                    .iter()
-                    .any(|v| bound.contains(v));
+                let depends_on_bound = source.free_vars().iter().any(|v| bound.contains(v));
                 match (&mut plan, depends_on_bound) {
                     (None, false) => {
                         plan = Some(source_to_plan(source, var)?);
@@ -165,7 +162,9 @@ mod tests {
     #[test]
     fn filters_become_selects() {
         let p = plan_of("for { e <- Employees, e.age > 40 } yield count e");
-        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Reduce { input, .. } = p else {
+            panic!()
+        };
         let Plan::Select { input, .. } = *input else {
             panic!()
         };
@@ -174,12 +173,12 @@ mod tests {
 
     #[test]
     fn two_generators_become_join() {
-        let p = plan_of(
-            "for { e <- Employees, d <- Departments, e.deptNo = d.id } yield sum 1",
-        );
+        let p = plan_of("for { e <- Employees, d <- Departments, e.deptNo = d.id } yield sum 1");
         // After filter hoisting the join predicate stays as a Select above
         // the Join (the optimizer later fuses it into the join).
-        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Reduce { input, .. } = p else {
+            panic!()
+        };
         let Plan::Select { input, predicate } = *input else {
             panic!()
         };
@@ -190,11 +189,18 @@ mod tests {
     #[test]
     fn dependent_generator_becomes_unnest() {
         let p = plan_of("for { b <- Regions, v <- b.voxels, v > 10 } yield count v");
-        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Reduce { input, .. } = p else {
+            panic!()
+        };
         let Plan::Select { input, .. } = *input else {
             panic!()
         };
-        let Plan::Unnest { input, binding, path } = *input else {
+        let Plan::Unnest {
+            input,
+            binding,
+            path,
+        } = *input
+        else {
             panic!()
         };
         assert_eq!(binding, "v");
@@ -204,12 +210,13 @@ mod tests {
 
     #[test]
     fn filter_hoisted_before_join() {
-        let p = plan_of(
-            "for { p <- Patients, g <- Genetics, p.age > 60, p.id = g.id } yield sum 1",
-        );
+        let p =
+            plan_of("for { p <- Patients, g <- Genetics, p.age > 60, p.id = g.id } yield sum 1");
         // Normalizer hoists p.age > 60 before the g generator, so the plan
         // is Select(join-pred) over Join(Select(age) over Scan, Scan).
-        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Reduce { input, .. } = p else {
+            panic!()
+        };
         let Plan::Select { input, .. } = *input else {
             panic!()
         };
@@ -235,7 +242,9 @@ mod tests {
     #[test]
     fn list_literal_generator_unnests_over_unit() {
         let p = plan_of("for { x <- [1, 2, 3] } yield sum x");
-        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Reduce { input, .. } = p else {
+            panic!()
+        };
         let Plan::Unnest { input, .. } = *input else {
             panic!()
         };

@@ -82,7 +82,11 @@ impl Plan {
     /// `l.a = r.b` between one variable from each side, return
     /// `(left_expr, right_expr)` — the hash-join opportunity the generated
     /// operators exploit.
-    pub fn equi_join_keys(predicate: &Expr, left_vars: &[String], right_vars: &[String]) -> Option<(Expr, Expr)> {
+    pub fn equi_join_keys(
+        predicate: &Expr,
+        left_vars: &[String],
+        right_vars: &[String],
+    ) -> Option<(Expr, Expr)> {
         use vida_lang::BinOp;
         match predicate {
             Expr::BinOp(BinOp::Eq, l, r) => {
@@ -100,10 +104,8 @@ impl Plan {
                 }
                 None
             }
-            Expr::BinOp(BinOp::And, l, r) => {
-                Plan::equi_join_keys(l, left_vars, right_vars)
-                    .or_else(|| Plan::equi_join_keys(r, left_vars, right_vars))
-            }
+            Expr::BinOp(BinOp::And, l, r) => Plan::equi_join_keys(l, left_vars, right_vars)
+                .or_else(|| Plan::equi_join_keys(r, left_vars, right_vars)),
             _ => None,
         }
     }

@@ -175,10 +175,10 @@ mod tests {
 
     #[test]
     fn join_predicate_fused() {
-        let p = plan_of(
-            "for { e <- Employees, d <- Departments, e.deptNo = d.id } yield sum 1",
-        );
-        let Plan::Reduce { input, .. } = p else { panic!() };
+        let p = plan_of("for { e <- Employees, d <- Departments, e.deptNo = d.id } yield sum 1");
+        let Plan::Reduce { input, .. } = p else {
+            panic!()
+        };
         let Plan::Join { predicate, .. } = *input else {
             panic!("select should fuse into join, got something else")
         };
@@ -191,7 +191,9 @@ mod tests {
             "for { e <- Employees, d <- Departments, e.deptNo = d.id, \
              d.deptName = \"HR\" } yield sum 1",
         );
-        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Reduce { input, .. } = p else {
+            panic!()
+        };
         let Plan::Join { right, .. } = *input else {
             panic!()
         };
@@ -226,9 +228,14 @@ mod tests {
     fn select_pushes_below_unnest_when_independent() {
         let p = plan_of("for { r <- Regions, v <- r.voxels, r.id > 1 } yield count v");
         // r.id > 1 does not mention v: it must sit below the unnest.
-        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Reduce { input, .. } = p else {
+            panic!()
+        };
         let Plan::Unnest { input, .. } = *input else {
-            panic!("expected unnest on top after pushdown, got:\n{p}", p = input)
+            panic!(
+                "expected unnest on top after pushdown, got:\n{p}",
+                p = input
+            )
         };
         assert!(matches!(*input, Plan::Select { .. }));
     }
@@ -236,7 +243,9 @@ mod tests {
     #[test]
     fn select_stays_above_unnest_when_dependent() {
         let p = plan_of("for { r <- Regions, v <- r.voxels, v > 10 } yield count v");
-        let Plan::Reduce { input, .. } = p else { panic!() };
+        let Plan::Reduce { input, .. } = p else {
+            panic!()
+        };
         assert!(matches!(*input, Plan::Select { .. }));
     }
 
@@ -246,8 +255,16 @@ mod tests {
         env.insert(
             "Employees".into(),
             Value::bag(vec![
-                Value::record([("id", Value::Int(1)), ("deptNo", Value::Int(10)), ("age", Value::Int(61))]),
-                Value::record([("id", Value::Int(2)), ("deptNo", Value::Int(20)), ("age", Value::Int(35))]),
+                Value::record([
+                    ("id", Value::Int(1)),
+                    ("deptNo", Value::Int(10)),
+                    ("age", Value::Int(61)),
+                ]),
+                Value::record([
+                    ("id", Value::Int(2)),
+                    ("deptNo", Value::Int(20)),
+                    ("age", Value::Int(35)),
+                ]),
             ]),
         );
         env.insert(

@@ -1,1 +1,63 @@
-fn main() {}
+//! Toward Figure 5: an HBP-style query sequence over raw CSV + JSON, cold
+//! caches vs warm caches (the locality regime that lets ViDa serve ~80% of
+//! the workload from its data caches).
+
+use std::sync::Arc;
+use vida_algebra::{lower, rewrite, Plan};
+use vida_bench::{case, fixtures};
+use vida_cache::CacheManager;
+use vida_exec::{run_jit, JitOptions, MemoryCatalog};
+use vida_formats::csv::CsvFile;
+use vida_formats::json::JsonFile;
+use vida_formats::plugin::{CsvPlugin, JsonPlugin};
+use vida_lang::parse;
+use vida_workload::{generate, WorkloadConfig};
+
+fn catalog() -> MemoryCatalog {
+    let catalog = MemoryCatalog::new();
+    let csv = CsvFile::from_bytes(
+        "Patients",
+        fixtures::patients_csv(1_000, 7),
+        b',',
+        true,
+        fixtures::patients_schema(),
+    )
+    .expect("fixture parses");
+    catalog.register(Arc::new(CsvPlugin::new(csv)));
+    let json = JsonFile::from_bytes(
+        "Genetics",
+        fixtures::genetics_json(1_000, 9),
+        fixtures::genetics_schema(),
+    )
+    .expect("fixture parses");
+    catalog.register(Arc::new(JsonPlugin::new(json)));
+    catalog
+}
+
+fn main() {
+    let catalog = catalog();
+    let plans: Vec<Plan> = generate(&WorkloadConfig {
+        queries: 20,
+        ..Default::default()
+    })
+    .iter()
+    .map(|q| rewrite(&lower(&parse(&q.text).expect("parses")).expect("lowers")))
+    .collect();
+
+    case("20-query mix, cold cache each run", 3, 1, || {
+        let opts = JitOptions::with_cache(Arc::new(CacheManager::new(8 << 20)));
+        for p in &plans {
+            run_jit(p, &catalog, &opts).expect("runs");
+        }
+    });
+
+    let warm = JitOptions::with_cache(Arc::new(CacheManager::new(8 << 20)));
+    for p in &plans {
+        run_jit(p, &catalog, &warm).expect("runs");
+    }
+    case("20-query mix, warm cache", 3, 1, || {
+        for p in &plans {
+            run_jit(p, &catalog, &warm).expect("runs");
+        }
+    });
+}

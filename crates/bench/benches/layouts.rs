@@ -1,1 +1,53 @@
-fn main() {}
+//! Cache layout trade-offs (ViDa Figure 4): materialization cost and
+//! per-row rehydration cost of the parsed-values, text, and binary-JSON
+//! replica layouts.
+
+use vida_bench::case;
+use vida_cache::{CachedData, Layout};
+use vida_types::Value;
+
+fn rows(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            Value::record([
+                ("id", Value::Int(i as i64)),
+                ("snp", Value::Float(i as f64 * 0.001)),
+                ("tag", Value::str(format!("sample-{i}"))),
+            ])
+        })
+        .collect()
+}
+
+fn main() {
+    let data = rows(2_000);
+
+    for layout in [Layout::Values, Layout::Text, Layout::BinaryJson] {
+        case(
+            &format!("materialize 2k rows as {}", layout.name()),
+            5,
+            5,
+            || {
+                CachedData::from_values(&data, layout).expect("converts");
+            },
+        );
+    }
+
+    let values = CachedData::from_values(&data, Layout::Values).expect("converts");
+    let binary = CachedData::from_values(&data, Layout::BinaryJson).expect("converts");
+    case("rehydrate 2k rows from values", 5, 5, || {
+        for r in 0..2_000 {
+            values.get(r).expect("gets");
+        }
+    });
+    case("rehydrate 2k rows from binary-json", 5, 5, || {
+        for r in 0..2_000 {
+            binary.get(r).expect("gets");
+        }
+    });
+    println!(
+        "footprint: values={}B binary={}B positions={}B",
+        values.approx_bytes(),
+        binary.approx_bytes(),
+        CachedData::Positions(vec![(0, 64); 2_000]).approx_bytes()
+    );
+}

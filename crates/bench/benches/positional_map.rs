@@ -1,1 +1,40 @@
-fn main() {}
+//! NoDB positional maps (ViDa §2, §5): repeated field access over raw CSV
+//! with and without the positional structures that remember byte offsets.
+
+use vida_bench::{case, fixtures};
+use vida_formats::csv::CsvFile;
+
+fn open(posmap: bool) -> CsvFile {
+    let mut f = CsvFile::from_bytes(
+        "Patients",
+        fixtures::patients_csv(2_000, 7),
+        b',',
+        true,
+        fixtures::patients_schema(),
+    )
+    .expect("fixture parses");
+    f.set_posmap_enabled(posmap);
+    f
+}
+
+fn main() {
+    let rows: Vec<usize> = (0..2_000).step_by(7).collect();
+
+    let cold = open(false);
+    case("read city column, posmap disabled", 5, 5, || {
+        for &r in &rows {
+            cold.read_field(r, 2).expect("reads");
+        }
+    });
+
+    let warm = open(true);
+    // First pass populates the positional map; the measured passes seek.
+    for &r in &rows {
+        warm.read_field(r, 2).expect("reads");
+    }
+    case("read city column, posmap populated", 5, 5, || {
+        for &r in &rows {
+            warm.read_field(r, 2).expect("reads");
+        }
+    });
+}

@@ -205,7 +205,12 @@ mod tests {
         // The Figure-4 motivation: binary JSON beats text for numeric data.
         let v = Value::record(
             (0..20)
-                .map(|i| (format!("field_number_{i}"), Value::Float(i as f64 * 1.123456789)))
+                .map(|i| {
+                    (
+                        format!("field_number_{i}"),
+                        Value::Float(i as f64 * 1.123456789),
+                    )
+                })
                 .collect::<Vec<_>>(),
         );
         let bin = to_bytes(&v).len();
@@ -237,7 +242,10 @@ mod tests {
         let (a, p1) = decode_value(&buf, 0).unwrap();
         let (b, p2) = decode_value(&buf, p1).unwrap();
         let (c, p3) = decode_value(&buf, p2).unwrap();
-        assert_eq!((a, b, c), (Value::Int(1), Value::str("two"), Value::Bool(false)));
+        assert_eq!(
+            (a, b, c),
+            (Value::Int(1), Value::str("two"), Value::Bool(false))
+        );
         assert_eq!(p3, buf.len());
     }
 }

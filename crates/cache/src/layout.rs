@@ -92,8 +92,7 @@ impl CachedData {
                 bson::decode_value(bytes, 0).map(|(val, _)| val)
             }
             CachedData::Positions(_) => Err(VidaError::Exec(
-                "positions-only cache entry cannot materialize values without the raw file"
-                    .into(),
+                "positions-only cache entry cannot materialize values without the raw file".into(),
             )),
         }
     }
@@ -177,7 +176,10 @@ mod tests {
             .unwrap()
             .approx_bytes();
         let positions = CachedData::Positions(vec![(0, 100); 50]).approx_bytes();
-        assert!(positions < binary, "positions {positions} < binary {binary}");
+        assert!(
+            positions < binary,
+            "positions {positions} < binary {binary}"
+        );
         assert!(binary < values, "binary {binary} < values {values}");
     }
 

@@ -7,9 +7,9 @@
 //! every entry of that dataset is dropped — the paper's §2.1 update story.
 
 use crate::layout::{CachedData, Layout};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use vida_types::sync::Mutex;
 
 /// Identifies one cached column replica.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -295,11 +295,7 @@ mod tests {
     #[test]
     fn oversized_entry_refused() {
         let m = CacheManager::new(64);
-        assert!(!m.put(
-            CacheKey::new("d", "big", Layout::Values),
-            col(1000),
-            (1, 1)
-        ));
+        assert!(!m.put(CacheKey::new("d", "big", Layout::Values), col(1000), (1, 1)));
         assert_eq!(m.len(), 0);
     }
 

@@ -1,1 +1,74 @@
-//! placeholder
+//! # vida-core
+//!
+//! Facade crate: one dependency pulling in the whole ViDa engine, with the
+//! common types re-exported at the top level. Downstream code (benchmarks,
+//! services, notebooks) can depend on `vida-core` alone and follow the
+//! query lifecycle end to end:
+//!
+//! ```
+//! use vida_core::{lower, parse, rewrite, run_jit, JitOptions, MemoryCatalog, Schema, Type, Value};
+//!
+//! let cat = MemoryCatalog::new();
+//! cat.register_records(
+//!     "Patients",
+//!     Schema::from_pairs([("id", Type::Int), ("age", Type::Int)]),
+//!     &[Value::record([("id", Value::Int(1)), ("age", Value::Int(71))])],
+//! )
+//! .unwrap();
+//! let plan = rewrite(&lower(&parse("for { p <- Patients, p.age > 60 } yield count p").unwrap()).unwrap());
+//! assert_eq!(run_jit(&plan, &cat, &JitOptions::default()).unwrap(), Value::Int(1));
+//! ```
+
+pub use vida_algebra::{execute_plan, lower, rewrite, Plan};
+pub use vida_cache::{CacheKey, CacheManager, CacheStats, CachedData, Layout};
+pub use vida_exec::{
+    run_jit, run_jit_with_stats, run_volcano, ExecStats, JitOptions, MemoryCatalog, OutputFormat,
+    SourceProvider,
+};
+pub use vida_formats::{open_plugin, DataFormat, InputPlugin, SourceDescription};
+pub use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SlotType};
+pub use vida_lang::{eval, parse, typecheck, Bindings, Expr, TypeEnv};
+pub use vida_sql::sql_to_comprehension;
+pub use vida_types::{Monoid, Result, Schema, Type, Value, VidaError};
+
+/// Lower crates, for callers that need the full module paths.
+pub use vida_algebra as algebra;
+pub use vida_cache as cache;
+pub use vida_exec as exec;
+pub use vida_formats as formats;
+pub use vida_jit as jit;
+pub use vida_lang as lang;
+pub use vida_sql as sql;
+pub use vida_types as types;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_runs_the_full_lifecycle() {
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "T",
+            Schema::from_pairs([("x", Type::Int)]),
+            &[
+                Value::record([("x", Value::Int(2))]),
+                Value::record([("x", Value::Int(40))]),
+            ],
+        )
+        .unwrap();
+        let expr = parse("for { t <- T } yield sum t.x").unwrap();
+        let plan = rewrite(&lower(&expr).unwrap());
+        assert_eq!(
+            run_jit(&plan, &cat, &JitOptions::default()).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(run_volcano(&plan, &cat).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn facade_translates_sql() {
+        let expr = sql_to_comprehension("SELECT COUNT(*) FROM T t WHERE t.x > 1").unwrap();
+        assert!(matches!(expr, Expr::Comprehension { .. }));
+    }
+}

@@ -4,11 +4,11 @@
 //! the catalog. `vida` (the engine facade) implements it over registered
 //! source descriptions; tests and benchmarks use [`MemoryCatalog`].
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use vida_formats::plugin::MemPlugin;
 use vida_formats::InputPlugin;
+use vida_types::sync::RwLock;
 use vida_types::{Result, Schema, Value, VidaError};
 
 /// Resolves dataset names to bound input plugins.

@@ -26,6 +26,7 @@ pub mod stats;
 pub mod volcano;
 
 pub use catalog::{MemoryCatalog, SourceProvider};
-pub use pipeline::{run_jit, JitOptions};
+pub use output::OutputFormat;
+pub use pipeline::{run_jit, run_jit_with_stats, JitOptions};
 pub use stats::ExecStats;
 pub use volcano::run_volcano;

@@ -1,0 +1,1277 @@
+//! The JIT executor — per-query generated pipelines (ViDa §4.1).
+//!
+//! [`run_jit`] turns a `Reduce`-rooted algebra plan into a specialized
+//! pipeline at query time:
+//!
+//! - **input plugins bound to exactly the touched attributes**: the analysis
+//!   pass collects every `binding.field` path the query references and the
+//!   generated scans read only those columns — no "database page" of unused
+//!   attributes is ever built;
+//! - **register frames**: each touched scalar attribute gets one 64-bit slot
+//!   in a query-wide [`FrameLayout`]; columns are pre-encoded to their slot
+//!   representation at pipeline-generation time, so per-tuple work in the
+//!   hot loop is a flat `i64` copy plus kernel calls;
+//! - **compiled kernels**: filter predicates, join keys, and head
+//!   expressions inside the compilable subset become fused
+//!   [`CompiledKernel`]s (type dispatch resolved at generation time);
+//!   everything else — and every tuple whose frame cannot encode (nulls,
+//!   non-scalars) — takes the interpreted fallback path, the hybrid
+//!   execution §6 describes;
+//! - **hash joins when equi-keys exist**: `Plan::equi_join_keys` supplies
+//!   the build/probe key expressions, compiled against the shared frame;
+//! - **layout-aware cache reads**: with a [`CacheManager`] attached, touched
+//!   columns are served from cached replicas (parsed values or binary JSON)
+//!   and raw-file reads populate the cache for the next query;
+//! - **monoid folding**: results fold with the output monoid; collection
+//!   monoids accumulate and canonicalize once at the end, and `count` with a
+//!   total head skips head evaluation entirely.
+//!
+//! Plans outside the pipeline shapes (unnests, non-equi or bushy joins,
+//! constant queries over the unit dataset) fall back to the interpreted
+//! Volcano engine wholesale, so `run_jit` is total over all valid plans.
+
+use crate::catalog::SourceProvider;
+use crate::stats::ExecStats;
+use crate::volcano::run_volcano;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use vida_algebra::lower::UNIT_DATASET;
+use vida_algebra::Plan;
+use vida_cache::{CacheKey, CacheManager, CachedData, Layout};
+use vida_jit::compile::path_of;
+use vida_jit::frame::{decode_output, StringInterner};
+use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SlotType};
+use vida_lang::{eval, Bindings, Expr, Qualifier};
+use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Result, Value, VidaError};
+
+/// Options controlling pipeline generation.
+#[derive(Clone, Default)]
+pub struct JitOptions {
+    /// Cache consulted for column replicas and populated on raw reads.
+    pub cache: Option<Arc<CacheManager>>,
+    /// Disable kernel compilation: single-source pipelines still bind
+    /// plugins to touched attributes but evaluate every expression through
+    /// the interpreter (isolates codegen wins in benchmarks); joins need
+    /// compiled key kernels and fall back to the Volcano engine wholesale.
+    pub interpret_only: bool,
+}
+
+impl JitOptions {
+    /// Options with a cache attached.
+    pub fn with_cache(cache: Arc<CacheManager>) -> Self {
+        JitOptions {
+            cache: Some(cache),
+            interpret_only: false,
+        }
+    }
+}
+
+/// Execute a plan with the JIT engine.
+pub fn run_jit(plan: &Plan, catalog: &dyn SourceProvider, opts: &JitOptions) -> Result<Value> {
+    run_jit_with_stats(plan, catalog, opts).map(|(v, _)| v)
+}
+
+/// Execute a plan with the JIT engine, returning execution statistics.
+pub fn run_jit_with_stats(
+    plan: &Plan,
+    catalog: &dyn SourceProvider,
+    opts: &JitOptions,
+) -> Result<(Value, ExecStats)> {
+    let mut stats = ExecStats::default();
+    let t0 = Instant::now();
+    let pipeline = match PipelineBuilder::new(catalog, opts, &mut stats).build(plan)? {
+        Some(p) => p,
+        None => {
+            // Whole-query fallback: shape outside the generated pipelines.
+            let v = run_volcano(plan, catalog)?;
+            return Ok((v, stats));
+        }
+    };
+    stats.codegen = t0.elapsed();
+    let t1 = Instant::now();
+    let value = pipeline.execute(&mut stats)?;
+    stats.execution = t1.elapsed();
+    stats.served_from_cache = stats.raw_columns == 0 && stats.cached_columns > 0;
+    Ok((value, stats))
+}
+
+/// One boolean evaluation step: a compiled kernel (with its source
+/// expression for null-tuple fallback) or an interpreted expression.
+enum Step {
+    Kernel(CompiledKernel, Expr),
+    Interp(Expr),
+}
+
+/// How the reduce head is evaluated per surviving tuple. Compiled variants
+/// carry the source expression for tuples on the fallback path.
+enum HeadPlan {
+    /// `count` with a total head: no evaluation needed at all.
+    CountOnly,
+    /// Scalar head compiled to one kernel.
+    Kernel(CompiledKernel, Expr),
+    /// Record head with every field compiled.
+    RecordKernels(Vec<(String, CompiledKernel)>, Expr),
+    /// Everything else: the reference interpreter.
+    Interp(Expr),
+}
+
+impl HeadPlan {
+    fn source_expr(&self) -> Option<&Expr> {
+        match self {
+            HeadPlan::CountOnly => None,
+            HeadPlan::Kernel(_, e) | HeadPlan::RecordKernels(_, e) | HeadPlan::Interp(e) => Some(e),
+        }
+    }
+}
+
+/// A bound input: one scanned dataset with its materialized touched columns.
+struct Source {
+    binding: String,
+    nrows: usize,
+    /// Fields materialized for binding-record reconstruction, schema order.
+    env_fields: Vec<(String, Arc<Vec<Value>>)>,
+    /// `(global slot, encoded column)`; `None` cells mark tuples that must
+    /// take the interpreted fallback (nulls, type mismatches).
+    slot_cols: Vec<(usize, Vec<Option<i64>>)>,
+    /// All global slot indexes owned by this source (for frame merging).
+    slots: Vec<usize>,
+    /// Selection steps applied as tuples leave the scan.
+    selects: Vec<Step>,
+}
+
+/// Pipeline tree: left-deep hash joins over bound sources.
+enum Node {
+    Source(usize),
+    HashJoin {
+        left: Box<Node>,
+        right: usize,
+        left_key: CompiledKernel,
+        right_key: CompiledKernel,
+        left_key_ty: SlotType,
+        right_key_ty: SlotType,
+        /// Promote int keys to float bits so `p.id = g.fid` hashes
+        /// consistently across the numeric tower.
+        float_keys: bool,
+        /// Full join predicate, checked per candidate pair.
+        predicate: Step,
+        /// Selects sitting above this join.
+        selects: Vec<Step>,
+    },
+}
+
+/// One in-flight tuple: its register frame, whether every slot encoded, and
+/// the `(source, row)` provenance used to rebuild bindings on the fallback
+/// path.
+struct Tuple {
+    frame: Vec<i64>,
+    valid: bool,
+    rows: Vec<(usize, usize)>,
+}
+
+struct Pipeline {
+    sources: Vec<Source>,
+    root: Node,
+    monoid: Monoid,
+    head: HeadPlan,
+    frame_width: usize,
+    interner: StringInterner,
+    /// Datasets referenced inside nested head/predicate comprehensions,
+    /// materialized up front (mirrors the Volcano engine).
+    base_env: Bindings,
+}
+
+// ---------------------------------------------------------------------------
+// Analysis + pipeline generation
+// ---------------------------------------------------------------------------
+
+/// Plan shape accepted by the generated pipelines.
+enum Shape {
+    Scan {
+        binding: String,
+        dataset: String,
+        selects: Vec<Expr>,
+    },
+    Join {
+        left: Box<Shape>,
+        right: Box<Shape>, // always a Scan (Shape::of enforces it)
+        predicate: Expr,
+        selects: Vec<Expr>,
+    },
+}
+
+impl Shape {
+    fn of(plan: &Plan) -> Option<Shape> {
+        match plan {
+            Plan::Scan { dataset, binding } => {
+                if dataset == UNIT_DATASET {
+                    return None;
+                }
+                Some(Shape::Scan {
+                    dataset: dataset.clone(),
+                    binding: binding.clone(),
+                    selects: Vec::new(),
+                })
+            }
+            Plan::Select { input, predicate } => {
+                let mut inner = Shape::of(input)?;
+                match &mut inner {
+                    Shape::Scan { selects, .. } | Shape::Join { selects, .. } => {
+                        selects.push(predicate.clone())
+                    }
+                }
+                Some(inner)
+            }
+            Plan::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                let l = Shape::of(left)?;
+                let r = Shape::of(right)?;
+                if !matches!(r, Shape::Scan { .. }) {
+                    return None; // bushy joins stay interpreted
+                }
+                Some(Shape::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    predicate: predicate.clone(),
+                    selects: Vec::new(),
+                })
+            }
+            Plan::Unnest { .. } | Plan::Reduce { .. } => None,
+        }
+    }
+
+    fn exprs<'s>(&'s self, out: &mut Vec<&'s Expr>) {
+        match self {
+            Shape::Scan { selects, .. } => out.extend(selects.iter()),
+            Shape::Join {
+                left,
+                right,
+                predicate,
+                selects,
+            } => {
+                left.exprs(out);
+                right.exprs(out);
+                out.push(predicate);
+                out.extend(selects.iter());
+            }
+        }
+    }
+
+    fn bound_vars(&self) -> Vec<String> {
+        match self {
+            Shape::Scan { binding, .. } => vec![binding.clone()],
+            Shape::Join { left, right, .. } => {
+                let mut v = left.bound_vars();
+                v.extend(right.bound_vars());
+                v
+            }
+        }
+    }
+}
+
+/// Collect every maximal variable/projection path in an expression
+/// (including inside nested comprehensions).
+fn collect_paths(e: &Expr, out: &mut Vec<String>) {
+    if let Some(p) = path_of(e) {
+        out.push(p);
+        return;
+    }
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Zero(_) => {}
+        Expr::Proj(inner, _) | Expr::UnOp(_, inner) | Expr::Singleton(_, inner) => {
+            collect_paths(inner, out)
+        }
+        Expr::Lambda(_, body) => collect_paths(body, out),
+        Expr::Record(fields) => {
+            for (_, f) in fields {
+                collect_paths(f, out);
+            }
+        }
+        Expr::If(a, b, c) => {
+            collect_paths(a, out);
+            collect_paths(b, out);
+            collect_paths(c, out);
+        }
+        Expr::BinOp(_, l, r) | Expr::Merge(_, l, r) | Expr::App(l, r) => {
+            collect_paths(l, out);
+            collect_paths(r, out);
+        }
+        Expr::Comprehension {
+            head, qualifiers, ..
+        } => {
+            collect_paths(head, out);
+            for q in qualifiers {
+                match q {
+                    Qualifier::Generator(_, src) => collect_paths(src, out),
+                    Qualifier::Filter(f) => collect_paths(f, out),
+                }
+            }
+        }
+        Expr::ListLit(items) => {
+            for i in items {
+                collect_paths(i, out);
+            }
+        }
+    }
+}
+
+/// Encode one value into its slot representation (the runtime half of
+/// `FrameBuilder::fill_slot`, applied column-wise at generation time).
+fn encode_cell(ty: SlotType, v: &Value, interner: &mut StringInterner) -> Option<i64> {
+    match (ty, v) {
+        (SlotType::Int, Value::Int(x)) => Some(*x),
+        (SlotType::Float, Value::Float(x)) => Some(x.to_bits() as i64),
+        (SlotType::Float, Value::Int(x)) => Some((*x as f64).to_bits() as i64),
+        (SlotType::Bool, Value::Bool(b)) => Some(*b as i64),
+        (SlotType::Str, Value::Str(s)) => Some(interner.intern(s)),
+        _ => None,
+    }
+}
+
+/// One scan bound during analysis: plugin, touched columns, and claimed
+/// slots. No column data is read until the whole plan is known to be
+/// JIT-able — fallback queries must not pay for a scan the Volcano engine
+/// will redo.
+struct SourceSpec {
+    binding: String,
+    dataset: String,
+    nrows: usize,
+    plugin: Arc<dyn vida_formats::InputPlugin>,
+    /// Touched schema column indexes, schema order.
+    touched: Vec<usize>,
+    /// `(position into touched, global slot, slot type)` for scalar fields.
+    slot_meta: Vec<(usize, usize, SlotType)>,
+}
+
+struct PipelineBuilder<'a> {
+    catalog: &'a dyn SourceProvider,
+    opts: &'a JitOptions,
+    stats: &'a mut ExecStats,
+}
+
+impl<'a> PipelineBuilder<'a> {
+    fn new(
+        catalog: &'a dyn SourceProvider,
+        opts: &'a JitOptions,
+        stats: &'a mut ExecStats,
+    ) -> Self {
+        PipelineBuilder {
+            catalog,
+            opts,
+            stats,
+        }
+    }
+
+    /// `Ok(None)` = shape outside the generated pipelines (use the fallback
+    /// engine); errors are real (catalog failures, kernel bugs).
+    fn build(mut self, plan: &Plan) -> Result<Option<Pipeline>> {
+        let Plan::Reduce {
+            input,
+            monoid,
+            head,
+        } = plan
+        else {
+            return Err(VidaError::Plan(
+                "jit executor expects a Reduce-rooted plan".into(),
+            ));
+        };
+        let Some(shape) = Shape::of(input) else {
+            return Ok(None);
+        };
+
+        // Touched paths, grouped per scanned binding.
+        let mut exprs: Vec<&Expr> = Vec::new();
+        shape.exprs(&mut exprs);
+        exprs.push(head);
+        let mut paths: Vec<String> = Vec::new();
+        for e in &exprs {
+            collect_paths(e, &mut paths);
+        }
+        let bindings = shape.bound_vars();
+        let mut fields_of: HashMap<String, Vec<String>> = HashMap::new();
+        let mut whole_record: HashMap<String, bool> = HashMap::new();
+        for p in &paths {
+            let (first, rest) = match p.split_once('.') {
+                Some((f, r)) => (f, Some(r)),
+                None => (p.as_str(), None),
+            };
+            if !bindings.iter().any(|b| b == first) {
+                continue; // dataset reference or nested-comprehension local
+            }
+            match rest {
+                None => {
+                    whole_record.insert(first.to_string(), true);
+                }
+                Some(rest) => {
+                    let field = rest.split('.').next().expect("non-empty rest");
+                    let fs = fields_of.entry(first.to_string()).or_default();
+                    if !fs.iter().any(|f| f == field) {
+                        fs.push(field.to_string());
+                    }
+                }
+            }
+        }
+
+        // Bind plugins and claim frame slots (no column reads yet).
+        let mut layout = FrameLayout::new();
+        let mut specs: Vec<SourceSpec> = Vec::new();
+        self.bind_layout(&shape, &fields_of, &whole_record, &mut layout, &mut specs)?;
+        let order: Vec<String> = specs.iter().map(|s| s.binding.clone()).collect();
+
+        // Compile the operator tree (keys, predicates, selects). Bails
+        // before any column is materialized, so fallback queries are not
+        // scanned twice.
+        let mut interner = StringInterner::new();
+        let Some(root) = self.assemble(&shape, &order, &layout, &mut interner)? else {
+            return Ok(None);
+        };
+
+        // The plan is JIT-able: materialize touched columns (cache-first)
+        // and encode them into slot representation.
+        let mut sources: Vec<Source> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            self.stats.tuples_scanned += spec.nrows as u64;
+            let columns =
+                self.materialize_columns(&spec.dataset, &spec.plugin, &spec.touched, spec.nrows)?;
+            let schema = spec.plugin.schema();
+            let env_fields = spec
+                .touched
+                .iter()
+                .zip(&columns)
+                .map(|(&c, data)| (schema.fields()[c].name.clone(), Arc::clone(data)))
+                .collect();
+            let slot_cols = spec
+                .slot_meta
+                .iter()
+                .map(|&(ti, slot, ty)| {
+                    (
+                        slot,
+                        columns[ti]
+                            .iter()
+                            .map(|v| encode_cell(ty, v, &mut interner))
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let slots = spec.slot_meta.iter().map(|&(_, s, _)| s).collect();
+            sources.push(Source {
+                binding: spec.binding,
+                nrows: spec.nrows,
+                env_fields,
+                slot_cols,
+                slots,
+                selects: Vec::new(),
+            });
+        }
+        self.attach_selects(&mut sources, &shape, &layout, &mut interner)?;
+
+        let head_plan = self.plan_head(*monoid, head, &layout, &mut interner);
+
+        // Base environment: datasets referenced by nested comprehensions
+        // (shared helper with the Volcano engine).
+        let base_env = crate::volcano::materialize_free_datasets(&exprs, &bindings, self.catalog)?;
+
+        Ok(Some(Pipeline {
+            sources,
+            root,
+            monoid: *monoid,
+            head: head_plan,
+            frame_width: layout.len(),
+            interner,
+            base_env,
+        }))
+    }
+
+    /// Walk the shape and bind one source per scan: resolve the plugin,
+    /// work out the touched columns, and claim frame slots. Column data is
+    /// deliberately not read here — see [`SourceSpec`].
+    fn bind_layout(
+        &mut self,
+        shape: &Shape,
+        fields_of: &HashMap<String, Vec<String>>,
+        whole_record: &HashMap<String, bool>,
+        layout: &mut FrameLayout,
+        specs: &mut Vec<SourceSpec>,
+    ) -> Result<()> {
+        match shape {
+            Shape::Scan {
+                dataset, binding, ..
+            } => {
+                let plugin = self.catalog.plugin(dataset)?;
+                let schema = plugin.schema().clone();
+                let nrows = plugin.num_units();
+
+                // Touched fields in schema order; whole-record usage touches
+                // everything.
+                let touched: Vec<usize> = schema
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| {
+                        whole_record.get(binding).copied().unwrap_or(false)
+                            || fields_of
+                                .get(binding)
+                                .is_some_and(|fs| fs.contains(&f.name))
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+
+                let mut slot_meta = Vec::new();
+                for (ti, &col) in touched.iter().enumerate() {
+                    let field = &schema.fields()[col];
+                    if let Some(st) = SlotType::of_type(&field.ty) {
+                        let slot = layout.slot(format!("{binding}.{}", field.name), st);
+                        slot_meta.push((ti, slot, st));
+                    }
+                }
+                specs.push(SourceSpec {
+                    binding: binding.clone(),
+                    dataset: dataset.clone(),
+                    nrows,
+                    plugin,
+                    touched,
+                    slot_meta,
+                });
+                Ok(())
+            }
+            Shape::Join { left, right, .. } => {
+                self.bind_layout(left, fields_of, whole_record, layout, specs)?;
+                self.bind_layout(right, fields_of, whole_record, layout, specs)
+            }
+        }
+    }
+
+    /// Touched columns, cache-first: parsed-value replicas are used
+    /// directly, binary-JSON replicas are decoded, anything missing is read
+    /// from the raw file in one projected scan and inserted into the cache.
+    fn materialize_columns(
+        &mut self,
+        dataset: &str,
+        plugin: &Arc<dyn vida_formats::InputPlugin>,
+        touched: &[usize],
+        nrows: usize,
+    ) -> Result<Vec<Arc<Vec<Value>>>> {
+        let schema = plugin.schema();
+        let fingerprint = plugin.fingerprint();
+        let mut out: Vec<Option<Arc<Vec<Value>>>> = vec![None; touched.len()];
+        let mut missing: Vec<usize> = Vec::new(); // positions into `touched`
+
+        if let Some(cache) = &self.opts.cache {
+            cache.invalidate_stale(dataset, fingerprint);
+            for (i, &col) in touched.iter().enumerate() {
+                let field = &schema.fields()[col].name;
+                match cache.get_any(dataset, field, &[Layout::Values, Layout::BinaryJson]) {
+                    Some((_, data)) if data.len() == nrows => {
+                        let vals: Vec<Value> =
+                            (0..nrows).map(|r| data.get(r)).collect::<Result<_>>()?;
+                        out[i] = Some(Arc::new(vals));
+                        self.stats.cached_columns += 1;
+                    }
+                    _ => missing.push(i),
+                }
+            }
+        } else {
+            missing = (0..touched.len()).collect();
+        }
+
+        if !missing.is_empty() {
+            let cols: Vec<usize> = missing.iter().map(|&i| touched[i]).collect();
+            let mut read: Vec<Vec<Value>> = vec![Vec::new(); cols.len()];
+            plugin.scan_project(&cols, &mut |_, vals| {
+                for (c, v) in read.iter_mut().zip(vals) {
+                    c.push(v);
+                }
+                Ok(())
+            })?;
+            for (&i, col_vals) in missing.iter().zip(read) {
+                let field = &schema.fields()[touched[i]].name;
+                if let Some(cache) = &self.opts.cache {
+                    cache.put(
+                        CacheKey::new(dataset, field.clone(), Layout::Values),
+                        CachedData::Values(col_vals.clone()),
+                        fingerprint,
+                    );
+                }
+                out[i] = Some(Arc::new(col_vals));
+                self.stats.raw_columns += 1;
+            }
+        }
+
+        Ok(out
+            .into_iter()
+            .map(|c| c.expect("all columns filled"))
+            .collect())
+    }
+
+    /// Compile a boolean step (kernel when possible).
+    fn step(
+        &mut self,
+        predicate: &Expr,
+        layout: &FrameLayout,
+        interner: &mut StringInterner,
+    ) -> Result<Step> {
+        if !self.opts.interpret_only
+            && JitCompiler::try_prepare(predicate, layout) == Some(SlotType::Bool)
+        {
+            let k = JitCompiler::new()?.compile(predicate, layout, interner)?;
+            self.stats.kernels_compiled += 1;
+            return Ok(Step::Kernel(k, predicate.clone()));
+        }
+        Ok(Step::Interp(predicate.clone()))
+    }
+
+    /// Build the operator tree; `None` when a join has no usable equi-keys.
+    fn assemble(
+        &mut self,
+        shape: &Shape,
+        order: &[String],
+        layout: &FrameLayout,
+        interner: &mut StringInterner,
+    ) -> Result<Option<Node>> {
+        match shape {
+            Shape::Scan { binding, .. } => {
+                let idx = order.iter().position(|b| b == binding).expect("bound");
+                Ok(Some(Node::Source(idx)))
+            }
+            Shape::Join {
+                left,
+                right,
+                predicate,
+                selects,
+            } => {
+                let Some(lnode) = self.assemble(left, order, layout, interner)? else {
+                    return Ok(None);
+                };
+                let Shape::Scan {
+                    binding: rbinding, ..
+                } = right.as_ref()
+                else {
+                    unreachable!("Shape::of enforces scan right sides");
+                };
+                let ridx = order.iter().position(|b| b == rbinding).expect("bound");
+
+                if self.opts.interpret_only {
+                    return Ok(None);
+                }
+                let lvars = left.bound_vars();
+                let rvars = vec![rbinding.clone()];
+                let Some((lk_expr, rk_expr)) = Plan::equi_join_keys(predicate, &lvars, &rvars)
+                else {
+                    return Ok(None); // non-equi join stays interpreted
+                };
+                let (Some(lt), Some(rt)) = (
+                    JitCompiler::try_prepare(&lk_expr, layout),
+                    JitCompiler::try_prepare(&rk_expr, layout),
+                ) else {
+                    return Ok(None);
+                };
+                let numeric = |t: SlotType| matches!(t, SlotType::Int | SlotType::Float);
+                let float_keys = match (lt, rt) {
+                    (a, b) if a == b => a == SlotType::Float,
+                    (a, b) if numeric(a) && numeric(b) => true,
+                    _ => return Ok(None), // incomparable key types
+                };
+                let left_key = JitCompiler::new()?.compile(&lk_expr, layout, interner)?;
+                let right_key = JitCompiler::new()?.compile(&rk_expr, layout, interner)?;
+                self.stats.kernels_compiled += 2;
+
+                let predicate = self.step(predicate, layout, interner)?;
+                let selects = selects
+                    .iter()
+                    .map(|s| self.step(s, layout, interner))
+                    .collect::<Result<Vec<_>>>()?;
+
+                Ok(Some(Node::HashJoin {
+                    left: Box::new(lnode),
+                    right: ridx,
+                    left_key,
+                    right_key,
+                    left_key_ty: lt,
+                    right_key_ty: rt,
+                    float_keys,
+                    predicate,
+                    selects,
+                }))
+            }
+        }
+    }
+
+    /// Attach per-scan selection steps to their sources.
+    fn attach_selects(
+        &mut self,
+        sources: &mut [Source],
+        shape: &Shape,
+        layout: &FrameLayout,
+        interner: &mut StringInterner,
+    ) -> Result<()> {
+        match shape {
+            Shape::Scan {
+                binding, selects, ..
+            } => {
+                let src = sources
+                    .iter_mut()
+                    .find(|s| &s.binding == binding)
+                    .expect("source bound");
+                for sel in selects {
+                    let step = self.step(sel, layout, interner)?;
+                    src.selects.push(step);
+                }
+                Ok(())
+            }
+            Shape::Join { left, right, .. } => {
+                self.attach_selects(sources, left, layout, interner)?;
+                self.attach_selects(sources, right, layout, interner)
+            }
+        }
+    }
+
+    fn plan_head(
+        &mut self,
+        monoid: Monoid,
+        head: &Expr,
+        layout: &FrameLayout,
+        interner: &mut StringInterner,
+    ) -> HeadPlan {
+        // `count` ignores head values entirely when the head is total.
+        if monoid == Monoid::Primitive(PrimitiveMonoid::Count)
+            && (matches!(head, Expr::Const(_)) || path_of(head).is_some())
+        {
+            return HeadPlan::CountOnly;
+        }
+        if !self.opts.interpret_only {
+            if JitCompiler::try_prepare(head, layout).is_some() {
+                if let Ok(k) = JitCompiler::new().and_then(|c| c.compile(head, layout, interner)) {
+                    self.stats.kernels_compiled += 1;
+                    return HeadPlan::Kernel(k, head.clone());
+                }
+            }
+            if let Expr::Record(fields) = head {
+                if matches!(monoid, Monoid::Collection(_))
+                    && fields
+                        .iter()
+                        .all(|(_, e)| JitCompiler::try_prepare(e, layout).is_some())
+                {
+                    let mut ks = Vec::with_capacity(fields.len());
+                    let mut ok = true;
+                    for (n, e) in fields {
+                        match JitCompiler::new().and_then(|c| c.compile(e, layout, interner)) {
+                            Ok(k) => ks.push((n.clone(), k)),
+                            Err(_) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        self.stats.kernels_compiled += ks.len() as u32;
+                        return HeadPlan::RecordKernels(ks, head.clone());
+                    }
+                }
+            }
+        }
+        HeadPlan::Interp(head.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+impl Pipeline {
+    fn execute(self, stats: &mut ExecStats) -> Result<Value> {
+        let tuples = self.exec_node(&self.root, stats)?;
+
+        // Fold with the output monoid. Collection monoids accumulate and
+        // canonicalize once; primitives merge incrementally (preserving
+        // overflow and type-error semantics).
+        match self.monoid {
+            Monoid::Collection(kind) => {
+                let mut items = Vec::with_capacity(tuples.len());
+                for t in &tuples {
+                    items.push(self.head_value(t, stats)?);
+                }
+                Ok(match kind {
+                    CollectionKind::Set => Value::set(items),
+                    k => Value::Collection(k, items),
+                })
+            }
+            Monoid::Primitive(PrimitiveMonoid::Count)
+                if matches!(self.head, HeadPlan::CountOnly) =>
+            {
+                Ok(Value::Int(tuples.len() as i64))
+            }
+            m => {
+                let mut acc = m.zero();
+                for t in &tuples {
+                    let v = self.head_value(t, stats)?;
+                    acc = m.merge(acc, m.unit(v))?;
+                }
+                m.finalize(acc)
+            }
+        }
+    }
+
+    fn head_value(&self, t: &Tuple, stats: &mut ExecStats) -> Result<Value> {
+        match &self.head {
+            HeadPlan::CountOnly => Ok(Value::Int(1)),
+            HeadPlan::Kernel(k, _) if t.valid => Ok(self.decode(k, &t.frame)),
+            HeadPlan::RecordKernels(ks, _) if t.valid => Ok(Value::Record(
+                ks.iter()
+                    .map(|(n, k)| (n.clone(), self.decode(k, &t.frame)))
+                    .collect(),
+            )),
+            other => {
+                // Interpreted head, or a compiled head over a tuple whose
+                // frame could not encode (nulls): exact interpreter
+                // semantics over rebuilt bindings.
+                stats.fallback_tuples += 1;
+                let e = other.source_expr().expect("CountOnly handled above");
+                eval(e, &self.env_for(t))
+            }
+        }
+    }
+
+    /// Decode a kernel result, resolving interned string ids.
+    fn decode(&self, k: &CompiledKernel, frame: &[i64]) -> Value {
+        let bits = k.call(frame);
+        match k.output() {
+            SlotType::Str => self
+                .interner
+                .resolve(bits)
+                .map(Value::str)
+                .unwrap_or(Value::Null),
+            ty => decode_output(bits, ty),
+        }
+    }
+
+    /// Rebuild interpreter bindings for a tuple from its row provenance.
+    fn env_for(&self, t: &Tuple) -> Bindings {
+        let mut env = self.base_env.clone();
+        for &(src, row) in &t.rows {
+            let s = &self.sources[src];
+            env.insert(
+                s.binding.clone(),
+                Value::Record(
+                    s.env_fields
+                        .iter()
+                        .map(|(n, col)| (n.clone(), col[row].clone()))
+                        .collect(),
+                ),
+            );
+        }
+        env
+    }
+
+    /// Evaluate a boolean step: the kernel on valid frames, the interpreter
+    /// otherwise (nulls route through exact null semantics).
+    fn apply_step(
+        &self,
+        step: &Step,
+        t: &Tuple,
+        stats: &mut ExecStats,
+        context: &str,
+    ) -> Result<bool> {
+        if let Step::Kernel(k, _) = step {
+            if t.valid {
+                return Ok(k.call(&t.frame) != 0);
+            }
+        }
+        let expr = match step {
+            Step::Kernel(_, e) | Step::Interp(e) => e,
+        };
+        stats.fallback_tuples += 1;
+        match eval(expr, &self.env_for(t))? {
+            Value::Bool(b) => Ok(b),
+            other => Err(VidaError::Exec(format!(
+                "{context} predicate not boolean: {other}"
+            ))),
+        }
+    }
+
+    fn source_tuples(&self, idx: usize, stats: &mut ExecStats) -> Result<Vec<Tuple>> {
+        let s = &self.sources[idx];
+        let mut out = Vec::new();
+        'rows: for row in 0..s.nrows {
+            let mut frame = vec![0i64; self.frame_width];
+            let mut valid = true;
+            for (slot, col) in &s.slot_cols {
+                match col[row] {
+                    Some(bits) => frame[*slot] = bits,
+                    None => valid = false,
+                }
+            }
+            let t = Tuple {
+                frame,
+                valid,
+                rows: vec![(idx, row)],
+            };
+            for sel in &s.selects {
+                if !self.apply_step(sel, &t, stats, "selection")? {
+                    continue 'rows;
+                }
+            }
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    fn exec_node(&self, node: &Node, stats: &mut ExecStats) -> Result<Vec<Tuple>> {
+        match node {
+            Node::Source(idx) => self.source_tuples(*idx, stats),
+            Node::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                left_key_ty,
+                right_key_ty,
+                float_keys,
+                predicate,
+                selects,
+            } => {
+                let left_tuples = self.exec_node(left, stats)?;
+                let right_tuples = self.source_tuples(*right, stats)?;
+
+                // Build side: hash the right tuples by key bits. Tuples
+                // whose frame could not encode go to the `loose` list and
+                // are compared through the interpreter (null keys join null
+                // keys in this calculus).
+                let mut table: HashMap<i64, Vec<usize>> = HashMap::new();
+                let mut loose: Vec<usize> = Vec::new();
+                for (i, t) in right_tuples.iter().enumerate() {
+                    if t.valid {
+                        let k = encode_key(right_key.call(&t.frame), *right_key_ty, *float_keys);
+                        table.entry(k).or_default().push(i);
+                    } else {
+                        loose.push(i);
+                    }
+                }
+
+                let rslots = &self.sources[*right].slots;
+                let mut out = Vec::new();
+                for lt in &left_tuples {
+                    let candidates: Vec<usize> = if lt.valid {
+                        let k = encode_key(left_key.call(&lt.frame), *left_key_ty, *float_keys);
+                        let mut c: Vec<usize> = table
+                            .get(&k)
+                            .map(|b| b.as_slice())
+                            .unwrap_or(&[])
+                            .iter()
+                            .chain(loose.iter())
+                            .copied()
+                            .collect();
+                        // Restore right-scan order across bucket and loose
+                        // tuples: non-commutative monoids (list) must see
+                        // the same element order as the interpreter oracles.
+                        c.sort_unstable();
+                        c
+                    } else {
+                        // Fallback probe tuple: interpreted against every
+                        // build tuple.
+                        (0..right_tuples.len()).collect()
+                    };
+                    'pairs: for ri in candidates {
+                        let rt = &right_tuples[ri];
+                        let mut frame = lt.frame.clone();
+                        for &slot in rslots {
+                            frame[slot] = rt.frame[slot];
+                        }
+                        let merged = Tuple {
+                            frame,
+                            valid: lt.valid && rt.valid,
+                            rows: lt.rows.iter().chain(rt.rows.iter()).copied().collect(),
+                        };
+                        if !self.apply_step(predicate, &merged, stats, "join")? {
+                            continue;
+                        }
+                        for sel in selects {
+                            if !self.apply_step(sel, &merged, stats, "selection")? {
+                                continue 'pairs;
+                            }
+                        }
+                        out.push(merged);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Canonical hash bits for a join key. With `float_keys`, integer keys
+/// promote into the float domain so `p.id = g.fid` hashes consistently
+/// across the numeric tower (bit equality on floats matches the
+/// interpreter's total-order equality).
+fn encode_key(raw: i64, ty: SlotType, float_keys: bool) -> i64 {
+    if float_keys && ty == SlotType::Int {
+        (raw as f64).to_bits() as i64
+    } else {
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::MemoryCatalog;
+    use vida_algebra::{lower, rewrite};
+    use vida_lang::parse;
+    use vida_types::{Schema, Type};
+
+    fn catalog() -> MemoryCatalog {
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "Patients",
+            Schema::from_pairs([("id", Type::Int), ("age", Type::Int), ("city", Type::Str)]),
+            &[
+                Value::record([
+                    ("id", Value::Int(1)),
+                    ("age", Value::Int(71)),
+                    ("city", Value::str("geneva")),
+                ]),
+                Value::record([
+                    ("id", Value::Int(2)),
+                    ("age", Value::Int(34)),
+                    ("city", Value::str("bern")),
+                ]),
+                Value::record([
+                    ("id", Value::Int(3)),
+                    ("age", Value::Int(65)),
+                    ("city", Value::str("geneva")),
+                ]),
+            ],
+        )
+        .unwrap();
+        cat.register_records(
+            "Genetics",
+            Schema::from_pairs([("id", Type::Int), ("snp", Type::Float)]),
+            &[
+                Value::record([("id", Value::Int(1)), ("snp", Value::Float(0.9))]),
+                Value::record([("id", Value::Int(2)), ("snp", Value::Float(0.1))]),
+                Value::record([("id", Value::Int(3)), ("snp", Value::Float(0.5))]),
+            ],
+        )
+        .unwrap();
+        cat
+    }
+
+    fn plan_of(q: &str) -> Plan {
+        rewrite(&lower(&parse(q).unwrap()).unwrap())
+    }
+
+    fn jit(q: &str) -> Value {
+        run_jit(&plan_of(q), &catalog(), &JitOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn scan_filter_aggregate() {
+        assert_eq!(
+            jit("for { p <- Patients, p.age > 60 } yield count p"),
+            Value::Int(2)
+        );
+        assert_eq!(jit("for { p <- Patients } yield max p.age"), Value::Int(71));
+        assert_eq!(
+            jit("for { p <- Patients, p.city = \"geneva\" } yield sum p.age"),
+            Value::Int(136)
+        );
+    }
+
+    #[test]
+    fn hash_join_on_equi_keys() {
+        assert_eq!(
+            jit(
+                "for { p <- Patients, g <- Genetics, p.id = g.id, p.age > 60 } \
+                 yield sum g.snp"
+            ),
+            Value::Float(1.4)
+        );
+    }
+
+    #[test]
+    fn record_projection_compiles_per_field() {
+        let v = jit("for { p <- Patients, p.age > 60 } yield bag (i := p.id, a := p.age)");
+        assert_eq!(v.elements().unwrap().len(), 2);
+        assert_eq!(
+            v.elements().unwrap()[0],
+            Value::record([("i", Value::Int(1)), ("a", Value::Int(71))])
+        );
+    }
+
+    #[test]
+    fn string_head_decodes_through_interner() {
+        let v = jit("for { p <- Patients, p.age > 60 } yield set p.city");
+        assert_eq!(v.elements().unwrap(), &[Value::str("geneva")]);
+    }
+
+    #[test]
+    fn agrees_with_volcano_engine() {
+        let queries = [
+            "for { p <- Patients } yield avg p.age",
+            "for { p <- Patients, p.city != \"bern\" } yield list p.id",
+            "for { p <- Patients, g <- Genetics, p.id = g.id } \
+             yield bag (a := p.age, s := g.snp)",
+            "for { p <- Patients } yield all p.age > 20",
+            "for { p <- Patients, p.age > 40, p.age < 70 } yield count p",
+        ];
+        let cat = catalog();
+        for q in queries {
+            let plan = plan_of(q);
+            let via_volcano = crate::volcano::run_volcano(&plan, &cat).unwrap();
+            let via_jit = run_jit(&plan, &cat, &JitOptions::default()).unwrap();
+            assert_eq!(via_jit, via_volcano, "jit deviates for {q}");
+        }
+    }
+
+    #[test]
+    fn null_tuples_take_interpreted_fallback() {
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "T",
+            Schema::from_pairs([("x", Type::Int)]),
+            &[
+                Value::record([("x", Value::Int(5))]),
+                Value::record([("x", Value::Null)]),
+                Value::record([("x", Value::Int(7))]),
+            ],
+        )
+        .unwrap();
+        let plan = plan_of("for { t <- T, t.x > 4 } yield count t");
+        let (v, stats) = run_jit_with_stats(&plan, &cat, &JitOptions::default()).unwrap();
+        // null > 4 is false in this calculus; the null row must not count.
+        assert_eq!(v, Value::Int(2));
+        assert!(stats.fallback_tuples >= 1);
+    }
+
+    #[test]
+    fn kernels_are_counted() {
+        let plan = plan_of("for { p <- Patients, p.age > 60 } yield sum p.age");
+        let (_, stats) = run_jit_with_stats(&plan, &catalog(), &JitOptions::default()).unwrap();
+        assert!(stats.kernels_compiled >= 2, "{stats:?}");
+        assert_eq!(stats.tuples_scanned, 3);
+    }
+
+    #[test]
+    fn interpret_only_pipeline_agrees() {
+        let opts = JitOptions {
+            interpret_only: true,
+            ..Default::default()
+        };
+        let plan = plan_of("for { p <- Patients, p.age > 60 } yield sum p.age");
+        let (v, stats) = run_jit_with_stats(&plan, &catalog(), &opts).unwrap();
+        assert_eq!(v, Value::Int(136));
+        assert_eq!(stats.kernels_compiled, 0);
+    }
+
+    #[test]
+    fn cache_serves_second_run() {
+        let cache = Arc::new(CacheManager::new(1 << 20));
+        let opts = JitOptions::with_cache(Arc::clone(&cache));
+        let cat = catalog();
+        let plan = plan_of("for { p <- Patients, p.age > 60 } yield sum p.age");
+        let (v1, s1) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert_eq!(v1, Value::Int(136));
+        assert!(s1.raw_columns > 0);
+        assert!(!s1.served_from_cache);
+        let (v2, s2) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert_eq!(v2, v1);
+        assert_eq!(s2.raw_columns, 0);
+        assert!(s2.served_from_cache, "{s2:?}");
+        assert!(cache.stats().hits > 0);
+    }
+
+    #[test]
+    fn unnest_and_constant_queries_fall_back() {
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "Regions",
+            Schema::from_pairs([("id", Type::Int), ("voxels", Type::bag(Type::Int))]),
+            &[Value::record([
+                ("id", Value::Int(1)),
+                ("voxels", Value::bag(vec![Value::Int(5), Value::Int(15)])),
+            ])],
+        )
+        .unwrap();
+        assert_eq!(
+            run_jit(
+                &plan_of("for { r <- Regions, v <- r.voxels, v > 10 } yield sum v"),
+                &cat,
+                &JitOptions::default()
+            )
+            .unwrap(),
+            Value::Int(15)
+        );
+        assert_eq!(
+            run_jit(&plan_of("1 + 2"), &cat, &JitOptions::default()).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn nested_head_materializes_dataset() {
+        let v = jit("for { g <- Genetics } yield bag \
+             (id := g.id, \
+              meta := for { p <- Patients, p.id = g.id } yield list p.city)");
+        let items = v.elements().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(
+            items[0].field("meta").unwrap().elements().unwrap(),
+            &[Value::str("geneva")]
+        );
+    }
+
+    #[test]
+    fn null_join_values_preserve_right_scan_order() {
+        // Regression: loose (null-frame) build tuples must interleave with
+        // hash-bucket matches in right-scan order, or list-monoid results
+        // diverge from the oracles.
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "P",
+            Schema::from_pairs([("id", Type::Int)]),
+            &[Value::record([("id", Value::Int(1))])],
+        )
+        .unwrap();
+        cat.register_records(
+            "G",
+            Schema::from_pairs([("id", Type::Int), ("snp", Type::Float)]),
+            &[
+                Value::record([("id", Value::Int(1)), ("snp", Value::Null)]),
+                Value::record([("id", Value::Int(1)), ("snp", Value::Float(0.2))]),
+            ],
+        )
+        .unwrap();
+        let plan = plan_of("for { p <- P, g <- G, p.id = g.id } yield list g.snp");
+        let via_volcano = crate::volcano::run_volcano(&plan, &cat).unwrap();
+        let via_jit = run_jit(&plan, &cat, &JitOptions::default()).unwrap();
+        assert_eq!(via_jit, via_volcano);
+        assert_eq!(
+            via_jit.elements().unwrap(),
+            &[Value::Null, Value::Float(0.2)]
+        );
+    }
+
+    #[test]
+    fn fallback_join_does_not_materialize_columns() {
+        // Non-equi joins bail to the Volcano engine before any column is
+        // read, so the raw files are scanned once, not twice.
+        let plan = plan_of("for { p <- Patients, g <- Genetics, p.age > g.snp } yield count p");
+        let (v, stats) = run_jit_with_stats(&plan, &catalog(), &JitOptions::default()).unwrap();
+        assert_eq!(v, Value::Int(9)); // every (p, g) pair: ages dwarf snps
+        assert_eq!(stats.raw_columns, 0, "{stats:?}");
+        assert_eq!(stats.cached_columns, 0);
+    }
+
+    #[test]
+    fn unknown_dataset_is_catalog_error() {
+        let plan = plan_of("for { x <- Missing } yield sum x.a");
+        assert_eq!(
+            run_jit(&plan, &catalog(), &JitOptions::default())
+                .unwrap_err()
+                .kind(),
+            "catalog"
+        );
+    }
+}

@@ -11,7 +11,6 @@
 //! evidence for both.
 
 use crate::catalog::SourceProvider;
-use std::collections::HashMap;
 use vida_algebra::lower::UNIT_DATASET;
 use vida_algebra::Plan;
 use vida_lang::{eval, Bindings, Expr};
@@ -44,18 +43,28 @@ pub fn run_volcano(plan: &Plan, catalog: &dyn SourceProvider) -> Result<Value> {
 
 /// Collect free dataset names referenced in scalar expressions (nested
 /// comprehensions in heads/predicates) and materialize them.
-fn materialize_referenced_datasets(
-    plan: &Plan,
-    catalog: &dyn SourceProvider,
-) -> Result<Bindings> {
+fn materialize_referenced_datasets(plan: &Plan, catalog: &dyn SourceProvider) -> Result<Bindings> {
     let mut exprs: Vec<&Expr> = Vec::new();
     collect_exprs(plan, &mut exprs);
-    let bound = plan.bound_vars();
+    materialize_free_datasets(&exprs, &plan.bound_vars(), catalog)
+}
+
+/// Materialize every free variable of `exprs` that is not plan-bound and
+/// resolves as a catalog dataset. Shared by both engines so their
+/// nested-comprehension semantics cannot drift.
+pub(crate) fn materialize_free_datasets(
+    exprs: &[&Expr],
+    bound: &[String],
+    catalog: &dyn SourceProvider,
+) -> Result<Bindings> {
     let mut env = Bindings::new();
     for e in exprs {
         for name in e.free_vars() {
             if !bound.contains(&name) && !env.contains_key(&name) {
-                if let Ok(v) = catalog.plugin(&name).and_then(|_| catalog.materialize(&name)) {
+                if let Ok(v) = catalog
+                    .plugin(&name)
+                    .and_then(|_| catalog.materialize(&name))
+                {
                     env.insert(name, v);
                 }
             }
@@ -313,11 +322,7 @@ mod tests {
         let cat = MemoryCatalog::new();
         cat.register_records(
             "Patients",
-            Schema::from_pairs([
-                ("id", Type::Int),
-                ("age", Type::Int),
-                ("city", Type::Str),
-            ]),
+            Schema::from_pairs([("id", Type::Int), ("age", Type::Int), ("city", Type::Str)]),
             &[
                 Value::record([
                     ("id", Value::Int(1)),
@@ -361,10 +366,7 @@ mod tests {
             run("for { p <- Patients, p.age > 60 } yield count p"),
             Value::Int(2)
         );
-        assert_eq!(
-            run("for { p <- Patients } yield max p.age"),
-            Value::Int(71)
-        );
+        assert_eq!(run("for { p <- Patients } yield max p.age"), Value::Int(71));
     }
 
     #[test]
@@ -388,9 +390,7 @@ mod tests {
 
     #[test]
     fn projection_to_bag() {
-        let v = run(
-            "for { p <- Patients, p.age > 60 } yield bag (id := p.id, c := p.city)",
-        );
+        let v = run("for { p <- Patients, p.age > 60 } yield bag (id := p.id, c := p.city)");
         assert_eq!(v.elements().unwrap().len(), 2);
     }
 
@@ -418,11 +418,9 @@ mod tests {
 
     #[test]
     fn nested_head_materializes_dataset() {
-        let v = run(
-            "for { g <- Genetics } yield bag \
+        let v = run("for { g <- Genetics } yield bag \
              (id := g.id, \
-              meta := for { p <- Patients, p.id = g.id } yield list p.city)",
-        );
+              meta := for { p <- Patients, p.id = g.id } yield list p.city)");
         let items = v.elements().unwrap();
         assert_eq!(items.len(), 3);
         assert_eq!(

@@ -57,7 +57,10 @@ pub fn encode_array(elem: ElemType, dims: &[usize], data: &[Value]) -> Result<Ve
     if data.len() != expected {
         return Err(VidaError::format(
             "<encode>",
-            format!("dims {dims:?} imply {expected} elements, got {}", data.len()),
+            format!(
+                "dims {dims:?} imply {expected} elements, got {}",
+                data.len()
+            ),
         ));
     }
     let mut out = Vec::with_capacity(16 + dims.len() * 8 + data.len() * 8);
@@ -234,7 +237,10 @@ impl ArrayFile {
         }
         let (rows, cols) = (self.dims[0], self.dims[1]);
         if row >= rows {
-            return Err(VidaError::format(&self.name, format!("row {row} out of range")));
+            return Err(VidaError::format(
+                &self.name,
+                format!("row {row} out of range"),
+            ));
         }
         self.stats.add_bytes_parsed(cols as u64 * 8);
         self.stats.add_units(1);
@@ -385,8 +391,8 @@ mod tests {
     #[test]
     fn bad_files_rejected() {
         assert!(ArrayFile::from_bytes("B", b"nope".to_vec()).is_err());
-        let mut ok = encode_array(ElemType::F64, &[2], &[Value::Float(1.0), Value::Float(2.0)])
-            .unwrap();
+        let mut ok =
+            encode_array(ElemType::F64, &[2], &[Value::Float(1.0), Value::Float(2.0)]).unwrap();
         ok.truncate(ok.len() - 4); // truncated data
         assert!(ArrayFile::from_bytes("B", ok).is_err());
     }

@@ -13,10 +13,10 @@
 //! up-front pass.
 
 use crate::stats::AccessStats;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
+use vida_types::sync::RwLock;
 use vida_types::{Result, Schema, Type, Value, VidaError};
 
 /// Sentinel for "offset unknown" inside positional map columns.
@@ -178,15 +178,13 @@ impl CsvFile {
             }
             if cur_col == col {
                 self.stats.hit();
-                self.stats
-                    .add_bytes_skipped((cur_off - row_start) as u64);
+                self.stats.add_bytes_skipped((cur_off - row_start) as u64);
                 let end = self.field_end(cur_off, row_end);
                 return Ok((cur_off, end));
             }
             if cur_off != row_start {
                 self.stats.partial();
-                self.stats
-                    .add_bytes_skipped((cur_off - row_start) as u64);
+                self.stats.add_bytes_skipped((cur_off - row_start) as u64);
             } else {
                 self.stats.miss();
             }
@@ -207,11 +205,7 @@ impl CsvFile {
                 None => {
                     return Err(VidaError::format(
                         &self.name,
-                        format!(
-                            "row {row} has only {} columns, wanted {}",
-                            c + 1,
-                            col + 1
-                        ),
+                        format!("row {row} has only {} columns, wanted {}", c + 1, col + 1),
                     ))
                 }
             }
@@ -475,7 +469,8 @@ mod tests {
     use super::*;
 
     fn sample() -> CsvFile {
-        let data = b"id,age,protein,city\n1,64,0.5,geneva\n2,31,1.25,bern\n3,77,2.0,basel\n".to_vec();
+        let data =
+            b"id,age,protein,city\n1,64,0.5,geneva\n2,31,1.25,bern\n3,77,2.0,basel\n".to_vec();
         CsvFile::from_bytes(
             "Patients",
             data,
@@ -627,8 +622,14 @@ mod tests {
     #[test]
     fn bad_number_is_format_error() {
         let data = b"a\nxyz\n".to_vec();
-        let f = CsvFile::from_bytes("T", data, b',', true, Schema::from_pairs([("a", Type::Int)]))
-            .unwrap();
+        let f = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("a", Type::Int)]),
+        )
+        .unwrap();
         assert_eq!(f.read_field(0, 0).unwrap_err().kind(), "format");
     }
 

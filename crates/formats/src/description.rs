@@ -343,10 +343,8 @@ mod tests {
 
     #[test]
     fn parses_record_of_scalars() {
-        let t = parse_description_type(
-            "Record(Att(id, int), Att(age, int), Att(city, string))",
-        )
-        .unwrap();
+        let t = parse_description_type("Record(Att(id, int), Att(age, int), Att(city, string))")
+            .unwrap();
         assert_eq!(
             t,
             Type::record([("id", Type::Int), ("age", Type::Int), ("city", Type::Str)])
@@ -361,7 +359,10 @@ mod tests {
         };
         assert_eq!(
             inner.field("xs"),
-            Some(&Type::Collection(CollectionKind::List, Box::new(Type::Float)))
+            Some(&Type::Collection(
+                CollectionKind::List,
+                Box::new(Type::Float)
+            ))
         );
     }
 

@@ -15,10 +15,10 @@
 //! provides exactly those positions.
 
 use crate::stats::AccessStats;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
+use vida_types::sync::RwLock;
 use vida_types::{CollectionKind, Result, Schema, Value, VidaError};
 
 /// A newline-delimited JSON file opened for in-situ querying.
@@ -218,11 +218,7 @@ impl JsonFile {
 
 /// Find the value span of a top-level `field` inside one serialized object.
 /// Returns byte offsets relative to `obj`.
-fn locate_top_level_field(
-    obj: &[u8],
-    field: &str,
-    source: &str,
-) -> Result<Option<(usize, usize)>> {
+fn locate_top_level_field(obj: &[u8], field: &str, source: &str) -> Result<Option<(usize, usize)>> {
     let mut i = skip_ws(obj, 0);
     if i >= obj.len() || obj[i] != b'{' {
         return Err(VidaError::format(source, "expected top-level object"));
@@ -566,10 +562,7 @@ mod tests {
     fn reads_nested_values() {
         let f = sample();
         let meta = f.read_field(0, "meta").unwrap();
-        assert_eq!(
-            meta.field("scan"),
-            Some(&Value::str("mri-7"))
-        );
+        assert_eq!(meta.field("scan"), Some(&Value::str("mri-7")));
         let voxels = f.read_field(0, "voxels").unwrap();
         assert_eq!(voxels.elements().unwrap().len(), 3);
     }
@@ -665,10 +658,7 @@ mod tests {
 
     #[test]
     fn malformed_json_is_format_error() {
-        assert_eq!(
-            parse_json(b"{\"a\":", 0, "t").unwrap_err().kind(),
-            "format"
-        );
+        assert_eq!(parse_json(b"{\"a\":", 0, "t").unwrap_err().kind(), "format");
         assert_eq!(parse_json(b"[1,", 0, "t").unwrap_err().kind(), "format");
         assert_eq!(
             parse_json(b"\"unterminated", 0, "t").unwrap_err().kind(),

@@ -115,7 +115,7 @@ impl InputPlugin for CsvPlugin {
         cols: &[usize],
         f: &mut dyn FnMut(usize, Vec<Value>) -> Result<()>,
     ) -> Result<()> {
-        self.file.scan_project(cols, |row, vals| f(row, vals))
+        self.file.scan_project(cols, f)
     }
 
     fn stats(&self) -> Arc<AccessStats> {
@@ -343,9 +343,7 @@ impl InputPlugin for MemPlugin {
             .get(row)
             .and_then(|r| r.get(col))
             .cloned()
-            .ok_or_else(|| {
-                VidaError::format(&self.name, format!("({row},{col}) out of range"))
-            })
+            .ok_or_else(|| VidaError::format(&self.name, format!("({row},{col}) out of range")))
     }
 
     fn stats(&self) -> Arc<AccessStats> {
@@ -480,6 +478,9 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert_eq!(got, vec![vec![Value::Float(10.0)], vec![Value::Float(20.0)]]);
+        assert_eq!(
+            got,
+            vec![vec![Value::Float(10.0)], vec![Value::Float(20.0)]]
+        );
     }
 }

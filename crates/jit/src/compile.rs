@@ -1,21 +1,23 @@
-//! Cranelift compilation of scalar expressions.
+//! Portable compilation of scalar expressions (the default backend).
 //!
 //! [`JitCompiler::compile`] turns a calculus expression over a
-//! [`FrameLayout`] into native code with signature
-//! `fn(*const i64) -> i64`. The compilable subset is pure and total
-//! (no division, no collection operations), so the generated code can use
-//! branch-free `select` for `if` and non-short-circuit boolean arithmetic —
-//! the aggressive specialization §4.1 describes. Expressions outside the
-//! subset return `None` from [`JitCompiler::try_prepare`] and stay
-//! interpreted.
+//! [`FrameLayout`] into a *fused kernel*: a tree of monomorphic closures
+//! specialized at compile time to the slot types the expression touches.
+//! All type dispatch, slot resolution, and string interning happen once,
+//! at compilation — the per-tuple call path contains no type tags, no hash
+//! lookups, and allocates nothing, which is the §4.1 property the paper's
+//! LLVM backend provides. (A true native-code backend using Cranelift lives
+//! in `compile_cranelift.rs` behind the `cranelift` feature; it exposes the
+//! identical API and is used when the cranelift crates are vendored.)
+//!
+//! The compilable subset is pure and total (no division, no collection
+//! operations). Expressions outside it return `None` from
+//! [`JitCompiler::try_prepare`] and stay interpreted. Kernel semantics match
+//! native code, not the interpreter: integer arithmetic wraps rather than
+//! erroring on overflow, and floats use IEEE comparison (ordered, so
+//! `NaN != NaN`).
 
 use crate::frame::{FrameLayout, SlotType, StringInterner};
-use cranelift_codegen::ir::{types, AbiParam, InstBuilder, MemFlags, Value as ClifValue};
-use cranelift_codegen::settings::{self, Configurable};
-use cranelift_frontend::{FunctionBuilder, FunctionBuilderContext};
-use cranelift_jit::{JITBuilder, JITModule};
-use cranelift_module::{Linkage, Module};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vida_lang::{BinOp, Expr, UnOp};
 use vida_types::{Result, Value, VidaError};
@@ -23,30 +25,23 @@ use vida_types::{Result, Value, VidaError};
 /// Declared output encoding of a compiled kernel.
 pub type KernelOutput = SlotType;
 
-/// A finalized native kernel. The backing executable memory lives as long
-/// as any clone of this struct.
+/// One fused scalar kernel: `fn(&[i64]) -> i64` over a frame laid out
+/// according to the [`FrameLayout`] it was compiled against.
+type Kern = Box<dyn Fn(&[i64]) -> i64 + Send + Sync>;
+
+/// A finalized kernel. Cheap to clone and safe to call from any thread.
 #[derive(Clone)]
 pub struct CompiledKernel {
-    func: extern "C" fn(*const i64) -> i64,
+    func: Arc<Kern>,
     output: KernelOutput,
-    /// Keeps the JIT module (and thus the code pages) alive.
-    _module: Arc<ModuleHolder>,
 }
-
-struct ModuleHolder(#[allow(dead_code)] JITModule);
-
-// SAFETY: after `finalize_definitions` the module's code pages are immutable
-// and the holder is never used to define more functions; sharing read-only
-// executable memory across threads is sound.
-unsafe impl Send for ModuleHolder {}
-unsafe impl Sync for ModuleHolder {}
 
 impl CompiledKernel {
     /// Run the kernel over a frame. The frame must match the layout the
     /// kernel was compiled against.
     #[inline]
     pub fn call(&self, frame: &[i64]) -> i64 {
-        (self.func)(frame.as_ptr())
+        (self.func)(frame)
     }
 
     /// Run and decode into a [`Value`].
@@ -59,35 +54,18 @@ impl CompiledKernel {
     }
 }
 
-static KERNEL_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-/// Per-query compiler: owns a Cranelift JIT module.
+/// Per-query compiler.
+///
+/// The portable backend is stateless, but the constructor stays fallible and
+/// the `compile` call consuming for API parity with the Cranelift backend
+/// (which owns a JIT module per query).
 pub struct JitCompiler {
-    module: JITModule,
-    ctx_count: usize,
+    _private: (),
 }
 
 impl JitCompiler {
     pub fn new() -> Result<Self> {
-        let mut flags = settings::builder();
-        flags
-            .set("use_colocated_libcalls", "false")
-            .map_err(|e| VidaError::Codegen(e.to_string()))?;
-        flags
-            .set("is_pic", "false")
-            .map_err(|e| VidaError::Codegen(e.to_string()))?;
-        flags
-            .set("opt_level", "speed")
-            .map_err(|e| VidaError::Codegen(e.to_string()))?;
-        let isa = cranelift_native::builder()
-            .map_err(|e| VidaError::Codegen(e.to_string()))?
-            .finish(settings::Flags::new(flags))
-            .map_err(|e| VidaError::Codegen(e.to_string()))?;
-        let builder = JITBuilder::with_isa(isa, cranelift_module::default_libcall_names());
-        Ok(JitCompiler {
-            module: JITModule::new(builder),
-            ctx_count: 0,
-        })
+        Ok(JitCompiler { _private: () })
     }
 
     /// Static check + output type inference: can `expr` compile against
@@ -99,75 +77,18 @@ impl JitCompiler {
     /// Compile `expr`. String constants are interned through `interner` —
     /// the same interner the frame builder uses at runtime.
     pub fn compile(
-        mut self,
+        self,
         expr: &Expr,
         layout: &FrameLayout,
         interner: &mut StringInterner,
     ) -> Result<CompiledKernel> {
-        let output = infer(expr, layout).ok_or_else(|| {
-            VidaError::Codegen(format!("expression not compilable: {expr}"))
-        })?;
-
-        let ptr_ty = self.module.target_config().pointer_type();
-        let mut ctx = self.module.make_context();
-        ctx.func.signature.params.push(AbiParam::new(ptr_ty));
-        ctx.func.signature.returns.push(AbiParam::new(types::I64));
-
-        let mut fbc = FunctionBuilderContext::new();
-        {
-            let mut b = FunctionBuilder::new(&mut ctx.func, &mut fbc);
-            let block = b.create_block();
-            b.append_block_params_for_function_params(block);
-            b.switch_to_block(block);
-            b.seal_block(block);
-            let frame_ptr = b.block_params(block)[0];
-
-            let mut cg = Codegen {
-                builder: &mut b,
-                frame_ptr,
-                layout,
-                interner,
-            };
-            let (val, ty) = cg.emit(expr)?;
-            let ret = match ty {
-                SlotType::Float => cg.builder.ins().bitcast(
-                    types::I64,
-                    MemFlags::new(),
-                    val,
-                ),
-                SlotType::Bool => cg.builder.ins().uextend(types::I64, val),
-                _ => val,
-            };
-            b.ins().return_(&[ret]);
-            b.finalize();
-        }
-
-        let name = format!(
-            "vida_kernel_{}_{}",
-            KERNEL_COUNTER.fetch_add(1, Ordering::Relaxed),
-            self.ctx_count
-        );
-        self.ctx_count += 1;
-        let id = self
-            .module
-            .declare_function(&name, Linkage::Export, &ctx.func.signature)
-            .map_err(|e| VidaError::Codegen(e.to_string()))?;
-        self.module
-            .define_function(id, &mut ctx)
-            .map_err(|e| VidaError::Codegen(e.to_string()))?;
-        self.module.clear_context(&mut ctx);
-        self.module
-            .finalize_definitions()
-            .map_err(|e| VidaError::Codegen(e.to_string()))?;
-        let code = self.module.get_finalized_function(id);
-        // SAFETY: the signature declared above is exactly
-        // `extern "C" fn(*const i64) -> i64`.
-        let func =
-            unsafe { std::mem::transmute::<*const u8, extern "C" fn(*const i64) -> i64>(code) };
+        let output = infer(expr, layout)
+            .ok_or_else(|| VidaError::Codegen(format!("expression not compilable: {expr}")))?;
+        let (func, ty) = emit(expr, layout, interner)?;
+        debug_assert_eq!(ty, output);
         Ok(CompiledKernel {
-            func,
+            func: Arc::new(func),
             output,
-            _module: Arc::new(ModuleHolder(self.module)),
         })
     }
 }
@@ -220,9 +141,7 @@ fn infer(expr: &Expr, layout: &FrameLayout) -> Option<SlotType> {
                 }
             }
         }
-        Expr::UnOp(UnOp::Not, e) => {
-            (infer(e, layout)? == SlotType::Bool).then_some(SlotType::Bool)
-        }
+        Expr::UnOp(UnOp::Not, e) => (infer(e, layout)? == SlotType::Bool).then_some(SlotType::Bool),
         Expr::UnOp(UnOp::Neg, e) => match infer(e, layout)? {
             SlotType::Int => Some(SlotType::Int),
             SlotType::Float => Some(SlotType::Float),
@@ -255,184 +174,160 @@ pub fn path_of(expr: &Expr) -> Option<String> {
     }
 }
 
-struct Codegen<'a, 'b> {
-    builder: &'a mut FunctionBuilder<'b>,
-    frame_ptr: ClifValue,
-    layout: &'a FrameLayout,
-    interner: &'a mut StringInterner,
+#[inline]
+fn bits(x: f64) -> i64 {
+    x.to_bits() as i64
 }
 
-impl Codegen<'_, '_> {
-    fn emit(&mut self, expr: &Expr) -> Result<(ClifValue, SlotType)> {
-        match expr {
-            Expr::Const(Value::Int(i)) => {
-                Ok((self.builder.ins().iconst(types::I64, *i), SlotType::Int))
-            }
-            Expr::Const(Value::Float(f)) => {
-                Ok((self.builder.ins().f64const(*f), SlotType::Float))
-            }
-            Expr::Const(Value::Bool(b)) => Ok((
-                self.builder.ins().iconst(types::I8, *b as i64),
-                SlotType::Bool,
-            )),
-            Expr::Const(Value::Str(s)) => {
-                let id = self.interner.intern(s);
-                Ok((self.builder.ins().iconst(types::I64, id), SlotType::Str))
-            }
-            Expr::Var(_) | Expr::Proj(..) => {
-                let path = path_of(expr)
-                    .ok_or_else(|| VidaError::Codegen(format!("bad path {expr}")))?;
-                let (slot, ty) = self.layout.lookup(&path).ok_or_else(|| {
-                    VidaError::Codegen(format!("path '{path}' not in frame layout"))
-                })?;
-                let off = (slot * 8) as i32;
-                let v = match ty {
-                    SlotType::Float => self.builder.ins().load(
-                        types::F64,
-                        MemFlags::trusted(),
-                        self.frame_ptr,
-                        off,
-                    ),
-                    SlotType::Bool => {
-                        let w = self.builder.ins().load(
-                            types::I64,
-                            MemFlags::trusted(),
-                            self.frame_ptr,
-                            off,
-                        );
-                        self.builder.ins().ireduce(types::I8, w)
-                    }
-                    _ => self.builder.ins().load(
-                        types::I64,
-                        MemFlags::trusted(),
-                        self.frame_ptr,
-                        off,
-                    ),
-                };
-                Ok((v, ty))
-            }
-            Expr::BinOp(op, l, r) => {
-                let (lv, lt) = self.emit(l)?;
-                let (rv, rt) = self.emit(r)?;
-                self.emit_binop(*op, lv, lt, rv, rt)
-            }
-            Expr::UnOp(UnOp::Not, e) => {
-                let (v, _) = self.emit(e)?;
-                let one = self.builder.ins().iconst(types::I8, 1);
-                Ok((self.builder.ins().bxor(v, one), SlotType::Bool))
-            }
-            Expr::UnOp(UnOp::Neg, e) => {
-                let (v, t) = self.emit(e)?;
-                Ok(match t {
-                    SlotType::Float => (self.builder.ins().fneg(v), SlotType::Float),
-                    _ => (self.builder.ins().ineg(v), SlotType::Int),
-                })
-            }
-            Expr::If(c, t, f) => {
-                let (cv, _) = self.emit(c)?;
-                let (tv, tt) = self.emit(t)?;
-                let (fv, ft) = self.emit(f)?;
-                // Unify numeric branches.
-                let (tv, fv, ty) = match (tt, ft) {
-                    (a, b) if a == b => (tv, fv, a),
-                    (SlotType::Int, SlotType::Float) => {
-                        (self.builder.ins().fcvt_from_sint(types::F64, tv), fv, SlotType::Float)
-                    }
-                    (SlotType::Float, SlotType::Int) => {
-                        (tv, self.builder.ins().fcvt_from_sint(types::F64, fv), SlotType::Float)
-                    }
-                    _ => {
-                        return Err(VidaError::Codegen(
-                            "if branches with incompatible slot types".into(),
-                        ))
-                    }
-                };
-                Ok((self.builder.ins().select(cv, tv, fv), ty))
-            }
-            other => Err(VidaError::Codegen(format!("not compilable: {other}"))),
-        }
-    }
+#[inline]
+fn fval(b: i64) -> f64 {
+    f64::from_bits(b as u64)
+}
 
-    fn promote(&mut self, v: ClifValue, from: SlotType) -> ClifValue {
-        match from {
-            SlotType::Int => self.builder.ins().fcvt_from_sint(types::F64, v),
-            _ => v,
-        }
+/// Widen a kernel to produce float bits regardless of its numeric type.
+fn as_float(k: Kern, ty: SlotType) -> Kern {
+    match ty {
+        SlotType::Int => Box::new(move |f| bits(k(f) as f64)),
+        _ => k,
     }
+}
 
-    fn emit_binop(
-        &mut self,
-        op: BinOp,
-        lv: ClifValue,
-        lt: SlotType,
-        rv: ClifValue,
-        rt: SlotType,
-    ) -> Result<(ClifValue, SlotType)> {
-        use cranelift_codegen::ir::condcodes::{FloatCC, IntCC};
-        let both_int = lt == SlotType::Int && rt == SlotType::Int;
-        let numeric = |t: SlotType| matches!(t, SlotType::Int | SlotType::Float);
-        match op {
-            BinOp::Add | BinOp::Sub | BinOp::Mul => {
-                if both_int {
-                    let v = match op {
-                        BinOp::Add => self.builder.ins().iadd(lv, rv),
-                        BinOp::Sub => self.builder.ins().isub(lv, rv),
-                        _ => self.builder.ins().imul(lv, rv),
-                    };
-                    Ok((v, SlotType::Int))
-                } else {
-                    let a = self.promote(lv, lt);
-                    let b = self.promote(rv, rt);
-                    let v = match op {
-                        BinOp::Add => self.builder.ins().fadd(a, b),
-                        BinOp::Sub => self.builder.ins().fsub(a, b),
-                        _ => self.builder.ins().fmul(a, b),
-                    };
-                    Ok((v, SlotType::Float))
+fn emit(
+    expr: &Expr,
+    layout: &FrameLayout,
+    interner: &mut StringInterner,
+) -> Result<(Kern, SlotType)> {
+    match expr {
+        Expr::Const(Value::Int(i)) => {
+            let i = *i;
+            Ok((Box::new(move |_| i), SlotType::Int))
+        }
+        Expr::Const(Value::Float(x)) => {
+            let b = bits(*x);
+            Ok((Box::new(move |_| b), SlotType::Float))
+        }
+        Expr::Const(Value::Bool(b)) => {
+            let b = *b as i64;
+            Ok((Box::new(move |_| b), SlotType::Bool))
+        }
+        Expr::Const(Value::Str(s)) => {
+            let id = interner.intern(s);
+            Ok((Box::new(move |_| id), SlotType::Str))
+        }
+        Expr::Var(_) | Expr::Proj(..) => {
+            let path =
+                path_of(expr).ok_or_else(|| VidaError::Codegen(format!("bad path {expr}")))?;
+            let (slot, ty) = layout
+                .lookup(&path)
+                .ok_or_else(|| VidaError::Codegen(format!("path '{path}' not in frame layout")))?;
+            Ok((Box::new(move |f: &[i64]| f[slot]), ty))
+        }
+        Expr::BinOp(op, l, r) => {
+            let (lk, lt) = emit(l, layout, interner)?;
+            let (rk, rt) = emit(r, layout, interner)?;
+            emit_binop(*op, lk, lt, rk, rt)
+        }
+        Expr::UnOp(UnOp::Not, e) => {
+            let (k, _) = emit(e, layout, interner)?;
+            Ok((Box::new(move |f| k(f) ^ 1), SlotType::Bool))
+        }
+        Expr::UnOp(UnOp::Neg, e) => {
+            let (k, t) = emit(e, layout, interner)?;
+            Ok(match t {
+                SlotType::Float => (
+                    Box::new(move |f: &[i64]| bits(-fval(k(f)))) as Kern,
+                    SlotType::Float,
+                ),
+                _ => (Box::new(move |f| k(f).wrapping_neg()), SlotType::Int),
+            })
+        }
+        Expr::If(c, t, f) => {
+            let (ck, _) = emit(c, layout, interner)?;
+            let (tk, tt) = emit(t, layout, interner)?;
+            let (fk, ft) = emit(f, layout, interner)?;
+            // Unify numeric branches.
+            let (tk, fk, ty) = match (tt, ft) {
+                (a, b) if a == b => (tk, fk, a),
+                (SlotType::Int, SlotType::Float) => {
+                    (as_float(tk, SlotType::Int), fk, SlotType::Float)
                 }
-            }
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                let v = if numeric(lt) && numeric(rt) && !both_int {
-                    let a = self.promote(lv, lt);
-                    let b = self.promote(rv, rt);
-                    let cc = match op {
-                        BinOp::Eq => FloatCC::Equal,
-                        BinOp::Ne => FloatCC::NotEqual,
-                        BinOp::Lt => FloatCC::LessThan,
-                        BinOp::Le => FloatCC::LessThanOrEqual,
-                        BinOp::Gt => FloatCC::GreaterThan,
-                        _ => FloatCC::GreaterThanOrEqual,
-                    };
-                    self.builder.ins().fcmp(cc, a, b)
-                } else {
-                    // Ints, interned strings (eq/ne only), bools.
-                    let (a, b) = if lt == SlotType::Bool {
-                        // widen i8 bools for comparison
-                        (
-                            self.builder.ins().uextend(types::I64, lv),
-                            self.builder.ins().uextend(types::I64, rv),
-                        )
-                    } else {
-                        (lv, rv)
-                    };
-                    let cc = match op {
-                        BinOp::Eq => IntCC::Equal,
-                        BinOp::Ne => IntCC::NotEqual,
-                        BinOp::Lt => IntCC::SignedLessThan,
-                        BinOp::Le => IntCC::SignedLessThanOrEqual,
-                        BinOp::Gt => IntCC::SignedGreaterThan,
-                        _ => IntCC::SignedGreaterThanOrEqual,
-                    };
-                    self.builder.ins().icmp(cc, a, b)
-                };
-                Ok((v, SlotType::Bool))
-            }
-            BinOp::And => Ok((self.builder.ins().band(lv, rv), SlotType::Bool)),
-            BinOp::Or => Ok((self.builder.ins().bor(lv, rv), SlotType::Bool)),
-            BinOp::Div | BinOp::Mod => Err(VidaError::Codegen(
-                "division stays on the interpreted path".into(),
-            )),
+                (SlotType::Float, SlotType::Int) => {
+                    (tk, as_float(fk, SlotType::Int), SlotType::Float)
+                }
+                _ => {
+                    return Err(VidaError::Codegen(
+                        "if branches with incompatible slot types".into(),
+                    ))
+                }
+            };
+            Ok((
+                Box::new(move |f| if ck(f) != 0 { tk(f) } else { fk(f) }),
+                ty,
+            ))
         }
+        other => Err(VidaError::Codegen(format!("not compilable: {other}"))),
+    }
+}
+
+fn emit_binop(
+    op: BinOp,
+    lk: Kern,
+    lt: SlotType,
+    rk: Kern,
+    rt: SlotType,
+) -> Result<(Kern, SlotType)> {
+    let both_int = lt == SlotType::Int && rt == SlotType::Int;
+    let numeric = |t: SlotType| matches!(t, SlotType::Int | SlotType::Float);
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => {
+            if both_int {
+                let k: Kern = match op {
+                    BinOp::Add => Box::new(move |f| lk(f).wrapping_add(rk(f))),
+                    BinOp::Sub => Box::new(move |f| lk(f).wrapping_sub(rk(f))),
+                    _ => Box::new(move |f| lk(f).wrapping_mul(rk(f))),
+                };
+                Ok((k, SlotType::Int))
+            } else {
+                let a = as_float(lk, lt);
+                let b = as_float(rk, rt);
+                let k: Kern = match op {
+                    BinOp::Add => Box::new(move |f| bits(fval(a(f)) + fval(b(f)))),
+                    BinOp::Sub => Box::new(move |f| bits(fval(a(f)) - fval(b(f)))),
+                    _ => Box::new(move |f| bits(fval(a(f)) * fval(b(f)))),
+                };
+                Ok((k, SlotType::Float))
+            }
+        }
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let k: Kern = if numeric(lt) && numeric(rt) && !both_int {
+                let a = as_float(lk, lt);
+                let b = as_float(rk, rt);
+                match op {
+                    BinOp::Eq => Box::new(move |f| (fval(a(f)) == fval(b(f))) as i64),
+                    BinOp::Ne => Box::new(move |f| (fval(a(f)) != fval(b(f))) as i64),
+                    BinOp::Lt => Box::new(move |f| (fval(a(f)) < fval(b(f))) as i64),
+                    BinOp::Le => Box::new(move |f| (fval(a(f)) <= fval(b(f))) as i64),
+                    BinOp::Gt => Box::new(move |f| (fval(a(f)) > fval(b(f))) as i64),
+                    _ => Box::new(move |f| (fval(a(f)) >= fval(b(f))) as i64),
+                }
+            } else {
+                // Ints, interned strings (eq/ne only), bools.
+                match op {
+                    BinOp::Eq => Box::new(move |f| (lk(f) == rk(f)) as i64),
+                    BinOp::Ne => Box::new(move |f| (lk(f) != rk(f)) as i64),
+                    BinOp::Lt => Box::new(move |f| (lk(f) < rk(f)) as i64),
+                    BinOp::Le => Box::new(move |f| (lk(f) <= rk(f)) as i64),
+                    BinOp::Gt => Box::new(move |f| (lk(f) > rk(f)) as i64),
+                    _ => Box::new(move |f| (lk(f) >= rk(f)) as i64),
+                }
+            };
+            Ok((k, SlotType::Bool))
+        }
+        BinOp::And => Ok((Box::new(move |f| lk(f) & rk(f)), SlotType::Bool)),
+        BinOp::Or => Ok((Box::new(move |f| lk(f) | rk(f)), SlotType::Bool)),
+        BinOp::Div | BinOp::Mod => Err(VidaError::Codegen(
+            "division stays on the interpreted path".into(),
+        )),
     }
 }
 
@@ -496,19 +391,11 @@ mod tests {
     #[test]
     fn comparisons() {
         assert_eq!(
-            run(
-                "x > 40",
-                &[("x", SlotType::Int)],
-                &[Value::Int(45)]
-            ),
+            run("x > 40", &[("x", SlotType::Int)], &[Value::Int(45)]),
             Value::Bool(true)
         );
         assert_eq!(
-            run(
-                "x <= 2.5",
-                &[("x", SlotType::Float)],
-                &[Value::Float(2.5)]
-            ),
+            run("x <= 2.5", &[("x", SlotType::Float)], &[Value::Float(2.5)]),
             Value::Bool(true)
         );
         assert_eq!(
@@ -548,19 +435,11 @@ mod tests {
     #[test]
     fn string_equality_via_interning() {
         assert_eq!(
-            run(
-                "s = \"HR\"",
-                &[("s", SlotType::Str)],
-                &[Value::str("HR")]
-            ),
+            run("s = \"HR\"", &[("s", SlotType::Str)], &[Value::str("HR")]),
             Value::Bool(true)
         );
         assert_eq!(
-            run(
-                "s != \"HR\"",
-                &[("s", SlotType::Str)],
-                &[Value::str("Eng")]
-            ),
+            run("s != \"HR\"", &[("s", SlotType::Str)], &[Value::str("Eng")]),
             Value::Bool(true)
         );
     }
@@ -592,11 +471,11 @@ mod tests {
         layout.slot("x", SlotType::Int);
         layout.slot("s", SlotType::Str);
         for src in [
-            "x / 2",                      // division semantics
-            "x % 2",                      // modulo
-            "s < \"a\"",                  // string ordering
+            "x / 2",                       // division semantics
+            "x % 2",                       // modulo
+            "s < \"a\"",                   // string ordering
             "for { y <- xs } yield sum y", // comprehension
-            "y + 1",                      // unknown path
+            "y + 1",                       // unknown path
         ] {
             let e = parse(src).unwrap();
             assert!(

@@ -1,0 +1,647 @@
+//! **Uncompiled reference source.** This file is not declared as a module:
+//! the workspace builds offline and the cranelift crates cannot be fetched.
+//! It preserves the Cranelift native-code backend, API-identical to the
+//! portable backend in `compile.rs` (`JitCompiler`/`CompiledKernel`); to use
+//! it, vendor cranelift-{codegen,frontend,jit,module}, add them as
+//! dependencies, and mount this file in `lib.rs` in place of `compile`.
+
+//! Cranelift compilation of scalar expressions.
+//!
+//! [`JitCompiler::compile`] turns a calculus expression over a
+//! [`FrameLayout`] into native code with signature
+//! `fn(*const i64) -> i64`. The compilable subset is pure and total
+//! (no division, no collection operations), so the generated code can use
+//! branch-free `select` for `if` and non-short-circuit boolean arithmetic —
+//! the aggressive specialization §4.1 describes. Expressions outside the
+//! subset return `None` from [`JitCompiler::try_prepare`] and stay
+//! interpreted.
+
+use crate::frame::{FrameLayout, SlotType, StringInterner};
+use cranelift_codegen::ir::{types, AbiParam, InstBuilder, MemFlags, Value as ClifValue};
+use cranelift_codegen::settings::{self, Configurable};
+use cranelift_frontend::{FunctionBuilder, FunctionBuilderContext};
+use cranelift_jit::{JITBuilder, JITModule};
+use cranelift_module::{Linkage, Module};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vida_lang::{BinOp, Expr, UnOp};
+use vida_types::{Result, Value, VidaError};
+
+/// Declared output encoding of a compiled kernel.
+pub type KernelOutput = SlotType;
+
+/// A finalized native kernel. The backing executable memory lives as long
+/// as any clone of this struct.
+#[derive(Clone)]
+pub struct CompiledKernel {
+    func: extern "C" fn(*const i64) -> i64,
+    output: KernelOutput,
+    /// Keeps the JIT module (and thus the code pages) alive.
+    _module: Arc<ModuleHolder>,
+}
+
+struct ModuleHolder(#[allow(dead_code)] JITModule);
+
+// SAFETY: after `finalize_definitions` the module's code pages are immutable
+// and the holder is never used to define more functions; sharing read-only
+// executable memory across threads is sound.
+unsafe impl Send for ModuleHolder {}
+unsafe impl Sync for ModuleHolder {}
+
+impl CompiledKernel {
+    /// Run the kernel over a frame. The frame must match the layout the
+    /// kernel was compiled against.
+    #[inline]
+    pub fn call(&self, frame: &[i64]) -> i64 {
+        (self.func)(frame.as_ptr())
+    }
+
+    /// Run and decode into a [`Value`].
+    pub fn call_value(&self, frame: &[i64]) -> Value {
+        crate::frame::decode_output(self.call(frame), self.output)
+    }
+
+    pub fn output(&self) -> KernelOutput {
+        self.output
+    }
+}
+
+static KERNEL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Per-query compiler: owns a Cranelift JIT module.
+pub struct JitCompiler {
+    module: JITModule,
+    ctx_count: usize,
+}
+
+impl JitCompiler {
+    pub fn new() -> Result<Self> {
+        let mut flags = settings::builder();
+        flags
+            .set("use_colocated_libcalls", "false")
+            .map_err(|e| VidaError::Codegen(e.to_string()))?;
+        flags
+            .set("is_pic", "false")
+            .map_err(|e| VidaError::Codegen(e.to_string()))?;
+        flags
+            .set("opt_level", "speed")
+            .map_err(|e| VidaError::Codegen(e.to_string()))?;
+        let isa = cranelift_native::builder()
+            .map_err(|e| VidaError::Codegen(e.to_string()))?
+            .finish(settings::Flags::new(flags))
+            .map_err(|e| VidaError::Codegen(e.to_string()))?;
+        let builder = JITBuilder::with_isa(isa, cranelift_module::default_libcall_names());
+        Ok(JitCompiler {
+            module: JITModule::new(builder),
+            ctx_count: 0,
+        })
+    }
+
+    /// Static check + output type inference: can `expr` compile against
+    /// `layout`? Returns the output slot type if yes.
+    pub fn try_prepare(expr: &Expr, layout: &FrameLayout) -> Option<SlotType> {
+        infer(expr, layout)
+    }
+
+    /// Compile `expr`. String constants are interned through `interner` —
+    /// the same interner the frame builder uses at runtime.
+    pub fn compile(
+        mut self,
+        expr: &Expr,
+        layout: &FrameLayout,
+        interner: &mut StringInterner,
+    ) -> Result<CompiledKernel> {
+        let output = infer(expr, layout)
+            .ok_or_else(|| VidaError::Codegen(format!("expression not compilable: {expr}")))?;
+
+        let ptr_ty = self.module.target_config().pointer_type();
+        let mut ctx = self.module.make_context();
+        ctx.func.signature.params.push(AbiParam::new(ptr_ty));
+        ctx.func.signature.returns.push(AbiParam::new(types::I64));
+
+        let mut fbc = FunctionBuilderContext::new();
+        {
+            let mut b = FunctionBuilder::new(&mut ctx.func, &mut fbc);
+            let block = b.create_block();
+            b.append_block_params_for_function_params(block);
+            b.switch_to_block(block);
+            b.seal_block(block);
+            let frame_ptr = b.block_params(block)[0];
+
+            let mut cg = Codegen {
+                builder: &mut b,
+                frame_ptr,
+                layout,
+                interner,
+            };
+            let (val, ty) = cg.emit(expr)?;
+            let ret = match ty {
+                SlotType::Float => cg.builder.ins().bitcast(types::I64, MemFlags::new(), val),
+                SlotType::Bool => cg.builder.ins().uextend(types::I64, val),
+                _ => val,
+            };
+            b.ins().return_(&[ret]);
+            b.finalize();
+        }
+
+        let name = format!(
+            "vida_kernel_{}_{}",
+            KERNEL_COUNTER.fetch_add(1, Ordering::Relaxed),
+            self.ctx_count
+        );
+        self.ctx_count += 1;
+        let id = self
+            .module
+            .declare_function(&name, Linkage::Export, &ctx.func.signature)
+            .map_err(|e| VidaError::Codegen(e.to_string()))?;
+        self.module
+            .define_function(id, &mut ctx)
+            .map_err(|e| VidaError::Codegen(e.to_string()))?;
+        self.module.clear_context(&mut ctx);
+        self.module
+            .finalize_definitions()
+            .map_err(|e| VidaError::Codegen(e.to_string()))?;
+        let code = self.module.get_finalized_function(id);
+        // SAFETY: the signature declared above is exactly
+        // `extern "C" fn(*const i64) -> i64`.
+        let func =
+            unsafe { std::mem::transmute::<*const u8, extern "C" fn(*const i64) -> i64>(code) };
+        Ok(CompiledKernel {
+            func,
+            output,
+            _module: Arc::new(ModuleHolder(self.module)),
+        })
+    }
+}
+
+/// Output type inference over the compilable subset; `None` = fallback to
+/// the interpreter.
+fn infer(expr: &Expr, layout: &FrameLayout) -> Option<SlotType> {
+    match expr {
+        Expr::Const(Value::Int(_)) => Some(SlotType::Int),
+        Expr::Const(Value::Float(_)) => Some(SlotType::Float),
+        Expr::Const(Value::Bool(_)) => Some(SlotType::Bool),
+        Expr::Const(Value::Str(_)) => Some(SlotType::Str),
+        Expr::Var(_) | Expr::Proj(..) => {
+            let path = path_of(expr)?;
+            layout.lookup(&path).map(|(_, t)| t)
+        }
+        Expr::BinOp(op, l, r) => {
+            let lt = infer(l, layout)?;
+            let rt = infer(r, layout)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul => match (lt, rt) {
+                    (SlotType::Int, SlotType::Int) => Some(SlotType::Int),
+                    (SlotType::Int | SlotType::Float, SlotType::Int | SlotType::Float) => {
+                        Some(SlotType::Float)
+                    }
+                    _ => None,
+                },
+                // Division/modulo keep interpreter error semantics.
+                BinOp::Div | BinOp::Mod => None,
+                BinOp::Eq | BinOp::Ne => match (lt, rt) {
+                    (SlotType::Str, SlotType::Str) => Some(SlotType::Bool),
+                    (SlotType::Bool, SlotType::Bool) => Some(SlotType::Bool),
+                    (SlotType::Int | SlotType::Float, SlotType::Int | SlotType::Float) => {
+                        Some(SlotType::Bool)
+                    }
+                    _ => None,
+                },
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match (lt, rt) {
+                    (SlotType::Int | SlotType::Float, SlotType::Int | SlotType::Float) => {
+                        Some(SlotType::Bool)
+                    }
+                    _ => None, // string ordering stays interpreted
+                },
+                BinOp::And | BinOp::Or => {
+                    if lt == SlotType::Bool && rt == SlotType::Bool {
+                        Some(SlotType::Bool)
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+        Expr::UnOp(UnOp::Not, e) => (infer(e, layout)? == SlotType::Bool).then_some(SlotType::Bool),
+        Expr::UnOp(UnOp::Neg, e) => match infer(e, layout)? {
+            SlotType::Int => Some(SlotType::Int),
+            SlotType::Float => Some(SlotType::Float),
+            _ => None,
+        },
+        Expr::If(c, t, f) => {
+            if infer(c, layout)? != SlotType::Bool {
+                return None;
+            }
+            let tt = infer(t, layout)?;
+            let ft = infer(f, layout)?;
+            match (tt, ft) {
+                (a, b) if a == b => Some(a),
+                (SlotType::Int, SlotType::Float) | (SlotType::Float, SlotType::Int) => {
+                    Some(SlotType::Float)
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Dotted path string of a variable/projection chain (`p.age`).
+pub fn path_of(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Var(v) => Some(v.clone()),
+        Expr::Proj(e, f) => Some(format!("{}.{f}", path_of(e)?)),
+        _ => None,
+    }
+}
+
+struct Codegen<'a, 'b> {
+    builder: &'a mut FunctionBuilder<'b>,
+    frame_ptr: ClifValue,
+    layout: &'a FrameLayout,
+    interner: &'a mut StringInterner,
+}
+
+impl Codegen<'_, '_> {
+    fn emit(&mut self, expr: &Expr) -> Result<(ClifValue, SlotType)> {
+        match expr {
+            Expr::Const(Value::Int(i)) => {
+                Ok((self.builder.ins().iconst(types::I64, *i), SlotType::Int))
+            }
+            Expr::Const(Value::Float(f)) => Ok((self.builder.ins().f64const(*f), SlotType::Float)),
+            Expr::Const(Value::Bool(b)) => Ok((
+                self.builder.ins().iconst(types::I8, *b as i64),
+                SlotType::Bool,
+            )),
+            Expr::Const(Value::Str(s)) => {
+                let id = self.interner.intern(s);
+                Ok((self.builder.ins().iconst(types::I64, id), SlotType::Str))
+            }
+            Expr::Var(_) | Expr::Proj(..) => {
+                let path =
+                    path_of(expr).ok_or_else(|| VidaError::Codegen(format!("bad path {expr}")))?;
+                let (slot, ty) = self.layout.lookup(&path).ok_or_else(|| {
+                    VidaError::Codegen(format!("path '{path}' not in frame layout"))
+                })?;
+                let off = (slot * 8) as i32;
+                let v = match ty {
+                    SlotType::Float => self.builder.ins().load(
+                        types::F64,
+                        MemFlags::trusted(),
+                        self.frame_ptr,
+                        off,
+                    ),
+                    SlotType::Bool => {
+                        let w = self.builder.ins().load(
+                            types::I64,
+                            MemFlags::trusted(),
+                            self.frame_ptr,
+                            off,
+                        );
+                        self.builder.ins().ireduce(types::I8, w)
+                    }
+                    _ => self.builder.ins().load(
+                        types::I64,
+                        MemFlags::trusted(),
+                        self.frame_ptr,
+                        off,
+                    ),
+                };
+                Ok((v, ty))
+            }
+            Expr::BinOp(op, l, r) => {
+                let (lv, lt) = self.emit(l)?;
+                let (rv, rt) = self.emit(r)?;
+                self.emit_binop(*op, lv, lt, rv, rt)
+            }
+            Expr::UnOp(UnOp::Not, e) => {
+                let (v, _) = self.emit(e)?;
+                let one = self.builder.ins().iconst(types::I8, 1);
+                Ok((self.builder.ins().bxor(v, one), SlotType::Bool))
+            }
+            Expr::UnOp(UnOp::Neg, e) => {
+                let (v, t) = self.emit(e)?;
+                Ok(match t {
+                    SlotType::Float => (self.builder.ins().fneg(v), SlotType::Float),
+                    _ => (self.builder.ins().ineg(v), SlotType::Int),
+                })
+            }
+            Expr::If(c, t, f) => {
+                let (cv, _) = self.emit(c)?;
+                let (tv, tt) = self.emit(t)?;
+                let (fv, ft) = self.emit(f)?;
+                // Unify numeric branches.
+                let (tv, fv, ty) = match (tt, ft) {
+                    (a, b) if a == b => (tv, fv, a),
+                    (SlotType::Int, SlotType::Float) => (
+                        self.builder.ins().fcvt_from_sint(types::F64, tv),
+                        fv,
+                        SlotType::Float,
+                    ),
+                    (SlotType::Float, SlotType::Int) => (
+                        tv,
+                        self.builder.ins().fcvt_from_sint(types::F64, fv),
+                        SlotType::Float,
+                    ),
+                    _ => {
+                        return Err(VidaError::Codegen(
+                            "if branches with incompatible slot types".into(),
+                        ))
+                    }
+                };
+                Ok((self.builder.ins().select(cv, tv, fv), ty))
+            }
+            other => Err(VidaError::Codegen(format!("not compilable: {other}"))),
+        }
+    }
+
+    fn promote(&mut self, v: ClifValue, from: SlotType) -> ClifValue {
+        match from {
+            SlotType::Int => self.builder.ins().fcvt_from_sint(types::F64, v),
+            _ => v,
+        }
+    }
+
+    fn emit_binop(
+        &mut self,
+        op: BinOp,
+        lv: ClifValue,
+        lt: SlotType,
+        rv: ClifValue,
+        rt: SlotType,
+    ) -> Result<(ClifValue, SlotType)> {
+        use cranelift_codegen::ir::condcodes::{FloatCC, IntCC};
+        let both_int = lt == SlotType::Int && rt == SlotType::Int;
+        let numeric = |t: SlotType| matches!(t, SlotType::Int | SlotType::Float);
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                if both_int {
+                    let v = match op {
+                        BinOp::Add => self.builder.ins().iadd(lv, rv),
+                        BinOp::Sub => self.builder.ins().isub(lv, rv),
+                        _ => self.builder.ins().imul(lv, rv),
+                    };
+                    Ok((v, SlotType::Int))
+                } else {
+                    let a = self.promote(lv, lt);
+                    let b = self.promote(rv, rt);
+                    let v = match op {
+                        BinOp::Add => self.builder.ins().fadd(a, b),
+                        BinOp::Sub => self.builder.ins().fsub(a, b),
+                        _ => self.builder.ins().fmul(a, b),
+                    };
+                    Ok((v, SlotType::Float))
+                }
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let v = if numeric(lt) && numeric(rt) && !both_int {
+                    let a = self.promote(lv, lt);
+                    let b = self.promote(rv, rt);
+                    let cc = match op {
+                        BinOp::Eq => FloatCC::Equal,
+                        BinOp::Ne => FloatCC::NotEqual,
+                        BinOp::Lt => FloatCC::LessThan,
+                        BinOp::Le => FloatCC::LessThanOrEqual,
+                        BinOp::Gt => FloatCC::GreaterThan,
+                        _ => FloatCC::GreaterThanOrEqual,
+                    };
+                    self.builder.ins().fcmp(cc, a, b)
+                } else {
+                    // Ints, interned strings (eq/ne only), bools.
+                    let (a, b) = if lt == SlotType::Bool {
+                        // widen i8 bools for comparison
+                        (
+                            self.builder.ins().uextend(types::I64, lv),
+                            self.builder.ins().uextend(types::I64, rv),
+                        )
+                    } else {
+                        (lv, rv)
+                    };
+                    let cc = match op {
+                        BinOp::Eq => IntCC::Equal,
+                        BinOp::Ne => IntCC::NotEqual,
+                        BinOp::Lt => IntCC::SignedLessThan,
+                        BinOp::Le => IntCC::SignedLessThanOrEqual,
+                        BinOp::Gt => IntCC::SignedGreaterThan,
+                        _ => IntCC::SignedGreaterThanOrEqual,
+                    };
+                    self.builder.ins().icmp(cc, a, b)
+                };
+                Ok((v, SlotType::Bool))
+            }
+            BinOp::And => Ok((self.builder.ins().band(lv, rv), SlotType::Bool)),
+            BinOp::Or => Ok((self.builder.ins().bor(lv, rv), SlotType::Bool)),
+            BinOp::Div | BinOp::Mod => Err(VidaError::Codegen(
+                "division stays on the interpreted path".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vida_lang::parse;
+
+    /// Compile `expr` against a layout derived from `slots`, run on `frame`
+    /// values, return the decoded result.
+    fn run(src: &str, slots: &[(&str, SlotType)], values: &[Value]) -> Value {
+        let mut layout = FrameLayout::new();
+        for (p, t) in slots {
+            layout.slot(*p, *t);
+        }
+        let mut interner = StringInterner::new();
+        let expr = parse(src).unwrap();
+        let kernel = JitCompiler::new()
+            .unwrap()
+            .compile(&expr, &layout, &mut interner)
+            .unwrap();
+        // Build the frame with the same interner.
+        let mut fb = crate::frame::FrameBuilder::new(layout);
+        std::mem::swap(fb.interner_mut(), &mut interner);
+        let frame = fb.build(&values.iter().collect::<Vec<_>>()).unwrap();
+        kernel.call_value(&frame)
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(
+            run(
+                "x + y * 2",
+                &[("x", SlotType::Int), ("y", SlotType::Int)],
+                &[Value::Int(3), Value::Int(4)]
+            ),
+            Value::Int(11)
+        );
+        assert_eq!(
+            run("-(x - 1)", &[("x", SlotType::Int)], &[Value::Int(5)]),
+            Value::Int(-4)
+        );
+    }
+
+    #[test]
+    fn float_arithmetic_and_promotion() {
+        assert_eq!(
+            run(
+                "x + y",
+                &[("x", SlotType::Float), ("y", SlotType::Int)],
+                &[Value::Float(1.5), Value::Int(2)]
+            ),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            run("x * 0.5", &[("x", SlotType::Float)], &[Value::Float(5.0)]),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            run("x > 40", &[("x", SlotType::Int)], &[Value::Int(45)]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            run("x <= 2.5", &[("x", SlotType::Float)], &[Value::Float(2.5)]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            run(
+                "x != y",
+                &[("x", SlotType::Int), ("y", SlotType::Float)],
+                &[Value::Int(2), Value::Float(2.0)]
+            ),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn projection_paths() {
+        assert_eq!(
+            run(
+                "p.age > 60 and g.v < 0.5",
+                &[("p.age", SlotType::Int), ("g.v", SlotType::Float)],
+                &[Value::Int(70), Value::Float(0.25)]
+            ),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn boolean_connectives_and_not() {
+        assert_eq!(
+            run(
+                "not (a and b) or b",
+                &[("a", SlotType::Bool), ("b", SlotType::Bool)],
+                &[Value::Bool(true), Value::Bool(false)]
+            ),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn string_equality_via_interning() {
+        assert_eq!(
+            run("s = \"HR\"", &[("s", SlotType::Str)], &[Value::str("HR")]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            run("s != \"HR\"", &[("s", SlotType::Str)], &[Value::str("Eng")]),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn if_select() {
+        assert_eq!(
+            run(
+                "if x > 0 then x else -x",
+                &[("x", SlotType::Int)],
+                &[Value::Int(-7)]
+            ),
+            Value::Int(7)
+        );
+        // Mixed branches widen to float.
+        assert_eq!(
+            run(
+                "if x > 0 then 1 else 0.5",
+                &[("x", SlotType::Int)],
+                &[Value::Int(3)]
+            ),
+            Value::Float(1.0)
+        );
+    }
+
+    #[test]
+    fn non_compilable_expressions_rejected() {
+        let mut layout = FrameLayout::new();
+        layout.slot("x", SlotType::Int);
+        layout.slot("s", SlotType::Str);
+        for src in [
+            "x / 2",                       // division semantics
+            "x % 2",                       // modulo
+            "s < \"a\"",                   // string ordering
+            "for { y <- xs } yield sum y", // comprehension
+            "y + 1",                       // unknown path
+        ] {
+            let e = parse(src).unwrap();
+            assert!(
+                JitCompiler::try_prepare(&e, &layout).is_none(),
+                "{src} should not be compilable"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_matches_interpreter_on_sweep() {
+        // Differential test against the calculus interpreter.
+        use vida_lang::{eval, Bindings};
+        let exprs = [
+            "x * 3 - y",
+            "x > y",
+            "x >= y and x - y < 10",
+            "if x = y then x + 1 else y - 1",
+            "not (x < y) or x = 0",
+        ];
+        for src in exprs {
+            let expr = parse(src).unwrap();
+            let mut layout = FrameLayout::new();
+            layout.slot("x", SlotType::Int);
+            layout.slot("y", SlotType::Int);
+            let mut interner = StringInterner::new();
+            let kernel = JitCompiler::new()
+                .unwrap()
+                .compile(&expr, &layout, &mut interner)
+                .unwrap();
+            for x in [-3i64, 0, 1, 7, 100] {
+                for y in [-2i64, 0, 7, 50] {
+                    let frame = [x, y];
+                    let jit = kernel.call_value(&frame);
+                    let mut env = Bindings::new();
+                    env.insert("x".into(), Value::Int(x));
+                    env.insert("y".into(), Value::Int(y));
+                    let interp = eval(&expr, &env).unwrap();
+                    assert!(
+                        jit.sem_eq(&interp),
+                        "{src} at x={x}, y={y}: jit={jit}, interp={interp}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_are_send_and_reusable() {
+        let mut layout = FrameLayout::new();
+        layout.slot("x", SlotType::Int);
+        let mut interner = StringInterner::new();
+        let kernel = JitCompiler::new()
+            .unwrap()
+            .compile(&parse("x + 1").unwrap(), &layout, &mut interner)
+            .unwrap();
+        let k2 = kernel.clone();
+        let h = std::thread::spawn(move || k2.call(&[41]));
+        assert_eq!(h.join().unwrap(), 42);
+        assert_eq!(kernel.call(&[1]), 2);
+    }
+}

@@ -92,6 +92,7 @@ impl FrameLayout {
 #[derive(Debug, Default)]
 pub struct StringInterner {
     map: HashMap<String, i64>,
+    names: Vec<String>,
 }
 
 impl StringInterner {
@@ -105,7 +106,17 @@ impl StringInterner {
         }
         let id = self.map.len() as i64;
         self.map.insert(s.to_string(), id);
+        self.names.push(s.to_string());
         id
+    }
+
+    /// The string behind an id (the inverse of [`StringInterner::intern`]),
+    /// used to decode `Str`-typed kernel outputs back into values.
+    pub fn resolve(&self, id: i64) -> Option<&str> {
+        usize::try_from(id)
+            .ok()
+            .and_then(|i| self.names.get(i))
+            .map(String::as_str)
     }
 
     pub fn len(&self) -> usize {

@@ -4,7 +4,13 @@
 //!
 //! The paper's executor uses LLVM to generate machine code per query; the
 //! calibration note for this reproduction names Cranelift as the Rust-native
-//! equivalent, and that is what this crate wraps.
+//! equivalent. The active backend ([`compile`]) is **portable**: it fuses
+//! each expression into a tree of monomorphic closures over the register
+//! frame, with all type dispatch resolved at compile time. A Cranelift
+//! backend with the identical API is kept as reference source in
+//! `src/compile_cranelift.rs`; it is not compiled (this workspace builds
+//! offline with no external crates) — mount it in place of [`compile`] once
+//! the cranelift-{codegen,frontend,jit,module} crates are vendored.
 //!
 //! What gets compiled: **scalar kernels** — filter predicates, arithmetic
 //! projections, aggregate-head expressions — specialized to a flat register

@@ -63,7 +63,14 @@ impl BinOp {
     pub fn is_predicate(&self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 
@@ -282,9 +289,7 @@ impl Expr {
                 Box::new(f.substitute(var, replacement)),
                 Box::new(a.substitute(var, replacement)),
             ),
-            Expr::Singleton(m, e) => {
-                Expr::Singleton(*m, Box::new(e.substitute(var, replacement)))
-            }
+            Expr::Singleton(m, e) => Expr::Singleton(*m, Box::new(e.substitute(var, replacement))),
             Expr::Merge(m, l, r) => Expr::Merge(
                 *m,
                 Box::new(l.substitute(var, replacement)),

@@ -49,7 +49,9 @@ pub fn eval(expr: &Expr, env: &Bindings) -> Result<Value> {
         Expr::If(c, t, f) => match eval(c, env)? {
             Value::Bool(true) => eval(t, env),
             Value::Bool(false) => eval(f, env),
-            other => Err(VidaError::Exec(format!("if condition not boolean: {other}"))),
+            other => Err(VidaError::Exec(format!(
+                "if condition not boolean: {other}"
+            ))),
         },
         Expr::BinOp(op, l, r) => {
             // Short-circuit boolean connectives.
@@ -59,9 +61,7 @@ pub fn eval(expr: &Expr, env: &Bindings) -> Result<Value> {
                     match lv.as_bool() {
                         Some(false) => return Ok(Value::Bool(false)),
                         Some(true) => {}
-                        None => {
-                            return Err(VidaError::Exec(format!("'and' on non-boolean {lv}")))
-                        }
+                        None => return Err(VidaError::Exec(format!("'and' on non-boolean {lv}"))),
                     }
                     return eval(r, env);
                 }
@@ -175,15 +175,13 @@ fn eval_qualifiers(
             }
             Ok(())
         }
-        Qualifier::Filter(pred) => {
-            match eval(pred, env)? {
-                Value::Bool(true) => eval_qualifiers(qualifiers, idx + 1, head, monoid, env, acc),
-                Value::Bool(false) => Ok(()),
-                other => Err(VidaError::Exec(format!(
-                    "filter predicate not boolean: {other}"
-                ))),
-            }
-        }
+        Qualifier::Filter(pred) => match eval(pred, env)? {
+            Value::Bool(true) => eval_qualifiers(qualifiers, idx + 1, head, monoid, env, acc),
+            Value::Bool(false) => Ok(()),
+            other => Err(VidaError::Exec(format!(
+                "filter predicate not boolean: {other}"
+            ))),
+        },
     }
 }
 
@@ -226,9 +224,7 @@ pub fn apply_binop(op: BinOp, l: Value, r: Value) -> Result<Value> {
                     }
                     _ => unreachable!(),
                 },
-                (Value::Str(a), Value::Str(b)) if op == Add => {
-                    Ok(Value::Str(format!("{a}{b}")))
-                }
+                (Value::Str(a), Value::Str(b)) if op == Add => Ok(Value::Str(format!("{a}{b}"))),
                 _ => {
                     let a = l
                         .as_f64()
@@ -329,19 +325,15 @@ mod tests {
     #[test]
     fn paper_count_query() {
         // SELECT COUNT(e.id) ... WHERE d.deptName = 'HR' — two HR employees.
-        let v = run(
-            "for { e <- Employees, d <- Departments, \
-             e.deptNo = d.id, d.deptName = \"HR\" } yield sum 1",
-        );
+        let v = run("for { e <- Employees, d <- Departments, \
+             e.deptNo = d.id, d.deptName = \"HR\" } yield sum 1");
         assert_eq!(v, Value::Int(2));
     }
 
     #[test]
     fn join_projection_bag() {
-        let v = run(
-            "for { e <- Employees, d <- Departments, e.deptNo = d.id } \
-             yield bag (n := e.name, d := d.deptName)",
-        );
+        let v = run("for { e <- Employees, d <- Departments, e.deptNo = d.id } \
+             yield bag (n := e.name, d := d.deptName)");
         let items = v.elements().unwrap();
         assert_eq!(items.len(), 3);
         assert_eq!(
@@ -352,13 +344,22 @@ mod tests {
 
     #[test]
     fn aggregates() {
-        assert_eq!(run("for { e <- Employees } yield max e.age"), Value::Int(52));
-        assert_eq!(run("for { e <- Employees } yield min e.age"), Value::Int(30));
+        assert_eq!(
+            run("for { e <- Employees } yield max e.age"),
+            Value::Int(52)
+        );
+        assert_eq!(
+            run("for { e <- Employees } yield min e.age"),
+            Value::Int(30)
+        );
         assert_eq!(
             run("for { e <- Employees } yield avg e.age"),
             Value::Float((45 + 30 + 52) as f64 / 3.0)
         );
-        assert_eq!(run("for { e <- Employees } yield sum e.age"), Value::Int(127));
+        assert_eq!(
+            run("for { e <- Employees } yield sum e.age"),
+            Value::Int(127)
+        );
     }
 
     #[test]
@@ -379,11 +380,9 @@ mod tests {
 
     #[test]
     fn nested_comprehension_builds_nested_value() {
-        let v = run(
-            "for { d <- Departments } yield list \
+        let v = run("for { d <- Departments } yield list \
              (dept := d.deptName, \
-              staff := for { e <- Employees, e.deptNo = d.id } yield list e.name)",
-        );
+              staff := for { e <- Employees, e.deptNo = d.id } yield list e.name)");
         let items = v.elements().unwrap();
         assert_eq!(items.len(), 2);
         let staff0 = items[0].field("staff").unwrap();
@@ -472,13 +471,13 @@ mod tests {
 
     #[test]
     fn merge_and_unit_forms() {
-        assert_eq!(
-            run("merge[sum](3, 4)"),
-            Value::Int(7)
-        );
+        assert_eq!(run("merge[sum](3, 4)"), Value::Int(7));
         let v = run("merge[bag](unit[bag](1), unit[bag](2))");
         assert_eq!(v.elements().unwrap().len(), 2);
-        assert_eq!(run("merge[avg](unit[avg](2), unit[avg](4))"), Value::Float(3.0));
+        assert_eq!(
+            run("merge[avg](unit[avg](2), unit[avg](4))"),
+            Value::Float(3.0)
+        );
     }
 
     #[test]

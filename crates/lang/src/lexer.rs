@@ -40,10 +40,10 @@ pub enum TokenKind {
     RBracket,
     Comma,
     Dot,
-    Arrow,     // <-
-    Assign,    // :=
-    Eq,        // =
-    Ne,        // !=
+    Arrow,  // <-
+    Assign, // :=
+    Eq,     // =
+    Ne,     // !=
     Lt,
     Le,
     Gt,
@@ -316,9 +316,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = std::str::from_utf8(&bytes[start..i]).unwrap();

@@ -54,12 +54,9 @@ fn map_children(expr: &Expr, f: &dyn Fn(&Expr) -> Expr) -> Expr {
     match expr {
         Expr::Const(_) | Expr::Var(_) | Expr::Zero(_) => expr.clone(),
         Expr::Proj(e, field) => Expr::Proj(Box::new(f(e)), field.clone()),
-        Expr::Record(fields) => Expr::Record(
-            fields
-                .iter()
-                .map(|(n, e)| (n.clone(), f(e)))
-                .collect(),
-        ),
+        Expr::Record(fields) => {
+            Expr::Record(fields.iter().map(|(n, e)| (n.clone(), f(e))).collect())
+        }
         Expr::If(c, t, e) => Expr::If(Box::new(f(c)), Box::new(f(t)), Box::new(f(e))),
         Expr::BinOp(op, l, r) => Expr::BinOp(*op, Box::new(f(l)), Box::new(f(r))),
         Expr::UnOp(op, e) => Expr::UnOp(*op, Box::new(f(e))),
@@ -520,9 +517,7 @@ mod tests {
     #[test]
     fn filters_hoist_to_binding_generator() {
         // p-filter must move before the g generator.
-        let e = norm(
-            "for { p <- Ps, g <- Gs, p.age > 60, p.id = g.id } yield sum 1",
-        );
+        let e = norm("for { p <- Ps, g <- Gs, p.age > 60, p.id = g.id } yield sum 1");
         let Expr::Comprehension { qualifiers, .. } = e else {
             panic!()
         };
@@ -540,9 +535,7 @@ mod tests {
 
     #[test]
     fn unnesting_splices_inner_comprehension() {
-        let e = norm(
-            "for { x <- for { y <- Ys, y.a > 0 } yield bag y.b, x > 1 } yield sum x",
-        );
+        let e = norm("for { x <- for { y <- Ys, y.a > 0 } yield bag y.b, x > 1 } yield sum x");
         let Expr::Comprehension {
             qualifiers, head, ..
         } = &e
@@ -558,9 +551,7 @@ mod tests {
     #[test]
     fn unnesting_avoids_capture() {
         // Inner binder y collides with an outer generator named y.
-        let e = norm(
-            "for { x <- for { y <- Ys } yield bag y.b, y <- Zs, y.c > x } yield sum y.c",
-        );
+        let e = norm("for { x <- for { y <- Ys } yield bag y.b, y <- Zs, y.c > x } yield sum y.c");
         let Expr::Comprehension { qualifiers, .. } = &e else {
             panic!()
         };
@@ -588,7 +579,10 @@ mod tests {
         let Qualifier::Generator(_, src) = &qualifiers[0] else {
             panic!()
         };
-        assert!(matches!(src, Expr::Comprehension { .. }), "must stay nested");
+        assert!(
+            matches!(src, Expr::Comprehension { .. }),
+            "must stay nested"
+        );
         // set inner + set outer is fine to unnest.
         let e2 = norm("for { x <- for { y <- Ys } yield set y.b } yield set x");
         let Expr::Comprehension { qualifiers, .. } = &e2 else {

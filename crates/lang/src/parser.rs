@@ -187,15 +187,17 @@ impl Parser {
             TokenKind::Or => "or".to_string(),
             other => {
                 return Err(VidaError::parse(
-                    format!("expected monoid name after yield, found {}", other.describe()),
+                    format!(
+                        "expected monoid name after yield, found {}",
+                        other.describe()
+                    ),
                     line,
                     col,
                 ))
             }
         };
-        Monoid::from_name(&name).ok_or_else(|| {
-            VidaError::parse(format!("unknown monoid '{name}'"), line, col)
-        })
+        Monoid::from_name(&name)
+            .ok_or_else(|| VidaError::parse(format!("unknown monoid '{name}'"), line, col))
     }
 
     fn or_expr(&mut self) -> Result<Expr> {
@@ -464,7 +466,9 @@ mod tests {
     fn precedence_arithmetic_over_comparison_over_bool() {
         let e = parse("a + b * 2 < c and d > 1 or e = 2").unwrap();
         // ((a + (b*2)) < c and (d > 1)) or (e = 2)
-        let Expr::BinOp(BinOp::Or, l, r) = e else { panic!() };
+        let Expr::BinOp(BinOp::Or, l, r) = e else {
+            panic!()
+        };
         let Expr::BinOp(BinOp::And, ll, _) = *l else {
             panic!()
         };
@@ -519,15 +523,24 @@ mod tests {
             Expr::Zero(Monoid::Primitive(PrimitiveMonoid::Sum))
         );
         let u = parse("unit[bag](7)").unwrap();
-        assert!(matches!(u, Expr::Singleton(Monoid::Collection(CollectionKind::Bag), _)));
+        assert!(matches!(
+            u,
+            Expr::Singleton(Monoid::Collection(CollectionKind::Bag), _)
+        ));
         let m = parse("merge[list]([1], [2])").unwrap();
-        assert!(matches!(m, Expr::Merge(Monoid::Collection(CollectionKind::List), _, _)));
+        assert!(matches!(
+            m,
+            Expr::Merge(Monoid::Collection(CollectionKind::List), _, _)
+        ));
     }
 
     #[test]
     fn list_literal() {
         let e = parse("[1, 2, 3]").unwrap();
-        assert_eq!(e, Expr::ListLit(vec![Expr::int(1), Expr::int(2), Expr::int(3)]));
+        assert_eq!(
+            e,
+            Expr::ListLit(vec![Expr::int(1), Expr::int(2), Expr::int(3)])
+        );
         assert_eq!(parse("[]").unwrap(), Expr::ListLit(vec![]));
     }
 
@@ -564,9 +577,8 @@ mod tests {
         for q in queries {
             let e1 = parse(q).unwrap();
             let printed = e1.to_string();
-            let e2 = parse(&printed).unwrap_or_else(|err| {
-                panic!("reparse of {printed:?} failed: {err}")
-            });
+            let e2 = parse(&printed)
+                .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
             assert_eq!(e1, e2, "round trip failed for {q}");
         }
     }

@@ -56,9 +56,10 @@ fn check(expr: &Expr, env: &mut TypeEnv) -> Result<Type> {
             let t = check(e, env)?;
             match &t {
                 Type::Unknown => Ok(Type::Unknown),
-                Type::Record(_) => t.field(field).cloned().ok_or_else(|| {
-                    VidaError::Type(format!("record {t} has no field '{field}'"))
-                }),
+                Type::Record(_) => t
+                    .field(field)
+                    .cloned()
+                    .ok_or_else(|| VidaError::Type(format!("record {t} has no field '{field}'"))),
                 other => Err(VidaError::Type(format!(
                     "projection .{field} on non-record type {other}"
                 ))),
@@ -165,9 +166,9 @@ fn check(expr: &Expr, env: &mut TypeEnv) -> Result<Type> {
         Expr::Merge(m, l, r) => {
             let lt = check(l, env)?;
             let rt = check(r, env)?;
-            let t = lt.unify(&rt).ok_or_else(|| {
-                VidaError::Type(format!("merge of incompatible {lt} and {rt}"))
-            })?;
+            let t = lt
+                .unify(&rt)
+                .ok_or_else(|| VidaError::Type(format!("merge of incompatible {lt} and {rt}")))?;
             match m {
                 Monoid::Collection(kind) => match &t {
                     Type::Unknown => Ok(Type::Collection(*kind, Box::new(Type::Unknown))),
@@ -320,10 +321,7 @@ mod tests {
         );
         env.bind(
             "Departments",
-            Type::bag(Type::record([
-                ("id", Type::Int),
-                ("deptName", Type::Str),
-            ])),
+            Type::bag(Type::record([("id", Type::Int), ("deptName", Type::Str)])),
         );
         env
     }
@@ -375,9 +373,7 @@ mod tests {
 
     #[test]
     fn generator_over_scalar_rejected() {
-        assert!(
-            ty_err("for { e <- Employees, x <- e.age } yield sum x").contains("non-collection")
-        );
+        assert!(ty_err("for { e <- Employees, x <- e.age } yield sum x").contains("non-collection"));
     }
 
     #[test]
@@ -387,10 +383,7 @@ mod tests {
 
     #[test]
     fn shadowing_rejected() {
-        assert!(ty_err(
-            "for { e <- Employees, e <- Departments } yield sum 1"
-        )
-        .contains("shadows"));
+        assert!(ty_err("for { e <- Employees, e <- Departments } yield sum 1").contains("shadows"));
         let mut env2 = env();
         env2.bind("x", Type::Int);
         let err = typecheck(&parse("(\\x -> x)(1)").unwrap(), &env2).unwrap_err();
@@ -415,11 +408,9 @@ mod tests {
 
     #[test]
     fn nested_comprehension_types() {
-        let t = ty(
-            "for { d <- Departments } yield bag \
+        let t = ty("for { d <- Departments } yield bag \
              (dept := d.deptName, \
-              ids := for { e <- Employees, e.deptNo = d.id } yield list e.id)",
-        );
+              ids := for { e <- Employees, e.deptNo = d.id } yield list e.id)");
         let Type::Collection(CollectionKind::Bag, elem) = t else {
             panic!()
         };

@@ -176,9 +176,7 @@ pub fn lex_sql(src: &str) -> Result<Vec<SqlToken>> {
                     continue;
                 }
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = std::str::from_utf8(&bytes[start..i]).unwrap();

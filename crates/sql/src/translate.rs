@@ -163,9 +163,7 @@ impl SqlParser {
                     (PrimitiveMonoid::Count, None) => Expr::int(1),
                     (PrimitiveMonoid::Count, Some(_)) => Expr::int(1),
                     (_, Some(e)) => e.clone(),
-                    (_, None) => {
-                        return Err(VidaError::parse("aggregate needs an argument", 1, 1))
-                    }
+                    (_, None) => return Err(VidaError::parse("aggregate needs an argument", 1, 1)),
                 };
                 // COUNT folds with sum over 1s.
                 let monoid = match m {
@@ -175,10 +173,7 @@ impl SqlParser {
                 return Ok((monoid, head));
             }
         }
-        if items
-            .iter()
-            .any(|i| matches!(i, SelectItem::Agg(..)))
-        {
+        if items.iter().any(|i| matches!(i, SelectItem::Agg(..))) {
             return Err(VidaError::parse(
                 "aggregates cannot mix with plain columns (no GROUP BY support)",
                 1,
@@ -463,19 +458,15 @@ mod tests {
              e.deptNo = d.id, d.deptName = \"HR\"} yield sum 1",
         )
         .unwrap();
-        assert_eq!(
-            eval(&sql, &env()).unwrap(),
-            eval(&compr, &env()).unwrap()
-        );
+        assert_eq!(eval(&sql, &env()).unwrap(), eval(&compr, &env()).unwrap());
         assert_eq!(eval(&sql, &env()).unwrap(), Value::Int(2));
     }
 
     #[test]
     fn projection_query() {
-        let e = sql_to_comprehension(
-            "SELECT e.id, e.age AS years FROM Employees e WHERE e.age > 40",
-        )
-        .unwrap();
+        let e =
+            sql_to_comprehension("SELECT e.id, e.age AS years FROM Employees e WHERE e.age > 40")
+                .unwrap();
         let v = eval(&e, &env()).unwrap();
         let items = v.elements().unwrap();
         assert_eq!(items.len(), 2);

@@ -14,6 +14,7 @@
 pub mod error;
 pub mod monoid;
 pub mod schema;
+pub mod sync;
 pub mod types;
 pub mod value;
 

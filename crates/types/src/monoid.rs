@@ -103,7 +103,10 @@ impl PrimitiveMonoid {
     pub fn idempotent(&self) -> bool {
         matches!(
             self,
-            PrimitiveMonoid::Max | PrimitiveMonoid::Min | PrimitiveMonoid::All | PrimitiveMonoid::Any
+            PrimitiveMonoid::Max
+                | PrimitiveMonoid::Min
+                | PrimitiveMonoid::All
+                | PrimitiveMonoid::Any
         )
     }
 }
@@ -162,10 +165,9 @@ impl Monoid {
             Monoid::Primitive(PrimitiveMonoid::Count) => Value::Int(0),
             Monoid::Primitive(PrimitiveMonoid::Max) => Value::Null,
             Monoid::Primitive(PrimitiveMonoid::Min) => Value::Null,
-            Monoid::Primitive(PrimitiveMonoid::Avg) => Value::record([
-                ("__sum", Value::Float(0.0)),
-                ("__count", Value::Int(0)),
-            ]),
+            Monoid::Primitive(PrimitiveMonoid::Avg) => {
+                Value::record([("__sum", Value::Float(0.0)), ("__count", Value::Int(0))])
+            }
             Monoid::Primitive(PrimitiveMonoid::All) => Value::Bool(true),
             Monoid::Primitive(PrimitiveMonoid::Any) => Value::Bool(false),
             Monoid::Collection(k) => Value::Collection(*k, Vec::new()),
@@ -190,9 +192,15 @@ impl Monoid {
     pub fn merge(&self, a: Value, b: Value) -> Result<Value> {
         use PrimitiveMonoid::*;
         match self {
-            Monoid::Primitive(Sum) => numeric_binop(a, b, "sum", |x, y| x + y, |x, y| x.checked_add(y)),
-            Monoid::Primitive(Prod) => numeric_binop(a, b, "prod", |x, y| x * y, |x, y| x.checked_mul(y)),
-            Monoid::Primitive(Count) => numeric_binop(a, b, "count", |x, y| x + y, |x, y| x.checked_add(y)),
+            Monoid::Primitive(Sum) => {
+                numeric_binop(a, b, "sum", |x, y| x + y, |x, y| x.checked_add(y))
+            }
+            Monoid::Primitive(Prod) => {
+                numeric_binop(a, b, "prod", |x, y| x * y, |x, y| x.checked_mul(y))
+            }
+            Monoid::Primitive(Count) => {
+                numeric_binop(a, b, "count", |x, y| x + y, |x, y| x.checked_add(y))
+            }
             Monoid::Primitive(Max) => Ok(match (a, b) {
                 (Value::Null, x) | (x, Value::Null) => x,
                 (x, y) => {
@@ -432,23 +440,33 @@ mod tests {
     #[test]
     fn empty_folds() {
         assert_eq!(
-            Monoid::Primitive(PrimitiveMonoid::Sum).fold(vec![]).unwrap(),
+            Monoid::Primitive(PrimitiveMonoid::Sum)
+                .fold(vec![])
+                .unwrap(),
             Value::Int(0)
         );
         assert_eq!(
-            Monoid::Primitive(PrimitiveMonoid::Max).fold(vec![]).unwrap(),
+            Monoid::Primitive(PrimitiveMonoid::Max)
+                .fold(vec![])
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            Monoid::Primitive(PrimitiveMonoid::Avg).fold(vec![]).unwrap(),
+            Monoid::Primitive(PrimitiveMonoid::Avg)
+                .fold(vec![])
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            Monoid::Primitive(PrimitiveMonoid::All).fold(vec![]).unwrap(),
+            Monoid::Primitive(PrimitiveMonoid::All)
+                .fold(vec![])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            Monoid::Primitive(PrimitiveMonoid::Any).fold(vec![]).unwrap(),
+            Monoid::Primitive(PrimitiveMonoid::Any)
+                .fold(vec![])
+                .unwrap(),
             Value::Bool(false)
         );
     }

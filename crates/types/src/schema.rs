@@ -67,10 +67,7 @@ impl Schema {
         S: Into<String>,
     {
         Schema {
-            fields: pairs
-                .into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
+            fields: pairs.into_iter().map(|(n, t)| Field::new(n, t)).collect(),
         }
     }
 
@@ -134,8 +131,7 @@ impl Schema {
             return false;
         }
         self.fields.iter().zip(fields.iter()).all(|(f, (n, v))| {
-            f.name == *n
-                && (Type::of_value(v).compatible(&f.ty) || (f.nullable && v.is_null()))
+            f.name == *n && (Type::of_value(v).compatible(&f.ty) || (f.nullable && v.is_null()))
         })
     }
 }
@@ -171,10 +167,7 @@ mod tests {
     #[test]
     fn record_type_shape() {
         let s = patients_schema();
-        assert_eq!(
-            s.record_type().field("city"),
-            Some(&Type::Str)
-        );
+        assert_eq!(s.record_type().field("city"), Some(&Type::Str));
         assert_eq!(s.dataset_type().elem().unwrap(), &s.record_type());
     }
 

@@ -23,7 +23,10 @@ pub enum Type {
     /// Collection of a given kind with homogeneous element type.
     Collection(CollectionKind, Box<Type>),
     /// Dense array with `dims` dimensions of the element type.
-    Array { dims: usize, elem: Box<Type> },
+    Array {
+        dims: usize,
+        elem: Box<Type>,
+    },
 }
 
 impl Type {
@@ -104,10 +107,9 @@ impl Type {
                 }
                 Some(Record(fields))
             }
-            (Collection(ka, ta), Collection(kb, tb)) if ka == kb => Some(Collection(
-                *ka,
-                Box::new(ta.unify(tb)?),
-            )),
+            (Collection(ka, ta), Collection(kb, tb)) if ka == kb => {
+                Some(Collection(*ka, Box::new(ta.unify(tb)?)))
+            }
             (Array { dims: da, elem: ea }, Array { dims: db, elem: eb }) if da == db => {
                 Some(Array {
                     dims: *da,

@@ -33,7 +33,10 @@ pub enum Value {
     /// describes the dimensionality (row-major element order).
     Collection(CollectionKind, Vec<Value>),
     /// Dense multi-dimensional array of values (row-major).
-    Array { dims: Vec<usize>, data: Vec<Value> },
+    Array {
+        dims: Vec<usize>,
+        data: Vec<Value>,
+    },
 }
 
 impl Value {
@@ -352,7 +355,10 @@ mod tests {
     fn display_round_looks_right() {
         let r = Value::record([
             ("id", Value::Int(1)),
-            ("xs", Value::list(vec![Value::Float(1.0), Value::Float(2.5)])),
+            (
+                "xs",
+                Value::list(vec![Value::Float(1.0), Value::Float(2.5)]),
+            ),
         ]);
         assert_eq!(r.to_string(), "(id := 1, xs := [1.0, 2.5])");
     }
@@ -368,7 +374,7 @@ mod tests {
 
     #[test]
     fn nan_has_stable_order() {
-        let mut v = vec![Value::Float(f64::NAN), Value::Float(1.0)];
+        let mut v = [Value::Float(f64::NAN), Value::Float(1.0)];
         v.sort_by(Value::total_cmp);
         // IEEE total order puts positive NaN after all numbers.
         assert_eq!(v[0], Value::Float(1.0));
