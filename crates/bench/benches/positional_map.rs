@@ -1,10 +1,17 @@
 //! NoDB positional maps (ViDa §2, §5): repeated field access over raw CSV
 //! with and without the positional structures that remember byte offsets.
+//!
+//! Two fixtures: the narrow HBP-style `Patients` table (4 columns — posmap
+//! savings are small because tokenizing from the row start crosses only a
+//! few delimiters) and a wide table in the spirit of the paper's
+//! 17 832-attribute Genetics file, where reaching a late column without the
+//! map re-tokenizes the whole row prefix every time.
 
 use vida_bench::{case, fixtures};
 use vida_formats::csv::CsvFile;
+use vida_types::{Schema, Type};
 
-fn open(posmap: bool) -> CsvFile {
+fn open_narrow(posmap: bool) -> CsvFile {
     let mut f = CsvFile::from_bytes(
         "Patients",
         fixtures::patients_csv(2_000, 7),
@@ -17,24 +24,64 @@ fn open(posmap: bool) -> CsvFile {
     f
 }
 
+const WIDE_COLS: usize = 64;
+const WIDE_TARGET: usize = 60; // late column: 60 delimiters from row start
+
+fn open_wide(posmap: bool) -> CsvFile {
+    let mut data = String::new();
+    let names: Vec<String> = (0..WIDE_COLS).map(|c| format!("a{c}")).collect();
+    data.push_str(&names.join(","));
+    data.push('\n');
+    for row in 0..500 {
+        let vals: Vec<String> = (0..WIDE_COLS)
+            .map(|c| (row * WIDE_COLS + c).to_string())
+            .collect();
+        data.push_str(&vals.join(","));
+        data.push('\n');
+    }
+    let schema = Schema::from_pairs(names.into_iter().map(|n| (n, Type::Int)));
+    let mut f =
+        CsvFile::from_bytes("Wide", data.into_bytes(), b',', true, schema).expect("fixture parses");
+    f.set_posmap_enabled(posmap);
+    f
+}
+
 fn main() {
     let rows: Vec<usize> = (0..2_000).step_by(7).collect();
 
-    let cold = open(false);
-    case("read city column, posmap disabled", 5, 5, || {
+    let cold = open_narrow(false);
+    case("narrow: read city col, posmap disabled", 5, 5, || {
         for &r in &rows {
             cold.read_field(r, 2).expect("reads");
         }
     });
 
-    let warm = open(true);
+    let warm = open_narrow(true);
     // First pass populates the positional map; the measured passes seek.
     for &r in &rows {
         warm.read_field(r, 2).expect("reads");
     }
-    case("read city column, posmap populated", 5, 5, || {
+    case("narrow: read city col, posmap populated", 5, 5, || {
         for &r in &rows {
             warm.read_field(r, 2).expect("reads");
+        }
+    });
+
+    let wide_rows: Vec<usize> = (0..500).collect();
+    let wide_cold = open_wide(false);
+    case("wide: read col 60/64, posmap disabled", 5, 5, || {
+        for &r in &wide_rows {
+            wide_cold.read_field(r, WIDE_TARGET).expect("reads");
+        }
+    });
+
+    let wide_warm = open_wide(true);
+    for &r in &wide_rows {
+        wide_warm.read_field(r, WIDE_TARGET).expect("reads");
+    }
+    case("wide: read col 60/64, posmap populated", 5, 5, || {
+        for &r in &wide_rows {
+            wide_warm.read_field(r, WIDE_TARGET).expect("reads");
         }
     });
 }

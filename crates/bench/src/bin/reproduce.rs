@@ -19,7 +19,7 @@ const USAGE: &str = "\
 reproduce — replay the ViDa (CIDR'15) experiments
 
 USAGE:
-    reproduce <figure>
+    reproduce <figure> [--threads N]
 
 FIGURES:
     cache-locality    HBP-style query mix over raw CSV/JSON; reports the
@@ -29,21 +29,49 @@ FIGURES:
     jit-vs-interp     (planned) generated pipelines vs static operators;
                       see `cargo bench` for the current microbenchmarks
 
+OPTIONS:
+    --threads N       morsel-driven worker threads for query execution
+                      (default 1 = serial; see `cargo bench` parallel_scale
+                      for the thread-sweep microbenchmark)
+
 Run with no arguments to print this message.";
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    match arg.as_deref() {
-        Some("cache-locality") => cache_locality(),
-        Some(other) if other != "-h" && other != "--help" => {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figure = None;
+    let mut threads = 1usize;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads expects a positive integer\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if figure.is_none() => figure = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    match figure.as_deref() {
+        Some("cache-locality") => cache_locality(threads),
+        Some(other) => {
             eprintln!("unknown figure '{other}'\n\n{USAGE}");
             std::process::exit(2);
         }
-        _ => println!("{USAGE}"),
+        None => println!("{USAGE}"),
     }
 }
 
-fn cache_locality() {
+fn cache_locality(threads: usize) {
     let catalog = MemoryCatalog::new();
     let patients = CsvFile::from_bytes(
         "Patients",
@@ -63,7 +91,11 @@ fn cache_locality() {
     catalog.register(Arc::new(JsonPlugin::new(genetics)));
 
     let cache = Arc::new(CacheManager::new(8 << 20));
-    let opts = JitOptions::with_cache(Arc::clone(&cache));
+    let opts = JitOptions {
+        cache: Some(Arc::clone(&cache)),
+        threads,
+        ..Default::default()
+    };
     let queries = generate(&WorkloadConfig {
         queries: 200,
         ..Default::default()
@@ -91,6 +123,7 @@ fn cache_locality() {
         }
     }
     let pct = 100.0 * cached as f64 / total.max(1) as f64;
+    println!("worker threads:          {threads}");
     println!("queries executed:        {total}");
     println!("served fully from cache: {cached} ({pct:.1}%)");
     println!(

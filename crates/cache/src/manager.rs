@@ -5,11 +5,18 @@
 //! results"). A logical-clock LRU keeps the total footprint under a
 //! configurable budget. When a raw file changes (fingerprint mismatch),
 //! every entry of that dataset is dropped — the paper's §2.1 update story.
+//!
+//! Concurrency: lookups take only a **read** lock — LRU stamps, the logical
+//! clock, byte accounting, and hit/miss counters are all atomics — so any
+//! number of pipeline workers can read replicas while one worker briefly
+//! holds the write lock to insert a replica it just parsed. The previous
+//! whole-`Mutex` design serialized every worker on every column fetch.
 
 use crate::layout::{CachedData, Layout};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use vida_types::sync::Mutex;
+use vida_types::sync::RwLock;
 
 /// Identifies one cached column replica.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -55,21 +62,29 @@ impl CacheStats {
 struct Entry {
     data: Arc<CachedData>,
     bytes: usize,
-    last_used: u64,
+    /// LRU stamp; atomic so lookups bump it under the shared read lock.
+    last_used: AtomicU64,
     fingerprint: (u64, u64),
 }
 
-struct Inner {
-    entries: HashMap<CacheKey, Entry>,
-    clock: u64,
-    used_bytes: usize,
-    stats: CacheStats,
+#[derive(Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 /// Budgeted cache of raw-data column replicas.
 pub struct CacheManager {
     budget_bytes: usize,
-    inner: Mutex<Inner>,
+    entries: RwLock<HashMap<CacheKey, Entry>>,
+    clock: AtomicU64,
+    /// Mutated only under the write lock; atomic so usage reads are
+    /// lock-free.
+    used_bytes: AtomicUsize,
+    stats: AtomicStats,
 }
 
 impl CacheManager {
@@ -77,12 +92,10 @@ impl CacheManager {
     pub fn new(budget_bytes: usize) -> Self {
         CacheManager {
             budget_bytes,
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                clock: 0,
-                used_bytes: 0,
-                stats: CacheStats::default(),
-            }),
+            entries: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            used_bytes: AtomicUsize::new(0),
+            stats: AtomicStats::default(),
         }
     }
 
@@ -91,11 +104,11 @@ impl CacheManager {
     }
 
     pub fn used_bytes(&self) -> usize {
-        self.inner.lock().used_bytes
+        self.used_bytes.load(Ordering::Relaxed)
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.entries.read().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -103,23 +116,31 @@ impl CacheManager {
     }
 
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        CacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            insertions: self.stats.insertions.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            invalidations: self.stats.invalidations.load(Ordering::Relaxed),
+        }
     }
 
-    /// Look up an entry; bumps LRU clock and hit/miss counters.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Look up an entry; bumps LRU clock and hit/miss counters. Takes only
+    /// the read lock, so concurrent lookups never serialize.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedData>> {
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let clock = inner.clock;
-        match inner.entries.get_mut(key) {
+        let entries = self.entries.read();
+        match entries.get(key) {
             Some(e) => {
-                e.last_used = clock;
-                let data = Arc::clone(&e.data);
-                inner.stats.hits += 1;
-                Some(data)
+                e.last_used.store(self.tick(), Ordering::Relaxed);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.data))
             }
             None => {
-                inner.stats.misses += 1;
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -132,20 +153,17 @@ impl CacheManager {
         field: &str,
         preference: &[Layout],
     ) -> Option<(Layout, Arc<CachedData>)> {
+        let entries = self.entries.read();
         for &layout in preference {
             let key = CacheKey::new(dataset, field, layout);
             // Peek without counting misses for non-preferred layouts.
-            let mut inner = self.inner.lock();
-            inner.clock += 1;
-            let clock = inner.clock;
-            if let Some(e) = inner.entries.get_mut(&key) {
-                e.last_used = clock;
-                let data = Arc::clone(&e.data);
-                inner.stats.hits += 1;
-                return Some((layout, data));
+            if let Some(e) = entries.get(&key) {
+                e.last_used.store(self.tick(), Ordering::Relaxed);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Some((layout, Arc::clone(&e.data)));
             }
         }
-        self.inner.lock().stats.misses += 1;
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
@@ -157,36 +175,34 @@ impl CacheManager {
         if bytes > self.budget_bytes {
             return false;
         }
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let clock = inner.clock;
-        if let Some(old) = inner.entries.remove(&key) {
-            inner.used_bytes -= old.bytes;
+        let mut entries = self.entries.write();
+        let clock = self.tick();
+        if let Some(old) = entries.remove(&key) {
+            self.used_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
         }
         // Evict least-recently-used until the new entry fits.
-        while inner.used_bytes + bytes > self.budget_bytes {
-            let victim = inner
-                .entries
+        while self.used_bytes.load(Ordering::Relaxed) + bytes > self.budget_bytes {
+            let victim = entries
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| k.clone());
             match victim {
                 Some(k) => {
-                    let e = inner.entries.remove(&k).expect("victim exists");
-                    inner.used_bytes -= e.bytes;
-                    inner.stats.evictions += 1;
+                    let e = entries.remove(&k).expect("victim exists");
+                    self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
             }
         }
-        inner.used_bytes += bytes;
-        inner.stats.insertions += 1;
-        inner.entries.insert(
+        self.used_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        entries.insert(
             key,
             Entry {
                 data: Arc::new(data),
                 bytes,
-                last_used: clock,
+                last_used: AtomicU64::new(clock),
                 fingerprint,
             },
         );
@@ -198,50 +214,62 @@ impl CacheManager {
     /// (ViDa §2.1: updates drop the affected auxiliary structures).
     /// Returns the number of dropped entries.
     pub fn invalidate_stale(&self, dataset: &str, current: (u64, u64)) -> usize {
-        let mut inner = self.inner.lock();
-        let stale: Vec<CacheKey> = inner
-            .entries
+        // Every query re-validates fingerprints on its way in; stay on the
+        // shared read lock for the common nothing-is-stale case.
+        {
+            let entries = self.entries.read();
+            if !entries
+                .iter()
+                .any(|(k, e)| k.dataset == dataset && e.fingerprint != current)
+            {
+                return 0;
+            }
+        }
+        let mut entries = self.entries.write();
+        let stale: Vec<CacheKey> = entries
             .iter()
             .filter(|(k, e)| k.dataset == dataset && e.fingerprint != current)
             .map(|(k, _)| k.clone())
             .collect();
         for k in &stale {
-            let e = inner.entries.remove(k).expect("stale key exists");
-            inner.used_bytes -= e.bytes;
+            let e = entries.remove(k).expect("stale key exists");
+            self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
         }
-        inner.stats.invalidations += stale.len() as u64;
+        self.stats
+            .invalidations
+            .fetch_add(stale.len() as u64, Ordering::Relaxed);
         stale.len()
     }
 
     /// Drop every entry of a dataset unconditionally.
     pub fn invalidate_dataset(&self, dataset: &str) -> usize {
-        let mut inner = self.inner.lock();
-        let keys: Vec<CacheKey> = inner
-            .entries
+        let mut entries = self.entries.write();
+        let keys: Vec<CacheKey> = entries
             .keys()
             .filter(|k| k.dataset == dataset)
             .cloned()
             .collect();
         for k in &keys {
-            let e = inner.entries.remove(k).expect("key exists");
-            inner.used_bytes -= e.bytes;
+            let e = entries.remove(k).expect("key exists");
+            self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
         }
-        inner.stats.invalidations += keys.len() as u64;
+        self.stats
+            .invalidations
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
         keys.len()
     }
 
     /// Clear everything (benchmark phase boundaries).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.entries.clear();
-        inner.used_bytes = 0;
+        let mut entries = self.entries.write();
+        entries.clear();
+        self.used_bytes.store(0, Ordering::Relaxed);
     }
 
     /// Which fields of a dataset are cached (any layout)?
     pub fn cached_fields(&self, dataset: &str) -> Vec<String> {
-        let inner = self.inner.lock();
-        let mut fields: Vec<String> = inner
-            .entries
+        let entries = self.entries.read();
+        let mut fields: Vec<String> = entries
             .keys()
             .filter(|k| k.dataset == dataset)
             .map(|k| k.field.clone())
@@ -371,5 +399,40 @@ mod tests {
         m.clear();
         assert!(m.is_empty());
         assert_eq!(m.used_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_while_one_worker_populates() {
+        // Pipeline workers hammer lookups while another worker inserts
+        // replicas; counters and byte accounting must stay consistent.
+        let m = std::sync::Arc::new(CacheManager::new(1 << 20));
+        let hot = CacheKey::new("d", "hot", Layout::Values);
+        m.put(hot.clone(), col(64), (1, 1));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&m);
+                let hot = hot.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        assert!(m.get(&hot).is_some());
+                    }
+                });
+            }
+            let m = std::sync::Arc::clone(&m);
+            s.spawn(move || {
+                for i in 0..50 {
+                    m.put(
+                        CacheKey::new("d", format!("c{i}"), Layout::Values),
+                        col(8),
+                        (1, 1),
+                    );
+                }
+            });
+        });
+        let s = m.stats();
+        assert_eq!(s.hits, 2000);
+        assert_eq!(s.insertions, 51);
+        assert_eq!(m.len(), 51);
+        assert!(m.used_bytes() <= m.budget_bytes());
     }
 }

@@ -28,6 +28,7 @@ pub use vida_exec::{
 pub use vida_formats::{open_plugin, DataFormat, InputPlugin, SourceDescription};
 pub use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SlotType};
 pub use vida_lang::{eval, parse, typecheck, Bindings, Expr, TypeEnv};
+pub use vida_parallel::{MorselPlan, WorkerPool};
 pub use vida_sql::sql_to_comprehension;
 pub use vida_types::{Monoid, Result, Schema, Type, Value, VidaError};
 
@@ -38,6 +39,7 @@ pub use vida_exec as exec;
 pub use vida_formats as formats;
 pub use vida_jit as jit;
 pub use vida_lang as lang;
+pub use vida_parallel as parallel;
 pub use vida_sql as sql;
 pub use vida_types as types;
 
@@ -64,6 +66,24 @@ mod tests {
             Value::Int(42)
         );
         assert_eq!(run_volcano(&plan, &cat).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn facade_runs_parallel_pipelines() {
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "T",
+            Schema::from_pairs([("x", Type::Int)]),
+            &(0..100)
+                .map(|i| Value::record([("x", Value::Int(i))]))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let plan =
+            rewrite(&lower(&parse("for { t <- T, t.x > 9 } yield sum t.x").unwrap()).unwrap());
+        let serial = run_jit(&plan, &cat, &JitOptions::default()).unwrap();
+        let parallel = run_jit(&plan, &cat, &JitOptions::with_threads(4)).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

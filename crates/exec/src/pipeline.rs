@@ -29,6 +29,17 @@
 //! Plans outside the pipeline shapes (unnests, non-equi or bushy joins,
 //! constant queries over the unit dataset) fall back to the interpreted
 //! Volcano engine wholesale, so `run_jit` is total over all valid plans.
+//!
+//! With `JitOptions::threads > 1` the same generated pipeline runs
+//! **morsel-driven parallel** (`vida-parallel`): raw scans split into
+//! aligned byte ranges parsed by concurrent workers, tuples flow through
+//! kernels in morsels, hash joins build and probe radix partitions in
+//! parallel, and per-morsel monoid partials merge in morsel order. Morsel
+//! boundaries depend only on the data — never the worker count — so every
+//! parallel thread count produces the same result (float folds reassociate
+//! at morsel boundaries, so serial vs parallel can differ in the last ulp
+//! for `sum`/`prod`/`avg` over floats; everything else is bit-identical),
+//! and `threads <= 1` takes the original serial path unchanged.
 
 use crate::catalog::SourceProvider;
 use crate::stats::ExecStats;
@@ -43,6 +54,7 @@ use vida_jit::compile::path_of;
 use vida_jit::frame::{decode_output, StringInterner};
 use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SlotType};
 use vida_lang::{eval, Bindings, Expr, Qualifier};
+use vida_parallel::{partition_of, plan_scan, radix, MorselPlan, WorkerPool};
 use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Result, Value, VidaError};
 
 /// Options controlling pipeline generation.
@@ -55,6 +67,20 @@ pub struct JitOptions {
     /// the interpreter (isolates codegen wins in benchmarks); joins need
     /// compiled key kernels and fall back to the Volcano engine wholesale.
     pub interpret_only: bool,
+    /// Worker threads for morsel-driven execution. `0` or `1` runs the
+    /// original serial path (bit-identical to the pre-parallel engine);
+    /// higher counts split scans, joins, and folds across workers. Every
+    /// parallel thread count produces the same result: morsel boundaries
+    /// depend only on the data, and partial folds merge in morsel order.
+    /// The parallel result also equals the serial one, except that float
+    /// `sum`/`prod`/`avg` reassociate addition at morsel boundaries and may
+    /// differ from serial in the last ulp (tuple sets, element order, and
+    /// every exact monoid match bit for bit).
+    pub threads: usize,
+    /// Units per morsel for unit-count morsel plans (`0` = the
+    /// `vida-parallel` default). Mainly for tests, which shrink it to force
+    /// multi-morsel coverage on small fixtures.
+    pub morsel_rows: usize,
 }
 
 impl JitOptions {
@@ -62,8 +88,21 @@ impl JitOptions {
     pub fn with_cache(cache: Arc<CacheManager>) -> Self {
         JitOptions {
             cache: Some(cache),
-            interpret_only: false,
+            ..JitOptions::default()
         }
+    }
+
+    /// Options running `threads` morsel-driven workers.
+    pub fn with_threads(threads: usize) -> Self {
+        JitOptions {
+            threads,
+            ..JitOptions::default()
+        }
+    }
+
+    /// Effective worker count (0 normalizes to 1).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
     }
 }
 
@@ -179,6 +218,10 @@ struct Pipeline {
     /// Datasets referenced inside nested head/predicate comprehensions,
     /// materialized up front (mirrors the Volcano engine).
     base_env: Bindings,
+    /// Morsel-driven worker count; 1 = the serial path.
+    threads: usize,
+    /// Units per morsel (0 = `vida-parallel` default).
+    morsel_rows: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -482,6 +525,8 @@ impl<'a> PipelineBuilder<'a> {
             frame_width: layout.len(),
             interner,
             base_env,
+            threads: self.opts.effective_threads(),
+            morsel_rows: self.opts.morsel_rows,
         }))
     }
 
@@ -579,13 +624,18 @@ impl<'a> PipelineBuilder<'a> {
 
         if !missing.is_empty() {
             let cols: Vec<usize> = missing.iter().map(|&i| touched[i]).collect();
-            let mut read: Vec<Vec<Value>> = vec![Vec::new(); cols.len()];
-            plugin.scan_project(&cols, &mut |_, vals| {
-                for (c, v) in read.iter_mut().zip(vals) {
-                    c.push(v);
-                }
-                Ok(())
-            })?;
+            let read = if self.opts.effective_threads() > 1 {
+                self.scan_columns_parallel(plugin, &cols)?
+            } else {
+                let mut read: Vec<Vec<Value>> = vec![Vec::new(); cols.len()];
+                plugin.scan_project(&cols, &mut |_, vals| {
+                    for (c, v) in read.iter_mut().zip(vals) {
+                        c.push(v);
+                    }
+                    Ok(())
+                })?;
+                read
+            };
             for (&i, col_vals) in missing.iter().zip(read) {
                 let field = &schema.fields()[touched[i]].name;
                 if let Some(cache) = &self.opts.cache {
@@ -604,6 +654,43 @@ impl<'a> PipelineBuilder<'a> {
             .into_iter()
             .map(|c| c.expect("all columns filled"))
             .collect())
+    }
+
+    /// The parallel raw scan: the dispatcher splits the file into aligned
+    /// morsels (newline-aligned CSV byte ranges, record-aligned JSON spans)
+    /// and workers parse disjoint ranges concurrently, sharing only the
+    /// atomic positional structures. Chunks concatenate in morsel order, so
+    /// the materialized columns are identical to a serial scan's.
+    fn scan_columns_parallel(
+        &mut self,
+        plugin: &Arc<dyn vida_formats::InputPlugin>,
+        cols: &[usize],
+    ) -> Result<Vec<Vec<Value>>> {
+        let plan = plan_scan(plugin.as_ref(), self.opts.morsel_rows);
+        let pool = WorkerPool::new(self.opts.effective_threads());
+        let chunks = pool.run_morsels(
+            plan.len(),
+            |_| (),
+            |_, m| {
+                let range = plan.range(m);
+                let mut chunk: Vec<Vec<Value>> = vec![Vec::with_capacity(range.len()); cols.len()];
+                plugin.scan_project_range(cols, range, &mut |_, vals| {
+                    for (c, v) in chunk.iter_mut().zip(vals) {
+                        c.push(v);
+                    }
+                    Ok(())
+                })?;
+                Ok::<_, VidaError>(chunk)
+            },
+        )?;
+        self.stats.morsels += plan.len() as u64;
+        let mut out: Vec<Vec<Value>> = vec![Vec::with_capacity(plan.units()); cols.len()];
+        for chunk in chunks {
+            for (o, c) in out.iter_mut().zip(chunk) {
+                o.extend(c);
+            }
+        }
+        Ok(out)
     }
 
     /// Compile a boolean step (kernel when possible).
@@ -782,6 +869,10 @@ impl<'a> PipelineBuilder<'a> {
 
 impl Pipeline {
     fn execute(self, stats: &mut ExecStats) -> Result<Value> {
+        stats.threads = self.threads as u32;
+        if self.threads > 1 {
+            return self.execute_parallel(stats);
+        }
         let tuples = self.exec_node(&self.root, stats)?;
 
         // Fold with the output monoid. Collection monoids accumulate and
@@ -892,9 +983,21 @@ impl Pipeline {
     }
 
     fn source_tuples(&self, idx: usize, stats: &mut ExecStats) -> Result<Vec<Tuple>> {
+        let nrows = self.sources[idx].nrows;
+        self.source_tuples_range(idx, 0..nrows, stats)
+    }
+
+    /// Scan-side tuple construction over a contiguous row range — the whole
+    /// source serially, one morsel at a time in parallel.
+    fn source_tuples_range(
+        &self,
+        idx: usize,
+        rows: std::ops::Range<usize>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Tuple>> {
         let s = &self.sources[idx];
         let mut out = Vec::new();
-        'rows: for row in 0..s.nrows {
+        'rows: for row in rows {
             let mut frame = vec![0i64; self.frame_width];
             let mut valid = true;
             for (slot, col) in &s.slot_cols {
@@ -973,27 +1076,288 @@ impl Pipeline {
                         // build tuple.
                         (0..right_tuples.len()).collect()
                     };
-                    'pairs: for ri in candidates {
-                        let rt = &right_tuples[ri];
-                        let mut frame = lt.frame.clone();
-                        for &slot in rslots {
-                            frame[slot] = rt.frame[slot];
+                    self.probe_pairs(
+                        lt,
+                        &candidates,
+                        &right_tuples,
+                        rslots,
+                        predicate,
+                        selects,
+                        &mut out,
+                        stats,
+                    )?;
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Emit the surviving join pairs of one probe tuple against its
+    /// candidate build tuples (shared by the serial and the partitioned
+    /// parallel probe).
+    #[allow(clippy::too_many_arguments)]
+    fn probe_pairs(
+        &self,
+        lt: &Tuple,
+        candidates: &[usize],
+        right_tuples: &[Tuple],
+        rslots: &[usize],
+        predicate: &Step,
+        selects: &[Step],
+        out: &mut Vec<Tuple>,
+        stats: &mut ExecStats,
+    ) -> Result<()> {
+        'pairs: for &ri in candidates {
+            let rt = &right_tuples[ri];
+            let mut frame = lt.frame.clone();
+            for &slot in rslots {
+                frame[slot] = rt.frame[slot];
+            }
+            let merged = Tuple {
+                frame,
+                valid: lt.valid && rt.valid,
+                rows: lt.rows.iter().chain(rt.rows.iter()).copied().collect(),
+            };
+            if !self.apply_step(predicate, &merged, stats, "join")? {
+                continue;
+            }
+            for sel in selects {
+                if !self.apply_step(sel, &merged, stats, "selection")? {
+                    continue 'pairs;
+                }
+            }
+            out.push(merged);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel execution (vida-parallel)
+// ---------------------------------------------------------------------------
+//
+// The same compiled pipeline, executed by a worker pool. Three invariants
+// keep every thread count result-identical to the serial engine:
+//
+// 1. Morsel grids depend only on tuple counts (and the `morsel_rows` knob),
+//    never on the worker count, so the partial-result sequence is fixed.
+// 2. Per-morsel outputs concatenate — and monoid partials merge — in morsel
+//    order, so element order matches the serial loops exactly.
+// 3. The radix-partitioned join assigns partitions by key bits alone, and
+//    partition bucket lists keep ascending build-tuple order, so every probe
+//    sees the same candidate set (then the same `sort_unstable` order) as
+//    the serial single-table build.
+
+impl Pipeline {
+    fn execute_parallel(&self, stats: &mut ExecStats) -> Result<Value> {
+        let pool = WorkerPool::new(self.threads);
+        let tuples = self.exec_node_parallel(&self.root, &pool, stats)?;
+        let plan = MorselPlan::fixed(tuples.len(), self.morsel_rows);
+
+        match self.monoid {
+            Monoid::Collection(kind) => {
+                stats.morsels += plan.len() as u64;
+                // Head values per morsel, concatenated in morsel order:
+                // identical element sequence to the serial engine, then one
+                // canonicalization.
+                let chunks = pool.run_morsels(
+                    plan.len(),
+                    |_| (),
+                    |_, m| {
+                        let mut ws = ExecStats::default();
+                        let range = plan.range(m);
+                        let mut items = Vec::with_capacity(range.len());
+                        for t in &tuples[range] {
+                            items.push(self.head_value(t, &mut ws)?);
                         }
-                        let merged = Tuple {
-                            frame,
-                            valid: lt.valid && rt.valid,
-                            rows: lt.rows.iter().chain(rt.rows.iter()).copied().collect(),
-                        };
-                        if !self.apply_step(predicate, &merged, stats, "join")? {
-                            continue;
+                        Ok::<_, VidaError>((items, ws))
+                    },
+                )?;
+                let mut items = Vec::with_capacity(tuples.len());
+                for (chunk, ws) in chunks {
+                    items.extend(chunk);
+                    stats.absorb_worker(&ws);
+                }
+                Ok(match kind {
+                    CollectionKind::Set => Value::set(items),
+                    k => Value::Collection(k, items),
+                })
+            }
+            Monoid::Primitive(PrimitiveMonoid::Count)
+                if matches!(self.head, HeadPlan::CountOnly) =>
+            {
+                Ok(Value::Int(tuples.len() as i64))
+            }
+            m => {
+                // Per-morsel partial folds, merged deterministically in
+                // morsel order via the Monoid trait.
+                stats.morsels += plan.len() as u64;
+                let partials = pool.run_morsels(
+                    plan.len(),
+                    |_| (),
+                    |_, mi| {
+                        let mut ws = ExecStats::default();
+                        let mut acc = m.zero();
+                        for t in &tuples[plan.range(mi)] {
+                            let v = self.head_value(t, &mut ws)?;
+                            acc = m.merge(acc, m.unit(v))?;
                         }
-                        for sel in selects {
-                            if !self.apply_step(sel, &merged, stats, "selection")? {
-                                continue 'pairs;
+                        Ok::<_, VidaError>((acc, ws))
+                    },
+                )?;
+                let mut accs = Vec::with_capacity(partials.len());
+                for (acc, ws) in partials {
+                    accs.push(acc);
+                    stats.absorb_worker(&ws);
+                }
+                m.finalize(m.merge_partials(accs)?)
+            }
+        }
+    }
+
+    fn source_tuples_parallel(
+        &self,
+        idx: usize,
+        pool: &WorkerPool,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Tuple>> {
+        let plan = MorselPlan::fixed(self.sources[idx].nrows, self.morsel_rows);
+        stats.morsels += plan.len() as u64;
+        let chunks = pool.run_morsels(
+            plan.len(),
+            |_| (),
+            |_, m| {
+                let mut ws = ExecStats::default();
+                let out = self.source_tuples_range(idx, plan.range(m), &mut ws)?;
+                Ok::<_, VidaError>((out, ws))
+            },
+        )?;
+        let mut out = Vec::new();
+        for (chunk, ws) in chunks {
+            out.extend(chunk);
+            stats.absorb_worker(&ws);
+        }
+        Ok(out)
+    }
+
+    fn exec_node_parallel(
+        &self,
+        node: &Node,
+        pool: &WorkerPool,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Tuple>> {
+        match node {
+            Node::Source(idx) => self.source_tuples_parallel(*idx, pool, stats),
+            Node::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                left_key_ty,
+                right_key_ty,
+                float_keys,
+                predicate,
+                selects,
+            } => {
+                let left_tuples = self.exec_node_parallel(left, pool, stats)?;
+                let right_tuples = self.source_tuples_parallel(*right, pool, stats)?;
+
+                // Build, phase 1: workers extract key bits morsel-wise and
+                // pre-split them by radix partition. Null-frame build tuples
+                // go to the shared `loose` list (interpreted comparison),
+                // exactly as in the serial build.
+                let partitions = radix::partition_count(right_tuples.len());
+                let rplan = MorselPlan::fixed(right_tuples.len(), self.morsel_rows);
+                stats.morsels += rplan.len() as u64;
+                let pre = pool.run_morsels(
+                    rplan.len(),
+                    |_| (),
+                    |_, m| {
+                        let mut parts: Vec<Vec<(i64, usize)>> = vec![Vec::new(); partitions];
+                        let mut loose: Vec<usize> = Vec::new();
+                        for i in rplan.range(m) {
+                            let t = &right_tuples[i];
+                            if t.valid {
+                                let k = encode_key(
+                                    right_key.call(&t.frame),
+                                    *right_key_ty,
+                                    *float_keys,
+                                );
+                                parts[partition_of(k, partitions)].push((k, i));
+                            } else {
+                                loose.push(i);
                             }
                         }
-                        out.push(merged);
-                    }
+                        Ok::<_, VidaError>((parts, loose))
+                    },
+                )?;
+
+                // Build, phase 2: one worker per partition assembles that
+                // partition's hash table. Visiting the morsel pre-splits in
+                // morsel order keeps every bucket's index list ascending —
+                // the order the serial single-table build produced.
+                let tables = pool.run_morsels(
+                    partitions,
+                    |_| (),
+                    |_, p| {
+                        let mut table: HashMap<i64, Vec<usize>> = HashMap::new();
+                        for (parts, _) in &pre {
+                            for &(k, i) in &parts[p] {
+                                table.entry(k).or_default().push(i);
+                            }
+                        }
+                        Ok::<_, VidaError>(table)
+                    },
+                )?;
+                let loose: Vec<usize> = pre.iter().flat_map(|(_, l)| l.iter().copied()).collect();
+
+                // Probe: left morsels in parallel; each probe consults
+                // exactly one partition, and per-morsel outputs concatenate
+                // in morsel order.
+                let rslots = &self.sources[*right].slots;
+                let lplan = MorselPlan::fixed(left_tuples.len(), self.morsel_rows);
+                stats.morsels += lplan.len() as u64;
+                let chunks = pool.run_morsels(
+                    lplan.len(),
+                    |_| (),
+                    |_, m| {
+                        let mut ws = ExecStats::default();
+                        let mut out = Vec::new();
+                        for lt in &left_tuples[lplan.range(m)] {
+                            let candidates: Vec<usize> = if lt.valid {
+                                let k =
+                                    encode_key(left_key.call(&lt.frame), *left_key_ty, *float_keys);
+                                let mut c: Vec<usize> = tables[partition_of(k, partitions)]
+                                    .get(&k)
+                                    .map(|b| b.as_slice())
+                                    .unwrap_or(&[])
+                                    .iter()
+                                    .chain(loose.iter())
+                                    .copied()
+                                    .collect();
+                                c.sort_unstable();
+                                c
+                            } else {
+                                (0..right_tuples.len()).collect()
+                            };
+                            self.probe_pairs(
+                                lt,
+                                &candidates,
+                                &right_tuples,
+                                rslots,
+                                predicate,
+                                selects,
+                                &mut out,
+                                &mut ws,
+                            )?;
+                        }
+                        Ok::<_, VidaError>((out, ws))
+                    },
+                )?;
+                let mut out = Vec::new();
+                for (chunk, ws) in chunks {
+                    out.extend(chunk);
+                    stats.absorb_worker(&ws);
                 }
                 Ok(out)
             }
@@ -1262,6 +1626,70 @@ mod tests {
         assert_eq!(v, Value::Int(9)); // every (p, g) pair: ages dwarf snps
         assert_eq!(stats.raw_columns, 0, "{stats:?}");
         assert_eq!(stats.cached_columns, 0);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial() {
+        // Tiny morsels force genuine multi-morsel scheduling even on the
+        // 3-row fixtures; results must be identical at every thread count.
+        let queries = [
+            "for { p <- Patients, p.age > 40 } yield count p",
+            "for { p <- Patients } yield max p.age",
+            "for { p <- Patients, p.city != \"bern\" } yield list p.id",
+            "for { p <- Patients, p.age > 30 } yield set p.city",
+            "for { p <- Patients, g <- Genetics, p.id = g.id } \
+             yield bag (a := p.age, s := g.snp)",
+        ];
+        let cat = catalog();
+        for q in queries {
+            let plan = plan_of(q);
+            let serial = run_jit(&plan, &cat, &JitOptions::default()).unwrap();
+            for threads in [2, 8] {
+                let opts = JitOptions {
+                    threads,
+                    morsel_rows: 1,
+                    ..Default::default()
+                };
+                let (v, stats) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+                assert_eq!(v, serial, "threads={threads} deviates for {q}");
+                assert_eq!(stats.threads, threads as u32);
+                assert!(stats.morsels >= 2, "{q}: expected multi-morsel run");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_null_tuples_take_fallback() {
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "T",
+            Schema::from_pairs([("x", Type::Int)]),
+            &[
+                Value::record([("x", Value::Int(5))]),
+                Value::record([("x", Value::Null)]),
+                Value::record([("x", Value::Int(7))]),
+            ],
+        )
+        .unwrap();
+        let plan = plan_of("for { t <- T, t.x > 4 } yield count t");
+        let opts = JitOptions {
+            threads: 4,
+            morsel_rows: 1,
+            ..Default::default()
+        };
+        let (v, stats) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert_eq!(v, Value::Int(2));
+        assert!(stats.fallback_tuples >= 1);
+    }
+
+    #[test]
+    fn serial_path_reports_one_thread() {
+        let plan = plan_of("for { p <- Patients } yield sum p.age");
+        let (_, stats) = run_jit_with_stats(&plan, &catalog(), &JitOptions::default()).unwrap();
+        assert_eq!(stats.threads, 1);
+        let (_, stats) =
+            run_jit_with_stats(&plan, &catalog(), &JitOptions::with_threads(0)).unwrap();
+        assert_eq!(stats.threads, 1);
     }
 
     #[test]

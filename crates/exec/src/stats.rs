@@ -28,6 +28,10 @@ pub struct ExecStats {
     /// True when every scanned column came from caches — the unit of the
     /// paper's "80% of the workload was served using its data caches".
     pub served_from_cache: bool,
+    /// Worker threads used by the morsel-driven engine (1 = serial path).
+    pub threads: u32,
+    /// Morsels dispatched across all parallel phases of the query.
+    pub morsels: u64,
 }
 
 impl ExecStats {
@@ -45,6 +49,19 @@ impl ExecStats {
         self.fallback_tuples += other.fallback_tuples;
         self.cached_columns += other.cached_columns;
         self.raw_columns += other.raw_columns;
+        self.threads = self.threads.max(other.threads);
+        self.morsels += other.morsels;
+    }
+
+    /// Merge counters from one worker of a parallel phase (wall times are
+    /// measured by the coordinator, not summed across workers).
+    pub(crate) fn absorb_worker(&mut self, other: &ExecStats) {
+        self.kernels_compiled += other.kernels_compiled;
+        self.tuples_scanned += other.tuples_scanned;
+        self.fallback_tuples += other.fallback_tuples;
+        self.cached_columns += other.cached_columns;
+        self.raw_columns += other.raw_columns;
+        self.morsels += other.morsels;
     }
 }
 
@@ -63,6 +80,8 @@ mod tests {
             cached_columns: 3,
             raw_columns: 1,
             served_from_cache: false,
+            threads: 4,
+            morsels: 8,
         };
         assert_eq!(a.total(), Duration::from_micros(1000));
         let b = a.clone();
@@ -70,5 +89,7 @@ mod tests {
         assert_eq!(a.kernels_compiled, 4);
         assert_eq!(a.tuples_scanned, 20);
         assert_eq!(a.cached_columns, 6);
+        assert_eq!(a.threads, 4); // max, not sum
+        assert_eq!(a.morsels, 16);
     }
 }

@@ -210,3 +210,138 @@ fn nested_head_comprehension_agrees() {
 fn division_stays_interpreted_but_agrees() {
     differential("for { p <- Patients, p.age > 30 } yield sum (p.age / 2)");
 }
+
+// --- Morsel-driven parallel execution --------------------------------------
+//
+// The same queries through the JIT engine at 1, 2, and 8 worker threads,
+// with morsels shrunk so even these fixtures split into many morsels.
+// Results must be identical at every thread count and equal to the Volcano
+// oracle. Float columns use dyadic rationals (k/64), whose sums are exact in
+// f64 — so these tests catch real parallelism bugs (lost/duplicated tuples,
+// misordered list elements, bad partitioning) rather than benign
+// floating-point reassociation.
+
+/// A larger raw-data catalog: `Patients` CSV (with some null ages) and
+/// `Genetics` JSON, each `n` units.
+fn big_catalog(n: usize) -> MemoryCatalog {
+    let cat = MemoryCatalog::new();
+    let cities = ["geneva", "bern", "zurich", "basel"];
+    let mut csv = String::from("id,age,city\n");
+    for i in 0..n {
+        if i % 17 == 0 {
+            csv.push_str(&format!("{i},,{}\n", cities[i % 4])); // null age
+        } else {
+            csv.push_str(&format!("{i},{},{}\n", 18 + (i * 7) % 70, cities[i % 4]));
+        }
+    }
+    let csv = CsvFile::from_bytes(
+        "Patients",
+        csv.into_bytes(),
+        b',',
+        true,
+        Schema::from_pairs([("id", Type::Int), ("age", Type::Int), ("city", Type::Str)]),
+    )
+    .expect("csv fixture parses");
+    cat.register(Arc::new(CsvPlugin::new(csv)));
+
+    let mut json = String::new();
+    for i in 0..n {
+        // Dyadic snp values: exact under any summation order.
+        json.push_str(&format!(
+            "{{\"id\":{i},\"snp\":{}}}\n",
+            (i % 64) as f64 / 64.0
+        ));
+    }
+    let json = JsonFile::from_bytes(
+        "Genetics",
+        json.into_bytes(),
+        Schema::from_pairs([("id", Type::Int), ("snp", Type::Float)]),
+    )
+    .expect("json fixture parses");
+    cat.register(Arc::new(JsonPlugin::new(json)));
+    cat
+}
+
+/// Run `q` at several thread counts over `big_catalog(n)`; every result
+/// must equal the Volcano oracle (and hence each other). Returns the value.
+fn thread_sweep(q: &str, n: usize) -> Value {
+    let cat = big_catalog(n);
+    let expr = parse(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+    let plan = rewrite(&lower(&expr).expect("lowers"));
+    let oracle = run_volcano(&plan, &cat).unwrap_or_else(|e| panic!("volcano {q}: {e}"));
+    for threads in [1usize, 2, 8] {
+        let opts = JitOptions {
+            threads,
+            morsel_rows: 16,
+            ..Default::default()
+        };
+        let v = run_jit(&plan, &cat, &opts).unwrap_or_else(|e| panic!("jit x{threads} {q}: {e}"));
+        assert_eq!(v, oracle, "threads={threads} deviates for {q}");
+    }
+    oracle
+}
+
+#[test]
+fn parallel_scan_aggregates_across_thread_counts() {
+    thread_sweep("for { p <- Patients, p.age > 40 } yield count p", 200);
+    thread_sweep("for { p <- Patients } yield max p.age", 200);
+    thread_sweep("for { g <- Genetics } yield sum g.snp", 200);
+    thread_sweep("for { g <- Genetics, g.snp > 0.5 } yield avg g.snp", 200);
+    thread_sweep("for { p <- Patients } yield any p.age > 80", 200);
+}
+
+#[test]
+fn parallel_collections_preserve_order_across_thread_counts() {
+    let v = thread_sweep("for { p <- Patients, p.age < 30 } yield list p.id", 200);
+    assert!(!v.elements().unwrap().is_empty());
+    thread_sweep("for { p <- Patients } yield set p.city", 200);
+    thread_sweep(
+        "for { g <- Genetics, g.snp >= 0.75 } yield bag (i := g.id, s := g.snp)",
+        200,
+    );
+}
+
+#[test]
+fn parallel_cross_format_hash_join_across_thread_counts() {
+    thread_sweep(
+        "for { p <- Patients, g <- Genetics, p.id = g.id, p.age > 50 } yield sum g.snp",
+        300,
+    );
+    // Null ages route probe tuples through the interpreted fallback; list
+    // output additionally pins the exact pair order.
+    thread_sweep(
+        "for { p <- Patients, g <- Genetics, p.id = g.id, g.snp > 0.5 } yield list p.id",
+        300,
+    );
+}
+
+#[test]
+fn parallel_warm_cache_run_is_identical() {
+    let cat = big_catalog(200);
+    let plan = rewrite(
+        &lower(
+            &parse("for { p <- Patients, g <- Genetics, p.id = g.id } yield sum g.snp").unwrap(),
+        )
+        .expect("lowers"),
+    );
+    let cache = Arc::new(CacheManager::new(8 << 20));
+    let mut results = Vec::new();
+    // Cold run at 8 threads populates the cache in parallel; warm runs at
+    // every thread count read the same replicas.
+    for threads in [8usize, 2, 1] {
+        let opts = JitOptions {
+            cache: Some(Arc::clone(&cache)),
+            threads,
+            morsel_rows: 16,
+            ..Default::default()
+        };
+        let (v, stats) = vida_exec::run_jit_with_stats(&plan, &cat, &opts)
+            .unwrap_or_else(|e| panic!("threads={threads}: {e}"));
+        if threads != 8 {
+            assert!(stats.served_from_cache, "warm run should hit the cache");
+        }
+        results.push(v);
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+    assert_eq!(results[0], run_volcano(&plan, &cat).unwrap());
+}

@@ -13,14 +13,57 @@
 //! up-front pass.
 
 use crate::stats::AccessStats;
-use std::collections::BTreeMap;
+use std::ops::Range;
 use std::path::Path;
-use std::sync::Arc;
-use vida_types::sync::RwLock;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
 use vida_types::{Result, Schema, Type, Value, VidaError};
 
 /// Sentinel for "offset unknown" inside positional map columns.
 const UNKNOWN: u32 = u32::MAX;
+
+/// Lock-free positional map: one lazily-allocated offset array per column.
+///
+/// The original design kept a `RwLock<BTreeMap<col, Vec<u32>>>`, which put a
+/// lock acquisition and a tree walk on **every** field read — enough that a
+/// populated map lost to re-tokenizing on small files, and scan workers
+/// would have serialized on the lock. Offsets are now plain atomics sharded
+/// per column: reads are two relaxed loads, writes are one relaxed store,
+/// and concurrent workers race only benignly (a field's offset is a pure
+/// function of the bytes, so double-stores write the same value).
+struct PosMap {
+    cols: Vec<OnceLock<Box<[AtomicU32]>>>,
+}
+
+impl PosMap {
+    fn new(num_cols: usize) -> Self {
+        PosMap {
+            cols: (0..num_cols).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Known offset of `(row, col)`, if any.
+    #[inline]
+    fn get(&self, row: usize, col: usize) -> Option<u32> {
+        let arr = self.cols.get(col)?.get()?;
+        let off = arr[row].load(Ordering::Relaxed);
+        (off != UNKNOWN).then_some(off)
+    }
+
+    /// Record the offset of `(row, col)`, allocating the column on first
+    /// touch.
+    fn set(&self, row: usize, col: usize, off: u32, num_rows: usize) {
+        if let Some(slot) = self.cols.get(col) {
+            let arr = slot.get_or_init(|| (0..num_rows).map(|_| AtomicU32::new(UNKNOWN)).collect());
+            arr[row].store(off, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of columns with at least one recorded offset.
+    fn tracked_columns(&self) -> usize {
+        self.cols.iter().filter(|c| c.get().is_some()).count()
+    }
+}
 
 /// A CSV file opened for in-situ querying.
 pub struct CsvFile {
@@ -31,8 +74,8 @@ pub struct CsvFile {
     /// Byte offset of the start of each data row (header excluded), plus a
     /// final entry at end-of-data, so row `i` spans `rows[i]..rows[i+1]-1`.
     rows: Vec<u32>,
-    /// col -> per-row byte offsets of that column's first byte.
-    posmap: RwLock<BTreeMap<usize, Vec<u32>>>,
+    /// Per-column, per-row byte offsets of each column's first byte.
+    posmap: PosMap,
     posmap_enabled: bool,
     stats: Arc<AccessStats>,
     /// (file length, mtime seconds) — cache invalidation fingerprint.
@@ -88,13 +131,14 @@ impl CsvFile {
         }
         rows.push(data.len() as u32);
         let fingerprint = (data.len() as u64, 0);
+        let posmap = PosMap::new(schema.len());
         Ok(CsvFile {
             name,
             data,
             delimiter,
             schema,
             rows,
-            posmap: RwLock::new(BTreeMap::new()),
+            posmap,
             posmap_enabled: true,
             stats: Arc::new(AccessStats::new()),
             fingerprint,
@@ -106,7 +150,7 @@ impl CsvFile {
     pub fn set_posmap_enabled(&mut self, enabled: bool) {
         self.posmap_enabled = enabled;
         if !enabled {
-            self.posmap.write().clear();
+            self.posmap = PosMap::new(self.schema.len());
         }
     }
 
@@ -137,7 +181,16 @@ impl CsvFile {
 
     /// Number of distinct columns currently tracked by the positional map.
     pub fn posmap_columns(&self) -> usize {
-        self.posmap.read().len()
+        self.posmap.tracked_columns()
+    }
+
+    /// Byte span of data row `row` (newline-aligned: starts at the first
+    /// byte of the row, ends just past its trailing newline).
+    pub fn unit_byte_span(&self, row: usize) -> Option<(usize, usize)> {
+        if row + 1 >= self.rows.len() {
+            return None;
+        }
+        Some((self.rows[row] as usize, self.rows[row + 1] as usize))
     }
 
     fn row_span(&self, row: usize) -> Result<(usize, usize)> {
@@ -164,23 +217,24 @@ impl CsvFile {
     fn locate_field(&self, row: usize, col: usize) -> Result<(usize, usize)> {
         let (row_start, row_end) = self.row_span(row)?;
 
-        // Find the nearest tracked column <= col with a known offset.
+        // Find the nearest tracked column <= col with a known offset. The
+        // exact-hit probe is the hot path: two relaxed atomic loads, no
+        // lock, no tree walk.
         let (mut cur_col, mut cur_off) = (0usize, row_start);
         if self.posmap_enabled {
-            let map = self.posmap.read();
-            for (&c, offsets) in map.range(..=col).rev() {
-                let off = offsets[row];
-                if off != UNKNOWN {
+            if let Some(off) = self.posmap.get(row, col) {
+                let off = off as usize;
+                self.stats.hit();
+                self.stats.add_bytes_skipped((off - row_start) as u64);
+                let end = self.field_end(off, row_end);
+                return Ok((off, end));
+            }
+            for c in (0..col).rev() {
+                if let Some(off) = self.posmap.get(row, c) {
                     cur_col = c;
                     cur_off = off as usize;
                     break;
                 }
-            }
-            if cur_col == col {
-                self.stats.hit();
-                self.stats.add_bytes_skipped((cur_off - row_start) as u64);
-                let end = self.field_end(cur_off, row_end);
-                return Ok((cur_off, end));
             }
             if cur_off != row_start {
                 self.stats.partial();
@@ -213,11 +267,7 @@ impl CsvFile {
         self.stats.add_bytes_parsed((off - cur_off) as u64);
 
         if self.posmap_enabled {
-            let mut map = self.posmap.write();
-            let entry = map
-                .entry(col)
-                .or_insert_with(|| vec![UNKNOWN; self.num_rows()]);
-            entry[row] = off as u32;
+            self.posmap.set(row, col, off as u32, self.num_rows());
         }
         let end = self.field_end(off, row_end);
         Ok((off, end))
@@ -293,12 +343,26 @@ impl CsvFile {
     pub fn scan_project(
         &self,
         cols: &[usize],
+        f: impl FnMut(usize, Vec<Value>) -> Result<()>,
+    ) -> Result<()> {
+        self.scan_project_range(cols, 0..self.num_rows(), f)
+    }
+
+    /// [`CsvFile::scan_project`] restricted to a contiguous row range — the
+    /// per-morsel scan of parallel execution. Ranges from
+    /// [`CsvFile::split_unit_ranges`] are newline-aligned byte spans, so
+    /// concurrent workers touch disjoint bytes and only share the (atomic)
+    /// positional map.
+    pub fn scan_project_range(
+        &self,
+        cols: &[usize],
+        rows: Range<usize>,
         mut f: impl FnMut(usize, Vec<Value>) -> Result<()>,
     ) -> Result<()> {
         let mut sorted = cols.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        for row in 0..self.num_rows() {
+        for row in rows {
             let vals = self.read_fields(row, &sorted)?;
             // Deliver in caller order.
             let reordered = cols
@@ -550,6 +614,62 @@ mod tests {
         .unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0], vec![Value::Float(0.5), Value::Int(1)]);
+    }
+
+    #[test]
+    fn unit_spans_are_newline_aligned() {
+        let f = sample();
+        let (s0, e0) = f.unit_byte_span(0).unwrap();
+        let (s1, _) = f.unit_byte_span(1).unwrap();
+        assert_eq!(e0, s1);
+        assert_eq!(f.data[e0 - 1], b'\n');
+        assert_eq!(&f.data[s0..s0 + 2], b"1,");
+        assert!(f.unit_byte_span(99).is_none());
+    }
+
+    #[test]
+    fn scan_project_range_matches_full_scan() {
+        let f = sample();
+        let mut full = Vec::new();
+        f.scan_project(&[1, 3], |r, v| {
+            full.push((r, v));
+            Ok(())
+        })
+        .unwrap();
+        let mut ranged = Vec::new();
+        for r in 0..f.num_rows() {
+            f.scan_project_range(&[1, 3], r..r + 1, |row, v| {
+                ranged.push((row, v));
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(full, ranged);
+    }
+
+    #[test]
+    fn posmap_is_shared_across_concurrent_scans() {
+        // Workers scanning disjoint row ranges populate one positional map
+        // without locks; afterwards every (row, col 3) read is an exact hit.
+        let f = std::sync::Arc::new(sample());
+        std::thread::scope(|s| {
+            for r in (0..f.num_rows()).map(|r| r..r + 1) {
+                let f = std::sync::Arc::clone(&f);
+                s.spawn(move || {
+                    f.scan_project_range(&[3], r, |_, _| Ok(())).unwrap();
+                });
+            }
+        });
+        let before = f.stats().snapshot();
+        for row in 0..f.num_rows() {
+            f.read_field(row, 3).unwrap();
+        }
+        let after = f.stats().snapshot();
+        assert_eq!(
+            after.posmap_hits - before.posmap_hits,
+            f.num_rows() as u64,
+            "every re-read should hit the concurrently-populated map"
+        );
     }
 
     #[test]

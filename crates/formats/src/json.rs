@@ -16,7 +16,9 @@
 
 use crate::stats::AccessStats;
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vida_types::sync::RwLock;
 use vida_types::{CollectionKind, Result, Schema, Value, VidaError};
@@ -27,15 +29,31 @@ pub struct JsonFile {
     data: Vec<u8>,
     /// Byte span (start, end-exclusive) of each top-level object.
     objects: Vec<(u32, u32)>,
-    /// field name -> per-object value spans (sentinel (MAX, MAX) = unknown).
-    semi_index: RwLock<BTreeMap<String, Vec<(u32, u32)>>>,
+    /// field name -> per-object value spans. Spans are packed `(start <<
+    /// 32) | end` atomics so populating a known field takes no lock: the
+    /// map's write lock is held only to create a field's span array, and
+    /// concurrent stores race benignly (a span is a pure function of the
+    /// bytes). Scan workers therefore share one semi-index without
+    /// serializing on it.
+    semi_index: RwLock<BTreeMap<String, Arc<[AtomicU64]>>>,
     semi_index_enabled: bool,
     schema: Schema,
     stats: Arc<AccessStats>,
     fingerprint: (u64, u64),
 }
 
-const NO_SPAN: (u32, u32) = (u32::MAX, u32::MAX);
+/// Packed "span unknown" sentinel.
+const NO_SPAN: u64 = u64::MAX;
+
+#[inline]
+fn pack_span(s: usize, e: usize) -> u64 {
+    ((s as u64) << 32) | e as u64
+}
+
+#[inline]
+fn unpack_span(packed: u64) -> Option<(usize, usize)> {
+    (packed != NO_SPAN).then_some(((packed >> 32) as usize, (packed & 0xFFFF_FFFF) as usize))
+}
 
 impl JsonFile {
     pub fn open(name: impl Into<String>, path: &Path, schema: Schema) -> Result<Self> {
@@ -113,6 +131,13 @@ impl JsonFile {
         }
     }
 
+    /// Byte span of object `row` including its trailing newline — the
+    /// record-aligned unit parallel scans split on.
+    pub fn unit_byte_span(&self, row: usize) -> Option<(usize, usize)> {
+        let &(s, e) = self.objects.get(row)?;
+        Some((s as usize, (e as usize + 1).min(self.data.len())))
+    }
+
     /// Byte span of object `row` (Figure 4 layout (d): carry positions, not
     /// objects).
     pub fn object_span(&self, row: usize) -> Result<(usize, usize)> {
@@ -149,12 +174,11 @@ impl JsonFile {
         if self.semi_index_enabled {
             let idx = self.semi_index.read();
             if let Some(spans) = idx.get(field) {
-                let (s, e) = spans[row];
-                if (s, e) != NO_SPAN {
+                if let Some((s, e)) = unpack_span(spans[row].load(Ordering::Relaxed)) {
                     self.stats.hit();
                     let (os, _) = self.object_span(row)?;
-                    self.stats.add_bytes_skipped((s as usize - os) as u64);
-                    return Ok(Some((s as usize, e as usize)));
+                    self.stats.add_bytes_skipped((s - os) as u64);
+                    return Ok(Some((s, e)));
                 }
             }
             drop(idx);
@@ -169,11 +193,22 @@ impl JsonFile {
         let abs = found.map(|(s, e)| (os + s, os + e));
         if self.semi_index_enabled {
             if let Some((s, e)) = abs {
-                let mut idx = self.semi_index.write();
-                let spans = idx
-                    .entry(field.to_string())
-                    .or_insert_with(|| vec![NO_SPAN; self.num_objects()]);
-                spans[row] = (s as u32, e as u32);
+                // Common case: the span array exists — store under the
+                // shared read lock. The write lock is only for the first
+                // sighting of a field name.
+                let idx = self.semi_index.read();
+                if let Some(spans) = idx.get(field) {
+                    spans[row].store(pack_span(s, e), Ordering::Relaxed);
+                } else {
+                    drop(idx);
+                    let mut idx = self.semi_index.write();
+                    let spans = idx.entry(field.to_string()).or_insert_with(|| {
+                        (0..self.num_objects())
+                            .map(|_| AtomicU64::new(NO_SPAN))
+                            .collect()
+                    });
+                    spans[row].store(pack_span(s, e), Ordering::Relaxed);
+                }
             }
         }
         Ok(abs)
@@ -202,9 +237,22 @@ impl JsonFile {
     pub fn scan_project(
         &self,
         fields: &[&str],
+        f: impl FnMut(usize, Vec<Value>) -> Result<()>,
+    ) -> Result<()> {
+        self.scan_project_range(fields, 0..self.num_objects(), f)
+    }
+
+    /// [`JsonFile::scan_project`] restricted to a contiguous object range —
+    /// the per-morsel scan of parallel execution. Ranges from
+    /// [`JsonFile::split_unit_ranges`] are record-aligned, so workers parse
+    /// disjoint bytes and share only the atomic semi-index.
+    pub fn scan_project_range(
+        &self,
+        fields: &[&str],
+        rows: Range<usize>,
         mut f: impl FnMut(usize, Vec<Value>) -> Result<()>,
     ) -> Result<()> {
-        for row in 0..self.num_objects() {
+        for row in rows {
             let vals = fields
                 .iter()
                 .map(|name| self.read_field(row, name))
@@ -595,6 +643,58 @@ mod tests {
         f.read_field(0, "volume").unwrap();
         assert_eq!(f.stats().snapshot().posmap_hits, 0);
         assert_eq!(f.semi_index_fields(), 0);
+    }
+
+    #[test]
+    fn unit_spans_are_record_aligned() {
+        let f = sample();
+        let (s, e) = f.unit_byte_span(0).unwrap();
+        assert_eq!(s, 0);
+        assert_eq!(f.data[e - 1], b'\n');
+        let (s1, _) = f.unit_byte_span(1).unwrap();
+        assert_eq!(s1, e);
+    }
+
+    #[test]
+    fn scan_project_range_matches_full_scan() {
+        let f = sample();
+        let mut full = Vec::new();
+        f.scan_project(&["id", "volume"], |r, v| {
+            full.push((r, v));
+            Ok(())
+        })
+        .unwrap();
+        let mut ranged = Vec::new();
+        for r in 0..f.num_objects() {
+            f.scan_project_range(&["id", "volume"], r..r + 1, |row, v| {
+                ranged.push((row, v));
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(full, ranged);
+    }
+
+    #[test]
+    fn semi_index_is_shared_across_concurrent_scans() {
+        let f = std::sync::Arc::new(sample());
+        std::thread::scope(|s| {
+            for r in (0..f.num_objects()).map(|r| r..r + 1) {
+                let f = std::sync::Arc::clone(&f);
+                s.spawn(move || {
+                    f.scan_project_range(&["volume"], r, |_, _| Ok(())).unwrap();
+                });
+            }
+        });
+        let before = f.stats().snapshot();
+        for row in 0..f.num_objects() {
+            f.read_field(row, "volume").unwrap();
+        }
+        let after = f.stats().snapshot();
+        assert_eq!(
+            after.posmap_hits - before.posmap_hits,
+            f.num_objects() as u64
+        );
     }
 
     #[test]

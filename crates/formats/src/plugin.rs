@@ -49,7 +49,20 @@ pub trait InputPlugin: Send + Sync {
         cols: &[usize],
         f: &mut dyn FnMut(usize, Vec<Value>) -> Result<()>,
     ) -> Result<()> {
-        for row in 0..self.num_units() {
+        self.scan_project_range(cols, 0..self.num_units(), f)
+    }
+
+    /// [`InputPlugin::scan_project`] restricted to a contiguous unit range
+    /// — one morsel of a parallel scan. Implementations must be safe to
+    /// call concurrently on disjoint ranges (the text plugins share only
+    /// their atomic positional structures).
+    fn scan_project_range(
+        &self,
+        cols: &[usize],
+        rows: std::ops::Range<usize>,
+        f: &mut dyn FnMut(usize, Vec<Value>) -> Result<()>,
+    ) -> Result<()> {
+        for row in rows {
             let mut vals = Vec::with_capacity(cols.len());
             for &c in cols {
                 vals.push(self.read_field(row, c)?);
@@ -57,6 +70,15 @@ pub trait InputPlugin: Send + Sync {
             f(row, vals)?;
         }
         Ok(())
+    }
+
+    /// Raw byte span of unit `row`, when the format can report one
+    /// (newline-aligned rows for CSV, record-aligned objects for JSON).
+    /// Morsel dispatchers use it to balance chunks by raw bytes; `None`
+    /// (the default) means "no meaningful byte spans" and dispatchers fall
+    /// back to unit-count grids.
+    fn unit_byte_span(&self, _row: usize) -> Option<(usize, usize)> {
+        None
     }
 
     /// Shared access-statistics counters.
@@ -116,6 +138,19 @@ impl InputPlugin for CsvPlugin {
         f: &mut dyn FnMut(usize, Vec<Value>) -> Result<()>,
     ) -> Result<()> {
         self.file.scan_project(cols, f)
+    }
+
+    fn scan_project_range(
+        &self,
+        cols: &[usize],
+        rows: std::ops::Range<usize>,
+        f: &mut dyn FnMut(usize, Vec<Value>) -> Result<()>,
+    ) -> Result<()> {
+        self.file.scan_project_range(cols, rows, f)
+    }
+
+    fn unit_byte_span(&self, row: usize) -> Option<(usize, usize)> {
+        self.file.unit_byte_span(row)
     }
 
     fn stats(&self) -> Arc<AccessStats> {
@@ -190,6 +225,27 @@ impl InputPlugin for JsonPlugin {
             VidaError::format(self.file.name(), format!("column {col} out of range"))
         })?;
         self.file.read_field(row, field)
+    }
+
+    fn scan_project_range(
+        &self,
+        cols: &[usize],
+        rows: std::ops::Range<usize>,
+        f: &mut dyn FnMut(usize, Vec<Value>) -> Result<()>,
+    ) -> Result<()> {
+        let fields = cols
+            .iter()
+            .map(|&c| {
+                self.columns.get(c).map(String::as_str).ok_or_else(|| {
+                    VidaError::format(self.file.name(), format!("column {c} out of range"))
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        self.file.scan_project_range(&fields, rows, f)
+    }
+
+    fn unit_byte_span(&self, row: usize) -> Option<(usize, usize)> {
+        self.file.unit_byte_span(row)
     }
 
     fn stats(&self) -> Arc<AccessStats> {
@@ -482,5 +538,39 @@ mod tests {
             got,
             vec![vec![Value::Float(10.0)], vec![Value::Float(20.0)]]
         );
+    }
+
+    #[test]
+    fn scan_project_range_restricts_rows() {
+        let p = csv_plugin();
+        let mut got = Vec::new();
+        p.scan_project_range(&[0], 1..2, &mut |row, vals| {
+            got.push((row, vals));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, vec![(1, vec![Value::Int(2)])]);
+        // JSON plugin maps columns to field names in its ranged scan too.
+        let data = b"{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n".to_vec();
+        let jp = JsonPlugin::new(
+            JsonFile::from_bytes("J", data, Schema::from_pairs([("a", Type::Int)])).unwrap(),
+        );
+        let mut j = Vec::new();
+        jp.scan_project_range(&[0], 0..2, &mut |row, vals| {
+            j.push((row, vals));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(j, vec![(0, vec![Value::Int(1)]), (1, vec![Value::Int(2)])]);
+    }
+
+    #[test]
+    fn byte_spans_exposed_for_text_formats() {
+        let p = csv_plugin();
+        assert!(p.unit_byte_span(0).is_some());
+        let schema = Schema::from_pairs([("id", Type::Int)]);
+        let recs = vec![Value::record([("id", Value::Int(1))])];
+        let mem = MemPlugin::from_records("M", schema, &recs).unwrap();
+        assert!(mem.unit_byte_span(0).is_none());
     }
 }

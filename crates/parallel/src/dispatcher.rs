@@ -1,0 +1,119 @@
+//! The morsel dispatcher: aligned splitting of raw inputs.
+//!
+//! Raw files have variable-width retrieval units (CSV rows, JSON objects),
+//! so splitting by row count alone can hand one worker all the wide rows.
+//! When a plugin can report unit byte spans, morsels are balanced by raw
+//! bytes instead — and because boundaries always fall between units, CSV
+//! morsels are newline-aligned byte ranges and JSON morsels are
+//! record-aligned spans. Plugins without byte spans (in-memory tables) fall
+//! back to a fixed unit grid.
+//!
+//! Either way the plan depends only on the data and the target sizes, never
+//! on the worker count — the determinism contract of [`MorselPlan`].
+
+use crate::morsel::{MorselPlan, DEFAULT_MORSEL_BYTES};
+use vida_formats::InputPlugin;
+
+/// Build the morsel plan for scanning `plugin`.
+///
+/// `morsel_units` overrides the fallback unit grid (0 = default); byte
+/// balancing uses [`DEFAULT_MORSEL_BYTES`] per morsel, and an explicit unit
+/// override wins when it asks for finer morsels than the byte target would
+/// produce (tests use tiny overrides to force multi-morsel coverage on
+/// small fixtures).
+pub fn plan_scan(plugin: &dyn InputPlugin, morsel_units: usize) -> MorselPlan {
+    let units = plugin.num_units();
+    if plugin.unit_byte_span(0).is_none() {
+        return MorselPlan::fixed(units, morsel_units);
+    }
+    let by_bytes = MorselPlan::byte_aligned(units, DEFAULT_MORSEL_BYTES, |i| {
+        plugin
+            .unit_byte_span(i)
+            .map(|(s, e)| e.saturating_sub(s))
+            .unwrap_or(1)
+    });
+    // Honor an explicit finer grid (diagnostics/tests); otherwise prefer the
+    // byte-balanced plan.
+    if morsel_units != 0 {
+        let fixed = MorselPlan::fixed(units, morsel_units);
+        if fixed.len() > by_bytes.len() {
+            return fixed;
+        }
+    }
+    by_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vida_formats::csv::CsvFile;
+    use vida_formats::json::JsonFile;
+    use vida_formats::plugin::{CsvPlugin, JsonPlugin, MemPlugin};
+    use vida_types::{Schema, Type, Value};
+
+    fn csv(rows: usize) -> CsvPlugin {
+        let mut data = String::from("id,pad\n");
+        for i in 0..rows {
+            data.push_str(&format!("{i},{}\n", "x".repeat(16)));
+        }
+        CsvPlugin::new(
+            CsvFile::from_bytes(
+                "T",
+                data.into_bytes(),
+                b',',
+                true,
+                Schema::from_pairs([("id", Type::Int), ("pad", Type::Str)]),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn csv_morsels_are_newline_aligned() {
+        let p = csv(50);
+        let plan = plan_scan(&p, 0);
+        assert_eq!(plan.units(), 50);
+        // Every morsel boundary is a unit boundary: byte spans of adjacent
+        // units in different morsels do not overlap.
+        let covered: usize = plan.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 50);
+        for r in plan.iter().filter(|r| r.start > 0) {
+            let (start, _) = p.unit_byte_span(r.start).unwrap();
+            let (_, prev_end) = p.unit_byte_span(r.start - 1).unwrap();
+            // The previous row's span (incl. its newline) ends exactly where
+            // this morsel's first row begins.
+            assert_eq!(start, prev_end);
+        }
+    }
+
+    #[test]
+    fn json_morsels_are_record_aligned() {
+        let mut data = String::new();
+        for i in 0..40 {
+            data.push_str(&format!("{{\"id\":{i},\"blob\":\"{}\"}}\n", "y".repeat(32)));
+        }
+        let p = JsonPlugin::new(
+            JsonFile::from_bytes(
+                "J",
+                data.into_bytes(),
+                Schema::from_pairs([("id", Type::Int)]),
+            )
+            .unwrap(),
+        );
+        let plan = plan_scan(&p, 8);
+        let covered: usize = plan.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 40);
+        assert!(plan.len() >= 5, "unit override should force fine morsels");
+    }
+
+    #[test]
+    fn mem_plugin_falls_back_to_fixed_grid() {
+        let rows: Vec<Value> = (0..10)
+            .map(|i| Value::record([("x", Value::Int(i))]))
+            .collect();
+        let p =
+            MemPlugin::from_records("M", Schema::from_pairs([("x", Type::Int)]), &rows).unwrap();
+        let plan = plan_scan(&p, 4);
+        assert_eq!(plan.len(), 3); // 4 + 4 + 2
+    }
+}

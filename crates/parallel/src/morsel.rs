@@ -1,0 +1,142 @@
+//! The morsel grid: contiguous unit ranges with data-dependent boundaries.
+//!
+//! Determinism contract: a plan is a pure function of the input (unit count
+//! or unit byte sizes) and the target morsel size — the worker count never
+//! influences boundaries. Per-morsel partial results therefore form the same
+//! sequence at every thread count, and merging them in morsel order gives
+//! one canonical result.
+
+use std::ops::Range;
+
+/// Default number of units per morsel for unit-count-based plans.
+pub const DEFAULT_MORSEL_UNITS: usize = 4096;
+
+/// Default target raw-byte size per morsel for byte-aligned plans (64 KiB —
+/// small enough to load-balance skewed files, large enough to amortize the
+/// per-morsel claim).
+pub const DEFAULT_MORSEL_BYTES: usize = 64 << 10;
+
+/// An ordered set of disjoint unit ranges covering `0..units`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MorselPlan {
+    ranges: Vec<Range<usize>>,
+    units: usize,
+}
+
+impl MorselPlan {
+    /// Fixed grid: morsels of `morsel_units` rows each (last one ragged).
+    /// `morsel_units = 0` falls back to [`DEFAULT_MORSEL_UNITS`].
+    pub fn fixed(units: usize, morsel_units: usize) -> Self {
+        let step = if morsel_units == 0 {
+            DEFAULT_MORSEL_UNITS
+        } else {
+            morsel_units
+        };
+        let ranges = (0..units)
+            .step_by(step)
+            .map(|start| start..(start + step).min(units))
+            .collect();
+        MorselPlan { ranges, units }
+    }
+
+    /// Byte-balanced grid: greedily accumulate units until a morsel reaches
+    /// `target_bytes` of raw data. Boundaries always fall on unit
+    /// boundaries, so CSV morsels are newline-aligned and JSON morsels are
+    /// record-aligned by construction. `unit_bytes(i)` reports the raw size
+    /// of unit `i`.
+    pub fn byte_aligned(
+        units: usize,
+        target_bytes: usize,
+        unit_bytes: impl Fn(usize) -> usize,
+    ) -> Self {
+        let target = target_bytes.max(1);
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for i in 0..units {
+            acc += unit_bytes(i);
+            if acc >= target {
+                ranges.push(start..i + 1);
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        if start < units {
+            ranges.push(start..units);
+        }
+        MorselPlan { ranges, units }
+    }
+
+    /// Total units covered by the plan.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Number of morsels.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Unit range of morsel `i`.
+    pub fn range(&self, i: usize) -> Range<usize> {
+        self.ranges[i].clone()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        self.ranges.iter().cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_grid_covers_all_units_in_order() {
+        let p = MorselPlan::fixed(10, 3);
+        let ranges: Vec<_> = p.iter().collect();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..9, 9..10]);
+        assert_eq!(p.units(), 10);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn fixed_grid_is_independent_of_anything_but_inputs() {
+        assert_eq!(MorselPlan::fixed(100, 7), MorselPlan::fixed(100, 7));
+    }
+
+    #[test]
+    fn zero_units_is_empty() {
+        assert!(MorselPlan::fixed(0, 8).is_empty());
+        assert!(MorselPlan::byte_aligned(0, 64, |_| 1).is_empty());
+    }
+
+    #[test]
+    fn zero_morsel_units_uses_default() {
+        let p = MorselPlan::fixed(DEFAULT_MORSEL_UNITS + 1, 0);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn byte_aligned_cuts_on_unit_boundaries() {
+        // Units of 10 bytes each, target 25 → morsels of 3 units (30 bytes).
+        let p = MorselPlan::byte_aligned(8, 25, |_| 10);
+        let ranges: Vec<_> = p.iter().collect();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..8]);
+    }
+
+    #[test]
+    fn byte_aligned_handles_skewed_units() {
+        // One huge unit forms its own morsel.
+        let sizes = [5usize, 500, 5, 5, 5];
+        let p = MorselPlan::byte_aligned(5, 100, |i| sizes[i]);
+        let ranges: Vec<_> = p.iter().collect();
+        assert_eq!(ranges[0], 0..2); // 5 + 500 crosses the target
+        let covered: usize = p.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 5);
+    }
+}

@@ -1,0 +1,83 @@
+//! Radix partitioning for parallel hash joins.
+//!
+//! Build tuples are split by a few high bits of a mixed key hash into
+//! independent partitions; each partition gets its own hash table built by
+//! one worker, and probe tuples consult exactly one partition. Partition
+//! assignment is a pure function of the key bits, so the partitioned join
+//! visits exactly the same candidate pairs as the single-table join.
+
+/// Number of partition bits (16 partitions): enough to spread work across
+/// typical core counts without fragmenting small build sides.
+pub const RADIX_BITS: u32 = 4;
+
+/// Build sides smaller than this stay in a single partition — partitioning
+/// overhead would dominate.
+const MIN_PARTITIONED_BUILD: usize = 1024;
+
+/// Number of partitions to use for a build side of `build_tuples` tuples.
+pub fn partition_count(build_tuples: usize) -> usize {
+    if build_tuples < MIN_PARTITIONED_BUILD {
+        1
+    } else {
+        1 << RADIX_BITS
+    }
+}
+
+/// Partition of a join key. `partitions` must be a power of two.
+///
+/// Key bits are mixed with a Fibonacci multiplier first: raw keys are often
+/// sequential ids (or float bit patterns with constant exponents), and
+/// taking their top bits directly would put everything in one partition.
+pub fn partition_of(key_bits: i64, partitions: usize) -> usize {
+    debug_assert!(partitions.is_power_of_two());
+    if partitions == 1 {
+        return 0;
+    }
+    let mixed = (key_bits as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (mixed >> (64 - partitions.trailing_zeros())) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_builds_stay_single_partition() {
+        assert_eq!(partition_count(0), 1);
+        assert_eq!(partition_count(1023), 1);
+        assert_eq!(partition_count(1024), 16);
+    }
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        for key in [-5i64, 0, 1, 2, 1000, i64::MAX, i64::MIN] {
+            let p = partition_of(key, 16);
+            assert!(p < 16);
+            assert_eq!(p, partition_of(key, 16));
+        }
+        assert_eq!(partition_of(123, 1), 0);
+    }
+
+    #[test]
+    fn sequential_keys_spread_across_partitions() {
+        let mut seen = [false; 16];
+        for key in 0..256i64 {
+            seen[partition_of(key, 16)] = true;
+        }
+        assert!(
+            seen.iter().filter(|s| **s).count() >= 12,
+            "sequential ids should hit most partitions: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn float_bit_keys_spread_across_partitions() {
+        // Float keys near 1.0 share exponent bits; mixing must still spread.
+        let mut seen = [false; 16];
+        for i in 0..256 {
+            let bits = (1.0 + i as f64 / 256.0).to_bits() as i64;
+            seen[partition_of(bits, 16)] = true;
+        }
+        assert!(seen.iter().filter(|s| **s).count() >= 8, "{seen:?}");
+    }
+}

@@ -267,6 +267,28 @@ impl Monoid {
         }
         self.finalize(acc)
     }
+
+    /// Merge per-partition accumulators **in the order given** (no
+    /// `finalize`).
+    ///
+    /// This is the deterministic reduction step of parallel folds: each
+    /// worker folds its morsels into partial accumulators, and the partials
+    /// merge here in morsel order — so non-commutative monoids (`list`) see
+    /// exactly the sequential element order, and any worker count produces
+    /// the same merge tree. The first partial seeds the accumulator (rather
+    /// than `zero`), so a single-partial merge is bit-identical to that
+    /// partial — including float payloads.
+    pub fn merge_partials<I: IntoIterator<Item = Value>>(&self, partials: I) -> Result<Value> {
+        let mut iter = partials.into_iter();
+        let mut acc = match iter.next() {
+            Some(first) => first,
+            None => return Ok(self.zero()),
+        };
+        for p in iter {
+            acc = self.merge(acc, p)?;
+        }
+        Ok(acc)
+    }
 }
 
 impl fmt::Display for Monoid {
@@ -468,6 +490,70 @@ mod tests {
                 .fold(vec![])
                 .unwrap(),
             Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn merge_partials_matches_sequential_fold() {
+        // Partition the same elements two different ways; the ordered merge
+        // of partial accumulators must agree with the one-pass fold.
+        let xs: Vec<Value> = (1..=10).map(Value::Int).collect();
+        for m in all_monoids() {
+            let xs = match m {
+                Monoid::Primitive(PrimitiveMonoid::All)
+                | Monoid::Primitive(PrimitiveMonoid::Any) => {
+                    vec![Value::Bool(true); 10]
+                }
+                _ => xs.clone(),
+            };
+            let sequential = m.fold(xs.clone()).unwrap();
+            for chunk in [1usize, 3, 10] {
+                let partials: Vec<Value> = xs
+                    .chunks(chunk)
+                    .map(|c| {
+                        let mut acc = m.zero();
+                        for x in c {
+                            acc = m.merge(acc, m.unit(x.clone())).unwrap();
+                        }
+                        acc
+                    })
+                    .collect();
+                let merged = m.finalize(m.merge_partials(partials).unwrap()).unwrap();
+                assert!(
+                    merged.sem_eq(&sequential),
+                    "{m}: chunk {chunk} deviates ({merged} vs {sequential})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_partials_of_nothing_is_zero() {
+        let sum = Monoid::Primitive(PrimitiveMonoid::Sum);
+        assert_eq!(sum.merge_partials(vec![]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn merge_partials_single_is_identity() {
+        // Bit-identical pass-through, no zero merge.
+        let sum = Monoid::Primitive(PrimitiveMonoid::Sum);
+        let v = Value::Float(-0.0);
+        let out = sum.merge_partials(vec![v]).unwrap();
+        match out {
+            Value::Float(f) => assert!(f.is_sign_negative(), "zero merge would lose -0.0"),
+            other => panic!("expected float, got {other}"),
+        }
+    }
+
+    #[test]
+    fn merge_partials_preserves_list_order() {
+        let list = Monoid::Collection(CollectionKind::List);
+        let p1 = list.fold(vec![Value::Int(3), Value::Int(1)]).unwrap();
+        let p2 = list.fold(vec![Value::Int(2)]).unwrap();
+        let out = list.merge_partials(vec![p1, p2]).unwrap();
+        assert_eq!(
+            out.elements().unwrap(),
+            &[Value::Int(3), Value::Int(1), Value::Int(2)]
         );
     }
 

@@ -64,6 +64,41 @@ impl<T> RwLock<T> {
     }
 }
 
+/// Pads (and aligns) a value to a cache line.
+///
+/// Hot shared atomics — the morsel claim cursor, per-worker counters living
+/// in one array — must not share a cache line with neighboring data, or
+/// every update ping-pongs the line between cores ("false sharing"). 64
+/// bytes covers x86-64 and the common AArch64 parts; oversized lines (some
+/// Apple cores prefetch pairs) only cost a little memory here.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    pub fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +121,17 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn cache_padded_is_line_aligned_and_transparent() {
+        let p = CachePadded::new(7u8);
+        assert_eq!(*p, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 64);
+        assert_eq!(p.into_inner(), 7);
+        let mut m = CachePadded::new(vec![1]);
+        m.push(2);
+        assert_eq!(m.len(), 2);
     }
 
     #[test]

@@ -80,6 +80,10 @@ pub enum Template {
     JoinSum,
     /// Existential check over genetics.
     GeneticsAny,
+    /// Full-table scan + fold (no selective filter): the shape whose cost is
+    /// dominated by raw parsing, and therefore the one that scales with
+    /// morsel-driven workers.
+    ScanFold,
 }
 
 /// One generated query: its comprehension text and template.
@@ -118,6 +122,44 @@ pub fn generate(config: &WorkloadConfig) -> Vec<QuerySpec> {
                 _ => (
                     Template::GeneticsAny,
                     format!("for {{ g <- Genetics, g.id < {key} }} yield any g.snp > 0.5"),
+                ),
+            };
+            QuerySpec { text, template }
+        })
+        .collect()
+}
+
+/// Generate a scan-heavy mix for parallel-scaling experiments: full-table
+/// folds and equi-joins with mild filters, so nearly every query touches
+/// every unit of the raw files. Deterministic in the seed, like
+/// [`generate`].
+pub fn generate_scan_heavy(config: &WorkloadConfig) -> Vec<QuerySpec> {
+    let mut rng = Rng::new(config.seed);
+    (0..config.queries)
+        .map(|_| {
+            let (template, text) = match rng.below(4) {
+                0 => (
+                    Template::ScanFold,
+                    "for { p <- Patients } yield sum p.age".to_string(),
+                ),
+                1 => (
+                    Template::ScanFold,
+                    "for { g <- Genetics } yield avg g.snp".to_string(),
+                ),
+                2 => (
+                    Template::ScanFold,
+                    format!(
+                        "for {{ p <- Patients, p.age > {} }} yield count p",
+                        20 + rng.below(30)
+                    ),
+                ),
+                _ => (
+                    Template::JoinSum,
+                    format!(
+                        "for {{ p <- Patients, g <- Genetics, p.id = g.id, \
+                         p.age > {} }} yield sum g.snp",
+                        20 + rng.below(30)
+                    ),
                 ),
             };
             QuerySpec { text, template }
@@ -166,6 +208,22 @@ mod tests {
             queries: 200,
             ..Default::default()
         }) {
+            parse(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.text));
+        }
+    }
+
+    #[test]
+    fn scan_heavy_mix_parses_and_is_deterministic() {
+        let c = WorkloadConfig {
+            queries: 50,
+            ..Default::default()
+        };
+        let a = generate_scan_heavy(&c);
+        let b = generate_scan_heavy(&c);
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.text == y.text));
+        assert!(a.iter().any(|q| q.template == Template::ScanFold));
+        for q in &a {
             parse(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.text));
         }
     }
