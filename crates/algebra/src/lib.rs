@@ -20,7 +20,7 @@
 //!   operator's behavior also changes depending on the type of collection to
 //!   be returned" (§4) — dedup for `set`, order-preservation for `list`.
 //!
-//! [`lower`] translates a normalized comprehension into a plan; [`rewrite`]
+//! [`lower()`] translates a normalized comprehension into a plan; [`rewrite()`]
 //! applies algebra-level rules (selection pushdown, select-merging);
 //! [`interp`] is a naive tuple-at-a-time evaluator used as the semantic
 //! oracle — the production engines live in `vida-exec`.

@@ -1,9 +1,16 @@
 //! Cache layout trade-offs (ViDa Figure 4): materialization cost and
 //! per-row rehydration cost of the parsed-values, text, and binary-JSON
-//! replica layouts.
+//! replica layouts — plus the end-to-end warm-cache hit path through the
+//! JIT engine for each storable replica layout (`Values` vs `BinaryJson`
+//! vs `Positions`), including the pre-cost-model baseline.
 
-use vida_bench::case;
-use vida_cache::{CachedData, Layout};
+use std::sync::Arc;
+use vida_bench::{case, fixtures};
+use vida_cache::{CacheKey, CacheManager, CachedData, Layout};
+use vida_exec::{run_jit, JitOptions, MemoryCatalog};
+use vida_formats::csv::CsvFile;
+use vida_formats::plugin::CsvPlugin;
+use vida_formats::InputPlugin;
 use vida_types::Value;
 
 fn rows(n: usize) -> Vec<Value> {
@@ -50,4 +57,93 @@ fn main() {
         binary.approx_bytes(),
         CachedData::Positions(vec![(0, 64); 2_000]).approx_bytes()
     );
+
+    warm_cache_hit_paths();
+}
+
+/// Warm-cache query time when every touched column is served by a replica
+/// in one forced layout — the §5 acceptance comparison. The "legacy" case
+/// is the pre-cost-model engine (cache without a model, `Values` replicas):
+/// the `values` case must not be slower than it, since the default layout
+/// choice for hot scalar columns remains `Values`.
+fn warm_cache_hit_paths() {
+    const ROWS: usize = 20_000;
+    let query = "for { p <- Patients, p.age > 40 } yield count p.city";
+    let plan = vida_algebra::rewrite(
+        &vida_algebra::lower(&vida_lang::parse(query).expect("parses")).expect("lowers"),
+    );
+
+    let fresh_catalog = || {
+        let cat = MemoryCatalog::new();
+        let csv = CsvFile::from_bytes(
+            "Patients",
+            fixtures::patients_csv(ROWS, 7),
+            b',',
+            true,
+            fixtures::patients_schema(),
+        )
+        .expect("fixture parses");
+        let plugin = Arc::new(CsvPlugin::new(csv));
+        cat.register(Arc::clone(&plugin) as Arc<dyn InputPlugin>);
+        (cat, plugin)
+    };
+
+    // Legacy baseline: cache, no cost model (always-Values replicas).
+    {
+        let (cat, _) = fresh_catalog();
+        let cache = Arc::new(CacheManager::new(64 << 20));
+        let opts = JitOptions::with_cache(Arc::clone(&cache));
+        run_jit(&plan, &cat, &opts).expect("cold run"); // populate
+        case("warm 20k-row query, legacy values", 5, 3, || {
+            run_jit(&plan, &cat, &opts).expect("warm run");
+        });
+    }
+
+    // Forced layouts through the cost-model engine.
+    for layout in [Layout::Values, Layout::BinaryJson, Layout::Positions] {
+        let (cat, plugin) = fresh_catalog();
+        let cache = Arc::new(CacheManager::new(64 << 20));
+        let schema = plugin.schema().clone();
+        for (col, field) in schema.fields().iter().enumerate() {
+            let replica = match layout {
+                Layout::Positions => CachedData::Positions(
+                    (0..ROWS)
+                        .map(|row| {
+                            plugin
+                                .field_byte_span(row, col)
+                                .expect("span lookup")
+                                .expect("csv reports spans")
+                        })
+                        .collect(),
+                ),
+                layout => {
+                    let mut vals = Vec::with_capacity(ROWS);
+                    plugin
+                        .scan_project(&[col], &mut |_, mut v| {
+                            vals.push(v.pop().expect("one value"));
+                            Ok(())
+                        })
+                        .expect("scan");
+                    CachedData::from_values(&vals, layout).expect("converts")
+                }
+            };
+            cache.put(
+                CacheKey::new("Patients", field.name.clone(), layout),
+                replica,
+                plugin.fingerprint(),
+            );
+        }
+        // No model: the seeded replicas stay exactly as seeded (a model
+        // would re-shape them between iterations), and the engine's
+        // default probe order serves whichever layout exists.
+        let opts = JitOptions::with_cache(Arc::clone(&cache));
+        case(
+            &format!("warm 20k-row query, {} replicas", layout.name()),
+            5,
+            3,
+            || {
+                run_jit(&plan, &cat, &opts).expect("warm run");
+            },
+        );
+    }
 }

@@ -46,7 +46,14 @@ fn plan(q: &str) -> vida_algebra::Plan {
 fn sweep(name: &str, cat: &MemoryCatalog, plans: &[vida_algebra::Plan]) {
     let mut base = None;
     for threads in THREADS {
-        let opts = JitOptions::with_threads(threads);
+        // The sweep measures scheduling itself, so opt out of the
+        // available-parallelism clamp: oversubscribed counts must really run
+        // that many workers even on small machines.
+        let opts = JitOptions {
+            threads,
+            clamp_threads: false,
+            ..Default::default()
+        };
         let d = case(&format!("{name}, {threads} worker(s)"), 3, 1, || {
             for p in plans {
                 run_jit(p, cat, &opts).expect("runs");

@@ -3,8 +3,8 @@
 //! The measurement drivers land incrementally; today the binary documents
 //! the available figures and runs a smoke-level demonstration of the
 //! cache-locality experiment so the wiring (workload generator → SQL/
-//! comprehension front-end → JIT pipelines → cache stats) is exercised end
-//! to end.
+//! comprehension front-end → JIT pipelines → cost model → cache stats) is
+//! exercised end to end.
 
 use std::sync::Arc;
 use vida_bench::fixtures;
@@ -13,56 +13,126 @@ use vida_exec::{run_jit_with_stats, JitOptions, MemoryCatalog};
 use vida_formats::csv::CsvFile;
 use vida_formats::json::JsonFile;
 use vida_formats::plugin::{CsvPlugin, JsonPlugin};
-use vida_workload::{generate, WorkloadConfig};
+use vida_optimizer::CostModel;
+use vida_workload::{generate, generate_scan_heavy, WorkloadConfig};
 
 const USAGE: &str = "\
 reproduce — replay the ViDa (CIDR'15) experiments
 
 USAGE:
-    reproduce <figure> [--threads N]
+    reproduce <figure> [OPTIONS]
 
 FIGURES:
     cache-locality    HBP-style query mix over raw CSV/JSON; reports the
                       share of queries served entirely from column caches
-                      (the paper reports ~80% for the HBP workload)
+                      (the paper reports ~80% for the HBP workload) and the
+                      replica layouts the cost model picked
     figure5           (planned) response times across raw formats
     jit-vs-interp     (planned) generated pipelines vs static operators;
                       see `cargo bench` for the current microbenchmarks
 
 OPTIONS:
     --threads N       morsel-driven worker threads for query execution
-                      (default 1 = serial; see `cargo bench` parallel_scale
-                      for the thread-sweep microbenchmark)
+                      (default 1 = serial; clamped to the machine's
+                      available parallelism; see `cargo bench
+                      parallel_scale` for the thread-sweep microbenchmark)
+    --queries N       number of workload queries to generate (default 200)
+    --mix MIX         workload mix: 'hbp' (selections, joins, and
+                      aggregates with the paper's locality skew; default)
+                      or 'scan-heavy' (full-column scans and folds)
+    --locality F      fraction of selections drawn from the hot key range,
+                      0.0..=1.0 (default 0.8 — the regime in which the
+                      paper reports ~80% of queries served from caches)
+    --budget-mb N     cache budget in MiB (default 8); smaller budgets push
+                      the cost model toward compact replica layouts
+    --no-cost-model   disable cost-model layout selection (every replica is
+                      cached as parsed values, the pre-model behaviour)
 
 Run with no arguments to print this message.";
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut figure = None;
-    let mut threads = 1usize;
-    let mut iter = args.iter();
+struct Args {
+    figure: Option<String>,
+    threads: usize,
+    queries: usize,
+    mix: String,
+    locality: f64,
+    budget_mb: usize,
+    cost_model: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        figure: None,
+        threads: 1,
+        queries: 200,
+        mix: "hbp".to_string(),
+        locality: 0.8,
+        budget_mb: 8,
+        cost_model: true,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = argv.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
-            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => threads = n,
-                _ => {
-                    eprintln!("--threads expects a positive integer\n\n{USAGE}");
-                    std::process::exit(2);
+            "--threads" => {
+                args.threads = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--threads expects a positive integer")?;
+            }
+            "--queries" => {
+                args.queries = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--queries expects a positive integer")?;
+            }
+            "--mix" => {
+                let m = iter.next().ok_or("--mix expects 'hbp' or 'scan-heavy'")?;
+                if m != "hbp" && m != "scan-heavy" {
+                    return Err(format!("unknown mix '{m}' (use 'hbp' or 'scan-heavy')"));
                 }
-            },
+                args.mix = m.clone();
+            }
+            "--locality" => {
+                args.locality = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .ok_or("--locality expects a float in 0.0..=1.0")?;
+            }
+            "--budget-mb" => {
+                args.budget_mb = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--budget-mb expects a positive integer")?;
+            }
+            "--no-cost-model" => args.cost_model = false,
             "-h" | "--help" => {
                 println!("{USAGE}");
-                return;
+                std::process::exit(0);
             }
-            other if figure.is_none() => figure = Some(other.to_string()),
-            other => {
-                eprintln!("unexpected argument '{other}'\n\n{USAGE}");
-                std::process::exit(2);
+            other if args.figure.is_none() && !other.starts_with('-') => {
+                args.figure = Some(other.to_string());
             }
+            other => return Err(format!("unexpected argument '{other}'")),
         }
     }
-    match figure.as_deref() {
-        Some("cache-locality") => cache_locality(threads),
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match args.figure.as_deref() {
+        Some("cache-locality") => cache_locality(&args),
         Some(other) => {
             eprintln!("unknown figure '{other}'\n\n{USAGE}");
             std::process::exit(2);
@@ -71,7 +141,7 @@ fn main() {
     }
 }
 
-fn cache_locality(threads: usize) {
+fn cache_locality(args: &Args) {
     let catalog = MemoryCatalog::new();
     let patients = CsvFile::from_bytes(
         "Patients",
@@ -90,16 +160,23 @@ fn cache_locality(threads: usize) {
     .expect("fixture parses");
     catalog.register(Arc::new(JsonPlugin::new(genetics)));
 
-    let cache = Arc::new(CacheManager::new(8 << 20));
+    let cache = Arc::new(CacheManager::new(args.budget_mb << 20));
+    let model = args.cost_model.then(|| Arc::new(CostModel::new()));
     let opts = JitOptions {
         cache: Some(Arc::clone(&cache)),
-        threads,
+        cost_model: model.clone(),
+        threads: args.threads,
         ..Default::default()
     };
-    let queries = generate(&WorkloadConfig {
-        queries: 200,
+    let config = WorkloadConfig {
+        queries: args.queries,
+        locality: args.locality,
         ..Default::default()
-    });
+    };
+    let queries = match args.mix.as_str() {
+        "scan-heavy" => generate_scan_heavy(&config),
+        _ => generate(&config),
+    };
 
     let mut cached = 0usize;
     let mut total = 0usize;
@@ -123,11 +200,38 @@ fn cache_locality(threads: usize) {
         }
     }
     let pct = 100.0 * cached as f64 / total.max(1) as f64;
-    println!("worker threads:          {threads}");
-    println!("queries executed:        {total}");
+    println!(
+        "workload mix:            {} ({} queries, locality {:.2})",
+        args.mix, total, args.locality
+    );
+    println!(
+        "worker threads:          {} (effective {})",
+        args.threads,
+        opts.effective_threads()
+    );
+    println!(
+        "cache budget:            {} MiB (used {} KiB)",
+        args.budget_mb,
+        cache.used_bytes() >> 10
+    );
     println!("served fully from cache: {cached} ({pct:.1}%)");
     println!(
         "cache hit rate:          {:.1}%",
         cache.stats().hit_rate() * 100.0
     );
+    match &model {
+        Some(m) => {
+            let layouts: Vec<String> = cache
+                .layout_counts()
+                .iter()
+                .map(|(l, n)| format!("{}={n}", l.name()))
+                .collect();
+            println!(
+                "cost model:              on ({} fields tracked)",
+                m.fields_tracked()
+            );
+            println!("replica layouts:         {}", layouts.join(" "));
+        }
+        None => println!("cost model:              off (all replicas parsed values)"),
+    }
 }

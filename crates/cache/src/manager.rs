@@ -64,7 +64,18 @@ struct Entry {
     bytes: usize,
     /// LRU stamp; atomic so lookups bump it under the shared read lock.
     last_used: AtomicU64,
+    /// Eviction slack in LRU ticks: replicas that are expensive to rebuild
+    /// survive as if they had been touched `rebuild_bonus` ticks more
+    /// recently (GreedyDual-style; 0 = pure LRU).
+    rebuild_bonus: f64,
     fingerprint: (u64, u64),
+}
+
+impl Entry {
+    /// Eviction priority: the lowest goes first.
+    fn priority(&self) -> f64 {
+        self.last_used.load(Ordering::Relaxed) as f64 + self.rebuild_bonus
+    }
 }
 
 #[derive(Default)]
@@ -77,6 +88,37 @@ struct AtomicStats {
 }
 
 /// Budgeted cache of raw-data column replicas.
+///
+/// # Example
+///
+/// Replicas of the same field coexist in several layouts; `get_any` probes
+/// them in the caller's preference order (the optimizer's cost model
+/// supplies that order in the engine):
+///
+/// ```
+/// use vida_cache::{CacheKey, CacheManager, CachedData, Layout};
+/// use vida_types::Value;
+///
+/// let cache = CacheManager::new(1 << 20); // 1 MiB budget
+/// let fingerprint = (42, 0); // (file length, mtime)
+/// cache.put(
+///     CacheKey::new("Patients", "age", Layout::Values),
+///     CachedData::Values(vec![Value::Int(71), Value::Int(34)]),
+///     fingerprint,
+/// );
+/// cache.put(
+///     CacheKey::new("Patients", "age", Layout::Positions),
+///     CachedData::Positions(vec![(12, 14), (20, 22)]),
+///     fingerprint,
+/// );
+/// let (layout, data) = cache
+///     .get_any("Patients", "age", &[Layout::Values, Layout::Positions])
+///     .unwrap();
+/// assert_eq!(layout, Layout::Values);
+/// assert_eq!(data.get(0).unwrap(), Value::Int(71));
+/// // The raw file changed: every replica of the dataset is dropped.
+/// assert_eq!(cache.invalidate_stale("Patients", (43, 0)), 2);
+/// ```
 pub struct CacheManager {
     budget_bytes: usize,
     entries: RwLock<HashMap<CacheKey, Entry>>,
@@ -167,10 +209,29 @@ impl CacheManager {
         None
     }
 
-    /// Insert (or replace) an entry, evicting LRU entries to stay within
-    /// budget. Entries larger than the whole budget are refused (returns
-    /// false) — caching them would evict everything for a single query.
+    /// Insert (or replace) an entry, evicting entries to stay within budget.
+    /// Entries larger than the whole budget are refused (returns false) —
+    /// caching them would evict everything for a single query.
+    ///
+    /// Eviction is LRU; see [`CacheManager::put_with_cost`] for the
+    /// rebuild-cost-weighted variant.
     pub fn put(&self, key: CacheKey, data: CachedData, fingerprint: (u64, u64)) -> bool {
+        self.put_with_cost(key, data, fingerprint, 0.0)
+    }
+
+    /// [`CacheManager::put`] with an explicit **rebuild cost** expressed in
+    /// LRU clock ticks: when eviction runs, the victim is the entry with the
+    /// lowest `last_used + rebuild_cost`, so replicas that would be
+    /// expensive to recreate (a fresh raw-file parse plus the layout build)
+    /// outlive equally-recent cheap ones. A cost of `0.0` is pure LRU; the
+    /// optimizer's `CostModel::eviction_bonus` supplies bounded costs.
+    pub fn put_with_cost(
+        &self,
+        key: CacheKey,
+        data: CachedData,
+        fingerprint: (u64, u64),
+        rebuild_cost: f64,
+    ) -> bool {
         let bytes = data.approx_bytes();
         if bytes > self.budget_bytes {
             return false;
@@ -180,11 +241,15 @@ impl CacheManager {
         if let Some(old) = entries.remove(&key) {
             self.used_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
         }
-        // Evict least-recently-used until the new entry fits.
+        // Evict lowest-priority entries until the new entry fits.
         while self.used_bytes.load(Ordering::Relaxed) + bytes > self.budget_bytes {
             let victim = entries
                 .iter()
-                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .min_by(|(_, a), (_, b)| {
+                    a.priority()
+                        .partial_cmp(&b.priority())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .map(|(k, _)| k.clone());
             match victim {
                 Some(k) => {
@@ -203,10 +268,29 @@ impl CacheManager {
                 data: Arc::new(data),
                 bytes,
                 last_used: AtomicU64::new(clock),
+                rebuild_bonus: rebuild_cost.max(0.0),
                 fingerprint,
             },
         );
         true
+    }
+
+    /// Whether an entry exists, without touching LRU stamps or counters.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entries.read().contains_key(key)
+    }
+
+    /// Drop one entry (the optimizer re-shaping a replica supersedes the old
+    /// layout). Returns whether it existed.
+    pub fn remove(&self, key: &CacheKey) -> bool {
+        let mut entries = self.entries.write();
+        match entries.remove(key) {
+            Some(e) => {
+                self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Drop all entries of a dataset whose fingerprint differs from
@@ -264,6 +348,23 @@ impl CacheManager {
         let mut entries = self.entries.write();
         entries.clear();
         self.used_bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// How many replicas exist per layout, across all datasets (sorted by
+    /// layout name; layouts with zero replicas are omitted). The
+    /// `reproduce` driver reports this to show which layouts the cost model
+    /// actually picked.
+    pub fn layout_counts(&self) -> Vec<(Layout, usize)> {
+        let entries = self.entries.read();
+        let mut counts: Vec<(Layout, usize)> = Vec::new();
+        for k in entries.keys() {
+            match counts.iter_mut().find(|(l, _)| *l == k.layout) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((k.layout, 1)),
+            }
+        }
+        counts.sort_by_key(|(l, _)| l.name());
+        counts
     }
 
     /// Which fields of a dataset are cached (any layout)?
@@ -399,6 +500,89 @@ mod tests {
         m.clear();
         assert!(m.is_empty());
         assert_eq!(m.used_bytes(), 0);
+    }
+
+    #[test]
+    fn rebuild_cost_outweighs_recency_in_eviction() {
+        // Budget fits two columns. "cheap" is the more recently used entry,
+        // but "dear" carries a large rebuild bonus: eviction must pick
+        // "cheap" even though pure LRU would keep it.
+        let one = col(100).approx_bytes();
+        let m = CacheManager::new(one * 2 + 10);
+        m.put_with_cost(
+            CacheKey::new("d", "dear", Layout::Values),
+            col(100),
+            (1, 1),
+            50.0,
+        );
+        m.put(
+            CacheKey::new("d", "cheap", Layout::Values),
+            col(100),
+            (1, 1),
+        );
+        m.get(&CacheKey::new("d", "cheap", Layout::Values)).unwrap();
+        m.put(CacheKey::new("d", "new", Layout::Values), col(100), (1, 1));
+        assert!(m.contains(&CacheKey::new("d", "dear", Layout::Values)));
+        assert!(!m.contains(&CacheKey::new("d", "cheap", Layout::Values)));
+        assert!(m.contains(&CacheKey::new("d", "new", Layout::Values)));
+    }
+
+    #[test]
+    fn zero_cost_put_is_pure_lru() {
+        let one = col(100).approx_bytes();
+        let m = CacheManager::new(one * 2 + 10);
+        m.put_with_cost(
+            CacheKey::new("d", "a", Layout::Values),
+            col(100),
+            (1, 1),
+            0.0,
+        );
+        m.put_with_cost(
+            CacheKey::new("d", "b", Layout::Values),
+            col(100),
+            (1, 1),
+            0.0,
+        );
+        m.get(&CacheKey::new("d", "a", Layout::Values)).unwrap();
+        m.put(CacheKey::new("d", "c", Layout::Values), col(100), (1, 1));
+        assert!(!m.contains(&CacheKey::new("d", "b", Layout::Values)));
+    }
+
+    #[test]
+    fn remove_drops_entry_and_bytes() {
+        let m = CacheManager::new(1 << 20);
+        let key = CacheKey::new("d", "a", Layout::Values);
+        m.put(key.clone(), col(10), (1, 1));
+        assert!(m.used_bytes() > 0);
+        assert!(m.remove(&key));
+        assert!(!m.remove(&key));
+        assert_eq!(m.used_bytes(), 0);
+        assert!(!m.contains(&key));
+    }
+
+    #[test]
+    fn contains_does_not_touch_counters() {
+        let m = CacheManager::new(1 << 20);
+        let key = CacheKey::new("d", "a", Layout::Values);
+        m.put(key.clone(), col(3), (1, 1));
+        assert!(m.contains(&key));
+        assert!(!m.contains(&CacheKey::new("d", "b", Layout::Values)));
+        let s = m.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+    }
+
+    #[test]
+    fn layout_counts_report_replica_mix() {
+        let m = CacheManager::new(1 << 20);
+        m.put(CacheKey::new("d", "a", Layout::Values), col(3), (1, 1));
+        m.put(CacheKey::new("d", "b", Layout::Values), col(3), (1, 1));
+        m.put(
+            CacheKey::new("d", "c", Layout::Positions),
+            CachedData::Positions(vec![(0, 5); 3]),
+            (1, 1),
+        );
+        let counts = m.layout_counts();
+        assert_eq!(counts, vec![(Layout::Positions, 1), (Layout::Values, 2)]);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub use vida_exec::{
 pub use vida_formats::{open_plugin, DataFormat, InputPlugin, SourceDescription};
 pub use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SlotType};
 pub use vida_lang::{eval, parse, typecheck, Bindings, Expr, TypeEnv};
+pub use vida_optimizer::{CostModel, CostModelConfig, FieldObservation, Optimizer, Pass};
 pub use vida_parallel::{MorselPlan, WorkerPool};
 pub use vida_sql::sql_to_comprehension;
 pub use vida_types::{Monoid, Result, Schema, Type, Value, VidaError};
@@ -39,6 +40,7 @@ pub use vida_exec as exec;
 pub use vida_formats as formats;
 pub use vida_jit as jit;
 pub use vida_lang as lang;
+pub use vida_optimizer as optimizer;
 pub use vida_parallel as parallel;
 pub use vida_sql as sql;
 pub use vida_types as types;
@@ -82,8 +84,36 @@ mod tests {
         let plan =
             rewrite(&lower(&parse("for { t <- T, t.x > 9 } yield sum t.x").unwrap()).unwrap());
         let serial = run_jit(&plan, &cat, &JitOptions::default()).unwrap();
-        let parallel = run_jit(&plan, &cat, &JitOptions::with_threads(4)).unwrap();
+        let parallel = run_jit(
+            &plan,
+            &cat,
+            &JitOptions {
+                threads: 4,
+                clamp_threads: false, // force workers even on small machines
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn facade_exposes_the_cost_model() {
+        use std::sync::Arc;
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "T",
+            Schema::from_pairs([("x", Type::Int)]),
+            &[Value::record([("x", Value::Int(7))])],
+        )
+        .unwrap();
+        let cache = Arc::new(CacheManager::new(1 << 20));
+        let model = Arc::new(CostModel::new());
+        let opts = JitOptions::with_cost_model(Arc::clone(&cache), Arc::clone(&model));
+        let plan = rewrite(&lower(&parse("for { t <- T } yield sum t.x").unwrap()).unwrap());
+        run_jit(&plan, &cat, &opts).unwrap();
+        assert_eq!(model.profile("T", "x").unwrap().touches, 1);
+        assert!(!cache.layout_counts().is_empty());
     }
 
     #[test]

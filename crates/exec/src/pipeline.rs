@@ -19,9 +19,14 @@
 //!   execution §6 describes;
 //! - **hash joins when equi-keys exist**: `Plan::equi_join_keys` supplies
 //!   the build/probe key expressions, compiled against the shared frame;
-//! - **layout-aware cache reads**: with a [`CacheManager`] attached, touched
-//!   columns are served from cached replicas (parsed values or binary JSON)
-//!   and raw-file reads populate the cache for the next query;
+//! - **cost-model-driven cache replicas**: with a [`CacheManager`] attached,
+//!   touched columns are served from cached replicas and raw-file reads
+//!   populate the cache for the next query. With a
+//!   [`CostModel`] attached too, the pipeline
+//!   records per-field access statistics after every query and the model
+//!   decides each replica's layout — parsed `Values`, compact `BinaryJson`,
+//!   or `Positions` (raw byte spans rehydrated by exact-seek parses) — plus
+//!   the `get_any` probe order and a rebuild-cost eviction bonus (§5);
 //! - **monoid folding**: results fold with the output monoid; collection
 //!   monoids accumulate and canonicalize once at the end, and `count` with a
 //!   total head skips head evaluation entirely.
@@ -49,19 +54,60 @@ use std::sync::Arc;
 use std::time::Instant;
 use vida_algebra::lower::UNIT_DATASET;
 use vida_algebra::Plan;
-use vida_cache::{CacheKey, CacheManager, CachedData, Layout};
+use vida_cache::{bson, CacheKey, CacheManager, CachedData, Layout};
 use vida_jit::compile::path_of;
 use vida_jit::frame::{decode_output, StringInterner};
 use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SlotType};
 use vida_lang::{eval, Bindings, Expr, Qualifier};
+use vida_optimizer::{CostModel, FieldObservation};
 use vida_parallel::{partition_of, plan_scan, radix, MorselPlan, WorkerPool};
 use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Result, Value, VidaError};
 
 /// Options controlling pipeline generation.
-#[derive(Clone, Default)]
+///
+/// # Example
+///
+/// Attach a cache and the optimizer's cost model, then run the same query
+/// twice: the second run is served from adaptively-chosen column replicas.
+///
+/// ```
+/// use std::sync::Arc;
+/// use vida_algebra::{lower, rewrite};
+/// use vida_cache::CacheManager;
+/// use vida_exec::{run_jit_with_stats, JitOptions, MemoryCatalog};
+/// use vida_lang::parse;
+/// use vida_optimizer::CostModel;
+/// use vida_types::{Schema, Type, Value};
+///
+/// let cat = MemoryCatalog::new();
+/// cat.register_records(
+///     "T",
+///     Schema::from_pairs([("x", Type::Int)]),
+///     &[Value::record([("x", Value::Int(41))])],
+/// )
+/// .unwrap();
+/// let opts = JitOptions::with_cost_model(
+///     Arc::new(CacheManager::new(1 << 20)),
+///     Arc::new(CostModel::new()),
+/// );
+/// let plan = rewrite(&lower(&parse("for { t <- T } yield sum t.x").unwrap()).unwrap());
+/// let (_, cold) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+/// let (v, warm) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+/// assert_eq!(v, Value::Int(41));
+/// assert!(!cold.served_from_cache && warm.served_from_cache);
+/// ```
+#[derive(Clone)]
 pub struct JitOptions {
     /// Cache consulted for column replicas and populated on raw reads.
     pub cache: Option<Arc<CacheManager>>,
+    /// Cost model deciding replica layouts (§5). With a model attached the
+    /// pipeline records per-field access statistics after every query,
+    /// writes replicas in the layout the model chooses (`Values`,
+    /// `BinaryJson`, or `Positions`), probes `get_any` in model order, and
+    /// weighs eviction by rebuild cost. Without one, raw reads always write
+    /// `Values` replicas (the pre-model behaviour). Ignored unless `cache`
+    /// is also set.
+    pub cost_model: Option<Arc<CostModel>>,
     /// Disable kernel compilation: single-source pipelines still bind
     /// plugins to touched attributes but evaluate every expression through
     /// the interpreter (isolates codegen wins in benchmarks); joins need
@@ -81,6 +127,24 @@ pub struct JitOptions {
     /// `vida-parallel` default). Mainly for tests, which shrink it to force
     /// multi-morsel coverage on small fixtures.
     pub morsel_rows: usize,
+    /// Clamp `threads` to `std::thread::available_parallelism()` (default
+    /// `true`): oversubscribing a core costs ~15% on scan+fold with zero
+    /// upside. Set `false` to force oversubscription (tests and scheduling
+    /// benchmarks deliberately run many workers on few cores).
+    pub clamp_threads: bool,
+}
+
+impl Default for JitOptions {
+    fn default() -> Self {
+        JitOptions {
+            cache: None,
+            cost_model: None,
+            interpret_only: false,
+            threads: 0,
+            morsel_rows: 0,
+            clamp_threads: true,
+        }
+    }
 }
 
 impl JitOptions {
@@ -88,6 +152,16 @@ impl JitOptions {
     pub fn with_cache(cache: Arc<CacheManager>) -> Self {
         JitOptions {
             cache: Some(cache),
+            ..JitOptions::default()
+        }
+    }
+
+    /// Options with a cache and the cost model steering its replica
+    /// layouts.
+    pub fn with_cost_model(cache: Arc<CacheManager>, model: Arc<CostModel>) -> Self {
+        JitOptions {
+            cache: Some(cache),
+            cost_model: Some(model),
             ..JitOptions::default()
         }
     }
@@ -100,13 +174,51 @@ impl JitOptions {
         }
     }
 
-    /// Effective worker count (0 normalizes to 1).
+    /// Effective worker count: `0` normalizes to 1, and (unless
+    /// `clamp_threads` is off) the count is capped at the machine's
+    /// available parallelism — extra workers on a saturated core only add
+    /// scheduling overhead.
     pub fn effective_threads(&self) -> usize {
-        self.threads.max(1)
+        let t = self.threads.max(1);
+        if self.clamp_threads {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            t.min(cores)
+        } else {
+            t
+        }
     }
 }
 
 /// Execute a plan with the JIT engine.
+///
+/// The plan must be `Reduce`-rooted (every lowered comprehension is); plan
+/// shapes outside the generated pipelines transparently fall back to the
+/// interpreted Volcano engine, so `run_jit` is total over valid plans.
+///
+/// # Example
+///
+/// ```
+/// use vida_algebra::{lower, rewrite};
+/// use vida_exec::{run_jit, JitOptions, MemoryCatalog};
+/// use vida_lang::parse;
+/// use vida_types::{Schema, Type, Value};
+///
+/// let cat = MemoryCatalog::new();
+/// cat.register_records(
+///     "Patients",
+///     Schema::from_pairs([("id", Type::Int), ("age", Type::Int)]),
+///     &[
+///         Value::record([("id", Value::Int(1)), ("age", Value::Int(71))]),
+///         Value::record([("id", Value::Int(2)), ("age", Value::Int(34))]),
+///     ],
+/// )
+/// .unwrap();
+/// let expr = parse("for { p <- Patients, p.age > 60 } yield count p").unwrap();
+/// let plan = rewrite(&lower(&expr).unwrap());
+/// assert_eq!(run_jit(&plan, &cat, &JitOptions::default()).unwrap(), Value::Int(1));
+/// ```
 pub fn run_jit(plan: &Plan, catalog: &dyn SourceProvider, opts: &JitOptions) -> Result<Value> {
     run_jit_with_stats(plan, catalog, opts).map(|(v, _)| v)
 }
@@ -589,9 +701,14 @@ impl<'a> PipelineBuilder<'a> {
         }
     }
 
-    /// Touched columns, cache-first: parsed-value replicas are used
-    /// directly, binary-JSON replicas are decoded, anything missing is read
-    /// from the raw file in one projected scan and inserted into the cache.
+    /// Touched columns, cache-first: replicas in any storable layout are
+    /// rehydrated (parsed values directly, binary JSON by decoding,
+    /// positions by exact-seek raw parses), anything missing is read from
+    /// the raw file in one projected scan. With a cost model attached, the
+    /// probe order comes from [`CostModel::read_preference`] and the
+    /// post-query [`PipelineBuilder::sync_replicas`] step decides which
+    /// replicas to (re-)write; without one, raw reads write `Values`
+    /// replicas as before.
     fn materialize_columns(
         &mut self,
         dataset: &str,
@@ -606,12 +723,18 @@ impl<'a> PipelineBuilder<'a> {
 
         if let Some(cache) = &self.opts.cache {
             cache.invalidate_stale(dataset, fingerprint);
+            let pressure = cache_pressure(cache);
             for (i, &col) in touched.iter().enumerate() {
                 let field = &schema.fields()[col].name;
-                match cache.get_any(dataset, field, &[Layout::Values, Layout::BinaryJson]) {
+                // Without a model, probe every storable layout cheapest
+                // decode first; the model reorders by its chosen layout.
+                let preference = match &self.opts.cost_model {
+                    Some(model) => model.read_preference(dataset, field, pressure),
+                    None => vec![Layout::Values, Layout::BinaryJson, Layout::Positions],
+                };
+                match cache.get_any(dataset, field, &preference) {
                     Some((_, data)) if data.len() == nrows => {
-                        let vals: Vec<Value> =
-                            (0..nrows).map(|r| data.get(r)).collect::<Result<_>>()?;
+                        let vals = self.decode_replica(plugin, col, &data, nrows)?;
                         out[i] = Some(Arc::new(vals));
                         self.stats.cached_columns += 1;
                     }
@@ -638,22 +761,164 @@ impl<'a> PipelineBuilder<'a> {
             };
             for (&i, col_vals) in missing.iter().zip(read) {
                 let field = &schema.fields()[touched[i]].name;
-                if let Some(cache) = &self.opts.cache {
-                    cache.put(
-                        CacheKey::new(dataset, field.clone(), Layout::Values),
-                        CachedData::Values(col_vals.clone()),
-                        fingerprint,
-                    );
+                // Without a model, keep the legacy eager-Values put. With
+                // one, sync_replicas below writes the chosen layout instead.
+                if self.opts.cost_model.is_none() {
+                    if let Some(cache) = &self.opts.cache {
+                        cache.put(
+                            CacheKey::new(dataset, field.clone(), Layout::Values),
+                            CachedData::Values(col_vals.clone()),
+                            fingerprint,
+                        );
+                    }
                 }
                 out[i] = Some(Arc::new(col_vals));
                 self.stats.raw_columns += 1;
             }
         }
 
-        Ok(out
+        let columns: Vec<Arc<Vec<Value>>> = out
             .into_iter()
             .map(|c| c.expect("all columns filled"))
-            .collect())
+            .collect();
+        self.sync_replicas(dataset, plugin, touched, &columns, fingerprint)?;
+        Ok(columns)
+    }
+
+    /// Rehydrate one cached replica into a parsed column. `Positions`
+    /// replicas seek straight into the raw file via the plugin's span
+    /// parser; everything else decodes in memory. With multiple workers the
+    /// decode is morsel-driven (the warm-cache half of parallel execution),
+    /// and chunks concatenate in morsel order so the column is identical to
+    /// a serial decode.
+    fn decode_replica(
+        &mut self,
+        plugin: &Arc<dyn vida_formats::InputPlugin>,
+        col: usize,
+        data: &CachedData,
+        nrows: usize,
+    ) -> Result<Vec<Value>> {
+        let decode_row = |r: usize| -> Result<Value> {
+            match data {
+                CachedData::Positions(spans) => plugin.parse_field_span(col, spans[r]),
+                other => other.get(r),
+            }
+        };
+        let threads = self.opts.effective_threads();
+        if threads > 1 && nrows > 1 {
+            let plan = MorselPlan::fixed(nrows, self.opts.morsel_rows);
+            self.stats.morsels += plan.len() as u64;
+            let pool = WorkerPool::new(threads);
+            let chunks = pool.run_morsels(
+                plan.len(),
+                |_| (),
+                |_, m| {
+                    let range = plan.range(m);
+                    let mut chunk = Vec::with_capacity(range.len());
+                    for r in range {
+                        chunk.push(decode_row(r)?);
+                    }
+                    Ok::<_, VidaError>(chunk)
+                },
+            )?;
+            Ok(chunks.into_iter().flatten().collect())
+        } else {
+            (0..nrows).map(decode_row).collect()
+        }
+    }
+
+    /// The post-query cost-model step (§5): fold this query's access
+    /// evidence into the model, then make the cache hold each touched
+    /// field's replica in the layout the model now prefers — building it
+    /// from the materialized column (or from raw-file field spans for
+    /// `Positions`) and retiring a superseded `Values` replica. No-op
+    /// without both a cache and a model.
+    fn sync_replicas(
+        &mut self,
+        dataset: &str,
+        plugin: &Arc<dyn vida_formats::InputPlugin>,
+        touched: &[usize],
+        columns: &[Arc<Vec<Value>>],
+        fingerprint: (u64, u64),
+    ) -> Result<()> {
+        let (Some(cache), Some(model)) = (&self.opts.cache, &self.opts.cost_model) else {
+            return Ok(());
+        };
+        model.set_budget_bytes(cache.budget_bytes() as u64);
+        let schema = plugin.schema();
+        for (i, &col) in touched.iter().enumerate() {
+            let field = &schema.fields()[col].name;
+            model.observe(dataset, field, observe_column(plugin, col, &columns[i]));
+            let pressure = cache_pressure(cache);
+            let mut chosen = model.choose_layout(dataset, field, pressure);
+            let mut key = CacheKey::new(dataset, field.clone(), chosen);
+            if !cache.contains(&key) {
+                let mut replica = self.build_replica(plugin, col, &columns[i], chosen)?;
+                if replica.is_none() && chosen == Layout::Positions {
+                    // Some rows have no byte span (optional JSON fields):
+                    // positions are infeasible for this field. Tell the
+                    // model — the flag is sticky, so it never retries the
+                    // doomed build — and fall back to its next choice so
+                    // the field still gets cached.
+                    model.mark_spans_infeasible(dataset, field);
+                    chosen = model.choose_layout(dataset, field, pressure);
+                    key = CacheKey::new(dataset, field.clone(), chosen);
+                    replica = if cache.contains(&key) {
+                        None
+                    } else {
+                        self.build_replica(plugin, col, &columns[i], chosen)?
+                    };
+                }
+                if let Some(replica) = replica {
+                    let bonus = model
+                        .profile(dataset, field)
+                        .map(|p| model.eviction_bonus(&p, chosen))
+                        .unwrap_or(0.0);
+                    if cache.put_with_cost(key.clone(), replica, fingerprint, bonus) {
+                        self.stats.replicas_written += 1;
+                    }
+                }
+            }
+            // Once the chosen layout is in place, replicas of the field in
+            // every other storable layout are superseded dead weight: drop
+            // them to free budget (the re-shaping half of "re-using and
+            // re-shaping results").
+            if cache.contains(&key) {
+                for layout in vida_optimizer::STORABLE_LAYOUTS {
+                    if layout != chosen
+                        && cache.remove(&CacheKey::new(dataset, field.clone(), layout))
+                    {
+                        self.stats.replicas_dropped += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build one replica of a column in `layout`. Returns `None` when the
+    /// layout cannot represent the column (`Positions` needs a byte span
+    /// for every row; JSON objects missing the field have none).
+    fn build_replica(
+        &mut self,
+        plugin: &Arc<dyn vida_formats::InputPlugin>,
+        col: usize,
+        vals: &[Value],
+        layout: Layout,
+    ) -> Result<Option<CachedData>> {
+        match layout {
+            Layout::Positions => {
+                let mut spans = Vec::with_capacity(vals.len());
+                for row in 0..vals.len() {
+                    match plugin.field_byte_span(row, col)? {
+                        Some(span) => spans.push(span),
+                        None => return Ok(None),
+                    }
+                }
+                Ok(Some(CachedData::Positions(spans)))
+            }
+            layout => Ok(CachedData::from_values(vals, layout).ok()),
+        }
     }
 
     /// The parallel raw scan: the dispatcher splits the file into aligned
@@ -1365,6 +1630,40 @@ impl Pipeline {
     }
 }
 
+/// Cache byte pressure in `[0, 1]` — the cost model's storage-rent signal.
+fn cache_pressure(cache: &CacheManager) -> f64 {
+    cache.used_bytes() as f64 / cache.budget_bytes().max(1) as f64
+}
+
+/// One query's access evidence for a column: sampled per-row footprints of
+/// the candidate layouts plus the plugin's raw fetch cost.
+fn observe_column(
+    plugin: &Arc<dyn vida_formats::InputPlugin>,
+    col: usize,
+    vals: &[Value],
+) -> FieldObservation {
+    /// Sampled rows per observation: enough to estimate footprints, cheap
+    /// enough to run after every query.
+    const SAMPLE_ROWS: usize = 64;
+    /// Per-row container overhead `CachedData::approx_bytes` charges for a
+    /// binary-JSON replica (one `Vec<u8>` per row).
+    const BINARY_ROW_OVERHEAD: usize = 24;
+    let n = vals.len().min(SAMPLE_ROWS);
+    let (mut value_bytes, mut binary_bytes) = (0usize, 0usize);
+    for v in vals.iter().take(n) {
+        value_bytes += v.approx_bytes();
+        binary_bytes += bson::to_bytes(v).len() + BINARY_ROW_OVERHEAD;
+    }
+    let denom = n.max(1) as f64;
+    FieldObservation {
+        rows: vals.len() as u64,
+        avg_value_bytes: value_bytes as f64 / denom,
+        avg_binary_bytes: binary_bytes as f64 / denom,
+        raw_cost_factor: plugin.field_cost_factor(col),
+        has_spans: plugin.supports_field_spans(),
+    }
+}
+
 /// Canonical hash bits for a join key. With `float_keys`, integer keys
 /// promote into the float domain so `p.id = g.fid` hashes consistently
 /// across the numeric tower (bit equality on floats matches the
@@ -1648,6 +1947,7 @@ mod tests {
                 let opts = JitOptions {
                     threads,
                     morsel_rows: 1,
+                    clamp_threads: false, // force oversubscription coverage
                     ..Default::default()
                 };
                 let (v, stats) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
@@ -1675,6 +1975,7 @@ mod tests {
         let opts = JitOptions {
             threads: 4,
             morsel_rows: 1,
+            clamp_threads: false,
             ..Default::default()
         };
         let (v, stats) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
@@ -1690,6 +1991,221 @@ mod tests {
         let (_, stats) =
             run_jit_with_stats(&plan, &catalog(), &JitOptions::with_threads(0)).unwrap();
         assert_eq!(stats.threads, 1);
+    }
+
+    #[test]
+    fn threads_auto_clamp_to_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // Default options clamp an absurd worker count to the machine.
+        let opts = JitOptions::with_threads(4096);
+        assert_eq!(opts.effective_threads(), 4096.min(cores));
+        // Opting out restores the requested count (scheduling benchmarks).
+        let forced = JitOptions {
+            threads: 4096,
+            clamp_threads: false,
+            ..Default::default()
+        };
+        assert_eq!(forced.effective_threads(), 4096);
+        // 0 still normalizes to the serial path either way.
+        assert_eq!(JitOptions::default().effective_threads(), 1);
+    }
+
+    #[test]
+    fn cost_model_reshapes_wide_text_column_to_positions() {
+        use vida_formats::csv::CsvFile;
+        use vida_formats::plugin::CsvPlugin;
+        use vida_optimizer::CostModel;
+
+        // A CSV with a wide text column next to a scalar: under byte
+        // pressure the model should re-shape the text column to a
+        // positions-only replica while the scalar stays parsed values.
+        let mut csv = String::from("id,body\n");
+        for i in 0..64 {
+            csv.push_str(&format!("{i},{}\n", "x".repeat(160)));
+        }
+        let file = CsvFile::from_bytes(
+            "Notes",
+            csv.into_bytes(),
+            b',',
+            true,
+            Schema::from_pairs([("id", Type::Int), ("body", Type::Str)]),
+        )
+        .unwrap();
+        let cat = MemoryCatalog::new();
+        cat.register(Arc::new(CsvPlugin::new(file)));
+
+        // Budget a whisker above the parsed-values footprint of both
+        // columns, so pressure is near 1.0 once the first run caches them.
+        let budget = 16 << 10;
+        let cache = Arc::new(CacheManager::new(budget));
+        let model = Arc::new(CostModel::new());
+        let opts = JitOptions::with_cost_model(Arc::clone(&cache), Arc::clone(&model));
+        let plan = plan_of("for { n <- Notes, n.id >= 0 } yield count n.body");
+
+        let (v1, s1) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert_eq!(v1, Value::Int(64));
+        assert!(s1.replicas_written > 0, "{s1:?}");
+        let (v2, s2) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert_eq!(v2, v1);
+        assert!(s2.served_from_cache, "{s2:?}");
+        // After two runs the cache holds the wide column positions-only —
+        // its parsed-values replica would fill ~80% of the budget — while
+        // the scalar column stays parsed values.
+        assert!(
+            cache.contains(&CacheKey::new("Notes", "body", Layout::Positions)),
+            "layouts: {:?}, stats: {s2:?}",
+            cache.layout_counts()
+        );
+        assert!(!cache.contains(&CacheKey::new("Notes", "body", Layout::Values)));
+        assert!(cache.contains(&CacheKey::new("Notes", "id", Layout::Values)));
+        // get_any in model order serves the positions replica.
+        let model_pref = model.read_preference("Notes", "body", 0.0);
+        let (layout, _) = cache.get_any("Notes", "body", &model_pref).unwrap();
+        assert_eq!(layout, Layout::Positions);
+        // A third run rehydrates through the positions replica and still
+        // counts as fully cache-served.
+        let (v3, s3) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert_eq!(v3, v1);
+        assert!(s3.served_from_cache, "{s3:?}");
+    }
+
+    #[test]
+    fn cost_model_retires_legacy_values_replicas() {
+        use vida_formats::csv::CsvFile;
+        use vida_formats::plugin::CsvPlugin;
+        use vida_optimizer::CostModel;
+
+        let mut csv = String::from("id,body\n");
+        for i in 0..64 {
+            csv.push_str(&format!("{i},{}\n", "y".repeat(160)));
+        }
+        let file = CsvFile::from_bytes(
+            "Notes",
+            csv.into_bytes(),
+            b',',
+            true,
+            Schema::from_pairs([("id", Type::Int), ("body", Type::Str)]),
+        )
+        .unwrap();
+        let plugin = Arc::new(CsvPlugin::new(file));
+        let cat = MemoryCatalog::new();
+        cat.register(Arc::clone(&plugin) as Arc<dyn vida_formats::InputPlugin>);
+
+        let cache = Arc::new(CacheManager::new(16 << 10));
+        let plan = plan_of("for { n <- Notes, n.id >= 0 } yield count n.body");
+        // A model-less run leaves the legacy eager parsed-values replicas;
+        // additionally plant a stray binary-JSON replica of the same field
+        // (as if the model had chosen differently in the past).
+        let legacy = JitOptions::with_cache(Arc::clone(&cache));
+        run_jit(&plan, &cat, &legacy).unwrap();
+        assert!(cache.contains(&CacheKey::new("Notes", "body", Layout::Values)));
+        cache.put(
+            CacheKey::new("Notes", "body", Layout::BinaryJson),
+            CachedData::from_values(&[Value::str("stale")], Layout::BinaryJson).unwrap(),
+            vida_formats::InputPlugin::fingerprint(plugin.as_ref()),
+        );
+
+        // The first model-driven run re-shapes the wide column to positions
+        // and retires every superseded replica, not just the values one.
+        let opts = JitOptions::with_cost_model(Arc::clone(&cache), Arc::new(CostModel::new()));
+        let (_, stats) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert!(stats.replicas_dropped >= 2, "{stats:?}");
+        assert!(cache.contains(&CacheKey::new("Notes", "body", Layout::Positions)));
+        assert!(!cache.contains(&CacheKey::new("Notes", "body", Layout::Values)));
+        assert!(!cache.contains(&CacheKey::new("Notes", "body", Layout::BinaryJson)));
+    }
+
+    #[test]
+    fn optional_json_field_falls_back_when_positions_infeasible() {
+        use vida_formats::json::JsonFile;
+        use vida_formats::plugin::JsonPlugin;
+        use vida_optimizer::CostModel;
+
+        // A wide optional field: row 40 omits it, so a positions replica
+        // (the model's pick under pressure) cannot represent the column.
+        // The engine must fall back to another layout instead of leaving
+        // the field permanently uncached.
+        let mut json = String::new();
+        for i in 0..64 {
+            if i == 40 {
+                json.push_str(&format!("{{\"id\":{i}}}\n"));
+            } else {
+                json.push_str(&format!(
+                    "{{\"id\":{i},\"body\":\"{}\"}}\n",
+                    "z".repeat(150)
+                ));
+            }
+        }
+        let file = JsonFile::from_bytes(
+            "Docs",
+            json.into_bytes(),
+            Schema::from_pairs([("id", Type::Int), ("body", Type::Str)]),
+        )
+        .unwrap();
+        let cat = MemoryCatalog::new();
+        cat.register(Arc::new(JsonPlugin::new(file)));
+
+        let cache = Arc::new(CacheManager::new(16 << 10));
+        let model = Arc::new(CostModel::new());
+        let opts = JitOptions::with_cost_model(Arc::clone(&cache), Arc::clone(&model));
+        let plan = plan_of("for { d <- Docs, d.id >= 0 } yield count d.body");
+        let (v1, _) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert_eq!(v1, Value::Int(64));
+        // Some replica of body exists despite the positions failure…
+        assert!(
+            cache.cached_fields("Docs").contains(&"body".to_string()),
+            "body left uncached: {:?}",
+            cache.layout_counts()
+        );
+        assert!(!cache.contains(&CacheKey::new("Docs", "body", Layout::Positions)));
+        // …the model remembers the infeasibility, and warm runs are served.
+        assert!(!model.profile("Docs", "body").unwrap().has_spans);
+        let (v2, s2) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert_eq!(v2, v1);
+        assert!(s2.served_from_cache, "{s2:?}");
+    }
+
+    #[test]
+    fn cost_model_default_keeps_scalar_columns_as_values() {
+        use vida_optimizer::CostModel;
+        let cache = Arc::new(CacheManager::new(1 << 20));
+        let model = Arc::new(CostModel::new());
+        let opts = JitOptions::with_cost_model(Arc::clone(&cache), Arc::clone(&model));
+        let cat = catalog();
+        let plan = plan_of("for { p <- Patients, p.age > 60 } yield sum p.age");
+        for _ in 0..3 {
+            assert_eq!(run_jit(&plan, &cat, &opts).unwrap(), Value::Int(136));
+        }
+        // Roomy budget, hot scalar field: parsed values stay the layout.
+        assert!(cache.contains(&CacheKey::new("Patients", "age", Layout::Values)));
+        let p = model.profile("Patients", "age").unwrap();
+        assert_eq!(p.touches, 3);
+    }
+
+    #[test]
+    fn warm_cache_decode_is_morselized() {
+        use vida_optimizer::CostModel;
+        let cache = Arc::new(CacheManager::new(1 << 20));
+        let model = Arc::new(CostModel::new());
+        let opts = JitOptions {
+            cache: Some(Arc::clone(&cache)),
+            cost_model: Some(model),
+            threads: 2,
+            morsel_rows: 1,
+            clamp_threads: false,
+            ..Default::default()
+        };
+        let cat = catalog();
+        let plan = plan_of("for { p <- Patients } yield sum p.age");
+        let (v1, _) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        let (v2, s2) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert_eq!(v1, v2);
+        assert!(s2.served_from_cache, "{s2:?}");
+        // The warm run decoded the replica morsel-wise (3 rows, 1-row
+        // morsels) in addition to the execution-phase morsels.
+        assert!(s2.morsels >= 3, "{s2:?}");
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub struct ExecStats {
     pub threads: u32,
     /// Morsels dispatched across all parallel phases of the query.
     pub morsels: u64,
+    /// Cache replicas written by the cost model's post-query sync (layout
+    /// chosen by `CostModel::choose_layout`).
+    pub replicas_written: u32,
+    /// Superseded `Values` replicas dropped after re-shaping a field to a
+    /// more compact layout.
+    pub replicas_dropped: u32,
 }
 
 impl ExecStats {
@@ -51,6 +57,8 @@ impl ExecStats {
         self.raw_columns += other.raw_columns;
         self.threads = self.threads.max(other.threads);
         self.morsels += other.morsels;
+        self.replicas_written += other.replicas_written;
+        self.replicas_dropped += other.replicas_dropped;
     }
 
     /// Merge counters from one worker of a parallel phase (wall times are
@@ -82,6 +90,8 @@ mod tests {
             served_from_cache: false,
             threads: 4,
             morsels: 8,
+            replicas_written: 2,
+            replicas_dropped: 1,
         };
         assert_eq!(a.total(), Duration::from_micros(1000));
         let b = a.clone();

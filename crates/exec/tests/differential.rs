@@ -273,6 +273,9 @@ fn thread_sweep(q: &str, n: usize) -> Value {
         let opts = JitOptions {
             threads,
             morsel_rows: 16,
+            // The sweep must really run 2/8 workers even on a single-core
+            // CI machine — these oracles are the parallel-correctness gate.
+            clamp_threads: false,
             ..Default::default()
         };
         let v = run_jit(&plan, &cat, &opts).unwrap_or_else(|e| panic!("jit x{threads} {q}: {e}"));
@@ -333,6 +336,7 @@ fn parallel_warm_cache_run_is_identical() {
             cache: Some(Arc::clone(&cache)),
             threads,
             morsel_rows: 16,
+            clamp_threads: false, // force real workers on single-core CI
             ..Default::default()
         };
         let (v, stats) = vida_exec::run_jit_with_stats(&plan, &cat, &opts)

@@ -1,4 +1,4 @@
-//! CSV input plugin with NoDB-style positional maps (ViDa §2.1, §5; NoDB [3]).
+//! CSV input plugin with NoDB-style positional maps (ViDa §2.1, §5; NoDB \[3\]).
 //!
 //! Text formats make per-attribute access cost *variable*: reading attribute
 //! `k` of a row means tokenizing `k` delimiters from the row start. For wide
@@ -308,6 +308,40 @@ impl CsvFile {
         rest.iter().position(|&b| b == self.delimiter)
     }
 
+    /// Byte span of the raw text of `(row, col)` — the positions-only cache
+    /// layout (Figure 4 (d)) carries these instead of parsed values.
+    /// Locating the span feeds the positional map exactly like a read.
+    pub fn field_byte_span(&self, row: usize, col: usize) -> Result<(usize, usize)> {
+        if col >= self.schema.len() {
+            return Err(VidaError::format(
+                &self.name,
+                format!("column {col} out of range ({} columns)", self.schema.len()),
+            ));
+        }
+        self.locate_field(row, col)
+    }
+
+    /// Parse the raw bytes of `span` as a value of column `col`'s type —
+    /// rehydration of a positions-only replica: an exact seek (no
+    /// tokenizing), then one field parse.
+    pub fn parse_field_span(&self, col: usize, span: (usize, usize)) -> Result<Value> {
+        let (start, end) = span;
+        if col >= self.schema.len() || start > end || end > self.data.len() {
+            return Err(VidaError::format(
+                &self.name,
+                format!("bad span ({start}, {end}) for column {col}"),
+            ));
+        }
+        self.stats.hit();
+        self.stats.add_bytes_parsed((end - start) as u64);
+        self.stats.add_fields_parsed(1);
+        parse_field(
+            &self.data[start..end],
+            &self.schema.fields()[col].ty,
+            &self.name,
+        )
+    }
+
     /// Read one field as a typed value.
     pub fn read_field(&self, row: usize, col: usize) -> Result<Value> {
         if col >= self.schema.len() {
@@ -350,7 +384,7 @@ impl CsvFile {
 
     /// [`CsvFile::scan_project`] restricted to a contiguous row range — the
     /// per-morsel scan of parallel execution. Ranges from
-    /// [`CsvFile::split_unit_ranges`] are newline-aligned byte spans, so
+    /// `vida_parallel::plan_scan` are newline-aligned byte spans, so
     /// concurrent workers touch disjoint bytes and only share the (atomic)
     /// positional map.
     pub fn scan_project_range(

@@ -1,5 +1,5 @@
 //! JSON input plugin with a structural (semi-)index (ViDa §2.1, §5;
-//! Ottaviano & Grossi [43]).
+//! Ottaviano & Grossi \[43\]).
 //!
 //! The file layout is newline-delimited JSON: one object per line — the
 //! shape of the paper's BrainRegions dataset (17 000 objects from an MRI
@@ -214,6 +214,24 @@ impl JsonFile {
         Ok(abs)
     }
 
+    /// Parse the raw JSON text in `span` as a value — rehydration of a
+    /// positions-only replica (an exact seek into the file, one value
+    /// parse, no object navigation).
+    pub fn parse_value_span(&self, span: (usize, usize)) -> Result<Value> {
+        let (start, end) = span;
+        if start > end || end > self.data.len() {
+            return Err(VidaError::format(
+                &self.name,
+                format!("bad span ({start}, {end})"),
+            ));
+        }
+        self.stats.hit();
+        self.stats.add_bytes_parsed((end - start) as u64);
+        self.stats.add_fields_parsed(1);
+        let (v, _) = parse_json(&self.data[start..end], 0, &self.name)?;
+        Ok(v)
+    }
+
     /// Read one top-level field of object `row` as a typed value.
     /// Missing fields read as `Null`.
     pub fn read_field(&self, row: usize, field: &str) -> Result<Value> {
@@ -244,7 +262,7 @@ impl JsonFile {
 
     /// [`JsonFile::scan_project`] restricted to a contiguous object range —
     /// the per-morsel scan of parallel execution. Ranges from
-    /// [`JsonFile::split_unit_ranges`] are record-aligned, so workers parse
+    /// `vida_parallel::plan_scan` are record-aligned, so workers parse
     /// disjoint bytes and share only the atomic semi-index.
     pub fn scan_project_range(
         &self,

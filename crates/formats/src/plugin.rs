@@ -81,6 +81,34 @@ pub trait InputPlugin: Send + Sync {
         None
     }
 
+    /// Whether this format can report raw byte spans of individual fields —
+    /// the prerequisite for positions-only cache replicas (Figure 4 (d)).
+    fn supports_field_spans(&self) -> bool {
+        false
+    }
+
+    /// Raw byte span of one field's text, when the format can report one
+    /// (`None` for formats without field spans, and for JSON objects
+    /// missing the field). Locating a span feeds the format's positional
+    /// structures exactly like a read.
+    fn field_byte_span(&self, _row: usize, _col: usize) -> Result<Option<(u64, u64)>> {
+        Ok(None)
+    }
+
+    /// Parse the raw bytes of `span` as a value of column `col` — the
+    /// rehydration path of a positions-only cache replica. Only meaningful
+    /// for spans previously returned by
+    /// [`InputPlugin::field_byte_span`] on an unchanged file.
+    fn parse_field_span(&self, _col: usize, span: (u64, u64)) -> Result<Value> {
+        Err(VidaError::format(
+            self.name(),
+            format!(
+                "format cannot parse raw spans (span ({}, {}))",
+                span.0, span.1
+            ),
+        ))
+    }
+
     /// Shared access-statistics counters.
     fn stats(&self) -> Arc<AccessStats>;
 
@@ -151,6 +179,20 @@ impl InputPlugin for CsvPlugin {
 
     fn unit_byte_span(&self, row: usize) -> Option<(usize, usize)> {
         self.file.unit_byte_span(row)
+    }
+
+    fn supports_field_spans(&self) -> bool {
+        true
+    }
+
+    fn field_byte_span(&self, row: usize, col: usize) -> Result<Option<(u64, u64)>> {
+        let (s, e) = self.file.field_byte_span(row, col)?;
+        Ok(Some((s as u64, e as u64)))
+    }
+
+    fn parse_field_span(&self, col: usize, span: (u64, u64)) -> Result<Value> {
+        self.file
+            .parse_field_span(col, (span.0 as usize, span.1 as usize))
     }
 
     fn stats(&self) -> Arc<AccessStats> {
@@ -246,6 +288,25 @@ impl InputPlugin for JsonPlugin {
 
     fn unit_byte_span(&self, row: usize) -> Option<(usize, usize)> {
         self.file.unit_byte_span(row)
+    }
+
+    fn supports_field_spans(&self) -> bool {
+        true
+    }
+
+    fn field_byte_span(&self, row: usize, col: usize) -> Result<Option<(u64, u64)>> {
+        let field = self.columns.get(col).ok_or_else(|| {
+            VidaError::format(self.file.name(), format!("column {col} out of range"))
+        })?;
+        Ok(self
+            .file
+            .field_span(row, field)?
+            .map(|(s, e)| (s as u64, e as u64)))
+    }
+
+    fn parse_field_span(&self, _col: usize, span: (u64, u64)) -> Result<Value> {
+        self.file
+            .parse_value_span((span.0 as usize, span.1 as usize))
     }
 
     fn stats(&self) -> Arc<AccessStats> {
@@ -562,6 +623,36 @@ mod tests {
         })
         .unwrap();
         assert_eq!(j, vec![(0, vec![Value::Int(1)]), (1, vec![Value::Int(2)])]);
+    }
+
+    #[test]
+    fn field_spans_round_trip_through_span_parse() {
+        // CSV: span of (row 1, col "x") parses back to the same value.
+        let p = csv_plugin();
+        assert!(p.supports_field_spans());
+        let span = p.field_byte_span(1, 1).unwrap().unwrap();
+        assert_eq!(p.parse_field_span(1, span).unwrap(), Value::Float(20.0));
+        // JSON: same round trip; a missing field has no span.
+        let data = b"{\"a\":1,\"b\":\"x\"}\n{\"a\":2}\n".to_vec();
+        let jp = JsonPlugin::new(
+            JsonFile::from_bytes(
+                "J",
+                data,
+                Schema::from_pairs([("a", Type::Int), ("b", Type::Str)]),
+            )
+            .unwrap(),
+        );
+        assert!(jp.supports_field_spans());
+        let span = jp.field_byte_span(0, 1).unwrap().unwrap();
+        assert_eq!(jp.parse_field_span(1, span).unwrap(), Value::str("x"));
+        assert!(jp.field_byte_span(1, 1).unwrap().is_none());
+        // In-memory plugin: no spans, and span parses are format errors.
+        let schema = Schema::from_pairs([("id", Type::Int)]);
+        let mem = MemPlugin::from_records("M", schema, &[Value::record([("id", Value::Int(1))])])
+            .unwrap();
+        assert!(!mem.supports_field_spans());
+        assert!(mem.field_byte_span(0, 0).unwrap().is_none());
+        assert!(mem.parse_field_span(0, (0, 1)).is_err());
     }
 
     #[test]

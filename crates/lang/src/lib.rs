@@ -15,10 +15,10 @@
 //!
 //! - [`ast`] — the calculus terms of the paper's Table 1;
 //! - [`lexer`] / [`parser`] — concrete syntax (Scala-like, as in the paper);
-//! - [`typecheck`] — static typing against a catalog of dataset types;
+//! - [`typecheck()`] — static typing against a catalog of dataset types;
 //! - [`normalize`] — the Fegaras-Maier rewrite rules (β-reduction,
 //!   comprehension unnesting, filter hoisting, constant folding);
-//! - [`eval`] — a direct reference interpreter of the calculus, used as the
+//! - [`eval()`] — a direct reference interpreter of the calculus, used as the
 //!   semantic oracle in differential tests against the algebra engine and
 //!   the JIT pipelines.
 

@@ -3,13 +3,24 @@
 //! A named rewrite-pass registry over algebra plans (ViDa §5).
 //!
 //! The paper's optimizer extends classical rule-based optimization with
-//! format- and cache-aware decisions. This crate starts that subsystem as a
-//! minimal, inspectable pass pipeline: each [`Pass`] is a pure
-//! `Plan -> Plan` function with a name, and an [`Optimizer`] applies a
-//! configured sequence. The default pipeline wraps the algebra rewrites
-//! (selection pushdown, select merging, selection-into-join) that already
-//! ship in `vida-algebra`; cost-based passes (format cost wrappers, cache
-//! replica selection) are the designated extension point.
+//! format- and cache-aware decisions. This crate is the engine's decision
+//! layer, in two halves:
+//!
+//! 1. **Plan rewrites** — each [`Pass`] is a pure `Plan -> Plan` function
+//!    with a name, and an [`Optimizer`] applies a configured sequence. The
+//!    default pipeline wraps the algebra rewrites (selection pushdown,
+//!    select merging, selection-into-join) from `vida-algebra`.
+//! 2. **Cache layout decisions** — the [`cost`] module's [`CostModel`]
+//!    scores `(field, layout)` replica candidates from per-field access
+//!    statistics recorded by the exec pipeline, deciding which layout each
+//!    cached column replica should use (values, binary JSON, or
+//!    positions-only — the paper's §5 "re-using and re-shaping results"),
+//!    in which order `CacheManager::get_any` should probe layouts, and how
+//!    much eviction slack a replica's rebuild cost buys it.
+
+pub mod cost;
+
+pub use cost::{CostModel, CostModelConfig, FieldObservation, FieldProfile, STORABLE_LAYOUTS};
 
 use vida_algebra::{rewrite, Plan};
 
