@@ -56,6 +56,132 @@ pub fn lower_normalized(expr: &Expr) -> Result<Plan> {
     }
 }
 
+/// Rotate bushy join trees into left-deep chains — the shape the generated
+/// pipelines execute. `Join(L, Join(RL, RR, p2), p1)` becomes
+/// `Join(Join(L, RL, p_inner), RR, p_outer)`, where the conjuncts of
+/// `p2 ∧ p1` are partitioned by their free variables: those referencing
+/// only `L`/`RL` bindings move into the rotated inner join (so an `L`–`RL`
+/// equi-key still compiles to a hash join instead of degrading to a cross
+/// product), the rest fuse into the outer join. Both shapes enumerate
+/// `(l, rl, rr)` lexicographically in scan order and every conjunct is a
+/// pure filter, so the result *and* tuple order are preserved (which
+/// non-commutative monoids like `list` observe). Comprehension lowering
+/// never produces bushy trees, but directly-constructed plans (fuzzers,
+/// future join reordering) do. Returns the rotated plan and the number of
+/// rotations applied.
+pub fn left_deepen(plan: &Plan) -> (Plan, u32) {
+    let mut rotations = 0;
+    let p = deepen(plan, &mut rotations);
+    (p, rotations)
+}
+
+fn deepen(plan: &Plan, rotations: &mut u32) -> Plan {
+    let node = match plan {
+        Plan::Scan { .. } => plan.clone(),
+        Plan::Select { input, predicate } => Plan::Select {
+            input: Box::new(deepen(input, rotations)),
+            predicate: predicate.clone(),
+        },
+        Plan::Unnest {
+            input,
+            binding,
+            path,
+        } => Plan::Unnest {
+            input: Box::new(deepen(input, rotations)),
+            binding: binding.clone(),
+            path: path.clone(),
+        },
+        Plan::Reduce {
+            input,
+            monoid,
+            head,
+        } => Plan::Reduce {
+            input: Box::new(deepen(input, rotations)),
+            monoid: *monoid,
+            head: head.clone(),
+        },
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => Plan::Join {
+            left: Box::new(deepen(left, rotations)),
+            right: Box::new(deepen(right, rotations)),
+            predicate: predicate.clone(),
+        },
+    };
+    if let Plan::Join {
+        left,
+        right,
+        predicate,
+    } = node
+    {
+        if let Plan::Join {
+            left: rl,
+            right: rr,
+            predicate: p2,
+        } = *right
+        {
+            *rotations += 1;
+            // Partition the combined conjuncts: anything the rotated inner
+            // join `L ⋈ RL` can already evaluate goes inside (preserving
+            // hash/band opportunities there); the rest fuses into the outer
+            // join. Filters commute, so result and tuple order are
+            // unchanged.
+            let inner_vars: Vec<String> = left
+                .bound_vars()
+                .into_iter()
+                .chain(rl.bound_vars())
+                .collect();
+            let mut conjuncts = Vec::new();
+            split_conjuncts(&p2, &mut conjuncts);
+            split_conjuncts(&predicate, &mut conjuncts);
+            let (inner, outer): (Vec<Expr>, Vec<Expr>) = conjuncts
+                .into_iter()
+                .partition(|c| c.free_vars().iter().all(|v| inner_vars.contains(v)));
+            let rotated = Plan::Join {
+                left: Box::new(Plan::Join {
+                    left,
+                    right: rl,
+                    predicate: conjoin_all(inner),
+                }),
+                // `rr` is join-free (its subtree was already deepened), but
+                // the new inner join's right child `rl` may be a join again:
+                // re-deepen the rotated node until the spine is left-deep.
+                right: rr,
+                predicate: conjoin_all(outer),
+            };
+            return deepen(&rotated, rotations);
+        }
+        return Plan::Join {
+            left,
+            right,
+            predicate,
+        };
+    }
+    node
+}
+
+/// Flatten an `And` chain into its conjuncts, dropping literal `true`.
+fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::BinOp(vida_lang::BinOp::And, l, r) => {
+            split_conjuncts(l, out);
+            split_conjuncts(r, out);
+        }
+        Expr::Const(vida_types::Value::Bool(true)) => {}
+        other => out.push(other.clone()),
+    }
+}
+
+/// Conjunction of `conjuncts` (`true` when empty).
+fn conjoin_all(conjuncts: Vec<Expr>) -> Expr {
+    conjuncts
+        .into_iter()
+        .reduce(|a, b| Expr::bin(vida_lang::BinOp::And, a, b))
+        .unwrap_or_else(|| Expr::bool(true))
+}
+
 fn unit_scan() -> Plan {
     Plan::Scan {
         dataset: UNIT_DATASET.to_string(),
@@ -249,6 +375,131 @@ mod tests {
             panic!()
         };
         assert!(matches!(*input, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn left_deepen_rotates_bushy_joins() {
+        let scan = |d: &str, b: &str| Plan::Scan {
+            dataset: d.into(),
+            binding: b.into(),
+        };
+        // A ⋈[a.k = c.k] (B ⋈[b.k = c.k] C): bushy, inner predicate only
+        // references the right subtree.
+        let bushy = Plan::Join {
+            left: Box::new(scan("A", "a")),
+            right: Box::new(Plan::Join {
+                left: Box::new(scan("B", "b")),
+                right: Box::new(scan("C", "c")),
+                predicate: parse("b.k = c.k").unwrap(),
+            }),
+            predicate: parse("a.k = c.k").unwrap(),
+        };
+        let (deep, rotations) = left_deepen(&bushy);
+        assert_eq!(rotations, 1);
+        let Plan::Join { left, right, .. } = &deep else {
+            panic!()
+        };
+        assert!(matches!(**right, Plan::Scan { .. }));
+        let Plan::Join {
+            left: ll,
+            right: lr,
+            ..
+        } = &**left
+        else {
+            panic!("expected left-deep inner join, got:\n{left}")
+        };
+        assert!(matches!(**ll, Plan::Scan { .. }));
+        assert!(matches!(**lr, Plan::Scan { .. }));
+        // Binding order is preserved: a, b, c.
+        assert_eq!(deep.bound_vars(), vec!["a", "b", "c"]);
+        // Left-deep plans are untouched.
+        let (same, n) = left_deepen(&deep);
+        assert_eq!(n, 0);
+        assert_eq!(same, deep);
+    }
+
+    #[test]
+    fn left_deepen_pushes_left_side_conjuncts_into_inner_join() {
+        let scan = |d: &str, b: &str| Plan::Scan {
+            dataset: d.into(),
+            binding: b.into(),
+        };
+        // `a.k = b.k` only references the rotated inner join's bindings: it
+        // must land there (keeping the hash-join opportunity) instead of
+        // leaving the inner join a cross product.
+        let bushy = Plan::Join {
+            left: Box::new(scan("A", "a")),
+            right: Box::new(Plan::Join {
+                left: Box::new(scan("B", "b")),
+                right: Box::new(scan("C", "c")),
+                predicate: parse("b.k < c.k").unwrap(),
+            }),
+            predicate: parse("a.k = b.k and a.k < c.k").unwrap(),
+        };
+        let (deep, rotations) = left_deepen(&bushy);
+        assert_eq!(rotations, 1);
+        let Plan::Join {
+            left,
+            predicate: outer,
+            ..
+        } = &deep
+        else {
+            panic!()
+        };
+        let Plan::Join {
+            predicate: inner, ..
+        } = &**left
+        else {
+            panic!()
+        };
+        assert_eq!(inner.to_string(), "(a.k = b.k)");
+        let outer = outer.to_string();
+        assert!(
+            outer.contains("b.k < c.k") && outer.contains("a.k < c.k"),
+            "{outer}"
+        );
+    }
+
+    #[test]
+    fn left_deepen_preserves_results_and_order() {
+        use crate::interp::execute_plan;
+        use vida_lang::Bindings;
+        use vida_types::Value;
+        let mut env = Bindings::new();
+        let table = |ids: &[i64]| {
+            Value::bag(
+                ids.iter()
+                    .map(|&i| Value::record([("k", Value::Int(i))]))
+                    .collect(),
+            )
+        };
+        env.insert("A".into(), table(&[1, 2, 3]));
+        env.insert("B".into(), table(&[2, 3, 4]));
+        env.insert("C".into(), table(&[3, 4, 5]));
+        let scan = |d: &str, b: &str| Plan::Scan {
+            dataset: d.into(),
+            binding: b.into(),
+        };
+        // list monoid pins the exact tuple enumeration order.
+        let bushy = Plan::Reduce {
+            input: Box::new(Plan::Join {
+                left: Box::new(scan("A", "a")),
+                right: Box::new(Plan::Join {
+                    left: Box::new(scan("B", "b")),
+                    right: Box::new(scan("C", "c")),
+                    predicate: parse("b.k < c.k").unwrap(),
+                }),
+                predicate: parse("a.k <= b.k").unwrap(),
+            }),
+            monoid: Monoid::Collection(vida_types::CollectionKind::List),
+            head: parse("a.k + b.k + c.k").unwrap(),
+        };
+        let (deep, rotations) = left_deepen(&bushy);
+        assert_eq!(rotations, 1);
+        assert_eq!(
+            execute_plan(&deep, &env).unwrap(),
+            execute_plan(&bushy, &env).unwrap()
+        );
     }
 
     #[test]

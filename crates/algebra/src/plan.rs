@@ -110,6 +110,48 @@ impl Plan {
         }
     }
 
+    /// If the predicate of a join is a conjunction containing a range
+    /// comparison `l.a OP r.b` (`<`, `<=`, `>`, `>=`) between one variable
+    /// from each side, return `(left_expr, right_expr, op)` normalized so
+    /// that `left_expr op right_expr` holds — the band-join opportunity the
+    /// sort-probe theta pipeline exploits.
+    pub fn band_join_keys(
+        predicate: &Expr,
+        left_vars: &[String],
+        right_vars: &[String],
+    ) -> Option<(Expr, Expr, vida_lang::BinOp)> {
+        use vida_lang::BinOp;
+        let flip = |op: BinOp| match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        };
+        match predicate {
+            Expr::BinOp(op @ (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge), l, r) => {
+                let lv = l.free_vars();
+                let rv = r.free_vars();
+                let in_left = |vars: &[String]| vars.iter().all(|v| left_vars.contains(v));
+                let in_right = |vars: &[String]| vars.iter().all(|v| right_vars.contains(v));
+                if !lv.is_empty() && !rv.is_empty() {
+                    if in_left(&lv) && in_right(&rv) {
+                        return Some((l.as_ref().clone(), r.as_ref().clone(), *op));
+                    }
+                    if in_right(&lv) && in_left(&rv) {
+                        return Some((r.as_ref().clone(), l.as_ref().clone(), flip(*op)));
+                    }
+                }
+                None
+            }
+            Expr::BinOp(vida_lang::BinOp::And, l, r) => {
+                Plan::band_join_keys(l, left_vars, right_vars)
+                    .or_else(|| Plan::band_join_keys(r, left_vars, right_vars))
+            }
+            _ => None,
+        }
+    }
+
     fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
         let pad = "  ".repeat(depth);
         match self {
@@ -217,6 +259,30 @@ mod tests {
         let p5 = parse("p.a > 1 and p.id = g.id").unwrap();
         assert!(Plan::equi_join_keys(&p5, &["p".into()], &["g".into()]).is_some());
         let _ = BinOp::Eq;
+    }
+
+    #[test]
+    fn band_join_detection() {
+        let p = parse("p.id < g.id").unwrap();
+        let (l, r, op) = Plan::band_join_keys(&p, &["p".into()], &["g".into()]).unwrap();
+        assert_eq!(l.to_string(), "p.id");
+        assert_eq!(r.to_string(), "g.id");
+        assert_eq!(op, BinOp::Lt);
+        // Reversed orientation normalizes by flipping the comparison.
+        let p2 = parse("g.id <= p.id").unwrap();
+        let (l2, _, op2) = Plan::band_join_keys(&p2, &["p".into()], &["g".into()]).unwrap();
+        assert_eq!(l2.to_string(), "p.id");
+        assert_eq!(op2, BinOp::Ge);
+        // Equality is not a band.
+        let p3 = parse("p.id = g.id").unwrap();
+        assert!(Plan::band_join_keys(&p3, &["p".into()], &["g".into()]).is_none());
+        // Same-side ranges are not join bands.
+        let p4 = parse("p.id < p.other").unwrap();
+        assert!(Plan::band_join_keys(&p4, &["p".into()], &["g".into()]).is_none());
+        // Conjunctions search both sides.
+        let p5 = parse("p.a = 1 and p.id > g.id").unwrap();
+        let (_, _, op5) = Plan::band_join_keys(&p5, &["p".into()], &["g".into()]).unwrap();
+        assert_eq!(op5, BinOp::Gt);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! The pipeline shapes that used to take the whole-query Volcano fallback —
+//! unnests over nested JSON and theta joins — through the generated
+//! pipelines vs the old fallback path (`run_volcano` on the same plan).
+
+use std::sync::Arc;
+use vida_algebra::{lower, rewrite, Plan};
+use vida_bench::{case, fixtures};
+use vida_exec::{run_jit, run_volcano, JitOptions, MemoryCatalog};
+use vida_formats::csv::CsvFile;
+use vida_formats::json::JsonFile;
+use vida_formats::plugin::{CsvPlugin, JsonPlugin};
+use vida_lang::parse;
+
+fn plan_of(q: &str) -> Plan {
+    rewrite(&lower(&parse(q).expect("parses")).expect("lowers"))
+}
+
+fn speedup(name: &str, volcano: std::time::Duration, jit: std::time::Duration) {
+    println!(
+        "{name} speedup (volcano/jit): {:.2}x",
+        volcano.as_secs_f64() / jit.as_secs_f64().max(1e-12)
+    );
+}
+
+fn main() {
+    let catalog = MemoryCatalog::new();
+    let csv = CsvFile::from_bytes(
+        "Patients",
+        fixtures::patients_csv(1_000, 7),
+        b',',
+        true,
+        fixtures::patients_schema(),
+    )
+    .expect("fixture parses");
+    catalog.register(Arc::new(CsvPlugin::new(csv)));
+    let genetics = JsonFile::from_bytes(
+        "Genetics",
+        fixtures::genetics_json(1_000, 13),
+        fixtures::genetics_schema(),
+    )
+    .expect("fixture parses");
+    catalog.register(Arc::new(JsonPlugin::new(genetics)));
+    let regions = JsonFile::from_bytes(
+        "Regions",
+        fixtures::regions_json(2_000, 11),
+        fixtures::regions_schema(),
+    )
+    .expect("fixture parses");
+    catalog.register(Arc::new(JsonPlugin::new(regions)));
+
+    let opts = JitOptions::default();
+
+    // Unnest over the nested JSON column (the old fallback's worst case:
+    // the Volcano engine re-parses every whole object per query).
+    let unnest = plan_of("for { r <- Regions, v <- r.voxels, v > 50 } yield sum v");
+    let jit = case("unnest: jit pipeline (2k regions)", 5, 10, || {
+        run_jit(&unnest, &catalog, &opts).expect("runs");
+    });
+    let volcano = case("unnest: volcano fallback (2k regions)", 5, 10, || {
+        run_volcano(&unnest, &catalog).expect("runs");
+    });
+    speedup("unnest", volcano, jit);
+
+    // Band theta join: selective sort-probe vs interpreted nested loop.
+    let band =
+        plan_of("for { p <- Patients, g <- Genetics, p.id > g.id, g.id < 32 } yield count p");
+    let jit = case("theta band: jit sort-probe (1k x 32)", 5, 10, || {
+        run_jit(&band, &catalog, &opts).expect("runs");
+    });
+    let volcano = case("theta band: volcano nested loop", 5, 10, || {
+        run_volcano(&band, &catalog).expect("runs");
+    });
+    speedup("theta band", volcano, jit);
+
+    // Inequality theta join: block-nested-loop with one fused predicate
+    // kernel vs per-pair interpretation.
+    let bnl = plan_of(
+        "for { p <- Patients, g <- Genetics, p.id != g.id, g.id < 64, p.id < 256 } \
+         yield count p",
+    );
+    let jit = case("theta bnl: jit kernel loop (256 x 64)", 5, 10, || {
+        run_jit(&bnl, &catalog, &opts).expect("runs");
+    });
+    let volcano = case("theta bnl: volcano nested loop", 5, 10, || {
+        run_volcano(&bnl, &catalog).expect("runs");
+    });
+    speedup("theta bnl", volcano, jit);
+}

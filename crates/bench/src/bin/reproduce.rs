@@ -14,7 +14,7 @@ use vida_formats::csv::CsvFile;
 use vida_formats::json::JsonFile;
 use vida_formats::plugin::{CsvPlugin, JsonPlugin};
 use vida_optimizer::CostModel;
-use vida_workload::{generate, generate_scan_heavy, WorkloadConfig};
+use vida_workload::{generate, generate_nested_heavy, generate_scan_heavy, WorkloadConfig};
 
 const USAGE: &str = "\
 reproduce — replay the ViDa (CIDR'15) experiments
@@ -38,8 +38,11 @@ OPTIONS:
                       parallel_scale` for the thread-sweep microbenchmark)
     --queries N       number of workload queries to generate (default 200)
     --mix MIX         workload mix: 'hbp' (selections, joins, and
-                      aggregates with the paper's locality skew; default)
-                      or 'scan-heavy' (full-column scans and folds)
+                      aggregates with the paper's locality skew; default),
+                      'scan-heavy' (full-column scans and folds), or
+                      'nested' (unnests over nested JSON and non-equi
+                      theta joins — the shapes the unnest/theta pipelines
+                      compile)
     --locality F      fraction of selections drawn from the hot key range,
                       0.0..=1.0 (default 0.8 — the regime in which the
                       paper reports ~80% of queries served from caches)
@@ -89,9 +92,13 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--queries expects a positive integer")?;
             }
             "--mix" => {
-                let m = iter.next().ok_or("--mix expects 'hbp' or 'scan-heavy'")?;
-                if m != "hbp" && m != "scan-heavy" {
-                    return Err(format!("unknown mix '{m}' (use 'hbp' or 'scan-heavy')"));
+                let m = iter
+                    .next()
+                    .ok_or("--mix expects 'hbp', 'scan-heavy', or 'nested'")?;
+                if m != "hbp" && m != "scan-heavy" && m != "nested" {
+                    return Err(format!(
+                        "unknown mix '{m}' (use 'hbp', 'scan-heavy', or 'nested')"
+                    ));
                 }
                 args.mix = m.clone();
             }
@@ -159,6 +166,13 @@ fn cache_locality(args: &Args) {
     )
     .expect("fixture parses");
     catalog.register(Arc::new(JsonPlugin::new(genetics)));
+    let regions = JsonFile::from_bytes(
+        "Regions",
+        fixtures::regions_json(250, 17),
+        fixtures::regions_schema(),
+    )
+    .expect("fixture parses");
+    catalog.register(Arc::new(JsonPlugin::new(regions)));
 
     let cache = Arc::new(CacheManager::new(args.budget_mb << 20));
     let model = args.cost_model.then(|| Arc::new(CostModel::new()));
@@ -175,11 +189,13 @@ fn cache_locality(args: &Args) {
     };
     let queries = match args.mix.as_str() {
         "scan-heavy" => generate_scan_heavy(&config),
+        "nested" => generate_nested_heavy(&config),
         _ => generate(&config),
     };
 
     let mut cached = 0usize;
     let mut total = 0usize;
+    let mut accum = vida_exec::ExecStats::default();
     for q in &queries {
         let expr = match vida_lang::parse(&q.text) {
             Ok(e) => e,
@@ -195,6 +211,7 @@ fn cache_locality(args: &Args) {
                 if stats.served_from_cache {
                     cached += 1;
                 }
+                accum.accumulate(&stats);
             }
             Err(e) => eprintln!("query failed ({e}): {}", q.text),
         }
@@ -215,6 +232,10 @@ fn cache_locality(args: &Args) {
         cache.used_bytes() >> 10
     );
     println!("served fully from cache: {cached} ({pct:.1}%)");
+    println!(
+        "pipeline coverage:       {} unnest stages, {} theta joins, {} whole-query fallbacks",
+        accum.unnest_pipelines, accum.theta_pipelines, accum.whole_query_fallbacks
+    );
     println!(
         "cache hit rate:          {:.1}%",
         cache.stats().hit_rate() * 100.0

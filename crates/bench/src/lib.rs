@@ -47,6 +47,34 @@ pub mod fixtures {
         }
         out.into_bytes()
     }
+
+    /// Schema of the nested `Regions` JSON fixture.
+    pub fn regions_schema() -> Schema {
+        use vida_types::CollectionKind;
+        Schema::from_pairs([
+            ("id", Type::Int),
+            (
+                "voxels",
+                Type::Collection(CollectionKind::List, Box::new(Type::Int)),
+            ),
+        ])
+    }
+
+    /// A nested `Regions` newline-delimited JSON file: `n` objects with
+    /// ragged integer `voxels` arrays (0–7 elements, some rows empty).
+    pub fn regions_json(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = Rng::new(seed);
+        let mut out = String::new();
+        for id in 0..n {
+            let len = rng.below(8);
+            let voxels: Vec<String> = (0..len).map(|_| format!("{}", rng.below(100))).collect();
+            out.push_str(&format!(
+                "{{\"id\":{id},\"voxels\":[{}]}}\n",
+                voxels.join(",")
+            ));
+        }
+        out.into_bytes()
+    }
 }
 
 /// One timed measurement: the best-of-samples wall time for `iters`

@@ -19,6 +19,20 @@
 //!   execution §6 describes;
 //! - **hash joins when equi-keys exist**: `Plan::equi_join_keys` supplies
 //!   the build/probe key expressions, compiled against the shared frame;
+//! - **theta-join pipelines otherwise**: a range predicate
+//!   (`Plan::band_join_keys`) compiles into band key kernels and probes a
+//!   sorted key index; any other predicate (including the constant-`true`
+//!   product) runs block-nested-loop with the predicate compiled into one
+//!   fused kernel;
+//! - **unnest stages**: `Plan::Unnest` flattens collection-valued paths
+//!   (nested JSON columns, including cached `BinaryJson` replicas) into the
+//!   flat register frames — numeric/bool elements get their own slots so
+//!   inner predicates compile to kernels, and everything else takes the
+//!   per-tuple interpreted fallback;
+//! - **bushy joins lowered**: `vida_algebra::lower::left_deepen` rotates
+//!   bushy join trees into the left-deep chains the pipelines execute
+//!   before shape analysis, so directly-constructed bushy plans compile
+//!   too;
 //! - **cost-model-driven cache replicas**: with a [`CacheManager`] attached,
 //!   touched columns are served from cached replicas and raw-file reads
 //!   populate the cache for the next query. With a
@@ -31,9 +45,12 @@
 //!   monoids accumulate and canonicalize once at the end, and `count` with a
 //!   total head skips head evaluation entirely.
 //!
-//! Plans outside the pipeline shapes (unnests, non-equi or bushy joins,
-//! constant queries over the unit dataset) fall back to the interpreted
-//! Volcano engine wholesale, so `run_jit` is total over all valid plans.
+//! Only genuinely degenerate plans fall back to the interpreted Volcano
+//! engine wholesale — constant queries over the unit dataset, unnests whose
+//! input is the unit row (literal collections), joins whose right side is
+//! not a scan, and every join under `interpret_only` — so `run_jit` is
+//! total over all valid plans and `ExecStats::whole_query_fallbacks`
+//! records when the fallback engine ran.
 //!
 //! With `JitOptions::threads > 1` the same generated pipeline runs
 //! **morsel-driven parallel** (`vida-parallel`): raw scans split into
@@ -52,16 +69,16 @@ use crate::volcano::run_volcano;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use vida_algebra::lower::UNIT_DATASET;
+use vida_algebra::lower::{left_deepen, UNIT_DATASET};
 use vida_algebra::Plan;
 use vida_cache::{bson, CacheKey, CacheManager, CachedData, Layout};
 use vida_jit::compile::path_of;
 use vida_jit::frame::{decode_output, StringInterner};
 use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SlotType};
-use vida_lang::{eval, Bindings, Expr, Qualifier};
+use vida_lang::{eval, BinOp, Bindings, Expr, Qualifier};
 use vida_optimizer::{CostModel, FieldObservation};
 use vida_parallel::{partition_of, plan_scan, radix, MorselPlan, WorkerPool};
-use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Result, Value, VidaError};
+use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Result, Type, Value, VidaError};
 
 /// Options controlling pipeline generation.
 ///
@@ -235,6 +252,7 @@ pub fn run_jit_with_stats(
         Some(p) => p,
         None => {
             // Whole-query fallback: shape outside the generated pipelines.
+            stats.whole_query_fallbacks = 1;
             let v = run_volcano(plan, catalog)?;
             return Ok((v, stats));
         }
@@ -291,7 +309,7 @@ struct Source {
     selects: Vec<Step>,
 }
 
-/// Pipeline tree: left-deep hash joins over bound sources.
+/// Pipeline tree: left-deep joins and unnest stages over bound sources.
 enum Node {
     Source(usize),
     HashJoin {
@@ -309,19 +327,73 @@ enum Node {
         /// Selects sitting above this join.
         selects: Vec<Step>,
     },
+    /// Non-equi join: band sort-probe when the predicate contains a range
+    /// comparison between the two sides, block-nested-loop (with the
+    /// predicate compiled into one fused kernel) otherwise.
+    ThetaJoin {
+        left: Box<Node>,
+        right: usize,
+        band: Option<Band>,
+        /// Full join predicate, checked per candidate pair.
+        predicate: Step,
+        /// Selects sitting above this join.
+        selects: Vec<Step>,
+    },
+    /// Flatten a collection-valued path of earlier bindings; one output
+    /// tuple per element, frame extended with the element's slots.
+    Unnest {
+        input: Box<Node>,
+        /// Index into [`Pipeline::unnests`].
+        stage: usize,
+        /// Selects sitting above this unnest (may reference the element).
+        selects: Vec<Step>,
+    },
+}
+
+/// Sort-probe strategy for a range theta join: both band keys compile to
+/// kernels; the right side sorts by key once and each probe narrows its
+/// candidates to the half-open range satisfying `left_key op right_key`.
+struct Band {
+    left_key: CompiledKernel,
+    right_key: CompiledKernel,
+    /// Comparison with the left key on the left: `Lt`, `Le`, `Gt`, or `Ge`.
+    op: BinOp,
+    /// Compare keys in the float domain (the numeric tower mixed).
+    float_keys: bool,
+    left_key_ty: SlotType,
+    right_key_ty: SlotType,
+}
+
+/// One compiled unnest stage: where the collection comes from and which
+/// frame slots its elements fill.
+struct UnnestStage {
+    binding: String,
+    path: Expr,
+    /// Fast path: `(source index, touched-column position)` when the path
+    /// is a single projection off a scanned source — the collection is read
+    /// straight from the materialized column, no interpreter environment.
+    src_col: Option<(usize, usize)>,
+    /// Element slots: `None` = the element itself (scalar collections),
+    /// `Some(field)` = a record element's field. `Str` elements stay
+    /// interpreted (runtime interning is not worker-safe), so these are
+    /// always `Int`/`Float`/`Bool`.
+    slots: Vec<(Option<String>, usize, SlotType)>,
 }
 
 /// One in-flight tuple: its register frame, whether every slot encoded, and
-/// the `(source, row)` provenance used to rebuild bindings on the fallback
-/// path.
+/// the provenance used to rebuild bindings on the fallback path — `(source,
+/// row)` pairs for scans plus `(unnest stage, element)` values for unnests.
 struct Tuple {
     frame: Vec<i64>,
     valid: bool,
     rows: Vec<(usize, usize)>,
+    unnest_vals: Vec<(usize, Value)>,
 }
 
 struct Pipeline {
     sources: Vec<Source>,
+    /// Unnest stages in plan DFS order (indexed by `Node::Unnest::stage`).
+    unnests: Vec<UnnestStage>,
     root: Node,
     monoid: Monoid,
     head: HeadPlan,
@@ -353,6 +425,12 @@ enum Shape {
         predicate: Expr,
         selects: Vec<Expr>,
     },
+    Unnest {
+        input: Box<Shape>,
+        binding: String,
+        path: Expr,
+        selects: Vec<Expr>,
+    },
 }
 
 impl Shape {
@@ -371,9 +449,9 @@ impl Shape {
             Plan::Select { input, predicate } => {
                 let mut inner = Shape::of(input)?;
                 match &mut inner {
-                    Shape::Scan { selects, .. } | Shape::Join { selects, .. } => {
-                        selects.push(predicate.clone())
-                    }
+                    Shape::Scan { selects, .. }
+                    | Shape::Join { selects, .. }
+                    | Shape::Unnest { selects, .. } => selects.push(predicate.clone()),
                 }
                 Some(inner)
             }
@@ -385,7 +463,10 @@ impl Shape {
                 let l = Shape::of(left)?;
                 let r = Shape::of(right)?;
                 if !matches!(r, Shape::Scan { .. }) {
-                    return None; // bushy joins stay interpreted
+                    // Bushy trees were already rotated left-deep by
+                    // `left_deepen`; what remains here is a right side that
+                    // is itself an unnest — stay interpreted.
+                    return None;
                 }
                 Some(Shape::Join {
                     left: Box::new(l),
@@ -394,7 +475,20 @@ impl Shape {
                     selects: Vec::new(),
                 })
             }
-            Plan::Unnest { .. } | Plan::Reduce { .. } => None,
+            Plan::Unnest {
+                input,
+                binding,
+                path,
+            } => {
+                let inner = Shape::of(input)?;
+                Some(Shape::Unnest {
+                    input: Box::new(inner),
+                    binding: binding.clone(),
+                    path: path.clone(),
+                    selects: Vec::new(),
+                })
+            }
+            Plan::Reduce { .. } => None,
         }
     }
 
@@ -412,6 +506,16 @@ impl Shape {
                 out.push(predicate);
                 out.extend(selects.iter());
             }
+            Shape::Unnest {
+                input,
+                path,
+                selects,
+                ..
+            } => {
+                input.exprs(out);
+                out.push(path);
+                out.extend(selects.iter());
+            }
         }
     }
 
@@ -421,6 +525,11 @@ impl Shape {
             Shape::Join { left, right, .. } => {
                 let mut v = left.bound_vars();
                 v.extend(right.bound_vars());
+                v
+            }
+            Shape::Unnest { input, binding, .. } => {
+                let mut v = input.bound_vars();
+                v.push(binding.clone());
                 v
             }
         }
@@ -486,6 +595,82 @@ fn encode_cell(ty: SlotType, v: &Value, interner: &mut StringInterner) -> Option
     }
 }
 
+/// Encode one unnest element (or element field) into a non-string slot.
+/// The runtime half of [`encode_cell`] minus interning — unnest stages
+/// never claim `Str` slots, so no interner access is needed in the
+/// (possibly parallel) hot loop.
+fn encode_scalar(ty: SlotType, v: &Value) -> Option<i64> {
+    match (ty, v) {
+        (SlotType::Int, Value::Int(x)) => Some(*x),
+        (SlotType::Float, Value::Float(x)) => Some(x.to_bits() as i64),
+        (SlotType::Float, Value::Int(x)) => Some((*x as f64).to_bits() as i64),
+        (SlotType::Bool, Value::Bool(b)) => Some(*b as i64),
+        _ => None,
+    }
+}
+
+/// Static element type of an unnest path, plus the direct-column fast path
+/// when the path is a single projection off a scanned source. Paths the
+/// type walk cannot resolve (literal collections, nested comprehensions)
+/// come back `Unknown` — the stage still runs, with every element-typed
+/// expression interpreted.
+fn unnest_elem_type(
+    path: &Expr,
+    specs: &[SourceSpec],
+    unnests: &[UnnestSpec],
+) -> (Type, Option<(usize, usize)>) {
+    let Some(p) = path_of(path) else {
+        return (Type::Unknown, None);
+    };
+    let mut segs = p.split('.');
+    let root = segs.next().expect("paths are non-empty");
+    let segs: Vec<&str> = segs.collect();
+    let (mut ty, src) =
+        if let Some((i, spec)) = specs.iter().enumerate().find(|(_, s)| s.binding == root) {
+            let schema = spec.plugin.schema();
+            let record = Type::record(
+                schema
+                    .fields()
+                    .iter()
+                    .map(|f| (f.name.clone(), f.ty.clone())),
+            );
+            (record, Some(i))
+        } else if let Some(u) = unnests.iter().find(|u| u.binding == root) {
+            (u.elem_ty.clone(), None)
+        } else {
+            return (Type::Unknown, None);
+        };
+    for s in &segs {
+        match ty.field(s) {
+            Some(t) => ty = t.clone(),
+            None => return (Type::Unknown, None),
+        }
+    }
+    let elem = ty.elem().cloned().unwrap_or(Type::Unknown);
+    let src_col = match (src, segs.as_slice()) {
+        (Some(i), [field]) => {
+            let schema = specs[i].plugin.schema();
+            specs[i]
+                .touched
+                .iter()
+                .position(|&c| schema.fields()[c].name == *field)
+                .map(|pos| (i, pos))
+        }
+        _ => None,
+    };
+    (elem, src_col)
+}
+
+/// One unnest stage bound during analysis: the element type steers slot
+/// claiming, and later stages resolve paths rooted at this binding.
+struct UnnestSpec {
+    binding: String,
+    path: Expr,
+    elem_ty: Type,
+    src_col: Option<(usize, usize)>,
+    slots: Vec<(Option<String>, usize, SlotType)>,
+}
+
 /// One scan bound during analysis: plugin, touched columns, and claimed
 /// slots. No column data is read until the whole plan is known to be
 /// JIT-able — fallback queries must not pay for a scan the Volcano engine
@@ -533,7 +718,11 @@ impl<'a> PipelineBuilder<'a> {
                 "jit executor expects a Reduce-rooted plan".into(),
             ));
         };
-        let Some(shape) = Shape::of(input) else {
+        // Bushy join trees rotate into left-deep chains before shape
+        // analysis (inner join predicates fuse into the outer join, result
+        // and tuple order preserved).
+        let (input, rotations) = left_deepen(input);
+        let Some(shape) = Shape::of(&input) else {
             return Ok(None);
         };
 
@@ -570,19 +759,38 @@ impl<'a> PipelineBuilder<'a> {
             }
         }
 
-        // Bind plugins and claim frame slots (no column reads yet).
+        // Bind plugins and claim frame slots (no column reads yet). Unnest
+        // stages claim element slots in the same walk, typed from the
+        // source schemas.
         let mut layout = FrameLayout::new();
         let mut specs: Vec<SourceSpec> = Vec::new();
-        self.bind_layout(&shape, &fields_of, &whole_record, &mut layout, &mut specs)?;
+        let mut unnests: Vec<UnnestSpec> = Vec::new();
+        self.bind_layout(
+            &shape,
+            &fields_of,
+            &whole_record,
+            &mut layout,
+            &mut specs,
+            &mut unnests,
+        )?;
         let order: Vec<String> = specs.iter().map(|s| s.binding.clone()).collect();
 
         // Compile the operator tree (keys, predicates, selects). Bails
         // before any column is materialized, so fallback queries are not
         // scanned twice.
         let mut interner = StringInterner::new();
-        let Some(root) = self.assemble(&shape, &order, &layout, &mut interner)? else {
+        let mut unnest_cursor = 0usize;
+        let Some(root) =
+            self.assemble(&shape, &order, &layout, &mut interner, &mut unnest_cursor)?
+        else {
             return Ok(None);
         };
+        // Stage counters only after the whole tree assembled: a parent join
+        // can still bail (interpret_only), and a counted stage that never
+        // executes would break the "counter > 0 == stage ran" contract the
+        // coverage tests rely on.
+        self.stats.bushy_lowered += rotations;
+        count_stages(&root, self.stats);
 
         // The plan is JIT-able: materialize touched columns (cache-first)
         // and encode them into slot representation.
@@ -629,8 +837,19 @@ impl<'a> PipelineBuilder<'a> {
         // (shared helper with the Volcano engine).
         let base_env = crate::volcano::materialize_free_datasets(&exprs, &bindings, self.catalog)?;
 
+        let unnests = unnests
+            .into_iter()
+            .map(|u| UnnestStage {
+                binding: u.binding,
+                path: u.path,
+                src_col: u.src_col,
+                slots: u.slots,
+            })
+            .collect();
+
         Ok(Some(Pipeline {
             sources,
+            unnests,
             root,
             monoid: *monoid,
             head: head_plan,
@@ -643,8 +862,10 @@ impl<'a> PipelineBuilder<'a> {
     }
 
     /// Walk the shape and bind one source per scan: resolve the plugin,
-    /// work out the touched columns, and claim frame slots. Column data is
-    /// deliberately not read here — see [`SourceSpec`].
+    /// work out the touched columns, and claim frame slots. Unnest stages
+    /// claim element slots in the same walk (typed from the schemas of the
+    /// bindings their paths root at). Column data is deliberately not read
+    /// here — see [`SourceSpec`].
     fn bind_layout(
         &mut self,
         shape: &Shape,
@@ -652,6 +873,7 @@ impl<'a> PipelineBuilder<'a> {
         whole_record: &HashMap<String, bool>,
         layout: &mut FrameLayout,
         specs: &mut Vec<SourceSpec>,
+        unnests: &mut Vec<UnnestSpec>,
     ) -> Result<()> {
         match shape {
             Shape::Scan {
@@ -695,8 +917,53 @@ impl<'a> PipelineBuilder<'a> {
                 Ok(())
             }
             Shape::Join { left, right, .. } => {
-                self.bind_layout(left, fields_of, whole_record, layout, specs)?;
-                self.bind_layout(right, fields_of, whole_record, layout, specs)
+                self.bind_layout(left, fields_of, whole_record, layout, specs, unnests)?;
+                self.bind_layout(right, fields_of, whole_record, layout, specs, unnests)
+            }
+            Shape::Unnest {
+                input,
+                binding,
+                path,
+                ..
+            } => {
+                self.bind_layout(input, fields_of, whole_record, layout, specs, unnests)?;
+                let (elem_ty, src_col) = unnest_elem_type(path, specs, unnests);
+                // `Str` elements stay interpreted: encoding one at runtime
+                // would have to intern new ids mid-execution, which the
+                // (shared, possibly parallel) pipeline cannot do safely.
+                let frameable = |t: &Type| {
+                    matches!(
+                        SlotType::of_type(t),
+                        Some(SlotType::Int | SlotType::Float | SlotType::Bool)
+                    )
+                };
+                let mut slots = Vec::new();
+                match &elem_ty {
+                    t if frameable(t) && whole_record.get(binding).copied().unwrap_or(false) => {
+                        let st = SlotType::of_type(t).expect("frameable");
+                        slots.push((None, layout.slot(binding.clone(), st), st));
+                    }
+                    Type::Record(fields) => {
+                        if let Some(fs) = fields_of.get(binding) {
+                            for (name, fty) in fields {
+                                if fs.contains(name) && frameable(fty) {
+                                    let st = SlotType::of_type(fty).expect("frameable");
+                                    let slot = layout.slot(format!("{binding}.{name}"), st);
+                                    slots.push((Some(name.clone()), slot, st));
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                unnests.push(UnnestSpec {
+                    binding: binding.clone(),
+                    path: path.clone(),
+                    elem_ty,
+                    src_col,
+                    slots,
+                });
+                Ok(())
             }
         }
     }
@@ -975,18 +1242,41 @@ impl<'a> PipelineBuilder<'a> {
         Ok(Step::Interp(predicate.clone()))
     }
 
-    /// Build the operator tree; `None` when a join has no usable equi-keys.
+    /// Build the operator tree. Joins pick their strategy here: hash join
+    /// on compilable equi-keys, band sort-probe on a compilable range
+    /// predicate, block-nested-loop otherwise (with the predicate compiled
+    /// into one fused kernel when possible). `None` only under
+    /// `interpret_only`, whose joins need key kernels.
     fn assemble(
         &mut self,
         shape: &Shape,
         order: &[String],
         layout: &FrameLayout,
         interner: &mut StringInterner,
+        unnest_cursor: &mut usize,
     ) -> Result<Option<Node>> {
         match shape {
             Shape::Scan { binding, .. } => {
                 let idx = order.iter().position(|b| b == binding).expect("bound");
                 Ok(Some(Node::Source(idx)))
+            }
+            Shape::Unnest { input, selects, .. } => {
+                let Some(inner) = self.assemble(input, order, layout, interner, unnest_cursor)?
+                else {
+                    return Ok(None);
+                };
+                // Specs were pushed in the same DFS order bind_layout used.
+                let stage = *unnest_cursor;
+                *unnest_cursor += 1;
+                let selects = selects
+                    .iter()
+                    .map(|s| self.step(s, layout, interner))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Some(Node::Unnest {
+                    input: Box::new(inner),
+                    stage,
+                    selects,
+                }))
             }
             Shape::Join {
                 left,
@@ -994,7 +1284,8 @@ impl<'a> PipelineBuilder<'a> {
                 predicate,
                 selects,
             } => {
-                let Some(lnode) = self.assemble(left, order, layout, interner)? else {
+                let Some(lnode) = self.assemble(left, order, layout, interner, unnest_cursor)?
+                else {
                     return Ok(None);
                 };
                 let Shape::Scan {
@@ -1010,41 +1301,82 @@ impl<'a> PipelineBuilder<'a> {
                 }
                 let lvars = left.bound_vars();
                 let rvars = vec![rbinding.clone()];
-                let Some((lk_expr, rk_expr)) = Plan::equi_join_keys(predicate, &lvars, &rvars)
-                else {
-                    return Ok(None); // non-equi join stays interpreted
-                };
-                let (Some(lt), Some(rt)) = (
-                    JitCompiler::try_prepare(&lk_expr, layout),
-                    JitCompiler::try_prepare(&rk_expr, layout),
-                ) else {
-                    return Ok(None);
-                };
                 let numeric = |t: SlotType| matches!(t, SlotType::Int | SlotType::Float);
-                let float_keys = match (lt, rt) {
-                    (a, b) if a == b => a == SlotType::Float,
-                    (a, b) if numeric(a) && numeric(b) => true,
-                    _ => return Ok(None), // incomparable key types
-                };
-                let left_key = JitCompiler::new()?.compile(&lk_expr, layout, interner)?;
-                let right_key = JitCompiler::new()?.compile(&rk_expr, layout, interner)?;
-                self.stats.kernels_compiled += 2;
 
-                let predicate = self.step(predicate, layout, interner)?;
+                let predicate_step = self.step(predicate, layout, interner)?;
                 let selects = selects
                     .iter()
                     .map(|s| self.step(s, layout, interner))
                     .collect::<Result<Vec<_>>>()?;
 
-                Ok(Some(Node::HashJoin {
+                // Strategy 1: hash join on compilable equi-keys.
+                if let Some((lk_expr, rk_expr)) = Plan::equi_join_keys(predicate, &lvars, &rvars) {
+                    if let (Some(lt), Some(rt)) = (
+                        JitCompiler::try_prepare(&lk_expr, layout),
+                        JitCompiler::try_prepare(&rk_expr, layout),
+                    ) {
+                        let float_keys = match (lt, rt) {
+                            (a, b) if a == b => Some(a == SlotType::Float),
+                            (a, b) if numeric(a) && numeric(b) => Some(true),
+                            _ => None, // incomparable key types
+                        };
+                        if let Some(float_keys) = float_keys {
+                            let left_key =
+                                JitCompiler::new()?.compile(&lk_expr, layout, interner)?;
+                            let right_key =
+                                JitCompiler::new()?.compile(&rk_expr, layout, interner)?;
+                            self.stats.kernels_compiled += 2;
+                            return Ok(Some(Node::HashJoin {
+                                left: Box::new(lnode),
+                                right: ridx,
+                                left_key,
+                                right_key,
+                                left_key_ty: lt,
+                                right_key_ty: rt,
+                                float_keys,
+                                predicate: predicate_step,
+                                selects,
+                            }));
+                        }
+                    }
+                }
+
+                // Strategy 2: band sort-probe on a compilable numeric range
+                // comparison between the sides.
+                let mut band = None;
+                if let Some((lk_expr, rk_expr, op)) =
+                    Plan::band_join_keys(predicate, &lvars, &rvars)
+                {
+                    if let (Some(lt), Some(rt)) = (
+                        JitCompiler::try_prepare(&lk_expr, layout),
+                        JitCompiler::try_prepare(&rk_expr, layout),
+                    ) {
+                        if numeric(lt) && numeric(rt) {
+                            let float_keys = lt == SlotType::Float || rt == SlotType::Float;
+                            let left_key =
+                                JitCompiler::new()?.compile(&lk_expr, layout, interner)?;
+                            let right_key =
+                                JitCompiler::new()?.compile(&rk_expr, layout, interner)?;
+                            self.stats.kernels_compiled += 2;
+                            band = Some(Band {
+                                left_key,
+                                right_key,
+                                op,
+                                float_keys,
+                                left_key_ty: lt,
+                                right_key_ty: rt,
+                            });
+                        }
+                    }
+                }
+
+                // Strategy 3 (band = None): block-nested-loop over morsels
+                // with the fused predicate kernel.
+                Ok(Some(Node::ThetaJoin {
                     left: Box::new(lnode),
                     right: ridx,
-                    left_key,
-                    right_key,
-                    left_key_ty: lt,
-                    right_key_ty: rt,
-                    float_keys,
-                    predicate,
+                    band,
+                    predicate: predicate_step,
                     selects,
                 }))
             }
@@ -1077,6 +1409,9 @@ impl<'a> PipelineBuilder<'a> {
                 self.attach_selects(sources, left, layout, interner)?;
                 self.attach_selects(sources, right, layout, interner)
             }
+            // Unnest selects were compiled onto the node in `assemble`
+            // (they may reference the element binding).
+            Shape::Unnest { input, .. } => self.attach_selects(sources, input, layout, interner),
         }
     }
 
@@ -1203,7 +1538,8 @@ impl Pipeline {
         }
     }
 
-    /// Rebuild interpreter bindings for a tuple from its row provenance.
+    /// Rebuild interpreter bindings for a tuple from its provenance: source
+    /// rows first, then unnest element values.
     fn env_for(&self, t: &Tuple) -> Bindings {
         let mut env = self.base_env.clone();
         for &(src, row) in &t.rows {
@@ -1217,6 +1553,9 @@ impl Pipeline {
                         .collect(),
                 ),
             );
+        }
+        for (stage, v) in &t.unnest_vals {
+            env.insert(self.unnests[*stage].binding.clone(), v.clone());
         }
         env
     }
@@ -1275,6 +1614,7 @@ impl Pipeline {
                 frame,
                 valid,
                 rows: vec![(idx, row)],
+                unnest_vals: Vec::new(),
             };
             for sel in &s.selects {
                 if !self.apply_step(sel, &t, stats, "selection")? {
@@ -1354,6 +1694,46 @@ impl Pipeline {
                 }
                 Ok(out)
             }
+            Node::ThetaJoin {
+                left,
+                right,
+                band,
+                predicate,
+                selects,
+            } => {
+                let left_tuples = self.exec_node(left, stats)?;
+                let right_tuples = self.source_tuples(*right, stats)?;
+                let index = band.as_ref().map(|b| BandIndex::build(b, &right_tuples));
+                let all: Vec<usize> = (0..right_tuples.len()).collect();
+                let rslots = &self.sources[*right].slots;
+                let mut out = Vec::new();
+                for lt in &left_tuples {
+                    let candidates = theta_candidates(lt, band.as_ref(), index.as_ref());
+                    self.probe_pairs(
+                        lt,
+                        candidates.as_deref().unwrap_or(&all),
+                        &right_tuples,
+                        rslots,
+                        predicate,
+                        selects,
+                        &mut out,
+                        stats,
+                    )?;
+                }
+                Ok(out)
+            }
+            Node::Unnest {
+                input,
+                stage,
+                selects,
+            } => {
+                let input_tuples = self.exec_node(input, stats)?;
+                let mut out = Vec::new();
+                for t in &input_tuples {
+                    self.unnest_tuple(*stage, selects, t, &mut out, stats)?;
+                }
+                Ok(out)
+            }
         }
     }
 
@@ -1382,6 +1762,12 @@ impl Pipeline {
                 frame,
                 valid: lt.valid && rt.valid,
                 rows: lt.rows.iter().chain(rt.rows.iter()).copied().collect(),
+                unnest_vals: lt
+                    .unnest_vals
+                    .iter()
+                    .chain(rt.unnest_vals.iter())
+                    .cloned()
+                    .collect(),
             };
             if !self.apply_step(predicate, &merged, stats, "join")? {
                 continue;
@@ -1395,6 +1781,176 @@ impl Pipeline {
         }
         Ok(())
     }
+
+    /// Flatten one input tuple through an unnest stage: one output tuple
+    /// per collection element, frames extended with the element slots,
+    /// stage selects applied (shared by the serial and the morsel-parallel
+    /// paths).
+    fn unnest_tuple(
+        &self,
+        stage: usize,
+        selects: &[Step],
+        t: &Tuple,
+        out: &mut Vec<Tuple>,
+        stats: &mut ExecStats,
+    ) -> Result<()> {
+        let u = &self.unnests[stage];
+        let evaluated;
+        let coll: &Value = match u.src_col {
+            Some((src, col)) => {
+                let (_, row) = t
+                    .rows
+                    .iter()
+                    .find(|(s, _)| *s == src)
+                    .copied()
+                    .expect("unnest source bound upstream");
+                &self.sources[src].env_fields[col].1[row]
+            }
+            None => {
+                evaluated = eval(&u.path, &self.env_for(t))?;
+                &evaluated
+            }
+        };
+        let items = coll.elements().ok_or_else(|| {
+            VidaError::Exec(format!("unnest path {} produced non-collection", u.path))
+        })?;
+        'items: for item in items {
+            let mut frame = t.frame.clone();
+            let mut valid = t.valid;
+            for (field, slot, ty) in &u.slots {
+                let v = match field {
+                    None => Some(item),
+                    Some(f) => item.field(f),
+                };
+                match v.and_then(|v| encode_scalar(*ty, v)) {
+                    Some(bits) => frame[*slot] = bits,
+                    None => valid = false,
+                }
+            }
+            let mut unnest_vals = t.unnest_vals.clone();
+            unnest_vals.push((stage, item.clone()));
+            let nt = Tuple {
+                frame,
+                valid,
+                rows: t.rows.clone(),
+                unnest_vals,
+            };
+            for sel in selects {
+                if !self.apply_step(sel, &nt, stats, "selection")? {
+                    continue 'items;
+                }
+            }
+            out.push(nt);
+        }
+        Ok(())
+    }
+}
+
+/// The sorted key index a band theta join probes: valid right tuples keyed
+/// by their compiled band key, plus the tuples the index cannot order
+/// (invalid frames, NaN keys) which every probe must still check pairwise.
+struct BandIndex {
+    /// `(key bits, right tuple index)`, sorted by key then index.
+    sorted: Vec<(i64, usize)>,
+    /// Right-scan-order indexes outside the sorted run.
+    unindexed: Vec<usize>,
+}
+
+impl BandIndex {
+    fn build(band: &Band, right_tuples: &[Tuple]) -> BandIndex {
+        let mut sorted = Vec::with_capacity(right_tuples.len());
+        let mut unindexed = Vec::new();
+        for (i, t) in right_tuples.iter().enumerate() {
+            if !t.valid {
+                unindexed.push(i);
+                continue;
+            }
+            let k = encode_key(
+                band.right_key.call(&t.frame),
+                band.right_key_ty,
+                band.float_keys,
+            );
+            if band.float_keys && f64::from_bits(k as u64).is_nan() {
+                // NaN compares false under every IEEE ordering; keep such
+                // keys out of the sorted run (they would break binary
+                // search) and let the pairwise predicate reject them.
+                unindexed.push(i);
+            } else {
+                sorted.push((k, i));
+            }
+        }
+        if band.float_keys {
+            sorted.sort_unstable_by(|(a, ai), (b, bi)| {
+                f64::from_bits(*a as u64)
+                    .total_cmp(&f64::from_bits(*b as u64))
+                    .then(ai.cmp(bi))
+            });
+        } else {
+            sorted.sort_unstable();
+        }
+        BandIndex { sorted, unindexed }
+    }
+
+    /// Indexes of the sorted run satisfying `left_key op right_key` for one
+    /// probe key, as the half-open range binary search finds.
+    fn range(&self, band: &Band, lk: i64) -> &[(i64, usize)] {
+        let lt = |k: i64| key_lt(k, lk, band.float_keys);
+        let le = |k: i64| !key_lt(lk, k, band.float_keys);
+        match band.op {
+            // left < right: the strict suffix of keys above lk.
+            BinOp::Lt => &self.sorted[self.sorted.partition_point(|&(k, _)| le(k))..],
+            // left <= right: keys at or above lk.
+            BinOp::Le => &self.sorted[self.sorted.partition_point(|&(k, _)| lt(k))..],
+            // left > right: the strict prefix of keys below lk.
+            BinOp::Gt => &self.sorted[..self.sorted.partition_point(|&(k, _)| lt(k))],
+            // left >= right: keys at or below lk.
+            BinOp::Ge => &self.sorted[..self.sorted.partition_point(|&(k, _)| le(k))],
+            _ => unreachable!("band ops are range comparisons"),
+        }
+    }
+}
+
+/// Strict `a < b` over canonical key bits.
+fn key_lt(a: i64, b: i64, float_keys: bool) -> bool {
+    if float_keys {
+        f64::from_bits(a as u64) < f64::from_bits(b as u64)
+    } else {
+        a < b
+    }
+}
+
+/// Candidate right-tuple indexes for one theta probe, in ascending
+/// (right-scan) order so non-commutative monoids see the interpreter's pair
+/// order. `None` means "every build tuple" — invalid probe frames and
+/// band-less joins run the block-nested loop over a candidate list the
+/// caller hoisted once, instead of reallocating it per probe. Band probes
+/// narrow to the sorted key range plus the unindexed stragglers.
+fn theta_candidates(
+    lt: &Tuple,
+    band: Option<&Band>,
+    index: Option<&BandIndex>,
+) -> Option<Vec<usize>> {
+    let (Some(band), Some(index)) = (band, index) else {
+        return None;
+    };
+    if !lt.valid {
+        return None;
+    }
+    let lk = encode_key(
+        band.left_key.call(&lt.frame),
+        band.left_key_ty,
+        band.float_keys,
+    );
+    let mut c: Vec<usize> = if band.float_keys && f64::from_bits(lk as u64).is_nan() {
+        // NaN probe keys satisfy no IEEE range; only the unindexed build
+        // tuples (whose comparison runs through the full predicate) remain.
+        Vec::new()
+    } else {
+        index.range(band, lk).iter().map(|&(_, i)| i).collect()
+    };
+    c.extend(index.unindexed.iter().copied());
+    c.sort_unstable();
+    Some(c)
 }
 
 // ---------------------------------------------------------------------------
@@ -1626,6 +2182,96 @@ impl Pipeline {
                 }
                 Ok(out)
             }
+            Node::ThetaJoin {
+                left,
+                right,
+                band,
+                predicate,
+                selects,
+            } => {
+                let left_tuples = self.exec_node_parallel(left, pool, stats)?;
+                let right_tuples = self.source_tuples_parallel(*right, pool, stats)?;
+                // The sorted band index is built once by the coordinator —
+                // a pure function of the right tuples, so every thread
+                // count probes the identical index.
+                let index = band.as_ref().map(|b| BandIndex::build(b, &right_tuples));
+                let all: Vec<usize> = (0..right_tuples.len()).collect();
+                let rslots = &self.sources[*right].slots;
+                let lplan = MorselPlan::fixed(left_tuples.len(), self.morsel_rows);
+                stats.morsels += lplan.len() as u64;
+                let chunks = pool.run_morsels(
+                    lplan.len(),
+                    |_| (),
+                    |_, m| {
+                        let mut ws = ExecStats::default();
+                        let mut out = Vec::new();
+                        for lt in &left_tuples[lplan.range(m)] {
+                            let candidates = theta_candidates(lt, band.as_ref(), index.as_ref());
+                            self.probe_pairs(
+                                lt,
+                                candidates.as_deref().unwrap_or(&all),
+                                &right_tuples,
+                                rslots,
+                                predicate,
+                                selects,
+                                &mut out,
+                                &mut ws,
+                            )?;
+                        }
+                        Ok::<_, VidaError>((out, ws))
+                    },
+                )?;
+                let mut out = Vec::new();
+                for (chunk, ws) in chunks {
+                    out.extend(chunk);
+                    stats.absorb_worker(&ws);
+                }
+                Ok(out)
+            }
+            Node::Unnest {
+                input,
+                stage,
+                selects,
+            } => {
+                let input_tuples = self.exec_node_parallel(input, pool, stats)?;
+                let plan = MorselPlan::fixed(input_tuples.len(), self.morsel_rows);
+                stats.morsels += plan.len() as u64;
+                let chunks = pool.run_morsels(
+                    plan.len(),
+                    |_| (),
+                    |_, m| {
+                        let mut ws = ExecStats::default();
+                        let mut out = Vec::new();
+                        for t in &input_tuples[plan.range(m)] {
+                            self.unnest_tuple(*stage, selects, t, &mut out, &mut ws)?;
+                        }
+                        Ok::<_, VidaError>((out, ws))
+                    },
+                )?;
+                let mut out = Vec::new();
+                for (chunk, ws) in chunks {
+                    out.extend(chunk);
+                    stats.absorb_worker(&ws);
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Record the pipeline stages a fully-assembled operator tree will execute
+/// (`unnest_pipelines` / `theta_pipelines`).
+fn count_stages(node: &Node, stats: &mut ExecStats) {
+    match node {
+        Node::Source(_) => {}
+        Node::HashJoin { left, .. } => count_stages(left, stats),
+        Node::ThetaJoin { left, .. } => {
+            stats.theta_pipelines += 1;
+            count_stages(left, stats);
+        }
+        Node::Unnest { input, .. } => {
+            stats.unnest_pipelines += 1;
+            count_stages(input, stats);
         }
     }
 }
@@ -1845,31 +2491,160 @@ mod tests {
         assert!(cache.stats().hits > 0);
     }
 
-    #[test]
-    fn unnest_and_constant_queries_fall_back() {
+    fn nested_catalog() -> MemoryCatalog {
         let cat = MemoryCatalog::new();
         cat.register_records(
             "Regions",
             Schema::from_pairs([("id", Type::Int), ("voxels", Type::bag(Type::Int))]),
-            &[Value::record([
-                ("id", Value::Int(1)),
-                ("voxels", Value::bag(vec![Value::Int(5), Value::Int(15)])),
-            ])],
+            &[
+                Value::record([
+                    ("id", Value::Int(1)),
+                    ("voxels", Value::bag(vec![Value::Int(5), Value::Int(15)])),
+                ]),
+                Value::record([
+                    ("id", Value::Int(2)),
+                    (
+                        "voxels",
+                        Value::bag(vec![Value::Int(30), Value::Int(7), Value::Int(12)]),
+                    ),
+                ]),
+                Value::record([("id", Value::Int(3)), ("voxels", Value::bag(vec![]))]),
+            ],
         )
         .unwrap();
+        cat
+    }
+
+    #[test]
+    fn unnest_runs_through_generated_pipeline() {
+        let cat = nested_catalog();
+        let plan = plan_of("for { r <- Regions, v <- r.voxels, v > 10 } yield sum v");
+        let (v, stats) = run_jit_with_stats(&plan, &cat, &JitOptions::default()).unwrap();
+        assert_eq!(v, Value::Int(15 + 30 + 12));
+        assert_eq!(stats.whole_query_fallbacks, 0, "{stats:?}");
+        assert_eq!(stats.unnest_pipelines, 1);
+        // The element slot compiled the inner predicate: no per-tuple
+        // interpretation beyond nulls (of which this fixture has none).
+        assert_eq!(stats.fallback_tuples, 0, "{stats:?}");
+        assert!(stats.kernels_compiled >= 1);
+        // Element order is preserved (list monoid).
+        let plan = plan_of("for { r <- Regions, v <- r.voxels } yield list v");
+        let (v, _) = run_jit_with_stats(&plan, &cat, &JitOptions::default()).unwrap();
         assert_eq!(
-            run_jit(
-                &plan_of("for { r <- Regions, v <- r.voxels, v > 10 } yield sum v"),
-                &cat,
-                &JitOptions::default()
-            )
-            .unwrap(),
-            Value::Int(15)
+            v.elements().unwrap(),
+            &[5, 15, 30, 7, 12].map(Value::Int) as &[Value]
         );
-        assert_eq!(
-            run_jit(&plan_of("1 + 2"), &cat, &JitOptions::default()).unwrap(),
-            Value::Int(3)
-        );
+    }
+
+    #[test]
+    fn constant_queries_still_fall_back() {
+        let cat = nested_catalog();
+        let plan = plan_of("1 + 2");
+        let (v, stats) = run_jit_with_stats(&plan, &cat, &JitOptions::default()).unwrap();
+        assert_eq!(v, Value::Int(3));
+        assert_eq!(stats.whole_query_fallbacks, 1);
+        // Literal-collection generators unnest over the unit row: also
+        // degenerate, also the fallback engine.
+        let plan = plan_of("for { x <- [1, 2, 3] } yield sum x");
+        let (v, stats) = run_jit_with_stats(&plan, &cat, &JitOptions::default()).unwrap();
+        assert_eq!(v, Value::Int(6));
+        assert_eq!(stats.whole_query_fallbacks, 1);
+    }
+
+    #[test]
+    fn unnest_agrees_with_volcano_at_every_thread_count() {
+        let cat = nested_catalog();
+        let queries = [
+            "for { r <- Regions, v <- r.voxels } yield list v",
+            "for { r <- Regions, v <- r.voxels, v > 10 } yield count v",
+            "for { r <- Regions, v <- r.voxels, r.id > 1 } yield sum (v + r.id)",
+            "for { r <- Regions, v <- r.voxels } yield bag (id := r.id, v := v)",
+            "for { r <- Regions, v <- r.voxels } yield set v",
+        ];
+        for q in queries {
+            let plan = plan_of(q);
+            let oracle = crate::volcano::run_volcano(&plan, &cat).unwrap();
+            for threads in [1usize, 2, 8] {
+                let opts = JitOptions {
+                    threads,
+                    morsel_rows: 1,
+                    clamp_threads: false,
+                    ..Default::default()
+                };
+                let v = run_jit(&plan, &cat, &opts).unwrap();
+                assert_eq!(v, oracle, "threads={threads} deviates for {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn theta_join_band_and_nested_loop_agree_with_volcano() {
+        let cat = catalog();
+        let queries = [
+            // Band: range comparison between the sides.
+            "for { p <- Patients, g <- Genetics, p.id < g.id } yield list p.age",
+            "for { p <- Patients, g <- Genetics, p.id <= g.id, p.age > 40 } yield count p",
+            "for { p <- Patients, g <- Genetics, p.id >= g.id } yield sum g.id",
+            // Block-nested-loop: inequality and products.
+            "for { p <- Patients, g <- Genetics, p.id != g.id } yield count p",
+            "for { p <- Patients, g <- Genetics } yield count p",
+        ];
+        for q in queries {
+            let plan = plan_of(q);
+            let oracle = crate::volcano::run_volcano(&plan, &cat).unwrap();
+            for threads in [1usize, 2, 8] {
+                let opts = JitOptions {
+                    threads,
+                    morsel_rows: 1,
+                    clamp_threads: false,
+                    ..Default::default()
+                };
+                let (v, stats) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+                assert_eq!(v, oracle, "threads={threads} deviates for {q}");
+                assert_eq!(stats.whole_query_fallbacks, 0, "{q}: {stats:?}");
+                assert_eq!(stats.theta_pipelines, 1, "{q}: {stats:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bushy_join_tree_lowers_to_pipeline() {
+        use vida_algebra::Plan as P;
+        let cat = catalog();
+        let scan = |d: &str, b: &str| P::Scan {
+            dataset: d.into(),
+            binding: b.into(),
+        };
+        // Patients ⋈[p.id = g.id] (Patients ⋈[q.id = g.id] Genetics),
+        // directly constructed (comprehension lowering is always
+        // left-deep).
+        let bushy = P::Reduce {
+            input: Box::new(P::Join {
+                left: Box::new(scan("Patients", "p")),
+                right: Box::new(P::Join {
+                    left: Box::new(scan("Patients", "q")),
+                    right: Box::new(scan("Genetics", "g")),
+                    predicate: vida_lang::parse("q.id = g.id").unwrap(),
+                }),
+                predicate: vida_lang::parse("p.id = g.id").unwrap(),
+            }),
+            monoid: Monoid::Collection(CollectionKind::List),
+            head: vida_lang::parse("p.age + q.age + g.id").unwrap(),
+        };
+        let oracle = crate::volcano::run_volcano(&bushy, &cat).unwrap();
+        let (v, stats) = run_jit_with_stats(&bushy, &cat, &JitOptions::default()).unwrap();
+        assert_eq!(v, oracle);
+        assert_eq!(stats.whole_query_fallbacks, 0, "{stats:?}");
+        assert_eq!(stats.bushy_lowered, 1, "{stats:?}");
+        for threads in [2usize, 8] {
+            let opts = JitOptions {
+                threads,
+                morsel_rows: 1,
+                clamp_threads: false,
+                ..Default::default()
+            };
+            assert_eq!(run_jit(&bushy, &cat, &opts).unwrap(), oracle);
+        }
     }
 
     #[test]
@@ -1917,14 +2692,43 @@ mod tests {
     }
 
     #[test]
-    fn fallback_join_does_not_materialize_columns() {
-        // Non-equi joins bail to the Volcano engine before any column is
-        // read, so the raw files are scanned once, not twice.
+    fn non_equi_join_compiles_to_band_pipeline() {
+        // Non-equi joins used to bail to the Volcano engine wholesale; the
+        // mixed-tower range predicate now compiles into a band sort-probe
+        // pipeline over materialized columns.
         let plan = plan_of("for { p <- Patients, g <- Genetics, p.age > g.snp } yield count p");
         let (v, stats) = run_jit_with_stats(&plan, &catalog(), &JitOptions::default()).unwrap();
         assert_eq!(v, Value::Int(9)); // every (p, g) pair: ages dwarf snps
-        assert_eq!(stats.raw_columns, 0, "{stats:?}");
-        assert_eq!(stats.cached_columns, 0);
+        assert_eq!(stats.whole_query_fallbacks, 0, "{stats:?}");
+        assert_eq!(stats.theta_pipelines, 1, "{stats:?}");
+        assert!(stats.raw_columns > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn interpret_only_joins_still_fall_back_wholesale() {
+        let opts = JitOptions {
+            interpret_only: true,
+            ..Default::default()
+        };
+        let plan = plan_of("for { p <- Patients, g <- Genetics, p.id < g.id } yield count p");
+        let (_, stats) = run_jit_with_stats(&plan, &catalog(), &opts).unwrap();
+        assert_eq!(stats.whole_query_fallbacks, 1, "{stats:?}");
+        assert_eq!(stats.raw_columns, 0);
+        // An unnest below an interpret_only join must not count as an
+        // executed pipeline stage: the whole query fell back.
+        let cat = nested_catalog();
+        cat.register_records(
+            "Flat",
+            Schema::from_pairs([("id", Type::Int)]),
+            &[Value::record([("id", Value::Int(5))])],
+        )
+        .unwrap();
+        let plan =
+            plan_of("for { r <- Regions, v <- r.voxels, f <- Flat, v = f.id } yield count v");
+        let (_, stats) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert_eq!(stats.whole_query_fallbacks, 1, "{stats:?}");
+        assert_eq!(stats.unnest_pipelines, 0, "{stats:?}");
+        assert_eq!(stats.theta_pipelines, 0, "{stats:?}");
     }
 
     #[test]

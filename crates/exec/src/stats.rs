@@ -38,6 +38,19 @@ pub struct ExecStats {
     /// Superseded `Values` replicas dropped after re-shaping a field to a
     /// more compact layout.
     pub replicas_dropped: u32,
+    /// Unnest stages executed through a generated pipeline (one per
+    /// `Plan::Unnest` operator the builder compiled).
+    pub unnest_pipelines: u32,
+    /// Theta-join stages (band sort-probe or block-nested-loop) executed
+    /// through a generated pipeline.
+    pub theta_pipelines: u32,
+    /// Bushy-join rotations the `left_deepen` pass applied while lowering
+    /// this query's plan into a left-deep pipeline chain.
+    pub bushy_lowered: u32,
+    /// 1 when the whole query fell back to the interpreted Volcano engine
+    /// (plan shape outside the generated pipelines — unit-dataset constant
+    /// queries and the like); summed across queries by [`ExecStats::accumulate`].
+    pub whole_query_fallbacks: u32,
 }
 
 impl ExecStats {
@@ -59,6 +72,10 @@ impl ExecStats {
         self.morsels += other.morsels;
         self.replicas_written += other.replicas_written;
         self.replicas_dropped += other.replicas_dropped;
+        self.unnest_pipelines += other.unnest_pipelines;
+        self.theta_pipelines += other.theta_pipelines;
+        self.bushy_lowered += other.bushy_lowered;
+        self.whole_query_fallbacks += other.whole_query_fallbacks;
     }
 
     /// Merge counters from one worker of a parallel phase (wall times are
@@ -92,6 +109,10 @@ mod tests {
             morsels: 8,
             replicas_written: 2,
             replicas_dropped: 1,
+            unnest_pipelines: 1,
+            theta_pipelines: 2,
+            bushy_lowered: 1,
+            whole_query_fallbacks: 1,
         };
         assert_eq!(a.total(), Duration::from_micros(1000));
         let b = a.clone();
@@ -101,5 +122,9 @@ mod tests {
         assert_eq!(a.cached_columns, 6);
         assert_eq!(a.threads, 4); // max, not sum
         assert_eq!(a.morsels, 16);
+        assert_eq!(a.unnest_pipelines, 2);
+        assert_eq!(a.theta_pipelines, 4);
+        assert_eq!(a.bushy_lowered, 2);
+        assert_eq!(a.whole_query_fallbacks, 2);
     }
 }

@@ -8,8 +8,9 @@
 //!
 //! and all five results must agree. The engines share only the input
 //! plugins, so agreement is strong evidence that lowering, rewriting,
-//! kernel compilation, hash joins, and cache reads all preserve the
-//! calculus semantics.
+//! kernel compilation, hash/theta joins, unnest stages, and cache reads all
+//! preserve the calculus semantics. (The seeded random-plan sweep lives in
+//! `fuzz_differential.rs`; this file holds the curated fixtures.)
 
 use std::sync::Arc;
 use vida_algebra::{execute_plan, lower, rewrite};
@@ -21,8 +22,9 @@ use vida_formats::plugin::{CsvPlugin, JsonPlugin};
 use vida_lang::{eval, parse, Bindings};
 use vida_types::{Schema, Type, Value};
 
-/// Catalog over raw bytes: `Patients` parses from CSV text, `Genetics` from
-/// newline-delimited JSON — the two text formats of the paper's workload.
+/// Catalog over raw bytes: `Patients` parses from CSV text, `Genetics` and
+/// the nested `Regions` from newline-delimited JSON — the text formats of
+/// the paper's workload, including a genuinely nested array column.
 fn catalog() -> MemoryCatalog {
     let cat = MemoryCatalog::new();
     let csv_data = b"id,age,city\n\
@@ -55,6 +57,25 @@ fn catalog() -> MemoryCatalog {
     )
     .expect("json fixture parses");
     cat.register(Arc::new(JsonPlugin::new(json)));
+
+    let regions_data = b"{\"id\":1,\"voxels\":[3,15,7]}\n\
+                         {\"id\":2,\"voxels\":[]}\n\
+                         {\"id\":3,\"voxels\":[22,4]}\n\
+                         {\"id\":4,\"voxels\":[11]}\n"
+        .to_vec();
+    let regions = JsonFile::from_bytes(
+        "Regions",
+        regions_data,
+        Schema::from_pairs([
+            ("id", Type::Int),
+            (
+                "voxels",
+                Type::Collection(vida_types::CollectionKind::List, Box::new(Type::Int)),
+            ),
+        ]),
+    )
+    .expect("regions fixture parses");
+    cat.register(Arc::new(JsonPlugin::new(regions)));
     cat
 }
 
@@ -195,6 +216,85 @@ fn cross_format_avg_and_quantifier() {
     differential("for { p <- Patients, g <- Genetics, p.id = g.id } yield all g.snp < 1.0");
 }
 
+// --- Unnest, theta-join, and product pipelines -----------------------------
+//
+// These shapes took the whole-query Volcano fallback before the generated
+// unnest/theta pipelines landed; they now run through `run_jit`'s compiled
+// stages and must still agree with every oracle.
+
+#[test]
+fn unnest_over_nested_json_column() {
+    assert_eq!(
+        differential("for { r <- Regions, v <- r.voxels, v > 10 } yield sum v"),
+        Value::Int(15 + 22 + 11)
+    );
+    let v = differential("for { r <- Regions, v <- r.voxels } yield list v");
+    assert_eq!(
+        v.elements().unwrap(),
+        &[3, 15, 7, 22, 4, 11].map(Value::Int) as &[Value]
+    );
+}
+
+#[test]
+fn unnest_elements_join_flat_table() {
+    differential(
+        "for { r <- Regions, v <- r.voxels, g <- Genetics, v = g.id } \
+         yield bag (v := v, s := g.snp)",
+    );
+}
+
+#[test]
+fn theta_band_join() {
+    differential("for { p <- Patients, g <- Genetics, p.id < g.id } yield list g.snp");
+    differential("for { p <- Patients, g <- Genetics, p.id >= g.id, p.age > 40 } yield count p");
+}
+
+#[test]
+fn theta_nested_loop_join_and_product() {
+    differential("for { p <- Patients, g <- Genetics, p.id != g.id, p.age > 50 } yield count g");
+    differential("for { p <- Patients, g <- Genetics } yield count p");
+}
+
+#[test]
+fn previously_fallback_shapes_report_zero_whole_query_fallbacks() {
+    // Regression for the pipeline-coverage tentpole: the shapes above must
+    // compile (no whole-query fallback), and `fallback_tuples` stays
+    // reserved for null/type-mismatch tuples — of which these fixtures have
+    // none on the touched columns.
+    let cat = catalog();
+    let cases: [(&str, u32, u32); 4] = [
+        (
+            "for { r <- Regions, v <- r.voxels, v > 10 } yield sum v",
+            1,
+            0,
+        ),
+        (
+            "for { r <- Regions, v <- r.voxels, g <- Genetics, v = g.id } yield count v",
+            1,
+            0,
+        ),
+        (
+            "for { p <- Patients, g <- Genetics, p.id < g.id } yield list g.snp",
+            0,
+            1,
+        ),
+        (
+            "for { p <- Patients, g <- Genetics, p.id != g.id, p.age > 50 } yield count g",
+            0,
+            1,
+        ),
+    ];
+    for (q, unnests, thetas) in cases {
+        let plan = rewrite(&lower(&parse(q).unwrap()).unwrap());
+        let (_, stats) = vida_exec::run_jit_with_stats(&plan, &cat, &JitOptions::default())
+            .unwrap_or_else(|e| panic!("{q}: {e}"));
+        assert_eq!(stats.whole_query_fallbacks, 0, "{q}: {stats:?}");
+        assert_eq!(stats.unnest_pipelines, unnests, "{q}: {stats:?}");
+        assert_eq!(stats.theta_pipelines, thetas, "{q}: {stats:?}");
+        assert_eq!(stats.fallback_tuples, 0, "{q}: {stats:?}");
+    }
+}
+
 // --- Shapes that exercise the interpreted fallback ------------------------
 
 #[test]
@@ -259,6 +359,31 @@ fn big_catalog(n: usize) -> MemoryCatalog {
     )
     .expect("json fixture parses");
     cat.register(Arc::new(JsonPlugin::new(json)));
+
+    // Nested regions: ragged voxel arrays (some empty).
+    let mut regions = String::new();
+    for i in 0..n / 2 {
+        let voxels: Vec<String> = (0..(i % 5))
+            .map(|j| format!("{}", (i + 3 * j) % 40))
+            .collect();
+        regions.push_str(&format!(
+            "{{\"id\":{i},\"voxels\":[{}]}}\n",
+            voxels.join(",")
+        ));
+    }
+    let regions = JsonFile::from_bytes(
+        "Regions",
+        regions.into_bytes(),
+        Schema::from_pairs([
+            ("id", Type::Int),
+            (
+                "voxels",
+                Type::Collection(vida_types::CollectionKind::List, Box::new(Type::Int)),
+            ),
+        ]),
+    )
+    .expect("regions fixture parses");
+    cat.register(Arc::new(JsonPlugin::new(regions)));
     cat
 }
 
@@ -315,6 +440,34 @@ fn parallel_cross_format_hash_join_across_thread_counts() {
     thread_sweep(
         "for { p <- Patients, g <- Genetics, p.id = g.id, g.snp > 0.5 } yield list p.id",
         300,
+    );
+}
+
+#[test]
+fn parallel_unnest_and_theta_join_across_thread_counts() {
+    // The new pipeline stages under the same determinism contract: raw
+    // nested JSON, null-riddled probe sides, list monoids pinning order.
+    thread_sweep(
+        "for { r <- Regions, v <- r.voxels, v > 5 } yield list v",
+        200,
+    );
+    thread_sweep(
+        "for { r <- Regions, v <- r.voxels } yield bag (id := r.id, v := v)",
+        200,
+    );
+    thread_sweep(
+        "for { r <- Regions, v <- r.voxels, g <- Genetics, v = g.id } yield sum g.snp",
+        200,
+    );
+    // Band sort-probe with null ages routing probes through the fallback.
+    thread_sweep(
+        "for { p <- Patients, g <- Genetics, p.age < g.id, g.id > 190 } yield list g.id",
+        200,
+    );
+    // Block-nested-loop inequality join.
+    thread_sweep(
+        "for { p <- Patients, g <- Genetics, p.id != g.id, g.id < 4, p.id < 30 } yield count p",
+        100,
     );
 }
 

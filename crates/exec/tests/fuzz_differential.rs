@@ -1,0 +1,598 @@
+//! Seeded differential query fuzzer.
+//!
+//! Each fixed seed drives a deterministic xorshift generator through ~200
+//! random algebra plans spanning *every* pipeline shape: scans, selects,
+//! equi / theta / product joins, left-deep and bushy join trees, single and
+//! chained unnests over nested columns (scalar, record, and
+//! list-of-list elements), and every monoid — over null-riddled inputs.
+//! Every plan runs through three independent evaluators:
+//!
+//! 1. the interpreted Volcano engine (`run_volcano`) — the oracle,
+//! 2. the naive algebra interpreter (`execute_plan`),
+//! 3. the JIT pipelines (`run_jit`) at 1, 2, and 8 worker threads with
+//!    shrunken morsels,
+//!
+//! and all results must agree (when the oracle errors — e.g. a plan the
+//! generator built over a path that is not a collection — the JIT engine
+//! must error too). Because every generated shape is inside the pipeline
+//! coverage, the fuzzer also asserts that **no plan takes the whole-query
+//! Volcano fallback**: unnests, theta joins, and bushy trees all compile.
+//!
+//! Seeds are fixed in code, so a failure replays exactly: the panic message
+//! carries the seed, the plan index, and the plan itself.
+//!
+//! Float columns hold dyadic rationals (k/16), whose sums are exact in
+//! `f64` at any merge order — so thread-count sweeps catch real
+//! parallelism bugs rather than benign reassociation ulps.
+
+use vida_algebra::{execute_plan, rewrite, Plan};
+use vida_exec::{run_jit_with_stats, run_volcano, JitOptions, MemoryCatalog, SourceProvider};
+use vida_lang::{BinOp, Bindings, Expr};
+use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Schema, Type, Value};
+use vida_workload::Rng;
+
+/// Seeds for the fuzz matrix; CI runs the same set in release mode.
+const SEEDS: [u64; 3] = [0xDEC0DE, 42, 7];
+/// Plans generated per seed.
+const PLANS_PER_SEED: usize = 200;
+
+// ---------------------------------------------------------------------------
+// Fixture catalog: two flat tables (null-riddled) and one nested table.
+// ---------------------------------------------------------------------------
+
+fn catalog() -> MemoryCatalog {
+    let cat = MemoryCatalog::new();
+
+    // A(k, x, f, s): x is null on every 5th-ish row; f is dyadic.
+    let colors = ["red", "green", "blue"];
+    let rows_a: Vec<Value> = (0..16i64)
+        .map(|i| {
+            Value::record([
+                ("k", Value::Int(i)),
+                (
+                    "x",
+                    if i % 5 == 3 {
+                        Value::Null
+                    } else {
+                        Value::Int((i * 3) % 20)
+                    },
+                ),
+                ("f", Value::Float((i % 16) as f64 / 16.0)),
+                ("s", Value::str(colors[(i % 3) as usize])),
+            ])
+        })
+        .collect();
+    cat.register_records(
+        "A",
+        Schema::from_pairs([
+            ("k", Type::Int),
+            ("x", Type::Int),
+            ("f", Type::Float),
+            ("s", Type::Str),
+        ]),
+        &rows_a,
+    )
+    .unwrap();
+
+    // B(k, y): duplicate keys (k = i % 8) and nulls in y.
+    let rows_b: Vec<Value> = (0..12i64)
+        .map(|i| {
+            Value::record([
+                ("k", Value::Int(i % 8)),
+                (
+                    "y",
+                    if i % 7 == 2 {
+                        Value::Null
+                    } else {
+                        Value::Int((i * 5) % 30)
+                    },
+                ),
+            ])
+        })
+        .collect();
+    cat.register_records(
+        "B",
+        Schema::from_pairs([("k", Type::Int), ("y", Type::Int)]),
+        &rows_b,
+    )
+    .unwrap();
+
+    // N(id, xs, ys, mat): nested columns — scalar lists, record lists
+    // (with an occasional null element field), and lists of lists.
+    let rows_n: Vec<Value> = (0..10i64)
+        .map(|i| {
+            let xs: Vec<Value> = (0..(i % 4)).map(|j| Value::Int(i + 2 * j)).collect();
+            let ys: Vec<Value> = (0..(i % 3))
+                .map(|j| {
+                    Value::record([
+                        (
+                            "u",
+                            if (i + j) % 6 == 4 {
+                                Value::Null
+                            } else {
+                                Value::Int(i + j)
+                            },
+                        ),
+                        ("w", Value::Float(((i + j) % 8) as f64 / 8.0)),
+                    ])
+                })
+                .collect();
+            let mat: Vec<Value> = (0..(i % 3))
+                .map(|j| Value::list(((i + j) % 3..3).map(Value::Int).collect()))
+                .collect();
+            Value::record([
+                ("id", Value::Int(i)),
+                ("xs", Value::list(xs)),
+                ("ys", Value::list(ys)),
+                ("mat", Value::list(mat)),
+            ])
+        })
+        .collect();
+    let rec_ty = Type::record([("u", Type::Int), ("w", Type::Float)]);
+    cat.register_records(
+        "N",
+        Schema::from_pairs([
+            ("id", Type::Int),
+            (
+                "xs",
+                Type::Collection(CollectionKind::List, Box::new(Type::Int)),
+            ),
+            (
+                "ys",
+                Type::Collection(CollectionKind::List, Box::new(rec_ty)),
+            ),
+            (
+                "mat",
+                Type::Collection(
+                    CollectionKind::List,
+                    Box::new(Type::Collection(CollectionKind::List, Box::new(Type::Int))),
+                ),
+            ),
+        ]),
+        &rows_n,
+    )
+    .unwrap();
+    cat
+}
+
+// ---------------------------------------------------------------------------
+// Plan generator
+// ---------------------------------------------------------------------------
+
+/// What a generated binding ranges over — determines which predicate and
+/// head templates are valid for it.
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    FlatA,
+    FlatB,
+    NestedN,
+    /// Unnested scalar element (from `xs` or an inner `mat` list).
+    ElemInt,
+    /// Unnested record element (from `ys`).
+    ElemRec,
+    /// Unnested list element (from `mat`): collection-valued, only useful
+    /// as the source of a further unnest.
+    ElemList,
+}
+
+struct Gen {
+    rng: Rng,
+    bound: Vec<(String, Kind)>,
+    next_id: usize,
+}
+
+impl Gen {
+    fn new(rng: Rng) -> Self {
+        Gen {
+            rng,
+            bound: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn fresh(&mut self, kind: Kind) -> String {
+        let name = format!("t{}", self.next_id);
+        self.next_id += 1;
+        self.bound.push((name.clone(), kind));
+        name
+    }
+
+    fn scan(&mut self) -> (Plan, Kind) {
+        let (dataset, kind) = match self.rng.below(3) {
+            0 => ("A", Kind::FlatA),
+            1 => ("B", Kind::FlatB),
+            _ => ("N", Kind::NestedN),
+        };
+        let binding = self.fresh(kind);
+        (
+            Plan::Scan {
+                dataset: dataset.into(),
+                binding,
+            },
+            kind,
+        )
+    }
+
+    /// An int-valued path of a binding (some nullable — that is the point).
+    fn int_path(&mut self, name: &str, kind: Kind) -> Expr {
+        let var = Expr::var(name);
+        match kind {
+            Kind::FlatA => {
+                if self.rng.below(2) == 0 {
+                    var.proj("k")
+                } else {
+                    var.proj("x")
+                }
+            }
+            Kind::FlatB => {
+                if self.rng.below(2) == 0 {
+                    var.proj("k")
+                } else {
+                    var.proj("y")
+                }
+            }
+            Kind::NestedN => var.proj("id"),
+            Kind::ElemInt => var,
+            Kind::ElemRec => var.proj("u"),
+            Kind::ElemList => unreachable!("list elements have no int path"),
+        }
+    }
+
+    /// A random scalar-bearing binding (anything but `ElemList`).
+    fn scalar_binding(&mut self) -> (String, Kind) {
+        let scalars: Vec<(String, Kind)> = self
+            .bound
+            .iter()
+            .filter(|(_, k)| *k != Kind::ElemList)
+            .cloned()
+            .collect();
+        scalars[self.rng.below(scalars.len() as u64) as usize].clone()
+    }
+
+    /// A one-sided filter predicate over `name`.
+    fn filter_pred(&mut self, name: &str, kind: Kind) -> Expr {
+        let c = Expr::int(self.rng.below(20) as i64);
+        match kind {
+            Kind::FlatA => match self.rng.below(4) {
+                0 => Expr::bin(BinOp::Gt, Expr::var(name).proj("x"), c),
+                1 => Expr::bin(BinOp::Lt, Expr::var(name).proj("k"), c),
+                2 => Expr::bin(
+                    BinOp::Eq,
+                    Expr::var(name).proj("s"),
+                    Expr::str(["red", "green", "blue"][self.rng.below(3) as usize]),
+                ),
+                _ => Expr::bin(
+                    BinOp::Le,
+                    Expr::var(name).proj("f"),
+                    Expr::float(self.rng.below(16) as f64 / 16.0),
+                ),
+            },
+            Kind::FlatB => {
+                let p = self.int_path(name, kind);
+                Expr::bin(
+                    if self.rng.below(2) == 0 {
+                        BinOp::Gt
+                    } else {
+                        BinOp::Le
+                    },
+                    p,
+                    c,
+                )
+            }
+            Kind::NestedN => Expr::bin(BinOp::Gt, Expr::var(name).proj("id"), c),
+            Kind::ElemInt => Expr::bin(
+                if self.rng.below(2) == 0 {
+                    BinOp::Gt
+                } else {
+                    BinOp::Ne
+                },
+                Expr::var(name),
+                Expr::int(self.rng.below(8) as i64),
+            ),
+            Kind::ElemRec => {
+                if self.rng.below(2) == 0 {
+                    Expr::bin(BinOp::Gt, Expr::var(name).proj("u"), c)
+                } else {
+                    Expr::bin(
+                        BinOp::Le,
+                        Expr::var(name).proj("w"),
+                        Expr::float(self.rng.below(8) as f64 / 8.0),
+                    )
+                }
+            }
+            Kind::ElemList => unreachable!("no filters over list elements"),
+        }
+    }
+
+    /// A join predicate between `left` bindings and the `right` binding.
+    fn join_pred(&mut self, left: &[(String, Kind)], right: &(String, Kind)) -> Expr {
+        let li = self.rng.below(left.len() as u64) as usize;
+        let (ln, lk) = left[li].clone();
+        let lp = self.int_path(&ln, lk);
+        let (rn, rk) = right.clone();
+        let rp = self.int_path(&rn, rk);
+        match self.rng.below(6) {
+            // Equi join (hash pipeline).
+            0 | 1 => Expr::bin(BinOp::Eq, lp, rp),
+            // Band (sort-probe theta pipeline).
+            2 | 3 => {
+                let op = [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge][self.rng.below(4) as usize];
+                Expr::bin(op, lp, rp)
+            }
+            // Inequality (block-nested-loop theta pipeline).
+            4 => Expr::bin(BinOp::Ne, lp, rp),
+            // Equi + extra conjunct, or the bare product.
+            _ => {
+                if self.rng.below(3) == 0 {
+                    Expr::bool(true)
+                } else {
+                    let extra = self.filter_pred(&rn, rk);
+                    Expr::bin(BinOp::And, Expr::bin(BinOp::Eq, lp, rp), extra)
+                }
+            }
+        }
+    }
+
+    /// Unnest a nested binding's collection path on top of `input`.
+    /// Occasionally chains: `mat` unnests to a list element which unnests
+    /// again to its ints.
+    fn unnest_over(&mut self, input: Plan, nested: &str) -> Plan {
+        match self.rng.below(4) {
+            0 | 1 => {
+                let v = self.fresh(Kind::ElemInt);
+                Plan::Unnest {
+                    input: Box::new(input),
+                    binding: v,
+                    path: Expr::var(nested).proj("xs"),
+                }
+            }
+            2 => {
+                let v = self.fresh(Kind::ElemRec);
+                Plan::Unnest {
+                    input: Box::new(input),
+                    binding: v,
+                    path: Expr::var(nested).proj("ys"),
+                }
+            }
+            _ => {
+                let row = self.fresh(Kind::ElemList);
+                let outer = Plan::Unnest {
+                    input: Box::new(input),
+                    binding: row.clone(),
+                    path: Expr::var(nested).proj("mat"),
+                };
+                let v = self.fresh(Kind::ElemInt);
+                Plan::Unnest {
+                    input: Box::new(outer),
+                    binding: v,
+                    path: Expr::var(&row),
+                }
+            }
+        }
+    }
+
+    /// The generator's source tree: scans, joins (left-deep and bushy),
+    /// and unnests.
+    fn source_tree(&mut self) -> Plan {
+        match self.rng.below(8) {
+            // Single scan.
+            0 => self.scan().0,
+            // Two-way join.
+            1 | 2 => {
+                let (l, lk) = self.scan();
+                let lvars = vec![(self.bound.last().unwrap().0.clone(), lk)];
+                let (r, rk) = self.scan();
+                let rname = self.bound.last().unwrap().0.clone();
+                let predicate = self.join_pred(&lvars, &(rname, rk));
+                Plan::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    predicate,
+                }
+            }
+            // Three-way join, left-deep or bushy.
+            3 | 4 => {
+                let (s1, k1) = self.scan();
+                let n1 = self.bound.last().unwrap().0.clone();
+                let (s2, k2) = self.scan();
+                let n2 = self.bound.last().unwrap().0.clone();
+                let (s3, k3) = self.scan();
+                let n3 = self.bound.last().unwrap().0.clone();
+                if self.rng.below(2) == 0 {
+                    // Left-deep: (s1 ⋈ s2) ⋈ s3.
+                    let p12 = self.join_pred(&[(n1.clone(), k1)], &(n2.clone(), k2));
+                    let p3 = self.join_pred(&[(n1, k1), (n2, k2)], &(n3, k3));
+                    Plan::Join {
+                        left: Box::new(Plan::Join {
+                            left: Box::new(s1),
+                            right: Box::new(s2),
+                            predicate: p12,
+                        }),
+                        right: Box::new(s3),
+                        predicate: p3,
+                    }
+                } else {
+                    // Bushy: s1 ⋈ (s2 ⋈ s3) — the shape `left_deepen`
+                    // rotates. The outer predicate links s1 to either
+                    // binding of the right subtree.
+                    let p23 = self.join_pred(&[(n2.clone(), k2)], &(n3.clone(), k3));
+                    let right_pick = if self.rng.below(2) == 0 {
+                        (n2, k2)
+                    } else {
+                        (n3, k3)
+                    };
+                    let p1 = self.join_pred(&[(n1, k1)], &right_pick);
+                    Plan::Join {
+                        left: Box::new(s1),
+                        right: Box::new(Plan::Join {
+                            left: Box::new(s2),
+                            right: Box::new(s3),
+                            predicate: p23,
+                        }),
+                        predicate: p1,
+                    }
+                }
+            }
+            // Unnest chain over a nested scan.
+            5 | 6 => {
+                let cat_scan = Plan::Scan {
+                    dataset: "N".into(),
+                    binding: self.fresh(Kind::NestedN),
+                };
+                let nested = self.bound.last().unwrap().0.clone();
+                self.unnest_over(cat_scan, &nested)
+            }
+            // Unnest, then join the elements against a flat table.
+            _ => {
+                let scan_n = Plan::Scan {
+                    dataset: "N".into(),
+                    binding: self.fresh(Kind::NestedN),
+                };
+                let nested = self.bound.last().unwrap().0.clone();
+                let left = self.unnest_over(scan_n, &nested);
+                let lvars: Vec<(String, Kind)> = self
+                    .bound
+                    .iter()
+                    .filter(|(_, k)| *k != Kind::ElemList)
+                    .cloned()
+                    .collect();
+                let (r, rk) = self.scan();
+                let rname = self.bound.last().unwrap().0.clone();
+                let predicate = self.join_pred(&lvars, &(rname, rk));
+                Plan::Join {
+                    left: Box::new(left),
+                    right: Box::new(r),
+                    predicate,
+                }
+            }
+        }
+    }
+
+    /// A scalar head expression over the bound variables.
+    fn head(&mut self) -> Expr {
+        let (name, kind) = self.scalar_binding();
+        self.int_path(&name, kind)
+    }
+
+    fn reduce(&mut self, input: Plan) -> Plan {
+        let head_path = self.head();
+        let (monoid, head) = match self.rng.below(9) {
+            0 => (Monoid::Primitive(PrimitiveMonoid::Count), Expr::int(1)),
+            1 => (Monoid::Primitive(PrimitiveMonoid::Sum), head_path),
+            2 => (Monoid::Primitive(PrimitiveMonoid::Max), head_path),
+            3 => (Monoid::Primitive(PrimitiveMonoid::Min), head_path),
+            4 => (
+                Monoid::Primitive(PrimitiveMonoid::Any),
+                Expr::bin(BinOp::Gt, head_path, Expr::int(5)),
+            ),
+            5 => (Monoid::Collection(CollectionKind::List), head_path),
+            6 => (Monoid::Collection(CollectionKind::Set), head_path),
+            7 => {
+                let (n2, k2) = self.scalar_binding();
+                let second = self.int_path(&n2, k2);
+                (
+                    Monoid::Collection(CollectionKind::Bag),
+                    Expr::Record(vec![("a".into(), head_path), ("b".into(), second)]),
+                )
+            }
+            _ => {
+                // Dyadic float sums are exact at every merge order.
+                let (name, kind) = self.scalar_binding();
+                let float_head = match kind {
+                    Kind::FlatA => Expr::var(&name).proj("f"),
+                    Kind::ElemRec => Expr::var(&name).proj("w"),
+                    _ => self.int_path(&name, kind),
+                };
+                (Monoid::Primitive(PrimitiveMonoid::Sum), float_head)
+            }
+        };
+        Plan::Reduce {
+            input: Box::new(input),
+            monoid,
+            head,
+        }
+    }
+
+    fn plan(&mut self) -> Plan {
+        self.bound.clear();
+        self.next_id = 0;
+        let mut tree = self.source_tree();
+        // 0–2 extra selects over any scalar binding.
+        for _ in 0..self.rng.below(3) {
+            let (name, kind) = self.scalar_binding();
+            let predicate = self.filter_pred(&name, kind);
+            tree = Plan::Select {
+                input: Box::new(tree),
+                predicate,
+            };
+        }
+        self.reduce(tree)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The differential harness
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
+    let cat = catalog();
+    let mut env = Bindings::new();
+    for name in cat.dataset_names() {
+        env.insert(name.clone(), cat.materialize(&name).unwrap());
+    }
+
+    for seed in SEEDS {
+        let mut g = Gen::new(Rng::new(seed));
+        let mut fallbacks = 0u32;
+        for i in 0..PLANS_PER_SEED {
+            let raw = g.plan();
+            let plan = rewrite(&raw);
+            let ctx = |engine: &str| format!("seed={seed:#x} plan#{i} [{engine}]\n{plan}");
+
+            let oracle = run_volcano(&plan, &cat);
+            let algebra = execute_plan(&plan, &env);
+            match &oracle {
+                Ok(expected) => {
+                    let got = algebra.unwrap_or_else(|e| panic!("{}: {e}", ctx("algebra")));
+                    assert_eq!(&got, expected, "{}", ctx("algebra deviates"));
+                    for threads in [1usize, 2, 8] {
+                        let opts = JitOptions {
+                            threads,
+                            morsel_rows: 4,
+                            clamp_threads: false,
+                            ..Default::default()
+                        };
+                        let (v, stats) = run_jit_with_stats(&plan, &cat, &opts)
+                            .unwrap_or_else(|e| panic!("{}: {e}", ctx(&format!("jit x{threads}"))));
+                        assert_eq!(&v, expected, "{}", ctx(&format!("jit x{threads} deviates")));
+                        fallbacks += stats.whole_query_fallbacks;
+                    }
+                }
+                Err(_) => {
+                    // The oracle rejected the plan (e.g. unnesting a path
+                    // that is not a collection); every engine must reject
+                    // it too — silently succeeding would be a bug.
+                    assert!(algebra.is_err(), "{}", ctx("algebra accepted"));
+                    for threads in [1usize, 2, 8] {
+                        let opts = JitOptions {
+                            threads,
+                            morsel_rows: 4,
+                            clamp_threads: false,
+                            ..Default::default()
+                        };
+                        assert!(
+                            run_jit_with_stats(&plan, &cat, &opts).is_err(),
+                            "{}",
+                            ctx(&format!("jit x{threads} accepted"))
+                        );
+                    }
+                }
+            }
+        }
+        // Every generated shape is inside the pipeline coverage: scans of
+        // real datasets, joins with scan right sides, unnests over bound
+        // paths. Nothing may take the whole-query Volcano fallback.
+        assert_eq!(fallbacks, 0, "seed={seed:#x}: whole-query fallbacks");
+    }
+}

@@ -84,6 +84,17 @@ pub enum Template {
     /// dominated by raw parsing, and therefore the one that scales with
     /// morsel-driven workers.
     ScanFold,
+    /// Unnest of a nested column with an element predicate.
+    UnnestFold,
+    /// Unnest whose elements then equi-join a flat table.
+    UnnestJoin,
+    /// Non-equi join with a range predicate (band sort-probe pipeline).
+    ThetaBand,
+    /// Non-equi join with an inequality predicate (block-nested-loop
+    /// pipeline).
+    ThetaLoop,
+    /// Unnest + theta join chained in one comprehension.
+    UnnestTheta,
 }
 
 /// One generated query: its comprehension text and template.
@@ -167,6 +178,64 @@ pub fn generate_scan_heavy(config: &WorkloadConfig) -> Vec<QuerySpec> {
         .collect()
 }
 
+/// Generate a nested-heavy mix: unnests over the `Regions(id, voxels)`
+/// nested-JSON fixture, non-equi (theta) joins — both the band sort-probe
+/// and the block-nested-loop shape — and chains mixing the two, so every
+/// query exercises a pipeline shape that used to take the whole-query
+/// Volcano fallback. (Bushy join *trees* cannot be written as
+/// comprehensions — lowering is inherently left-deep — so those are covered
+/// by directly-constructed plans in the differential fuzzer instead.)
+/// Deterministic in the seed, like [`generate`].
+pub fn generate_nested_heavy(config: &WorkloadConfig) -> Vec<QuerySpec> {
+    let mut rng = Rng::new(config.seed);
+    (0..config.queries)
+        .map(|_| {
+            let key = draw_key(&mut rng, config);
+            let (template, text) = match rng.below(5) {
+                0 => (
+                    Template::UnnestFold,
+                    format!(
+                        "for {{ r <- Regions, v <- r.voxels, v > {} }} yield sum v",
+                        rng.below(50)
+                    ),
+                ),
+                1 => (
+                    Template::UnnestJoin,
+                    format!(
+                        "for {{ r <- Regions, v <- r.voxels, g <- Genetics, \
+                         v = g.id, r.id < {key} }} yield count v"
+                    ),
+                ),
+                2 => (
+                    Template::ThetaBand,
+                    format!(
+                        "for {{ p <- Patients, g <- Genetics, p.id < g.id, \
+                         p.age > {} }} yield count p",
+                        20 + rng.below(60)
+                    ),
+                ),
+                3 => (
+                    Template::ThetaLoop,
+                    format!(
+                        "for {{ p <- Patients, g <- Genetics, p.id != g.id, \
+                         g.id < {} }} yield count g",
+                        1 + rng.below(20)
+                    ),
+                ),
+                _ => (
+                    Template::UnnestTheta,
+                    format!(
+                        "for {{ r <- Regions, v <- r.voxels, p <- Patients, \
+                         v < p.id, p.id < {} }} yield count v",
+                        1 + rng.below(30)
+                    ),
+                ),
+            };
+            QuerySpec { text, template }
+        })
+        .collect()
+}
+
 fn draw_key(rng: &mut Rng, config: &WorkloadConfig) -> i64 {
     if rng.unit() < config.locality {
         rng.below(config.hot_keys.max(1) as u64) as i64
@@ -223,6 +292,30 @@ mod tests {
         assert_eq!(a.len(), 50);
         assert!(a.iter().zip(&b).all(|(x, y)| x.text == y.text));
         assert!(a.iter().any(|q| q.template == Template::ScanFold));
+        for q in &a {
+            parse(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.text));
+        }
+    }
+
+    #[test]
+    fn nested_heavy_mix_parses_covers_all_templates_and_is_deterministic() {
+        let c = WorkloadConfig {
+            queries: 60,
+            ..Default::default()
+        };
+        let a = generate_nested_heavy(&c);
+        let b = generate_nested_heavy(&c);
+        assert_eq!(a.len(), 60);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.text == y.text));
+        for t in [
+            Template::UnnestFold,
+            Template::UnnestJoin,
+            Template::ThetaBand,
+            Template::ThetaLoop,
+            Template::UnnestTheta,
+        ] {
+            assert!(a.iter().any(|q| q.template == t), "missing {t:?}");
+        }
         for q in &a {
             parse(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.text));
         }
