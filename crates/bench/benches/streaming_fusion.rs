@@ -1,0 +1,155 @@
+//! Streaming push pipelines vs the legacy materializing executor on a
+//! scan→select→join→fold chain.
+//!
+//! The legacy path (`JitOptions::materialize_stages`) hands a full
+//! `Vec<Tuple>` from every operator stage to the next; the push loop fuses
+//! the chain end to end, with the join build side as the only buffer. This
+//! bench records both wall time and — through a counting global allocator —
+//! the **peak bytes live during execution**, which is where fusion shows up
+//! even when the operator work itself dominates time.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use vida_algebra::{lower, rewrite, Plan};
+use vida_bench::{case, fixtures};
+use vida_exec::{run_jit_with_stats, JitOptions, MemoryCatalog};
+use vida_formats::csv::CsvFile;
+use vida_formats::json::JsonFile;
+use vida_formats::plugin::{CsvPlugin, JsonPlugin};
+use vida_lang::parse;
+
+/// Counting allocator: tracks live bytes and the high-water mark so the
+/// bench can report peak allocation per execution mode.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Peak live bytes while running `f` (relative to the bytes live at entry).
+fn peak_during<F: FnMut()>(mut f: F) -> usize {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    f();
+    PEAK.load(Ordering::Relaxed).saturating_sub(base)
+}
+
+fn plan_of(q: &str) -> Plan {
+    rewrite(&lower(&parse(q).expect("parses")).expect("lowers"))
+}
+
+fn kib(bytes: usize) -> f64 {
+    bytes as f64 / 1024.0
+}
+
+fn main() {
+    let catalog = MemoryCatalog::new();
+    let patients = CsvFile::from_bytes(
+        "Patients",
+        fixtures::patients_csv(20_000, 7),
+        b',',
+        true,
+        fixtures::patients_schema(),
+    )
+    .expect("fixture parses");
+    catalog.register(Arc::new(CsvPlugin::new(patients)));
+    let genetics = JsonFile::from_bytes(
+        "Genetics",
+        fixtures::genetics_json(20_000, 13),
+        fixtures::genetics_schema(),
+    )
+    .expect("fixture parses");
+    catalog.register(Arc::new(JsonPlugin::new(genetics)));
+
+    // The chain the issue names: scan → select → hash-join probe → fold.
+    let chain =
+        plan_of("for { p <- Patients, g <- Genetics, p.id = g.id, p.age > 40 } yield sum g.snp");
+
+    let streaming = JitOptions::default();
+    let materializing = JitOptions {
+        materialize_stages: true,
+        ..Default::default()
+    };
+
+    // Prove the modes are what they claim before timing them.
+    let (v_stream, s_stream) = run_jit_with_stats(&chain, &catalog, &streaming).expect("runs");
+    let (v_mat, s_mat) = run_jit_with_stats(&chain, &catalog, &materializing).expect("runs");
+    assert_eq!(v_stream, v_mat, "modes must agree");
+    assert_eq!(s_stream.operator_materializations, 0);
+    assert!(s_mat.operator_materializations >= 2);
+    println!(
+        "join+fold chain (20k x 20k rows): fused depth {}, \
+         materializing buffers {}",
+        s_stream.fused_stage_depth, s_mat.operator_materializations
+    );
+
+    let t_mat = case("chain: materializing (legacy pull)", 3, 5, || {
+        run_jit_with_stats(&chain, &catalog, &materializing).expect("runs");
+    });
+    let t_stream = case("chain: streaming push (serial)", 3, 5, || {
+        run_jit_with_stats(&chain, &catalog, &streaming).expect("runs");
+    });
+    println!(
+        "streaming speedup (materializing/streaming): {:.2}x",
+        t_mat.as_secs_f64() / t_stream.as_secs_f64().max(1e-12)
+    );
+
+    // Peak-allocation comparison (one untimed run per mode, post-warmup).
+    let peak_mat = peak_during(|| {
+        run_jit_with_stats(&chain, &catalog, &materializing).expect("runs");
+    });
+    let peak_stream = peak_during(|| {
+        run_jit_with_stats(&chain, &catalog, &streaming).expect("runs");
+    });
+    println!(
+        "peak allocation: materializing {:.1} KiB, streaming {:.1} KiB ({:.2}x drop)",
+        kib(peak_mat),
+        kib(peak_stream),
+        peak_mat as f64 / peak_stream.max(1) as f64
+    );
+
+    // A selective select→fold chain, where the legacy path buffers every
+    // surviving tuple before folding.
+    let fold = plan_of("for { p <- Patients, p.age > 30 } yield sum p.age");
+    let t_mat = case("scan+select+fold: materializing", 3, 5, || {
+        run_jit_with_stats(&fold, &catalog, &materializing).expect("runs");
+    });
+    let t_stream = case("scan+select+fold: streaming push", 3, 5, || {
+        run_jit_with_stats(&fold, &catalog, &streaming).expect("runs");
+    });
+    println!(
+        "streaming speedup (materializing/streaming): {:.2}x",
+        t_mat.as_secs_f64() / t_stream.as_secs_f64().max(1e-12)
+    );
+    let peak_mat = peak_during(|| {
+        run_jit_with_stats(&fold, &catalog, &materializing).expect("runs");
+    });
+    let peak_stream = peak_during(|| {
+        run_jit_with_stats(&fold, &catalog, &streaming).expect("runs");
+    });
+    println!(
+        "peak allocation: materializing {:.1} KiB, streaming {:.1} KiB ({:.2}x drop)",
+        kib(peak_mat),
+        kib(peak_stream),
+        peak_mat as f64 / peak_stream.max(1) as f64
+    );
+}

@@ -50,6 +50,9 @@ OPTIONS:
                       the cost model toward compact replica layouts
     --no-cost-model   disable cost-model layout selection (every replica is
                       cached as parsed values, the pre-model behaviour)
+    --assert-fused    exit non-zero unless streaming execution fused every
+                      pipeline (operator_materializations must be 0 across
+                      the whole workload — the CI smoke contract)
 
 Run with no arguments to print this message.";
 
@@ -61,6 +64,7 @@ struct Args {
     locality: f64,
     budget_mb: usize,
     cost_model: bool,
+    assert_fused: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
         locality: 0.8,
         budget_mb: 8,
         cost_model: true,
+        assert_fused: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = argv.iter();
@@ -117,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--budget-mb expects a positive integer")?;
             }
             "--no-cost-model" => args.cost_model = false,
+            "--assert-fused" => args.assert_fused = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -237,6 +243,10 @@ fn cache_locality(args: &Args) {
         accum.unnest_pipelines, accum.theta_pipelines, accum.whole_query_fallbacks
     );
     println!(
+        "streaming fusion:        {} operator materializations, max fused depth {}",
+        accum.operator_materializations, accum.fused_stage_depth
+    );
+    println!(
         "cache hit rate:          {:.1}%",
         cache.stats().hit_rate() * 100.0
     );
@@ -254,5 +264,13 @@ fn cache_locality(args: &Args) {
             println!("replica layouts:         {}", layouts.join(" "));
         }
         None => println!("cost model:              off (all replicas parsed values)"),
+    }
+    if args.assert_fused && accum.operator_materializations != 0 {
+        eprintln!(
+            "FAIL: --assert-fused: {} operator materializations (streaming \
+             execution must fuse every pipeline-covered shape)",
+            accum.operator_materializations
+        );
+        std::process::exit(1);
     }
 }

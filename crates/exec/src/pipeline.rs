@@ -52,16 +52,30 @@
 //! total over all valid plans and `ExecStats::whole_query_fallbacks`
 //! records when the fallback engine ran.
 //!
-//! With `JitOptions::threads > 1` the same generated pipeline runs
+//! Execution is a **streaming push loop** (HyPer-style data-centric
+//! pipelines): each compiled stage consumes one tuple at a time and pushes
+//! it into the next stage's consumer closure, so
+//! select→project→unnest→probe→fold chains fuse end to end with **no
+//! intermediate `Vec<Tuple>`** between operators. The only pipeline
+//! breakers are join build sides (hash tables / band indexes), which
+//! materialize once per join before the loop starts.
+//! `ExecStats::operator_materializations` stays 0 on every pipeline-covered
+//! shape (and `fused_stage_depth` reports the fused chain length); the
+//! legacy pull-and-materialize executor survives behind
+//! `JitOptions::materialize_stages` as the ablation baseline the
+//! `streaming_fusion` bench measures against.
+//!
+//! With `JitOptions::threads > 1` the same fused pipeline runs
 //! **morsel-driven parallel** (`vida-parallel`): raw scans split into
-//! aligned byte ranges parsed by concurrent workers, tuples flow through
-//! kernels in morsels, hash joins build and probe radix partitions in
-//! parallel, and per-morsel monoid partials merge in morsel order. Morsel
-//! boundaries depend only on the data — never the worker count — so every
-//! parallel thread count produces the same result (float folds reassociate
-//! at morsel boundaries, so serial vs parallel can differ in the last ulp
-//! for `sum`/`prod`/`avg` over floats; everything else is bit-identical),
-//! and `threads <= 1` takes the original serial path unchanged.
+//! aligned byte ranges parsed by concurrent workers, join builds
+//! materialize morsel-parallel (radix-partitioned), and the leftmost scan's
+//! rows split into morsels that each worker drives through the whole stage
+//! chain into a private partial fold; partials merge in morsel order.
+//! Morsel boundaries depend only on the data — never the worker count — so
+//! every parallel thread count produces the same result (float folds
+//! reassociate at morsel boundaries, so serial vs parallel can differ in
+//! the last ulp for `sum`/`prod`/`avg` over floats; everything else is
+//! bit-identical), and `threads <= 1` takes the serial push loop.
 
 use crate::catalog::SourceProvider;
 use crate::stats::ExecStats;
@@ -74,7 +88,7 @@ use vida_algebra::Plan;
 use vida_cache::{bson, CacheKey, CacheManager, CachedData, Layout};
 use vida_jit::compile::path_of;
 use vida_jit::frame::{decode_output, StringInterner};
-use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SlotType};
+use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SelectKernel, SlotType};
 use vida_lang::{eval, BinOp, Bindings, Expr, Qualifier};
 use vida_optimizer::{CostModel, FieldObservation};
 use vida_parallel::{partition_of, plan_scan, radix, MorselPlan, WorkerPool};
@@ -149,6 +163,13 @@ pub struct JitOptions {
     /// upside. Set `false` to force oversubscription (tests and scheduling
     /// benchmarks deliberately run many workers on few cores).
     pub clamp_threads: bool,
+    /// Ablation baseline: run the legacy **materializing** executor — every
+    /// operator stage produces a full `Vec<Tuple>` handed to the next stage
+    /// — instead of the streaming push loop. Serial only (`threads` is
+    /// ignored). `ExecStats::operator_materializations` counts the buffers
+    /// it pays for; the `streaming_fusion` bench uses it to measure what
+    /// fusion buys.
+    pub materialize_stages: bool,
 }
 
 impl Default for JitOptions {
@@ -160,6 +181,7 @@ impl Default for JitOptions {
             threads: 0,
             morsel_rows: 0,
             clamp_threads: true,
+            materialize_stages: false,
         }
     }
 }
@@ -307,14 +329,25 @@ struct Source {
     slots: Vec<usize>,
     /// Selection steps applied as tuples leave the scan.
     selects: Vec<Step>,
+    /// Fast path: when every select compiled, the chain is fused into one
+    /// [`SelectKernel`] evaluated short-circuit per valid frame (invalid
+    /// frames still walk `selects` through the interpreter).
+    fused_selects: Option<SelectKernel>,
 }
 
 /// Pipeline tree: left-deep joins and unnest stages over bound sources.
+///
+/// The tree's left spine is one fused push pipeline: tuples stream from the
+/// leftmost scan through every stage's sink without intermediate buffers.
+/// Join right sides are the pipeline breakers — each is materialized once
+/// into [`JoinBuild`] slot `build` before the push loop starts.
 enum Node {
     Source(usize),
     HashJoin {
         left: Box<Node>,
         right: usize,
+        /// Index into the prepared [`JoinBuild`] list (DFS order).
+        build: usize,
         left_key: CompiledKernel,
         right_key: CompiledKernel,
         left_key_ty: SlotType,
@@ -333,6 +366,8 @@ enum Node {
     ThetaJoin {
         left: Box<Node>,
         right: usize,
+        /// Index into the prepared [`JoinBuild`] list (DFS order).
+        build: usize,
         band: Option<Band>,
         /// Full join predicate, checked per candidate pair.
         predicate: Step,
@@ -406,6 +441,8 @@ struct Pipeline {
     threads: usize,
     /// Units per morsel (0 = `vida-parallel` default).
     morsel_rows: usize,
+    /// Run the legacy materializing executor instead of the push loop.
+    materialize_stages: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -780,8 +817,15 @@ impl<'a> PipelineBuilder<'a> {
         // scanned twice.
         let mut interner = StringInterner::new();
         let mut unnest_cursor = 0usize;
-        let Some(root) =
-            self.assemble(&shape, &order, &layout, &mut interner, &mut unnest_cursor)?
+        let mut join_cursor = 0usize;
+        let Some(root) = self.assemble(
+            &shape,
+            &order,
+            &layout,
+            &mut interner,
+            &mut unnest_cursor,
+            &mut join_cursor,
+        )?
         else {
             return Ok(None);
         };
@@ -827,6 +871,7 @@ impl<'a> PipelineBuilder<'a> {
                 slot_cols,
                 slots,
                 selects: Vec::new(),
+                fused_selects: None,
             });
         }
         self.attach_selects(&mut sources, &shape, &layout, &mut interner)?;
@@ -858,6 +903,7 @@ impl<'a> PipelineBuilder<'a> {
             base_env,
             threads: self.opts.effective_threads(),
             morsel_rows: self.opts.morsel_rows,
+            materialize_stages: self.opts.materialize_stages,
         }))
     }
 
@@ -1247,6 +1293,7 @@ impl<'a> PipelineBuilder<'a> {
     /// predicate, block-nested-loop otherwise (with the predicate compiled
     /// into one fused kernel when possible). `None` only under
     /// `interpret_only`, whose joins need key kernels.
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         &mut self,
         shape: &Shape,
@@ -1254,6 +1301,7 @@ impl<'a> PipelineBuilder<'a> {
         layout: &FrameLayout,
         interner: &mut StringInterner,
         unnest_cursor: &mut usize,
+        join_cursor: &mut usize,
     ) -> Result<Option<Node>> {
         match shape {
             Shape::Scan { binding, .. } => {
@@ -1261,7 +1309,8 @@ impl<'a> PipelineBuilder<'a> {
                 Ok(Some(Node::Source(idx)))
             }
             Shape::Unnest { input, selects, .. } => {
-                let Some(inner) = self.assemble(input, order, layout, interner, unnest_cursor)?
+                let Some(inner) =
+                    self.assemble(input, order, layout, interner, unnest_cursor, join_cursor)?
                 else {
                     return Ok(None);
                 };
@@ -1284,7 +1333,8 @@ impl<'a> PipelineBuilder<'a> {
                 predicate,
                 selects,
             } => {
-                let Some(lnode) = self.assemble(left, order, layout, interner, unnest_cursor)?
+                let Some(lnode) =
+                    self.assemble(left, order, layout, interner, unnest_cursor, join_cursor)?
                 else {
                     return Ok(None);
                 };
@@ -1299,6 +1349,10 @@ impl<'a> PipelineBuilder<'a> {
                 if self.opts.interpret_only {
                     return Ok(None);
                 }
+                // Claim this join's build slot (same DFS order
+                // `Pipeline::prepare_builds` walks).
+                let build = *join_cursor;
+                *join_cursor += 1;
                 let lvars = left.bound_vars();
                 let rvars = vec![rbinding.clone()];
                 let numeric = |t: SlotType| matches!(t, SlotType::Int | SlotType::Float);
@@ -1329,6 +1383,7 @@ impl<'a> PipelineBuilder<'a> {
                             return Ok(Some(Node::HashJoin {
                                 left: Box::new(lnode),
                                 right: ridx,
+                                build,
                                 left_key,
                                 right_key,
                                 left_key_ty: lt,
@@ -1375,6 +1430,7 @@ impl<'a> PipelineBuilder<'a> {
                 Ok(Some(Node::ThetaJoin {
                     left: Box::new(lnode),
                     right: ridx,
+                    build,
                     band,
                     predicate: predicate_step,
                     selects,
@@ -1402,6 +1458,23 @@ impl<'a> PipelineBuilder<'a> {
                 for sel in selects {
                     let step = self.step(sel, layout, interner)?;
                     src.selects.push(step);
+                }
+                // When the whole chain compiled, fuse it into one
+                // short-circuit select stage for valid frames; tuples whose
+                // frame could not encode still walk `selects` through the
+                // interpreter.
+                if !src.selects.is_empty() {
+                    let kernels: Vec<CompiledKernel> = src
+                        .selects
+                        .iter()
+                        .filter_map(|s| match s {
+                            Step::Kernel(k, _) => Some(k.clone()),
+                            Step::Interp(_) => None,
+                        })
+                        .collect();
+                    if kernels.len() == src.selects.len() {
+                        src.fused_selects = Some(SelectKernel::new(kernels));
+                    }
                 }
                 Ok(())
             }
@@ -1470,20 +1543,46 @@ impl<'a> PipelineBuilder<'a> {
 impl Pipeline {
     fn execute(self, stats: &mut ExecStats) -> Result<Value> {
         stats.threads = self.threads as u32;
+        if self.materialize_stages {
+            // Ablation baseline: the pre-streaming pull-and-materialize
+            // executor (serial; `operator_materializations` counts its
+            // inter-operator buffers).
+            return self.execute_materialized(stats);
+        }
+        stats.fused_stage_depth = fused_depth(&self.root) + 1; // + the fold
         if self.threads > 1 {
             return self.execute_parallel(stats);
         }
-        let tuples = self.exec_node(&self.root, stats)?;
 
-        // Fold with the output monoid. Collection monoids accumulate and
-        // canonicalize once; primitives merge incrementally (preserving
-        // overflow and type-error semantics).
+        // Serial push loop: prepare the pipeline breakers (join build
+        // sides), then drive every leftmost-scan row through the fused
+        // stage chain straight into the fold — no intermediate Vec<Tuple>.
+        let builds = self.prepare_builds(None, stats)?;
+        let nrows = self.sources[leftmost_source(&self.root)].nrows;
+        self.fold_stream(stats, |stats, sink| {
+            self.drive(&self.root, 0..nrows, &builds, stats, sink)
+        })
+    }
+
+    /// The serial fold: `produce` pushes every surviving tuple into the
+    /// sink this function provides, and the sink folds straight into the
+    /// output monoid. Collection monoids accumulate and canonicalize once;
+    /// primitives merge incrementally (preserving overflow and type-error
+    /// semantics); `count` with a total head just counts. Shared by the
+    /// streaming drive and the materializing ablation, so the two engines
+    /// cannot diverge on fold semantics.
+    fn fold_stream(
+        &self,
+        stats: &mut ExecStats,
+        produce: impl FnOnce(&mut ExecStats, TupleSink<'_>) -> Result<()>,
+    ) -> Result<Value> {
         match self.monoid {
             Monoid::Collection(kind) => {
-                let mut items = Vec::with_capacity(tuples.len());
-                for t in &tuples {
-                    items.push(self.head_value(t, stats)?);
-                }
+                let mut items = Vec::new();
+                produce(stats, &mut |stats, t| {
+                    items.push(self.head_value(&t, stats)?);
+                    Ok(())
+                })?;
                 Ok(match kind {
                     CollectionKind::Set => Value::set(items),
                     k => Value::Collection(k, items),
@@ -1492,14 +1591,20 @@ impl Pipeline {
             Monoid::Primitive(PrimitiveMonoid::Count)
                 if matches!(self.head, HeadPlan::CountOnly) =>
             {
-                Ok(Value::Int(tuples.len() as i64))
+                let mut n = 0i64;
+                produce(stats, &mut |_, _| {
+                    n += 1;
+                    Ok(())
+                })?;
+                Ok(Value::Int(n))
             }
             m => {
                 let mut acc = m.zero();
-                for t in &tuples {
-                    let v = self.head_value(t, stats)?;
-                    acc = m.merge(acc, m.unit(v))?;
-                }
+                produce(stats, &mut |stats, t| {
+                    let v = self.head_value(&t, stats)?;
+                    acc = m.merge(std::mem::replace(&mut acc, Value::Null), m.unit(v))?;
+                    Ok(())
+                })?;
                 m.finalize(acc)
             }
         }
@@ -1571,7 +1676,7 @@ impl Pipeline {
     ) -> Result<bool> {
         if let Step::Kernel(k, _) = step {
             if t.valid {
-                return Ok(k.call(&t.frame) != 0);
+                return Ok(k.call_bool(&t.frame));
             }
         }
         let expr = match step {
@@ -1586,21 +1691,18 @@ impl Pipeline {
         }
     }
 
-    fn source_tuples(&self, idx: usize, stats: &mut ExecStats) -> Result<Vec<Tuple>> {
-        let nrows = self.sources[idx].nrows;
-        self.source_tuples_range(idx, 0..nrows, stats)
-    }
-
-    /// Scan-side tuple construction over a contiguous row range — the whole
-    /// source serially, one morsel at a time in parallel.
-    fn source_tuples_range(
+    /// Scan-side tuple production over a contiguous row range, pushed one
+    /// tuple at a time into `sink` — the head of every fused pipeline.
+    /// Valid frames run the fused [`SelectKernel`] chain; frames that could
+    /// not encode (nulls) walk the selects through the interpreter.
+    fn push_source(
         &self,
         idx: usize,
         rows: std::ops::Range<usize>,
         stats: &mut ExecStats,
-    ) -> Result<Vec<Tuple>> {
+        sink: TupleSink<'_>,
+    ) -> Result<()> {
         let s = &self.sources[idx];
-        let mut out = Vec::new();
         'rows: for row in rows {
             let mut frame = vec![0i64; self.frame_width];
             let mut valid = true;
@@ -1616,130 +1718,203 @@ impl Pipeline {
                 rows: vec![(idx, row)],
                 unnest_vals: Vec::new(),
             };
+            if valid {
+                if let Some(fused) = &s.fused_selects {
+                    if fused.admit(&t.frame) {
+                        sink(stats, t)?;
+                    }
+                    continue;
+                }
+            }
             for sel in &s.selects {
                 if !self.apply_step(sel, &t, stats, "selection")? {
                     continue 'rows;
                 }
             }
-            out.push(t);
+            sink(stats, t)?;
         }
+        Ok(())
+    }
+
+    /// Materialize a source's tuples over a row range — used only where a
+    /// buffer is genuinely required: join build sides (pipeline breakers)
+    /// and the legacy materializing executor.
+    fn source_tuples_range(
+        &self,
+        idx: usize,
+        rows: std::ops::Range<usize>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        self.push_source(idx, rows, stats, &mut |_, t| {
+            out.push(t);
+            Ok(())
+        })?;
         Ok(out)
     }
 
-    fn exec_node(&self, node: &Node, stats: &mut ExecStats) -> Result<Vec<Tuple>> {
+    /// Drive the push loop: stream `range` rows of the pipeline's leftmost
+    /// scan through every fused stage, handing each surviving tuple to
+    /// `sink`. Each operator arm wraps `sink` in its own consumer closure,
+    /// so a select→unnest→probe→fold chain executes as one loop nest with
+    /// **no intermediate `Vec<Tuple>`**; the join build sides arrive
+    /// pre-materialized in `builds` (the only pipeline breakers).
+    fn drive(
+        &self,
+        node: &Node,
+        range: std::ops::Range<usize>,
+        builds: &[JoinBuild],
+        stats: &mut ExecStats,
+        sink: TupleSink<'_>,
+    ) -> Result<()> {
         match node {
-            Node::Source(idx) => self.source_tuples(*idx, stats),
-            Node::HashJoin {
-                left,
-                right,
-                left_key,
-                right_key,
-                left_key_ty,
-                right_key_ty,
-                float_keys,
-                predicate,
-                selects,
-            } => {
-                let left_tuples = self.exec_node(left, stats)?;
-                let right_tuples = self.source_tuples(*right, stats)?;
-
-                // Build side: hash the right tuples by key bits. Tuples
-                // whose frame could not encode go to the `loose` list and
-                // are compared through the interpreter (null keys join null
-                // keys in this calculus).
-                let mut table: HashMap<i64, Vec<usize>> = HashMap::new();
-                let mut loose: Vec<usize> = Vec::new();
-                for (i, t) in right_tuples.iter().enumerate() {
-                    if t.valid {
-                        let k = encode_key(right_key.call(&t.frame), *right_key_ty, *float_keys);
-                        table.entry(k).or_default().push(i);
-                    } else {
-                        loose.push(i);
-                    }
-                }
-
-                let rslots = &self.sources[*right].slots;
-                let mut out = Vec::new();
-                for lt in &left_tuples {
-                    let candidates: Vec<usize> = if lt.valid {
-                        let k = encode_key(left_key.call(&lt.frame), *left_key_ty, *float_keys);
-                        let mut c: Vec<usize> = table
-                            .get(&k)
-                            .map(|b| b.as_slice())
-                            .unwrap_or(&[])
-                            .iter()
-                            .chain(loose.iter())
-                            .copied()
-                            .collect();
-                        // Restore right-scan order across bucket and loose
-                        // tuples: non-commutative monoids (list) must see
-                        // the same element order as the interpreter oracles.
-                        c.sort_unstable();
-                        c
-                    } else {
-                        // Fallback probe tuple: interpreted against every
-                        // build tuple.
-                        (0..right_tuples.len()).collect()
-                    };
-                    self.probe_pairs(
-                        lt,
-                        &candidates,
-                        &right_tuples,
-                        rslots,
-                        predicate,
-                        selects,
-                        &mut out,
-                        stats,
-                    )?;
-                }
-                Ok(out)
-            }
-            Node::ThetaJoin {
-                left,
-                right,
-                band,
-                predicate,
-                selects,
-            } => {
-                let left_tuples = self.exec_node(left, stats)?;
-                let right_tuples = self.source_tuples(*right, stats)?;
-                let index = band.as_ref().map(|b| BandIndex::build(b, &right_tuples));
-                let all: Vec<usize> = (0..right_tuples.len()).collect();
-                let rslots = &self.sources[*right].slots;
-                let mut out = Vec::new();
-                for lt in &left_tuples {
-                    let candidates = theta_candidates(lt, band.as_ref(), index.as_ref());
-                    self.probe_pairs(
-                        lt,
-                        candidates.as_deref().unwrap_or(&all),
-                        &right_tuples,
-                        rslots,
-                        predicate,
-                        selects,
-                        &mut out,
-                        stats,
-                    )?;
-                }
-                Ok(out)
-            }
+            Node::Source(idx) => self.push_source(*idx, range, stats, sink),
             Node::Unnest {
                 input,
                 stage,
                 selects,
+            } => self.drive(input, range, builds, stats, &mut |stats, t| {
+                self.unnest_tuple(*stage, selects, &t, stats, sink)
+            }),
+            Node::HashJoin {
+                left,
+                right,
+                build,
+                left_key,
+                left_key_ty,
+                float_keys,
+                predicate,
+                selects,
+                ..
             } => {
-                let input_tuples = self.exec_node(input, stats)?;
-                let mut out = Vec::new();
-                for t in &input_tuples {
-                    self.unnest_tuple(*stage, selects, t, &mut out, stats)?;
-                }
-                Ok(out)
+                let jb = &builds[*build];
+                let rslots = &self.sources[*right].slots;
+                self.drive(left, range, builds, stats, &mut |stats, lt| {
+                    let candidates = jb.hash_candidates(&lt, left_key, *left_key_ty, *float_keys);
+                    self.probe_pairs(
+                        &lt,
+                        &candidates,
+                        &jb.right_tuples,
+                        rslots,
+                        predicate,
+                        selects,
+                        stats,
+                        sink,
+                    )
+                })
+            }
+            Node::ThetaJoin {
+                left,
+                right,
+                build,
+                band,
+                predicate,
+                selects,
+            } => {
+                let jb = &builds[*build];
+                let rslots = &self.sources[*right].slots;
+                self.drive(left, range, builds, stats, &mut |stats, lt| {
+                    let candidates = theta_candidates(&lt, band.as_ref(), jb.index.as_ref());
+                    self.probe_pairs(
+                        &lt,
+                        candidates.as_deref().unwrap_or(&jb.all),
+                        &jb.right_tuples,
+                        rslots,
+                        predicate,
+                        selects,
+                        stats,
+                        sink,
+                    )
+                })
             }
         }
     }
 
+    /// Materialize the build side of every join in the tree, in the DFS
+    /// order `assemble` assigned build slots. These are the pipeline
+    /// breakers of push execution: each right side scans into a tuple
+    /// buffer once (morsel-parallel when a pool is given), then hashes into
+    /// radix-partitioned tables or sorts into a band index. Partition
+    /// counts and bucket order depend only on the data, so every thread
+    /// count probes identical candidate sets.
+    fn prepare_builds(
+        &self,
+        pool: Option<&WorkerPool>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<JoinBuild>> {
+        let mut builds = Vec::new();
+        self.prepare_builds_node(&self.root, pool, stats, &mut builds)?;
+        Ok(builds)
+    }
+
+    fn prepare_builds_node(
+        &self,
+        node: &Node,
+        pool: Option<&WorkerPool>,
+        stats: &mut ExecStats,
+        builds: &mut Vec<JoinBuild>,
+    ) -> Result<()> {
+        match node {
+            Node::Source(_) => Ok(()),
+            Node::Unnest { input, .. } => self.prepare_builds_node(input, pool, stats, builds),
+            Node::HashJoin {
+                left,
+                right,
+                build,
+                right_key,
+                right_key_ty,
+                float_keys,
+                ..
+            } => {
+                self.prepare_builds_node(left, pool, stats, builds)?;
+                let right_tuples = self.build_side_tuples(*right, pool, stats)?;
+                let jb = JoinBuild::hash(
+                    right_tuples,
+                    right_key,
+                    *right_key_ty,
+                    *float_keys,
+                    pool,
+                    self.morsel_rows,
+                    stats,
+                )?;
+                debug_assert_eq!(builds.len(), *build);
+                builds.push(jb);
+                Ok(())
+            }
+            Node::ThetaJoin {
+                left,
+                right,
+                build,
+                band,
+                ..
+            } => {
+                self.prepare_builds_node(left, pool, stats, builds)?;
+                let right_tuples = self.build_side_tuples(*right, pool, stats)?;
+                let index = band.as_ref().map(|b| BandIndex::build(b, &right_tuples));
+                debug_assert_eq!(builds.len(), *build);
+                builds.push(JoinBuild::theta(right_tuples, index));
+                Ok(())
+            }
+        }
+    }
+
+    /// Build-side scan: the whole source serially, morsel-parallel with a
+    /// pool.
+    fn build_side_tuples(
+        &self,
+        idx: usize,
+        pool: Option<&WorkerPool>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Tuple>> {
+        match pool {
+            Some(pool) => self.source_tuples_parallel(idx, pool, stats),
+            None => self.source_tuples_range(idx, 0..self.sources[idx].nrows, stats),
+        }
+    }
+
     /// Emit the surviving join pairs of one probe tuple against its
-    /// candidate build tuples (shared by the serial and the partitioned
-    /// parallel probe).
+    /// candidate build tuples, pushing each straight into `sink` (shared by
+    /// the streaming drive and the legacy materializing executor).
     #[allow(clippy::too_many_arguments)]
     fn probe_pairs(
         &self,
@@ -1749,8 +1924,8 @@ impl Pipeline {
         rslots: &[usize],
         predicate: &Step,
         selects: &[Step],
-        out: &mut Vec<Tuple>,
         stats: &mut ExecStats,
+        sink: TupleSink<'_>,
     ) -> Result<()> {
         'pairs: for &ri in candidates {
             let rt = &right_tuples[ri];
@@ -1777,22 +1952,22 @@ impl Pipeline {
                     continue 'pairs;
                 }
             }
-            out.push(merged);
+            sink(stats, merged)?;
         }
         Ok(())
     }
 
     /// Flatten one input tuple through an unnest stage: one output tuple
     /// per collection element, frames extended with the element slots,
-    /// stage selects applied (shared by the serial and the morsel-parallel
-    /// paths).
+    /// stage selects applied, survivors pushed into `sink` (shared by the
+    /// streaming drive and the legacy materializing executor).
     fn unnest_tuple(
         &self,
         stage: usize,
         selects: &[Step],
         t: &Tuple,
-        out: &mut Vec<Tuple>,
         stats: &mut ExecStats,
+        sink: TupleSink<'_>,
     ) -> Result<()> {
         let u = &self.unnests[stage];
         let evaluated;
@@ -1840,9 +2015,303 @@ impl Pipeline {
                     continue 'items;
                 }
             }
-            out.push(nt);
+            sink(stats, nt)?;
         }
         Ok(())
+    }
+
+    /// The legacy pull-and-materialize executor (ablation baseline behind
+    /// [`JitOptions::materialize_stages`]): every operator stage produces a
+    /// full `Vec<Tuple>` handed to the next stage, and
+    /// `ExecStats::operator_materializations` counts each buffer. Serial
+    /// only — it exists so the `streaming_fusion` bench can measure what
+    /// the push loop buys.
+    fn execute_materialized(&self, stats: &mut ExecStats) -> Result<Value> {
+        let tuples = self.exec_node_materialized(&self.root, stats)?;
+        // Feed the materialized buffer through the same fold the streaming
+        // engine uses.
+        self.fold_stream(stats, |stats, sink| {
+            for t in tuples {
+                sink(stats, t)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn exec_node_materialized(&self, node: &Node, stats: &mut ExecStats) -> Result<Vec<Tuple>> {
+        // Each arm materializes its full output before the parent consumes
+        // it — the inter-operator buffer the streaming engine eliminates.
+        stats.operator_materializations += 1;
+        let mut out = Vec::new();
+        let mut collect = |_: &mut ExecStats, t: Tuple| -> Result<()> {
+            out.push(t);
+            Ok(())
+        };
+        match node {
+            Node::Source(idx) => {
+                let nrows = self.sources[*idx].nrows;
+                self.push_source(*idx, 0..nrows, stats, &mut collect)?;
+            }
+            Node::HashJoin {
+                left,
+                right,
+                right_key,
+                left_key,
+                left_key_ty,
+                right_key_ty,
+                float_keys,
+                predicate,
+                selects,
+                ..
+            } => {
+                let left_tuples = self.exec_node_materialized(left, stats)?;
+                let right_tuples =
+                    self.source_tuples_range(*right, 0..self.sources[*right].nrows, stats)?;
+                let jb = JoinBuild::hash(
+                    right_tuples,
+                    right_key,
+                    *right_key_ty,
+                    *float_keys,
+                    None,
+                    self.morsel_rows,
+                    stats,
+                )?;
+                let rslots = &self.sources[*right].slots;
+                for lt in &left_tuples {
+                    let candidates = jb.hash_candidates(lt, left_key, *left_key_ty, *float_keys);
+                    self.probe_pairs(
+                        lt,
+                        &candidates,
+                        &jb.right_tuples,
+                        rslots,
+                        predicate,
+                        selects,
+                        stats,
+                        &mut collect,
+                    )?;
+                }
+            }
+            Node::ThetaJoin {
+                left,
+                right,
+                band,
+                predicate,
+                selects,
+                ..
+            } => {
+                let left_tuples = self.exec_node_materialized(left, stats)?;
+                let right_tuples =
+                    self.source_tuples_range(*right, 0..self.sources[*right].nrows, stats)?;
+                let index = band.as_ref().map(|b| BandIndex::build(b, &right_tuples));
+                let all: Vec<usize> = (0..right_tuples.len()).collect();
+                let rslots = &self.sources[*right].slots;
+                for lt in &left_tuples {
+                    let candidates = theta_candidates(lt, band.as_ref(), index.as_ref());
+                    self.probe_pairs(
+                        lt,
+                        candidates.as_deref().unwrap_or(&all),
+                        &right_tuples,
+                        rslots,
+                        predicate,
+                        selects,
+                        stats,
+                        &mut collect,
+                    )?;
+                }
+            }
+            Node::Unnest {
+                input,
+                stage,
+                selects,
+            } => {
+                let input_tuples = self.exec_node_materialized(input, stats)?;
+                for t in &input_tuples {
+                    self.unnest_tuple(*stage, selects, t, stats, &mut collect)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The consumer side of one pipeline stage: receives each surviving tuple
+/// (plus the worker-local stats) and forwards it — into the next stage's
+/// closure, the fold, or a build buffer. Passing stats through the sink
+/// keeps one mutable path through the whole recursive loop nest.
+type TupleSink<'a> = &'a mut dyn FnMut(&mut ExecStats, Tuple) -> Result<()>;
+
+/// Materialized build side of one join — the pipeline breaker the
+/// streaming engine still pays, constructed once before the push loop and
+/// shared (read-only) by every probe morsel.
+struct JoinBuild {
+    right_tuples: Vec<Tuple>,
+    /// Hash strategy: radix-partitioned tables (`partition_count` depends
+    /// only on the build size, so serial and parallel builds are
+    /// identical) plus the invalid-frame stragglers every probe checks
+    /// through the interpreter.
+    tables: Vec<HashMap<i64, Vec<usize>>>,
+    partitions: usize,
+    loose: Vec<usize>,
+    /// Band strategy: the sorted key index.
+    index: Option<BandIndex>,
+    /// Cached `0..n` candidate list for block-nested-loop probes, hoisted
+    /// so invalid probes and band-less joins do not reallocate it per
+    /// tuple.
+    all: Vec<usize>,
+}
+
+impl JoinBuild {
+    /// Hash-join build: extract key bits, split by radix partition, and
+    /// assemble one table per partition. With a pool the extraction runs
+    /// morsel-wise and partition tables build in parallel; visiting
+    /// morsel pre-splits in morsel order keeps every bucket's index list
+    /// ascending — the same order a serial single-table build produces.
+    fn hash(
+        right_tuples: Vec<Tuple>,
+        right_key: &CompiledKernel,
+        right_key_ty: SlotType,
+        float_keys: bool,
+        pool: Option<&WorkerPool>,
+        morsel_rows: usize,
+        stats: &mut ExecStats,
+    ) -> Result<JoinBuild> {
+        let partitions = radix::partition_count(right_tuples.len());
+        let all = (0..right_tuples.len()).collect();
+        let key_of = |t: &Tuple| encode_key(right_key.call(&t.frame), right_key_ty, float_keys);
+        match pool {
+            Some(pool) if pool.threads() > 1 => {
+                // Phase 1: workers pre-split key bits by partition,
+                // morsel-wise.
+                let rplan = MorselPlan::fixed(right_tuples.len(), morsel_rows);
+                stats.morsels += rplan.len() as u64;
+                let pre = pool.run_morsels(
+                    rplan.len(),
+                    |_| (),
+                    |_, m| {
+                        let mut parts: Vec<Vec<(i64, usize)>> = vec![Vec::new(); partitions];
+                        let mut loose: Vec<usize> = Vec::new();
+                        for i in rplan.range(m) {
+                            let t = &right_tuples[i];
+                            if t.valid {
+                                let k = key_of(t);
+                                parts[partition_of(k, partitions)].push((k, i));
+                            } else {
+                                loose.push(i);
+                            }
+                        }
+                        Ok::<_, VidaError>((parts, loose))
+                    },
+                )?;
+                // Phase 2: one worker per partition assembles that
+                // partition's table from the morsel-ordered pre-splits.
+                let tables = pool.run_morsels(
+                    partitions,
+                    |_| (),
+                    |_, p| {
+                        let mut table: HashMap<i64, Vec<usize>> = HashMap::new();
+                        for (parts, _) in &pre {
+                            for &(k, i) in &parts[p] {
+                                table.entry(k).or_default().push(i);
+                            }
+                        }
+                        Ok::<_, VidaError>(table)
+                    },
+                )?;
+                let loose = pre.iter().flat_map(|(_, l)| l.iter().copied()).collect();
+                Ok(JoinBuild {
+                    right_tuples,
+                    tables,
+                    partitions,
+                    loose,
+                    index: None,
+                    all,
+                })
+            }
+            _ => {
+                let mut tables: Vec<HashMap<i64, Vec<usize>>> = vec![HashMap::new(); partitions];
+                let mut loose: Vec<usize> = Vec::new();
+                for (i, t) in right_tuples.iter().enumerate() {
+                    if t.valid {
+                        let k = key_of(t);
+                        tables[partition_of(k, partitions)]
+                            .entry(k)
+                            .or_default()
+                            .push(i);
+                    } else {
+                        loose.push(i);
+                    }
+                }
+                Ok(JoinBuild {
+                    right_tuples,
+                    tables,
+                    partitions,
+                    loose,
+                    index: None,
+                    all,
+                })
+            }
+        }
+    }
+
+    /// Theta-join build: tuples plus (for band joins) the sorted key index.
+    fn theta(right_tuples: Vec<Tuple>, index: Option<BandIndex>) -> JoinBuild {
+        let all = (0..right_tuples.len()).collect();
+        JoinBuild {
+            right_tuples,
+            tables: Vec::new(),
+            partitions: 0,
+            loose: Vec::new(),
+            index,
+            all,
+        }
+    }
+
+    /// Candidate build-tuple indexes for one hash probe, in ascending
+    /// (right-scan) order so non-commutative monoids see the interpreter's
+    /// pair order. Invalid probe frames are compared against every build
+    /// tuple through the interpreter (null keys join null keys in this
+    /// calculus).
+    fn hash_candidates(
+        &self,
+        lt: &Tuple,
+        left_key: &CompiledKernel,
+        left_key_ty: SlotType,
+        float_keys: bool,
+    ) -> Vec<usize> {
+        if !lt.valid {
+            return self.all.clone();
+        }
+        let k = encode_key(left_key.call(&lt.frame), left_key_ty, float_keys);
+        let mut c: Vec<usize> = self.tables[partition_of(k, self.partitions)]
+            .get(&k)
+            .map(|b| b.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .chain(self.loose.iter())
+            .copied()
+            .collect();
+        c.sort_unstable();
+        c
+    }
+}
+
+/// Leftmost scan of the pipeline tree — the source whose rows the push
+/// loop (and its morsel grid) ranges over.
+fn leftmost_source(node: &Node) -> usize {
+    match node {
+        Node::Source(idx) => *idx,
+        Node::HashJoin { left, .. } | Node::ThetaJoin { left, .. } => leftmost_source(left),
+        Node::Unnest { input, .. } => leftmost_source(input),
+    }
+}
+
+/// Operator stages fused into the push loop (scan = 1, +1 per join probe
+/// and unnest stage; the caller adds 1 for the fold).
+fn fused_depth(node: &Node) -> u32 {
+    match node {
+        Node::Source(_) => 1,
+        Node::HashJoin { left, .. } | Node::ThetaJoin { left, .. } => 1 + fused_depth(left),
+        Node::Unnest { input, .. } => 1 + fused_depth(input),
     }
 }
 
@@ -1957,48 +2426,57 @@ fn theta_candidates(
 // Morsel-driven parallel execution (vida-parallel)
 // ---------------------------------------------------------------------------
 //
-// The same compiled pipeline, executed by a worker pool. Three invariants
-// keep every thread count result-identical to the serial engine:
+// The same fused push pipeline, executed by a worker pool: join build sides
+// materialize first (morsel-parallel, the pipeline breakers), then the
+// leftmost scan's rows split into morsels and each worker drives its morsel
+// through the whole stage chain into a private partial fold. Three
+// invariants keep every thread count result-identical:
 //
-// 1. Morsel grids depend only on tuple counts (and the `morsel_rows` knob),
-//    never on the worker count, so the partial-result sequence is fixed.
-// 2. Per-morsel outputs concatenate — and monoid partials merge — in morsel
-//    order, so element order matches the serial loops exactly.
-// 3. The radix-partitioned join assigns partitions by key bits alone, and
-//    partition bucket lists keep ascending build-tuple order, so every probe
-//    sees the same candidate set (then the same `sort_unstable` order) as
-//    the serial single-table build.
+// 1. Morsel grids depend only on the leftmost scan's row count (and the
+//    `morsel_rows` knob), never on the worker count, so the partial-result
+//    sequence is fixed.
+// 2. Per-morsel partials merge — and collection chunks concatenate — in
+//    morsel order (`WorkerPool::fold_morsels`), so element order matches
+//    the serial push loop exactly.
+// 3. The radix-partitioned build assigns partitions by key bits alone
+//    (partition count is a function of the build size, not the worker
+//    count), and bucket lists keep ascending build-tuple order, so every
+//    probe sees the same candidate set in the same order as a serial
+//    single-table build.
 
 impl Pipeline {
     fn execute_parallel(&self, stats: &mut ExecStats) -> Result<Value> {
         let pool = WorkerPool::new(self.threads);
-        let tuples = self.exec_node_parallel(&self.root, &pool, stats)?;
-        let plan = MorselPlan::fixed(tuples.len(), self.morsel_rows);
+        let builds = self.prepare_builds(Some(&pool), stats)?;
+        let plan = MorselPlan::fixed(
+            self.sources[leftmost_source(&self.root)].nrows,
+            self.morsel_rows,
+        );
+        stats.morsels += plan.len() as u64;
 
         match self.monoid {
             Monoid::Collection(kind) => {
-                stats.morsels += plan.len() as u64;
-                // Head values per morsel, concatenated in morsel order:
-                // identical element sequence to the serial engine, then one
-                // canonicalization.
-                let chunks = pool.run_morsels(
+                // Per-morsel head values, concatenated in morsel order:
+                // identical element sequence to the serial push loop, then
+                // one canonicalization.
+                let items = pool.fold_morsels(
                     plan.len(),
-                    |_| (),
-                    |_, m| {
+                    |m| {
                         let mut ws = ExecStats::default();
-                        let range = plan.range(m);
-                        let mut items = Vec::with_capacity(range.len());
-                        for t in &tuples[range] {
-                            items.push(self.head_value(t, &mut ws)?);
-                        }
+                        let mut items = Vec::new();
+                        self.drive(&self.root, plan.range(m), &builds, &mut ws, &mut |ws, t| {
+                            items.push(self.head_value(&t, ws)?);
+                            Ok(())
+                        })?;
                         Ok::<_, VidaError>((items, ws))
                     },
+                    Vec::new(),
+                    |mut all, (chunk, ws)| {
+                        all.extend(chunk);
+                        stats.absorb_worker(&ws);
+                        Ok(all)
+                    },
                 )?;
-                let mut items = Vec::with_capacity(tuples.len());
-                for (chunk, ws) in chunks {
-                    items.extend(chunk);
-                    stats.absorb_worker(&ws);
-                }
                 Ok(match kind {
                     CollectionKind::Set => Value::set(items),
                     k => Value::Collection(k, items),
@@ -2007,35 +2485,61 @@ impl Pipeline {
             Monoid::Primitive(PrimitiveMonoid::Count)
                 if matches!(self.head, HeadPlan::CountOnly) =>
             {
-                Ok(Value::Int(tuples.len() as i64))
+                let n = pool.fold_morsels(
+                    plan.len(),
+                    |m| {
+                        let mut ws = ExecStats::default();
+                        let mut n = 0i64;
+                        self.drive(&self.root, plan.range(m), &builds, &mut ws, &mut |_, _| {
+                            n += 1;
+                            Ok(())
+                        })?;
+                        Ok::<_, VidaError>((n, ws))
+                    },
+                    0i64,
+                    |acc, (n, ws)| {
+                        stats.absorb_worker(&ws);
+                        Ok(acc + n)
+                    },
+                )?;
+                Ok(Value::Int(n))
             }
             m => {
                 // Per-morsel partial folds, merged deterministically in
                 // morsel order via the Monoid trait.
-                stats.morsels += plan.len() as u64;
-                let partials = pool.run_morsels(
+                let accs = pool.fold_morsels(
                     plan.len(),
-                    |_| (),
-                    |_, mi| {
+                    |mi| {
                         let mut ws = ExecStats::default();
                         let mut acc = m.zero();
-                        for t in &tuples[plan.range(mi)] {
-                            let v = self.head_value(t, &mut ws)?;
-                            acc = m.merge(acc, m.unit(v))?;
-                        }
+                        self.drive(
+                            &self.root,
+                            plan.range(mi),
+                            &builds,
+                            &mut ws,
+                            &mut |ws, t| {
+                                let v = self.head_value(&t, ws)?;
+                                acc =
+                                    m.merge(std::mem::replace(&mut acc, Value::Null), m.unit(v))?;
+                                Ok(())
+                            },
+                        )?;
                         Ok::<_, VidaError>((acc, ws))
                     },
+                    Vec::with_capacity(plan.len()),
+                    |mut accs, (acc, ws)| {
+                        accs.push(acc);
+                        stats.absorb_worker(&ws);
+                        Ok(accs)
+                    },
                 )?;
-                let mut accs = Vec::with_capacity(partials.len());
-                for (acc, ws) in partials {
-                    accs.push(acc);
-                    stats.absorb_worker(&ws);
-                }
                 m.finalize(m.merge_partials(accs)?)
             }
         }
     }
 
+    /// Morsel-parallel build-side scan: chunks concatenate in morsel order,
+    /// so the buffer is identical to a serial scan's.
     fn source_tuples_parallel(
         &self,
         idx: usize,
@@ -2044,218 +2548,20 @@ impl Pipeline {
     ) -> Result<Vec<Tuple>> {
         let plan = MorselPlan::fixed(self.sources[idx].nrows, self.morsel_rows);
         stats.morsels += plan.len() as u64;
-        let chunks = pool.run_morsels(
+        pool.fold_morsels(
             plan.len(),
-            |_| (),
-            |_, m| {
+            |m| {
                 let mut ws = ExecStats::default();
                 let out = self.source_tuples_range(idx, plan.range(m), &mut ws)?;
                 Ok::<_, VidaError>((out, ws))
             },
-        )?;
-        let mut out = Vec::new();
-        for (chunk, ws) in chunks {
-            out.extend(chunk);
-            stats.absorb_worker(&ws);
-        }
-        Ok(out)
-    }
-
-    fn exec_node_parallel(
-        &self,
-        node: &Node,
-        pool: &WorkerPool,
-        stats: &mut ExecStats,
-    ) -> Result<Vec<Tuple>> {
-        match node {
-            Node::Source(idx) => self.source_tuples_parallel(*idx, pool, stats),
-            Node::HashJoin {
-                left,
-                right,
-                left_key,
-                right_key,
-                left_key_ty,
-                right_key_ty,
-                float_keys,
-                predicate,
-                selects,
-            } => {
-                let left_tuples = self.exec_node_parallel(left, pool, stats)?;
-                let right_tuples = self.source_tuples_parallel(*right, pool, stats)?;
-
-                // Build, phase 1: workers extract key bits morsel-wise and
-                // pre-split them by radix partition. Null-frame build tuples
-                // go to the shared `loose` list (interpreted comparison),
-                // exactly as in the serial build.
-                let partitions = radix::partition_count(right_tuples.len());
-                let rplan = MorselPlan::fixed(right_tuples.len(), self.morsel_rows);
-                stats.morsels += rplan.len() as u64;
-                let pre = pool.run_morsels(
-                    rplan.len(),
-                    |_| (),
-                    |_, m| {
-                        let mut parts: Vec<Vec<(i64, usize)>> = vec![Vec::new(); partitions];
-                        let mut loose: Vec<usize> = Vec::new();
-                        for i in rplan.range(m) {
-                            let t = &right_tuples[i];
-                            if t.valid {
-                                let k = encode_key(
-                                    right_key.call(&t.frame),
-                                    *right_key_ty,
-                                    *float_keys,
-                                );
-                                parts[partition_of(k, partitions)].push((k, i));
-                            } else {
-                                loose.push(i);
-                            }
-                        }
-                        Ok::<_, VidaError>((parts, loose))
-                    },
-                )?;
-
-                // Build, phase 2: one worker per partition assembles that
-                // partition's hash table. Visiting the morsel pre-splits in
-                // morsel order keeps every bucket's index list ascending —
-                // the order the serial single-table build produced.
-                let tables = pool.run_morsels(
-                    partitions,
-                    |_| (),
-                    |_, p| {
-                        let mut table: HashMap<i64, Vec<usize>> = HashMap::new();
-                        for (parts, _) in &pre {
-                            for &(k, i) in &parts[p] {
-                                table.entry(k).or_default().push(i);
-                            }
-                        }
-                        Ok::<_, VidaError>(table)
-                    },
-                )?;
-                let loose: Vec<usize> = pre.iter().flat_map(|(_, l)| l.iter().copied()).collect();
-
-                // Probe: left morsels in parallel; each probe consults
-                // exactly one partition, and per-morsel outputs concatenate
-                // in morsel order.
-                let rslots = &self.sources[*right].slots;
-                let lplan = MorselPlan::fixed(left_tuples.len(), self.morsel_rows);
-                stats.morsels += lplan.len() as u64;
-                let chunks = pool.run_morsels(
-                    lplan.len(),
-                    |_| (),
-                    |_, m| {
-                        let mut ws = ExecStats::default();
-                        let mut out = Vec::new();
-                        for lt in &left_tuples[lplan.range(m)] {
-                            let candidates: Vec<usize> = if lt.valid {
-                                let k =
-                                    encode_key(left_key.call(&lt.frame), *left_key_ty, *float_keys);
-                                let mut c: Vec<usize> = tables[partition_of(k, partitions)]
-                                    .get(&k)
-                                    .map(|b| b.as_slice())
-                                    .unwrap_or(&[])
-                                    .iter()
-                                    .chain(loose.iter())
-                                    .copied()
-                                    .collect();
-                                c.sort_unstable();
-                                c
-                            } else {
-                                (0..right_tuples.len()).collect()
-                            };
-                            self.probe_pairs(
-                                lt,
-                                &candidates,
-                                &right_tuples,
-                                rslots,
-                                predicate,
-                                selects,
-                                &mut out,
-                                &mut ws,
-                            )?;
-                        }
-                        Ok::<_, VidaError>((out, ws))
-                    },
-                )?;
-                let mut out = Vec::new();
-                for (chunk, ws) in chunks {
-                    out.extend(chunk);
-                    stats.absorb_worker(&ws);
-                }
-                Ok(out)
-            }
-            Node::ThetaJoin {
-                left,
-                right,
-                band,
-                predicate,
-                selects,
-            } => {
-                let left_tuples = self.exec_node_parallel(left, pool, stats)?;
-                let right_tuples = self.source_tuples_parallel(*right, pool, stats)?;
-                // The sorted band index is built once by the coordinator —
-                // a pure function of the right tuples, so every thread
-                // count probes the identical index.
-                let index = band.as_ref().map(|b| BandIndex::build(b, &right_tuples));
-                let all: Vec<usize> = (0..right_tuples.len()).collect();
-                let rslots = &self.sources[*right].slots;
-                let lplan = MorselPlan::fixed(left_tuples.len(), self.morsel_rows);
-                stats.morsels += lplan.len() as u64;
-                let chunks = pool.run_morsels(
-                    lplan.len(),
-                    |_| (),
-                    |_, m| {
-                        let mut ws = ExecStats::default();
-                        let mut out = Vec::new();
-                        for lt in &left_tuples[lplan.range(m)] {
-                            let candidates = theta_candidates(lt, band.as_ref(), index.as_ref());
-                            self.probe_pairs(
-                                lt,
-                                candidates.as_deref().unwrap_or(&all),
-                                &right_tuples,
-                                rslots,
-                                predicate,
-                                selects,
-                                &mut out,
-                                &mut ws,
-                            )?;
-                        }
-                        Ok::<_, VidaError>((out, ws))
-                    },
-                )?;
-                let mut out = Vec::new();
-                for (chunk, ws) in chunks {
-                    out.extend(chunk);
-                    stats.absorb_worker(&ws);
-                }
-                Ok(out)
-            }
-            Node::Unnest {
-                input,
-                stage,
-                selects,
-            } => {
-                let input_tuples = self.exec_node_parallel(input, pool, stats)?;
-                let plan = MorselPlan::fixed(input_tuples.len(), self.morsel_rows);
-                stats.morsels += plan.len() as u64;
-                let chunks = pool.run_morsels(
-                    plan.len(),
-                    |_| (),
-                    |_, m| {
-                        let mut ws = ExecStats::default();
-                        let mut out = Vec::new();
-                        for t in &input_tuples[plan.range(m)] {
-                            self.unnest_tuple(*stage, selects, t, &mut out, &mut ws)?;
-                        }
-                        Ok::<_, VidaError>((out, ws))
-                    },
-                )?;
-                let mut out = Vec::new();
-                for (chunk, ws) in chunks {
-                    out.extend(chunk);
-                    stats.absorb_worker(&ws);
-                }
-                Ok(out)
-            }
-        }
+            Vec::new(),
+            |mut all, (chunk, ws)| {
+                all.extend(chunk);
+                stats.absorb_worker(&ws);
+                Ok(all)
+            },
+        )
     }
 }
 
@@ -3010,6 +3316,103 @@ mod tests {
         // The warm run decoded the replica morsel-wise (3 rows, 1-row
         // morsels) in addition to the execution-phase morsels.
         assert!(s2.morsels >= 3, "{s2:?}");
+    }
+
+    #[test]
+    fn streaming_pipeline_pays_zero_operator_materializations() {
+        // The push loop must fuse every covered shape end to end: scans,
+        // joins (build sides are breakers, not operator buffers), unnests,
+        // selects, every monoid.
+        let cat = catalog();
+        let nested = nested_catalog();
+        let cases: Vec<(&MemoryCatalog, &str, u32)> = vec![
+            // (catalog, query, expected fused depth incl. the fold)
+            (&cat, "for { p <- Patients, p.age > 60 } yield sum p.age", 2),
+            (
+                &cat,
+                "for { p <- Patients, g <- Genetics, p.id = g.id } yield list g.snp",
+                3,
+            ),
+            (
+                &cat,
+                "for { p <- Patients, g <- Genetics, p.id < g.id } yield count p",
+                3,
+            ),
+            (
+                &nested,
+                "for { r <- Regions, v <- r.voxels, v > 10 } yield sum v",
+                3,
+            ),
+        ];
+        for (cat, q, depth) in cases {
+            let plan = plan_of(q);
+            for threads in [1usize, 2, 8] {
+                let opts = JitOptions {
+                    threads,
+                    morsel_rows: 1,
+                    clamp_threads: false,
+                    ..Default::default()
+                };
+                let (_, stats) = run_jit_with_stats(&plan, cat, &opts).unwrap();
+                assert_eq!(
+                    stats.operator_materializations, 0,
+                    "{q} at {threads} threads: {stats:?}"
+                );
+                assert_eq!(stats.fused_stage_depth, depth, "{q}: {stats:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn materializing_ablation_agrees_and_counts_buffers() {
+        // materialize_stages runs the legacy pull executor: identical
+        // results, but one inter-operator Vec<Tuple> per stage.
+        let cat = catalog();
+        let queries = [
+            ("for { p <- Patients, p.age > 60 } yield sum p.age", 1),
+            (
+                "for { p <- Patients, g <- Genetics, p.id = g.id } yield list g.snp",
+                2,
+            ),
+            (
+                "for { p <- Patients, g <- Genetics, p.id >= g.id } yield count p",
+                2,
+            ),
+        ];
+        for (q, buffers) in queries {
+            let plan = plan_of(q);
+            let streaming = run_jit(&plan, &cat, &JitOptions::default()).unwrap();
+            let opts = JitOptions {
+                materialize_stages: true,
+                ..Default::default()
+            };
+            let (v, stats) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+            assert_eq!(v, streaming, "ablation deviates for {q}");
+            assert_eq!(stats.operator_materializations, buffers, "{q}: {stats:?}");
+            assert_eq!(stats.fused_stage_depth, 0, "{q}: {stats:?}");
+        }
+        // The nested shapes agree too.
+        let cat = nested_catalog();
+        let plan = plan_of("for { r <- Regions, v <- r.voxels } yield list v");
+        let streaming = run_jit(&plan, &cat, &JitOptions::default()).unwrap();
+        let opts = JitOptions {
+            materialize_stages: true,
+            ..Default::default()
+        };
+        let (v, stats) = run_jit_with_stats(&plan, &cat, &opts).unwrap();
+        assert_eq!(v, streaming);
+        assert_eq!(stats.operator_materializations, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn fused_selects_compile_into_one_stage() {
+        // Two compiled selects on one scan fuse into a SelectKernel; the
+        // result is unchanged and no per-tuple interpretation happens.
+        let plan = plan_of("for { p <- Patients, p.age > 40, p.age < 70 } yield count p");
+        let (v, stats) = run_jit_with_stats(&plan, &catalog(), &JitOptions::default()).unwrap();
+        assert_eq!(v, Value::Int(1)); // only age 65 is in (40, 70)
+        assert_eq!(stats.fallback_tuples, 0, "{stats:?}");
+        assert_eq!(stats.operator_materializations, 0, "{stats:?}");
     }
 
     #[test]

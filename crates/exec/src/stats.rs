@@ -51,6 +51,20 @@ pub struct ExecStats {
     /// (plan shape outside the generated pipelines — unit-dataset constant
     /// queries and the like); summed across queries by [`ExecStats::accumulate`].
     pub whole_query_fallbacks: u32,
+    /// Inter-operator `Vec<Tuple>` buffers paid for during execution. The
+    /// streaming push engine fuses scan→select→unnest→probe→fold chains
+    /// end to end, so this is **0** on every pipeline-covered shape; only
+    /// the legacy materializing executor (`JitOptions::materialize_stages`,
+    /// the ablation baseline) pays one per operator stage. Join build sides
+    /// and band indexes are pipeline *breakers* — materialized per morsel
+    /// side by design (HyPer-style data-centric compilation) — and are not
+    /// counted here.
+    pub operator_materializations: u64,
+    /// Operator stages fused into one streaming push loop for this query
+    /// (scan = 1, +1 per unnest stage and join probe, +1 for the fold).
+    /// 0 when the query fell back wholesale or ran the legacy materializing
+    /// path. [`ExecStats::accumulate`] keeps the maximum across queries.
+    pub fused_stage_depth: u32,
 }
 
 impl ExecStats {
@@ -76,6 +90,8 @@ impl ExecStats {
         self.theta_pipelines += other.theta_pipelines;
         self.bushy_lowered += other.bushy_lowered;
         self.whole_query_fallbacks += other.whole_query_fallbacks;
+        self.operator_materializations += other.operator_materializations;
+        self.fused_stage_depth = self.fused_stage_depth.max(other.fused_stage_depth);
     }
 
     /// Merge counters from one worker of a parallel phase (wall times are
@@ -87,6 +103,7 @@ impl ExecStats {
         self.cached_columns += other.cached_columns;
         self.raw_columns += other.raw_columns;
         self.morsels += other.morsels;
+        self.operator_materializations += other.operator_materializations;
     }
 }
 
@@ -113,6 +130,8 @@ mod tests {
             theta_pipelines: 2,
             bushy_lowered: 1,
             whole_query_fallbacks: 1,
+            operator_materializations: 3,
+            fused_stage_depth: 4,
         };
         assert_eq!(a.total(), Duration::from_micros(1000));
         let b = a.clone();
@@ -126,5 +145,7 @@ mod tests {
         assert_eq!(a.theta_pipelines, 4);
         assert_eq!(a.bushy_lowered, 2);
         assert_eq!(a.whole_query_fallbacks, 2);
+        assert_eq!(a.operator_materializations, 6);
+        assert_eq!(a.fused_stage_depth, 4); // max, not sum
     }
 }

@@ -4,7 +4,11 @@
 //! random algebra plans spanning *every* pipeline shape: scans, selects,
 //! equi / theta / product joins, left-deep and bushy join trees, single and
 //! chained unnests over nested columns (scalar, record, and
-//! list-of-list elements), and every monoid — over null-riddled inputs.
+//! list-of-list elements), and every monoid — over null-riddled **raw
+//! CSV/JSON files** whose strings exercise the format layer's hard cases:
+//! RFC 4180 doubled-quote escapes, embedded delimiters, quoted newlines
+//! (morsel alignment must be quote-aware), and astral-plane `\uXXXX`
+//! surrogate pairs.
 //! Every plan runs through three independent evaluators:
 //!
 //! 1. the interpreted Volcano engine (`run_volcano`) — the oracle,
@@ -16,7 +20,10 @@
 //! generator built over a path that is not a collection — the JIT engine
 //! must error too). Because every generated shape is inside the pipeline
 //! coverage, the fuzzer also asserts that **no plan takes the whole-query
-//! Volcano fallback**: unnests, theta joins, and bushy trees all compile.
+//! Volcano fallback** (unnests, theta joins, and bushy trees all compile)
+//! and that **no stage materializes an inter-operator `Vec<Tuple>`**
+//! (`ExecStats::operator_materializations == 0`: the streaming push loop
+//! fuses every chain end to end).
 //!
 //! Seeds are fixed in code, so a failure replays exactly: the panic message
 //! carries the seed, the plan index, and the plan itself.
@@ -25,8 +32,12 @@
 //! `f64` at any merge order — so thread-count sweeps catch real
 //! parallelism bugs rather than benign reassociation ulps.
 
+use std::sync::Arc;
 use vida_algebra::{execute_plan, rewrite, Plan};
 use vida_exec::{run_jit_with_stats, run_volcano, JitOptions, MemoryCatalog, SourceProvider};
+use vida_formats::csv::CsvFile;
+use vida_formats::json::JsonFile;
+use vida_formats::plugin::{CsvPlugin, JsonPlugin};
 use vida_lang::{BinOp, Bindings, Expr};
 use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Schema, Type, Value};
 use vida_workload::Rng;
@@ -37,100 +48,109 @@ const SEEDS: [u64; 3] = [0xDEC0DE, 42, 7];
 const PLANS_PER_SEED: usize = 200;
 
 // ---------------------------------------------------------------------------
-// Fixture catalog: two flat tables (null-riddled) and one nested table.
+// Fixture catalog: raw CSV/JSON files (null-riddled, with hostile strings)
+// and one nested JSON table.
 // ---------------------------------------------------------------------------
+
+/// `A.s` values as parsed — each one exercises RFC 4180 quoting: an
+/// embedded delimiter, a doubled-quote escape, and a quoted newline.
+const COLORS: [&str; 3] = ["re,d", "gr\"een", "bl\nue"];
+/// `A.s` raw CSV fields encoding [`COLORS`].
+const COLORS_RAW: [&str; 3] = ["\"re,d\"", "\"gr\"\"een\"", "\"bl\nue\""];
+
+/// `B.s` values as parsed — astral-plane and BMP chars.
+const EMOJIS: [&str; 3] = ["\u{1F600}!", "snow\u{2603}", "plain"];
+/// `B.s` raw JSON string bodies encoding [`EMOJIS`]: the astral char as a
+/// `\uXXXX` surrogate pair, the BMP char as a single escape.
+const EMOJIS_RAW: [&str; 3] = ["\\ud83d\\ude00!", "snow\\u2603", "plain"];
 
 fn catalog() -> MemoryCatalog {
     let cat = MemoryCatalog::new();
 
-    // A(k, x, f, s): x is null on every 5th-ish row; f is dyadic.
-    let colors = ["red", "green", "blue"];
-    let rows_a: Vec<Value> = (0..16i64)
-        .map(|i| {
-            Value::record([
-                ("k", Value::Int(i)),
-                (
-                    "x",
-                    if i % 5 == 3 {
-                        Value::Null
-                    } else {
-                        Value::Int((i * 3) % 20)
-                    },
-                ),
-                ("f", Value::Float((i % 16) as f64 / 16.0)),
-                ("s", Value::str(colors[(i % 3) as usize])),
-            ])
-        })
-        .collect();
-    cat.register_records(
+    // A(k, x, f, s) — a raw CSV file: x is null (empty field) on every
+    // 5th-ish row; f is dyadic; s carries the quoted/escaped strings, so
+    // every scan (serial and morsel-aligned parallel) runs through the
+    // quote-aware format layer.
+    let mut csv = String::from("k,x,f,s\n");
+    for i in 0..16i64 {
+        let x = if i % 5 == 3 {
+            String::new()
+        } else {
+            ((i * 3) % 20).to_string()
+        };
+        let f = (i % 16) as f64 / 16.0;
+        let s = COLORS_RAW[(i % 3) as usize];
+        csv.push_str(&format!("{i},{x},{f},{s}\n"));
+    }
+    let a = CsvFile::from_bytes(
         "A",
+        csv.into_bytes(),
+        b',',
+        true,
         Schema::from_pairs([
             ("k", Type::Int),
             ("x", Type::Int),
             ("f", Type::Float),
             ("s", Type::Str),
         ]),
-        &rows_a,
     )
     .unwrap();
+    cat.register(Arc::new(CsvPlugin::new(a)));
 
-    // B(k, y): duplicate keys (k = i % 8) and nulls in y.
-    let rows_b: Vec<Value> = (0..12i64)
-        .map(|i| {
-            Value::record([
-                ("k", Value::Int(i % 8)),
-                (
-                    "y",
-                    if i % 7 == 2 {
-                        Value::Null
-                    } else {
-                        Value::Int((i * 5) % 30)
-                    },
-                ),
-            ])
-        })
-        .collect();
-    cat.register_records(
+    // B(k, y, s) — a raw newline-delimited JSON file: duplicate keys
+    // (k = i % 8), nulls in y, and surrogate-pair-escaped strings in s.
+    let mut json = String::new();
+    for i in 0..12i64 {
+        let y = if i % 7 == 2 {
+            "null".to_string()
+        } else {
+            ((i * 5) % 30).to_string()
+        };
+        let s = EMOJIS_RAW[(i % 3) as usize];
+        json.push_str(&format!("{{\"k\":{},\"y\":{y},\"s\":\"{s}\"}}\n", i % 8));
+    }
+    let b = JsonFile::from_bytes(
         "B",
-        Schema::from_pairs([("k", Type::Int), ("y", Type::Int)]),
-        &rows_b,
+        json.into_bytes(),
+        Schema::from_pairs([("k", Type::Int), ("y", Type::Int), ("s", Type::Str)]),
     )
     .unwrap();
+    cat.register(Arc::new(JsonPlugin::new(b)));
 
-    // N(id, xs, ys, mat): nested columns — scalar lists, record lists
-    // (with an occasional null element field), and lists of lists.
-    let rows_n: Vec<Value> = (0..10i64)
-        .map(|i| {
-            let xs: Vec<Value> = (0..(i % 4)).map(|j| Value::Int(i + 2 * j)).collect();
-            let ys: Vec<Value> = (0..(i % 3))
-                .map(|j| {
-                    Value::record([
-                        (
-                            "u",
-                            if (i + j) % 6 == 4 {
-                                Value::Null
-                            } else {
-                                Value::Int(i + j)
-                            },
-                        ),
-                        ("w", Value::Float(((i + j) % 8) as f64 / 8.0)),
-                    ])
-                })
-                .collect();
-            let mat: Vec<Value> = (0..(i % 3))
-                .map(|j| Value::list(((i + j) % 3..3).map(Value::Int).collect()))
-                .collect();
-            Value::record([
-                ("id", Value::Int(i)),
-                ("xs", Value::list(xs)),
-                ("ys", Value::list(ys)),
-                ("mat", Value::list(mat)),
-            ])
-        })
-        .collect();
+    // N(id, xs, ys, mat) — a raw nested JSON file: scalar lists, record
+    // lists (with an occasional null element field), and lists of lists.
+    let mut json = String::new();
+    for i in 0..10i64 {
+        let xs: Vec<String> = (0..(i % 4)).map(|j| (i + 2 * j).to_string()).collect();
+        let ys: Vec<String> = (0..(i % 3))
+            .map(|j| {
+                let u = if (i + j) % 6 == 4 {
+                    "null".to_string()
+                } else {
+                    (i + j).to_string()
+                };
+                // Forced decimals keep w a Float at parse time; eighths are
+                // exact in both decimal and binary.
+                format!("{{\"u\":{u},\"w\":{:.4}}}", ((i + j) % 8) as f64 / 8.0)
+            })
+            .collect();
+        let mat: Vec<String> = (0..(i % 3))
+            .map(|j| {
+                let inner: Vec<String> = ((i + j) % 3..3).map(|v| v.to_string()).collect();
+                format!("[{}]", inner.join(","))
+            })
+            .collect();
+        json.push_str(&format!(
+            "{{\"id\":{i},\"xs\":[{}],\"ys\":[{}],\"mat\":[{}]}}\n",
+            xs.join(","),
+            ys.join(","),
+            mat.join(",")
+        ));
+    }
     let rec_ty = Type::record([("u", Type::Int), ("w", Type::Float)]);
-    cat.register_records(
+    let n = JsonFile::from_bytes(
         "N",
+        json.into_bytes(),
         Schema::from_pairs([
             ("id", Type::Int),
             (
@@ -149,9 +169,9 @@ fn catalog() -> MemoryCatalog {
                 ),
             ),
         ]),
-        &rows_n,
     )
     .unwrap();
+    cat.register(Arc::new(JsonPlugin::new(n)));
     cat
 }
 
@@ -259,7 +279,9 @@ impl Gen {
                 2 => Expr::bin(
                     BinOp::Eq,
                     Expr::var(name).proj("s"),
-                    Expr::str(["red", "green", "blue"][self.rng.below(3) as usize]),
+                    // Escaped-CSV strings: the constant only matches when
+                    // the format layer unescaped the raw field correctly.
+                    Expr::str(COLORS[self.rng.below(3) as usize]),
                 ),
                 _ => Expr::bin(
                     BinOp::Le,
@@ -267,18 +289,27 @@ impl Gen {
                     Expr::float(self.rng.below(16) as f64 / 16.0),
                 ),
             },
-            Kind::FlatB => {
-                let p = self.int_path(name, kind);
-                Expr::bin(
-                    if self.rng.below(2) == 0 {
-                        BinOp::Gt
-                    } else {
-                        BinOp::Le
-                    },
-                    p,
-                    c,
-                )
-            }
+            Kind::FlatB => match self.rng.below(3) {
+                // Astral-plane strings: the constant only matches when the
+                // \uXXXX surrogate pairs decoded to real chars.
+                0 => Expr::bin(
+                    BinOp::Eq,
+                    Expr::var(name).proj("s"),
+                    Expr::str(EMOJIS[self.rng.below(3) as usize]),
+                ),
+                _ => {
+                    let p = self.int_path(name, kind);
+                    Expr::bin(
+                        if self.rng.below(2) == 0 {
+                            BinOp::Gt
+                        } else {
+                            BinOp::Le
+                        },
+                        p,
+                        c,
+                    )
+                }
+            },
             Kind::NestedN => Expr::bin(BinOp::Gt, Expr::var(name).proj("id"), c),
             Kind::ElemInt => Expr::bin(
                 if self.rng.below(2) == 0 {
@@ -567,6 +598,19 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
                             .unwrap_or_else(|e| panic!("{}: {e}", ctx(&format!("jit x{threads}"))));
                         assert_eq!(&v, expected, "{}", ctx(&format!("jit x{threads} deviates")));
                         fallbacks += stats.whole_query_fallbacks;
+                        // Streaming execution: every covered shape fuses
+                        // end to end — no inter-operator Vec<Tuple>.
+                        assert_eq!(
+                            stats.operator_materializations,
+                            0,
+                            "{}",
+                            ctx(&format!("jit x{threads} materialized a stage"))
+                        );
+                        assert!(
+                            stats.fused_stage_depth >= 2,
+                            "{}",
+                            ctx(&format!("jit x{threads} reported no fused chain"))
+                        );
                     }
                 }
                 Err(_) => {
@@ -594,5 +638,56 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
         // real datasets, joins with scan right sides, unnests over bound
         // paths. Nothing may take the whole-query Volcano fallback.
         assert_eq!(fallbacks, 0, "seed={seed:#x}: whole-query fallbacks");
+    }
+}
+
+/// The differential engines all read through the same plugins, so they
+/// would agree even on corrupted decodes. This test pins the raw fixtures
+/// to values built from Rust literals: escaped CSV fields must unescape,
+/// surrogate pairs must combine, and an 8-worker morsel-aligned scan over
+/// the embedded-newline CSV must match the serial scan exactly.
+#[test]
+fn escaped_fixtures_decode_exactly_serial_and_parallel() {
+    let cat = catalog();
+    let list_of = |dataset: &str, binding: &str, field: &str| Plan::Reduce {
+        input: Box::new(Plan::Scan {
+            dataset: dataset.into(),
+            binding: binding.into(),
+        }),
+        monoid: Monoid::Collection(CollectionKind::List),
+        head: Expr::var(binding).proj(field),
+    };
+
+    // A.s: quoted/escaped CSV strings (embedded comma, doubled quote,
+    // quoted newline).
+    let plan = list_of("A", "a", "s");
+    let expected: Vec<Value> = (0..16)
+        .map(|i| Value::str(COLORS[(i % 3) as usize]))
+        .collect();
+    let serial = run_volcano(&plan, &cat).unwrap();
+    assert_eq!(serial.elements().unwrap(), &expected);
+
+    // B.s: surrogate-pair-escaped JSON strings.
+    let plan_b = list_of("B", "b", "s");
+    let expected_b: Vec<Value> = (0..12)
+        .map(|i| Value::str(EMOJIS[(i % 3) as usize]))
+        .collect();
+    let serial_b = run_volcano(&plan_b, &cat).unwrap();
+    assert_eq!(serial_b.elements().unwrap(), &expected_b);
+
+    // Parallel morsel-aligned scans (tiny morsels, 8 oversubscribed
+    // workers) must reproduce the serial decode bit for bit.
+    for (plan, oracle) in [(&plan, &serial), (&plan_b, &serial_b)] {
+        for threads in [2usize, 8] {
+            let opts = JitOptions {
+                threads,
+                morsel_rows: 1,
+                clamp_threads: false,
+                ..Default::default()
+            };
+            let (v, stats) = run_jit_with_stats(plan, &cat, &opts).unwrap();
+            assert_eq!(&v, oracle, "threads={threads}");
+            assert_eq!(stats.operator_materializations, 0, "{stats:?}");
+        }
     }
 }

@@ -115,19 +115,17 @@ impl CsvFile {
         let name = name.into();
         let mut rows = Vec::new();
         let mut pos = 0usize;
-        // Skip the header line if present.
+        // Skip the header line if present. Record scanning is quote-aware
+        // (RFC 4180): a newline inside a quoted field is field content, not
+        // a record boundary — so rows with embedded newlines stay one
+        // retrieval unit and `unit_byte_span` morsel boundaries never split
+        // a record.
         if header {
-            match data.iter().position(|&b| b == b'\n') {
-                Some(nl) => pos = nl + 1,
-                None => pos = data.len(),
-            }
+            pos = record_end(&data, 0, delimiter);
         }
         while pos < data.len() {
             rows.push(pos as u32);
-            match data[pos..].iter().position(|&b| b == b'\n') {
-                Some(nl) => pos += nl + 1,
-                None => pos = data.len(),
-            }
+            pos = record_end(&data, pos, delimiter);
         }
         rows.push(data.len() as u32);
         let fingerprint = (data.len() as u64, 0);
@@ -273,18 +271,15 @@ impl CsvFile {
         Ok((off, end))
     }
 
-    /// End of the field starting at `start` (respects simple quoting).
+    /// End of the field starting at `start` (respects RFC 4180 quoting:
+    /// `""` inside a quoted field is an escaped literal quote, not the
+    /// closing one).
     fn field_end(&self, start: usize, row_end: usize) -> usize {
         if start < row_end && self.data[start] == b'"' {
-            // Quoted field: scan to closing quote.
-            let mut i = start + 1;
-            while i < row_end {
-                if self.data[i] == b'"' {
-                    return (i + 1).min(row_end);
-                }
-                i += 1;
+            match closing_quote(&self.data[start..row_end]) {
+                Some(close) => (start + close + 1).min(row_end),
+                None => row_end,
             }
-            row_end
         } else {
             match self.data[start..row_end]
                 .iter()
@@ -296,10 +291,11 @@ impl CsvFile {
         }
     }
 
-    /// Position of the next delimiter, skipping over a quoted field.
+    /// Position of the next delimiter, skipping over a quoted field
+    /// (doubled-quote escapes included).
     fn find_delim(&self, rest: &[u8]) -> Option<usize> {
         if !rest.is_empty() && rest[0] == b'"' {
-            let close = rest[1..].iter().position(|&b| b == b'"')? + 1;
+            let close = closing_quote(rest)?;
             return rest[close..]
                 .iter()
                 .position(|&b| b == self.delimiter)
@@ -413,10 +409,57 @@ impl CsvFile {
     }
 }
 
+/// Index of the closing quote of a quoted field. `field[0]` must be `"`;
+/// doubled quotes (`""`) are RFC 4180 escapes for a literal quote and do
+/// not close the field. `None` when the field never closes.
+fn closing_quote(field: &[u8]) -> Option<usize> {
+    debug_assert_eq!(field.first(), Some(&b'"'));
+    let mut i = 1;
+    while i < field.len() {
+        if field[i] == b'"' {
+            if field.get(i + 1) == Some(&b'"') {
+                i += 2; // escaped literal quote, keep scanning
+                continue;
+            }
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Advance from `pos` (the first byte of a record) to just past the newline
+/// terminating it, honoring RFC 4180 quoting: a field that starts with `"`
+/// runs to its closing quote (`""` escapes a literal one), so delimiters
+/// and newlines inside it are field content. An unterminated quoted field
+/// runs to end of data.
+fn record_end(data: &[u8], mut pos: usize, delimiter: u8) -> usize {
+    let mut field_start = true;
+    while pos < data.len() {
+        let b = data[pos];
+        if field_start && b == b'"' {
+            pos += match closing_quote(&data[pos..]) {
+                Some(close) => close + 1,
+                None => return data.len(),
+            };
+            field_start = false;
+            continue;
+        }
+        pos += 1;
+        match b {
+            b'\n' => return pos,
+            d if d == delimiter => field_start = true,
+            _ => field_start = false,
+        }
+    }
+    pos
+}
+
 /// Parse one raw CSV field into a typed [`Value`].
 ///
-/// Empty text parses as `Null`. Quoted strings lose their quotes. Numeric
-/// parse failures are format errors (data cleaning, ViDa §7, hooks in here).
+/// Empty text parses as `Null`. Quoted strings lose their quotes and
+/// unescape doubled quotes (`""` → `"`). Numeric parse failures are format
+/// errors (data cleaning, ViDa §7, hooks in here).
 pub fn parse_field(text: &[u8], ty: &Type, source: &str) -> Result<Value> {
     let s = std::str::from_utf8(text)
         .map_err(|_| VidaError::format(source, "invalid UTF-8 in field"))?;
@@ -424,8 +467,15 @@ pub fn parse_field(text: &[u8], ty: &Type, source: &str) -> Result<Value> {
     if s.is_empty() {
         return Ok(Value::Null);
     }
+    let unescaped;
     let unquoted = if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
-        &s[1..s.len() - 1]
+        let inner = &s[1..s.len() - 1];
+        if inner.contains("\"\"") {
+            unescaped = inner.replace("\"\"", "\"");
+            unescaped.as_str()
+        } else {
+            inner
+        }
     } else {
         s
     };
@@ -463,25 +513,41 @@ pub fn infer_schema(
     header: bool,
     sample_rows: usize,
 ) -> Result<Schema> {
-    let mut lines = data.split(|&b| b == b'\n').filter(|l| !l.is_empty());
+    // Record iteration and field splitting share the quote-aware scanners
+    // with `CsvFile`, so inference sees the same records a scan would —
+    // quoted newlines and doubled-quote escapes included.
+    let mut records: Vec<&[u8]> = Vec::new();
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let end = record_end(data, pos, delimiter);
+        let mut line = &data[pos..end];
+        while matches!(line.last(), Some(&b'\n') | Some(&b'\r')) {
+            line = &line[..line.len() - 1];
+        }
+        if !line.is_empty() {
+            records.push(line);
+        }
+        pos = end;
+    }
+    let mut records = records.into_iter();
     let names: Vec<String> = if header {
-        let h = lines
+        let h = records
             .next()
             .ok_or_else(|| VidaError::format("<infer>", "empty file"))?;
-        split_simple(h, delimiter)
+        split_fields(h, delimiter)
             .into_iter()
-            .map(|f| String::from_utf8_lossy(f).trim().to_string())
+            .map(|f| unquote_name(String::from_utf8_lossy(f).trim()))
             .collect()
     } else {
         Vec::new()
     };
 
     let mut col_types: Vec<Option<InferredTy>> = Vec::new();
-    for (i, line) in lines.enumerate() {
+    for (i, line) in records.enumerate() {
         if i >= sample_rows {
             break;
         }
-        for (c, field) in split_simple(line, delimiter).into_iter().enumerate() {
+        for (c, field) in split_fields(line, delimiter).into_iter().enumerate() {
             if col_types.len() <= c {
                 col_types.resize(c + 1, None);
             }
@@ -506,13 +572,37 @@ pub fn infer_schema(
     Ok(Schema::from_pairs(fields))
 }
 
-fn split_simple(line: &[u8], delimiter: u8) -> Vec<&[u8]> {
-    let line = if line.last() == Some(&b'\r') {
-        &line[..line.len() - 1]
+/// Split one record into fields, honoring RFC 4180 quoting: delimiters
+/// inside a quoted field (doubled-quote escapes included) do not split.
+fn split_fields(record: &[u8], delimiter: u8) -> Vec<&[u8]> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < record.len() {
+        if i == start && record[i] == b'"' {
+            i += match closing_quote(&record[i..]) {
+                Some(close) => close + 1,
+                None => record.len() - i,
+            };
+            continue;
+        }
+        if record[i] == delimiter {
+            out.push(&record[start..i]);
+            start = i + 1;
+        }
+        i += 1;
+    }
+    out.push(&record[start..]);
+    out
+}
+
+/// Strip surrounding quotes (and unescape `""`) from a header name.
+fn unquote_name(name: &str) -> String {
+    if name.len() >= 2 && name.starts_with('"') && name.ends_with('"') {
+        name[1..name.len() - 1].replace("\"\"", "\"")
     } else {
-        line
-    };
-    line.split(move |&b| b == delimiter).collect()
+        name.to_string()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -722,6 +812,124 @@ mod tests {
     }
 
     #[test]
+    fn doubled_quotes_unescape_and_do_not_truncate() {
+        // RFC 4180: `""` inside a quoted field is a literal quote. The scan
+        // must not stop at the first inner quote (which would also mislocate
+        // the following delimiter), and the parse must unescape.
+        let data =
+            b"id,name,tag\n1,\"a\"\"b\",x\n2,\"say \"\"hi\"\", ok\",y\n3,\"\"\"\",z\n".to_vec();
+        let f = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("id", Type::Int), ("name", Type::Str), ("tag", Type::Str)]),
+        )
+        .unwrap();
+        assert_eq!(f.read_field(0, 1).unwrap(), Value::str("a\"b"));
+        assert_eq!(f.read_field(0, 2).unwrap(), Value::str("x"));
+        assert_eq!(f.read_field(1, 1).unwrap(), Value::str("say \"hi\", ok"));
+        assert_eq!(f.read_field(1, 2).unwrap(), Value::str("y"));
+        assert_eq!(f.read_field(2, 1).unwrap(), Value::str("\""));
+        assert_eq!(f.read_field(2, 2).unwrap(), Value::str("z"));
+    }
+
+    #[test]
+    fn escaped_field_spans_round_trip_through_span_parse() {
+        // Positions-layout spans of escaped fields must cover the full
+        // quoted text (escapes included) and rehydrate to the unescaped
+        // value.
+        let data = b"id,name\n1,\"a\"\"b\"\n2,\"plain\"\n".to_vec();
+        let f = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("id", Type::Int), ("name", Type::Str)]),
+        )
+        .unwrap();
+        let span = f.field_byte_span(0, 1).unwrap();
+        assert_eq!(&f.data[span.0..span.1], b"\"a\"\"b\"");
+        assert_eq!(f.parse_field_span(1, span).unwrap(), Value::str("a\"b"));
+        let span = f.field_byte_span(1, 1).unwrap();
+        assert_eq!(f.parse_field_span(1, span).unwrap(), Value::str("plain"));
+    }
+
+    #[test]
+    fn quoted_newlines_stay_one_record() {
+        // A quoted field with an embedded newline is ONE record: row
+        // indexing (and therefore `unit_byte_span` morsel alignment) must
+        // be quote-aware, or parallel scans split the record in half.
+        let data = b"id,note\n1,\"line one\nline two\"\n2,flat\n".to_vec();
+        let f = CsvFile::from_bytes(
+            "T",
+            data.clone(),
+            b',',
+            true,
+            Schema::from_pairs([("id", Type::Int), ("note", Type::Str)]),
+        )
+        .unwrap();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(
+            f.read_field(0, 1).unwrap(),
+            Value::str("line one\nline two")
+        );
+        assert_eq!(f.read_field(1, 0).unwrap(), Value::Int(2));
+        // The unit span covers the whole logical record, embedded newline
+        // included, and the next record starts exactly where it ends.
+        let (s0, e0) = f.unit_byte_span(0).unwrap();
+        assert_eq!(&data[s0..e0], b"1,\"line one\nline two\"\n");
+        let (s1, _) = f.unit_byte_span(1).unwrap();
+        assert_eq!(e0, s1);
+        // Ranged scans over the quote-aware rows match the full scan.
+        let mut full = Vec::new();
+        f.scan_project(&[1], |r, v| {
+            full.push((r, v));
+            Ok(())
+        })
+        .unwrap();
+        let mut ranged = Vec::new();
+        for r in 0..f.num_rows() {
+            f.scan_project_range(&[1], r..r + 1, |row, v| {
+                ranged.push((row, v));
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(full, ranged);
+    }
+
+    #[test]
+    fn quoted_newline_in_header_is_skipped_whole() {
+        let data = b"id,\"na\nme\"\n1,x\n".to_vec();
+        let f = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("id", Type::Int), ("name", Type::Str)]),
+        )
+        .unwrap();
+        assert_eq!(f.num_rows(), 1);
+        assert_eq!(f.read_field(0, 1).unwrap(), Value::str("x"));
+    }
+
+    #[test]
+    fn unterminated_quote_runs_to_end_of_data() {
+        let data = b"a,b\n1,\"open\n".to_vec();
+        let f = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("a", Type::Int), ("b", Type::Str)]),
+        )
+        .unwrap();
+        assert_eq!(f.num_rows(), 1);
+        assert_eq!(f.read_field(0, 0).unwrap(), Value::Int(1));
+    }
+
+    #[test]
     fn empty_field_is_null() {
         let data = b"a,b\n1,\n,2\n".to_vec();
         let f = CsvFile::from_bytes(
@@ -806,6 +1014,19 @@ mod tests {
         let data2 = b"x\n1\nhello\n";
         let s2 = infer_schema(data2, b',', true, 10).unwrap();
         assert_eq!(s2.field("x").unwrap().ty, Type::Str);
+    }
+
+    #[test]
+    fn infer_schema_is_quote_aware() {
+        // Quoted newlines and embedded delimiters must not desync the
+        // sampled records from what a scan parses.
+        let data = b"id,\"no,te\"\n1,\"line one\nline two\"\n2,\"a\"\"b\"\n";
+        let s = infer_schema(data, b',', true, 10).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("id"), Some(0));
+        assert_eq!(s.index_of("no,te"), Some(1));
+        assert_eq!(s.field("id").unwrap().ty, Type::Int);
+        assert_eq!(s.field("no,te").unwrap().ty, Type::Str);
     }
 
     #[test]

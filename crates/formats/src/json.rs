@@ -361,8 +361,35 @@ fn parse_string_raw(data: &[u8], i: usize, source: &str) -> Result<(String, usiz
                             .map_err(|_| VidaError::format(source, "bad \\u escape"))?;
                         let code = u32::from_str_radix(hex, 16)
                             .map_err(|_| VidaError::format(source, "bad \\u escape"))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        j += 4;
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // High surrogate: JSON encodes astral-plane
+                            // characters as a \uXXXX\uXXXX pair. Combine
+                            // with an immediately following low surrogate;
+                            // a lone half stays U+FFFD.
+                            let low = (data.get(j + 5) == Some(&b'\\')
+                                && data.get(j + 6) == Some(&b'u')
+                                && j + 10 < data.len())
+                            .then(|| &data[j + 7..j + 11])
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .filter(|c| (0xDC00..=0xDFFF).contains(c));
+                            match low {
+                                Some(low) => {
+                                    let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    out.push(char::from_u32(c).unwrap_or('\u{fffd}'));
+                                    j += 10; // both escapes consumed
+                                }
+                                None => {
+                                    out.push('\u{fffd}');
+                                    j += 4;
+                                }
+                            }
+                        } else {
+                            // Lone low surrogates fall out of from_u32 as
+                            // None and stay U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            j += 4;
+                        }
                     }
                     c => {
                         return Err(VidaError::format(
@@ -757,6 +784,45 @@ mod tests {
     fn parse_json_unicode_escape() {
         let v = parse_json(b"\"\\u00e9\"", 0, "t").unwrap().0;
         assert_eq!(v, Value::str("\u{e9}"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_chars() {
+        // U+1F600 GRINNING FACE encodes as \ud83d\ude00 — it must decode to
+        // one astral char, not two replacement chars.
+        let v = parse_json(b"\"\\ud83d\\ude00\"", 0, "t").unwrap().0;
+        assert_eq!(v, Value::str("\u{1F600}"));
+        // Surrounding text and multiple pairs survive intact.
+        let v = parse_json(b"\"a\\ud83d\\ude00b\\ud83e\\udd14c\"", 0, "t")
+            .unwrap()
+            .0;
+        assert_eq!(v, Value::str("a\u{1F600}b\u{1F914}c"));
+        // Raw (unescaped) astral UTF-8 passes through the fast path too.
+        let v = parse_json("\"\u{1F600}\"".as_bytes(), 0, "t").unwrap().0;
+        assert_eq!(v, Value::str("\u{1F600}"));
+    }
+
+    #[test]
+    fn lone_surrogates_stay_replacement_chars() {
+        // A high surrogate with no low half, a bare low surrogate, and a
+        // high surrogate followed by a non-surrogate escape.
+        let v = parse_json(b"\"\\ud83dx\"", 0, "t").unwrap().0;
+        assert_eq!(v, Value::str("\u{fffd}x"));
+        let v = parse_json(b"\"\\ude00x\"", 0, "t").unwrap().0;
+        assert_eq!(v, Value::str("\u{fffd}x"));
+        let v = parse_json(b"\"\\ud83d\\u0041\"", 0, "t").unwrap().0;
+        assert_eq!(v, Value::str("\u{fffd}A"));
+        // Two high surrogates in a row: each is lone.
+        let v = parse_json(b"\"\\ud83d\\ud83d\"", 0, "t").unwrap().0;
+        assert_eq!(v, Value::str("\u{fffd}\u{fffd}"));
+    }
+
+    #[test]
+    fn astral_strings_round_trip_through_writer() {
+        let v = Value::record([("emoji", Value::str("hi \u{1F600}\u{2603}"))]);
+        let text = to_json(&v);
+        let (back, _) = parse_json(text.as_bytes(), 0, "t").unwrap();
+        assert_eq!(back, v);
     }
 
     #[test]

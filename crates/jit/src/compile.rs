@@ -44,6 +44,12 @@ impl CompiledKernel {
         (self.func)(frame)
     }
 
+    /// Run a boolean kernel over a frame (`0` = false, anything else true).
+    #[inline]
+    pub fn call_bool(&self, frame: &[i64]) -> bool {
+        self.call(frame) != 0
+    }
+
     /// Run and decode into a [`Value`].
     pub fn call_value(&self, frame: &[i64]) -> Value {
         crate::frame::decode_output(self.call(frame), self.output)
@@ -51,6 +57,43 @@ impl CompiledKernel {
 
     pub fn output(&self) -> KernelOutput {
         self.output
+    }
+}
+
+/// A fused select stage for push pipelines: the conjunction of compiled
+/// boolean kernels, evaluated short-circuit over one frame.
+///
+/// This is the kernel-level form of a filter chain in streaming execution:
+/// instead of producing a boolean column (or a filtered tuple vector) per
+/// predicate, the stage decides per frame and the caller forwards
+/// survivors straight into the next stage's sink — no intermediate
+/// materialization.
+#[derive(Clone)]
+pub struct SelectKernel {
+    preds: Vec<CompiledKernel>,
+}
+
+impl SelectKernel {
+    /// Fuse `preds` (each a boolean kernel) into one select stage.
+    pub fn new(preds: Vec<CompiledKernel>) -> Self {
+        debug_assert!(preds.iter().all(|k| k.output() == SlotType::Bool));
+        SelectKernel { preds }
+    }
+
+    /// Number of fused predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Does `frame` satisfy every predicate? Short-circuits on the first
+    /// failure, like the chained serial selects it replaces.
+    #[inline]
+    pub fn admit(&self, frame: &[i64]) -> bool {
+        self.preds.iter().all(|k| k.call_bool(frame))
     }
 }
 
@@ -521,6 +564,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn select_kernel_fuses_predicate_chain() {
+        let mut layout = FrameLayout::new();
+        layout.slot("x", SlotType::Int);
+        layout.slot("y", SlotType::Int);
+        let mut interner = StringInterner::new();
+        let compile = |src: &str, interner: &mut StringInterner| {
+            JitCompiler::new()
+                .unwrap()
+                .compile(&parse(src).unwrap(), &layout, interner)
+                .unwrap()
+        };
+        let stage = SelectKernel::new(vec![
+            compile("x > 2", &mut interner),
+            compile("y < 10", &mut interner),
+            compile("x != y", &mut interner),
+        ]);
+        assert_eq!(stage.len(), 3);
+        assert!(!stage.is_empty());
+        assert!(stage.admit(&[5, 3]));
+        assert!(!stage.admit(&[1, 3])); // fails first predicate
+        assert!(!stage.admit(&[5, 11])); // fails second
+        assert!(!stage.admit(&[5, 5])); // fails third
+                                        // An empty stage admits everything (no selects on the scan).
+        assert!(SelectKernel::new(Vec::new()).admit(&[0, 0]));
+        // call_bool is the predicate form of call.
+        let pred = compile("x > 2", &mut interner);
+        assert!(pred.call_bool(&[3, 0]));
+        assert!(!pred.call_bool(&[2, 0]));
     }
 
     #[test]

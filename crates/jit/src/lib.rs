@@ -30,5 +30,5 @@
 pub mod compile;
 pub mod frame;
 
-pub use compile::{CompiledKernel, JitCompiler, KernelOutput};
+pub use compile::{CompiledKernel, JitCompiler, KernelOutput, SelectKernel};
 pub use frame::{FrameBuilder, FrameLayout, SlotType};

@@ -107,6 +107,61 @@ mod tests {
     }
 
     #[test]
+    fn quoted_newlines_do_not_split_records_across_morsels() {
+        // Regression: a quoted CSV field containing `\n` is ONE retrieval
+        // unit. Row indexing is quote-aware, so every morsel boundary falls
+        // between logical records and ranged scans reassemble the full
+        // table regardless of the grid.
+        let mut data = String::from("id,note\n");
+        for i in 0..32 {
+            data.push_str(&format!("{i},\"line one of {i}\nline two of {i}\"\n"));
+        }
+        let p = CsvPlugin::new(
+            CsvFile::from_bytes(
+                "Q",
+                data.into_bytes(),
+                b',',
+                true,
+                Schema::from_pairs([("id", Type::Int), ("note", Type::Str)]),
+            )
+            .unwrap(),
+        );
+        assert_eq!(p.num_units(), 32);
+        let plan = plan_scan(&p, 3);
+        assert!(plan.len() >= 5, "unit override should force fine morsels");
+        let covered: usize = plan.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 32);
+        // Morsel boundaries sit exactly between logical records (embedded
+        // newlines are inside the spans, never at a boundary).
+        for r in plan.iter().filter(|r| r.start > 0) {
+            let (start, _) = p.unit_byte_span(r.start).unwrap();
+            let (_, prev_end) = p.unit_byte_span(r.start - 1).unwrap();
+            assert_eq!(start, prev_end);
+        }
+        // Scanning the morsel grid reproduces the serial scan exactly.
+        let mut serial = Vec::new();
+        p.scan_project(&[0, 1], &mut |row, vals| {
+            serial.push((row, vals));
+            Ok(())
+        })
+        .unwrap();
+        let mut chunked = Vec::new();
+        for r in plan.iter() {
+            p.scan_project_range(&[0, 1], r, &mut |row, vals| {
+                chunked.push((row, vals));
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(serial, chunked);
+        assert_eq!(
+            serial[5].1[1],
+            Value::str("line one of 5\nline two of 5"),
+            "embedded newline must survive the parse"
+        );
+    }
+
+    #[test]
     fn mem_plugin_falls_back_to_fixed_grid() {
         let rows: Vec<Value> = (0..10)
             .map(|i| Value::record([("x", Value::Int(i))]))

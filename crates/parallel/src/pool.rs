@@ -111,6 +111,35 @@ impl WorkerPool {
             .map(|s| s.into_inner().expect("run completed without error"))
             .collect())
     }
+
+    /// Run `work` per morsel and fold the partials into one accumulator
+    /// **in morsel order** — the merge half of push-pipeline parallelism.
+    ///
+    /// Workers race on morsel claims and may complete out of order, but the
+    /// fold the caller sees is always the serial left fold over
+    /// morsel-indexed partials, so the result is identical at every worker
+    /// count (the determinism contract). The merge runs on the caller after
+    /// all partials exist.
+    pub fn fold_morsels<A, P, E, W, M>(
+        &self,
+        morsels: usize,
+        work: W,
+        init: A,
+        mut merge: M,
+    ) -> std::result::Result<A, E>
+    where
+        P: Send,
+        E: Send,
+        W: Fn(usize) -> std::result::Result<P, E> + Sync,
+        M: FnMut(A, P) -> std::result::Result<A, E>,
+    {
+        let partials = self.run_morsels(morsels, |_| (), |_, m| work(m))?;
+        let mut acc = init;
+        for p in partials {
+            acc = merge(acc, p)?;
+        }
+        Ok(acc)
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +215,41 @@ mod tests {
             .run_morsels(3, |_| 10usize, |s, m| Ok::<_, ()>(*s + m))
             .unwrap();
         assert_eq!(out, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn fold_morsels_merges_in_morsel_order() {
+        // A non-commutative fold (string concatenation) exposes any
+        // completion-order merge: the result must equal the serial left
+        // fold at every worker count.
+        let expected: String = (0..32).map(|m| format!("[{m}]")).collect();
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            let folded = pool
+                .fold_morsels(
+                    32,
+                    |m| Ok::<_, ()>(format!("[{m}]")),
+                    String::new(),
+                    |mut acc, p| {
+                        acc.push_str(&p);
+                        Ok(acc)
+                    },
+                )
+                .unwrap();
+            assert_eq!(folded, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fold_morsels_propagates_errors() {
+        let pool = WorkerPool::new(4);
+        let r = pool.fold_morsels(
+            10,
+            |m| if m == 3 { Err("bad morsel") } else { Ok(m) },
+            0usize,
+            |acc, p| Ok(acc + p),
+        );
+        assert_eq!(r.unwrap_err(), "bad morsel");
     }
 
     #[test]
