@@ -1,0 +1,213 @@
+//! Raw-ingest throughput (MB/s): the SWAR tokenizers against the
+//! byte-at-a-time baseline they replaced, plus end-to-end cold scans on
+//! both `RawData` backings.
+//!
+//! Three groups, each on a narrow and a wide fixture:
+//!
+//! 1. **CSV row-index build** — the quote-aware record-boundary scan that
+//!    seeds the positional map. The word-at-a-time tokenizer must beat the
+//!    pre-refactor per-byte state machine (reproduced below verbatim) by
+//!    ≥4x; the ratio is printed.
+//! 2. **JSON semi-index build** — newline object split plus a first-touch
+//!    field-span pass (string-aware structural scan).
+//! 3. **Cold scan** — open a real file and parse every field of every row
+//!    once, `MapMode::Auto` (mmap) vs `MapMode::Never` (owned read).
+
+use std::path::PathBuf;
+use std::time::Duration;
+use vida_bench::{fixtures, time};
+use vida_formats::csv::CsvFile;
+use vida_formats::json::JsonFile;
+use vida_formats::MapMode;
+use vida_io::CsvTokenizer;
+use vida_workload::{generate_wide_csv, generate_wide_ndjson, wide_schema};
+
+/// The pre-refactor record-boundary scan: one byte per iteration, quote
+/// state in a local, closing quotes found by walking. Kept here as the
+/// honest baseline the SWAR speedup is measured against.
+fn record_end_bytewise(data: &[u8], mut pos: usize, delimiter: u8) -> usize {
+    let mut field_start = true;
+    while pos < data.len() {
+        let b = data[pos];
+        if field_start && b == b'"' {
+            let mut j = pos + 1;
+            loop {
+                if j >= data.len() {
+                    return data.len();
+                }
+                if data[j] == b'"' {
+                    if data.get(j + 1) == Some(&b'"') {
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+            pos = j + 1;
+            field_start = false;
+            continue;
+        }
+        pos += 1;
+        match b {
+            b'\n' => return pos,
+            d if d == delimiter => field_start = true,
+            _ => field_start = false,
+        }
+    }
+    pos
+}
+
+fn report(name: &str, bytes: usize, d: Duration) -> f64 {
+    let mbps = bytes as f64 / 1e6 / d.as_secs_f64();
+    println!("{name:<52} {mbps:>9.1} MB/s");
+    mbps
+}
+
+fn csv_row_index(label: &str, data: &[u8]) {
+    let tok = CsvTokenizer::new(b',');
+    let count_swar = || {
+        let mut rows = 0usize;
+        tok.scan_record_ends(data, 0, &mut |_| rows += 1);
+        rows
+    };
+    let count_bytewise = || {
+        let mut rows = 0usize;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            pos = record_end_bytewise(data, pos, b',');
+            rows += 1;
+        }
+        rows
+    };
+    let rows = count_swar();
+    assert_eq!(rows, count_bytewise(), "tokenizers disagree on {label}");
+
+    let swar = report(
+        &format!("csv row index, {label}: swar tokenizer"),
+        data.len(),
+        time(5, 10, || assert_eq!(count_swar(), rows)),
+    );
+    let baseline = report(
+        &format!("csv row index, {label}: byte-at-a-time"),
+        data.len(),
+        time(5, 10, || assert_eq!(count_bytewise(), rows)),
+    );
+    println!(
+        "csv row index, {label}: speedup {:.1}x (target >= 4x)",
+        swar / baseline
+    );
+}
+
+fn json_semi_index(label: &str, data: &[u8], schema: vida_types::Schema) {
+    let last = schema.fields().last().unwrap().name.clone();
+    let bytes = data.len();
+    let data = data.to_vec();
+    report(
+        &format!("json semi-index build, {label}"),
+        bytes,
+        time(5, 5, || {
+            // Rebuild from scratch so the structural scan runs cold: the
+            // object split, then a first-touch span pass over one field.
+            let f = JsonFile::from_bytes("J", data.clone(), schema.clone()).unwrap();
+            for row in 0..f.num_objects() {
+                f.field_span(row, &last).unwrap();
+            }
+        }),
+    );
+}
+
+fn cold_scan_csv(label: &str, path: &std::path::Path, schema: vida_types::Schema, bytes: usize) {
+    let cols: Vec<usize> = (0..schema.len()).collect();
+    for (mode, tag) in [(MapMode::Auto, "mmap"), (MapMode::Never, "owned")] {
+        report(
+            &format!("cold csv scan, {label}, {tag}"),
+            bytes,
+            time(3, 3, || {
+                let f = CsvFile::open_with("C", path, b',', true, schema.clone(), mode).unwrap();
+                let mut rows = 0usize;
+                f.scan_project(&cols, &mut |_, _| {
+                    rows += 1;
+                    Ok(())
+                })
+                .unwrap();
+                assert!(rows > 0);
+            }),
+        );
+    }
+}
+
+fn cold_scan_json(label: &str, path: &std::path::Path, schema: vida_types::Schema, bytes: usize) {
+    let fields: Vec<String> = schema.fields().iter().map(|f| f.name.clone()).collect();
+    let names: Vec<&str> = fields.iter().map(String::as_str).collect();
+    for (mode, tag) in [(MapMode::Auto, "mmap"), (MapMode::Never, "owned")] {
+        report(
+            &format!("cold json scan, {label}, {tag}"),
+            bytes,
+            time(3, 3, || {
+                let f = JsonFile::open_with("J", path, schema.clone(), mode).unwrap();
+                let mut rows = 0usize;
+                f.scan_project_range(&names, 0..f.num_objects(), &mut |_, _| {
+                    rows += 1;
+                    Ok(())
+                })
+                .unwrap();
+                assert!(rows > 0);
+            }),
+        );
+    }
+}
+
+/// A wide row shape with no quoting at all — the positional_map bench's
+/// fixture: pure delimiter/newline structure.
+fn wide_plain_csv(rows: usize, cols: usize) -> Vec<u8> {
+    let names: Vec<String> = (0..cols).map(|c| format!("a{c}")).collect();
+    let mut out = names.join(",");
+    out.push('\n');
+    for row in 0..rows {
+        let vals: Vec<String> = (0..cols).map(|c| (row * cols + c).to_string()).collect();
+        out.push_str(&vals.join(","));
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+fn main() {
+    let narrow_csv = fixtures::patients_csv(60_000, 7);
+    let wide_csv = generate_wide_csv(4_000, 32, 3);
+    csv_row_index("narrow (3 cols)", &narrow_csv);
+    csv_row_index("wide (32 cols, plain)", &wide_plain_csv(4_000, 32));
+    csv_row_index("wide (32 cols, quoted)", &wide_csv);
+
+    let narrow_json = fixtures::genetics_json(40_000, 13);
+    let wide_json = generate_wide_ndjson(4_000, 24, 9);
+    json_semi_index(
+        "narrow (2 fields)",
+        &narrow_json,
+        fixtures::genetics_schema(),
+    );
+    json_semi_index("wide (24 fields)", &wide_json, wide_schema(24));
+
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let narrow_csv_path = dir.join("scan_throughput_narrow.csv");
+    let wide_csv_path = dir.join("scan_throughput_wide.csv");
+    let narrow_json_path = dir.join("scan_throughput_narrow.json");
+    std::fs::write(&narrow_csv_path, &narrow_csv).unwrap();
+    std::fs::write(&wide_csv_path, &wide_csv).unwrap();
+    std::fs::write(&narrow_json_path, &narrow_json).unwrap();
+
+    cold_scan_csv(
+        "narrow",
+        &narrow_csv_path,
+        fixtures::patients_schema(),
+        narrow_csv.len(),
+    );
+    cold_scan_csv("wide", &wide_csv_path, wide_schema(32), wide_csv.len());
+    cold_scan_json(
+        "narrow",
+        &narrow_json_path,
+        fixtures::genetics_schema(),
+        narrow_json.len(),
+    );
+}

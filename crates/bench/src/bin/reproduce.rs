@@ -9,10 +9,11 @@
 use std::sync::Arc;
 use vida_bench::fixtures;
 use vida_cache::CacheManager;
-use vida_exec::{run_jit_with_stats, JitOptions, MemoryCatalog};
+use vida_exec::{run_jit_with_stats, JitOptions, MemoryCatalog, SourceProvider};
 use vida_formats::csv::CsvFile;
 use vida_formats::json::JsonFile;
 use vida_formats::plugin::{CsvPlugin, JsonPlugin};
+use vida_formats::MapMode;
 use vida_optimizer::CostModel;
 use vida_workload::{generate, generate_nested_heavy, generate_scan_heavy, WorkloadConfig};
 
@@ -50,6 +51,9 @@ OPTIONS:
                       the cost model toward compact replica layouts
     --no-cost-model   disable cost-model layout selection (every replica is
                       cached as parsed values, the pre-model behaviour)
+    --no-mmap         read the raw inputs into owned buffers instead of
+                      memory-mapping them (the escape hatch for filesystems
+                      where mmap misbehaves; the default maps every input)
     --assert-fused    exit non-zero unless streaming execution fused every
                       pipeline (operator_materializations must be 0 across
                       the whole workload — the CI smoke contract)
@@ -65,6 +69,7 @@ struct Args {
     budget_mb: usize,
     cost_model: bool,
     assert_fused: bool,
+    mmap: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         budget_mb: 8,
         cost_model: true,
         assert_fused: false,
+        mmap: true,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = argv.iter();
@@ -123,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-cost-model" => args.cost_model = false,
             "--assert-fused" => args.assert_fused = true,
+            "--no-mmap" => args.mmap = false,
             "-h" | "--help" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -155,29 +162,43 @@ fn main() {
 }
 
 fn cache_locality(args: &Args) {
+    // Stage the raw inputs as real files so queries run against the same
+    // ingest path users get: mmap'd by default, owned reads with --no-mmap.
+    let dir = std::env::temp_dir().join(format!("vida-reproduce-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    let patients_path = dir.join("patients.csv");
+    let genetics_path = dir.join("genetics.json");
+    let regions_path = dir.join("regions.json");
+    std::fs::write(&patients_path, fixtures::patients_csv(500, 11)).expect("write fixture");
+    std::fs::write(&genetics_path, fixtures::genetics_json(500, 13)).expect("write fixture");
+    std::fs::write(&regions_path, fixtures::regions_json(250, 17)).expect("write fixture");
+    let mode = if args.mmap {
+        MapMode::Auto
+    } else {
+        MapMode::Never
+    };
+
     let catalog = MemoryCatalog::new();
-    let patients = CsvFile::from_bytes(
+    let patients = CsvFile::open_with(
         "Patients",
-        fixtures::patients_csv(500, 11),
+        &patients_path,
         b',',
         true,
         fixtures::patients_schema(),
+        mode,
     )
     .expect("fixture parses");
     catalog.register(Arc::new(CsvPlugin::new(patients)));
-    let genetics = JsonFile::from_bytes(
+    let genetics = JsonFile::open_with(
         "Genetics",
-        fixtures::genetics_json(500, 13),
+        &genetics_path,
         fixtures::genetics_schema(),
+        mode,
     )
     .expect("fixture parses");
     catalog.register(Arc::new(JsonPlugin::new(genetics)));
-    let regions = JsonFile::from_bytes(
-        "Regions",
-        fixtures::regions_json(250, 17),
-        fixtures::regions_schema(),
-    )
-    .expect("fixture parses");
+    let regions = JsonFile::open_with("Regions", &regions_path, fixtures::regions_schema(), mode)
+        .expect("fixture parses");
     catalog.register(Arc::new(JsonPlugin::new(regions)));
 
     let cache = Arc::new(CacheManager::new(args.budget_mb << 20));
@@ -232,6 +253,18 @@ fn cache_locality(args: &Args) {
         args.threads,
         opts.effective_threads()
     );
+    let mapped = ["Patients", "Genetics", "Regions"]
+        .iter()
+        .filter(|n| catalog.plugin(n).map(|p| p.is_mapped()).unwrap_or(false))
+        .count();
+    println!(
+        "input backing:           {} (3 raw inputs, {mapped} mmap'd)",
+        if args.mmap {
+            "mmap"
+        } else {
+            "owned (--no-mmap)"
+        }
+    );
     println!(
         "cache budget:            {} MiB (used {} KiB)",
         args.budget_mb,
@@ -265,6 +298,7 @@ fn cache_locality(args: &Args) {
         }
         None => println!("cost model:              off (all replicas parsed values)"),
     }
+    let _ = std::fs::remove_dir_all(&dir);
     if args.assert_fused && accum.operator_materializations != 0 {
         eprintln!(
             "FAIL: --assert-fused: {} operator materializations (streaming \

@@ -18,12 +18,14 @@
 //!
 //! and all results must agree (when the oracle errors — e.g. a plan the
 //! generator built over a path that is not a collection — the JIT engine
-//! must error too). Because every generated shape is inside the pipeline
-//! coverage, the fuzzer also asserts that **no plan takes the whole-query
-//! Volcano fallback** (unnests, theta joins, and bushy trees all compile)
-//! and that **no stage materializes an inter-operator `Vec<Tuple>`**
-//! (`ExecStats::operator_materializations == 0`: the streaming push loop
-//! fuses every chain end to end).
+//! must error too). The JIT sweep runs on **both raw-data backings**: the
+//! owned in-memory fixture bytes and the same bytes as mmap'd files — the
+//! backing must be unobservable. Because every generated shape is inside
+//! the pipeline coverage, the fuzzer also asserts that **no plan takes the
+//! whole-query Volcano fallback** (unnests, theta joins, and bushy trees
+//! all compile) and that **no stage materializes an inter-operator
+//! `Vec<Tuple>`** (`ExecStats::operator_materializations == 0`: the
+//! streaming push loop fuses every chain end to end).
 //!
 //! Seeds are fixed in code, so a failure replays exactly: the panic message
 //! carries the seed, the plan index, and the plan itself.
@@ -32,14 +34,14 @@
 //! `f64` at any merge order — so thread-count sweeps catch real
 //! parallelism bugs rather than benign reassociation ulps.
 
-use std::sync::Arc;
+mod common;
+
+use common::{file_catalog, owned_catalog, COLORS, EMOJIS};
 use vida_algebra::{execute_plan, rewrite, Plan};
 use vida_exec::{run_jit_with_stats, run_volcano, JitOptions, MemoryCatalog, SourceProvider};
-use vida_formats::csv::CsvFile;
-use vida_formats::json::JsonFile;
-use vida_formats::plugin::{CsvPlugin, JsonPlugin};
+use vida_formats::MapMode;
 use vida_lang::{BinOp, Bindings, Expr};
-use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Schema, Type, Value};
+use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Value};
 use vida_workload::Rng;
 
 /// Seeds for the fuzz matrix; CI runs the same set in release mode.
@@ -48,131 +50,13 @@ const SEEDS: [u64; 3] = [0xDEC0DE, 42, 7];
 const PLANS_PER_SEED: usize = 200;
 
 // ---------------------------------------------------------------------------
-// Fixture catalog: raw CSV/JSON files (null-riddled, with hostile strings)
-// and one nested JSON table.
+// Fixture catalogs — built in tests/common: raw CSV/JSON files
+// (null-riddled, with hostile strings) and one nested JSON table, on the
+// owned-bytes backing and as mmap'd files under CARGO_TARGET_TMPDIR.
 // ---------------------------------------------------------------------------
 
-/// `A.s` values as parsed — each one exercises RFC 4180 quoting: an
-/// embedded delimiter, a doubled-quote escape, and a quoted newline.
-const COLORS: [&str; 3] = ["re,d", "gr\"een", "bl\nue"];
-/// `A.s` raw CSV fields encoding [`COLORS`].
-const COLORS_RAW: [&str; 3] = ["\"re,d\"", "\"gr\"\"een\"", "\"bl\nue\""];
-
-/// `B.s` values as parsed — astral-plane and BMP chars.
-const EMOJIS: [&str; 3] = ["\u{1F600}!", "snow\u{2603}", "plain"];
-/// `B.s` raw JSON string bodies encoding [`EMOJIS`]: the astral char as a
-/// `\uXXXX` surrogate pair, the BMP char as a single escape.
-const EMOJIS_RAW: [&str; 3] = ["\\ud83d\\ude00!", "snow\\u2603", "plain"];
-
 fn catalog() -> MemoryCatalog {
-    let cat = MemoryCatalog::new();
-
-    // A(k, x, f, s) — a raw CSV file: x is null (empty field) on every
-    // 5th-ish row; f is dyadic; s carries the quoted/escaped strings, so
-    // every scan (serial and morsel-aligned parallel) runs through the
-    // quote-aware format layer.
-    let mut csv = String::from("k,x,f,s\n");
-    for i in 0..16i64 {
-        let x = if i % 5 == 3 {
-            String::new()
-        } else {
-            ((i * 3) % 20).to_string()
-        };
-        let f = (i % 16) as f64 / 16.0;
-        let s = COLORS_RAW[(i % 3) as usize];
-        csv.push_str(&format!("{i},{x},{f},{s}\n"));
-    }
-    let a = CsvFile::from_bytes(
-        "A",
-        csv.into_bytes(),
-        b',',
-        true,
-        Schema::from_pairs([
-            ("k", Type::Int),
-            ("x", Type::Int),
-            ("f", Type::Float),
-            ("s", Type::Str),
-        ]),
-    )
-    .unwrap();
-    cat.register(Arc::new(CsvPlugin::new(a)));
-
-    // B(k, y, s) — a raw newline-delimited JSON file: duplicate keys
-    // (k = i % 8), nulls in y, and surrogate-pair-escaped strings in s.
-    let mut json = String::new();
-    for i in 0..12i64 {
-        let y = if i % 7 == 2 {
-            "null".to_string()
-        } else {
-            ((i * 5) % 30).to_string()
-        };
-        let s = EMOJIS_RAW[(i % 3) as usize];
-        json.push_str(&format!("{{\"k\":{},\"y\":{y},\"s\":\"{s}\"}}\n", i % 8));
-    }
-    let b = JsonFile::from_bytes(
-        "B",
-        json.into_bytes(),
-        Schema::from_pairs([("k", Type::Int), ("y", Type::Int), ("s", Type::Str)]),
-    )
-    .unwrap();
-    cat.register(Arc::new(JsonPlugin::new(b)));
-
-    // N(id, xs, ys, mat) — a raw nested JSON file: scalar lists, record
-    // lists (with an occasional null element field), and lists of lists.
-    let mut json = String::new();
-    for i in 0..10i64 {
-        let xs: Vec<String> = (0..(i % 4)).map(|j| (i + 2 * j).to_string()).collect();
-        let ys: Vec<String> = (0..(i % 3))
-            .map(|j| {
-                let u = if (i + j) % 6 == 4 {
-                    "null".to_string()
-                } else {
-                    (i + j).to_string()
-                };
-                // Forced decimals keep w a Float at parse time; eighths are
-                // exact in both decimal and binary.
-                format!("{{\"u\":{u},\"w\":{:.4}}}", ((i + j) % 8) as f64 / 8.0)
-            })
-            .collect();
-        let mat: Vec<String> = (0..(i % 3))
-            .map(|j| {
-                let inner: Vec<String> = ((i + j) % 3..3).map(|v| v.to_string()).collect();
-                format!("[{}]", inner.join(","))
-            })
-            .collect();
-        json.push_str(&format!(
-            "{{\"id\":{i},\"xs\":[{}],\"ys\":[{}],\"mat\":[{}]}}\n",
-            xs.join(","),
-            ys.join(","),
-            mat.join(",")
-        ));
-    }
-    let rec_ty = Type::record([("u", Type::Int), ("w", Type::Float)]);
-    let n = JsonFile::from_bytes(
-        "N",
-        json.into_bytes(),
-        Schema::from_pairs([
-            ("id", Type::Int),
-            (
-                "xs",
-                Type::Collection(CollectionKind::List, Box::new(Type::Int)),
-            ),
-            (
-                "ys",
-                Type::Collection(CollectionKind::List, Box::new(rec_ty)),
-            ),
-            (
-                "mat",
-                Type::Collection(
-                    CollectionKind::List,
-                    Box::new(Type::Collection(CollectionKind::List, Box::new(Type::Int))),
-                ),
-            ),
-        ]),
-    )
-    .unwrap();
-    cat.register(Arc::new(JsonPlugin::new(n)));
-    cat
+    owned_catalog()
 }
 
 // ---------------------------------------------------------------------------
@@ -568,6 +452,9 @@ impl Gen {
 #[test]
 fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
     let cat = catalog();
+    // The same fixtures as mmap'd files: the JIT sweep runs on both
+    // backings and may not observe the difference.
+    let mapped = file_catalog("fuzz_shapes", MapMode::Auto);
     let mut env = Bindings::new();
     for name in cat.dataset_names() {
         env.insert(name.clone(), cat.materialize(&name).unwrap());
@@ -594,23 +481,26 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
                             clamp_threads: false,
                             ..Default::default()
                         };
-                        let (v, stats) = run_jit_with_stats(&plan, &cat, &opts)
-                            .unwrap_or_else(|e| panic!("{}: {e}", ctx(&format!("jit x{threads}"))));
-                        assert_eq!(&v, expected, "{}", ctx(&format!("jit x{threads} deviates")));
-                        fallbacks += stats.whole_query_fallbacks;
-                        // Streaming execution: every covered shape fuses
-                        // end to end — no inter-operator Vec<Tuple>.
-                        assert_eq!(
-                            stats.operator_materializations,
-                            0,
-                            "{}",
-                            ctx(&format!("jit x{threads} materialized a stage"))
-                        );
-                        assert!(
-                            stats.fused_stage_depth >= 2,
-                            "{}",
-                            ctx(&format!("jit x{threads} reported no fused chain"))
-                        );
+                        for (backing, provider) in [("owned", &cat), ("mmap", &mapped)] {
+                            let tag = format!("jit x{threads} {backing}");
+                            let (v, stats) = run_jit_with_stats(&plan, provider, &opts)
+                                .unwrap_or_else(|e| panic!("{}: {e}", ctx(&tag)));
+                            assert_eq!(&v, expected, "{}", ctx(&format!("{tag} deviates")));
+                            fallbacks += stats.whole_query_fallbacks;
+                            // Streaming execution: every covered shape fuses
+                            // end to end — no inter-operator Vec<Tuple>.
+                            assert_eq!(
+                                stats.operator_materializations,
+                                0,
+                                "{}",
+                                ctx(&format!("{tag} materialized a stage"))
+                            );
+                            assert!(
+                                stats.fused_stage_depth >= 2,
+                                "{}",
+                                ctx(&format!("{tag} reported no fused chain"))
+                            );
+                        }
                     }
                 }
                 Err(_) => {
@@ -625,11 +515,13 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
                             clamp_threads: false,
                             ..Default::default()
                         };
-                        assert!(
-                            run_jit_with_stats(&plan, &cat, &opts).is_err(),
-                            "{}",
-                            ctx(&format!("jit x{threads} accepted"))
-                        );
+                        for (backing, provider) in [("owned", &cat), ("mmap", &mapped)] {
+                            assert!(
+                                run_jit_with_stats(&plan, provider, &opts).is_err(),
+                                "{}",
+                                ctx(&format!("jit x{threads} {backing} accepted"))
+                            );
+                        }
                     }
                 }
             }
@@ -676,7 +568,9 @@ fn escaped_fixtures_decode_exactly_serial_and_parallel() {
     assert_eq!(serial_b.elements().unwrap(), &expected_b);
 
     // Parallel morsel-aligned scans (tiny morsels, 8 oversubscribed
-    // workers) must reproduce the serial decode bit for bit.
+    // workers) must reproduce the serial decode bit for bit — on owned
+    // bytes and on shared mmap'd pages alike.
+    let mapped = file_catalog("fuzz_escaped", MapMode::Auto);
     for (plan, oracle) in [(&plan, &serial), (&plan_b, &serial_b)] {
         for threads in [2usize, 8] {
             let opts = JitOptions {
@@ -685,9 +579,11 @@ fn escaped_fixtures_decode_exactly_serial_and_parallel() {
                 clamp_threads: false,
                 ..Default::default()
             };
-            let (v, stats) = run_jit_with_stats(plan, &cat, &opts).unwrap();
-            assert_eq!(&v, oracle, "threads={threads}");
-            assert_eq!(stats.operator_materializations, 0, "{stats:?}");
+            for provider in [&cat, &mapped] {
+                let (v, stats) = run_jit_with_stats(plan, provider, &opts).unwrap();
+                assert_eq!(&v, oracle, "threads={threads}");
+                assert_eq!(stats.operator_materializations, 0, "{stats:?}");
+            }
         }
     }
 }

@@ -16,6 +16,7 @@
 use crate::stats::AccessStats;
 use std::path::Path;
 use std::sync::Arc;
+use vida_io::{MapMode, RawData};
 use vida_types::{Result, Schema, Type, Value, VidaError};
 
 const MAGIC: &[u8; 8] = b"VIDARR01";
@@ -92,7 +93,10 @@ pub fn encode_array(elem: ElemType, dims: &[usize], data: &[Value]) -> Result<Ve
 /// A binary array file opened for querying.
 pub struct ArrayFile {
     name: String,
-    data: Vec<u8>,
+    /// Raw bytes, memory-mapped when opened from disk with an owned-buffer
+    /// fallback. Binary formats benefit doubly: elements decode straight
+    /// from the mapped pages with no copy at all.
+    data: RawData,
     elem: ElemType,
     dims: Vec<usize>,
     data_offset: usize,
@@ -102,7 +106,13 @@ pub struct ArrayFile {
 
 impl ArrayFile {
     pub fn open(name: impl Into<String>, path: &Path) -> Result<Self> {
-        let data = std::fs::read(path)?;
+        Self::open_with(name, path, MapMode::Auto)
+    }
+
+    /// [`ArrayFile::open`] with an explicit backing policy
+    /// ([`MapMode::Never`] is the `--no-mmap` escape hatch).
+    pub fn open_with(name: impl Into<String>, path: &Path, mode: MapMode) -> Result<Self> {
+        let data = RawData::open_with(path, mode)?;
         let meta = std::fs::metadata(path)?;
         let mtime = meta
             .modified()
@@ -110,13 +120,16 @@ impl ArrayFile {
             .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
             .map(|d| d.as_secs())
             .unwrap_or(0);
-        let mut f = Self::from_bytes(name, data)?;
+        let mut f = Self::from_raw(name.into(), data)?;
         f.fingerprint = (meta.len(), mtime);
         Ok(f)
     }
 
     pub fn from_bytes(name: impl Into<String>, data: Vec<u8>) -> Result<Self> {
-        let name = name.into();
+        Self::from_raw(name.into(), RawData::from_vec(data))
+    }
+
+    fn from_raw(name: String, data: RawData) -> Result<Self> {
         if data.len() < 16 || &data[0..8] != MAGIC {
             return Err(VidaError::format(&name, "bad magic (not a VIDARR01 file)"));
         }
@@ -185,6 +198,12 @@ impl ArrayFile {
 
     pub fn raw_bytes(&self) -> usize {
         self.data.len()
+    }
+
+    /// Whether the raw bytes are backed by a shared file mapping (vs an
+    /// owned copy).
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 
     /// The dataset schema when the array is viewed as a relation: one `int`

@@ -17,6 +17,7 @@ use std::ops::Range;
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
+use vida_io::{bom_len, CsvTokenizer, MapMode, RawData};
 use vida_types::{Result, Schema, Type, Value, VidaError};
 
 /// Sentinel for "offset unknown" inside positional map columns.
@@ -68,8 +69,13 @@ impl PosMap {
 /// A CSV file opened for in-situ querying.
 pub struct CsvFile {
     name: String,
-    data: Vec<u8>,
-    delimiter: u8,
+    /// Raw bytes, memory-mapped when opened from disk (scan workers then
+    /// share one set of pages) with an owned-buffer fallback.
+    data: RawData,
+    /// The shared quote-aware tokenizer: record/field structure has exactly
+    /// one implementation (`vida_io::CsvTokenizer`), used by the row index
+    /// build, field location, and schema inference alike.
+    tok: CsvTokenizer,
     schema: Schema,
     /// Byte offset of the start of each data row (header excluded), plus a
     /// final entry at end-of-data, so row `i` spans `rows[i]..rows[i+1]-1`.
@@ -83,7 +89,7 @@ pub struct CsvFile {
 }
 
 impl CsvFile {
-    /// Open a CSV file from disk.
+    /// Open a CSV file from disk, memory-mapping it when possible.
     pub fn open(
         name: impl Into<String>,
         path: &Path,
@@ -91,7 +97,20 @@ impl CsvFile {
         header: bool,
         schema: Schema,
     ) -> Result<Self> {
-        let data = std::fs::read(path)?;
+        Self::open_with(name, path, delimiter, header, schema, MapMode::Auto)
+    }
+
+    /// [`CsvFile::open`] with an explicit backing policy ([`MapMode::Never`]
+    /// is the `--no-mmap` escape hatch).
+    pub fn open_with(
+        name: impl Into<String>,
+        path: &Path,
+        delimiter: u8,
+        header: bool,
+        schema: Schema,
+        mode: MapMode,
+    ) -> Result<Self> {
+        let data = RawData::open_with(path, mode)?;
         let meta = std::fs::metadata(path)?;
         let mtime = meta
             .modified()
@@ -99,7 +118,7 @@ impl CsvFile {
             .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
             .map(|d| d.as_secs())
             .unwrap_or(0);
-        let mut f = Self::from_bytes(name, data, delimiter, header, schema)?;
+        let mut f = Self::from_raw(name.into(), data, delimiter, header, schema)?;
         f.fingerprint = (meta.len(), mtime);
         Ok(f)
     }
@@ -112,20 +131,44 @@ impl CsvFile {
         header: bool,
         schema: Schema,
     ) -> Result<Self> {
-        let name = name.into();
+        Self::from_raw(
+            name.into(),
+            RawData::from_vec(data),
+            delimiter,
+            header,
+            schema,
+        )
+    }
+
+    fn from_raw(
+        name: String,
+        data: RawData,
+        delimiter: u8,
+        header: bool,
+        schema: Schema,
+    ) -> Result<Self> {
+        let tok = CsvTokenizer::new(delimiter);
         let mut rows = Vec::new();
-        let mut pos = 0usize;
+        // A UTF-8 BOM is writer metadata, not data: start scanning past it
+        // so it never glues onto the first header name or first field.
+        let mut pos = bom_len(&data);
         // Skip the header line if present. Record scanning is quote-aware
         // (RFC 4180): a newline inside a quoted field is field content, not
         // a record boundary — so rows with embedded newlines stay one
         // retrieval unit and `unit_byte_span` morsel boundaries never split
         // a record.
         if header {
-            pos = record_end(&data, 0, delimiter);
+            pos = tok.record_end(&data, pos);
         }
-        while pos < data.len() {
+        // One bulk scan builds the whole index: each record end (except
+        // end-of-data) is the next record's start.
+        if pos < data.len() {
             rows.push(pos as u32);
-            pos = record_end(&data, pos, delimiter);
+            tok.scan_record_ends(&data, pos, &mut |end| {
+                if end < data.len() {
+                    rows.push(end as u32);
+                }
+            });
         }
         rows.push(data.len() as u32);
         let fingerprint = (data.len() as u64, 0);
@@ -133,7 +176,7 @@ impl CsvFile {
         Ok(CsvFile {
             name,
             data,
-            delimiter,
+            tok,
             schema,
             rows,
             posmap,
@@ -175,6 +218,19 @@ impl CsvFile {
     /// Approximate raw size in bytes (the whole file).
     pub fn raw_bytes(&self) -> usize {
         self.data.len()
+    }
+
+    /// Whether the raw bytes are backed by a shared file mapping (vs an
+    /// owned copy).
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
+    }
+
+    /// Start offsets of every data row plus a final end-of-data entry —
+    /// the record-aligned grid morsel dispatchers partition by raw bytes
+    /// (row `i` spans `offsets[i]..offsets[i + 1]`).
+    pub fn unit_offsets(&self) -> &[u32] {
+        &self.rows
     }
 
     /// Number of distinct columns currently tracked by the positional map.
@@ -244,24 +300,24 @@ impl CsvFile {
             self.stats.miss();
         }
 
-        // Tokenize forward from (cur_col, cur_off) to col.
-        let mut off = cur_off;
-        let mut c = cur_col;
-        while c < col {
-            let rest = &self.data[off..row_end];
-            match self.find_delim(rest) {
-                Some(d) => {
-                    off += d + 1;
-                    c += 1;
-                }
-                None => {
-                    return Err(VidaError::format(
-                        &self.name,
-                        format!("row {row} has only {} columns, wanted {}", c + 1, col + 1),
-                    ))
-                }
+        // Tokenize forward from (cur_col, cur_off) to col — word-at-a-time
+        // via the shared tokenizer.
+        let off = match self
+            .tok
+            .skip_fields(&self.data, cur_off, row_end, col - cur_col)
+        {
+            Ok(off) => off,
+            Err(found) => {
+                return Err(VidaError::format(
+                    &self.name,
+                    format!(
+                        "row {row} has only {} columns, wanted {}",
+                        cur_col + found + 1,
+                        col + 1
+                    ),
+                ))
             }
-        }
+        };
         self.stats.add_bytes_parsed((off - cur_off) as u64);
 
         if self.posmap_enabled {
@@ -275,33 +331,7 @@ impl CsvFile {
     /// `""` inside a quoted field is an escaped literal quote, not the
     /// closing one).
     fn field_end(&self, start: usize, row_end: usize) -> usize {
-        if start < row_end && self.data[start] == b'"' {
-            match closing_quote(&self.data[start..row_end]) {
-                Some(close) => (start + close + 1).min(row_end),
-                None => row_end,
-            }
-        } else {
-            match self.data[start..row_end]
-                .iter()
-                .position(|&b| b == self.delimiter)
-            {
-                Some(d) => start + d,
-                None => row_end,
-            }
-        }
-    }
-
-    /// Position of the next delimiter, skipping over a quoted field
-    /// (doubled-quote escapes included).
-    fn find_delim(&self, rest: &[u8]) -> Option<usize> {
-        if !rest.is_empty() && rest[0] == b'"' {
-            let close = closing_quote(rest)?;
-            return rest[close..]
-                .iter()
-                .position(|&b| b == self.delimiter)
-                .map(|d| close + d);
-        }
-        rest.iter().position(|&b| b == self.delimiter)
+        self.tok.field_end(&self.data, start, row_end)
     }
 
     /// Byte span of the raw text of `(row, col)` — the positions-only cache
@@ -392,67 +422,27 @@ impl CsvFile {
         let mut sorted = cols.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
+        let in_order = sorted == cols;
         for row in rows {
             let vals = self.read_fields(row, &sorted)?;
-            // Deliver in caller order.
-            let reordered = cols
-                .iter()
-                .map(|c| {
-                    let idx = sorted.binary_search(c).expect("col present");
-                    vals[idx].clone()
-                })
-                .collect();
+            // Deliver in caller order; when the projection is already
+            // sorted and duplicate-free (the generated-pipeline case) the
+            // values pass through without a per-field clone.
+            let delivered = if in_order {
+                vals
+            } else {
+                cols.iter()
+                    .map(|c| {
+                        let idx = sorted.binary_search(c).expect("col present");
+                        vals[idx].clone()
+                    })
+                    .collect()
+            };
             self.stats.add_units(1);
-            f(row, reordered)?;
+            f(row, delivered)?;
         }
         Ok(())
     }
-}
-
-/// Index of the closing quote of a quoted field. `field[0]` must be `"`;
-/// doubled quotes (`""`) are RFC 4180 escapes for a literal quote and do
-/// not close the field. `None` when the field never closes.
-fn closing_quote(field: &[u8]) -> Option<usize> {
-    debug_assert_eq!(field.first(), Some(&b'"'));
-    let mut i = 1;
-    while i < field.len() {
-        if field[i] == b'"' {
-            if field.get(i + 1) == Some(&b'"') {
-                i += 2; // escaped literal quote, keep scanning
-                continue;
-            }
-            return Some(i);
-        }
-        i += 1;
-    }
-    None
-}
-
-/// Advance from `pos` (the first byte of a record) to just past the newline
-/// terminating it, honoring RFC 4180 quoting: a field that starts with `"`
-/// runs to its closing quote (`""` escapes a literal one), so delimiters
-/// and newlines inside it are field content. An unterminated quoted field
-/// runs to end of data.
-fn record_end(data: &[u8], mut pos: usize, delimiter: u8) -> usize {
-    let mut field_start = true;
-    while pos < data.len() {
-        let b = data[pos];
-        if field_start && b == b'"' {
-            pos += match closing_quote(&data[pos..]) {
-                Some(close) => close + 1,
-                None => return data.len(),
-            };
-            field_start = false;
-            continue;
-        }
-        pos += 1;
-        match b {
-            b'\n' => return pos,
-            d if d == delimiter => field_start = true,
-            _ => field_start = false,
-        }
-    }
-    pos
 }
 
 /// Parse one raw CSV field into a typed [`Value`].
@@ -513,13 +503,14 @@ pub fn infer_schema(
     header: bool,
     sample_rows: usize,
 ) -> Result<Schema> {
-    // Record iteration and field splitting share the quote-aware scanners
+    // Record iteration and field splitting share the quote-aware tokenizer
     // with `CsvFile`, so inference sees the same records a scan would —
-    // quoted newlines and doubled-quote escapes included.
+    // quoted newlines, doubled-quote escapes, and BOM stripping included.
+    let tok = CsvTokenizer::new(delimiter);
     let mut records: Vec<&[u8]> = Vec::new();
-    let mut pos = 0usize;
+    let mut pos = bom_len(data);
     while pos < data.len() {
-        let end = record_end(data, pos, delimiter);
+        let end = tok.record_end(data, pos);
         let mut line = &data[pos..end];
         while matches!(line.last(), Some(&b'\n') | Some(&b'\r')) {
             line = &line[..line.len() - 1];
@@ -534,7 +525,7 @@ pub fn infer_schema(
         let h = records
             .next()
             .ok_or_else(|| VidaError::format("<infer>", "empty file"))?;
-        split_fields(h, delimiter)
+        tok.split_fields(h)
             .into_iter()
             .map(|f| unquote_name(String::from_utf8_lossy(f).trim()))
             .collect()
@@ -547,7 +538,7 @@ pub fn infer_schema(
         if i >= sample_rows {
             break;
         }
-        for (c, field) in split_fields(line, delimiter).into_iter().enumerate() {
+        for (c, field) in tok.split_fields(line).into_iter().enumerate() {
             if col_types.len() <= c {
                 col_types.resize(c + 1, None);
             }
@@ -570,30 +561,6 @@ pub fn infer_schema(
         })
         .collect::<Vec<_>>();
     Ok(Schema::from_pairs(fields))
-}
-
-/// Split one record into fields, honoring RFC 4180 quoting: delimiters
-/// inside a quoted field (doubled-quote escapes included) do not split.
-fn split_fields(record: &[u8], delimiter: u8) -> Vec<&[u8]> {
-    let mut out = Vec::new();
-    let mut start = 0usize;
-    let mut i = 0usize;
-    while i < record.len() {
-        if i == start && record[i] == b'"' {
-            i += match closing_quote(&record[i..]) {
-                Some(close) => close + 1,
-                None => record.len() - i,
-            };
-            continue;
-        }
-        if record[i] == delimiter {
-            out.push(&record[start..i]);
-            start = i + 1;
-        }
-        i += 1;
-    }
-    out.push(&record[start..]);
-    out
 }
 
 /// Strip surrounding quotes (and unescape `""`) from a header name.
@@ -1035,6 +1002,35 @@ mod tests {
         let s = infer_schema(data, b',', false, 10).unwrap();
         assert_eq!(s.index_of("c0"), Some(0));
         assert_eq!(s.index_of("c1"), Some(1));
+    }
+
+    #[test]
+    fn utf8_bom_is_stripped() {
+        // A BOM must not glue onto the first header name (inference) nor
+        // shift the first data row (reads).
+        let data = b"\xEF\xBB\xBFid,age\n1,64\n2,31\n".to_vec();
+        let s = infer_schema(&data, b',', true, 10).unwrap();
+        assert_eq!(s.index_of("id"), Some(0), "BOM glued onto header name");
+        let f = CsvFile::from_bytes(
+            "T",
+            data,
+            b',',
+            true,
+            Schema::from_pairs([("id", Type::Int), ("age", Type::Int)]),
+        )
+        .unwrap();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.read_field(0, 0).unwrap(), Value::Int(1));
+        // Headerless files start their first row right after the BOM.
+        let f = CsvFile::from_bytes(
+            "T",
+            b"\xEF\xBB\xBF7,8\n".to_vec(),
+            b',',
+            false,
+            Schema::from_pairs([("a", Type::Int), ("b", Type::Int)]),
+        )
+        .unwrap();
+        assert_eq!(f.read_field(0, 0).unwrap(), Value::Int(7));
     }
 
     #[test]

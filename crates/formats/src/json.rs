@@ -20,13 +20,17 @@ use std::ops::Range;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use vida_io::json::{next_composite_special, next_record_boundary, next_string_special};
+use vida_io::{bom_len, MapMode, RawData};
 use vida_types::sync::RwLock;
 use vida_types::{CollectionKind, Result, Schema, Value, VidaError};
 
 /// A newline-delimited JSON file opened for in-situ querying.
 pub struct JsonFile {
     name: String,
-    data: Vec<u8>,
+    /// Raw bytes, memory-mapped when opened from disk (scan workers then
+    /// share one set of pages) with an owned-buffer fallback.
+    data: RawData,
     /// Byte span (start, end-exclusive) of each top-level object.
     objects: Vec<(u32, u32)>,
     /// field name -> per-object value spans. Spans are packed `(start <<
@@ -57,7 +61,18 @@ fn unpack_span(packed: u64) -> Option<(usize, usize)> {
 
 impl JsonFile {
     pub fn open(name: impl Into<String>, path: &Path, schema: Schema) -> Result<Self> {
-        let data = std::fs::read(path)?;
+        Self::open_with(name, path, schema, MapMode::Auto)
+    }
+
+    /// [`JsonFile::open`] with an explicit backing policy ([`MapMode::Never`]
+    /// is the `--no-mmap` escape hatch).
+    pub fn open_with(
+        name: impl Into<String>,
+        path: &Path,
+        schema: Schema,
+        mode: MapMode,
+    ) -> Result<Self> {
+        let data = RawData::open_with(path, mode)?;
         let meta = std::fs::metadata(path)?;
         let mtime = meta
             .modified()
@@ -65,21 +80,21 @@ impl JsonFile {
             .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
             .map(|d| d.as_secs())
             .unwrap_or(0);
-        let mut f = Self::from_bytes(name, data, schema)?;
+        let mut f = Self::from_raw(name.into(), data, schema)?;
         f.fingerprint = (meta.len(), mtime);
         Ok(f)
     }
 
     pub fn from_bytes(name: impl Into<String>, data: Vec<u8>, schema: Schema) -> Result<Self> {
-        let name = name.into();
+        Self::from_raw(name.into(), RawData::from_vec(data), schema)
+    }
+
+    fn from_raw(name: String, data: RawData, schema: Schema) -> Result<Self> {
         let mut objects = Vec::new();
-        let mut pos = 0usize;
+        // Skip a UTF-8 BOM so it never becomes part of the first record.
+        let mut pos = bom_len(&data);
         while pos < data.len() {
-            let end = data[pos..]
-                .iter()
-                .position(|&b| b == b'\n')
-                .map(|nl| pos + nl)
-                .unwrap_or(data.len());
+            let end = next_record_boundary(&data, pos).unwrap_or(data.len());
             let line = &data[pos..end];
             if !line.iter().all(|b| b.is_ascii_whitespace()) {
                 objects.push((pos as u32, end as u32));
@@ -121,6 +136,12 @@ impl JsonFile {
 
     pub fn raw_bytes(&self) -> usize {
         self.data.len()
+    }
+
+    /// Whether the raw bytes are backed by a shared file mapping (vs an
+    /// owned copy).
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 
     /// Disable the structural index (ablation baseline).
@@ -401,11 +422,11 @@ fn parse_string_raw(data: &[u8], i: usize, source: &str) -> Result<(String, usiz
                 j += 1;
             }
             _ => {
-                // Collect a run of plain bytes (fast path for long strings).
+                // Collect a run of plain bytes (fast path for long
+                // strings): jump straight to the next `"` or `\`
+                // word-at-a-time.
                 let start = j;
-                while j < data.len() && data[j] != b'"' && data[j] != b'\\' {
-                    j += 1;
-                }
+                j = next_string_special(data, j).unwrap_or(data.len());
                 out.push_str(
                     std::str::from_utf8(&data[start..j])
                         .map_err(|_| VidaError::format(source, "invalid UTF-8 in string"))?,
@@ -431,24 +452,27 @@ fn skip_value(data: &[u8], i: usize, source: &str) -> Result<usize> {
             } else {
                 (b'[', b']')
             };
+            // Balance brackets by hopping between structural bytes — `"`
+            // (whose contents must not count), `open`, `close` — with the
+            // word-at-a-time scanner; everything in between is skipped
+            // without inspection.
             let mut depth = 0usize;
             let mut j = i;
-            while j < data.len() {
-                match data[j] {
+            while let Some(k) = next_composite_special(data, j, open, close) {
+                match data[k] {
                     b'"' => {
-                        j = parse_string_raw(data, j, source)?.1;
+                        j = parse_string_raw(data, k, source)?.1;
                         continue;
                     }
                     c if c == open => depth += 1,
-                    c if c == close => {
+                    _ => {
                         depth -= 1;
                         if depth == 0 {
-                            return Ok(j + 1);
+                            return Ok(k + 1);
                         }
                     }
-                    _ => {}
                 }
-                j += 1;
+                j = k + 1;
             }
             Err(VidaError::format(source, "unterminated composite"))
         }
@@ -848,6 +872,19 @@ mod tests {
             parse_json(b"\"unterminated", 0, "t").unwrap_err().kind(),
             "format"
         );
+    }
+
+    #[test]
+    fn utf8_bom_is_stripped() {
+        // A BOM must not become part of the first record (it would make
+        // `{"a":1}` unparseable as a top-level object).
+        let data = b"\xEF\xBB\xBF{\"a\":1}\n{\"a\":2}\n".to_vec();
+        let f = JsonFile::from_bytes("T", data, Schema::default()).unwrap();
+        assert_eq!(f.num_objects(), 2);
+        assert_eq!(f.read_field(0, "a").unwrap(), Value::Int(1));
+        assert_eq!(f.read_field(1, "a").unwrap(), Value::Int(2));
+        let t = f.object_text(0).unwrap();
+        assert!(t.starts_with('{'), "BOM leaked into first object: {t:?}");
     }
 
     #[test]

@@ -24,5 +24,8 @@ pub mod plugin;
 pub mod stats;
 
 pub use description::{DataFormat, RetrievalUnit, SourceDescription};
-pub use plugin::{open_plugin, InputPlugin};
+pub use plugin::{open_plugin, open_plugin_with, InputPlugin};
 pub use stats::AccessStats;
+// Re-exported so downstream crates pick a raw-data backing without
+// depending on vida-io directly.
+pub use vida_io::MapMode;

@@ -81,6 +81,21 @@ pub trait InputPlugin: Send + Sync {
         None
     }
 
+    /// Contiguous unit start offsets — `num_units() + 1` entries where unit
+    /// `i` spans `offsets[i]..offsets[i + 1]` — when the format's units
+    /// tile the file back to back (CSV rows). Lets morsel dispatchers
+    /// binary-search byte-balanced boundaries instead of walking per-unit
+    /// spans; `None` (the default) falls back to [`Self::unit_byte_span`].
+    fn unit_offsets(&self) -> Option<&[u32]> {
+        None
+    }
+
+    /// Whether the raw bytes are backed by a shared file mapping (always
+    /// false for formats without a raw file).
+    fn is_mapped(&self) -> bool {
+        false
+    }
+
     /// Whether this format can report raw byte spans of individual fields —
     /// the prerequisite for positions-only cache replicas (Figure 4 (d)).
     fn supports_field_spans(&self) -> bool {
@@ -179,6 +194,14 @@ impl InputPlugin for CsvPlugin {
 
     fn unit_byte_span(&self, row: usize) -> Option<(usize, usize)> {
         self.file.unit_byte_span(row)
+    }
+
+    fn unit_offsets(&self) -> Option<&[u32]> {
+        Some(self.file.unit_offsets())
+    }
+
+    fn is_mapped(&self) -> bool {
+        self.file.is_mapped()
     }
 
     fn supports_field_spans(&self) -> bool {
@@ -288,6 +311,10 @@ impl InputPlugin for JsonPlugin {
 
     fn unit_byte_span(&self, row: usize) -> Option<(usize, usize)> {
         self.file.unit_byte_span(row)
+    }
+
+    fn is_mapped(&self) -> bool {
+        self.file.is_mapped()
     }
 
     fn supports_field_spans(&self) -> bool {
@@ -483,23 +510,34 @@ impl InputPlugin for MemPlugin {
 /// Open the right plugin for a source description (the plugin catalog of
 /// Figure 3).
 pub fn open_plugin(desc: &SourceDescription) -> Result<Box<dyn InputPlugin>> {
+    open_plugin_with(desc, vida_io::MapMode::Auto)
+}
+
+/// [`open_plugin`] with an explicit raw-data backing policy
+/// ([`vida_io::MapMode::Never`] is the `--no-mmap` escape hatch).
+pub fn open_plugin_with(
+    desc: &SourceDescription,
+    mode: vida_io::MapMode,
+) -> Result<Box<dyn InputPlugin>> {
     match &desc.format {
         DataFormat::Csv { delimiter, header } => {
-            let file = CsvFile::open(
+            let file = CsvFile::open_with(
                 desc.name.clone(),
                 &desc.path,
                 *delimiter,
                 *header,
                 desc.schema.clone(),
+                mode,
             )?;
             Ok(Box::new(CsvPlugin::new(file)))
         }
         DataFormat::Json => {
-            let file = JsonFile::open(desc.name.clone(), &desc.path, desc.schema.clone())?;
+            let file =
+                JsonFile::open_with(desc.name.clone(), &desc.path, desc.schema.clone(), mode)?;
             Ok(Box::new(JsonPlugin::new(file)))
         }
         DataFormat::BinaryArray => {
-            let file = ArrayFile::open(desc.name.clone(), &desc.path)?;
+            let file = ArrayFile::open_with(desc.name.clone(), &desc.path, mode)?;
             Ok(Box::new(ArrayPlugin::new(file)))
         }
         DataFormat::InMemory => Err(VidaError::Catalog(

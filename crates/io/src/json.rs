@@ -1,0 +1,66 @@
+//! SWAR scanners for JSON structural characters.
+//!
+//! NDJSON semi-index construction has three hot scanning loops: the record
+//! split on newlines, the plain-byte run inside string parsing (everything
+//! up to the next `"` or `\`), and the composite skip that balances
+//! `{}`/`[]` while respecting strings. Each is a multi-byte search over
+//! structural characters, so each rides the word-at-a-time scanners in
+//! [`crate::swar`]. Escape handling and depth tracking stay with the
+//! caller — these helpers only answer "where is the next byte I must look
+//! at?", which is exactly the part worth vectorizing.
+
+use crate::swar::{find_byte, find_byte2, find_byte3};
+
+/// Offset (relative to `data`) of the next newline at or after `pos`, i.e.
+/// the next NDJSON record boundary. `None` when the last record is
+/// unterminated.
+#[inline]
+pub fn next_record_boundary(data: &[u8], pos: usize) -> Option<usize> {
+    find_byte(&data[pos..], b'\n').map(|d| pos + d)
+}
+
+/// Offset of the next byte a JSON string parser must inspect — the closing
+/// `"` or a `\` escape — at or after `pos`. Bytes before it are a plain
+/// run that can be bulk-copied. `None` means the string never terminates.
+#[inline]
+pub fn next_string_special(data: &[u8], pos: usize) -> Option<usize> {
+    find_byte2(&data[pos..], b'"', b'\\').map(|d| pos + d)
+}
+
+/// Offset of the next byte a composite skipper must inspect — a `"`
+/// (string start: its contents must not count toward nesting) or the
+/// given `open`/`close` bracket — at or after `pos`.
+#[inline]
+pub fn next_composite_special(data: &[u8], pos: usize, open: u8, close: u8) -> Option<usize> {
+    find_byte3(&data[pos..], b'"', open, close).map(|d| pos + d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_boundaries_split_ndjson() {
+        let data = b"{\"a\":1}\n{\"b\":\"x\\ny\"}\n{\"c\":3}";
+        assert_eq!(next_record_boundary(data, 0), Some(7));
+        assert_eq!(next_record_boundary(data, 8), Some(20));
+        assert_eq!(next_record_boundary(data, 21), None);
+    }
+
+    #[test]
+    fn string_specials_stop_at_quote_and_backslash() {
+        let data = br#"plain run then \n and "end"#;
+        assert_eq!(next_string_special(data, 0), Some(15)); // the backslash
+        assert_eq!(next_string_special(data, 16), Some(22)); // the quote
+        assert_eq!(next_string_special(b"no special", 0), None);
+    }
+
+    #[test]
+    fn composite_specials_cover_both_bracket_kinds() {
+        let data = b"[1,2,{\"k\":[3]}]";
+        assert_eq!(next_composite_special(data, 0, b'[', b']'), Some(0));
+        assert_eq!(next_composite_special(data, 1, b'[', b']'), Some(6)); // the quote
+        assert_eq!(next_composite_special(data, 1, b'{', b'}'), Some(5));
+        assert_eq!(next_composite_special(b"123", 0, b'{', b'}'), None);
+    }
+}

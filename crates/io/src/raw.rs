@@ -1,0 +1,219 @@
+//! Raw input backing: memory-mapped files with an owned-buffer fallback.
+//!
+//! On unix targets [`RawData::open`] maps the file read-only with
+//! `mmap(2)` so scan workers share one set of physical pages and a cold
+//! open pays no up-front copy; the kernel pages data in as the scanners
+//! walk it. Everywhere else — and whenever the map fails (pipes, special
+//! files, zero-length files) — it falls back to reading the file into an
+//! owned `Vec<u8>`, so callers never observe a difference beyond
+//! [`RawData::is_mapped`].
+//!
+//! The syscalls are declared directly via `extern "C"`: libc is already
+//! linked by `std` on unix, so this adds no dependency.
+
+use std::fmt;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+/// How [`RawData::open_with`] should back the bytes of a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapMode {
+    /// Memory-map when the platform supports it, falling back to an owned
+    /// read on any failure. The default.
+    #[default]
+    Auto,
+    /// Always read into an owned buffer (the `--no-mmap` escape hatch).
+    Never,
+}
+
+/// The bytes of one raw input, either borrowed from a shared file mapping
+/// or held in an owned buffer. Derefs to `&[u8]`, so format code indexes
+/// it exactly like the `Vec<u8>` it replaces.
+pub enum RawData {
+    /// Bytes copied into process-private memory.
+    Owned(Vec<u8>),
+    /// Bytes backed by a read-only, private file mapping.
+    #[cfg(unix)]
+    Mapped(Mmap),
+}
+
+impl RawData {
+    /// Wrap an in-memory buffer (the `from_bytes` construction path).
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        RawData::Owned(data)
+    }
+
+    /// Open `path` with the default [`MapMode::Auto`] policy.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Self::open_with(path, MapMode::Auto)
+    }
+
+    /// Open `path` under an explicit backing policy.
+    pub fn open_with(path: &Path, mode: MapMode) -> io::Result<Self> {
+        #[cfg(unix)]
+        if mode == MapMode::Auto {
+            if let Ok(map) = Mmap::map(path) {
+                return Ok(RawData::Mapped(map));
+            }
+            // Fall through: unmappable inputs (zero-length files report
+            // EINVAL, pipes/sockets ENODEV) still open as owned buffers.
+        }
+        let _ = mode;
+        std::fs::read(path).map(RawData::Owned)
+    }
+
+    /// Whether the bytes are backed by a file mapping.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            RawData::Owned(_) => false,
+            #[cfg(unix)]
+            RawData::Mapped(_) => true,
+        }
+    }
+}
+
+impl Deref for RawData {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        match self {
+            RawData::Owned(v) => v,
+            #[cfg(unix)]
+            RawData::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+impl AsRef<[u8]> for RawData {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for RawData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RawData")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(unix)]
+pub use unix::Mmap;
+
+#[cfg(unix)]
+mod unix {
+    use std::ffi::c_void;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+    use std::path::Path;
+
+    // libc is linked by std on unix; declaring the three calls we need
+    // avoids adding a crate dependency.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+        fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+    const MADV_WILLNEED: i32 = 3;
+
+    /// A read-only, private memory mapping of a whole file.
+    ///
+    /// # Safety invariants
+    ///
+    /// `ptr` points at a live `len`-byte mapping created by `mmap` and is
+    /// unmapped exactly once, in `Drop`. The mapping is `PROT_READ` +
+    /// `MAP_PRIVATE`, so the pages are immutable from this process and
+    /// safe to share across threads (`Send`/`Sync` below). Truncating the
+    /// underlying file while mapped can still raise `SIGBUS` on access —
+    /// the same contract every mmap'd reader accepts; inputs are treated
+    /// as immutable for the lifetime of a query session.
+    pub struct Mmap {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned uniquely by this struct.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Map `path` read-only. Fails (letting the caller fall back to an
+        /// owned read) for zero-length files — `mmap` with `len == 0` is
+        /// `EINVAL` — and for any file the kernel refuses to map.
+        pub fn map(path: &Path) -> io::Result<Self> {
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "cannot map zero-length file",
+                ));
+            }
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large"))?;
+            // SAFETY: fd is a valid open file, len is its nonzero size;
+            // a PROT_READ + MAP_PRIVATE mapping aliases no Rust memory.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            // Sequential scans benefit from read-ahead; purely advisory.
+            // SAFETY: ptr/len describe the mapping created above.
+            unsafe {
+                let _ = madvise(ptr, len, MADV_WILLNEED);
+            }
+            Ok(Mmap { ptr, len })
+        }
+
+        #[inline]
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: ptr is a live PROT_READ mapping of exactly len bytes
+            // (struct invariant); the lifetime is tied to &self.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+
+        #[inline]
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        #[inline]
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: ptr/len came from a successful mmap and are unmapped
+            // only here.
+            unsafe {
+                let _ = munmap(self.ptr, self.len);
+            }
+        }
+    }
+}

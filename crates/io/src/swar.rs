@@ -1,0 +1,203 @@
+//! SWAR ("SIMD within a register") byte scanning.
+//!
+//! Every scanner here loads 8 input bytes into a `u64` and compares all of
+//! them against a broadcast needle at once, using only integer ops — no
+//! `std::simd`, no intrinsics, no dependencies — so it runs at full speed
+//! on stable Rust on every target.
+//!
+//! The core primitive is [`eq_mask`], which is **exact**: it returns a mask
+//! with the high bit of byte `k` set iff byte `k` equals the needle, for
+//! *every* byte of the word. (The classic `haszero` trick is only reliable
+//! for the first match because its borrow propagates across bytes; the
+//! masked-add formulation below has no cross-byte carries.) Exact masks are
+//! what let the CSV tokenizer count several delimiters per loaded word and
+//! detect quote-at-field-start positions with one AND.
+
+/// `0x01` in every byte.
+const LO: u64 = 0x0101_0101_0101_0101;
+/// `0x80` in every byte.
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// The needle byte replicated into every byte of a word.
+#[inline(always)]
+pub const fn broadcast(b: u8) -> u64 {
+    (b as u64) * LO
+}
+
+/// Exact per-byte equality mask: bit `8k + 7` is set iff byte `k` of `w`
+/// equals `needle`. No false positives or negatives on any byte.
+#[inline(always)]
+pub const fn eq_mask(w: u64, needle: u8) -> u64 {
+    let x = w ^ broadcast(needle); // zero bytes mark matches
+                                   // High bit of byte k set iff byte k is nonzero: the add cannot carry
+                                   // across bytes because the high bit is masked off first.
+    let nonzero = ((x & !HI).wrapping_add(!HI) | x) & HI;
+    !nonzero & HI
+}
+
+/// Byte index (0..8) of the lowest set flag in a nonzero [`eq_mask`].
+#[inline(always)]
+pub const fn first_match(mask: u64) -> usize {
+    (mask.trailing_zeros() >> 3) as usize
+}
+
+/// Byte index of the `n`-th (0-based) set flag of `mask`; `mask` must have
+/// more than `n` flags set.
+#[inline(always)]
+pub fn nth_match(mut mask: u64, n: u32) -> usize {
+    let mut left = n;
+    while left > 0 {
+        mask &= mask - 1; // clear lowest flag
+        left -= 1;
+    }
+    first_match(mask)
+}
+
+/// Load 8 little-endian bytes at `i` (caller guarantees `i + 8 <= len`).
+#[inline(always)]
+pub fn load(data: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(data[i..i + 8].try_into().expect("8-byte window"))
+}
+
+/// Position of the first occurrence of `needle` in `hay` (SWAR `memchr`).
+#[inline]
+pub fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let m = eq_mask(load(hay, i), needle);
+        if m != 0 {
+            return Some(i + first_match(m));
+        }
+        i += 8;
+    }
+    while i < hay.len() {
+        if hay[i] == needle {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Position of the first occurrence of either needle in `hay`.
+#[inline]
+pub fn find_byte2(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let w = load(hay, i);
+        let m = eq_mask(w, a) | eq_mask(w, b);
+        if m != 0 {
+            return Some(i + first_match(m));
+        }
+        i += 8;
+    }
+    while i < hay.len() {
+        if hay[i] == a || hay[i] == b {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Position of the first occurrence of any of three needles in `hay`.
+#[inline]
+pub fn find_byte3(hay: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let w = load(hay, i);
+        let m = eq_mask(w, a) | eq_mask(w, b) | eq_mask(w, c);
+        if m != 0 {
+            return Some(i + first_match(m));
+        }
+        i += 8;
+    }
+    while i < hay.len() {
+        if hay[i] == a || hay[i] == b || hay[i] == c {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic byte stream for cross-checking against the naive
+    /// scalar scanners (xorshift — no external RNG).
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+        fn byte(&mut self, alphabet: &[u8]) -> u8 {
+            alphabet[(self.next() % alphabet.len() as u64) as usize]
+        }
+    }
+
+    #[test]
+    fn eq_mask_is_exact_on_every_byte() {
+        // Adversarial bytes for the haszero trick: 0x00, 0x01, 0x80, 0xFF
+        // adjacent to matches must produce no spurious flags.
+        for needle in [0u8, 0x01, 0x2C, 0x22, 0x80, 0xFF] {
+            let bytes = [needle, 0x00, needle, 0x01, 0x80, needle, 0xFF, needle];
+            let w = u64::from_le_bytes(bytes);
+            let m = eq_mask(w, needle);
+            for (k, &b) in bytes.iter().enumerate() {
+                let flag = m & (0x80u64 << (8 * k)) != 0;
+                assert_eq!(flag, b == needle, "needle {needle:#x} byte {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_and_nth_match_positions() {
+        let w = u64::from_le_bytes(*b"a,b,,cd,");
+        let m = eq_mask(w, b',');
+        assert_eq!(first_match(m), 1);
+        assert_eq!(nth_match(m, 0), 1);
+        assert_eq!(nth_match(m, 1), 3);
+        assert_eq!(nth_match(m, 2), 4);
+        assert_eq!(nth_match(m, 3), 7);
+        assert_eq!(m.count_ones(), 4);
+    }
+
+    #[test]
+    fn find_byte_matches_naive_on_random_streams() {
+        let mut rng = Lcg(0x5EED);
+        let alphabet = b",\n\"ax0\x80\xFF";
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 31, 64, 257] {
+            let hay: Vec<u8> = (0..len).map(|_| rng.byte(alphabet)).collect();
+            for &needle in alphabet {
+                assert_eq!(
+                    find_byte(&hay, needle),
+                    hay.iter().position(|&b| b == needle),
+                    "len {len} needle {needle:#x}"
+                );
+            }
+            assert_eq!(
+                find_byte2(&hay, b'"', b'\\'),
+                hay.iter().position(|&b| b == b'"' || b == b'\\')
+            );
+            assert_eq!(
+                find_byte3(&hay, b'"', b'{', b'}'),
+                hay.iter().position(|&b| matches!(b, b'"' | b'{' | b'}'))
+            );
+        }
+    }
+
+    #[test]
+    fn find_byte_hits_every_offset_within_a_word() {
+        for pos in 0..24 {
+            let mut hay = vec![b'x'; 24];
+            hay[pos] = b'\n';
+            assert_eq!(find_byte(&hay, b'\n'), Some(pos));
+        }
+        assert_eq!(find_byte(&[b'x'; 24], b'\n'), None);
+    }
+}

@@ -1,0 +1,78 @@
+//! File-backed tests for the mmap path: mapped and owned backings must
+//! expose byte-identical data, and unmappable inputs must fall back
+//! cleanly.
+
+use std::path::PathBuf;
+use vida_io::{MapMode, RawData};
+
+fn fixture(name: &str, contents: &[u8]) -> PathBuf {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+#[test]
+fn mapped_and_owned_bytes_are_identical() {
+    let contents: Vec<u8> = (0..100_000u32).flat_map(|i| i.to_le_bytes()).collect();
+    let path = fixture("raw_identical.bin", &contents);
+    let auto = RawData::open_with(&path, MapMode::Auto).unwrap();
+    let owned = RawData::open_with(&path, MapMode::Never).unwrap();
+    assert!(!owned.is_mapped());
+    assert_eq!(&auto[..], &contents[..]);
+    assert_eq!(&owned[..], &contents[..]);
+    #[cfg(unix)]
+    assert!(auto.is_mapped(), "unix Auto should map a regular file");
+}
+
+#[test]
+fn zero_length_file_falls_back_to_owned() {
+    // mmap(len = 0) is EINVAL; Auto must still open the file.
+    let path = fixture("raw_empty.bin", b"");
+    let d = RawData::open_with(&path, MapMode::Auto).unwrap();
+    assert!(!d.is_mapped());
+    assert!(d.is_empty());
+}
+
+#[test]
+fn missing_file_errors_in_both_modes() {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("does_not_exist.bin");
+    assert!(RawData::open_with(&path, MapMode::Auto).is_err());
+    assert!(RawData::open_with(&path, MapMode::Never).is_err());
+}
+
+#[test]
+fn mapped_data_is_shareable_across_threads() {
+    let contents = b"abcdefgh".repeat(4096);
+    let path = fixture("raw_shared.bin", &contents);
+    let data = std::sync::Arc::new(RawData::open(&path).unwrap());
+    std::thread::scope(|s| {
+        for chunk in 0..4 {
+            let data = std::sync::Arc::clone(&data);
+            let contents = &contents;
+            s.spawn(move || {
+                let span = chunk * 8192..(chunk + 1) * 8192;
+                assert_eq!(&data[span.clone()], &contents[span]);
+            });
+        }
+    });
+}
+
+#[test]
+fn from_vec_wraps_owned() {
+    let d = RawData::from_vec(vec![1, 2, 3]);
+    assert!(!d.is_mapped());
+    assert_eq!(d.as_ref(), &[1, 2, 3]);
+    assert_eq!(format!("{d:?}"), "RawData { len: 3, mapped: false }");
+}
+
+#[test]
+fn drop_unmaps_without_poisoning_other_maps() {
+    // Two maps of the same file are independent: dropping one leaves the
+    // other readable (a double-munmap or shared-state bug would fault).
+    let contents = b"0123456789".repeat(1000);
+    let path = fixture("raw_two_maps.bin", &contents);
+    let a = RawData::open(&path).unwrap();
+    let b = RawData::open(&path).unwrap();
+    drop(a);
+    assert_eq!(&b[..10], b"0123456789");
+}

@@ -23,15 +23,20 @@ use vida_formats::InputPlugin;
 /// small fixtures).
 pub fn plan_scan(plugin: &dyn InputPlugin, morsel_units: usize) -> MorselPlan {
     let units = plugin.num_units();
-    if plugin.unit_byte_span(0).is_none() {
+    // Fast path: formats whose units tile the file hand over their offset
+    // table (the CSV row index) and each boundary is one binary search.
+    let by_bytes = if let Some(offsets) = plugin.unit_offsets() {
+        MorselPlan::byte_aligned_offsets(offsets, DEFAULT_MORSEL_BYTES)
+    } else if plugin.unit_byte_span(0).is_some() {
+        MorselPlan::byte_aligned(units, DEFAULT_MORSEL_BYTES, |i| {
+            plugin
+                .unit_byte_span(i)
+                .map(|(s, e)| e.saturating_sub(s))
+                .unwrap_or(1)
+        })
+    } else {
         return MorselPlan::fixed(units, morsel_units);
-    }
-    let by_bytes = MorselPlan::byte_aligned(units, DEFAULT_MORSEL_BYTES, |i| {
-        plugin
-            .unit_byte_span(i)
-            .map(|(s, e)| e.saturating_sub(s))
-            .unwrap_or(1)
-    });
+    };
     // Honor an explicit finer grid (diagnostics/tests); otherwise prefer the
     // byte-balanced plan.
     if morsel_units != 0 {
@@ -159,6 +164,21 @@ mod tests {
             Value::str("line one of 5\nline two of 5"),
             "embedded newline must survive the parse"
         );
+    }
+
+    #[test]
+    fn offset_fast_path_matches_span_walk_plan() {
+        // The CSV offset-table fast path must produce the identical plan to
+        // the per-unit span walk (what JSON still uses) on the same file —
+        // the determinism contract across format capabilities.
+        let p = csv(5000);
+        assert!(p.unit_offsets().is_some());
+        let fast = plan_scan(&p, 0);
+        let walk = MorselPlan::byte_aligned(p.num_units(), DEFAULT_MORSEL_BYTES, |i| {
+            p.unit_byte_span(i).map(|(s, e)| e - s).unwrap()
+        });
+        assert_eq!(fast, walk);
+        assert!(fast.len() > 1, "fixture should span several morsels");
     }
 
     #[test]

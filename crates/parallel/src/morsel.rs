@@ -67,6 +67,34 @@ impl MorselPlan {
         MorselPlan { ranges, units }
     }
 
+    /// [`MorselPlan::byte_aligned`] specialized to formats whose units tile
+    /// the file back to back: `offsets` holds each unit's start byte plus a
+    /// final end-of-data entry (unit `i` spans `offsets[i]..offsets[i+1]`).
+    /// Each boundary is then one binary search instead of a walk over every
+    /// unit's span — the shape the mmap'd scan path hands over (the CSV row
+    /// index). Produces exactly the plan `byte_aligned` would with
+    /// `unit_bytes(i) = offsets[i+1] - offsets[i]`.
+    pub fn byte_aligned_offsets(offsets: &[u32], target_bytes: usize) -> Self {
+        let units = offsets.len().saturating_sub(1);
+        let target = target_bytes.max(1);
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        while start < units {
+            // First unit whose end reaches `target` bytes past the morsel
+            // start; the greedy accumulator cuts right after it.
+            let threshold = offsets[start] as usize + target;
+            let cut =
+                offsets[start + 1..].partition_point(|&o| (o as usize) < threshold) + start + 1;
+            if cut > units {
+                ranges.push(start..units); // ragged tail below target
+                break;
+            }
+            ranges.push(start..cut);
+            start = cut;
+        }
+        MorselPlan { ranges, units }
+    }
+
     /// Total units covered by the plan.
     pub fn units(&self) -> usize {
         self.units
@@ -127,6 +155,31 @@ mod tests {
         let p = MorselPlan::byte_aligned(8, 25, |_| 10);
         let ranges: Vec<_> = p.iter().collect();
         assert_eq!(ranges, vec![0..3, 3..6, 6..8]);
+    }
+
+    #[test]
+    fn byte_aligned_offsets_matches_span_walk() {
+        // The binary-search plan must equal the greedy per-unit walk for
+        // every offset shape: uniform, skewed, huge single units, ragged
+        // tails, and nonzero first offsets (BOM / header bytes).
+        let shapes: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![0, 10],
+            vec![0, 10, 20, 30, 40, 50, 60, 70, 80],
+            vec![7, 12, 512, 513, 600, 700],
+            vec![0, 5, 505, 510, 515, 520],
+            (0..100u32).map(|i| i * 3).collect(),
+        ];
+        for offsets in shapes {
+            for target in [1usize, 16, 25, 100, 1 << 20] {
+                let units = offsets.len() - 1;
+                let by_walk = MorselPlan::byte_aligned(units, target, |i| {
+                    (offsets[i + 1] - offsets[i]) as usize
+                });
+                let by_search = MorselPlan::byte_aligned_offsets(&offsets, target);
+                assert_eq!(by_search, by_walk, "offsets {offsets:?} target {target}");
+            }
+        }
     }
 
     #[test]

@@ -236,6 +236,86 @@ pub fn generate_nested_heavy(config: &WorkloadConfig) -> Vec<QuerySpec> {
         .collect()
 }
 
+/// Generate a raw CSV fixture with `cols` columns per row — the wide-row
+/// shape for scan-throughput experiments (tokenizer cost per row grows
+/// with the column count, so narrow and wide fixtures stress different
+/// parts of the scan loop). Column 0 is the row index (an `int` key);
+/// the rest cycle int / dyadic float / string, and every third string is
+/// RFC 4180-quoted with an embedded delimiter or doubled quote so the
+/// quote-aware scan path stays hot. Deterministic in the seed.
+pub fn generate_wide_csv(rows: usize, cols: usize, seed: u64) -> Vec<u8> {
+    let cols = cols.max(1);
+    let mut rng = Rng::new(seed);
+    let mut out = String::new();
+    for c in 0..cols {
+        if c > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("c{c}"));
+    }
+    out.push('\n');
+    for r in 0..rows {
+        out.push_str(&r.to_string());
+        for c in 1..cols {
+            out.push(',');
+            match c % 3 {
+                0 => out.push_str(&rng.below(100_000).to_string()),
+                1 => out.push_str(&format!("{:.4}", rng.below(16) as f64 / 16.0)),
+                _ => match rng.below(3) {
+                    0 => out.push_str(&format!("\"v{},{}\"", rng.below(100), rng.below(100))),
+                    1 => out.push_str(&format!("\"q\"\"{}\"", rng.below(100))),
+                    _ => out.push_str(&format!("w{}", rng.below(1000))),
+                },
+            }
+        }
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// Generate a raw newline-delimited JSON fixture with `cols` top-level
+/// fields per object — the wide-row shape for semi-index build
+/// experiments. Field `c0` is the object index; the rest cycle int /
+/// dyadic float / string (some with escapes). Deterministic in the seed.
+pub fn generate_wide_ndjson(rows: usize, cols: usize, seed: u64) -> Vec<u8> {
+    let cols = cols.max(1);
+    let mut rng = Rng::new(seed);
+    let mut out = String::new();
+    for r in 0..rows {
+        out.push('{');
+        out.push_str(&format!("\"c0\":{r}"));
+        for c in 1..cols {
+            out.push(',');
+            match c % 3 {
+                0 => out.push_str(&format!("\"c{c}\":{}", rng.below(100_000))),
+                1 => out.push_str(&format!("\"c{c}\":{:.4}", rng.below(16) as f64 / 16.0)),
+                _ => match rng.below(3) {
+                    0 => out.push_str(&format!("\"c{c}\":\"s\\\"{}\"", rng.below(100))),
+                    1 => out.push_str(&format!("\"c{c}\":\"u\\u2603{}\"", rng.below(100))),
+                    _ => out.push_str(&format!("\"c{c}\":\"p{}\"", rng.below(1000))),
+                },
+            }
+        }
+        out.push_str("}\n");
+    }
+    out.into_bytes()
+}
+
+/// Schema matching [`generate_wide_csv`] and [`generate_wide_ndjson`]:
+/// `c0` is the int key, the rest cycle int / float / string.
+pub fn wide_schema(cols: usize) -> vida_types::Schema {
+    use vida_types::Type;
+    vida_types::Schema::from_pairs((0..cols.max(1)).map(|c| {
+        let ty = match c % 3 {
+            _ if c == 0 => Type::Int,
+            0 => Type::Int,
+            1 => Type::Float,
+            _ => Type::Str,
+        };
+        (format!("c{c}"), ty)
+    }))
+}
+
 fn draw_key(rng: &mut Rng, config: &WorkloadConfig) -> i64 {
     if rng.unit() < config.locality {
         rng.below(config.hot_keys.max(1) as u64) as i64
@@ -318,6 +398,46 @@ mod tests {
         }
         for q in &a {
             parse(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.text));
+        }
+    }
+
+    #[test]
+    fn wide_csv_round_trips_through_the_format_layer() {
+        use vida_formats::csv::CsvFile;
+        let bytes = generate_wide_csv(40, 9, 11);
+        assert_eq!(generate_wide_csv(40, 9, 11), bytes, "not deterministic");
+        let file = CsvFile::from_bytes("W", bytes, b',', true, wide_schema(9)).unwrap();
+        assert_eq!(file.num_rows(), 40);
+        // Quoted cells (embedded commas, doubled quotes) must parse; the
+        // row key pins row identity end to end.
+        for row in [0usize, 17, 39] {
+            assert_eq!(
+                file.read_field(row, 0).unwrap(),
+                vida_types::Value::Int(row as i64)
+            );
+            for col in 1..9 {
+                file.read_field(row, col)
+                    .unwrap_or_else(|e| panic!("row {row} col {col}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_ndjson_round_trips_through_the_format_layer() {
+        use vida_formats::json::JsonFile;
+        let bytes = generate_wide_ndjson(30, 7, 5);
+        assert_eq!(generate_wide_ndjson(30, 7, 5), bytes, "not deterministic");
+        let file = JsonFile::from_bytes("W", bytes, wide_schema(7)).unwrap();
+        assert_eq!(file.num_objects(), 30);
+        for row in [0usize, 13, 29] {
+            assert_eq!(
+                file.read_field(row, "c0").unwrap(),
+                vida_types::Value::Int(row as i64)
+            );
+            for col in 1..7 {
+                file.read_field(row, &format!("c{col}"))
+                    .unwrap_or_else(|e| panic!("row {row} col {col}: {e}"));
+            }
         }
     }
 
