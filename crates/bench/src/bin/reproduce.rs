@@ -6,7 +6,9 @@
 //! comprehension front-end → JIT pipelines → cost model → cache stats) is
 //! exercised end to end.
 
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 use vida_bench::fixtures;
 use vida_cache::CacheManager;
 use vida_exec::{run_jit_with_stats, JitOptions, MemoryCatalog, SourceProvider};
@@ -15,6 +17,7 @@ use vida_formats::json::JsonFile;
 use vida_formats::plugin::{CsvPlugin, JsonPlugin};
 use vida_formats::MapMode;
 use vida_optimizer::CostModel;
+use vida_trace::{chrome_trace_json, global_metrics, MetricsSnapshot, QueryTrace};
 use vida_workload::{generate, generate_nested_heavy, generate_scan_heavy, WorkloadConfig};
 
 const USAGE: &str = "\
@@ -22,6 +25,7 @@ reproduce — replay the ViDa (CIDR'15) experiments
 
 USAGE:
     reproduce <figure> [OPTIONS]
+    reproduce validate-json <path>...
 
 FIGURES:
     cache-locality    HBP-style query mix over raw CSV/JSON; reports the
@@ -31,6 +35,11 @@ FIGURES:
     figure5           (planned) response times across raw formats
     jit-vs-interp     (planned) generated pipelines vs static operators;
                       see `cargo bench` for the current microbenchmarks
+
+UTILITIES:
+    validate-json     parse each file with the engine's own JSON reader and
+                      exit non-zero if any is missing or malformed (CI uses
+                      this to check --trace-out / --stats-json artifacts)
 
 OPTIONS:
     --threads N       morsel-driven worker threads for query execution
@@ -57,6 +66,14 @@ OPTIONS:
     --assert-fused    exit non-zero unless streaming execution fused every
                       pipeline (operator_materializations must be 0 across
                       the whole workload — the CI smoke contract)
+    --trace-out PATH  record a span trace for every query (JitOptions::
+                      trace) and write the whole workload as Chrome
+                      trace-event JSON — open it in Perfetto or
+                      chrome://tracing, one track per worker — plus print
+                      EXPLAIN ANALYZE for the slowest query
+    --stats-json PATH write accumulated ExecStats, cache counters, the
+                      engine metrics delta for this run, and per-query
+                      timing aggregates as a JSON object
 
 Run with no arguments to print this message.";
 
@@ -70,6 +87,8 @@ struct Args {
     cost_model: bool,
     assert_fused: bool,
     mmap: bool,
+    trace_out: Option<PathBuf>,
+    stats_json: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -83,6 +102,8 @@ fn parse_args() -> Result<Args, String> {
         cost_model: true,
         assert_fused: false,
         mmap: true,
+        trace_out: None,
+        stats_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = argv.iter();
@@ -130,6 +151,16 @@ fn parse_args() -> Result<Args, String> {
             "--no-cost-model" => args.cost_model = false,
             "--assert-fused" => args.assert_fused = true,
             "--no-mmap" => args.mmap = false,
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(
+                    iter.next().ok_or("--trace-out expects a path")?,
+                ));
+            }
+            "--stats-json" => {
+                args.stats_json = Some(PathBuf::from(
+                    iter.next().ok_or("--stats-json expects a path")?,
+                ));
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -144,6 +175,13 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() {
+    // `validate-json` takes positional paths, not figure options — dispatch
+    // before the flag parser.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("validate-json") {
+        validate_json(&argv[1..]);
+        return;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -158,6 +196,37 @@ fn main() {
             std::process::exit(2);
         }
         None => println!("{USAGE}"),
+    }
+}
+
+/// Check each file parses with the engine's own JSON reader (the same one
+/// the query path uses); exit non-zero on the first failure.
+fn validate_json(paths: &[String]) {
+    if paths.is_empty() {
+        eprintln!("validate-json expects at least one path\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    for path in paths {
+        let data = match std::fs::read(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("FAIL: {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match vida_formats::json::parse_json(&data, 0, path) {
+            Ok((_, end)) if data[end..].iter().all(|b| b.is_ascii_whitespace()) => {
+                println!("ok: {path} ({} bytes)", data.len());
+            }
+            Ok((_, end)) => {
+                eprintln!("FAIL: {path}: trailing garbage after byte {end}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("FAIL: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -207,6 +276,7 @@ fn cache_locality(args: &Args) {
         cache: Some(Arc::clone(&cache)),
         cost_model: model.clone(),
         threads: args.threads,
+        trace: args.trace_out.is_some(),
         ..Default::default()
     };
     let config = WorkloadConfig {
@@ -223,6 +293,13 @@ fn cache_locality(args: &Args) {
     let mut cached = 0usize;
     let mut total = 0usize;
     let mut accum = vida_exec::ExecStats::default();
+    // Per-query traces on a shared workload timeline (offset ns from t0)
+    // and per-query wall times, for --trace-out / --stats-json.
+    let mut traces: Vec<(u64, QueryTrace)> = Vec::new();
+    let mut timings_ns: Vec<u64> = Vec::new();
+    let mut slowest: Option<(u64, usize, String)> = None;
+    let metrics_before = global_metrics().snapshot();
+    let t0 = Instant::now();
     for q in &queries {
         let expr = match vida_lang::parse(&q.text) {
             Ok(e) => e,
@@ -232,17 +309,28 @@ fn cache_locality(args: &Args) {
             }
         };
         let plan = vida_algebra::rewrite(&vida_algebra::lower(&expr).expect("lowers"));
+        let offset_ns = t0.elapsed().as_nanos() as u64;
         match run_jit_with_stats(&plan, &catalog, &opts) {
-            Ok((_, stats)) => {
+            Ok((_, mut stats)) => {
+                let elapsed_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(offset_ns);
                 total += 1;
+                timings_ns.push(elapsed_ns);
                 if stats.served_from_cache {
                     cached += 1;
+                }
+                if let Some(trace) = stats.trace.take() {
+                    if slowest.as_ref().map_or(true, |(ns, _, _)| elapsed_ns > *ns) {
+                        slowest = Some((elapsed_ns, traces.len(), q.text.clone()));
+                    }
+                    traces.push((offset_ns, *trace));
                 }
                 accum.accumulate(&stats);
             }
             Err(e) => eprintln!("query failed ({e}): {}", q.text),
         }
     }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let metrics_delta = global_metrics().snapshot().since(&metrics_before);
     let pct = 100.0 * cached as f64 / total.max(1) as f64;
     println!(
         "workload mix:            {} ({} queries, locality {:.2})",
@@ -298,6 +386,43 @@ fn cache_locality(args: &Args) {
         }
         None => println!("cost model:              off (all replicas parsed values)"),
     }
+
+    if let Some(path) = &args.trace_out {
+        let refs: Vec<(u64, &QueryTrace)> = traces.iter().map(|(o, t)| (*o, t)).collect();
+        std::fs::write(path, chrome_trace_json(&refs)).expect("write trace JSON");
+        println!(
+            "trace:                   {} queries, {} spans -> {}",
+            traces.len(),
+            traces.iter().map(|(_, t)| t.spans().len()).sum::<usize>(),
+            path.display()
+        );
+        if let Some((ns, idx, text)) = &slowest {
+            println!(
+                "\nslowest query ({:.3} ms): {}",
+                *ns as f64 / 1e6,
+                text.trim()
+            );
+            print!("{}", traces[*idx].1.explain_analyze());
+        }
+    }
+
+    if let Some(path) = &args.stats_json {
+        std::fs::write(
+            path,
+            stats_json(
+                args,
+                total,
+                wall_ns,
+                &timings_ns,
+                &accum,
+                &cache,
+                &metrics_delta,
+            ),
+        )
+        .expect("write stats JSON");
+        println!("stats:                   -> {}", path.display());
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
     if args.assert_fused && accum.operator_materializations != 0 {
         eprintln!(
@@ -307,4 +432,47 @@ fn cache_locality(args: &Args) {
         );
         std::process::exit(1);
     }
+}
+
+/// The --stats-json document: run parameters, accumulated `ExecStats`,
+/// cache counters, the engine-metrics delta for this run, and per-query
+/// timing aggregates. Hand-rolled JSON, parseable by `validate-json`.
+#[allow(clippy::too_many_arguments)]
+fn stats_json(
+    args: &Args,
+    total: usize,
+    wall_ns: u64,
+    timings_ns: &[u64],
+    accum: &vida_exec::ExecStats,
+    cache: &CacheManager,
+    metrics: &MetricsSnapshot,
+) -> String {
+    let cs = cache.stats();
+    let probes = (cs.hits + cs.misses).max(1);
+    let min = timings_ns.iter().min().copied().unwrap_or(0);
+    let max = timings_ns.iter().max().copied().unwrap_or(0);
+    let sum: u64 = timings_ns.iter().sum();
+    let mean = sum / timings_ns.len().max(1) as u64;
+    format!(
+        "{{\"figure\":\"cache-locality\",\"mix\":\"{}\",\"queries_run\":{total},\
+         \"threads\":{},\"mmap\":{},\"locality\":{:.3},\"budget_mb\":{},\
+         \"wall_ns\":{wall_ns},\
+         \"timings_ns\":{{\"count\":{},\"total\":{sum},\"min\":{min},\"max\":{max},\
+         \"mean\":{mean}}},\
+         \"exec\":{},\
+         \"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\"used_bytes\":{}}},\
+         \"metrics\":{}}}",
+        args.mix,
+        args.threads,
+        args.mmap,
+        args.locality,
+        args.budget_mb,
+        timings_ns.len(),
+        accum.to_json(),
+        cs.hits,
+        cs.misses,
+        cs.hits as f64 / probes as f64,
+        cache.used_bytes(),
+        metrics.to_json(),
+    )
 }

@@ -16,6 +16,7 @@ use crate::layout::{CachedData, Layout};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use vida_trace::global_metrics;
 use vida_types::sync::RwLock;
 
 /// Identifies one cached column replica.
@@ -179,10 +180,12 @@ impl CacheManager {
             Some(e) => {
                 e.last_used.store(self.tick(), Ordering::Relaxed);
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                global_metrics().cache_hits.inc();
                 Some(Arc::clone(&e.data))
             }
             None => {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                global_metrics().cache_misses.inc();
                 None
             }
         }
@@ -202,10 +205,12 @@ impl CacheManager {
             if let Some(e) = entries.get(&key) {
                 e.last_used.store(self.tick(), Ordering::Relaxed);
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                global_metrics().cache_hits.inc();
                 return Some((layout, Arc::clone(&e.data)));
             }
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        global_metrics().cache_misses.inc();
         None
     }
 
@@ -256,12 +261,16 @@ impl CacheManager {
                     let e = entries.remove(&k).expect("victim exists");
                     self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
                     self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    global_metrics().cache_evictions.inc();
                 }
                 None => break,
             }
         }
         self.used_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        let metrics = global_metrics();
+        metrics.cache_insertions.inc();
+        metrics.cache_replica_bytes.record(bytes as u64);
         entries.insert(
             key,
             Entry {
@@ -322,6 +331,7 @@ impl CacheManager {
         self.stats
             .invalidations
             .fetch_add(stale.len() as u64, Ordering::Relaxed);
+        global_metrics().cache_invalidations.add(stale.len() as u64);
         stale.len()
     }
 
@@ -340,6 +350,7 @@ impl CacheManager {
         self.stats
             .invalidations
             .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        global_metrics().cache_invalidations.add(keys.len() as u64);
         keys.len()
     }
 
@@ -402,6 +413,26 @@ mod tests {
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
         assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn operations_feed_the_global_metrics_registry() {
+        // The registry is process-global and shared with every other test,
+        // so assert on deltas only.
+        let before = global_metrics().snapshot();
+        let m = CacheManager::new(1 << 20);
+        let key = CacheKey::new("MetricsWiring", "age", Layout::Values);
+        assert!(m.get(&key).is_none());
+        assert!(m.put(key.clone(), col(10), (1, 1)));
+        assert!(m.get(&key).is_some());
+        m.invalidate_dataset("MetricsWiring");
+        let delta = global_metrics().snapshot().since(&before);
+        assert!(delta.cache_hits >= 1);
+        assert!(delta.cache_misses >= 1);
+        assert!(delta.cache_insertions >= 1);
+        assert!(delta.cache_invalidations >= 1);
+        assert!(delta.cache_replica_bytes.count() >= 1);
+        assert!(delta.cache_replica_bytes.sum >= col(10).approx_bytes() as u64);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub use vida_lang::{eval, parse, typecheck, Bindings, Expr, TypeEnv};
 pub use vida_optimizer::{CostModel, CostModelConfig, FieldObservation, Optimizer, Pass};
 pub use vida_parallel::{MorselPlan, WorkerPool};
 pub use vida_sql::sql_to_comprehension;
+pub use vida_trace::{chrome_trace_json, global_metrics, MetricsRegistry, QueryTrace};
 pub use vida_types::{Monoid, Result, Schema, Type, Value, VidaError};
 
 /// Lower crates, for callers that need the full module paths.
@@ -43,6 +44,7 @@ pub use vida_lang as lang;
 pub use vida_optimizer as optimizer;
 pub use vida_parallel as parallel;
 pub use vida_sql as sql;
+pub use vida_trace as trace;
 pub use vida_types as types;
 
 #[cfg(test)]

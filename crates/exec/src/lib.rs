@@ -29,4 +29,5 @@ pub use catalog::{MemoryCatalog, SourceProvider};
 pub use output::OutputFormat;
 pub use pipeline::{run_jit, run_jit_with_stats, JitOptions};
 pub use stats::ExecStats;
+pub use vida_trace::{chrome_trace_json, global_metrics, stage, QueryTrace};
 pub use volcano::run_volcano;

@@ -91,7 +91,8 @@ use vida_jit::frame::{decode_output, StringInterner};
 use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SelectKernel, SlotType};
 use vida_lang::{eval, BinOp, Bindings, Expr, Qualifier};
 use vida_optimizer::{CostModel, FieldObservation};
-use vida_parallel::{partition_of, plan_scan, radix, MorselPlan, WorkerPool};
+use vida_parallel::{partition_of, plan_scan, radix, MorselPlan, WorkerPool, DEFAULT_MORSEL_UNITS};
+use vida_trace::{stage, QueryTrace};
 use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Result, Type, Value, VidaError};
 
 /// Options controlling pipeline generation.
@@ -170,6 +171,13 @@ pub struct JitOptions {
     /// it pays for; the `streaming_fusion` bench uses it to measure what
     /// fusion buys.
     pub materialize_stages: bool,
+    /// Record a per-query span trace (opt-in observability): nested stage
+    /// spans on the coordinator track, per-morsel spans on worker tracks,
+    /// and per-kernel invocation counts, all collected into
+    /// `ExecStats::trace`. Export with [`vida_trace::chrome_trace_json`] or
+    /// render with `QueryTrace::explain_analyze`. Off (the default) the
+    /// tracing hooks compile to single `Option` checks.
+    pub trace: bool,
 }
 
 impl Default for JitOptions {
@@ -182,6 +190,7 @@ impl Default for JitOptions {
             morsel_rows: 0,
             clamp_threads: true,
             materialize_stages: false,
+            trace: false,
         }
     }
 }
@@ -211,6 +220,12 @@ impl JitOptions {
             threads,
             ..JitOptions::default()
         }
+    }
+
+    /// Enable per-query span tracing on these options.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Effective worker count: `0` normalizes to 1, and (unless
@@ -268,7 +283,11 @@ pub fn run_jit_with_stats(
     catalog: &dyn SourceProvider,
     opts: &JitOptions,
 ) -> Result<(Value, ExecStats)> {
-    let mut stats = ExecStats::default();
+    let mut stats = ExecStats {
+        queries: 1,
+        trace: opts.trace.then(|| Box::new(QueryTrace::start())),
+        ..Default::default()
+    };
     let t0 = Instant::now();
     let pipeline = match PipelineBuilder::new(catalog, opts, &mut stats).build(plan)? {
         Some(p) => p,
@@ -284,6 +303,11 @@ pub fn run_jit_with_stats(
     let value = pipeline.execute(&mut stats)?;
     stats.execution = t1.elapsed();
     stats.served_from_cache = stats.raw_columns == 0 && stats.cached_columns > 0;
+    stats.queries_served_from_cache = stats.served_from_cache as u32;
+    if let Some(trace) = stats.query_trace() {
+        let hits: u64 = trace.kernel_invocations().iter().sum();
+        vida_trace::global_metrics().kernel_invocations.add(hits);
+    }
     Ok((value, stats))
 }
 
@@ -758,12 +782,16 @@ impl<'a> PipelineBuilder<'a> {
         // Bushy join trees rotate into left-deep chains before shape
         // analysis (inner join predicates fuse into the outer join, result
         // and tuple order preserved).
+        self.stats.span_begin(stage::LOWER);
         let (input, rotations) = left_deepen(input);
-        let Some(shape) = Shape::of(&input) else {
+        let shape = Shape::of(&input);
+        self.stats.span_end();
+        let Some(shape) = shape else {
             return Ok(None);
         };
 
         // Touched paths, grouped per scanned binding.
+        self.stats.span_begin(stage::CODEGEN);
         let mut exprs: Vec<&Expr> = Vec::new();
         shape.exprs(&mut exprs);
         exprs.push(head);
@@ -827,8 +855,10 @@ impl<'a> PipelineBuilder<'a> {
             &mut join_cursor,
         )?
         else {
+            self.stats.span_end();
             return Ok(None);
         };
+        self.stats.span_end();
         // Stage counters only after the whole tree assembled: a parent join
         // can still bail (interpret_only), and a counted stage that never
         // executes would break the "counter > 0 == stage ran" contract the
@@ -874,9 +904,11 @@ impl<'a> PipelineBuilder<'a> {
                 fused_selects: None,
             });
         }
+        self.stats.span_begin(stage::CODEGEN);
         self.attach_selects(&mut sources, &shape, &layout, &mut interner)?;
 
         let head_plan = self.plan_head(*monoid, head, &layout, &mut interner);
+        self.stats.span_end();
 
         // Base environment: datasets referenced by nested comprehensions
         // (shared helper with the Volcano engine).
@@ -1035,6 +1067,12 @@ impl<'a> PipelineBuilder<'a> {
         let mut missing: Vec<usize> = Vec::new(); // positions into `touched`
 
         if let Some(cache) = &self.opts.cache {
+            // Probe span counts replica-served work: one "tuple" per
+            // rehydrated row, one "morsel" per served column. The same
+            // counts at every thread count — the parallel decode's worker
+            // sub-spans are timing-only.
+            self.stats.span_begin(stage::CACHE_PROBE);
+            let mut served = 0u64;
             cache.invalidate_stale(dataset, fingerprint);
             let pressure = cache_pressure(cache);
             for (i, &col) in touched.iter().enumerate() {
@@ -1050,15 +1088,26 @@ impl<'a> PipelineBuilder<'a> {
                         let vals = self.decode_replica(plugin, col, &data, nrows)?;
                         out[i] = Some(Arc::new(vals));
                         self.stats.cached_columns += 1;
+                        served += 1;
                     }
                     _ => missing.push(i),
                 }
             }
+            self.stats.span_end_counted(served * nrows as u64, served);
         } else {
             missing = (0..touched.len()).collect();
         }
 
         if !missing.is_empty() {
+            self.stats.span_begin(stage::SCAN);
+            // Morsel count mirrors what the parallel scan dispatches, so the
+            // scan span aggregates identically at every thread count (the
+            // plan depends only on the data). Computed only when tracing.
+            let scan_morsels = if self.stats.trace.is_some() {
+                plan_scan(plugin.as_ref(), self.opts.morsel_rows).len() as u64
+            } else {
+                0
+            };
             let cols: Vec<usize> = missing.iter().map(|&i| touched[i]).collect();
             let read = if self.opts.effective_threads() > 1 {
                 self.scan_columns_parallel(plugin, &cols)?
@@ -1072,6 +1121,7 @@ impl<'a> PipelineBuilder<'a> {
                 })?;
                 read
             };
+            self.stats.span_end_counted(nrows as u64, scan_morsels);
             for (&i, col_vals) in missing.iter().zip(read) {
                 let field = &schema.fields()[touched[i]].name;
                 // Without a model, keep the legacy eager-Values put. With
@@ -1121,20 +1171,39 @@ impl<'a> PipelineBuilder<'a> {
         if threads > 1 && nrows > 1 {
             let plan = MorselPlan::fixed(nrows, self.opts.morsel_rows);
             self.stats.morsels += plan.len() as u64;
+            let epoch = self.stats.trace_epoch();
             let pool = WorkerPool::new(threads);
             let chunks = pool.run_morsels(
                 plan.len(),
-                |_| (),
-                |_, m| {
+                |w| w,
+                |w, m| {
+                    // Timing-only worker sub-spans: the coordinator's probe
+                    // span carries the counts, so aggregates stay identical
+                    // to a serial decode.
+                    let mut wt = epoch.map(|e| {
+                        let mut t = QueryTrace::with_epoch(*w as u32 + 1, e);
+                        t.begin(stage::CACHE_PROBE);
+                        t
+                    });
                     let range = plan.range(m);
                     let mut chunk = Vec::with_capacity(range.len());
                     for r in range {
                         chunk.push(decode_row(r)?);
                     }
-                    Ok::<_, VidaError>(chunk)
+                    if let Some(t) = wt.as_mut() {
+                        t.end_counted(0, 0);
+                    }
+                    Ok::<_, VidaError>((chunk, wt))
                 },
             )?;
-            Ok(chunks.into_iter().flatten().collect())
+            let mut out = Vec::with_capacity(nrows);
+            for (chunk, wt) in chunks {
+                if let (Some(mine), Some(wt)) = (self.stats.trace.as_deref_mut(), wt) {
+                    mine.absorb(wt);
+                }
+                out.extend(chunk);
+            }
+            Ok(out)
         } else {
             (0..nrows).map(decode_row).collect()
         }
@@ -1157,6 +1226,8 @@ impl<'a> PipelineBuilder<'a> {
         let (Some(cache), Some(model)) = (&self.opts.cache, &self.opts.cost_model) else {
             return Ok(());
         };
+        self.stats.span_begin(stage::REPLICA_SYNC);
+        let written_before = self.stats.replicas_written;
         model.set_budget_bytes(cache.budget_bytes() as u64);
         let schema = plugin.schema();
         for (i, &col) in touched.iter().enumerate() {
@@ -1206,6 +1277,8 @@ impl<'a> PipelineBuilder<'a> {
                 }
             }
         }
+        let written = (self.stats.replicas_written - written_before) as u64;
+        self.stats.span_end_counted(written, 0);
         Ok(())
     }
 
@@ -1245,11 +1318,19 @@ impl<'a> PipelineBuilder<'a> {
         cols: &[usize],
     ) -> Result<Vec<Vec<Value>>> {
         let plan = plan_scan(plugin.as_ref(), self.opts.morsel_rows);
+        let epoch = self.stats.trace_epoch();
         let pool = WorkerPool::new(self.opts.effective_threads());
         let chunks = pool.run_morsels(
             plan.len(),
-            |_| (),
-            |_, m| {
+            |w| w,
+            |w, m| {
+                // Timing-only worker sub-spans (counts live on the
+                // coordinator's scan span — see materialize_columns).
+                let mut wt = epoch.map(|e| {
+                    let mut t = QueryTrace::with_epoch(*w as u32 + 1, e);
+                    t.begin(stage::SCAN);
+                    t
+                });
                 let range = plan.range(m);
                 let mut chunk: Vec<Vec<Value>> = vec![Vec::with_capacity(range.len()); cols.len()];
                 plugin.scan_project_range(cols, range, &mut |_, vals| {
@@ -1258,12 +1339,18 @@ impl<'a> PipelineBuilder<'a> {
                     }
                     Ok(())
                 })?;
-                Ok::<_, VidaError>(chunk)
+                if let Some(t) = wt.as_mut() {
+                    t.end_counted(0, 0);
+                }
+                Ok::<_, VidaError>((chunk, wt))
             },
         )?;
         self.stats.morsels += plan.len() as u64;
         let mut out: Vec<Vec<Value>> = vec![Vec::with_capacity(plan.units()); cols.len()];
-        for chunk in chunks {
+        for (chunk, wt) in chunks {
+            if let (Some(mine), Some(wt)) = (self.stats.trace.as_deref_mut(), wt) {
+                mine.absorb(wt);
+            }
             for (o, c) in out.iter_mut().zip(chunk) {
                 o.extend(c);
             }
@@ -1281,7 +1368,11 @@ impl<'a> PipelineBuilder<'a> {
         if !self.opts.interpret_only
             && JitCompiler::try_prepare(predicate, layout) == Some(SlotType::Bool)
         {
-            let k = JitCompiler::new()?.compile(predicate, layout, interner)?;
+            // Kernel ids are the query's dense compile order — the trace
+            // layer's per-kernel invocation index.
+            let k = JitCompiler::new()?
+                .compile(predicate, layout, interner)?
+                .with_id(self.stats.kernels_compiled);
             self.stats.kernels_compiled += 1;
             return Ok(Step::Kernel(k, predicate.clone()));
         }
@@ -1375,10 +1466,12 @@ impl<'a> PipelineBuilder<'a> {
                             _ => None, // incomparable key types
                         };
                         if let Some(float_keys) = float_keys {
-                            let left_key =
-                                JitCompiler::new()?.compile(&lk_expr, layout, interner)?;
-                            let right_key =
-                                JitCompiler::new()?.compile(&rk_expr, layout, interner)?;
+                            let left_key = JitCompiler::new()?
+                                .compile(&lk_expr, layout, interner)?
+                                .with_id(self.stats.kernels_compiled);
+                            let right_key = JitCompiler::new()?
+                                .compile(&rk_expr, layout, interner)?
+                                .with_id(self.stats.kernels_compiled + 1);
                             self.stats.kernels_compiled += 2;
                             return Ok(Some(Node::HashJoin {
                                 left: Box::new(lnode),
@@ -1408,10 +1501,12 @@ impl<'a> PipelineBuilder<'a> {
                     ) {
                         if numeric(lt) && numeric(rt) {
                             let float_keys = lt == SlotType::Float || rt == SlotType::Float;
-                            let left_key =
-                                JitCompiler::new()?.compile(&lk_expr, layout, interner)?;
-                            let right_key =
-                                JitCompiler::new()?.compile(&rk_expr, layout, interner)?;
+                            let left_key = JitCompiler::new()?
+                                .compile(&lk_expr, layout, interner)?
+                                .with_id(self.stats.kernels_compiled);
+                            let right_key = JitCompiler::new()?
+                                .compile(&rk_expr, layout, interner)?
+                                .with_id(self.stats.kernels_compiled + 1);
                             self.stats.kernels_compiled += 2;
                             band = Some(Band {
                                 left_key,
@@ -1504,6 +1599,7 @@ impl<'a> PipelineBuilder<'a> {
         if !self.opts.interpret_only {
             if JitCompiler::try_prepare(head, layout).is_some() {
                 if let Ok(k) = JitCompiler::new().and_then(|c| c.compile(head, layout, interner)) {
+                    let k = k.with_id(self.stats.kernels_compiled);
                     self.stats.kernels_compiled += 1;
                     return HeadPlan::Kernel(k, head.clone());
                 }
@@ -1518,7 +1614,10 @@ impl<'a> PipelineBuilder<'a> {
                     let mut ok = true;
                     for (n, e) in fields {
                         match JitCompiler::new().and_then(|c| c.compile(e, layout, interner)) {
-                            Ok(k) => ks.push((n.clone(), k)),
+                            Ok(k) => {
+                                let id = self.stats.kernels_compiled + ks.len() as u32;
+                                ks.push((n.clone(), k.with_id(id)));
+                            }
                             Err(_) => {
                                 ok = false;
                                 break;
@@ -1557,11 +1656,35 @@ impl Pipeline {
         // Serial push loop: prepare the pipeline breakers (join build
         // sides), then drive every leftmost-scan row through the fused
         // stage chain straight into the fold — no intermediate Vec<Tuple>.
+        let joins = has_join(&self.root);
+        if joins {
+            stats.span_begin(stage::BUILD_SIDE);
+        }
         let builds = self.prepare_builds(None, stats)?;
+        if joins {
+            stats.span_end();
+        }
         let nrows = self.sources[leftmost_source(&self.root)].nrows;
-        self.fold_stream(stats, |stats, sink| {
-            self.drive(&self.root, 0..nrows, &builds, stats, sink)
-        })
+        let dstage = drive_stage(&self.root);
+        stats.span_begin(stage::FOLD);
+        let value = self.fold_stream(stats, |stats, sink| {
+            if stats.trace.is_none() {
+                return self.drive(&self.root, 0..nrows, &builds, stats, sink);
+            }
+            // Traced drive: count pushed tuples through a wrapping sink and
+            // report the morsel count the parallel grid would dispatch, so
+            // the span aggregates identically at every thread count.
+            stats.span_begin(dstage);
+            let mut pushed = 0u64;
+            let r = self.drive(&self.root, 0..nrows, &builds, stats, &mut |stats, t| {
+                pushed += 1;
+                sink(stats, t)
+            });
+            stats.span_end_counted(pushed, morsel_count(nrows, self.morsel_rows));
+            r
+        })?;
+        stats.span_end();
+        Ok(value)
     }
 
     /// The serial fold: `produce` pushes every surviving tuple into the
@@ -1613,12 +1736,22 @@ impl Pipeline {
     fn head_value(&self, t: &Tuple, stats: &mut ExecStats) -> Result<Value> {
         match &self.head {
             HeadPlan::CountOnly => Ok(Value::Int(1)),
-            HeadPlan::Kernel(k, _) if t.valid => Ok(self.decode(k, &t.frame)),
-            HeadPlan::RecordKernels(ks, _) if t.valid => Ok(Value::Record(
-                ks.iter()
-                    .map(|(n, k)| (n.clone(), self.decode(k, &t.frame)))
-                    .collect(),
-            )),
+            HeadPlan::Kernel(k, _) if t.valid => {
+                stats.kernel_hit(k.id());
+                Ok(self.decode(k, &t.frame))
+            }
+            HeadPlan::RecordKernels(ks, _) if t.valid => {
+                if stats.trace.is_some() {
+                    for (_, k) in ks {
+                        stats.kernel_hit(k.id());
+                    }
+                }
+                Ok(Value::Record(
+                    ks.iter()
+                        .map(|(n, k)| (n.clone(), self.decode(k, &t.frame)))
+                        .collect(),
+                ))
+            }
             other => {
                 // Interpreted head, or a compiled head over a tuple whose
                 // frame could not encode (nulls): exact interpreter
@@ -1676,6 +1809,7 @@ impl Pipeline {
     ) -> Result<bool> {
         if let Step::Kernel(k, _) = step {
             if t.valid {
+                stats.kernel_hit(k.id());
                 return Ok(k.call_bool(&t.frame));
             }
         }
@@ -1720,6 +1854,14 @@ impl Pipeline {
             };
             if valid {
                 if let Some(fused) = &s.fused_selects {
+                    if stats.trace.is_some() {
+                        // Attribute one hit per chained kernel — admit()
+                        // short-circuits, so this over-counts rejected
+                        // tails slightly; close enough for a hotness rank.
+                        for id in fused.kernel_ids() {
+                            stats.kernel_hit(id);
+                        }
+                    }
                     if fused.admit(&t.frame) {
                         sink(stats, t)?;
                     }
@@ -1790,6 +1932,9 @@ impl Pipeline {
                 let jb = &builds[*build];
                 let rslots = &self.sources[*right].slots;
                 self.drive(left, range, builds, stats, &mut |stats, lt| {
+                    if lt.valid {
+                        stats.kernel_hit(left_key.id());
+                    }
                     let candidates = jb.hash_candidates(&lt, left_key, *left_key_ty, *float_keys);
                     self.probe_pairs(
                         &lt,
@@ -1814,6 +1959,11 @@ impl Pipeline {
                 let jb = &builds[*build];
                 let rslots = &self.sources[*right].slots;
                 self.drive(left, range, builds, stats, &mut |stats, lt| {
+                    if let Some(b) = band {
+                        if lt.valid && jb.index.is_some() {
+                            stats.kernel_hit(b.left_key.id());
+                        }
+                    }
                     let candidates = theta_candidates(&lt, band.as_ref(), jb.index.as_ref());
                     self.probe_pairs(
                         &lt,
@@ -1890,6 +2040,14 @@ impl Pipeline {
             } => {
                 self.prepare_builds_node(left, pool, stats, builds)?;
                 let right_tuples = self.build_side_tuples(*right, pool, stats)?;
+                if let Some(b) = band {
+                    if stats.trace.is_some() {
+                        // BandIndex::build invokes the band key kernel once
+                        // per valid build tuple.
+                        let n = right_tuples.iter().filter(|t| t.valid).count() as u64;
+                        stats.kernel_hits(b.right_key.id(), n);
+                    }
+                }
                 let index = band.as_ref().map(|b| BandIndex::build(b, &right_tuples));
                 debug_assert_eq!(builds.len(), *build);
                 builds.push(JoinBuild::theta(right_tuples, index));
@@ -1908,7 +2066,15 @@ impl Pipeline {
     ) -> Result<Vec<Tuple>> {
         match pool {
             Some(pool) => self.source_tuples_parallel(idx, pool, stats),
-            None => self.source_tuples_range(idx, 0..self.sources[idx].nrows, stats),
+            None => {
+                // The serial build scan carries the same counts the
+                // parallel per-morsel worker spans sum to.
+                let nrows = self.sources[idx].nrows;
+                stats.span_begin(stage::BUILD_SIDE);
+                let out = self.source_tuples_range(idx, 0..nrows, stats)?;
+                stats.span_end_counted(out.len() as u64, morsel_count(nrows, self.morsel_rows));
+                Ok(out)
+            }
         }
     }
 
@@ -2178,6 +2344,12 @@ impl JoinBuild {
         let partitions = radix::partition_count(right_tuples.len());
         let all = (0..right_tuples.len()).collect();
         let key_of = |t: &Tuple| encode_key(right_key.call(&t.frame), right_key_ty, float_keys);
+        if stats.trace.is_some() {
+            // The build extracts the key of every valid tuple exactly once,
+            // serial or parallel.
+            let n = right_tuples.iter().filter(|t| t.valid).count() as u64;
+            stats.kernel_hits(right_key.id(), n);
+        }
         match pool {
             Some(pool) if pool.threads() > 1 => {
                 // Phase 1: workers pre-split key bits by partition,
@@ -2303,6 +2475,47 @@ fn leftmost_source(node: &Node) -> usize {
         Node::HashJoin { left, .. } | Node::ThetaJoin { left, .. } => leftmost_source(left),
         Node::Unnest { input, .. } => leftmost_source(input),
     }
+}
+
+/// Whether the pipeline tree contains any join (and therefore a build
+/// side worth its own trace span).
+fn has_join(node: &Node) -> bool {
+    match node {
+        Node::Source(_) => false,
+        Node::HashJoin { .. } | Node::ThetaJoin { .. } => true,
+        Node::Unnest { input, .. } => has_join(input),
+    }
+}
+
+/// Trace stage name of the drive loop: a probe when any join is fused into
+/// the push pipeline, otherwise a plain scan.
+fn drive_stage(node: &Node) -> &'static str {
+    if has_join(node) {
+        stage::PROBE
+    } else {
+        stage::SCAN
+    }
+}
+
+/// Morsel count the serial path reports for a `units`-row range, matching
+/// `MorselPlan::fixed` so serial and parallel trace counters agree.
+fn morsel_count(units: usize, morsel_rows: usize) -> u64 {
+    let step = if morsel_rows == 0 {
+        DEFAULT_MORSEL_UNITS
+    } else {
+        morsel_rows
+    };
+    units.div_ceil(step) as u64
+}
+
+/// Scratch stats for one worker, carrying a trace buffer on the worker's
+/// own track (`worker + 1`; track 0 is the coordinator) when tracing.
+fn worker_stats(worker: usize, epoch: Option<Instant>) -> ExecStats {
+    let mut ws = ExecStats::default();
+    if let Some(e) = epoch {
+        ws.trace = Some(Box::new(QueryTrace::with_epoch(worker as u32 + 1, e)));
+    }
+    ws
 }
 
 /// Operator stages fused into the push loop (scan = 1, +1 per join probe
@@ -2447,33 +2660,45 @@ fn theta_candidates(
 impl Pipeline {
     fn execute_parallel(&self, stats: &mut ExecStats) -> Result<Value> {
         let pool = WorkerPool::new(self.threads);
+        let joins = has_join(&self.root);
+        if joins {
+            stats.span_begin(stage::BUILD_SIDE);
+        }
         let builds = self.prepare_builds(Some(&pool), stats)?;
+        if joins {
+            stats.span_end();
+        }
         let plan = MorselPlan::fixed(
             self.sources[leftmost_source(&self.root)].nrows,
             self.morsel_rows,
         );
         stats.morsels += plan.len() as u64;
+        let epoch = stats.trace_epoch();
+        let dstage = drive_stage(&self.root);
 
-        match self.monoid {
+        stats.span_begin(stage::FOLD);
+        let value = match self.monoid {
             Monoid::Collection(kind) => {
                 // Per-morsel head values, concatenated in morsel order:
                 // identical element sequence to the serial push loop, then
                 // one canonicalization.
                 let items = pool.fold_morsels(
                     plan.len(),
-                    |m| {
-                        let mut ws = ExecStats::default();
+                    |w, m| {
+                        let mut ws = worker_stats(w, epoch);
+                        ws.span_begin(dstage);
                         let mut items = Vec::new();
                         self.drive(&self.root, plan.range(m), &builds, &mut ws, &mut |ws, t| {
                             items.push(self.head_value(&t, ws)?);
                             Ok(())
                         })?;
+                        ws.span_end_counted(items.len() as u64, 1);
                         Ok::<_, VidaError>((items, ws))
                     },
                     Vec::new(),
                     |mut all, (chunk, ws)| {
                         all.extend(chunk);
-                        stats.absorb_worker(&ws);
+                        stats.absorb_worker(ws);
                         Ok(all)
                     },
                 )?;
@@ -2487,18 +2712,20 @@ impl Pipeline {
             {
                 let n = pool.fold_morsels(
                     plan.len(),
-                    |m| {
-                        let mut ws = ExecStats::default();
+                    |w, m| {
+                        let mut ws = worker_stats(w, epoch);
+                        ws.span_begin(dstage);
                         let mut n = 0i64;
                         self.drive(&self.root, plan.range(m), &builds, &mut ws, &mut |_, _| {
                             n += 1;
                             Ok(())
                         })?;
+                        ws.span_end_counted(n as u64, 1);
                         Ok::<_, VidaError>((n, ws))
                     },
                     0i64,
                     |acc, (n, ws)| {
-                        stats.absorb_worker(&ws);
+                        stats.absorb_worker(ws);
                         Ok(acc + n)
                     },
                 )?;
@@ -2509,9 +2736,11 @@ impl Pipeline {
                 // morsel order via the Monoid trait.
                 let accs = pool.fold_morsels(
                     plan.len(),
-                    |mi| {
-                        let mut ws = ExecStats::default();
+                    |w, mi| {
+                        let mut ws = worker_stats(w, epoch);
+                        ws.span_begin(dstage);
                         let mut acc = m.zero();
+                        let mut pushed = 0u64;
                         self.drive(
                             &self.root,
                             plan.range(mi),
@@ -2521,21 +2750,25 @@ impl Pipeline {
                                 let v = self.head_value(&t, ws)?;
                                 acc =
                                     m.merge(std::mem::replace(&mut acc, Value::Null), m.unit(v))?;
+                                pushed += 1;
                                 Ok(())
                             },
                         )?;
+                        ws.span_end_counted(pushed, 1);
                         Ok::<_, VidaError>((acc, ws))
                     },
                     Vec::with_capacity(plan.len()),
                     |mut accs, (acc, ws)| {
                         accs.push(acc);
-                        stats.absorb_worker(&ws);
+                        stats.absorb_worker(ws);
                         Ok(accs)
                     },
                 )?;
                 m.finalize(m.merge_partials(accs)?)
             }
-        }
+        }?;
+        stats.span_end();
+        Ok(value)
     }
 
     /// Morsel-parallel build-side scan: chunks concatenate in morsel order,
@@ -2548,17 +2781,20 @@ impl Pipeline {
     ) -> Result<Vec<Tuple>> {
         let plan = MorselPlan::fixed(self.sources[idx].nrows, self.morsel_rows);
         stats.morsels += plan.len() as u64;
+        let epoch = stats.trace_epoch();
         pool.fold_morsels(
             plan.len(),
-            |m| {
-                let mut ws = ExecStats::default();
+            |w, m| {
+                let mut ws = worker_stats(w, epoch);
+                ws.span_begin(stage::BUILD_SIDE);
                 let out = self.source_tuples_range(idx, plan.range(m), &mut ws)?;
+                ws.span_end_counted(out.len() as u64, 1);
                 Ok::<_, VidaError>((out, ws))
             },
             Vec::new(),
             |mut all, (chunk, ws)| {
                 all.extend(chunk);
-                stats.absorb_worker(&ws);
+                stats.absorb_worker(ws);
                 Ok(all)
             },
         )

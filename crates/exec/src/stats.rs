@@ -4,8 +4,14 @@
 //! workload served from caches (§6: ~80%), code-generation time (the paper
 //! notes LLVM keeps compilation "almost insignificant"; we report the
 //! Cranelift equivalent), and interpreted-fallback coverage.
+//!
+//! When `JitOptions::trace` is set, the stats struct also carries the
+//! query's [`QueryTrace`] span buffer; the `span_*`/`kernel_*` hooks below
+//! are the engine's only tracing entry points and compile to a single
+//! `Option` check when tracing is off.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use vida_trace::QueryTrace;
 
 /// Statistics for one query execution.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -27,7 +33,15 @@ pub struct ExecStats {
     pub raw_columns: u32,
     /// True when every scanned column came from caches — the unit of the
     /// paper's "80% of the workload was served using its data caches".
+    /// Under [`ExecStats::accumulate`] this is the AND over all queries;
+    /// the per-query tally lives in `queries_served_from_cache`.
     pub served_from_cache: bool,
+    /// Queries merged into this struct (1 after a single
+    /// `run_jit_with_stats`; summed by [`ExecStats::accumulate`]).
+    pub queries: u32,
+    /// Of those, queries whose every scanned column came from caches — the
+    /// numerator of the paper's §6 cache-served share.
+    pub queries_served_from_cache: u32,
     /// Worker threads used by the morsel-driven engine (1 = serial path).
     pub threads: u32,
     /// Morsels dispatched across all parallel phases of the query.
@@ -65,6 +79,10 @@ pub struct ExecStats {
     /// 0 when the query fell back wholesale or ran the legacy materializing
     /// path. [`ExecStats::accumulate`] keeps the maximum across queries.
     pub fused_stage_depth: u32,
+    /// The query's span buffer when `JitOptions::trace` was set; `None`
+    /// otherwise. Per-query — [`ExecStats::accumulate`] does not merge
+    /// traces (export each query's trace before accumulating).
+    pub trace: Option<Box<QueryTrace>>,
 }
 
 impl ExecStats {
@@ -75,6 +93,21 @@ impl ExecStats {
 
     /// Merge counters from another query (for workload-level reporting).
     pub fn accumulate(&mut self, other: &ExecStats) {
+        // Hand-built single-query stats may leave `queries` at 0; treat
+        // them as one query so the cache-served share stays well-defined.
+        let other_queries = other.queries.max(1);
+        let other_served = if other.queries == 0 {
+            other.served_from_cache as u32
+        } else {
+            other.queries_served_from_cache
+        };
+        self.served_from_cache = if self.queries == 0 {
+            other.served_from_cache
+        } else {
+            self.served_from_cache && other.served_from_cache
+        };
+        self.queries += other_queries;
+        self.queries_served_from_cache += other_served;
         self.codegen += other.codegen;
         self.execution += other.execution;
         self.kernels_compiled += other.kernels_compiled;
@@ -95,8 +128,10 @@ impl ExecStats {
     }
 
     /// Merge counters from one worker of a parallel phase (wall times are
-    /// measured by the coordinator, not summed across workers).
-    pub(crate) fn absorb_worker(&mut self, other: &ExecStats) {
+    /// measured by the coordinator, not summed across workers). Takes the
+    /// worker stats by value so the worker's span buffer can be absorbed
+    /// into the coordinator's trace without cloning.
+    pub(crate) fn absorb_worker(&mut self, other: ExecStats) {
         self.kernels_compiled += other.kernels_compiled;
         self.tuples_scanned += other.tuples_scanned;
         self.fallback_tuples += other.fallback_tuples;
@@ -104,6 +139,106 @@ impl ExecStats {
         self.raw_columns += other.raw_columns;
         self.morsels += other.morsels;
         self.operator_materializations += other.operator_materializations;
+        if let (Some(mine), Some(theirs)) = (self.trace.as_deref_mut(), other.trace) {
+            mine.absorb(*theirs);
+        }
+    }
+
+    /// The query's trace, when tracing was enabled.
+    pub fn query_trace(&self) -> Option<&QueryTrace> {
+        self.trace.as_deref()
+    }
+
+    /// The trace's shared time origin — hand it to worker-track buffers.
+    #[inline]
+    pub(crate) fn trace_epoch(&self) -> Option<Instant> {
+        self.trace.as_deref().map(QueryTrace::epoch)
+    }
+
+    /// Open a span on this stats' track (no-op when tracing is off).
+    #[inline]
+    pub(crate) fn span_begin(&mut self, stage: &'static str) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.begin(stage);
+        }
+    }
+
+    /// Close the innermost open span.
+    #[inline]
+    pub(crate) fn span_end(&mut self) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.end();
+        }
+    }
+
+    /// Close the innermost open span, attributing tuples and morsels.
+    #[inline]
+    pub(crate) fn span_end_counted(&mut self, tuples: u64, morsels: u64) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.end_counted(tuples, morsels);
+        }
+    }
+
+    /// Record one invocation of a compiled kernel (no-op when tracing is
+    /// off or the kernel was never tagged with an id).
+    #[inline]
+    pub(crate) fn kernel_hit(&mut self, id: u32) {
+        self.kernel_hits(id, 1);
+    }
+
+    /// Record `n` invocations of a compiled kernel.
+    #[inline]
+    pub(crate) fn kernel_hits(&mut self, id: u32, n: u64) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            // u32::MAX = CompiledKernel::UNASSIGNED (kernels outside the
+            // pipeline builder's dense numbering).
+            if id != u32::MAX {
+                t.kernel_hits(id, n);
+            }
+        }
+    }
+
+    /// Serialize every counter as a JSON object (hand-rolled — the
+    /// workspace has no serde; parseable by the repo's own JSON reader).
+    /// Durations are reported in nanoseconds. The trace buffer is not
+    /// included — export it via the Chrome-trace path instead.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        out.push_str(&format!("\"codegen_ns\":{},", self.codegen.as_nanos()));
+        out.push_str(&format!("\"execution_ns\":{},", self.execution.as_nanos()));
+        out.push_str(&format!("\"kernels_compiled\":{},", self.kernels_compiled));
+        out.push_str(&format!("\"tuples_scanned\":{},", self.tuples_scanned));
+        out.push_str(&format!("\"fallback_tuples\":{},", self.fallback_tuples));
+        out.push_str(&format!("\"cached_columns\":{},", self.cached_columns));
+        out.push_str(&format!("\"raw_columns\":{},", self.raw_columns));
+        out.push_str(&format!(
+            "\"served_from_cache\":{},",
+            self.served_from_cache
+        ));
+        out.push_str(&format!("\"queries\":{},", self.queries));
+        out.push_str(&format!(
+            "\"queries_served_from_cache\":{},",
+            self.queries_served_from_cache
+        ));
+        out.push_str(&format!("\"threads\":{},", self.threads));
+        out.push_str(&format!("\"morsels\":{},", self.morsels));
+        out.push_str(&format!("\"replicas_written\":{},", self.replicas_written));
+        out.push_str(&format!("\"replicas_dropped\":{},", self.replicas_dropped));
+        out.push_str(&format!("\"unnest_pipelines\":{},", self.unnest_pipelines));
+        out.push_str(&format!("\"theta_pipelines\":{},", self.theta_pipelines));
+        out.push_str(&format!("\"bushy_lowered\":{},", self.bushy_lowered));
+        out.push_str(&format!(
+            "\"whole_query_fallbacks\":{},",
+            self.whole_query_fallbacks
+        ));
+        out.push_str(&format!(
+            "\"operator_materializations\":{},",
+            self.operator_materializations
+        ));
+        out.push_str(&format!("\"fused_stage_depth\":{}", self.fused_stage_depth));
+        out.push('}');
+        out
     }
 }
 
@@ -122,6 +257,8 @@ mod tests {
             cached_columns: 3,
             raw_columns: 1,
             served_from_cache: false,
+            queries: 1,
+            queries_served_from_cache: 0,
             threads: 4,
             morsels: 8,
             replicas_written: 2,
@@ -132,6 +269,7 @@ mod tests {
             whole_query_fallbacks: 1,
             operator_materializations: 3,
             fused_stage_depth: 4,
+            trace: None,
         };
         assert_eq!(a.total(), Duration::from_micros(1000));
         let b = a.clone();
@@ -141,11 +279,105 @@ mod tests {
         assert_eq!(a.cached_columns, 6);
         assert_eq!(a.threads, 4); // max, not sum
         assert_eq!(a.morsels, 16);
+        assert_eq!(a.queries, 2);
         assert_eq!(a.unnest_pipelines, 2);
         assert_eq!(a.theta_pipelines, 4);
         assert_eq!(a.bushy_lowered, 2);
         assert_eq!(a.whole_query_fallbacks, 2);
         assert_eq!(a.operator_materializations, 6);
         assert_eq!(a.fused_stage_depth, 4); // max, not sum
+    }
+
+    #[test]
+    fn accumulate_tracks_cache_served_share() {
+        // Regression: `accumulate` used to drop `served_from_cache`
+        // entirely — a workload of all-cached queries reported whatever the
+        // accumulator was initialized with.
+        let cached = ExecStats {
+            served_from_cache: true,
+            queries: 1,
+            queries_served_from_cache: 1,
+            ..ExecStats::default()
+        };
+        let raw = ExecStats {
+            served_from_cache: false,
+            queries: 1,
+            queries_served_from_cache: 0,
+            ..ExecStats::default()
+        };
+
+        // All-cached workload: the AND stays true, the tally counts all.
+        let mut all = ExecStats::default();
+        all.accumulate(&cached);
+        all.accumulate(&cached);
+        assert!(all.served_from_cache);
+        assert_eq!(all.queries, 2);
+        assert_eq!(all.queries_served_from_cache, 2);
+
+        // Mixed workload: the AND drops to false, the tally keeps the share.
+        let mut mixed = ExecStats::default();
+        mixed.accumulate(&cached);
+        mixed.accumulate(&raw);
+        mixed.accumulate(&cached);
+        assert!(!mixed.served_from_cache);
+        assert_eq!(mixed.queries, 3);
+        assert_eq!(mixed.queries_served_from_cache, 2);
+
+        // Accumulating an accumulation keeps the tally (not the AND).
+        let mut top = ExecStats::default();
+        top.accumulate(&mixed);
+        top.accumulate(&cached);
+        assert_eq!(top.queries, 4);
+        assert_eq!(top.queries_served_from_cache, 3);
+    }
+
+    #[test]
+    fn accumulate_treats_bare_single_query_stats_as_one_query() {
+        // Stats straight out of a single run may leave `queries` at 0 if
+        // built by hand; the share math still counts them as one query.
+        let bare_cached = ExecStats {
+            served_from_cache: true,
+            ..ExecStats::default()
+        };
+        let mut accum = ExecStats::default();
+        accum.accumulate(&bare_cached);
+        assert!(accum.served_from_cache);
+        assert_eq!(accum.queries, 1);
+        assert_eq!(accum.queries_served_from_cache, 1);
+    }
+
+    #[test]
+    fn stats_json_is_balanced_and_complete() {
+        let stats = ExecStats {
+            tuples_scanned: 42,
+            served_from_cache: true,
+            ..ExecStats::default()
+        };
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"tuples_scanned\":42"));
+        assert!(json.contains("\"served_from_cache\":true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn absorb_worker_merges_trace_buffers() {
+        use vida_trace::{stage, QueryTrace};
+        let mut coord = ExecStats {
+            trace: Some(Box::new(QueryTrace::start())),
+            ..ExecStats::default()
+        };
+        let epoch = coord.trace_epoch().unwrap();
+        let mut worker = ExecStats::default();
+        let mut wt = QueryTrace::with_epoch(1, epoch);
+        wt.begin(stage::SCAN);
+        wt.end_counted(7, 1);
+        worker.trace = Some(Box::new(wt));
+        worker.tuples_scanned = 7;
+        coord.absorb_worker(worker);
+        let trace = coord.query_trace().unwrap();
+        assert_eq!(trace.spans().len(), 1);
+        assert_eq!(trace.spans()[0].tuples, 7);
+        assert_eq!(coord.tuples_scanned, 7);
     }
 }

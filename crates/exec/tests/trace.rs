@@ -1,0 +1,208 @@
+//! Trace-layer integration tests (PR 7): span nesting invariants, the
+//! thread-count invariance of aggregated trace counters, consistency of
+//! the per-stage tuple counts with `ExecStats`, and a Chrome-trace JSON
+//! round-trip through the repo's own JSON reader.
+//!
+//! Counts attach to whichever span level exists in *both* the serial and
+//! parallel paths (serial drive spans report the arithmetic morsel count
+//! of their range; parallel per-morsel worker spans report 1 each), so
+//! every aggregate asserted here must be identical at any worker count.
+
+mod common;
+
+use std::collections::BTreeMap;
+use vida_algebra::{lower, rewrite, Plan};
+use vida_exec::{run_jit_with_stats, ExecStats, JitOptions, QueryTrace};
+use vida_formats::json::parse_json;
+use vida_lang::parse;
+use vida_trace::{stage, Span};
+use vida_types::Value;
+
+const JOIN_COUNT: &str = "for { a <- A, b <- B, a.k = b.k } yield count a";
+const SCAN_BAG: &str = "for { a <- A, a.x != null, a.x < 15 } yield bag (k := a.k, s := a.s)";
+const UNNEST_SUM: &str = "for { n <- N, v <- n.xs, v > 1 } yield sum v";
+
+fn plan_of(q: &str) -> Plan {
+    rewrite(&lower(&parse(q).expect("parses")).expect("lowers"))
+}
+
+/// Run `q` with tracing on and `threads` workers (small morsels so even the
+/// 16-row fixtures split into several morsels per stage).
+fn traced(q: &str, threads: usize) -> (Value, ExecStats) {
+    let cat = common::owned_catalog();
+    let opts = JitOptions {
+        threads,
+        morsel_rows: 4,
+        clamp_threads: false,
+        ..JitOptions::default()
+    }
+    .with_trace();
+    run_jit_with_stats(&plan_of(q), &cat, &opts).expect("query runs")
+}
+
+/// Assert stack discipline per track: two spans on one track are either
+/// disjoint or one contains the other — never partially overlapping — and
+/// nothing is left open.
+fn assert_nesting(trace: &QueryTrace) {
+    assert_eq!(trace.open_spans(), 0, "spans left open");
+    let spans = trace.spans();
+    for track in trace.tracks() {
+        let own: Vec<&Span> = spans.iter().filter(|s| s.worker == track).collect();
+        for (i, a) in own.iter().enumerate() {
+            for b in own.iter().skip(i + 1) {
+                let overlap = a.start_ns.max(b.start_ns) < a.end_ns().min(b.end_ns());
+                if overlap {
+                    let a_holds_b = a.start_ns <= b.start_ns && b.end_ns() <= a.end_ns();
+                    let b_holds_a = b.start_ns <= a.start_ns && a.end_ns() <= b.end_ns();
+                    assert!(
+                        a_holds_b || b_holds_a,
+                        "track {track}: {:?} and {:?} partially overlap",
+                        a,
+                        b
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The aggregates that must not depend on the worker count: per-stage
+/// tuple/morsel sums plus the per-kernel invocation counts.
+fn invariants(trace: &QueryTrace) -> (BTreeMap<&'static str, (u64, u64)>, Vec<u64>) {
+    let stages = trace
+        .stage_totals()
+        .into_iter()
+        .map(|t| (t.stage, (t.tuples, t.morsels)))
+        .collect();
+    (stages, trace.kernel_invocations().to_vec())
+}
+
+#[test]
+fn tracing_is_opt_in() {
+    let cat = common::owned_catalog();
+    let (_, stats) =
+        run_jit_with_stats(&plan_of(JOIN_COUNT), &cat, &JitOptions::default()).unwrap();
+    assert!(stats.query_trace().is_none(), "default runs must not trace");
+}
+
+#[test]
+fn spans_nest_within_every_track() {
+    for q in [JOIN_COUNT, SCAN_BAG, UNNEST_SUM] {
+        for threads in [1, 4] {
+            let (_, stats) = traced(q, threads);
+            let trace = stats.query_trace().expect("trace recorded");
+            assert_nesting(trace);
+            assert!(trace.tracks().contains(&0), "coordinator track missing");
+        }
+    }
+}
+
+#[test]
+fn aggregated_counters_are_identical_at_any_worker_count() {
+    for q in [JOIN_COUNT, SCAN_BAG, UNNEST_SUM] {
+        let (value1, stats1) = traced(q, 1);
+        let baseline = invariants(stats1.query_trace().unwrap());
+        for threads in [2, 8] {
+            let (value, stats) = traced(q, threads);
+            assert_eq!(value, value1, "{q}: result diverged at {threads} threads");
+            let got = invariants(stats.query_trace().unwrap());
+            assert_eq!(
+                got, baseline,
+                "{q}: trace counters diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn stage_counts_agree_with_exec_stats() {
+    // Cold and cacheless, so every touched column is a raw scan: the scan
+    // stage must account for exactly `tuples_scanned`, and the probe stage
+    // for exactly the join's output cardinality.
+    for threads in [1, 4] {
+        let (value, stats) = traced(JOIN_COUNT, threads);
+        let trace = stats.query_trace().unwrap();
+        let totals = trace.stage_totals();
+        let scan = totals.iter().find(|t| t.stage == stage::SCAN).unwrap();
+        let probe = totals.iter().find(|t| t.stage == stage::PROBE).unwrap();
+        assert_eq!(scan.tuples, stats.tuples_scanned, "threads={threads}");
+        assert_eq!(Value::Int(probe.tuples as i64), value, "threads={threads}");
+        let build = totals
+            .iter()
+            .find(|t| t.stage == stage::BUILD_SIDE)
+            .unwrap();
+        assert!(build.tuples > 0, "build side saw no tuples");
+        for s in [stage::LOWER, stage::CODEGEN, stage::FOLD] {
+            assert!(totals.iter().any(|t| t.stage == s), "missing stage {s}");
+        }
+    }
+}
+
+#[test]
+fn kernel_invocations_are_recorded_per_kernel() {
+    let (_, stats) = traced(JOIN_COUNT, 1);
+    let trace = stats.query_trace().unwrap();
+    assert_eq!(
+        trace.kernel_invocations().len(),
+        stats.kernels_compiled as usize,
+        "every compiled kernel gets a dense invocation slot"
+    );
+    let (id, hits) = trace.hottest_kernel().expect("kernels ran");
+    assert!(hits > 0);
+    assert!((id as usize) < trace.kernel_invocations().len());
+}
+
+#[test]
+fn explain_analyze_renders_the_stage_tree() {
+    let (_, stats) = traced(JOIN_COUNT, 2);
+    let text = stats.query_trace().unwrap().explain_analyze();
+    assert!(text.starts_with("EXPLAIN ANALYZE"));
+    for s in ["lower", "codegen", "build_side", "probe", "fold"] {
+        assert!(text.contains(s), "missing {s} in:\n{text}");
+    }
+    assert!(text.contains("kernels:"));
+}
+
+#[test]
+fn chrome_json_round_trips_through_the_json_reader() {
+    let (_, stats) = traced(JOIN_COUNT, 4);
+    let trace = stats.query_trace().unwrap();
+    let json = trace.to_chrome_json();
+    let (value, end) = parse_json(json.as_bytes(), 0, "chrome-trace").expect("valid JSON");
+    assert!(
+        json.as_bytes()[end..]
+            .iter()
+            .all(|b| b.is_ascii_whitespace()),
+        "trailing bytes after the JSON document"
+    );
+    let Value::Record(fields) = value else {
+        panic!("top level must be an object");
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("traceEvents present");
+    let events = events.elements().expect("traceEvents is an array");
+    // One complete event per span plus per-track metadata events.
+    assert!(events.len() >= trace.spans().len());
+    let mut tids = Vec::new();
+    for e in events {
+        let Value::Record(ef) = e else {
+            panic!("every event is an object")
+        };
+        let ph = ef.iter().find(|(k, _)| k == "ph").map(|(_, v)| v);
+        assert!(ph.is_some(), "event without a phase");
+        if let Some((_, Value::Int(tid))) = ef.iter().find(|(k, _)| k == "tid") {
+            tids.push(*tid);
+        }
+    }
+    tids.sort_unstable();
+    tids.dedup();
+    for track in trace.tracks() {
+        assert!(
+            tids.contains(&(track as i64)),
+            "track {track} missing from the Chrome export"
+        );
+    }
+}

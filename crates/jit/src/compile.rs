@@ -34,9 +34,27 @@ type Kern = Box<dyn Fn(&[i64]) -> i64 + Send + Sync>;
 pub struct CompiledKernel {
     func: Arc<Kern>,
     output: KernelOutput,
+    id: u32,
 }
 
 impl CompiledKernel {
+    /// Id of a kernel that was never tagged with [`CompiledKernel::with_id`].
+    /// Trace consumers skip it — only pipeline-owned kernels get dense ids.
+    pub const UNASSIGNED: u32 = u32::MAX;
+
+    /// Tag this kernel with a query-dense id (assigned at compile time by
+    /// the pipeline builder; the hook per-kernel invocation counts key on).
+    pub fn with_id(mut self, id: u32) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// The kernel's id, or [`CompiledKernel::UNASSIGNED`].
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
     /// Run the kernel over a frame. The frame must match the layout the
     /// kernel was compiled against.
     #[inline]
@@ -95,6 +113,11 @@ impl SelectKernel {
     pub fn admit(&self, frame: &[i64]) -> bool {
         self.preds.iter().all(|k| k.call_bool(frame))
     }
+
+    /// Ids of the fused predicate kernels, in evaluation order.
+    pub fn kernel_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.preds.iter().map(CompiledKernel::id)
+    }
 }
 
 /// Per-query compiler.
@@ -132,6 +155,7 @@ impl JitCompiler {
         Ok(CompiledKernel {
             func: Arc::new(func),
             output,
+            id: CompiledKernel::UNASSIGNED,
         })
     }
 }

@@ -36,6 +36,7 @@ pub type KernelOutput = SlotType;
 pub struct CompiledKernel {
     func: extern "C" fn(*const i64) -> i64,
     output: KernelOutput,
+    id: u32,
     /// Keeps the JIT module (and thus the code pages) alive.
     _module: Arc<ModuleHolder>,
 }
@@ -49,6 +50,22 @@ unsafe impl Send for ModuleHolder {}
 unsafe impl Sync for ModuleHolder {}
 
 impl CompiledKernel {
+    /// Id of a kernel that was never tagged with [`CompiledKernel::with_id`].
+    pub const UNASSIGNED: u32 = u32::MAX;
+
+    /// Tag this kernel with a query-dense id (API parity with the portable
+    /// backend).
+    pub fn with_id(mut self, id: u32) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// The kernel's id, or [`CompiledKernel::UNASSIGNED`].
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
     /// Run the kernel over a frame. The frame must match the layout the
     /// kernel was compiled against.
     #[inline]
@@ -169,6 +186,7 @@ impl JitCompiler {
         Ok(CompiledKernel {
             func,
             output,
+            id: CompiledKernel::UNASSIGNED,
             _module: Arc::new(ModuleHolder(self.module)),
         })
     }

@@ -36,6 +36,6 @@ pub mod pool;
 pub mod radix;
 
 pub use dispatcher::plan_scan;
-pub use morsel::MorselPlan;
+pub use morsel::{MorselPlan, DEFAULT_MORSEL_UNITS};
 pub use pool::WorkerPool;
 pub use radix::{partition_count, partition_of};

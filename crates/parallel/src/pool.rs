@@ -12,6 +12,8 @@
 //! what makes downstream merges deterministic.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use vida_trace::global_metrics;
 use vida_types::sync::{CachePadded, Mutex};
 
 /// A pool of `threads` workers executing morsel runs.
@@ -69,16 +71,26 @@ impl WorkerPool {
         let failed = AtomicBool::new(false);
         let error: Mutex<Option<E>> = Mutex::new(None);
         let slots: Vec<Mutex<Option<R>>> = (0..morsels).map(|_| Mutex::new(None)).collect();
+        let spawned = self.threads.min(morsels);
+        // Per-worker claim counts, published at run end so the coordinator
+        // can report the claim spread (the steal-imbalance signal).
+        let claims: Vec<CachePadded<AtomicUsize>> = (0..spawned)
+            .map(|_| CachePadded::new(AtomicUsize::new(0)))
+            .collect();
 
         std::thread::scope(|scope| {
-            for worker in 0..self.threads.min(morsels) {
+            for worker in 0..spawned {
                 let cursor = &cursor;
                 let failed = &failed;
                 let error = &error;
                 let slots = &slots;
+                let claims = &claims;
                 let init = &init;
                 let work = &work;
                 scope.spawn(move || {
+                    let run_start = Instant::now();
+                    let mut busy = Duration::ZERO;
+                    let mut claimed = 0usize;
                     let mut scratch = init(worker);
                     loop {
                         if failed.load(Ordering::Relaxed) {
@@ -88,7 +100,11 @@ impl WorkerPool {
                         if m >= morsels {
                             break;
                         }
-                        match work(&mut scratch, m) {
+                        claimed += 1;
+                        let t0 = Instant::now();
+                        let result = work(&mut scratch, m);
+                        busy += t0.elapsed();
+                        match result {
                             Ok(r) => *slots[m].lock() = Some(r),
                             Err(e) => {
                                 failed.store(true, Ordering::Relaxed);
@@ -99,9 +115,26 @@ impl WorkerPool {
                             }
                         }
                     }
+                    // Busy = time inside work closures; idle = everything
+                    // else in the worker's lifetime (claim contention plus
+                    // the tail wait for slower siblings is charged to the
+                    // coordinator's scope join, not here).
+                    let metrics = global_metrics();
+                    metrics.worker_busy_ns.add(busy.as_nanos() as u64);
+                    metrics
+                        .worker_idle_ns
+                        .add(run_start.elapsed().saturating_sub(busy).as_nanos() as u64);
+                    metrics.worker_morsel_claims.record(claimed as u64);
+                    claims[worker].store(claimed, Ordering::Relaxed);
                 });
             }
         });
+
+        let metrics = global_metrics();
+        metrics.pool_runs.inc();
+        let counts = claims.iter().map(|c| c.load(Ordering::Relaxed));
+        let spread = counts.clone().max().unwrap_or(0) - counts.min().unwrap_or(0);
+        metrics.morsel_claim_spread.record(spread as u64);
 
         if let Some(e) = error.into_inner() {
             return Err(e);
@@ -115,11 +148,14 @@ impl WorkerPool {
     /// Run `work` per morsel and fold the partials into one accumulator
     /// **in morsel order** — the merge half of push-pipeline parallelism.
     ///
-    /// Workers race on morsel claims and may complete out of order, but the
-    /// fold the caller sees is always the serial left fold over
-    /// morsel-indexed partials, so the result is identical at every worker
-    /// count (the determinism contract). The merge runs on the caller after
-    /// all partials exist.
+    /// `work(worker, morsel)` also receives the executing worker's index
+    /// (`0..threads`), so callers can attribute per-morsel output — trace
+    /// spans, scratch stats — to the worker that produced it. Workers race
+    /// on morsel claims and may complete out of order, but the fold the
+    /// caller sees is always the serial left fold over morsel-indexed
+    /// partials, so the result is identical at every worker count (the
+    /// determinism contract). The merge runs on the caller after all
+    /// partials exist.
     pub fn fold_morsels<A, P, E, W, M>(
         &self,
         morsels: usize,
@@ -130,10 +166,10 @@ impl WorkerPool {
     where
         P: Send,
         E: Send,
-        W: Fn(usize) -> std::result::Result<P, E> + Sync,
+        W: Fn(usize, usize) -> std::result::Result<P, E> + Sync,
         M: FnMut(A, P) -> std::result::Result<A, E>,
     {
-        let partials = self.run_morsels(morsels, |_| (), |_, m| work(m))?;
+        let partials = self.run_morsels(morsels, |w| w, |w, m| work(*w, m))?;
         let mut acc = init;
         for p in partials {
             acc = merge(acc, p)?;
@@ -228,7 +264,7 @@ mod tests {
             let folded = pool
                 .fold_morsels(
                     32,
-                    |m| Ok::<_, ()>(format!("[{m}]")),
+                    |_, m| Ok::<_, ()>(format!("[{m}]")),
                     String::new(),
                     |mut acc, p| {
                         acc.push_str(&p);
@@ -245,11 +281,46 @@ mod tests {
         let pool = WorkerPool::new(4);
         let r = pool.fold_morsels(
             10,
-            |m| if m == 3 { Err("bad morsel") } else { Ok(m) },
+            |_, m| if m == 3 { Err("bad morsel") } else { Ok(m) },
             0usize,
             |acc, p| Ok(acc + p),
         );
         assert_eq!(r.unwrap_err(), "bad morsel");
+    }
+
+    #[test]
+    fn fold_morsels_reports_worker_indexes() {
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let workers = pool
+                .fold_morsels(
+                    64,
+                    |w, _| Ok::<_, ()>(w),
+                    Vec::new(),
+                    |mut acc, w| {
+                        acc.push(w);
+                        Ok(acc)
+                    },
+                )
+                .unwrap();
+            assert_eq!(workers.len(), 64);
+            assert!(workers.iter().all(|&w| w < threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_runs_meter_worker_time_and_claims() {
+        // Metrics are global and shared across concurrently-running tests,
+        // so assert on deltas, not absolutes.
+        let before = global_metrics().snapshot();
+        let pool = WorkerPool::new(2);
+        let out: Vec<usize> = pool.run_morsels(16, |_| (), |_, m| Ok::<_, ()>(m)).unwrap();
+        assert_eq!(out.len(), 16);
+        let delta = global_metrics().snapshot().since(&before);
+        assert!(delta.pool_runs >= 1);
+        // Both workers published a claim count, and all 16 claims landed.
+        assert!(delta.worker_morsel_claims.count() >= 2);
+        assert!(delta.worker_morsel_claims.sum >= 16);
     }
 
     #[test]

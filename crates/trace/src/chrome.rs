@@ -1,0 +1,126 @@
+//! Chrome trace-event JSON export, hand-rolled (the workspace has no
+//! serde). The output loads in Perfetto and `chrome://tracing`: complete
+//! (`"ph":"X"`) events with microsecond timestamps, one `tid` track per
+//! worker (tid 0 = the coordinator), and metadata events naming each
+//! track. Tuple/morsel counts ride in each event's `args`.
+
+use crate::span::QueryTrace;
+
+/// Escape a string for a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Export one or more query traces on a shared timeline. Each entry is
+/// `(offset_ns, trace)`: the trace's epoch expressed as nanoseconds from
+/// the timeline origin (0 for a single query; the per-query start offset
+/// when exporting a whole workload).
+pub fn chrome_trace_json(traces: &[(u64, &QueryTrace)]) -> String {
+    let micros = |ns: u64| ns as f64 / 1000.0;
+    let mut events: Vec<String> = Vec::new();
+    let mut tracks: Vec<u32> = Vec::new();
+    for (q, (offset_ns, trace)) in traces.iter().enumerate() {
+        for span in trace.spans() {
+            if !tracks.contains(&span.worker) {
+                tracks.push(span.worker);
+            }
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"query\",\"ph\":\"X\",\"ts\":{:.3},\
+                 \"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{{\"query\":{},\
+                 \"depth\":{},\"tuples\":{},\"morsels\":{}}}}}",
+                escape_json(span.stage),
+                micros(offset_ns + span.start_ns),
+                micros(span.dur_ns),
+                span.worker,
+                q,
+                span.depth,
+                span.tuples,
+                span.morsels,
+            ));
+        }
+    }
+    tracks.sort_unstable();
+    // Metadata events give each tid a human name and pin the track order.
+    for (sort, &tid) in tracks.iter().enumerate() {
+        let name = if tid == 0 {
+            "coordinator".to_string()
+        } else {
+            format!("worker {tid}")
+        };
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(&name)
+        ));
+        events.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"sort_index\":{sort}}}}}"
+        ));
+    }
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+         \"args\":{\"name\":\"vida\"}}"
+            .to_string(),
+    );
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::stage;
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn export_emits_one_track_per_worker() {
+        let mut coord = QueryTrace::start();
+        coord.begin(stage::FOLD);
+        let mut w1 = QueryTrace::with_epoch(1, coord.epoch());
+        w1.begin(stage::SCAN);
+        w1.end_counted(5, 1);
+        coord.end();
+        coord.absorb(w1);
+        let json = coord.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"fold\""));
+        assert!(json.contains("\"name\":\"scan\""));
+        assert!(json.contains("\"name\":\"coordinator\""));
+        assert!(json.contains("\"name\":\"worker 1\""));
+        assert!(json.contains("\"tuples\":5"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn workload_export_offsets_queries_on_one_timeline() {
+        let mut q0 = QueryTrace::start();
+        q0.begin(stage::SCAN);
+        q0.end();
+        let mut q1 = QueryTrace::start();
+        q1.begin(stage::SCAN);
+        q1.end();
+        let json = chrome_trace_json(&[(0, &q0), (1_000_000, &q1)]);
+        assert!(json.contains("\"query\":0"));
+        assert!(json.contains("\"query\":1"));
+    }
+}
