@@ -163,7 +163,7 @@ fn deepen(plan: &Plan, rotations: &mut u32) -> Plan {
 }
 
 /// Flatten an `And` chain into its conjuncts, dropping literal `true`.
-fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+pub fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
     match e {
         Expr::BinOp(vida_lang::BinOp::And, l, r) => {
             split_conjuncts(l, out);
@@ -175,7 +175,7 @@ fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
 }
 
 /// Conjunction of `conjuncts` (`true` when empty).
-fn conjoin_all(conjuncts: Vec<Expr>) -> Expr {
+pub fn conjoin_all(conjuncts: Vec<Expr>) -> Expr {
     conjuncts
         .into_iter()
         .reduce(|a, b| Expr::bin(vida_lang::BinOp::And, a, b))
@@ -500,6 +500,44 @@ mod tests {
             execute_plan(&deep, &env).unwrap(),
             execute_plan(&bushy, &env).unwrap()
         );
+    }
+
+    #[test]
+    fn left_deepen_never_reorders_bindings() {
+        // Regression pin for the `--no-plan-opt` baseline: `left_deepen`
+        // rotates bushy trees but NEVER reorders relations or picks a
+        // cheaper build side, no matter how misordered the plan is (a huge
+        // relation on the build side stays there). Cost-based reordering is
+        // vida-optimizer's `reorder_joins`, layered on top by the exec
+        // pipeline when `plan_opt` is enabled.
+        let scan = |d: &str, b: &str| Plan::Scan {
+            dataset: d.into(),
+            binding: b.into(),
+        };
+        // TinyDim ⋈ (HugeFact1 ⋈ HugeFact2): the worst possible order —
+        // both facts end up as build sides after rotation.
+        let bushy = Plan::Join {
+            left: Box::new(scan("TinyDim", "d")),
+            right: Box::new(Plan::Join {
+                left: Box::new(scan("HugeFact1", "f1")),
+                right: Box::new(scan("HugeFact2", "f2")),
+                predicate: parse("f1.k = f2.k").unwrap(),
+            }),
+            predicate: parse("d.k = f1.k").unwrap(),
+        };
+        let (deep, rotations) = left_deepen(&bushy);
+        assert_eq!(rotations, 1);
+        // Binding order is exactly the syntactic order: d, f1, f2.
+        assert_eq!(deep.bound_vars(), vec!["d", "f1", "f2"]);
+        // And a misordered two-way join is left fully untouched.
+        let two_way = Plan::Join {
+            left: Box::new(scan("TinyDim", "d")),
+            right: Box::new(scan("HugeFact1", "f")),
+            predicate: parse("d.k = f.k").unwrap(),
+        };
+        let (same, n) = left_deepen(&two_way);
+        assert_eq!(n, 0);
+        assert_eq!(same, two_way);
     }
 
     #[test]

@@ -18,7 +18,9 @@ use vida_formats::plugin::{CsvPlugin, JsonPlugin};
 use vida_formats::MapMode;
 use vida_optimizer::CostModel;
 use vida_trace::{chrome_trace_json, global_metrics, MetricsSnapshot, QueryTrace};
-use vida_workload::{generate, generate_nested_heavy, generate_scan_heavy, WorkloadConfig};
+use vida_workload::{
+    generate, generate_join_heavy, generate_nested_heavy, generate_scan_heavy, WorkloadConfig,
+};
 
 const USAGE: &str = "\
 reproduce — replay the ViDa (CIDR'15) experiments
@@ -49,10 +51,12 @@ OPTIONS:
     --queries N       number of workload queries to generate (default 200)
     --mix MIX         workload mix: 'hbp' (selections, joins, and
                       aggregates with the paper's locality skew; default),
-                      'scan-heavy' (full-column scans and folds), or
+                      'scan-heavy' (full-column scans and folds),
                       'nested' (unnests over nested JSON and non-equi
                       theta joins — the shapes the unnest/theta pipelines
-                      compile)
+                      compile), or 'join' (equi-join chains in bad
+                      syntactic order — the shapes the cost-based join
+                      reorder fixes)
     --locality F      fraction of selections drawn from the hot key range,
                       0.0..=1.0 (default 0.8 — the regime in which the
                       paper reports ~80% of queries served from caches)
@@ -60,6 +64,10 @@ OPTIONS:
                       the cost model toward compact replica layouts
     --no-cost-model   disable cost-model layout selection (every replica is
                       cached as parsed values, the pre-model behaviour)
+    --no-plan-opt     disable plan-level optimization (cost-based join
+                      reordering, build-side choice, and selectivity-
+                      ordered fused conjuncts): every plan runs in its
+                      syntactic order
     --no-mmap         read the raw inputs into owned buffers instead of
                       memory-mapping them (the escape hatch for filesystems
                       where mmap misbehaves; the default maps every input)
@@ -85,6 +93,7 @@ struct Args {
     locality: f64,
     budget_mb: usize,
     cost_model: bool,
+    plan_opt: bool,
     assert_fused: bool,
     mmap: bool,
     trace_out: Option<PathBuf>,
@@ -100,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
         locality: 0.8,
         budget_mb: 8,
         cost_model: true,
+        plan_opt: true,
         assert_fused: false,
         mmap: true,
         trace_out: None,
@@ -126,10 +136,10 @@ fn parse_args() -> Result<Args, String> {
             "--mix" => {
                 let m = iter
                     .next()
-                    .ok_or("--mix expects 'hbp', 'scan-heavy', or 'nested'")?;
-                if m != "hbp" && m != "scan-heavy" && m != "nested" {
+                    .ok_or("--mix expects 'hbp', 'scan-heavy', 'nested', or 'join'")?;
+                if m != "hbp" && m != "scan-heavy" && m != "nested" && m != "join" {
                     return Err(format!(
-                        "unknown mix '{m}' (use 'hbp', 'scan-heavy', or 'nested')"
+                        "unknown mix '{m}' (use 'hbp', 'scan-heavy', 'nested', or 'join')"
                     ));
                 }
                 args.mix = m.clone();
@@ -149,6 +159,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--budget-mb expects a positive integer")?;
             }
             "--no-cost-model" => args.cost_model = false,
+            "--no-plan-opt" => args.plan_opt = false,
             "--assert-fused" => args.assert_fused = true,
             "--no-mmap" => args.mmap = false,
             "--trace-out" => {
@@ -277,6 +288,7 @@ fn cache_locality(args: &Args) {
         cost_model: model.clone(),
         threads: args.threads,
         trace: args.trace_out.is_some(),
+        plan_opt: args.plan_opt,
         ..Default::default()
     };
     let config = WorkloadConfig {
@@ -287,6 +299,7 @@ fn cache_locality(args: &Args) {
     let queries = match args.mix.as_str() {
         "scan-heavy" => generate_scan_heavy(&config),
         "nested" => generate_nested_heavy(&config),
+        "join" => generate_join_heavy(&config),
         _ => generate(&config),
     };
 
@@ -367,6 +380,17 @@ fn cache_locality(args: &Args) {
         "streaming fusion:        {} operator materializations, max fused depth {}",
         accum.operator_materializations, accum.fused_stage_depth
     );
+    if args.plan_opt {
+        println!(
+            "plan optimizer:          {} joins reordered, {} conjuncts reordered, \
+             cardinality error {:.3}",
+            accum.joins_reordered,
+            accum.conjuncts_reordered,
+            accum.cardinality_error()
+        );
+    } else {
+        println!("plan optimizer:          off (--no-plan-opt)");
+    }
     println!(
         "cache hit rate:          {:.1}%",
         cache.stats().hit_rate() * 100.0

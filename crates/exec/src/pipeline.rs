@@ -83,7 +83,7 @@ use crate::volcano::run_volcano;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use vida_algebra::lower::{left_deepen, UNIT_DATASET};
+use vida_algebra::lower::{left_deepen, split_conjuncts, UNIT_DATASET};
 use vida_algebra::Plan;
 use vida_cache::{bson, CacheKey, CacheManager, CachedData, Layout};
 use vida_jit::compile::path_of;
@@ -178,6 +178,15 @@ pub struct JitOptions {
     /// render with `QueryTrace::explain_analyze`. Off (the default) the
     /// tracing hooks compile to single `Option` checks.
     pub trace: bool,
+    /// Cost-based plan optimization (default `true`; `--no-plan-opt` is the
+    /// escape hatch): join reordering + build-side choice by estimated
+    /// cardinality via `vida_optimizer::reorder_joins`, and selectivity-
+    /// ordered conjunct evaluation inside fused select kernels. Applied
+    /// only where provably result-invariant (order-insensitive monoids,
+    /// total-safe conjuncts — see the optimizer's `plan` module docs);
+    /// estimates come from catalog row counts plus the cost model's
+    /// distinct/selectivity sketches when one is attached.
+    pub plan_opt: bool,
 }
 
 impl Default for JitOptions {
@@ -191,6 +200,7 @@ impl Default for JitOptions {
             clamp_threads: true,
             materialize_stages: false,
             trace: false,
+            plan_opt: true,
         }
     }
 }
@@ -302,6 +312,11 @@ pub fn run_jit_with_stats(
     let t1 = Instant::now();
     let value = pipeline.execute(&mut stats)?;
     stats.execution = t1.elapsed();
+    // Pair the optimizer's estimate with the observed pipeline output so
+    // `cardinality_error` compares like with like after accumulation.
+    if stats.estimated_rows > 0 {
+        stats.estimated_rows_actual = stats.actual_rows;
+    }
     stats.served_from_cache = stats.raw_columns == 0 && stats.cached_columns > 0;
     stats.queries_served_from_cache = stats.served_from_cache as u32;
     if let Some(trace) = stats.query_trace() {
@@ -509,10 +524,16 @@ impl Shape {
             }
             Plan::Select { input, predicate } => {
                 let mut inner = Shape::of(input)?;
+                // Split `p1 and p2` into separate select steps: kernels
+                // compile per conjunct (so the plan optimizer can rank
+                // them) and the step chain short-circuits left-to-right
+                // exactly like the interpreter's `and`.
+                let mut conjuncts = Vec::new();
+                split_conjuncts(predicate, &mut conjuncts);
                 match &mut inner {
                     Shape::Scan { selects, .. }
                     | Shape::Join { selects, .. }
-                    | Shape::Unnest { selects, .. } => selects.push(predicate.clone()),
+                    | Shape::Unnest { selects, .. } => selects.extend(conjuncts),
                 }
                 Some(inner)
             }
@@ -747,6 +768,32 @@ struct SourceSpec {
     slot_meta: Vec<(usize, usize, SlotType)>,
 }
 
+/// Adapts the catalog + cost-model sketches to the optimizer's `PlanStats`:
+/// base cardinalities come from plugin unit counts (known without scanning
+/// — positional maps / semi-indexes are built at description time), and
+/// distinct counts / predicate selectivities from the sketches the pipeline
+/// feeds after each query. Without a cost model only base cardinalities are
+/// available, which still orders joins by relation size.
+struct CatalogEstimates<'a> {
+    catalog: &'a dyn SourceProvider,
+    model: Option<&'a CostModel>,
+}
+
+impl vida_optimizer::PlanStats for CatalogEstimates<'_> {
+    fn base_rows(&self, dataset: &str) -> Option<f64> {
+        let plugin = self.catalog.plugin(dataset).ok()?;
+        Some(plugin.num_units() as f64)
+    }
+
+    fn distinct(&self, dataset: &str, field: &str) -> Option<f64> {
+        self.model?.sketch().distinct(dataset, field)
+    }
+
+    fn predicate_selectivity(&self, predicate: &str) -> Option<f64> {
+        self.model?.sketch().predicate_selectivity(predicate)
+    }
+}
+
 struct PipelineBuilder<'a> {
     catalog: &'a dyn SourceProvider,
     opts: &'a JitOptions,
@@ -783,7 +830,31 @@ impl<'a> PipelineBuilder<'a> {
         // analysis (inner join predicates fuse into the outer join, result
         // and tuple order preserved).
         self.stats.span_begin(stage::LOWER);
-        let (input, rotations) = left_deepen(input);
+        let (mut input, rotations) = left_deepen(input);
+        // Cost-based join reordering (build-side choice rides along: the
+        // pipelines always build the right side of each join). Gated to
+        // order-insensitive monoids — `List`/`Bag`/`Array` results observe
+        // tuple order, so those plans keep their syntactic order. The
+        // optimizer itself declines anything it cannot prove
+        // result-invariant (see `vida_optimizer::plan`).
+        let mut reorder_report = None;
+        if self.opts.plan_opt
+            && !self.opts.interpret_only
+            && matches!(
+                monoid,
+                Monoid::Primitive(_) | Monoid::Collection(CollectionKind::Set)
+            )
+        {
+            let est = CatalogEstimates {
+                catalog: self.catalog,
+                model: self.opts.cost_model.as_deref(),
+            };
+            let (reordered, report) = vida_optimizer::reorder_joins(&input, &est);
+            if report.eligible {
+                input = reordered;
+                reorder_report = Some(report);
+            }
+        }
         let shape = Shape::of(&input);
         self.stats.span_end();
         let Some(shape) = shape else {
@@ -864,6 +935,10 @@ impl<'a> PipelineBuilder<'a> {
         // executes would break the "counter > 0 == stage ran" contract the
         // coverage tests rely on.
         self.stats.bushy_lowered += rotations;
+        if let Some(r) = reorder_report {
+            self.stats.joins_reordered += r.joins_reordered;
+            self.stats.estimated_rows += r.estimated_rows.round().max(1.0) as u64;
+        }
         count_stages(&root, self.stats);
 
         // The plan is JIT-able: materialize touched columns (cache-first)
@@ -906,6 +981,7 @@ impl<'a> PipelineBuilder<'a> {
         }
         self.stats.span_begin(stage::CODEGEN);
         self.attach_selects(&mut sources, &shape, &layout, &mut interner)?;
+        self.observe_select_stats(&sources, &shape);
 
         let head_plan = self.plan_head(*monoid, head, &layout, &mut interner);
         self.stats.span_end();
@@ -1233,6 +1309,9 @@ impl<'a> PipelineBuilder<'a> {
         for (i, &col) in touched.iter().enumerate() {
             let field = &schema.fields()[col].name;
             model.observe(dataset, field, observe_column(plugin, col, &columns[i]));
+            // Same hook feeds the plan optimizer's distinct sketch (inserts
+            // are idempotent, so re-scans don't drift the estimate).
+            model.sketch().observe_values(dataset, field, &columns[i]);
             let pressure = cache_pressure(cache);
             let mut chosen = model.choose_layout(dataset, field, pressure);
             let mut key = CacheKey::new(dataset, field.clone(), chosen);
@@ -1544,7 +1623,9 @@ impl<'a> PipelineBuilder<'a> {
     ) -> Result<()> {
         match shape {
             Shape::Scan {
-                binding, selects, ..
+                binding,
+                dataset,
+                selects,
             } => {
                 let src = sources
                     .iter_mut()
@@ -1568,7 +1649,26 @@ impl<'a> PipelineBuilder<'a> {
                         })
                         .collect();
                     if kernels.len() == src.selects.len() {
-                        src.fused_selects = Some(SelectKernel::new(kernels));
+                        // Compiled kernels are pure and total, so any
+                        // evaluation order admits the same frames — rank
+                        // cheapest-and-most-selective first when the plan
+                        // optimizer is on. The interpreted `src.selects`
+                        // path keeps syntactic order: interpreted conjuncts
+                        // can error, and error order is observable.
+                        let order = if self.opts.plan_opt && kernels.len() > 1 {
+                            let order =
+                                rank_conjuncts(selects, dataset, self.opts.cost_model.as_deref());
+                            self.stats.conjuncts_reordered += order
+                                .iter()
+                                .enumerate()
+                                .filter(|&(pos, &i)| pos != i)
+                                .count()
+                                as u32;
+                            order
+                        } else {
+                            (0..kernels.len()).collect()
+                        };
+                        src.fused_selects = Some(SelectKernel::with_order(kernels, &order));
                     }
                 }
                 Ok(())
@@ -1580,6 +1680,70 @@ impl<'a> PipelineBuilder<'a> {
             // Unnest selects were compiled onto the node in `assemble`
             // (they may reference the element binding).
             Shape::Unnest { input, .. } => self.attach_selects(sources, input, layout, interner),
+        }
+    }
+
+    /// Replay each scan-level conjunct over a small row sample and fold the
+    /// outcomes into the cost model's predicate counters — the selectivity
+    /// evidence behind conjunct ordering and join-order search on later
+    /// queries. Uses the reference interpreter, so the counters reflect the
+    /// engine's real predicate semantics (including null behavior); errors
+    /// and non-boolean results count as evaluations that did not pass.
+    fn observe_select_stats(&mut self, sources: &[Source], shape: &Shape) {
+        /// Sampled rows per scan — matches `observe_column`'s budget.
+        const SAMPLE_ROWS: usize = 64;
+        if !self.opts.plan_opt {
+            return;
+        }
+        let Some(model) = &self.opts.cost_model else {
+            return;
+        };
+        let mut scans: Vec<(&String, &Vec<Expr>)> = Vec::new();
+        fn collect<'s>(shape: &'s Shape, out: &mut Vec<(&'s String, &'s Vec<Expr>)>) {
+            match shape {
+                Shape::Scan {
+                    binding, selects, ..
+                } => {
+                    if !selects.is_empty() {
+                        out.push((binding, selects));
+                    }
+                }
+                Shape::Join { left, right, .. } => {
+                    collect(left, out);
+                    collect(right, out);
+                }
+                Shape::Unnest { input, .. } => collect(input, out),
+            }
+        }
+        collect(shape, &mut scans);
+        for (binding, selects) in scans {
+            let Some(src) = sources.iter().find(|s| &s.binding == binding) else {
+                continue;
+            };
+            let sample = src.nrows.min(SAMPLE_ROWS);
+            if sample == 0 {
+                continue;
+            }
+            let mut hits = vec![0u64; selects.len()];
+            let mut env = Bindings::new();
+            for row in 0..sample {
+                let rec: Vec<(String, Value)> = src
+                    .env_fields
+                    .iter()
+                    .map(|(name, col)| (name.clone(), col[row].clone()))
+                    .collect();
+                env.insert(binding.clone(), Value::Record(rec));
+                for (i, sel) in selects.iter().enumerate() {
+                    if matches!(eval(sel, &env), Ok(Value::Bool(true))) {
+                        hits[i] += 1;
+                    }
+                }
+            }
+            for (sel, &h) in selects.iter().zip(&hits) {
+                model
+                    .sketch()
+                    .record_predicate(&sel.to_string(), h, sample as u64);
+            }
         }
     }
 
@@ -1703,6 +1867,7 @@ impl Pipeline {
             Monoid::Collection(kind) => {
                 let mut items = Vec::new();
                 produce(stats, &mut |stats, t| {
+                    stats.actual_rows += 1;
                     items.push(self.head_value(&t, stats)?);
                     Ok(())
                 })?;
@@ -1715,7 +1880,8 @@ impl Pipeline {
                 if matches!(self.head, HeadPlan::CountOnly) =>
             {
                 let mut n = 0i64;
-                produce(stats, &mut |_, _| {
+                produce(stats, &mut |stats, _| {
+                    stats.actual_rows += 1;
                     n += 1;
                     Ok(())
                 })?;
@@ -1724,6 +1890,7 @@ impl Pipeline {
             m => {
                 let mut acc = m.zero();
                 produce(stats, &mut |stats, t| {
+                    stats.actual_rows += 1;
                     let v = self.head_value(&t, stats)?;
                     acc = m.merge(std::mem::replace(&mut acc, Value::Null), m.unit(v))?;
                     Ok(())
@@ -2689,6 +2856,7 @@ impl Pipeline {
                         ws.span_begin(dstage);
                         let mut items = Vec::new();
                         self.drive(&self.root, plan.range(m), &builds, &mut ws, &mut |ws, t| {
+                            ws.actual_rows += 1;
                             items.push(self.head_value(&t, ws)?);
                             Ok(())
                         })?;
@@ -2716,7 +2884,8 @@ impl Pipeline {
                         let mut ws = worker_stats(w, epoch);
                         ws.span_begin(dstage);
                         let mut n = 0i64;
-                        self.drive(&self.root, plan.range(m), &builds, &mut ws, &mut |_, _| {
+                        self.drive(&self.root, plan.range(m), &builds, &mut ws, &mut |ws, _| {
+                            ws.actual_rows += 1;
                             n += 1;
                             Ok(())
                         })?;
@@ -2747,6 +2916,7 @@ impl Pipeline {
                             &builds,
                             &mut ws,
                             &mut |ws, t| {
+                                ws.actual_rows += 1;
                                 let v = self.head_value(&t, ws)?;
                                 acc =
                                     m.merge(std::mem::replace(&mut acc, Value::Null), m.unit(v))?;
@@ -2821,6 +2991,73 @@ fn count_stages(node: &Node, stats: &mut ExecStats) {
 /// Cache byte pressure in `[0, 1]` — the cost model's storage-rent signal.
 fn cache_pressure(cache: &CacheManager) -> f64 {
     cache.used_bytes() as f64 / cache.budget_bytes().max(1) as f64
+}
+
+/// Expression size in AST nodes — the per-tuple evaluation-cost proxy used
+/// to rank fused conjuncts.
+fn expr_size(e: &Expr) -> usize {
+    1 + match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Zero(_) => 0,
+        Expr::Proj(i, _) | Expr::UnOp(_, i) | Expr::Lambda(_, i) | Expr::Singleton(_, i) => {
+            expr_size(i)
+        }
+        Expr::BinOp(_, l, r) | Expr::App(l, r) | Expr::Merge(_, l, r) => {
+            expr_size(l) + expr_size(r)
+        }
+        Expr::If(c, t, f) => expr_size(c) + expr_size(t) + expr_size(f),
+        Expr::Record(fs) => fs.iter().map(|(_, e)| expr_size(e)).sum(),
+        Expr::ListLit(es) => es.iter().map(expr_size).sum(),
+        Expr::Comprehension {
+            head, qualifiers, ..
+        } => expr_size(head) + qualifiers.len(),
+    }
+}
+
+/// Estimated pass rate of one scan-level conjunct: observed predicate
+/// counters first, then a distinct-sketch / shape heuristic (mirroring the
+/// join optimizer's defaults).
+fn conjunct_selectivity(e: &Expr, dataset: &str, model: Option<&CostModel>) -> f64 {
+    if let Some(m) = model {
+        if let Some(s) = m.sketch().predicate_selectivity(&e.to_string()) {
+            return s.clamp(0.0, 1.0);
+        }
+    }
+    match e {
+        Expr::BinOp(BinOp::Eq, l, r) => {
+            let d = model.and_then(|m| {
+                [l.as_ref(), r.as_ref()].iter().find_map(|s| match s {
+                    Expr::Proj(inner, f) if matches!(inner.as_ref(), Expr::Var(_)) => {
+                        m.sketch().distinct(dataset, f)
+                    }
+                    _ => None,
+                })
+            });
+            match d {
+                Some(d) => (1.0 / d.max(1.0)).min(1.0),
+                None => 0.1,
+            }
+        }
+        Expr::BinOp(BinOp::Ne, ..) => 0.9,
+        Expr::BinOp(BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, ..) => 1.0 / 3.0,
+        _ => 0.5,
+    }
+}
+
+/// Evaluation order for a fused conjunct chain: ascending
+/// `cost / (1 - selectivity)` — the classic rank that puts cheap, highly
+/// selective predicates first so later (costlier) ones run on fewer tuples.
+/// Stable on ties, so unranked chains keep syntactic order.
+fn rank_conjuncts(selects: &[Expr], dataset: &str, model: Option<&CostModel>) -> Vec<usize> {
+    let ranks: Vec<f64> = selects
+        .iter()
+        .map(|e| {
+            let sel = conjunct_selectivity(e, dataset, model);
+            expr_size(e) as f64 / (1.0 - sel).max(1e-3)
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..selects.len()).collect();
+    order.sort_by(|&a, &b| ranks[a].total_cmp(&ranks[b]).then(a.cmp(&b)));
+    order
 }
 
 /// One query's access evidence for a column: sampled per-row footprints of

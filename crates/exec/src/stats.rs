@@ -79,6 +79,26 @@ pub struct ExecStats {
     /// 0 when the query fell back wholesale or ran the legacy materializing
     /// path. [`ExecStats::accumulate`] keeps the maximum across queries.
     pub fused_stage_depth: u32,
+    /// Scan leaves the cost-based plan optimizer moved away from their
+    /// syntactic position (join reordering / build-side swaps). 0 when the
+    /// original order was already optimal, reordering was ineligible, or
+    /// `JitOptions::plan_opt` is off.
+    pub joins_reordered: u32,
+    /// Fused select-kernel conjuncts moved away from syntactic order by
+    /// selectivity-based ranking.
+    pub conjuncts_reordered: u32,
+    /// The optimizer's estimated output cardinality for reorder-eligible
+    /// plans (rows entering the reduce), summed across queries. 0 when no
+    /// estimate was made.
+    pub estimated_rows: u64,
+    /// `actual_rows` restricted to queries that had an estimate — the
+    /// denominator that pairs with `estimated_rows` so
+    /// [`ExecStats::cardinality_error`] stays meaningful when estimated and
+    /// unestimated queries are accumulated together.
+    pub estimated_rows_actual: u64,
+    /// Tuples that actually entered the reduce (pipeline output before the
+    /// fold), across all queries.
+    pub actual_rows: u64,
     /// The query's span buffer when `JitOptions::trace` was set; `None`
     /// otherwise. Per-query — [`ExecStats::accumulate`] does not merge
     /// traces (export each query's trace before accumulating).
@@ -125,6 +145,23 @@ impl ExecStats {
         self.whole_query_fallbacks += other.whole_query_fallbacks;
         self.operator_materializations += other.operator_materializations;
         self.fused_stage_depth = self.fused_stage_depth.max(other.fused_stage_depth);
+        self.joins_reordered += other.joins_reordered;
+        self.conjuncts_reordered += other.conjuncts_reordered;
+        self.estimated_rows += other.estimated_rows;
+        self.estimated_rows_actual += other.estimated_rows_actual;
+        self.actual_rows += other.actual_rows;
+    }
+
+    /// Relative error of the optimizer's cardinality estimates:
+    /// `|estimated - actual| / actual` over the queries that had an
+    /// estimate. 0.0 when nothing was estimated.
+    pub fn cardinality_error(&self) -> f64 {
+        if self.estimated_rows == 0 {
+            return 0.0;
+        }
+        let est = self.estimated_rows as f64;
+        let act = self.estimated_rows_actual as f64;
+        (est - act).abs() / act.max(1.0)
     }
 
     /// Merge counters from one worker of a parallel phase (wall times are
@@ -139,6 +176,7 @@ impl ExecStats {
         self.raw_columns += other.raw_columns;
         self.morsels += other.morsels;
         self.operator_materializations += other.operator_materializations;
+        self.actual_rows += other.actual_rows;
         if let (Some(mine), Some(theirs)) = (self.trace.as_deref_mut(), other.trace) {
             mine.absorb(*theirs);
         }
@@ -236,7 +274,21 @@ impl ExecStats {
             "\"operator_materializations\":{},",
             self.operator_materializations
         ));
-        out.push_str(&format!("\"fused_stage_depth\":{}", self.fused_stage_depth));
+        out.push_str(&format!(
+            "\"fused_stage_depth\":{},",
+            self.fused_stage_depth
+        ));
+        out.push_str(&format!("\"joins_reordered\":{},", self.joins_reordered));
+        out.push_str(&format!(
+            "\"conjuncts_reordered\":{},",
+            self.conjuncts_reordered
+        ));
+        out.push_str(&format!("\"estimated_rows\":{},", self.estimated_rows));
+        out.push_str(&format!("\"actual_rows\":{},", self.actual_rows));
+        out.push_str(&format!(
+            "\"cardinality_error\":{:.4}",
+            self.cardinality_error()
+        ));
         out.push('}');
         out
     }
@@ -269,6 +321,11 @@ mod tests {
             whole_query_fallbacks: 1,
             operator_materializations: 3,
             fused_stage_depth: 4,
+            joins_reordered: 1,
+            conjuncts_reordered: 2,
+            estimated_rows: 90,
+            estimated_rows_actual: 100,
+            actual_rows: 100,
             trace: None,
         };
         assert_eq!(a.total(), Duration::from_micros(1000));
@@ -286,6 +343,38 @@ mod tests {
         assert_eq!(a.whole_query_fallbacks, 2);
         assert_eq!(a.operator_materializations, 6);
         assert_eq!(a.fused_stage_depth, 4); // max, not sum
+        assert_eq!(a.joins_reordered, 2);
+        assert_eq!(a.conjuncts_reordered, 4);
+        assert_eq!(a.estimated_rows, 180);
+        assert_eq!(a.actual_rows, 200);
+    }
+
+    #[test]
+    fn cardinality_error_pairs_estimates_with_estimated_actuals() {
+        // No estimate → no error, whatever actual_rows says.
+        let none = ExecStats {
+            actual_rows: 500,
+            ..ExecStats::default()
+        };
+        assert_eq!(none.cardinality_error(), 0.0);
+
+        // 90 estimated vs 100 actual → 10% relative error.
+        let est = ExecStats {
+            estimated_rows: 90,
+            estimated_rows_actual: 100,
+            actual_rows: 100,
+            ..ExecStats::default()
+        };
+        assert!((est.cardinality_error() - 0.1).abs() < 1e-9);
+
+        // Accumulating an unestimated query must not dilute the error: its
+        // actual_rows joins `actual_rows` but not `estimated_rows_actual`.
+        let mut accum = est.clone();
+        accum.accumulate(&none);
+        assert_eq!(accum.actual_rows, 600);
+        assert_eq!(accum.estimated_rows_actual, 100);
+        assert!((accum.cardinality_error() - 0.1).abs() < 1e-9);
+        assert!(accum.to_json().contains("\"cardinality_error\":0.1000"));
     }
 
     #[test]

@@ -20,12 +20,17 @@
 //! generator built over a path that is not a collection — the JIT engine
 //! must error too). The JIT sweep runs on **both raw-data backings**: the
 //! owned in-memory fixture bytes and the same bytes as mmap'd files — the
-//! backing must be unobservable. Because every generated shape is inside
-//! the pipeline coverage, the fuzzer also asserts that **no plan takes the
-//! whole-query Volcano fallback** (unnests, theta joins, and bushy trees
-//! all compile) and that **no stage materializes an inter-operator
-//! `Vec<Tuple>`** (`ExecStats::operator_materializations == 0`: the
-//! streaming push loop fuses every chain end to end).
+//! backing must be unobservable — and with the cost-based plan optimizer
+//! **on and off** (`JitOptions::plan_opt`): join reordering, build-side
+//! swaps, and conjunct reordering must never change a result, and the
+//! matrix asserts the optimizer-on leg actually reorders plans (a sweep
+//! that never triggers the optimizer would pin nothing). Because every
+//! generated shape is inside the pipeline coverage, the fuzzer also
+//! asserts that **no plan takes the whole-query Volcano fallback**
+//! (unnests, theta joins, bushy trees, and *reordered* joins all compile)
+//! and that **no stage materializes an inter-operator `Vec<Tuple>`**
+//! (`ExecStats::operator_materializations == 0`: the streaming push loop
+//! fuses every chain end to end).
 //!
 //! Seeds are fixed in code, so a failure replays exactly: the panic message
 //! carries the seed, the plan index, and the plan itself.
@@ -460,6 +465,9 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
         env.insert(name.clone(), cat.materialize(&name).unwrap());
     }
 
+    // Across the whole matrix the optimizer-on leg must reorder *some*
+    // plans — a sweep where `plan_opt` never fires would pin nothing.
+    let mut total_reordered = 0u64;
     for seed in SEEDS {
         let mut g = Gen::new(Rng::new(seed));
         let mut fallbacks = 0u32;
@@ -475,31 +483,63 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
                     let got = algebra.unwrap_or_else(|e| panic!("{}: {e}", ctx("algebra")));
                     assert_eq!(&got, expected, "{}", ctx("algebra deviates"));
                     for threads in [1usize, 2, 8] {
-                        let opts = JitOptions {
-                            threads,
-                            morsel_rows: 4,
-                            clamp_threads: false,
-                            ..Default::default()
-                        };
-                        for (backing, provider) in [("owned", &cat), ("mmap", &mapped)] {
-                            let tag = format!("jit x{threads} {backing}");
-                            let (v, stats) = run_jit_with_stats(&plan, provider, &opts)
-                                .unwrap_or_else(|e| panic!("{}: {e}", ctx(&tag)));
-                            assert_eq!(&v, expected, "{}", ctx(&format!("{tag} deviates")));
-                            fallbacks += stats.whole_query_fallbacks;
-                            // Streaming execution: every covered shape fuses
-                            // end to end — no inter-operator Vec<Tuple>.
-                            assert_eq!(
-                                stats.operator_materializations,
-                                0,
-                                "{}",
-                                ctx(&format!("{tag} materialized a stage"))
-                            );
-                            assert!(
-                                stats.fused_stage_depth >= 2,
-                                "{}",
-                                ctx(&format!("{tag} reported no fused chain"))
-                            );
+                        for plan_opt in [true, false] {
+                            let opts = JitOptions {
+                                threads,
+                                morsel_rows: 4,
+                                clamp_threads: false,
+                                plan_opt,
+                                ..Default::default()
+                            };
+                            for (backing, provider) in [("owned", &cat), ("mmap", &mapped)] {
+                                let tag = format!("jit x{threads} {backing} plan_opt={plan_opt}");
+                                let (v, stats) = run_jit_with_stats(&plan, provider, &opts)
+                                    .unwrap_or_else(|e| panic!("{}: {e}", ctx(&tag)));
+                                assert_eq!(&v, expected, "{}", ctx(&format!("{tag} deviates")));
+                                fallbacks += stats.whole_query_fallbacks;
+                                if plan_opt {
+                                    total_reordered += stats.joins_reordered as u64;
+                                    // Reordered plans stay inside the
+                                    // pipelines: a reorder that forced the
+                                    // Volcano fallback would be a shape bug.
+                                    if stats.joins_reordered > 0 {
+                                        assert_eq!(
+                                            stats.whole_query_fallbacks,
+                                            0,
+                                            "{}",
+                                            ctx(&format!("{tag} reordered then fell back"))
+                                        );
+                                    }
+                                } else {
+                                    // The escape hatch is a real baseline:
+                                    // nothing may be reordered with it off.
+                                    assert_eq!(
+                                        stats.joins_reordered,
+                                        0,
+                                        "{}",
+                                        ctx(&format!("{tag} reordered joins"))
+                                    );
+                                    assert_eq!(
+                                        stats.conjuncts_reordered,
+                                        0,
+                                        "{}",
+                                        ctx(&format!("{tag} reordered conjuncts"))
+                                    );
+                                }
+                                // Streaming execution: every covered shape fuses
+                                // end to end — no inter-operator Vec<Tuple>.
+                                assert_eq!(
+                                    stats.operator_materializations,
+                                    0,
+                                    "{}",
+                                    ctx(&format!("{tag} materialized a stage"))
+                                );
+                                assert!(
+                                    stats.fused_stage_depth >= 2,
+                                    "{}",
+                                    ctx(&format!("{tag} reported no fused chain"))
+                                );
+                            }
                         }
                     }
                 }
@@ -509,18 +549,23 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
                     // it too — silently succeeding would be a bug.
                     assert!(algebra.is_err(), "{}", ctx("algebra accepted"));
                     for threads in [1usize, 2, 8] {
-                        let opts = JitOptions {
-                            threads,
-                            morsel_rows: 4,
-                            clamp_threads: false,
-                            ..Default::default()
-                        };
-                        for (backing, provider) in [("owned", &cat), ("mmap", &mapped)] {
-                            assert!(
-                                run_jit_with_stats(&plan, provider, &opts).is_err(),
-                                "{}",
-                                ctx(&format!("jit x{threads} {backing} accepted"))
-                            );
+                        for plan_opt in [true, false] {
+                            let opts = JitOptions {
+                                threads,
+                                morsel_rows: 4,
+                                clamp_threads: false,
+                                plan_opt,
+                                ..Default::default()
+                            };
+                            for (backing, provider) in [("owned", &cat), ("mmap", &mapped)] {
+                                assert!(
+                                    run_jit_with_stats(&plan, provider, &opts).is_err(),
+                                    "{}",
+                                    ctx(&format!(
+                                        "jit x{threads} {backing} plan_opt={plan_opt} accepted"
+                                    ))
+                                );
+                            }
                         }
                     }
                 }
@@ -531,6 +576,10 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
         // paths. Nothing may take the whole-query Volcano fallback.
         assert_eq!(fallbacks, 0, "seed={seed:#x}: whole-query fallbacks");
     }
+    assert!(
+        total_reordered > 0,
+        "the plan_opt=true sweep never reordered a join — the optimizer leg is dead"
+    );
 }
 
 /// The differential engines all read through the same plugins, so they

@@ -1,0 +1,225 @@
+//! Plan-snapshot regression tests for the cost-based plan optimizer
+//! (PR 8): join reordering must put the small relation on the build
+//! side, already-optimal plans must pass through untouched, ordered
+//! monoids must never be reordered, and selectivity-ordered conjuncts
+//! must kick in once the cost model has observed predicate hit rates.
+//!
+//! The "snapshot" surface is deliberately behavioral rather than a plan
+//! pretty-print: `ExecStats::{joins_reordered, conjuncts_reordered}`
+//! pins *that* the optimizer acted, and the counted `BUILD_SIDE` trace
+//! span pins *what* it chose (the build-side cardinality), so a future
+//! regression that re-derives the same counters from a worse plan still
+//! trips the span assertion.
+
+use std::sync::Arc;
+use vida_algebra::{lower, rewrite, Plan};
+use vida_exec::{run_jit_with_stats, run_volcano, ExecStats, JitOptions, MemoryCatalog};
+use vida_lang::parse;
+use vida_optimizer::CostModel;
+use vida_trace::stage;
+use vida_types::{Schema, Type, Value};
+
+/// Dim: 4 rows, Fact: 600 rows (fid = i % 4, every row matches), Fact2:
+/// 300 rows (gid = i % 4). A join that builds on Fact instead of Dim is
+/// misordered by a factor of 150.
+fn catalog() -> MemoryCatalog {
+    let cat = MemoryCatalog::new();
+    let dims: Vec<Value> = (0..4)
+        .map(|i| Value::record([("id", Value::Int(i)), ("kind", Value::Int(i % 2))]))
+        .collect();
+    cat.register_records(
+        "Dim",
+        Schema::from_pairs([("id", Type::Int), ("kind", Type::Int)]),
+        &dims,
+    )
+    .unwrap();
+    let facts: Vec<Value> = (0..600)
+        .map(|i| {
+            Value::record([
+                ("fid", Value::Int(i % 4)),
+                ("v", Value::Int(i)),
+                ("tag", Value::Int(7)),
+            ])
+        })
+        .collect();
+    cat.register_records(
+        "Fact",
+        Schema::from_pairs([("fid", Type::Int), ("v", Type::Int), ("tag", Type::Int)]),
+        &facts,
+    )
+    .unwrap();
+    let facts2: Vec<Value> = (0..300)
+        .map(|i| Value::record([("gid", Value::Int(i % 4)), ("w", Value::Int(i))]))
+        .collect();
+    cat.register_records(
+        "Fact2",
+        Schema::from_pairs([("gid", Type::Int), ("w", Type::Int)]),
+        &facts2,
+    )
+    .unwrap();
+    cat
+}
+
+fn plan_of(q: &str) -> Plan {
+    rewrite(&lower(&parse(q).expect("parses")).expect("lowers"))
+}
+
+/// Serial traced run so the one counted `BUILD_SIDE` span per join is
+/// exactly the build-side materialization (`build_side_tuples`).
+fn run(q: &str, cat: &MemoryCatalog, plan_opt: bool) -> (Value, ExecStats) {
+    let opts = JitOptions {
+        threads: 1,
+        plan_opt,
+        ..JitOptions::default()
+    }
+    .with_trace();
+    run_jit_with_stats(&plan_of(q), cat, &opts).expect("query runs")
+}
+
+/// Total tuples materialized across every build side of the query.
+fn build_tuples(stats: &ExecStats) -> u64 {
+    stats
+        .query_trace()
+        .expect("trace recorded")
+        .stage_totals()
+        .iter()
+        .find(|t| t.stage == stage::BUILD_SIDE)
+        .map(|t| t.tuples)
+        .unwrap_or(0)
+}
+
+#[test]
+fn misordered_two_way_join_builds_on_the_small_side() {
+    // Syntactically the 600-row Fact is the build (right) side.
+    let q = "for { d <- Dim, f <- Fact, d.id = f.fid } yield sum f.v";
+    let cat = catalog();
+    let oracle = run_volcano(&plan_of(q), &cat).unwrap();
+
+    let (off_val, off) = run(q, &cat, false);
+    assert_eq!(off_val, oracle, "plan_opt=false diverged from volcano");
+    assert_eq!(off.joins_reordered, 0, "--no-plan-opt must never reorder");
+    assert_eq!(off.whole_query_fallbacks, 0);
+    assert_eq!(build_tuples(&off), 600, "blind plan builds on Fact");
+
+    let (on_val, on) = run(q, &cat, true);
+    assert_eq!(on_val, oracle, "plan_opt=true diverged from volcano");
+    assert_eq!(on.whole_query_fallbacks, 0);
+    assert_eq!(
+        on.joins_reordered, 2,
+        "both relations move when the pair swaps"
+    );
+    assert_eq!(build_tuples(&on), 4, "optimized plan builds on Dim");
+    assert!(on.estimated_rows > 0, "reordered plans carry an estimate");
+}
+
+#[test]
+fn misordered_three_way_join_is_reordered() {
+    // Worst syntactic order: the blind left-deep plan builds on Fact
+    // (600 rows) and then Dim; greedy joins Fact⋈Dim first, shrinking
+    // the build footprint to Dim (4) + Fact2 (300).
+    let q = "for { g <- Fact2, f <- Fact, d <- Dim, f.fid = g.gid, f.fid = d.id } \
+             yield sum f.v";
+    let cat = catalog();
+    let oracle = run_volcano(&plan_of(q), &cat).unwrap();
+
+    let (off_val, off) = run(q, &cat, false);
+    assert_eq!(off_val, oracle);
+    assert_eq!(off.joins_reordered, 0);
+
+    let (on_val, on) = run(q, &cat, true);
+    assert_eq!(on_val, oracle, "reordered 3-way join diverged from volcano");
+    assert_eq!(on.whole_query_fallbacks, 0);
+    assert!(
+        on.joins_reordered >= 1,
+        "3-way misordered join was left alone"
+    );
+    assert!(
+        build_tuples(&on) < build_tuples(&off),
+        "reordering must shrink the total build-side footprint \
+         (got {} vs blind {})",
+        build_tuples(&on),
+        build_tuples(&off)
+    );
+}
+
+#[test]
+fn already_optimal_join_is_left_untouched() {
+    // Dim is already on the build side: the greedy search arrives at the
+    // identity order and the counters must stay zero.
+    let q = "for { f <- Fact, d <- Dim, f.fid = d.id } yield sum f.v";
+    let cat = catalog();
+    let oracle = run_volcano(&plan_of(q), &cat).unwrap();
+    for plan_opt in [true, false] {
+        let (val, stats) = run(q, &cat, plan_opt);
+        assert_eq!(val, oracle, "plan_opt={plan_opt}");
+        assert_eq!(stats.joins_reordered, 0, "plan_opt={plan_opt}");
+        assert_eq!(stats.whole_query_fallbacks, 0, "plan_opt={plan_opt}");
+        assert_eq!(build_tuples(&stats), 4, "plan_opt={plan_opt}");
+    }
+}
+
+#[test]
+fn ordered_monoids_keep_the_syntactic_join_order() {
+    // Bag output observes tuple order, so even a badly misordered join
+    // must keep Fact on the build side with the optimizer enabled.
+    let q = "for { d <- Dim, f <- Fact, d.id = f.fid } \
+             yield bag (id := d.id, v := f.v)";
+    let cat = catalog();
+    let (on_val, on) = run(q, &cat, true);
+    let (off_val, off) = run(q, &cat, false);
+    assert_eq!(on_val, off_val, "ordered output diverged under plan_opt");
+    assert_eq!(on.joins_reordered, 0, "bag monoid must not be reordered");
+    assert_eq!(off.joins_reordered, 0);
+    assert_eq!(
+        build_tuples(&on),
+        build_tuples(&off),
+        "plan_opt changed the build side of an ordered query"
+    );
+}
+
+#[test]
+fn observed_selectivities_reorder_fused_conjuncts() {
+    // Syntactic and heuristic order agree on the first run (the equality
+    // defaults to selectivity 0.1 and already sits first), so nothing
+    // moves. The sampled counters then reveal that `f.tag = 7` passes
+    // every row while `f.v < 8` passes almost none — the second run must
+    // flip the chain to test the range first.
+    let q = "for { f <- Fact, f.tag = 7, f.v < 8 } yield count f";
+    let cat = catalog();
+    let oracle = run_volcano(&plan_of(q), &cat).unwrap();
+    let model = Arc::new(CostModel::new());
+    let opts = JitOptions {
+        threads: 1,
+        cost_model: Some(Arc::clone(&model)),
+        ..JitOptions::default()
+    };
+
+    let (first_val, first) = run_jit_with_stats(&plan_of(q), &cat, &opts).unwrap();
+    assert_eq!(first_val, oracle);
+    assert_eq!(
+        first.conjuncts_reordered, 0,
+        "no observations yet: syntactic order must hold"
+    );
+    assert!(
+        model.sketch().predicates_tracked() >= 2,
+        "the build must have sampled both scan conjuncts"
+    );
+
+    let (second_val, second) = run_jit_with_stats(&plan_of(q), &cat, &opts).unwrap();
+    assert_eq!(second_val, oracle, "conjunct reorder changed the result");
+    assert_eq!(
+        second.conjuncts_reordered, 2,
+        "observed selectivities must move the range test first"
+    );
+
+    // The escape hatch wins over observations.
+    let off = JitOptions {
+        threads: 1,
+        cost_model: Some(Arc::clone(&model)),
+        plan_opt: false,
+        ..JitOptions::default()
+    };
+    let (off_val, off_stats) = run_jit_with_stats(&plan_of(q), &cat, &off).unwrap();
+    assert_eq!(off_val, oracle);
+    assert_eq!(off_stats.conjuncts_reordered, 0);
+}

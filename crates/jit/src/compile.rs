@@ -98,6 +98,23 @@ impl SelectKernel {
         SelectKernel { preds }
     }
 
+    /// Fuse `preds` evaluating in `order` (a permutation of `0..preds.len()`
+    /// ranked by the plan optimizer: cheapest-and-most-selective first).
+    /// Compiled predicate kernels are pure and total, so any evaluation
+    /// order admits exactly the same frames; only the short-circuit point
+    /// moves.
+    pub fn with_order(preds: Vec<CompiledKernel>, order: &[usize]) -> Self {
+        debug_assert_eq!(order.len(), preds.len());
+        debug_assert!({
+            let mut seen = vec![false; preds.len()];
+            order
+                .iter()
+                .all(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true))
+        });
+        let preds = order.iter().map(|&i| preds[i].clone()).collect();
+        SelectKernel::new(preds)
+    }
+
     /// Number of fused predicates.
     pub fn len(&self) -> usize {
         self.preds.len()
@@ -619,6 +636,46 @@ mod tests {
         let pred = compile("x > 2", &mut interner);
         assert!(pred.call_bool(&[3, 0]));
         assert!(!pred.call_bool(&[2, 0]));
+    }
+
+    #[test]
+    fn select_kernel_with_order_admits_identically() {
+        let mut layout = FrameLayout::new();
+        layout.slot("x", SlotType::Int);
+        layout.slot("y", SlotType::Int);
+        let mut interner = StringInterner::new();
+        let compile = |src: &str, interner: &mut StringInterner| {
+            JitCompiler::new()
+                .unwrap()
+                .compile(&parse(src).unwrap(), &layout, interner)
+                .unwrap()
+        };
+        let preds = vec![
+            compile("x > 2", &mut interner),
+            compile("y < 10", &mut interner),
+            compile("x != y", &mut interner),
+        ];
+        let syntactic = SelectKernel::new(preds.clone());
+        let reordered = SelectKernel::with_order(preds, &[2, 0, 1]);
+        assert_eq!(reordered.len(), 3);
+        // Evaluation order follows the permutation (observable via ids)...
+        let ids: Vec<u32> = syntactic.kernel_ids().collect();
+        let got: Vec<u32> = reordered.kernel_ids().collect();
+        assert_eq!(got, vec![ids[2], ids[0], ids[1]]);
+        // ...but admission is identical on every frame: the kernels are
+        // pure and total, so only the short-circuit point moves.
+        for x in -2..12 {
+            for y in -2..12 {
+                assert_eq!(
+                    syntactic.admit(&[x, y]),
+                    reordered.admit(&[x, y]),
+                    "x={x} y={y}"
+                );
+            }
+        }
+        // Identity permutation is a no-op.
+        let same = SelectKernel::with_order(vec![compile("x > 2", &mut interner)], &[0]);
+        assert!(same.admit(&[3, 0]) && !same.admit(&[2, 0]));
     }
 
     #[test]

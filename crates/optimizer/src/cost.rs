@@ -161,6 +161,9 @@ pub struct CostModel {
     /// rent, which keeps decisions stable instead of oscillating with the
     /// footprint of whatever was last written.
     budget_bytes: std::sync::atomic::AtomicU64,
+    /// Plan-optimizer statistics (distinct sketches + predicate counters),
+    /// fed from the same pipeline hooks that record `FieldObservation`s.
+    sketch: crate::sketch::StatsSketch,
 }
 
 /// The layouts the engine will actually materialize replicas in. `Text` is
@@ -225,6 +228,13 @@ impl CostModel {
     /// Forget everything (benchmark phase boundaries).
     pub fn clear(&self) {
         self.profiles.write().clear();
+        self.sketch.clear();
+    }
+
+    /// The plan-optimizer statistics registry (distinct-count sketches and
+    /// predicate hit counters) carried alongside the layout profiles.
+    pub fn sketch(&self) -> &crate::sketch::StatsSketch {
+        &self.sketch
     }
 
     /// Tell the model the cache budget so scores can include the pressure a

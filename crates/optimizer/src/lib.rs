@@ -17,10 +17,21 @@
 //!    positions-only — the paper's §5 "re-using and re-shaping results"),
 //!    in which order `CacheManager::get_any` should probe layouts, and how
 //!    much eviction slack a replica's rebuild cost buys it.
+//! 3. **Plan-level cost-based optimization** — the [`sketch`] module's
+//!    fixed-size distinct-count/selectivity sketches (fed from the same
+//!    pipeline hooks as the cost model's `FieldObservation`s) and the
+//!    [`plan`] module's [`plan::reorder_joins`] join-order search: greedy
+//!    smallest-intermediate-first over estimated cardinalities, which also
+//!    chooses hash-join build sides (the pipelines always build the right
+//!    side of each join).
 
 pub mod cost;
+pub mod plan;
+pub mod sketch;
 
 pub use cost::{CostModel, CostModelConfig, FieldObservation, FieldProfile, STORABLE_LAYOUTS};
+pub use plan::{reorder_joins, PlanOptReport, PlanStats, TableStats};
+pub use sketch::{DistinctSketch, PredicateStats, StatsSketch};
 
 use vida_algebra::{rewrite, Plan};
 

@@ -95,6 +95,13 @@ pub enum Template {
     ThetaLoop,
     /// Unnest + theta join chained in one comprehension.
     UnnestTheta,
+    /// Equi-join written with the *filtered* relation first, so the blind
+    /// left-deep plan builds its hash table on the unfiltered (larger)
+    /// side — the shape the cost-based join reorder exists to fix.
+    JoinMisordered,
+    /// Three-relation equi-join chain with the small filtered relation in
+    /// the middle — only a cardinality-aware order search gets it right.
+    JoinThreeWay,
 }
 
 /// One generated query: its comprehension text and template.
@@ -228,6 +235,53 @@ pub fn generate_nested_heavy(config: &WorkloadConfig) -> Vec<QuerySpec> {
                         "for {{ r <- Regions, v <- r.voxels, p <- Patients, \
                          v < p.id, p.id < {} }} yield count v",
                         1 + rng.below(30)
+                    ),
+                ),
+            };
+            QuerySpec { text, template }
+        })
+        .collect()
+}
+
+/// Generate a join-heavy mix for the plan optimizer: equi-join chains
+/// deliberately written in a bad syntactic order (the filtered relation
+/// probing, the large one building), three-way chains, and a well-ordered
+/// control. The selection keys follow the same locality skew as
+/// [`generate`], so the predicate counters the optimizer samples see a
+/// realistic key distribution. Deterministic in the seed.
+pub fn generate_join_heavy(config: &WorkloadConfig) -> Vec<QuerySpec> {
+    let mut rng = Rng::new(config.seed);
+    (0..config.queries)
+        .map(|_| {
+            let key = draw_key(&mut rng, config);
+            let (template, text) = match rng.below(4) {
+                0 => (
+                    Template::JoinMisordered,
+                    format!(
+                        "for {{ p <- Patients, g <- Genetics, p.id < {key}, \
+                         p.id = g.id }} yield sum g.snp"
+                    ),
+                ),
+                1 => (
+                    Template::JoinMisordered,
+                    format!(
+                        "for {{ g <- Genetics, p <- Patients, g.id < {key}, \
+                         g.id = p.id }} yield count p"
+                    ),
+                ),
+                2 => (
+                    Template::JoinThreeWay,
+                    format!(
+                        "for {{ g <- Genetics, p <- Patients, r <- Regions, \
+                         p.id = g.id, p.id = r.id, p.id < {key} }} yield count p"
+                    ),
+                ),
+                _ => (
+                    Template::JoinSum,
+                    format!(
+                        "for {{ p <- Patients, g <- Genetics, p.id = g.id, \
+                         p.age > {} }} yield sum g.snp",
+                        20 + rng.below(60)
                     ),
                 ),
             };
@@ -393,6 +447,28 @@ mod tests {
             Template::ThetaBand,
             Template::ThetaLoop,
             Template::UnnestTheta,
+        ] {
+            assert!(a.iter().any(|q| q.template == t), "missing {t:?}");
+        }
+        for q in &a {
+            parse(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.text));
+        }
+    }
+
+    #[test]
+    fn join_heavy_mix_parses_covers_all_templates_and_is_deterministic() {
+        let c = WorkloadConfig {
+            queries: 60,
+            ..Default::default()
+        };
+        let a = generate_join_heavy(&c);
+        let b = generate_join_heavy(&c);
+        assert_eq!(a.len(), 60);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.text == y.text));
+        for t in [
+            Template::JoinMisordered,
+            Template::JoinThreeWay,
+            Template::JoinSum,
         ] {
             assert!(a.iter().any(|q| q.template == t), "missing {t:?}");
         }
