@@ -26,24 +26,47 @@ pub mod fixtures {
 
     /// A `Patients` CSV file with a header row and `n` rows.
     pub fn patients_csv(n: usize, seed: u64) -> Vec<u8> {
+        patients_csv_rows(0, n, seed)
+    }
+
+    /// Rows `lo..hi` of the `Patients` fixture (header only when `lo` is
+    /// 0). The generator burns the same RNG draws as rows `0..lo`, so
+    /// appending `rows(lo, hi)` to a file holding `rows(0, lo)` produces
+    /// exactly `rows(0, hi)` — the append-replay drivers grow files with
+    /// suffixes the cold oracle can regenerate.
+    pub fn patients_csv_rows(lo: usize, hi: usize, seed: u64) -> Vec<u8> {
         let mut rng = Rng::new(seed);
         let cities = ["geneva", "bern", "zurich", "basel"];
-        let mut out = String::from("id,age,city\n");
-        for id in 0..n {
+        let mut out = if lo == 0 {
+            String::from("id,age,city\n")
+        } else {
+            String::new()
+        };
+        for id in 0..hi {
             let age = 18 + rng.below(70);
             let city = cities[rng.below(cities.len() as u64) as usize];
-            out.push_str(&format!("{id},{age},{city}\n"));
+            if id >= lo {
+                out.push_str(&format!("{id},{age},{city}\n"));
+            }
         }
         out.into_bytes()
     }
 
     /// A `Genetics` newline-delimited JSON file with `n` objects.
     pub fn genetics_json(n: usize, seed: u64) -> Vec<u8> {
+        genetics_json_rows(0, n, seed)
+    }
+
+    /// Objects `lo..hi` of the `Genetics` fixture (see
+    /// [`patients_csv_rows`] for the suffix contract).
+    pub fn genetics_json_rows(lo: usize, hi: usize, seed: u64) -> Vec<u8> {
         let mut rng = Rng::new(seed);
         let mut out = String::new();
-        for id in 0..n {
+        for id in 0..hi {
             let snp = (rng.below(1000) as f64) / 1000.0;
-            out.push_str(&format!("{{\"id\":{id},\"snp\":{snp:.3}}}\n"));
+            if id >= lo {
+                out.push_str(&format!("{{\"id\":{id},\"snp\":{snp:.3}}}\n"));
+            }
         }
         out.into_bytes()
     }
@@ -63,15 +86,23 @@ pub mod fixtures {
     /// A nested `Regions` newline-delimited JSON file: `n` objects with
     /// ragged integer `voxels` arrays (0–7 elements, some rows empty).
     pub fn regions_json(n: usize, seed: u64) -> Vec<u8> {
+        regions_json_rows(0, n, seed)
+    }
+
+    /// Objects `lo..hi` of the `Regions` fixture (see
+    /// [`patients_csv_rows`] for the suffix contract).
+    pub fn regions_json_rows(lo: usize, hi: usize, seed: u64) -> Vec<u8> {
         let mut rng = Rng::new(seed);
         let mut out = String::new();
-        for id in 0..n {
+        for id in 0..hi {
             let len = rng.below(8);
             let voxels: Vec<String> = (0..len).map(|_| format!("{}", rng.below(100))).collect();
-            out.push_str(&format!(
-                "{{\"id\":{id},\"voxels\":[{}]}}\n",
-                voxels.join(",")
-            ));
+            if id >= lo {
+                out.push_str(&format!(
+                    "{{\"id\":{id},\"voxels\":[{}]}}\n",
+                    voxels.join(",")
+                ));
+            }
         }
         out.into_bytes()
     }
@@ -125,6 +156,23 @@ mod tests {
         )
         .unwrap();
         assert_eq!(json.num_objects(), 30);
+    }
+
+    #[test]
+    fn row_range_generators_compose_by_append() {
+        // The suffix contract the append-replay drivers rely on: gluing
+        // rows(lo, hi) after rows(0, lo) is byte-identical to rows(0, hi).
+        let mut glued = fixtures::patients_csv_rows(0, 12, 3);
+        glued.extend(fixtures::patients_csv_rows(12, 20, 3));
+        assert_eq!(glued, fixtures::patients_csv(20, 3));
+
+        let mut glued = fixtures::genetics_json_rows(0, 7, 5);
+        glued.extend(fixtures::genetics_json_rows(7, 18, 5));
+        assert_eq!(glued, fixtures::genetics_json(18, 5));
+
+        let mut glued = fixtures::regions_json_rows(0, 9, 17);
+        glued.extend(fixtures::regions_json_rows(9, 14, 17));
+        assert_eq!(glued, fixtures::regions_json(14, 17));
     }
 
     #[test]

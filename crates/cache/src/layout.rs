@@ -7,6 +7,7 @@
 //! concrete representation and conversion paths between them.
 
 use crate::bson;
+use std::sync::Arc;
 use vida_types::{Result, Value, VidaError};
 
 /// The four materialization layouts of Figure 4, plus `Column` — the
@@ -36,9 +37,15 @@ impl Layout {
 
 /// Cached column data in one concrete layout. One `CachedData` covers one
 /// field of one dataset, with one entry per retrieval unit.
+///
+/// `Values` holds its rows behind an `Arc` so a warm full hit serves the
+/// whole column by pointer share instead of a per-row decode, and a pure
+/// append extends the resident vector in place
+/// ([`crate::CacheManager::extend_values`]) — the two moves that make warm
+/// re-query cost proportional to the delta, not the file.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CachedData {
-    Values(Vec<Value>),
+    Values(Arc<Vec<Value>>),
     Text(Vec<String>),
     BinaryJson(Vec<Vec<u8>>),
     Positions(Vec<(u64, u64)>),
@@ -103,7 +110,7 @@ impl CachedData {
     /// offsets), so that conversion is an error.
     pub fn from_values(values: &[Value], target: Layout) -> Result<CachedData> {
         match target {
-            Layout::Values => Ok(CachedData::Values(values.to_vec())),
+            Layout::Values => Ok(CachedData::Values(Arc::new(values.to_vec()))),
             Layout::Text => Ok(CachedData::Text(
                 values.iter().map(|v| v.to_string()).collect(),
             )),
@@ -130,7 +137,7 @@ mod tests {
 
     #[test]
     fn values_layout_round_trip() {
-        let c = CachedData::Values(vals());
+        let c = CachedData::Values(Arc::new(vals()));
         assert_eq!(c.layout(), Layout::Values);
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(1).unwrap().field("id"), Some(&Value::Int(2)));

@@ -17,9 +17,11 @@
 //!    golden copy.
 
 pub mod bson;
+pub mod fold;
 pub mod layout;
 pub mod manager;
 
 pub use bson::{decode_value, encode_value};
+pub use fold::{FoldCache, FoldPartial};
 pub use layout::{CachedData, Layout};
 pub use manager::{CacheKey, CacheManager, CacheStats};

@@ -12,12 +12,14 @@
 //! holds the write lock to insert a replica it just parsed. The previous
 //! whole-`Mutex` design serialized every worker on every column fetch.
 
+use crate::fold::FoldCache;
 use crate::layout::{CachedData, Layout};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use vida_trace::global_metrics;
 use vida_types::sync::RwLock;
+use vida_types::Value;
 
 /// Identifies one cached column replica.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -97,6 +99,7 @@ struct AtomicStats {
 /// supplies that order in the engine):
 ///
 /// ```
+/// use std::sync::Arc;
 /// use vida_cache::{CacheKey, CacheManager, CachedData, Layout};
 /// use vida_types::Value;
 ///
@@ -104,7 +107,7 @@ struct AtomicStats {
 /// let fingerprint = (42, 0); // (file length, mtime)
 /// cache.put(
 ///     CacheKey::new("Patients", "age", Layout::Values),
-///     CachedData::Values(vec![Value::Int(71), Value::Int(34)]),
+///     CachedData::Values(Arc::new(vec![Value::Int(71), Value::Int(34)])),
 ///     fingerprint,
 /// );
 /// cache.put(
@@ -128,6 +131,9 @@ pub struct CacheManager {
     /// lock-free.
     used_bytes: AtomicUsize,
     stats: AtomicStats,
+    /// Side table of fold partials for incremental re-aggregation (small,
+    /// count-bounded — see [`crate::fold`]).
+    folds: FoldCache,
 }
 
 impl CacheManager {
@@ -139,7 +145,13 @@ impl CacheManager {
             clock: AtomicU64::new(0),
             used_bytes: AtomicUsize::new(0),
             stats: AtomicStats::default(),
+            folds: FoldCache::new(),
         }
+    }
+
+    /// The fold-partial side table (incremental re-aggregation).
+    pub fn folds(&self) -> &FoldCache {
+        &self.folds
     }
 
     pub fn budget_bytes(&self) -> usize {
@@ -207,6 +219,32 @@ impl CacheManager {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 global_metrics().cache_hits.inc();
                 return Some((layout, Arc::clone(&e.data)));
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        global_metrics().cache_misses.inc();
+        None
+    }
+
+    /// [`CacheManager::get_any`], also reporting the fingerprint the entry
+    /// was stored under. The incremental re-query path needs it: after a
+    /// pure append, a replica stored under the *pre-append* fingerprint is
+    /// not stale — it is valid for the unchanged prefix rows and only the
+    /// tail needs scanning.
+    pub fn get_any_versioned(
+        &self,
+        dataset: &str,
+        field: &str,
+        preference: &[Layout],
+    ) -> Option<(Layout, Arc<CachedData>, (u64, u64))> {
+        let entries = self.entries.read();
+        for &layout in preference {
+            let key = CacheKey::new(dataset, field, layout);
+            if let Some(e) = entries.get(&key) {
+                e.last_used.store(self.tick(), Ordering::Relaxed);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                global_metrics().cache_hits.inc();
+                return Some((layout, Arc::clone(&e.data), e.fingerprint));
             }
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -284,9 +322,100 @@ impl CacheManager {
         true
     }
 
+    /// Extend a resident `Values` replica in place with appended tail rows
+    /// — the O(delta) half of incremental re-query over a grown file. The
+    /// entry must be a `Values` replica stored under `expect_fingerprint`
+    /// with at least `keep_rows` rows; rows beyond `keep_rows` (a
+    /// re-parsed unterminated last unit) are dropped, `tail` is appended,
+    /// and the entry is promoted to `fingerprint` so the next query is a
+    /// plain full hit. Returns the full column, shared with the refreshed
+    /// entry, or `None` when no qualifying entry exists (the caller then
+    /// stitches prefix and tail by hand).
+    ///
+    /// The splice normally mutates the resident vector directly; a
+    /// concurrent query still holding the column forces one copy-on-write.
+    pub fn extend_values(
+        &self,
+        key: &CacheKey,
+        expect_fingerprint: (u64, u64),
+        keep_rows: usize,
+        tail: Vec<Value>,
+        fingerprint: (u64, u64),
+    ) -> Option<Arc<Vec<Value>>> {
+        let added: usize = tail.iter().map(Value::approx_bytes).sum();
+        let mut entries = self.entries.write();
+        let clock = self.tick();
+        let full = {
+            let entry = entries.get_mut(key)?;
+            if entry.fingerprint != expect_fingerprint
+                || entry.data.layout() != Layout::Values
+                || entry.data.len() < keep_rows
+            {
+                return None;
+            }
+            let CachedData::Values(vec) = Arc::make_mut(&mut entry.data) else {
+                unreachable!("layout checked above");
+            };
+            let vec = Arc::make_mut(vec);
+            let removed: usize = vec[keep_rows..].iter().map(Value::approx_bytes).sum();
+            vec.truncate(keep_rows);
+            vec.extend(tail);
+            entry.bytes = (entry.bytes + added).saturating_sub(removed);
+            entry.fingerprint = fingerprint;
+            entry.last_used.store(clock, Ordering::Relaxed);
+            if added >= removed {
+                self.used_bytes
+                    .fetch_add(added - removed, Ordering::Relaxed);
+            } else {
+                self.used_bytes
+                    .fetch_sub(removed - added, Ordering::Relaxed);
+            }
+            let CachedData::Values(vec) = &*entry.data else {
+                unreachable!("layout checked above");
+            };
+            Arc::clone(vec)
+        };
+        // The growth may push usage over budget: evict other entries, never
+        // the one just extended (an oversized survivor is the next put's
+        // problem, exactly as with a fresh oversized insert).
+        while self.used_bytes.load(Ordering::Relaxed) > self.budget_bytes {
+            let victim = entries
+                .iter()
+                .filter(|(k, _)| *k != key)
+                .min_by(|(_, a), (_, b)| {
+                    a.priority()
+                        .partial_cmp(&b.priority())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let e = entries.remove(&k).expect("victim exists");
+                    self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    global_metrics().cache_evictions.inc();
+                }
+                None => break,
+            }
+        }
+        Some(full)
+    }
+
     /// Whether an entry exists, without touching LRU stamps or counters.
     pub fn contains(&self, key: &CacheKey) -> bool {
         self.entries.read().contains_key(key)
+    }
+
+    /// Whether an entry exists **and** was written for `fingerprint`. The
+    /// replica-sync step uses this instead of [`CacheManager::contains`]
+    /// after an append: prior-generation replicas are deliberately retained
+    /// (their prefix still serves), but they still need refreshing to the
+    /// current generation or the next query would invalidate them.
+    pub fn contains_fresh(&self, key: &CacheKey, fingerprint: (u64, u64)) -> bool {
+        self.entries
+            .read()
+            .get(key)
+            .is_some_and(|e| e.fingerprint == fingerprint)
     }
 
     /// Drop one entry (the optimizer re-shaping a replica supersedes the old
@@ -335,8 +464,43 @@ impl CacheManager {
         stale.len()
     }
 
-    /// Drop every entry of a dataset unconditionally.
+    /// Drop all entries of a dataset whose fingerprint is in neither of
+    /// the two accepted generations — the extension analogue of
+    /// [`CacheManager::invalidate_stale`]. After a pure append, replicas
+    /// under the pre-append fingerprint stay prefix-valid and replicas
+    /// under the current fingerprint are fully valid; everything older is
+    /// stale. Returns the number of dropped entries.
+    pub fn retain_fingerprints(&self, dataset: &str, keep: &[(u64, u64)]) -> usize {
+        {
+            let entries = self.entries.read();
+            if !entries
+                .iter()
+                .any(|(k, e)| k.dataset == dataset && !keep.contains(&e.fingerprint))
+            {
+                return 0;
+            }
+        }
+        let mut entries = self.entries.write();
+        let stale: Vec<CacheKey> = entries
+            .iter()
+            .filter(|(k, e)| k.dataset == dataset && !keep.contains(&e.fingerprint))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &stale {
+            let e = entries.remove(k).expect("stale key exists");
+            self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+        }
+        self.stats
+            .invalidations
+            .fetch_add(stale.len() as u64, Ordering::Relaxed);
+        global_metrics().cache_invalidations.add(stale.len() as u64);
+        stale.len()
+    }
+
+    /// Drop every entry of a dataset unconditionally, fold partials
+    /// included.
     pub fn invalidate_dataset(&self, dataset: &str) -> usize {
+        self.folds.invalidate_dataset(dataset);
         let mut entries = self.entries.write();
         let keys: Vec<CacheKey> = entries
             .keys()
@@ -356,6 +520,7 @@ impl CacheManager {
 
     /// Clear everything (benchmark phase boundaries).
     pub fn clear(&self) {
+        self.folds.clear();
         let mut entries = self.entries.write();
         entries.clear();
         self.used_bytes.store(0, Ordering::Relaxed);
@@ -398,7 +563,7 @@ mod tests {
     use vida_types::Value;
 
     fn col(n: usize) -> CachedData {
-        CachedData::Values((0..n).map(|i| Value::Int(i as i64)).collect())
+        CachedData::Values(Arc::new((0..n).map(|i| Value::Int(i as i64)).collect()))
     }
 
     #[test]
@@ -472,6 +637,133 @@ mod tests {
         assert!(m.get(&CacheKey::new("e", "a", Layout::Values)).is_some());
         // Same fingerprint: nothing dropped.
         assert_eq!(m.invalidate_stale("e", (1, 1)), 0);
+    }
+
+    #[test]
+    fn retain_fingerprints_keeps_two_generations() {
+        let m = CacheManager::new(1 << 20);
+        m.put(CacheKey::new("d", "old", Layout::Values), col(5), (1, 1));
+        m.put(CacheKey::new("d", "prev", Layout::Values), col(5), (2, 2));
+        m.put(CacheKey::new("d", "cur", Layout::Values), col(5), (3, 3));
+        m.put(CacheKey::new("e", "old", Layout::Values), col(5), (1, 1));
+        // Append happened: (2,2) is the prefix-valid generation, (3,3) the
+        // current one; only the (1,1) relic of dataset "d" drops.
+        assert_eq!(m.retain_fingerprints("d", &[(2, 2), (3, 3)]), 1);
+        assert!(m.get(&CacheKey::new("d", "old", Layout::Values)).is_none());
+        assert!(m.get(&CacheKey::new("d", "prev", Layout::Values)).is_some());
+        assert!(m.get(&CacheKey::new("d", "cur", Layout::Values)).is_some());
+        assert!(m.get(&CacheKey::new("e", "old", Layout::Values)).is_some());
+        // Nothing stale: read-lock fast path returns 0.
+        assert_eq!(m.retain_fingerprints("d", &[(2, 2), (3, 3)]), 0);
+    }
+
+    #[test]
+    fn get_any_versioned_reports_stored_fingerprint() {
+        let m = CacheManager::new(1 << 20);
+        m.put(CacheKey::new("d", "a", Layout::Values), col(5), (10, 20));
+        let (layout, data, fp) = m
+            .get_any_versioned("d", "a", &[Layout::Values, Layout::Positions])
+            .unwrap();
+        assert_eq!(layout, Layout::Values);
+        assert_eq!(data.len(), 5);
+        assert_eq!(fp, (10, 20));
+        assert!(m.get_any_versioned("d", "b", &[Layout::Values]).is_none());
+    }
+
+    #[test]
+    fn extend_values_splices_tail_in_place() {
+        let m = CacheManager::new(1 << 20);
+        let key = CacheKey::new("d", "a", Layout::Values);
+        m.put(key.clone(), col(5), (1, 1));
+        let before = m.used_bytes();
+        let full = m
+            .extend_values(&key, (1, 1), 5, vec![Value::Int(5), Value::Int(6)], (2, 2))
+            .unwrap();
+        assert_eq!(full.len(), 7);
+        assert_eq!(full[6], Value::Int(6));
+        assert!(m.used_bytes() > before);
+        // Promoted to the new generation, sharing storage with the caller.
+        assert!(m.contains_fresh(&key, (2, 2)));
+        let got = m.get(&key).unwrap();
+        let CachedData::Values(resident) = &*got else {
+            panic!("values replica expected");
+        };
+        assert!(Arc::ptr_eq(resident, &full));
+    }
+
+    #[test]
+    fn extend_values_drops_rows_past_the_proven_prefix() {
+        // The last resident row re-parsed an unterminated unit: keep_rows
+        // trims it before the tail (which re-reads it whole) goes on.
+        let m = CacheManager::new(1 << 20);
+        let key = CacheKey::new("d", "a", Layout::Values);
+        m.put(key.clone(), col(5), (1, 1));
+        let full = m
+            .extend_values(
+                &key,
+                (1, 1),
+                4,
+                vec![Value::Int(40), Value::Int(41)],
+                (2, 2),
+            )
+            .unwrap();
+        assert_eq!(&full[3..], &[Value::Int(3), Value::Int(40), Value::Int(41)]);
+    }
+
+    #[test]
+    fn extend_values_refuses_mismatches() {
+        let m = CacheManager::new(1 << 20);
+        let key = CacheKey::new("d", "a", Layout::Values);
+        assert!(m.extend_values(&key, (1, 1), 0, vec![], (2, 2)).is_none());
+        m.put(key.clone(), col(5), (1, 1));
+        // Wrong stored generation.
+        assert!(m
+            .extend_values(&key, (9, 9), 5, vec![Value::Int(5)], (2, 2))
+            .is_none());
+        // Prefix longer than the replica.
+        assert!(m
+            .extend_values(&key, (1, 1), 6, vec![Value::Int(5)], (2, 2))
+            .is_none());
+        // Not a values replica.
+        let pos = CacheKey::new("d", "a", Layout::Positions);
+        m.put(pos.clone(), CachedData::Positions(vec![(0, 4); 5]), (1, 1));
+        assert!(m
+            .extend_values(&pos, (1, 1), 5, vec![Value::Int(5)], (2, 2))
+            .is_none());
+        // The untouched entry still serves under its old generation.
+        assert!(m.contains_fresh(&key, (1, 1)));
+    }
+
+    #[test]
+    fn extend_values_evicts_others_when_growth_exceeds_budget() {
+        let one = col(100).approx_bytes();
+        let m = CacheManager::new(one * 2 + 64);
+        let hot = CacheKey::new("d", "hot", Layout::Values);
+        m.put(hot.clone(), col(100), (1, 1));
+        m.put(CacheKey::new("d", "cold", Layout::Values), col(100), (1, 1));
+        let tail: Vec<Value> = (100..120).map(|i| Value::Int(i as i64)).collect();
+        assert!(m.extend_values(&hot, (1, 1), 100, tail, (2, 2)).is_some());
+        assert!(m.contains(&hot), "the extended entry is never the victim");
+        assert!(!m.contains(&CacheKey::new("d", "cold", Layout::Values)));
+        assert!(m.used_bytes() <= m.budget_bytes());
+    }
+
+    #[test]
+    fn invalidate_dataset_drops_fold_partials_too() {
+        let m = CacheManager::new(1 << 20);
+        m.put(CacheKey::new("d", "a", Layout::Values), col(5), (1, 1));
+        m.folds().put(
+            "d",
+            42,
+            crate::fold::FoldPartial {
+                partial: Value::Int(9),
+                rows: 5,
+                fingerprint: (1, 1),
+            },
+        );
+        m.invalidate_dataset("d");
+        assert!(m.folds().get("d", 42).is_none());
+        assert!(m.is_empty());
     }
 
     #[test]

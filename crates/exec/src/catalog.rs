@@ -18,6 +18,12 @@ pub trait SourceProvider: Send + Sync {
     /// All registered dataset names (diagnostics).
     fn dataset_names(&self) -> Vec<String>;
 
+    /// Swap in a replacement plugin for `dataset` — called by the executor
+    /// after revalidation notices the backing file changed, so later
+    /// queries bind the fresh reader instead of re-running revalidation.
+    /// The default is a no-op for catalogs without resident plugin state.
+    fn install(&self, _dataset: &str, _plugin: Arc<dyn InputPlugin>) {}
+
     /// Materialize a whole dataset as a bag value (used for datasets
     /// referenced inside nested head comprehensions).
     fn materialize(&self, dataset: &str) -> Result<Value> {
@@ -76,6 +82,10 @@ impl SourceProvider for MemoryCatalog {
         names.sort();
         names
     }
+
+    fn install(&self, dataset: &str, plugin: Arc<dyn InputPlugin>) {
+        self.plugins.write().insert(dataset.to_string(), plugin);
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +105,30 @@ mod tests {
         let p = cat.plugin("T").unwrap();
         assert_eq!(p.num_units(), 1);
         assert!(cat.plugin("missing").is_err());
+        assert_eq!(cat.dataset_names(), vec!["T"]);
+    }
+
+    #[test]
+    fn install_swaps_the_resident_plugin() {
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "T",
+            Schema::from_pairs([("id", Type::Int)]),
+            &[Value::record([("id", Value::Int(1))])],
+        )
+        .unwrap();
+        let replacement = MemPlugin::from_records(
+            "T",
+            Schema::from_pairs([("id", Type::Int)]),
+            &[
+                Value::record([("id", Value::Int(1))]),
+                Value::record([("id", Value::Int(2))]),
+            ],
+        )
+        .unwrap();
+        cat.install("T", Arc::new(replacement));
+        // Later resolutions bind the fresh reader, not the stale one.
+        assert_eq!(cat.plugin("T").unwrap().num_units(), 2);
         assert_eq!(cat.dataset_names(), vec!["T"]);
     }
 

@@ -85,13 +85,16 @@ use std::sync::Arc;
 use std::time::Instant;
 use vida_algebra::lower::{left_deepen, split_conjuncts, UNIT_DATASET};
 use vida_algebra::Plan;
-use vida_cache::{bson, CacheKey, CacheManager, CachedData, Layout};
+use vida_cache::{bson, CacheKey, CacheManager, CachedData, FoldPartial, Layout};
+use vida_formats::Revalidation;
 use vida_jit::compile::path_of;
 use vida_jit::frame::{decode_output, StringInterner};
 use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SelectKernel, SlotType};
 use vida_lang::{eval, BinOp, Bindings, Expr, Qualifier};
 use vida_optimizer::{CostModel, FieldObservation};
-use vida_parallel::{partition_of, plan_scan, radix, MorselPlan, WorkerPool, DEFAULT_MORSEL_UNITS};
+use vida_parallel::{
+    partition_of, plan_scan, plan_scan_tail, radix, MorselPlan, WorkerPool, DEFAULT_MORSEL_UNITS,
+};
 use vida_trace::{stage, QueryTrace};
 use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Result, Type, Value, VidaError};
 
@@ -482,6 +485,52 @@ struct Pipeline {
     morsel_rows: usize,
     /// Run the legacy materializing executor instead of the push loop.
     materialize_stages: bool,
+    /// Fold-partial cache seam for single-source primitive folds (`None`
+    /// for every other shape — they always run the plain full fold).
+    fold_seam: Option<FoldSeam>,
+}
+
+/// Where cached pre-finalize fold partials are looked up and refreshed,
+/// for queries that qualify: one scanned source (selects allowed), no
+/// joins/unnests, a primitive output monoid, no free datasets, and not the
+/// materializing ablation. When revalidation proved the source grew in
+/// place and the cached partial covers exactly the unchanged prefix,
+/// `reuse` carries it — the executor then drives only rows
+/// `reuse.rows..nrows` and merges the partial in front (ViDa's O(delta)
+/// warm re-query). After every qualifying fold the refreshed accumulator
+/// is stored back under the current fingerprint.
+struct FoldSeam {
+    cache: Arc<CacheManager>,
+    dataset: String,
+    /// FNV-1a over the plan's debug rendering — the query half of the
+    /// fold-cache key.
+    query_hash: u64,
+    /// Current source fingerprint, stamped on the refreshed partial.
+    fingerprint: (u64, u64),
+    /// Rows the refreshed partial will cover (the whole source).
+    nrows: usize,
+    reuse: Option<FoldPartial>,
+}
+
+/// Per-dataset revalidation verdict for one query, recorded when the
+/// builder binds the scan and consumed by the cache protocol in
+/// `materialize_columns`. Unchanged datasets have no entry.
+#[derive(Clone, Copy)]
+enum Freshness {
+    /// The file grew in place: replicas and fold partials written under
+    /// `prev_fingerprint` are still valid for the unchanged prefix.
+    Extended {
+        prev_fingerprint: (u64, u64),
+        /// Unit count of the previous generation (validates that a retained
+        /// replica really is the old column, not some other length).
+        prev_units: usize,
+        /// Leading units of the previous index the re-scan reproduced
+        /// verbatim (one less than the old count when the old file ended
+        /// mid-record and the append glued onto its last unit).
+        prefix_units: usize,
+    },
+    /// Shrunk or edited in place: full invalidation, full re-scan.
+    Rebuilt,
 }
 
 // ---------------------------------------------------------------------------
@@ -798,6 +847,9 @@ struct PipelineBuilder<'a> {
     catalog: &'a dyn SourceProvider,
     opts: &'a JitOptions,
     stats: &'a mut ExecStats,
+    /// Revalidation verdicts of the datasets this query binds (absent =
+    /// unchanged on disk, serve caches as usual).
+    freshness: HashMap<String, Freshness>,
 }
 
 impl<'a> PipelineBuilder<'a> {
@@ -810,6 +862,7 @@ impl<'a> PipelineBuilder<'a> {
             catalog,
             opts,
             stats,
+            freshness: HashMap::new(),
         }
     }
 
@@ -943,6 +996,16 @@ impl<'a> PipelineBuilder<'a> {
 
         // The plan is JIT-able: materialize touched columns (cache-first)
         // and encode them into slot representation.
+        //
+        // Fold-partial cache identity of a single-source plan, captured
+        // before the specs are consumed below.
+        let seam_src = (specs.len() == 1).then(|| {
+            (
+                specs[0].dataset.clone(),
+                specs[0].plugin.fingerprint(),
+                specs[0].nrows,
+            )
+        });
         let mut sources: Vec<Source> = Vec::with_capacity(specs.len());
         for spec in specs {
             self.stats.tuples_scanned += spec.nrows as u64;
@@ -990,7 +1053,7 @@ impl<'a> PipelineBuilder<'a> {
         // (shared helper with the Volcano engine).
         let base_env = crate::volcano::materialize_free_datasets(&exprs, &bindings, self.catalog)?;
 
-        let unnests = unnests
+        let unnests: Vec<UnnestStage> = unnests
             .into_iter()
             .map(|u| UnnestStage {
                 binding: u.binding,
@@ -999,6 +1062,44 @@ impl<'a> PipelineBuilder<'a> {
                 slots: u.slots,
             })
             .collect();
+
+        // Aggregate partial reuse (the warm half of O(delta) re-query):
+        // qualifying folds cache their pre-finalize accumulator, and when
+        // revalidation proved the source grew in place with the cached
+        // partial covering exactly the unchanged prefix, this run seeds
+        // from it and folds only the appended rows.
+        let fold_seam = match (&self.opts.cache, seam_src) {
+            (Some(cache), Some((dataset, fingerprint, nrows)))
+                if matches!(*monoid, Monoid::Primitive(_))
+                    && matches!(root, Node::Source(_))
+                    && unnests.is_empty()
+                    && base_env.is_empty()
+                    && !self.opts.materialize_stages =>
+            {
+                let query_hash = fnv1a(&format!("{plan:?}"));
+                let reuse = match self.freshness.get(&dataset) {
+                    Some(&Freshness::Extended {
+                        prev_fingerprint,
+                        prefix_units,
+                        ..
+                    }) => cache.folds().get(&dataset, query_hash).filter(|p| {
+                        p.fingerprint == prev_fingerprint
+                            && p.rows == prefix_units
+                            && p.rows <= nrows
+                    }),
+                    _ => None,
+                };
+                Some(FoldSeam {
+                    cache: Arc::clone(cache),
+                    dataset,
+                    query_hash,
+                    fingerprint,
+                    nrows,
+                    reuse,
+                })
+            }
+            _ => None,
+        };
 
         Ok(Some(Pipeline {
             sources,
@@ -1012,6 +1113,7 @@ impl<'a> PipelineBuilder<'a> {
             threads: self.opts.effective_threads(),
             morsel_rows: self.opts.morsel_rows,
             materialize_stages: self.opts.materialize_stages,
+            fold_seam,
         }))
     }
 
@@ -1033,7 +1135,42 @@ impl<'a> PipelineBuilder<'a> {
             Shape::Scan {
                 dataset, binding, ..
             } => {
-                let plugin = self.catalog.plugin(dataset)?;
+                // Re-stat the backing file before trusting the resident
+                // plugin (fingerprints used to be captured once at open and
+                // never checked again, so a mutated file served stale
+                // replicas forever). A changed file swaps a fresh reader
+                // into the catalog; the verdict steers the cache protocol
+                // in `materialize_columns`.
+                let mut plugin = self.catalog.plugin(dataset)?;
+                if !self.freshness.contains_key(dataset) {
+                    match plugin.revalidate()? {
+                        Revalidation::Unchanged => {}
+                        Revalidation::Extended {
+                            plugin: fresh,
+                            prev_fingerprint,
+                            prev_units,
+                            prefix_units,
+                        } => {
+                            let fresh: Arc<dyn vida_formats::InputPlugin> = Arc::from(fresh);
+                            self.catalog.install(dataset, Arc::clone(&fresh));
+                            plugin = fresh;
+                            self.freshness.insert(
+                                dataset.clone(),
+                                Freshness::Extended {
+                                    prev_fingerprint,
+                                    prev_units,
+                                    prefix_units,
+                                },
+                            );
+                        }
+                        Revalidation::Rebuilt { plugin: fresh } => {
+                            let fresh: Arc<dyn vida_formats::InputPlugin> = Arc::from(fresh);
+                            self.catalog.install(dataset, Arc::clone(&fresh));
+                            plugin = fresh;
+                            self.freshness.insert(dataset.clone(), Freshness::Rebuilt);
+                        }
+                    }
+                }
                 let schema = plugin.schema().clone();
                 let nrows = plugin.num_units();
 
@@ -1139,8 +1276,26 @@ impl<'a> PipelineBuilder<'a> {
     ) -> Result<Vec<Arc<Vec<Value>>>> {
         let schema = plugin.schema();
         let fingerprint = plugin.fingerprint();
+        let freshness = self.freshness.get(dataset).copied();
+        // Prefix-validity window when the file grew in place: replicas of
+        // `prev_fingerprint` with exactly `prev_units` rows still serve
+        // their first `prefix_units` rows.
+        let grown_info = match freshness {
+            Some(Freshness::Extended {
+                prev_fingerprint,
+                prev_units,
+                prefix_units,
+            }) if prefix_units > 0 => Some((prev_fingerprint, prev_units, prefix_units)),
+            _ => None,
+        };
         let mut out: Vec<Option<Arc<Vec<Value>>>> = vec![None; touched.len()];
-        let mut missing: Vec<usize> = Vec::new(); // positions into `touched`
+        // Positions into `touched` that need a full raw scan.
+        let mut missing: Vec<usize> = Vec::new();
+        // Prefix-served columns awaiting the appended rows from one shared
+        // tail scan: `(position into touched, decoded prefix)`, where the
+        // prefix is `None` for `Values` replicas — those splice the tail
+        // into the resident vector instead of decoding row by row.
+        let mut grown: Vec<(usize, Option<Vec<Value>>)> = Vec::new();
 
         if let Some(cache) = &self.opts.cache {
             // Probe span counts replica-served work: one "tuple" per
@@ -1149,7 +1304,24 @@ impl<'a> PipelineBuilder<'a> {
             // sub-spans are timing-only.
             self.stats.span_begin(stage::CACHE_PROBE);
             let mut served = 0u64;
-            cache.invalidate_stale(dataset, fingerprint);
+            let mut served_rows = 0u64;
+            // Revalidation verdict → invalidation protocol. Unchanged
+            // files drop stale strangers as before; grown files retain the
+            // previous generation (its prefix still serves); shrunk or
+            // edited files lose everything, fold partials included.
+            match freshness {
+                None => {
+                    cache.invalidate_stale(dataset, fingerprint);
+                }
+                Some(Freshness::Extended {
+                    prev_fingerprint, ..
+                }) => {
+                    cache.retain_fingerprints(dataset, &[prev_fingerprint, fingerprint]);
+                }
+                Some(Freshness::Rebuilt) => {
+                    cache.invalidate_dataset(dataset);
+                }
+            }
             let pressure = cache_pressure(cache);
             for (i, &col) in touched.iter().enumerate() {
                 let field = &schema.fields()[col].name;
@@ -1159,19 +1331,126 @@ impl<'a> PipelineBuilder<'a> {
                     Some(model) => model.read_preference(dataset, field, pressure),
                     None => vec![Layout::Values, Layout::BinaryJson, Layout::Positions],
                 };
-                match cache.get_any(dataset, field, &preference) {
-                    Some((_, data)) if data.len() == nrows => {
-                        let vals = self.decode_replica(plugin, col, &data, nrows)?;
-                        out[i] = Some(Arc::new(vals));
+                match cache.get_any_versioned(dataset, field, &preference) {
+                    Some((_, data, fp)) if fp == fingerprint && data.len() == nrows => {
+                        let vals = match &*data {
+                            // Parsed replicas serve by pointer share — no
+                            // per-row decode, no copy.
+                            CachedData::Values(v) => Arc::clone(v),
+                            _ => Arc::new(self.decode_replica(plugin, col, &data, nrows)?),
+                        };
+                        out[i] = Some(vals);
                         self.stats.cached_columns += 1;
                         served += 1;
+                        served_rows += nrows as u64;
+                    }
+                    Some((_, data, fp))
+                        if grown_info.is_some_and(|(pf, pu, _)| fp == pf && data.len() == pu) =>
+                    {
+                        // Old-generation replica over a grown file: the
+                        // appended rows come from one shared tail scan
+                        // below. A `Values` replica needs no prefix work at
+                        // all (the tail splices into the resident vector);
+                        // other layouts decode only the proven prefix (byte
+                        // spans of `Positions` replicas still point at
+                        // unchanged bytes).
+                        let (_, _, prefix_units) = grown_info.expect("guard");
+                        let prefix = match &*data {
+                            CachedData::Values(_) => None,
+                            _ => Some(self.decode_replica(plugin, col, &data, prefix_units)?),
+                        };
+                        grown.push((i, prefix));
+                        self.stats.cached_columns += 1;
+                        served += 1;
+                        served_rows += prefix_units as u64;
                     }
                     _ => missing.push(i),
                 }
             }
-            self.stats.span_end_counted(served * nrows as u64, served);
+            self.stats.span_end_counted(served_rows, served);
         } else {
             missing = (0..touched.len()).collect();
+        }
+
+        if !grown.is_empty() {
+            let (_, _, prefix_units) = grown_info.expect("grown implies Extended");
+            let from = prefix_units;
+            self.stats.span_begin(stage::SCAN);
+            let tail_morsels = if self.stats.trace.is_some() {
+                plan_scan_tail(plugin.as_ref(), self.opts.morsel_rows, from).len() as u64
+            } else {
+                0
+            };
+            let cols: Vec<usize> = grown.iter().map(|&(i, _)| touched[i]).collect();
+            let tails = if self.opts.effective_threads() > 1 {
+                self.scan_columns_parallel(plugin, &cols, from)?
+            } else {
+                let mut read: Vec<Vec<Value>> = vec![Vec::new(); cols.len()];
+                plugin.scan_project_range(&cols, from..nrows, &mut |_, vals| {
+                    for (c, v) in read.iter_mut().zip(vals) {
+                        c.push(v);
+                    }
+                    Ok(())
+                })?;
+                read
+            };
+            self.stats.tail_rows_scanned += (nrows - from) as u64;
+            self.stats
+                .span_end_counted((nrows - from) as u64, tail_morsels);
+            let (prev_fingerprint, _, _) = grown_info.expect("grown implies Extended");
+            for ((i, prefix), tail) in grown.into_iter().zip(tails) {
+                let cache = self.opts.cache.as_ref().expect("grown implies cache");
+                let field = &schema.fields()[touched[i]].name;
+                let key = CacheKey::new(dataset, field.clone(), Layout::Values);
+                let full = match prefix {
+                    // `Values` replica: splice the tail into the resident
+                    // vector under the cache lock — O(delta), and the entry
+                    // is promoted to the current generation in the same
+                    // step, so the next query is a plain full hit.
+                    None => {
+                        match cache.extend_values(&key, prev_fingerprint, from, tail, fingerprint) {
+                            Some(full) => full,
+                            None => {
+                                // The replica vanished between probe and splice
+                                // (concurrent eviction): re-read the whole
+                                // column from raw — correctness over speed on
+                                // this rare race.
+                                let mut vals: Vec<Value> = Vec::with_capacity(nrows);
+                                plugin.scan_project_range(
+                                    &[touched[i]],
+                                    0..nrows,
+                                    &mut |_, row| {
+                                        vals.extend(row);
+                                        Ok(())
+                                    },
+                                )?;
+                                let full = Arc::new(vals);
+                                if self.opts.cost_model.is_none() {
+                                    cache.put(
+                                        key,
+                                        CachedData::Values(Arc::clone(&full)),
+                                        fingerprint,
+                                    );
+                                }
+                                full
+                            }
+                        }
+                    }
+                    // Other layouts: stitch decoded prefix + scanned tail
+                    // and refresh the replica to the current generation
+                    // (with a cost model the refresh happens in
+                    // `sync_replicas` instead, in its chosen layout).
+                    Some(mut vals) => {
+                        vals.extend(tail);
+                        let full = Arc::new(vals);
+                        if self.opts.cost_model.is_none() {
+                            cache.put(key, CachedData::Values(Arc::clone(&full)), fingerprint);
+                        }
+                        full
+                    }
+                };
+                out[i] = Some(full);
+            }
         }
 
         if !missing.is_empty() {
@@ -1186,7 +1465,7 @@ impl<'a> PipelineBuilder<'a> {
             };
             let cols: Vec<usize> = missing.iter().map(|&i| touched[i]).collect();
             let read = if self.opts.effective_threads() > 1 {
-                self.scan_columns_parallel(plugin, &cols)?
+                self.scan_columns_parallel(plugin, &cols, 0)?
             } else {
                 let mut read: Vec<Vec<Value>> = vec![Vec::new(); cols.len()];
                 plugin.scan_project(&cols, &mut |_, vals| {
@@ -1200,18 +1479,20 @@ impl<'a> PipelineBuilder<'a> {
             self.stats.span_end_counted(nrows as u64, scan_morsels);
             for (&i, col_vals) in missing.iter().zip(read) {
                 let field = &schema.fields()[touched[i]].name;
-                // Without a model, keep the legacy eager-Values put. With
-                // one, sync_replicas below writes the chosen layout instead.
+                let full = Arc::new(col_vals);
+                // Without a model, keep the legacy eager-Values put — the
+                // replica shares storage with the served column. With a
+                // model, sync_replicas below writes the chosen layout.
                 if self.opts.cost_model.is_none() {
                     if let Some(cache) = &self.opts.cache {
                         cache.put(
                             CacheKey::new(dataset, field.clone(), Layout::Values),
-                            CachedData::Values(col_vals.clone()),
+                            CachedData::Values(Arc::clone(&full)),
                             fingerprint,
                         );
                     }
                 }
-                out[i] = Some(Arc::new(col_vals));
+                out[i] = Some(full);
                 self.stats.raw_columns += 1;
             }
         }
@@ -1315,7 +1596,11 @@ impl<'a> PipelineBuilder<'a> {
             let pressure = cache_pressure(cache);
             let mut chosen = model.choose_layout(dataset, field, pressure);
             let mut key = CacheKey::new(dataset, field.clone(), chosen);
-            if !cache.contains(&key) {
+            // Fingerprint-aware guard: a retained prior-generation replica
+            // (kept for prefix serving over a grown file) counts as
+            // missing, so the stitched column replaces it under the
+            // current generation instead of being invalidated next query.
+            if !cache.contains_fresh(&key, fingerprint) {
                 let mut replica = self.build_replica(plugin, col, &columns[i], chosen)?;
                 if replica.is_none() && chosen == Layout::Positions {
                     // Some rows have no byte span (optional JSON fields):
@@ -1326,7 +1611,7 @@ impl<'a> PipelineBuilder<'a> {
                     model.mark_spans_infeasible(dataset, field);
                     chosen = model.choose_layout(dataset, field, pressure);
                     key = CacheKey::new(dataset, field.clone(), chosen);
-                    replica = if cache.contains(&key) {
+                    replica = if cache.contains_fresh(&key, fingerprint) {
                         None
                     } else {
                         self.build_replica(plugin, col, &columns[i], chosen)?
@@ -1368,7 +1653,7 @@ impl<'a> PipelineBuilder<'a> {
         &mut self,
         plugin: &Arc<dyn vida_formats::InputPlugin>,
         col: usize,
-        vals: &[Value],
+        vals: &Arc<Vec<Value>>,
         layout: Layout,
     ) -> Result<Option<CachedData>> {
         match layout {
@@ -1382,6 +1667,9 @@ impl<'a> PipelineBuilder<'a> {
                 }
                 Ok(Some(CachedData::Positions(spans)))
             }
+            // The values replica shares storage with the materialized
+            // column instead of copying it.
+            Layout::Values => Ok(Some(CachedData::Values(Arc::clone(vals)))),
             layout => Ok(CachedData::from_values(vals, layout).ok()),
         }
     }
@@ -1390,13 +1678,16 @@ impl<'a> PipelineBuilder<'a> {
     /// morsels (newline-aligned CSV byte ranges, record-aligned JSON spans)
     /// and workers parse disjoint ranges concurrently, sharing only the
     /// atomic positional structures. Chunks concatenate in morsel order, so
-    /// the materialized columns are identical to a serial scan's.
+    /// the materialized columns are identical to a serial scan's. `from`
+    /// restricts the scan to units `from..num_units()` — the appended tail
+    /// of a grown file (`0` scans everything).
     fn scan_columns_parallel(
         &mut self,
         plugin: &Arc<dyn vida_formats::InputPlugin>,
         cols: &[usize],
+        from: usize,
     ) -> Result<Vec<Vec<Value>>> {
-        let plan = plan_scan(plugin.as_ref(), self.opts.morsel_rows);
+        let plan = plan_scan_tail(plugin.as_ref(), self.opts.morsel_rows, from);
         let epoch = self.stats.trace_epoch();
         let pool = WorkerPool::new(self.opts.effective_threads());
         let chunks = pool.run_morsels(
@@ -1829,22 +2120,25 @@ impl Pipeline {
             stats.span_end();
         }
         let nrows = self.sources[leftmost_source(&self.root)].nrows;
+        // A reusable cached prefix partial shrinks the drive to the
+        // appended rows; the fold arms merge the partial in front.
+        let from = self.fold_reuse_rows();
         let dstage = drive_stage(&self.root);
         stats.span_begin(stage::FOLD);
         let value = self.fold_stream(stats, |stats, sink| {
             if stats.trace.is_none() {
-                return self.drive(&self.root, 0..nrows, &builds, stats, sink);
+                return self.drive(&self.root, from..nrows, &builds, stats, sink);
             }
             // Traced drive: count pushed tuples through a wrapping sink and
             // report the morsel count the parallel grid would dispatch, so
             // the span aggregates identically at every thread count.
             stats.span_begin(dstage);
             let mut pushed = 0u64;
-            let r = self.drive(&self.root, 0..nrows, &builds, stats, &mut |stats, t| {
+            let r = self.drive(&self.root, from..nrows, &builds, stats, &mut |stats, t| {
                 pushed += 1;
                 sink(stats, t)
             });
-            stats.span_end_counted(pushed, morsel_count(nrows, self.morsel_rows));
+            stats.span_end_counted(pushed, morsel_count(nrows - from, self.morsel_rows));
             r
         })?;
         stats.span_end();
@@ -1879,24 +2173,70 @@ impl Pipeline {
             Monoid::Primitive(PrimitiveMonoid::Count)
                 if matches!(self.head, HeadPlan::CountOnly) =>
             {
-                let mut n = 0i64;
+                // A reused partial in this arm is always the plain count
+                // (the same plan hash always lands in the same arm).
+                let mut n = match self.fold_reuse_partial(stats) {
+                    Some(Value::Int(k)) => k,
+                    _ => 0,
+                };
                 produce(stats, &mut |stats, _| {
                     stats.actual_rows += 1;
                     n += 1;
                     Ok(())
                 })?;
+                self.store_fold_partial(&Value::Int(n));
                 Ok(Value::Int(n))
             }
             m => {
-                let mut acc = m.zero();
+                // Seed from the cached prefix partial when one is valid:
+                // `merge(prefix, unit(v))` is exactly the in-order merge a
+                // full serial fold would have reached after the prefix rows.
+                let mut acc = match self.fold_reuse_partial(stats) {
+                    Some(prefix) => prefix,
+                    None => m.zero(),
+                };
                 produce(stats, &mut |stats, t| {
                     stats.actual_rows += 1;
                     let v = self.head_value(&t, stats)?;
                     acc = m.merge(std::mem::replace(&mut acc, Value::Null), m.unit(v))?;
                     Ok(())
                 })?;
+                self.store_fold_partial(&acc);
                 m.finalize(acc)
             }
+        }
+    }
+
+    /// Rows covered by a reusable cached prefix partial — the drive starts
+    /// there (0 = no reuse, fold everything).
+    fn fold_reuse_rows(&self) -> usize {
+        self.fold_seam
+            .as_ref()
+            .and_then(|s| s.reuse.as_ref())
+            .map(|p| p.rows)
+            .unwrap_or(0)
+    }
+
+    /// The cached prefix partial for this run, counting the reuse.
+    fn fold_reuse_partial(&self, stats: &mut ExecStats) -> Option<Value> {
+        let p = self.fold_seam.as_ref()?.reuse.as_ref()?;
+        stats.partials_reused += 1;
+        Some(p.partial.clone())
+    }
+
+    /// Refresh the cached partial: the pre-finalize accumulator now covers
+    /// the whole source at its current fingerprint.
+    fn store_fold_partial(&self, partial: &Value) {
+        if let Some(seam) = &self.fold_seam {
+            seam.cache.folds().put(
+                &seam.dataset,
+                seam.query_hash,
+                FoldPartial {
+                    partial: partial.clone(),
+                    rows: seam.nrows,
+                    fingerprint: seam.fingerprint,
+                },
+            );
         }
     }
 
@@ -2835,10 +3175,11 @@ impl Pipeline {
         if joins {
             stats.span_end();
         }
-        let plan = MorselPlan::fixed(
-            self.sources[leftmost_source(&self.root)].nrows,
-            self.morsel_rows,
-        );
+        let nrows = self.sources[leftmost_source(&self.root)].nrows;
+        // A reusable cached prefix partial shrinks the morsel grid to the
+        // appended rows (`from = 0` is the ordinary whole-source grid).
+        let from = self.fold_reuse_rows();
+        let plan = MorselPlan::fixed(nrows - from, self.morsel_rows).shifted(from);
         stats.morsels += plan.len() as u64;
         let epoch = stats.trace_epoch();
         let dstage = drive_stage(&self.root);
@@ -2878,6 +3219,12 @@ impl Pipeline {
             Monoid::Primitive(PrimitiveMonoid::Count)
                 if matches!(self.head, HeadPlan::CountOnly) =>
             {
+                // A reused partial in this arm is always the plain count
+                // (the same plan hash always lands in the same arm).
+                let base = match self.fold_reuse_partial(stats) {
+                    Some(Value::Int(k)) => k,
+                    _ => 0,
+                };
                 let n = pool.fold_morsels(
                     plan.len(),
                     |w, m| {
@@ -2898,11 +3245,18 @@ impl Pipeline {
                         Ok(acc + n)
                     },
                 )?;
-                Ok(Value::Int(n))
+                self.store_fold_partial(&Value::Int(base + n));
+                Ok(Value::Int(base + n))
             }
             m => {
                 // Per-morsel partial folds, merged deterministically in
-                // morsel order via the Monoid trait.
+                // morsel order via the Monoid trait. A reused cached prefix
+                // partial goes in front — morsel order over the tail plus
+                // the prefix is exactly the whole-source order.
+                let mut seed = Vec::with_capacity(plan.len() + 1);
+                if let Some(prefix) = self.fold_reuse_partial(stats) {
+                    seed.push(prefix);
+                }
                 let accs = pool.fold_morsels(
                     plan.len(),
                     |w, mi| {
@@ -2927,14 +3281,16 @@ impl Pipeline {
                         ws.span_end_counted(pushed, 1);
                         Ok::<_, VidaError>((acc, ws))
                     },
-                    Vec::with_capacity(plan.len()),
+                    seed,
                     |mut accs, (acc, ws)| {
                         accs.push(acc);
                         stats.absorb_worker(ws);
                         Ok(accs)
                     },
                 )?;
-                m.finalize(m.merge_partials(accs)?)
+                let merged = m.merge_partials(accs)?;
+                self.store_fold_partial(&merged);
+                m.finalize(merged)
             }
         }?;
         stats.span_end();
@@ -2991,6 +3347,18 @@ fn count_stages(node: &Node, stats: &mut ExecStats) {
 /// Cache byte pressure in `[0, 1]` — the cost model's storage-rent signal.
 fn cache_pressure(cache: &CacheManager) -> f64 {
     cache.used_bytes() as f64 / cache.budget_bytes().max(1) as f64
+}
+
+/// FNV-1a over the plan's debug rendering — the query half of the
+/// fold-partial cache key. Deterministic across runs (derived `Debug` is
+/// stable), and distinct plans only collide on a 64-bit hash collision.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Expression size in AST nodes — the per-tuple evaluation-cost proxy used

@@ -99,6 +99,15 @@ pub struct ExecStats {
     /// Tuples that actually entered the reduce (pipeline output before the
     /// fold), across all queries.
     pub actual_rows: u64,
+    /// Rows parsed from the appended tail of a grown file instead of a full
+    /// re-scan (revalidation proved the old content is a prefix of the new
+    /// file, so cached replicas served the prefix and only these rows
+    /// touched raw bytes). 0 when every source was unchanged or fully
+    /// re-scanned.
+    pub tail_rows_scanned: u64,
+    /// Cached aggregate prefix partials merged in front of a tail-only fold
+    /// (at most one per query): the warm half of O(delta) re-query.
+    pub partials_reused: u64,
     /// The query's span buffer when `JitOptions::trace` was set; `None`
     /// otherwise. Per-query — [`ExecStats::accumulate`] does not merge
     /// traces (export each query's trace before accumulating).
@@ -150,6 +159,8 @@ impl ExecStats {
         self.estimated_rows += other.estimated_rows;
         self.estimated_rows_actual += other.estimated_rows_actual;
         self.actual_rows += other.actual_rows;
+        self.tail_rows_scanned += other.tail_rows_scanned;
+        self.partials_reused += other.partials_reused;
     }
 
     /// Relative error of the optimizer's cardinality estimates:
@@ -286,6 +297,11 @@ impl ExecStats {
         out.push_str(&format!("\"estimated_rows\":{},", self.estimated_rows));
         out.push_str(&format!("\"actual_rows\":{},", self.actual_rows));
         out.push_str(&format!(
+            "\"tail_rows_scanned\":{},",
+            self.tail_rows_scanned
+        ));
+        out.push_str(&format!("\"partials_reused\":{},", self.partials_reused));
+        out.push_str(&format!(
             "\"cardinality_error\":{:.4}",
             self.cardinality_error()
         ));
@@ -326,6 +342,8 @@ mod tests {
             estimated_rows: 90,
             estimated_rows_actual: 100,
             actual_rows: 100,
+            tail_rows_scanned: 5,
+            partials_reused: 1,
             trace: None,
         };
         assert_eq!(a.total(), Duration::from_micros(1000));
@@ -347,6 +365,8 @@ mod tests {
         assert_eq!(a.conjuncts_reordered, 4);
         assert_eq!(a.estimated_rows, 180);
         assert_eq!(a.actual_rows, 200);
+        assert_eq!(a.tail_rows_scanned, 10);
+        assert_eq!(a.partials_reused, 2);
     }
 
     #[test]

@@ -34,8 +34,19 @@ pub const EMOJIS_RAW: [&str; 3] = ["\\ud83d\\ude00!", "snow\\u2603", "plain"];
 /// (serial and morsel-aligned parallel) runs through the quote-aware
 /// format layer.
 pub fn csv_a_bytes() -> Vec<u8> {
-    let mut csv = String::from("k,x,f,s\n");
-    for i in 0..16i64 {
+    csv_a_rows(0, 16)
+}
+
+/// Rows `lo..hi` of the `A` fixture — the suffix is appendable to a file
+/// holding rows `0..lo` (the append-mutation fuzzer grows fixtures with
+/// the same row formulas the cold oracle regenerates).
+pub fn csv_a_rows(lo: i64, hi: i64) -> Vec<u8> {
+    let mut csv = if lo == 0 {
+        String::from("k,x,f,s\n")
+    } else {
+        String::new()
+    };
+    for i in lo..hi {
         let x = if i % 5 == 3 {
             String::new()
         } else {
@@ -60,8 +71,13 @@ pub fn a_schema() -> Schema {
 /// `B(k, y, s)` raw newline-delimited JSON bytes: duplicate keys
 /// (k = i % 8), nulls in y, and surrogate-pair-escaped strings in s.
 pub fn json_b_bytes() -> Vec<u8> {
+    json_b_rows(0, 12)
+}
+
+/// Rows `lo..hi` of the `B` fixture (see [`csv_a_rows`]).
+pub fn json_b_rows(lo: i64, hi: i64) -> Vec<u8> {
     let mut json = String::new();
-    for i in 0..12i64 {
+    for i in lo..hi {
         let y = if i % 7 == 2 {
             "null".to_string()
         } else {
@@ -80,8 +96,13 @@ pub fn b_schema() -> Schema {
 /// `N(id, xs, ys, mat)` raw nested JSON bytes: scalar lists, record lists
 /// (with an occasional null element field), and lists of lists.
 pub fn json_n_bytes() -> Vec<u8> {
+    json_n_rows(0, 10)
+}
+
+/// Rows `lo..hi` of the nested `N` fixture (see [`csv_a_rows`]).
+pub fn json_n_rows(lo: i64, hi: i64) -> Vec<u8> {
     let mut json = String::new();
-    for i in 0..10i64 {
+    for i in lo..hi {
         let xs: Vec<String> = (0..(i % 4)).map(|j| (i + 2 * j).to_string()).collect();
         let ys: Vec<String> = (0..(i % 3))
             .map(|j| {

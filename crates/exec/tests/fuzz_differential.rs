@@ -41,9 +41,17 @@
 
 mod common;
 
-use common::{file_catalog, owned_catalog, COLORS, EMOJIS};
+use common::{
+    a_schema, b_schema, csv_a_rows, file_catalog, fixture_path, json_b_rows, json_n_rows, n_schema,
+    owned_catalog, COLORS, EMOJIS,
+};
+use std::sync::Arc;
 use vida_algebra::{execute_plan, rewrite, Plan};
+use vida_cache::CacheManager;
 use vida_exec::{run_jit_with_stats, run_volcano, JitOptions, MemoryCatalog, SourceProvider};
+use vida_formats::csv::CsvFile;
+use vida_formats::json::JsonFile;
+use vida_formats::plugin::{CsvPlugin, JsonPlugin};
 use vida_formats::MapMode;
 use vida_lang::{BinOp, Bindings, Expr};
 use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Value};
@@ -580,6 +588,160 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
         total_reordered > 0,
         "the plan_opt=true sweep never reordered a join — the optimizer leg is dead"
     );
+}
+
+/// The append-mutation step: a **resident** mmap'd catalog with a shared
+/// replica cache survives the fixture files growing on disk between query
+/// batches. A fixed generated plan set re-runs after every append and each
+/// result must match the interpreted oracle over a *fresh* catalog built
+/// from the file's current bytes — incremental extension (positional-map /
+/// semi-index growth, prefix-served replicas, resumed fold partials) is
+/// never allowed to be observable in a result. The sweep also asserts the
+/// incremental machinery actually fired: the post-append probes must scan
+/// exactly the appended suffix and resume a cached fold partial.
+#[test]
+fn fuzz_append_mutations_between_query_batches() {
+    let a_path = fixture_path("fuzz_append", "A.csv");
+    let b_path = fixture_path("fuzz_append", "B.json");
+    let n_path = fixture_path("fuzz_append", "N.json");
+    // Row counts per batch: every file grows twice with the same row
+    // formulas the cold oracle regenerates from.
+    let sizes: [(i64, i64, i64); 3] = [(16, 12, 10), (21, 16, 13), (27, 20, 17)];
+    std::fs::write(&a_path, csv_a_rows(0, sizes[0].0)).unwrap();
+    std::fs::write(&b_path, json_b_rows(0, sizes[0].1)).unwrap();
+    std::fs::write(&n_path, json_n_rows(0, sizes[0].2)).unwrap();
+
+    // The resident catalog: plugins stay registered across batches, so
+    // every stale read would come from here.
+    let cat = MemoryCatalog::new();
+    cat.register(Arc::new(CsvPlugin::new(
+        CsvFile::open_with("A", &a_path, b',', true, a_schema(), MapMode::Auto).unwrap(),
+    )));
+    cat.register(Arc::new(JsonPlugin::new(
+        JsonFile::open_with("B", &b_path, b_schema(), MapMode::Auto).unwrap(),
+    )));
+    cat.register(Arc::new(JsonPlugin::new(
+        JsonFile::open_with("N", &n_path, n_schema(), MapMode::Auto).unwrap(),
+    )));
+    let cache = Arc::new(CacheManager::new(1 << 22));
+
+    // Fresh interpreted oracle over the bytes currently on disk.
+    let oracle_catalog = || {
+        let fresh = MemoryCatalog::new();
+        fresh.register(Arc::new(CsvPlugin::new(
+            CsvFile::from_bytes("A", std::fs::read(&a_path).unwrap(), b',', true, a_schema())
+                .unwrap(),
+        )));
+        fresh.register(Arc::new(JsonPlugin::new(
+            JsonFile::from_bytes("B", std::fs::read(&b_path).unwrap(), b_schema()).unwrap(),
+        )));
+        fresh.register(Arc::new(JsonPlugin::new(
+            JsonFile::from_bytes("N", std::fs::read(&n_path).unwrap(), n_schema()).unwrap(),
+        )));
+        fresh
+    };
+
+    // Per-dataset probes: single-scan int sums, re-run as the *first*
+    // queries after each append. The first query over a grown dataset is
+    // the one whose description sees the `Extended` verdict, so the
+    // O(delta) counters are observable on it.
+    let probe = |dataset: &str| {
+        rewrite(&Plan::Reduce {
+            input: Box::new(Plan::Scan {
+                dataset: dataset.into(),
+                binding: "p".into(),
+            }),
+            monoid: Monoid::Primitive(PrimitiveMonoid::Sum),
+            head: Expr::var("p").proj("k"),
+        })
+    };
+    let probes = [probe("A"), probe("B")];
+
+    // One fixed plan set for the whole run: partial-fold keys repeat
+    // across batches only if the identical plan runs again.
+    let mut g = Gen::new(Rng::new(0xA99E7D));
+    let plans: Vec<Plan> = (0..40).map(|_| rewrite(&g.plan())).collect();
+
+    let mut tail_scanned = 0u64;
+    let mut partials_reused = 0u64;
+    for (batch, &(na, nb, nn)) in sizes.iter().enumerate() {
+        if batch > 0 {
+            use std::io::Write;
+            let (pa, pb, pn) = sizes[batch - 1];
+            for (path, bytes) in [
+                (&a_path, csv_a_rows(pa, na)),
+                (&b_path, json_b_rows(pb, nb)),
+                (&n_path, json_n_rows(pn, nn)),
+            ] {
+                let mut fh = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+                fh.write_all(&bytes).unwrap();
+            }
+        }
+        let oracle_cat = oracle_catalog();
+
+        let serial = JitOptions {
+            cache: Some(Arc::clone(&cache)),
+            threads: 1,
+            morsel_rows: 4,
+            clamp_threads: false,
+            ..Default::default()
+        };
+        for (probe_plan, appended) in probes.iter().zip([
+            (na - sizes[batch.saturating_sub(1)].0) as u64,
+            (nb - sizes[batch.saturating_sub(1)].1) as u64,
+        ]) {
+            let expected = run_volcano(probe_plan, &oracle_cat).unwrap();
+            let (v, stats) = run_jit_with_stats(probe_plan, &cat, &serial).unwrap();
+            assert_eq!(v, expected, "batch {batch} probe deviates\n{probe_plan}");
+            assert_eq!(
+                stats.tail_rows_scanned, appended,
+                "batch {batch} probe must scan exactly the appended suffix"
+            );
+            if batch > 0 {
+                assert_eq!(
+                    stats.partials_reused, 1,
+                    "batch {batch} probe must resume the cached fold partial"
+                );
+            }
+            tail_scanned += stats.tail_rows_scanned;
+            partials_reused += stats.partials_reused;
+        }
+
+        for (i, plan) in plans.iter().enumerate() {
+            let oracle = run_volcano(plan, &oracle_cat);
+            for threads in [1usize, 8] {
+                let opts = JitOptions {
+                    cache: Some(Arc::clone(&cache)),
+                    threads,
+                    morsel_rows: 4,
+                    clamp_threads: false,
+                    ..Default::default()
+                };
+                let got = run_jit_with_stats(plan, &cat, &opts);
+                match &oracle {
+                    Ok(expected) => {
+                        let (v, _) = got.unwrap_or_else(|e| {
+                            panic!("batch {batch} plan#{i} x{threads}: {e}\n{plan}")
+                        });
+                        assert_eq!(
+                            &v, expected,
+                            "batch {batch} plan#{i} x{threads} deviates from a cold \
+                             re-scan of the grown file\n{plan}"
+                        );
+                    }
+                    Err(_) => assert!(
+                        got.is_err(),
+                        "batch {batch} plan#{i} x{threads} accepted a plan the oracle \
+                         rejects\n{plan}"
+                    ),
+                }
+            }
+        }
+    }
+    // The sweep must have exercised the incremental path, not just the
+    // full-rebuild fallback: both appends on both probed datasets.
+    assert_eq!(tail_scanned, (21 - 16) + (27 - 21) + (16 - 12) + (20 - 16));
+    assert_eq!(partials_reused, 4);
 }
 
 /// The differential engines all read through the same plugins, so they

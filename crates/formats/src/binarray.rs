@@ -13,6 +13,7 @@
 //!
 //! All multi-byte values are little-endian; data is row-major.
 
+use crate::csv::FileRefresh;
 use crate::stats::AccessStats;
 use std::path::Path;
 use std::sync::Arc;
@@ -101,7 +102,12 @@ pub struct ArrayFile {
     dims: Vec<usize>,
     data_offset: usize,
     stats: Arc<AccessStats>,
+    /// `(file length, mtime nanoseconds)` captured at open/revalidation
+    /// time — the staleness token the cache compares replicas against.
     fingerprint: (u64, u64),
+    /// Where the bytes came from, kept so [`ArrayFile::revalidate`] can
+    /// re-stat and reopen. `None` for in-memory constructions.
+    origin: Option<(std::path::PathBuf, MapMode)>,
 }
 
 impl ArrayFile {
@@ -113,16 +119,32 @@ impl ArrayFile {
     /// ([`MapMode::Never`] is the `--no-mmap` escape hatch).
     pub fn open_with(name: impl Into<String>, path: &Path, mode: MapMode) -> Result<Self> {
         let data = RawData::open_with(path, mode)?;
-        let meta = std::fs::metadata(path)?;
-        let mtime = meta
-            .modified()
-            .ok()
-            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
-            .map(|d| d.as_secs())
-            .unwrap_or(0);
+        let fingerprint = vida_io::file_fingerprint(path)?;
         let mut f = Self::from_raw(name.into(), data)?;
-        f.fingerprint = (meta.len(), mtime);
+        f.fingerprint = fingerprint;
+        f.origin = Some((path.to_path_buf(), mode));
         Ok(f)
+    }
+
+    /// Re-stat the backing file and rebuild on any change. Arrays fix their
+    /// dims in the header, so there is no append-extension fast path: a
+    /// grown file means a rewritten header and a fresh index is as cheap as
+    /// an extension would be (the header parse is O(rank)). In-memory files
+    /// are always `Unchanged`.
+    pub fn revalidate(&self) -> Result<FileRefresh<ArrayFile>> {
+        let Some((path, mode)) = &self.origin else {
+            return Ok(FileRefresh::Unchanged);
+        };
+        let current = vida_io::file_fingerprint(path)?;
+        if current == self.fingerprint {
+            return Ok(FileRefresh::Unchanged);
+        }
+        let data = RawData::open_with(path, *mode)?;
+        let mut file = Self::from_raw(self.name.clone(), data)?;
+        file.fingerprint = current;
+        file.origin = self.origin.clone();
+        file.stats = Arc::clone(&self.stats);
+        Ok(FileRefresh::Rebuilt { file })
     }
 
     pub fn from_bytes(name: impl Into<String>, data: Vec<u8>) -> Result<Self> {
@@ -165,6 +187,7 @@ impl ArrayFile {
             data_offset,
             stats: Arc::new(AccessStats::new()),
             fingerprint,
+            origin: None,
         })
     }
 

@@ -64,6 +64,47 @@ impl PosMap {
     fn tracked_columns(&self) -> usize {
         self.cols.iter().filter(|c| c.get().is_some()).count()
     }
+
+    /// Carry the known offsets of the first `prefix_rows` rows into a fresh
+    /// map sized for `new_rows` rows — the incremental-extension path:
+    /// offsets are absolute byte positions into the file, and the first
+    /// `prefix_rows` rows occupy unchanged bytes, so the learned positions
+    /// stay exact. Appended rows start unknown.
+    fn extended(&self, prefix_rows: usize, new_rows: usize) -> PosMap {
+        let map = PosMap::new(self.cols.len());
+        for (c, slot) in self.cols.iter().enumerate() {
+            if let Some(arr) = slot.get() {
+                let fresh: Box<[AtomicU32]> =
+                    (0..new_rows).map(|_| AtomicU32::new(UNKNOWN)).collect();
+                for r in 0..prefix_rows.min(arr.len()).min(new_rows) {
+                    fresh[r].store(arr[r].load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+                let _ = map.cols[c].set(fresh);
+            }
+        }
+        map
+    }
+}
+
+/// Outcome of re-statting a disk-backed input at query description time.
+///
+/// `T` is the refreshed reader (`CsvFile`, `JsonFile`, `ArrayFile`). The
+/// original reader is never mutated — in-flight queries keep their `Arc`s —
+/// the caller swaps the replacement into its catalog.
+#[derive(Debug)]
+pub enum FileRefresh<T> {
+    /// Fingerprint unchanged (or the reader is not file-backed): keep
+    /// serving the existing reader and its caches.
+    Unchanged,
+    /// The file grew and the old bytes are a byte-prefix of the new
+    /// mapping: `file` was built incrementally (positional structures
+    /// extended over the appended tail only), and cached structures
+    /// covering the first `prefix_units` retrieval units of the *old*
+    /// fingerprint remain valid.
+    Extended { file: T, prefix_units: usize },
+    /// The file shrank or was edited in place: `file` is a full rebuild
+    /// and everything cached under the old fingerprint is stale.
+    Rebuilt { file: T },
 }
 
 /// A CSV file opened for in-situ querying.
@@ -83,9 +124,13 @@ pub struct CsvFile {
     /// Per-column, per-row byte offsets of each column's first byte.
     posmap: PosMap,
     posmap_enabled: bool,
+    header: bool,
     stats: Arc<AccessStats>,
-    /// (file length, mtime seconds) — cache invalidation fingerprint.
+    /// (file length, mtime nanoseconds) — cache invalidation fingerprint.
     fingerprint: (u64, u64),
+    /// Where the bytes came from, when disk-backed: what
+    /// [`CsvFile::revalidate`] re-stats and reopens.
+    origin: Option<(std::path::PathBuf, MapMode)>,
 }
 
 impl CsvFile {
@@ -111,15 +156,10 @@ impl CsvFile {
         mode: MapMode,
     ) -> Result<Self> {
         let data = RawData::open_with(path, mode)?;
-        let meta = std::fs::metadata(path)?;
-        let mtime = meta
-            .modified()
-            .ok()
-            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
-            .map(|d| d.as_secs())
-            .unwrap_or(0);
+        let fingerprint = vida_io::file_fingerprint(path)?;
         let mut f = Self::from_raw(name.into(), data, delimiter, header, schema)?;
-        f.fingerprint = (meta.len(), mtime);
+        f.fingerprint = fingerprint;
+        f.origin = Some((path.to_path_buf(), mode));
         Ok(f)
     }
 
@@ -181,9 +221,115 @@ impl CsvFile {
             rows,
             posmap,
             posmap_enabled: true,
+            header,
             stats: Arc::new(AccessStats::new()),
             fingerprint,
+            origin: None,
         })
+    }
+
+    /// Re-stat the backing file (when disk-backed) and build a refreshed
+    /// reader if it changed — the query-description-time revalidation hook.
+    ///
+    /// Growth with the old bytes still a prefix of the new mapping (checked
+    /// cheaply via [`vida_io::prefix_matches`]) re-tokenizes **only** from
+    /// the start of the last old row: the row index and the learned
+    /// positional-map offsets for every earlier row are carried over
+    /// verbatim. Anything else — shrink, in-place edit, prefix mismatch —
+    /// reopens and re-indexes from scratch; the old mapping is never
+    /// dereferenced past the newly-statted length, so a truncated file
+    /// cannot SIGBUS the revalidation itself.
+    pub fn revalidate(&self) -> Result<FileRefresh<CsvFile>> {
+        let Some((path, mode)) = &self.origin else {
+            return Ok(FileRefresh::Unchanged);
+        };
+        let current = vida_io::file_fingerprint(path)?;
+        if current == self.fingerprint {
+            return Ok(FileRefresh::Unchanged);
+        }
+        let data = RawData::open_with(path, *mode)?;
+        let grown = data.len() as u64 == current.0 && current.0 > self.fingerprint.0;
+        if grown && vida_io::prefix_matches(&self.data, &data) {
+            let (file, prefix_units) = self.extend_from(data, current);
+            return Ok(FileRefresh::Extended { file, prefix_units });
+        }
+        let mut file = Self::from_raw(
+            self.name.clone(),
+            data,
+            self.tok.delimiter(),
+            self.header,
+            self.schema.clone(),
+        )?;
+        file.fingerprint = current;
+        file.origin = self.origin.clone();
+        file.posmap_enabled = self.posmap_enabled;
+        file.stats = Arc::clone(&self.stats);
+        Ok(FileRefresh::Rebuilt { file })
+    }
+
+    /// Build the incrementally-extended reader over `data` (the grown
+    /// mapping whose prefix equals the old bytes). Returns the reader and
+    /// the number of leading retrieval units whose byte spans are unchanged.
+    ///
+    /// Only the last old row is re-tokenized: it may have lacked a trailing
+    /// newline or carried an unterminated quote, in which case appended
+    /// bytes extend *it* rather than starting a new row. Rows before it can
+    /// never be affected by appended bytes (an unterminated quote always
+    /// belongs to the final row by construction).
+    fn extend_from(&self, data: RawData, fingerprint: (u64, u64)) -> (CsvFile, usize) {
+        let n = self.num_rows();
+        let old_len = self.data.len();
+        let mut rows: Vec<u32>;
+        let rescan_from = if n == 0 {
+            // No old data rows (empty or header-only file): index from the
+            // top, exactly like a cold build.
+            rows = Vec::new();
+            let mut pos = bom_len(&data);
+            if self.header {
+                pos = self.tok.record_end(&data, pos);
+            }
+            pos
+        } else {
+            rows = self.rows[..n - 1].to_vec();
+            self.rows[n - 1] as usize
+        };
+        if rescan_from < data.len() {
+            rows.push(rescan_from as u32);
+            self.tok.scan_record_ends(&data, rescan_from, &mut |end| {
+                if end < data.len() {
+                    rows.push(end as u32);
+                }
+            });
+        }
+        rows.push(data.len() as u32);
+        let num_rows = rows.len() - 1;
+        // The last old row survives intact iff the re-tokenization still
+        // ends it exactly at the old end-of-data (i.e. the appended bytes
+        // started a fresh row rather than extending it).
+        let prefix_units = if n > 0 && rows.get(n) == Some(&(old_len as u32)) {
+            n
+        } else {
+            n.saturating_sub(1)
+        };
+        let posmap = if self.posmap_enabled {
+            self.posmap.extended(prefix_units, num_rows)
+        } else {
+            PosMap::new(self.schema.len())
+        };
+        let file = CsvFile {
+            name: self.name.clone(),
+            data,
+            tok: self.tok,
+            schema: self.schema.clone(),
+            rows,
+            posmap,
+            posmap_enabled: self.posmap_enabled,
+            header: self.header,
+            stats: Arc::clone(&self.stats),
+            fingerprint,
+            origin: self.origin.clone(),
+        };
+        (file, prefix_units)
     }
 
     /// Disable the positional map (ablation baseline: every field read
@@ -1031,6 +1177,116 @@ mod tests {
         )
         .unwrap();
         assert_eq!(f.read_field(0, 0).unwrap(), Value::Int(7));
+    }
+
+    fn temp_csv(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vida-csv-inc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    fn append(path: &std::path::Path, bytes: &[u8]) {
+        use std::io::Write;
+        let mut fh = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+        fh.write_all(bytes).unwrap();
+    }
+
+    #[test]
+    fn revalidate_extends_on_append_and_rebuilds_on_edit() {
+        let path = temp_csv("grow.csv", b"id,age\n1,64\n2,31\n");
+        let schema = Schema::from_pairs([("id", Type::Int), ("age", Type::Int)]);
+        let f = CsvFile::open("T", &path, b',', true, schema.clone()).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        f.read_field(1, 1).unwrap(); // teach the positional map an offset
+        assert!(matches!(f.revalidate().unwrap(), FileRefresh::Unchanged));
+
+        append(&path, b"3,77\n4,12\n");
+        let FileRefresh::Extended {
+            file: g,
+            prefix_units,
+        } = f.revalidate().unwrap()
+        else {
+            panic!("append must extend");
+        };
+        // Old file ended in a newline, so every old row survives.
+        assert_eq!(prefix_units, 2);
+        assert_eq!(g.num_rows(), 4);
+        assert_eq!(g.read_field(0, 0).unwrap(), Value::Int(1));
+        assert_eq!(g.read_field(3, 1).unwrap(), Value::Int(12));
+        // The learned offset rode along: re-reading (1, 1) is an exact hit.
+        let before = g.stats().snapshot().posmap_hits;
+        g.read_field(1, 1).unwrap();
+        assert!(g.stats().snapshot().posmap_hits > before);
+        // The extended index matches a cold build of the same bytes.
+        let cold = CsvFile::open("T", &path, b',', true, schema.clone()).unwrap();
+        assert_eq!(g.unit_offsets(), cold.unit_offsets());
+
+        // An in-place edit (same length as the original prefix region, new
+        // content) must trigger a full rebuild, not an extension.
+        std::fs::write(&path, b"id,age\n9,99\n8,88\n7,77\n").unwrap();
+        let FileRefresh::Rebuilt { file: h } = g.revalidate().unwrap() else {
+            panic!("edit must rebuild");
+        };
+        assert_eq!(h.num_rows(), 3);
+        assert_eq!(h.read_field(0, 1).unwrap(), Value::Int(99));
+
+        // A truncation must also rebuild — without touching old pages.
+        std::fs::write(&path, b"id,age\n5,50\n").unwrap();
+        let FileRefresh::Rebuilt { file: t } = h.revalidate().unwrap() else {
+            panic!("shrink must rebuild");
+        };
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.read_field(0, 0).unwrap(), Value::Int(5));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_to_unterminated_last_row_extends_that_row() {
+        // No trailing newline: the appended bytes glue onto the last old
+        // row, so it must be re-tokenized and drops out of the valid
+        // prefix.
+        let path = temp_csv("ragged.csv", b"a,b\n1,2\n3,4");
+        let schema = Schema::from_pairs([("a", Type::Int), ("b", Type::Int)]);
+        let f = CsvFile::open("T", &path, b',', true, schema.clone()).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        append(&path, b"5\n6,7\n");
+        let FileRefresh::Extended {
+            file: g,
+            prefix_units,
+        } = f.revalidate().unwrap()
+        else {
+            panic!("append must extend");
+        };
+        assert_eq!(prefix_units, 1, "glued-onto row is not prefix-valid");
+        assert_eq!(g.num_rows(), 3);
+        assert_eq!(g.read_field(1, 1).unwrap(), Value::Int(45));
+        assert_eq!(g.read_field(2, 1).unwrap(), Value::Int(7));
+        let cold = CsvFile::open("T", &path, b',', true, schema).unwrap();
+        assert_eq!(g.unit_offsets(), cold.unit_offsets());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn extend_from_empty_and_header_only_files() {
+        let schema = Schema::from_pairs([("a", Type::Int), ("b", Type::Int)]);
+        // Header-only: zero old rows, append creates the first ones.
+        let path = temp_csv("headeronly.csv", b"a,b\n");
+        let f = CsvFile::open("T", &path, b',', true, schema.clone()).unwrap();
+        assert_eq!(f.num_rows(), 0);
+        append(&path, b"1,2\n3,4\n");
+        let FileRefresh::Extended {
+            file: g,
+            prefix_units,
+        } = f.revalidate().unwrap()
+        else {
+            panic!("append must extend");
+        };
+        assert_eq!(prefix_units, 0);
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.read_field(1, 0).unwrap(), Value::Int(3));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

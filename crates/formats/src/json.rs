@@ -14,6 +14,7 @@
 //! avoidance strategy (§5, Figure 4 layout (d)); [`JsonFile::field_span`]
 //! provides exactly those positions.
 
+use crate::csv::FileRefresh;
 use crate::stats::AccessStats;
 use std::collections::BTreeMap;
 use std::ops::Range;
@@ -43,7 +44,12 @@ pub struct JsonFile {
     semi_index_enabled: bool,
     schema: Schema,
     stats: Arc<AccessStats>,
+    /// `(file length, mtime nanoseconds)` captured at open/revalidation
+    /// time — the staleness token the cache compares replicas against.
     fingerprint: (u64, u64),
+    /// Where the bytes came from, kept so [`JsonFile::revalidate`] can
+    /// re-stat and reopen. `None` for in-memory constructions.
+    origin: Option<(std::path::PathBuf, MapMode)>,
 }
 
 /// Packed "span unknown" sentinel.
@@ -73,15 +79,10 @@ impl JsonFile {
         mode: MapMode,
     ) -> Result<Self> {
         let data = RawData::open_with(path, mode)?;
-        let meta = std::fs::metadata(path)?;
-        let mtime = meta
-            .modified()
-            .ok()
-            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
-            .map(|d| d.as_secs())
-            .unwrap_or(0);
+        let fingerprint = vida_io::file_fingerprint(path)?;
         let mut f = Self::from_raw(name.into(), data, schema)?;
-        f.fingerprint = (meta.len(), mtime);
+        f.fingerprint = fingerprint;
+        f.origin = Some((path.to_path_buf(), mode));
         Ok(f)
     }
 
@@ -111,7 +112,101 @@ impl JsonFile {
             schema,
             stats: Arc::new(AccessStats::new()),
             fingerprint,
+            origin: None,
         })
+    }
+
+    /// Re-stat the backing file and report how it changed since this
+    /// reader was built. Pure appends come back as
+    /// [`FileRefresh::Extended`] with a replacement reader whose object
+    /// index and semi-index were extended over only the appended tail;
+    /// any other change rebuilds from scratch. In-memory files are always
+    /// `Unchanged`.
+    pub fn revalidate(&self) -> Result<FileRefresh<JsonFile>> {
+        let Some((path, mode)) = &self.origin else {
+            return Ok(FileRefresh::Unchanged);
+        };
+        let current = vida_io::file_fingerprint(path)?;
+        if current == self.fingerprint {
+            return Ok(FileRefresh::Unchanged);
+        }
+        // Reopen first: a shrunk file must never be probed through the old
+        // mapping (pages past the new EOF raise SIGBUS).
+        let data = RawData::open_with(path, *mode)?;
+        let grown = data.len() as u64 == current.0 && current.0 > self.fingerprint.0;
+        if grown && vida_io::prefix_matches(&self.data, &data) {
+            let (file, prefix_units) = self.extend_from(data, current);
+            return Ok(FileRefresh::Extended { file, prefix_units });
+        }
+        let mut file = Self::from_raw(self.name.clone(), data, self.schema.clone())?;
+        file.fingerprint = current;
+        file.origin = self.origin.clone();
+        file.semi_index_enabled = self.semi_index_enabled;
+        file.stats = Arc::clone(&self.stats);
+        Ok(FileRefresh::Rebuilt { file })
+    }
+
+    /// Build the extended reader for a pure append: reuse every old object
+    /// span except the last (appended bytes may glue onto an unterminated
+    /// final line), rescan only from the start of that last object, and
+    /// copy semi-index span arrays for the prefix objects — absolute byte
+    /// offsets stay valid because the old bytes are a prefix of the new.
+    fn extend_from(&self, data: RawData, fingerprint: (u64, u64)) -> (JsonFile, usize) {
+        let n = self.num_objects();
+        let mut objects: Vec<(u32, u32)>;
+        let mut pos = if n == 0 {
+            objects = Vec::new();
+            bom_len(&data)
+        } else {
+            objects = self.objects[..n - 1].to_vec();
+            self.objects[n - 1].0 as usize
+        };
+        while pos < data.len() {
+            let end = next_record_boundary(&data, pos).unwrap_or(data.len());
+            let line = &data[pos..end];
+            if !line.iter().all(|b| b.is_ascii_whitespace()) {
+                objects.push((pos as u32, end as u32));
+            }
+            pos = end + 1;
+        }
+        // The last old object stays prefix-valid only if the rescan
+        // reproduced it exactly (i.e. the old file ended in a newline).
+        let prefix_units = if n > 0 && objects.get(n - 1) == Some(&self.objects[n - 1]) {
+            n
+        } else {
+            n.saturating_sub(1)
+        };
+        let semi_index = if self.semi_index_enabled {
+            let old = self.semi_index.read();
+            old.iter()
+                .map(|(field, spans)| {
+                    let fresh: Arc<[AtomicU64]> = (0..objects.len())
+                        .map(|i| {
+                            AtomicU64::new(if i < prefix_units {
+                                spans[i].load(Ordering::Relaxed)
+                            } else {
+                                NO_SPAN
+                            })
+                        })
+                        .collect();
+                    (field.clone(), fresh)
+                })
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
+        let file = JsonFile {
+            name: self.name.clone(),
+            data,
+            objects,
+            semi_index: RwLock::new(semi_index),
+            semi_index_enabled: self.semi_index_enabled,
+            schema: self.schema.clone(),
+            stats: Arc::clone(&self.stats),
+            fingerprint,
+            origin: self.origin.clone(),
+        };
+        (file, prefix_units)
     }
 
     pub fn name(&self) -> &str {
@@ -893,6 +988,86 @@ mod tests {
         let f = JsonFile::from_bytes("T", data, Schema::default()).unwrap();
         assert_eq!(f.num_objects(), 2);
         assert_eq!(f.read_field(1, "a").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn revalidate_extends_on_append_and_rebuilds_on_edit() {
+        let dir = std::env::temp_dir().join(format!("vida-json-inc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grow.ndjson");
+        std::fs::write(&path, b"{\"id\":1,\"v\":10}\n{\"id\":2,\"v\":20}\n").unwrap();
+        let schema = Schema::from_pairs([("id", Type::Int), ("v", Type::Int)]);
+        let f = JsonFile::open("T", &path, schema.clone()).unwrap();
+        assert_eq!(f.num_objects(), 2);
+        f.read_field(1, "v").unwrap(); // seed the semi-index
+        assert!(matches!(f.revalidate().unwrap(), FileRefresh::Unchanged));
+
+        use std::io::Write;
+        let mut fh = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        fh.write_all(b"{\"id\":3,\"v\":30}\n").unwrap();
+        drop(fh);
+        let FileRefresh::Extended {
+            file: g,
+            prefix_units,
+        } = f.revalidate().unwrap()
+        else {
+            panic!("append must extend");
+        };
+        assert_eq!(prefix_units, 2);
+        assert_eq!(g.num_objects(), 3);
+        assert_eq!(g.read_field(2, "v").unwrap(), Value::Int(30));
+        // The seeded span rode along into the extended semi-index.
+        let before = g.stats().snapshot().posmap_hits;
+        g.read_field(1, "v").unwrap();
+        assert!(g.stats().snapshot().posmap_hits > before);
+        // Extended object index matches a cold build of the same bytes.
+        let cold = JsonFile::open("T", &path, schema.clone()).unwrap();
+        assert_eq!(g.objects, cold.objects);
+
+        // In-place edit → full rebuild.
+        std::fs::write(&path, b"{\"id\":9,\"v\":90}\n{\"id\":8,\"v\":80}\n").unwrap();
+        let FileRefresh::Rebuilt { file: h } = g.revalidate().unwrap() else {
+            panic!("edit must rebuild");
+        };
+        assert_eq!(h.num_objects(), 2);
+        assert_eq!(h.read_field(0, "v").unwrap(), Value::Int(90));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn revalidate_append_onto_unterminated_line() {
+        let dir = std::env::temp_dir().join(format!("vida-json-inc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.ndjson");
+        // Last line lacks its newline; the append completes it and adds one
+        // more object, so the glued row drops out of the valid prefix.
+        std::fs::write(&path, b"{\"id\":1}\n{\"id\":2").unwrap();
+        let f = JsonFile::open("T", &path, Schema::default()).unwrap();
+        assert_eq!(f.num_objects(), 2);
+        use std::io::Write;
+        let mut fh = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        fh.write_all(b"2}\n{\"id\":3}\n").unwrap();
+        drop(fh);
+        let FileRefresh::Extended {
+            file: g,
+            prefix_units,
+        } = f.revalidate().unwrap()
+        else {
+            panic!("append must extend");
+        };
+        assert_eq!(prefix_units, 1);
+        assert_eq!(g.num_objects(), 3);
+        assert_eq!(g.read_field(1, "id").unwrap(), Value::Int(22));
+        assert_eq!(g.read_field(2, "id").unwrap(), Value::Int(3));
+        let cold = JsonFile::open("T", &path, Schema::default()).unwrap();
+        assert_eq!(g.objects, cold.objects);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

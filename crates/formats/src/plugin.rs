@@ -12,12 +12,44 @@
 //! constant.
 
 use crate::binarray::ArrayFile;
-use crate::csv::CsvFile;
+use crate::csv::{CsvFile, FileRefresh};
 use crate::description::{DataFormat, SourceDescription};
 use crate::json::JsonFile;
 use crate::stats::AccessStats;
 use std::sync::Arc;
 use vida_types::{Result, Schema, Value, VidaError};
+
+/// Outcome of re-statting a plugin's backing file at query description
+/// time — the revalidation step every query runs before trusting caches.
+///
+/// Plugins are immutable once bound (scan workers share them through
+/// `Arc`s), so a changed file produces a *replacement* plugin rather than
+/// mutating in place; the catalog swaps it in and the old one dies with
+/// its last in-flight query.
+pub enum Revalidation {
+    /// Fingerprint unchanged — replicas and positional structures are
+    /// current, serve caches as today.
+    Unchanged,
+    /// The file grew by a pure append. `plugin` is a replacement reader
+    /// whose positional structures were extended over only the appended
+    /// tail; units `0..prefix_units` are byte-identical to the old file,
+    /// so replicas covering exactly `prev_units` rows under
+    /// `prev_fingerprint` remain valid for that prefix.
+    Extended {
+        plugin: Box<dyn InputPlugin>,
+        /// Fingerprint the now-extended plugin was opened under —
+        /// replicas keyed to it are prefix-valid, not stale.
+        prev_fingerprint: (u64, u64),
+        /// Unit count before the append (length of prefix replicas).
+        prev_units: usize,
+        /// Units whose byte spans survived unchanged (`prev_units`, or
+        /// one less when the append glued onto an unterminated last row).
+        prefix_units: usize,
+    },
+    /// The file shrank or changed in place: `plugin` is a fresh reader and
+    /// every cache entry for the dataset is stale.
+    Rebuilt { plugin: Box<dyn InputPlugin> },
+}
 
 /// A bound, format-specific reader for one raw dataset.
 pub trait InputPlugin: Send + Sync {
@@ -127,8 +159,16 @@ pub trait InputPlugin: Send + Sync {
     /// Shared access-statistics counters.
     fn stats(&self) -> Arc<AccessStats>;
 
-    /// `(len, mtime)` fingerprint for cache invalidation.
+    /// `(len, mtime nanoseconds)` fingerprint for cache invalidation,
+    /// captured when the plugin was opened or last revalidated.
     fn fingerprint(&self) -> (u64, u64);
+
+    /// Re-stat the backing file and report how it changed since this
+    /// plugin was bound. The default (formats without a backing file, e.g.
+    /// in-memory sources) is always [`Revalidation::Unchanged`].
+    fn revalidate(&self) -> Result<Revalidation> {
+        Ok(Revalidation::Unchanged)
+    }
 
     /// Relative CPU cost of fetching column `col` of a fresh unit, where
     /// `1.0` is one buffer-pool-resident attribute fetch in a loaded DBMS
@@ -224,6 +264,21 @@ impl InputPlugin for CsvPlugin {
 
     fn fingerprint(&self) -> (u64, u64) {
         self.file.fingerprint()
+    }
+
+    fn revalidate(&self) -> Result<Revalidation> {
+        Ok(match self.file.revalidate()? {
+            FileRefresh::Unchanged => Revalidation::Unchanged,
+            FileRefresh::Extended { file, prefix_units } => Revalidation::Extended {
+                prev_fingerprint: self.file.fingerprint(),
+                prev_units: self.file.num_rows(),
+                prefix_units,
+                plugin: Box::new(CsvPlugin::new(file)),
+            },
+            FileRefresh::Rebuilt { file } => Revalidation::Rebuilt {
+                plugin: Box::new(CsvPlugin::new(file)),
+            },
+        })
     }
 
     fn field_cost_factor(&self, col: usize) -> f64 {
@@ -344,6 +399,21 @@ impl InputPlugin for JsonPlugin {
         self.file.fingerprint()
     }
 
+    fn revalidate(&self) -> Result<Revalidation> {
+        Ok(match self.file.revalidate()? {
+            FileRefresh::Unchanged => Revalidation::Unchanged,
+            FileRefresh::Extended { file, prefix_units } => Revalidation::Extended {
+                prev_fingerprint: self.file.fingerprint(),
+                prev_units: self.file.num_objects(),
+                prefix_units,
+                plugin: Box::new(JsonPlugin::new(file)),
+            },
+            FileRefresh::Rebuilt { file } => Revalidation::Rebuilt {
+                plugin: Box::new(JsonPlugin::new(file)),
+            },
+        })
+    }
+
     fn field_cost_factor(&self, _col: usize) -> f64 {
         // Navigating JSON text is costlier than CSV tokenization; the
         // structural index collapses it toward a constant.
@@ -422,6 +492,19 @@ impl InputPlugin for ArrayPlugin {
 
     fn fingerprint(&self) -> (u64, u64) {
         self.file.fingerprint()
+    }
+
+    fn revalidate(&self) -> Result<Revalidation> {
+        Ok(match self.file.revalidate()? {
+            FileRefresh::Unchanged => Revalidation::Unchanged,
+            // Arrays fix their dims in the header, so any change — even a
+            // growth — is a rebuild.
+            FileRefresh::Extended { file, .. } | FileRefresh::Rebuilt { file } => {
+                Revalidation::Rebuilt {
+                    plugin: Box::new(ArrayPlugin::new(file)),
+                }
+            }
+        })
     }
 
     fn field_cost_factor(&self, _col: usize) -> f64 {
@@ -691,6 +774,86 @@ mod tests {
         assert!(!mem.supports_field_spans());
         assert!(mem.field_byte_span(0, 0).unwrap().is_none());
         assert!(mem.parse_field_span(0, (0, 1)).is_err());
+    }
+
+    #[test]
+    fn resident_plugin_notices_disk_mutations() {
+        // Regression: fingerprints used to be captured once at open and
+        // never re-stat'd, so a resident plugin kept vouching for stale
+        // replicas forever. `revalidate` must see the change.
+        let dir = std::env::temp_dir().join(format!("vida-plugin-inc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resident.csv");
+        std::fs::write(&path, b"id,x\n1,10\n2,20\n").unwrap();
+        let schema = Schema::from_pairs([("id", Type::Int), ("x", Type::Int)]);
+        let p = CsvPlugin::new(CsvFile::open("T", &path, b',', true, schema.clone()).unwrap());
+        let opened = p.fingerprint();
+        assert!(matches!(p.revalidate().unwrap(), Revalidation::Unchanged));
+
+        // Same-length in-place edit: only the ns-mtime can catch it. The
+        // kernel file clock ticks coarsely, so rewrite until it moves.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let mut current = opened;
+        while current == opened && std::time::Instant::now() < deadline {
+            std::fs::write(&path, b"id,x\n1,10\n2,99\n").unwrap();
+            current = vida_io::file_fingerprint(&path).unwrap();
+        }
+        assert_ne!(current, opened, "ns-mtime must distinguish the rewrite");
+        assert_eq!(
+            p.fingerprint(),
+            opened,
+            "resident plugin holds open-time fp"
+        );
+        let Revalidation::Rebuilt { plugin } = p.revalidate().unwrap() else {
+            panic!("in-place edit must rebuild");
+        };
+        assert_eq!(plugin.read_field(1, 1).unwrap(), Value::Int(99));
+        assert_ne!(plugin.fingerprint(), opened);
+
+        // Append on the fresh plugin: extension with prefix bookkeeping.
+        use std::io::Write;
+        let mut fh = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        fh.write_all(b"3,30\n").unwrap();
+        drop(fh);
+        let Revalidation::Extended {
+            plugin: grown,
+            prev_fingerprint,
+            prev_units,
+            prefix_units,
+        } = plugin.revalidate().unwrap()
+        else {
+            panic!("append must extend");
+        };
+        assert_eq!(prev_fingerprint, plugin.fingerprint());
+        assert_eq!(prev_units, 2);
+        assert_eq!(prefix_units, 2);
+        assert_eq!(grown.num_units(), 3);
+        assert_eq!(grown.read_field(2, 1).unwrap(), Value::Int(30));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn array_plugin_rebuilds_on_any_change() {
+        let dir = std::env::temp_dir().join(format!("vida-plugin-inc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resident.arr");
+        let vals: Vec<Value> = (0..4).map(Value::Int).collect();
+        std::fs::write(&path, encode_array(ElemType::I64, &[4], &vals).unwrap()).unwrap();
+        let p = ArrayPlugin::new(ArrayFile::open("A", &path).unwrap());
+        assert!(matches!(p.revalidate().unwrap(), Revalidation::Unchanged));
+        // Even a well-formed growth (more elements, bigger dims header) is
+        // a rebuild — the header changed, nothing is prefix-stable.
+        let vals: Vec<Value> = (0..6).map(Value::Int).collect();
+        std::fs::write(&path, encode_array(ElemType::I64, &[6], &vals).unwrap()).unwrap();
+        let Revalidation::Rebuilt { plugin } = p.revalidate().unwrap() else {
+            panic!("array growth must rebuild");
+        };
+        assert_eq!(plugin.num_units(), 6);
+        assert_eq!(plugin.read_field(5, 1).unwrap(), Value::Int(5));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

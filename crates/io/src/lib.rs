@@ -32,7 +32,7 @@ pub mod raw;
 pub mod swar;
 
 pub use csv::CsvTokenizer;
-pub use raw::{MapMode, RawData};
+pub use raw::{file_fingerprint, prefix_matches, MapMode, RawData, PREFIX_CHECK_BYTES};
 
 /// The UTF-8 byte-order mark some writers put at the start of text files.
 pub const UTF8_BOM: [u8; 3] = [0xEF, 0xBB, 0xBF];

@@ -73,6 +73,47 @@ impl RawData {
     }
 }
 
+/// Stat-based change fingerprint of a file: `(byte length, mtime in
+/// nanoseconds since the unix epoch)`.
+///
+/// Nanosecond precision matters: a same-length in-place rewrite lands
+/// within one second of the original write on any real workload, so a
+/// seconds-truncated mtime would produce an identical fingerprint and the
+/// engine would keep serving replicas of the old bytes. Filesystems that
+/// only store coarser mtimes degrade gracefully (the fingerprint is only
+/// ever compared for equality).
+pub fn file_fingerprint(path: &Path) -> io::Result<(u64, u64)> {
+    let meta = std::fs::metadata(path)?;
+    let mtime = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    Ok((meta.len(), mtime))
+}
+
+/// Number of boundary bytes [`prefix_matches`] compares on each side of
+/// the old data (start and end) — enough to catch truncate-and-rewrite
+/// cycles that happen to land on a larger size, cheap enough to run on
+/// every revalidation.
+pub const PREFIX_CHECK_BYTES: usize = 4096;
+
+/// Cheap structural check that `old` is a byte-prefix of `new`: compares
+/// the first and last [`PREFIX_CHECK_BYTES`] of `old` against `new` at the
+/// same offsets instead of all `old.len()` bytes. Exact for files up to
+/// twice the window; for larger files it is the growth heuristic the
+/// incremental re-query path accepts — an in-place edit confined to the
+/// uncompared middle *and* accompanied by an append is indistinguishable
+/// from a pure append, exactly as with any sampled prefix check.
+pub fn prefix_matches(old: &[u8], new: &[u8]) -> bool {
+    if old.len() > new.len() {
+        return false;
+    }
+    let k = PREFIX_CHECK_BYTES.min(old.len());
+    old[..k] == new[..k] && old[old.len() - k..] == new[old.len() - k..old.len()]
+}
+
 impl Deref for RawData {
     type Target = [u8];
 
@@ -138,10 +179,19 @@ mod unix {
     /// `ptr` points at a live `len`-byte mapping created by `mmap` and is
     /// unmapped exactly once, in `Drop`. The mapping is `PROT_READ` +
     /// `MAP_PRIVATE`, so the pages are immutable from this process and
-    /// safe to share across threads (`Send`/`Sync` below). Truncating the
-    /// underlying file while mapped can still raise `SIGBUS` on access —
-    /// the same contract every mmap'd reader accepts; inputs are treated
-    /// as immutable for the lifetime of a query session.
+    /// safe to share across threads (`Send`/`Sync` below).
+    ///
+    /// # Truncation
+    ///
+    /// Touching a mapped page past the file's current EOF raises `SIGBUS`
+    /// — the contract every mmap'd reader accepts. The engine handles it
+    /// at the *revalidation* layer: every query description re-stats its
+    /// inputs first ([`super::file_fingerprint`]), and a shrunk file makes
+    /// the format plugin drop this mapping and reopen the file fresh
+    /// (owned read fallback included) **before** any scan dereferences the
+    /// old pages. A truncation racing the stat-then-scan window remains
+    /// fatal, as it is for every mmap consumer; `MapMode::Never`
+    /// (`--no-mmap`) removes the hazard entirely for hostile filesystems.
     pub struct Mmap {
         ptr: *mut c_void,
         len: usize,
@@ -215,5 +265,62 @@ mod unix {
                 let _ = munmap(self.ptr, self.len);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matches_accepts_pure_appends() {
+        let old = b"id,age\n1,70\n2,31\n".to_vec();
+        let mut new = old.clone();
+        new.extend_from_slice(b"3,45\n");
+        assert!(prefix_matches(&old, &new));
+        assert!(prefix_matches(&old, &old), "equal data is its own prefix");
+        assert!(prefix_matches(b"", &old), "empty is a prefix of anything");
+    }
+
+    #[test]
+    fn prefix_matches_rejects_edits_and_shrinks() {
+        let old = b"id,age\n1,70\n2,31\n".to_vec();
+        // Shrunk: old cannot be a prefix of something shorter.
+        assert!(!prefix_matches(&old, &old[..5]));
+        // Head edit within the window.
+        let mut head = old.clone();
+        head[0] = b'X';
+        head.extend_from_slice(b"3,45\n");
+        assert!(!prefix_matches(&old, &head));
+        // Tail edit within the window.
+        let mut tail = old.clone();
+        let n = tail.len();
+        tail[n - 2] = b'9';
+        tail.extend_from_slice(b"3,45\n");
+        assert!(!prefix_matches(&old, &tail));
+    }
+
+    #[test]
+    fn file_fingerprint_tracks_length_and_mtime() {
+        let dir = std::env::temp_dir().join(format!("vida-io-fp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.csv");
+        std::fs::write(&path, b"a,b\n1,2\n").unwrap();
+        let fp1 = file_fingerprint(&path).unwrap();
+        assert_eq!(fp1.0, 8);
+        // Same-length in-place rewrite, no sleep: length ties, so only a
+        // sub-second mtime can tell the versions apart. The kernel's file
+        // clock has coarse granularity (one tick, typically ≤10ms), so
+        // rewrite until the stamp moves — still far inside one second,
+        // which is the precision the fingerprint must beat.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let mut fp2 = fp1;
+        while fp2 == fp1 && std::time::Instant::now() < deadline {
+            std::fs::write(&path, b"a,b\n9,8\n").unwrap();
+            fp2 = file_fingerprint(&path).unwrap();
+        }
+        assert_eq!(fp2.0, 8);
+        assert_ne!(fp1, fp2, "nanosecond mtime must distinguish rewrites");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

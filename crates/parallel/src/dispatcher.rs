@@ -48,6 +48,43 @@ pub fn plan_scan(plugin: &dyn InputPlugin, morsel_units: usize) -> MorselPlan {
     by_bytes
 }
 
+/// [`plan_scan`] restricted to units `from_unit..num_units()` — the morsel
+/// grid of an incremental re-scan that only needs the rows appended since
+/// the last query. Ranges address absolute unit numbers (the first starts
+/// at `from_unit`), so scan workers and replica stitching need no special
+/// casing. `from_unit = 0` degenerates to a whole-file plan.
+pub fn plan_scan_tail(
+    plugin: &dyn InputPlugin,
+    morsel_units: usize,
+    from_unit: usize,
+) -> MorselPlan {
+    let units = plugin.num_units();
+    let from = from_unit.min(units);
+    let tail_units = units - from;
+    let by_bytes = if let Some(offsets) = plugin.unit_offsets() {
+        // The offset table's suffix is itself a valid offset table of the
+        // tail (unit starts + terminal end entry).
+        MorselPlan::byte_aligned_offsets(&offsets[from..], DEFAULT_MORSEL_BYTES)
+    } else if tail_units > 0 && plugin.unit_byte_span(from).is_some() {
+        MorselPlan::byte_aligned(tail_units, DEFAULT_MORSEL_BYTES, |i| {
+            plugin
+                .unit_byte_span(from + i)
+                .map(|(s, e)| e.saturating_sub(s))
+                .unwrap_or(1)
+        })
+    } else {
+        return MorselPlan::fixed(tail_units, morsel_units).shifted(from);
+    };
+    let by_bytes = by_bytes.shifted(from);
+    if morsel_units != 0 {
+        let fixed = MorselPlan::fixed(tail_units, morsel_units).shifted(from);
+        if fixed.len() > by_bytes.len() {
+            return fixed;
+        }
+    }
+    by_bytes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +216,44 @@ mod tests {
         });
         assert_eq!(fast, walk);
         assert!(fast.len() > 1, "fixture should span several morsels");
+    }
+
+    #[test]
+    fn tail_plan_covers_exactly_the_appended_suffix() {
+        let p = csv(200);
+        for from in [0usize, 1, 57, 199, 200] {
+            let plan = plan_scan_tail(&p, 0, from);
+            let covered: usize = plan.iter().map(|r| r.len()).sum();
+            assert_eq!(covered, 200 - from, "from {from}");
+            if from < 200 {
+                assert_eq!(plan.iter().next().unwrap().start, from);
+                assert_eq!(plan.iter().last().unwrap().end, 200);
+            } else {
+                assert!(plan.is_empty());
+            }
+            // Ranges are disjoint, ordered, and unit-aligned.
+            let mut prev_end = from;
+            for r in plan.iter() {
+                assert_eq!(r.start, prev_end);
+                prev_end = r.end;
+            }
+        }
+        // from = 0 degenerates to the whole-file plan.
+        assert_eq!(plan_scan_tail(&p, 0, 0), plan_scan(&p, 0));
+        // Past-the-end clamps to empty rather than panicking.
+        assert!(plan_scan_tail(&p, 0, 500).is_empty());
+    }
+
+    #[test]
+    fn tail_plan_fixed_fallback_is_shifted() {
+        let rows: Vec<Value> = (0..10)
+            .map(|i| Value::record([("x", Value::Int(i))]))
+            .collect();
+        let p =
+            MemPlugin::from_records("M", Schema::from_pairs([("x", Type::Int)]), &rows).unwrap();
+        let plan = plan_scan_tail(&p, 4, 6);
+        let ranges: Vec<_> = plan.iter().collect();
+        assert_eq!(ranges, vec![6..10]);
     }
 
     #[test]

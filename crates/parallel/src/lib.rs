@@ -35,7 +35,7 @@ pub mod morsel;
 pub mod pool;
 pub mod radix;
 
-pub use dispatcher::plan_scan;
+pub use dispatcher::{plan_scan, plan_scan_tail};
 pub use morsel::{MorselPlan, DEFAULT_MORSEL_UNITS};
 pub use pool::WorkerPool;
 pub use radix::{partition_count, partition_of};

@@ -95,6 +95,20 @@ impl MorselPlan {
         MorselPlan { ranges, units }
     }
 
+    /// Translate every range `offset` units to the right — turns a plan
+    /// built over a tail slice `[0, n)` into one addressing the original
+    /// units `[offset, offset + n)`. The covered-unit count is unchanged;
+    /// only the addresses move. This is how tail-only re-scans reuse the
+    /// ordinary constructors: plan the appended suffix as if it were a
+    /// file of its own, then shift to absolute row numbers.
+    pub fn shifted(mut self, offset: usize) -> Self {
+        for r in &mut self.ranges {
+            r.start += offset;
+            r.end += offset;
+        }
+        self
+    }
+
     /// Total units covered by the plan.
     pub fn units(&self) -> usize {
         self.units

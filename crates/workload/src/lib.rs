@@ -185,6 +185,33 @@ pub fn generate_scan_heavy(config: &WorkloadConfig) -> Vec<QuerySpec> {
         .collect()
 }
 
+/// Generate the append-replay mix: the batch a driver re-runs after each
+/// on-disk append to the raw inputs. The first two queries are *fixed*
+/// full-scan folds over `Patients` and `Genetics` — single-scan primitive
+/// aggregates with no filter, the shapes whose cached fold partials resume
+/// across appends — so the first query touching each grown dataset
+/// exercises the O(delta) path deterministically rather than by luck of
+/// the draw; the rest is the scan-heavy mix. Deterministic in the seed,
+/// like [`generate`].
+pub fn generate_append_replay(config: &WorkloadConfig) -> Vec<QuerySpec> {
+    let mut queries = vec![
+        QuerySpec {
+            text: "for { p <- Patients } yield sum p.age".to_string(),
+            template: Template::ScanFold,
+        },
+        QuerySpec {
+            text: "for { g <- Genetics } yield count g".to_string(),
+            template: Template::ScanFold,
+        },
+    ];
+    let rest = WorkloadConfig {
+        queries: config.queries.saturating_sub(queries.len()),
+        ..config.clone()
+    };
+    queries.extend(generate_scan_heavy(&rest));
+    queries
+}
+
 /// Generate a nested-heavy mix: unnests over the `Regions(id, voxels)`
 /// nested-JSON fixture, non-equi (theta) joins — both the band sort-probe
 /// and the block-nested-loop shape — and chains mixing the two, so every
@@ -426,6 +453,25 @@ mod tests {
         assert_eq!(a.len(), 50);
         assert!(a.iter().zip(&b).all(|(x, y)| x.text == y.text));
         assert!(a.iter().any(|q| q.template == Template::ScanFold));
+        for q in &a {
+            parse(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.text));
+        }
+    }
+
+    #[test]
+    fn append_replay_mix_leads_with_fixed_resumable_probes() {
+        let c = WorkloadConfig {
+            queries: 30,
+            ..Default::default()
+        };
+        let a = generate_append_replay(&c);
+        let b = generate_append_replay(&c);
+        assert_eq!(a.len(), 30);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.text == y.text));
+        // The probes are unfiltered single-scan folds, one per mutated
+        // dataset, and always lead the batch.
+        assert_eq!(a[0].text, "for { p <- Patients } yield sum p.age");
+        assert_eq!(a[1].text, "for { g <- Genetics } yield count g");
         for q in &a {
             parse(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.text));
         }
