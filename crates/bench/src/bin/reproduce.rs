@@ -11,12 +11,13 @@ use std::sync::Arc;
 use std::time::Instant;
 use vida_bench::fixtures;
 use vida_cache::CacheManager;
-use vida_exec::{run_jit_with_stats, JitOptions, MemoryCatalog, SourceProvider};
+use vida_exec::{run_jit_with_stats, Engine, JitOptions, MemoryCatalog, SourceProvider};
 use vida_formats::csv::CsvFile;
 use vida_formats::json::JsonFile;
 use vida_formats::plugin::{CsvPlugin, JsonPlugin};
 use vida_formats::MapMode;
 use vida_optimizer::CostModel;
+use vida_server::{read_response, QueryRequest, QueryServer, ServerConfig, SharedBuffer};
 use vida_trace::{chrome_trace_json, global_metrics, MetricsSnapshot, QueryTrace};
 use vida_workload::{
     generate, generate_append_replay, generate_join_heavy, generate_nested_heavy,
@@ -79,6 +80,15 @@ OPTIONS:
     --assert-fused    exit non-zero unless streaming execution fused every
                       pipeline (operator_materializations must be 0 across
                       the whole workload — the CI smoke contract)
+    --serve           run the workload through the vida-server front end
+                      instead of the serial driver: a resident engine plus
+                      a query service with admission control, concurrent
+                      executors time-slicing one shared worker pool, and
+                      length-prefixed streaming responses; prints the
+                      admission / peak-in-flight / time-slicing counters
+                      and exits non-zero if any response fails
+    --clients N       in-process client threads submitting to the server
+                      (default 4; implies --serve)
     --trace-out PATH  record a span trace for every query (JitOptions::
                       trace) and write the whole workload as Chrome
                       trace-event JSON — open it in Perfetto or
@@ -101,6 +111,8 @@ struct Args {
     plan_opt: bool,
     assert_fused: bool,
     mmap: bool,
+    serve: bool,
+    clients: usize,
     trace_out: Option<PathBuf>,
     stats_json: Option<PathBuf>,
 }
@@ -117,6 +129,8 @@ fn parse_args() -> Result<Args, String> {
         plan_opt: true,
         assert_fused: false,
         mmap: true,
+        serve: false,
+        clients: 4,
         trace_out: None,
         stats_json: None,
     };
@@ -163,6 +177,15 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n >= 1)
                     .ok_or("--budget-mb expects a positive integer")?;
+            }
+            "--serve" => args.serve = true,
+            "--clients" => {
+                args.clients = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--clients expects a positive integer")?;
+                args.serve = true;
             }
             "--no-cost-model" => args.cost_model = false,
             "--no-plan-opt" => args.plan_opt = false,
@@ -309,6 +332,13 @@ fn cache_locality(args: &Args) {
         "append" => generate_append_replay(&config),
         _ => generate(&config),
     };
+    if args.serve {
+        // The server path runs the batch once (no append replay) through
+        // the vida-server front end and prints its own counters.
+        serve_smoke(args, catalog, opts, &queries);
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
     // The append-replay mix re-runs the same batch after each of three
     // on-disk appends (~2% of each input per round); every other mix runs
     // its batch once over static files.
@@ -500,6 +530,122 @@ fn cache_locality(args: &Args) {
              execution must fuse every pipeline-covered shape)",
             accum.operator_materializations
         );
+        std::process::exit(1);
+    }
+}
+
+/// The `--serve` path: the same staged catalog and workload mix, but
+/// driven through the `vida-server` query service — one resident
+/// [`Engine`] behind a bounded admission queue, `--clients` in-process
+/// client threads submitting concurrently, and executor threads
+/// time-slicing the one shared worker pool at morsel granularity.
+/// Streams every response through the length-prefixed wire protocol into
+/// a per-query buffer, verifies each one parses and succeeded, prints
+/// the admission / peak-in-flight / time-slicing counters the CI legs
+/// grep, and exits non-zero if any response failed.
+fn serve_smoke(
+    args: &Args,
+    catalog: MemoryCatalog,
+    opts: JitOptions,
+    queries: &[vida_workload::QuerySpec],
+) {
+    let executors = args.clients.max(2);
+    let engine = Arc::new(Engine::new(Arc::new(catalog), opts));
+    let server = QueryServer::start(
+        Arc::clone(&engine),
+        ServerConfig {
+            executors,
+            queue_depth: 64,
+        },
+    );
+    let metrics_before = global_metrics().snapshot();
+    let t0 = Instant::now();
+    let buffers: Vec<(usize, SharedBuffer)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|client| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for (i, q) in queries.iter().enumerate() {
+                        if i % args.clients != client {
+                            continue;
+                        }
+                        let buf = SharedBuffer::default();
+                        // Admission control is a bounded queue: a rejected
+                        // submit already wrote a busy response into the
+                        // sink, so clear it and resubmit after a beat.
+                        while !server
+                            .submit(QueryRequest::new(q.text.clone(), Box::new(buf.clone())))
+                        {
+                            buf.take();
+                            std::thread::yield_now();
+                        }
+                        mine.push((i, buf));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    server.drain();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let metrics_delta = global_metrics().snapshot().since(&metrics_before);
+    let stats = server.stats();
+
+    let mut rows = 0usize;
+    let mut failed = 0usize;
+    for (i, buf) in &buffers {
+        let bytes = buf.take();
+        match read_response(&mut bytes.as_slice()) {
+            Ok(resp) if resp.is_ok() => rows += resp.rows.len(),
+            Ok(resp) => {
+                failed += 1;
+                eprintln!(
+                    "query #{i} failed: {}",
+                    resp.error.as_deref().unwrap_or("unknown")
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!("query #{i}: malformed response ({e})");
+            }
+        }
+    }
+
+    println!(
+        "server smoke:            {} clients -> {executors} executors over {} shared workers \
+         ({wall_ms:.1} ms)",
+        args.clients,
+        engine.threads()
+    );
+    println!(
+        "admission:               {} admitted, {} rejected (bounded queue), {} completed, \
+         {} failed",
+        stats.admitted, stats.rejected, stats.completed, stats.failed
+    );
+    println!(
+        "concurrent queries:      peak in flight {}",
+        stats.peak_in_flight
+    );
+    println!(
+        "time slicing:            {} runs attached to the resident pool, {} multiplexed \
+         morsel claims",
+        metrics_delta.pool_attached_runs, metrics_delta.pool_multiplexed_claims
+    );
+    println!(
+        "responses:               {} ok, {rows} rows streamed, {failed} malformed/failed",
+        buffers.len() - failed
+    );
+    if let Some(path) = &args.stats_json {
+        std::fs::write(path, server.stats_json()).expect("write stats JSON");
+        println!("stats:                   -> {}", path.display());
+    }
+    server.shutdown();
+    if failed > 0 {
         std::process::exit(1);
     }
 }

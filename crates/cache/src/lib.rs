@@ -24,4 +24,4 @@ pub mod manager;
 pub use bson::{decode_value, encode_value};
 pub use fold::{FoldCache, FoldPartial};
 pub use layout::{CachedData, Layout};
-pub use manager::{CacheKey, CacheManager, CacheStats};
+pub use manager::{CacheKey, CacheManager, CacheStats, TenantStats};

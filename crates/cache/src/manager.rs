@@ -62,9 +62,32 @@ impl CacheStats {
     }
 }
 
+/// Per-tenant budget and usage counters (see
+/// [`CacheManager::set_tenant_budget`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant's quota, if one was set; quota-less tenants are tracked
+    /// but unprotected.
+    pub budget_bytes: Option<usize>,
+    pub used_bytes: usize,
+    pub insertions: u64,
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    budget: Option<usize>,
+    used: usize,
+    insertions: u64,
+    evictions: u64,
+}
+
 struct Entry {
     data: Arc<CachedData>,
     bytes: usize,
+    /// Owning tenant for budget scoping; `None` for untenanted (library)
+    /// inserts.
+    tenant: Option<String>,
     /// LRU stamp; atomic so lookups bump it under the shared read lock.
     last_used: AtomicU64,
     /// Eviction slack in LRU ticks: replicas that are expensive to rebuild
@@ -131,6 +154,10 @@ pub struct CacheManager {
     /// lock-free.
     used_bytes: AtomicUsize,
     stats: AtomicStats,
+    /// Per-tenant budgets and usage. Always locked *after* `entries` when
+    /// both are held, and only mutated while holding the `entries` write
+    /// lock, so usage never drifts from the entries it accounts for.
+    tenants: RwLock<HashMap<String, TenantState>>,
     /// Side table of fold partials for incremental re-aggregation (small,
     /// count-bounded — see [`crate::fold`]).
     folds: FoldCache,
@@ -145,6 +172,7 @@ impl CacheManager {
             clock: AtomicU64::new(0),
             used_bytes: AtomicUsize::new(0),
             stats: AtomicStats::default(),
+            tenants: RwLock::new(HashMap::new()),
             folds: FoldCache::new(),
         }
     }
@@ -182,6 +210,94 @@ impl CacheManager {
 
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Give `tenant` a byte quota. Entries inserted for a budgeted tenant
+    /// (via [`CacheManager::put_with_cost_for`]) are charged against it:
+    /// the tenant's own lowest-priority entries are evicted to stay within
+    /// quota, and while the tenant is at or under quota no *other* tenant's
+    /// insert can victimize its entries. Untenanted entries and quota-less
+    /// tenants keep the original pure global-budget behavior.
+    pub fn set_tenant_budget(&self, tenant: &str, bytes: usize) {
+        let mut tenants = self.tenants.write();
+        tenants.entry(tenant.to_string()).or_default().budget = Some(bytes);
+    }
+
+    /// Budget/usage/eviction counters for one tenant (zeros if unknown).
+    pub fn tenant_stats(&self, tenant: &str) -> TenantStats {
+        let tenants = self.tenants.read();
+        match tenants.get(tenant) {
+            Some(s) => TenantStats {
+                budget_bytes: s.budget,
+                used_bytes: s.used,
+                insertions: s.insertions,
+                evictions: s.evictions,
+            },
+            None => TenantStats::default(),
+        }
+    }
+
+    /// Every tenant the cache has seen (budgeted or not), sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn tenant_quota(&self, tenant: &str) -> Option<usize> {
+        self.tenants.read().get(tenant).and_then(|s| s.budget)
+    }
+
+    fn tenant_used(&self, tenant: &str) -> usize {
+        self.tenants.read().get(tenant).map_or(0, |s| s.used)
+    }
+
+    fn credit_tenant(&self, tenant: &str, bytes: usize) {
+        let mut tenants = self.tenants.write();
+        let state = tenants.entry(tenant.to_string()).or_default();
+        state.used += bytes;
+        state.insertions += 1;
+    }
+
+    fn debit_tenant(&self, tenant: &Option<String>, bytes: usize, evicted: bool) {
+        let Some(t) = tenant else { return };
+        let mut tenants = self.tenants.write();
+        if let Some(state) = tenants.get_mut(t) {
+            state.used = state.used.saturating_sub(bytes);
+            if evicted {
+                state.evictions += 1;
+            }
+        }
+    }
+
+    /// May an insert on behalf of `inserting` victimize `e`? A tenant at or
+    /// under its quota is protected from everyone but itself; untenanted
+    /// entries and quota-less tenants are always fair game.
+    fn entry_evictable(&self, inserting: Option<&str>, e: &Entry) -> bool {
+        let Some(owner) = e.tenant.as_deref() else {
+            return true;
+        };
+        if Some(owner) == inserting {
+            return true;
+        }
+        let tenants = self.tenants.read();
+        match tenants.get(owner) {
+            Some(s) => match s.budget {
+                Some(quota) => s.used > quota,
+                None => true,
+            },
+            None => true,
+        }
+    }
+
+    /// Remove `k`, updating global usage, eviction counters, and the owning
+    /// tenant's account.
+    fn evict_entry(&self, entries: &mut HashMap<CacheKey, Entry>, k: &CacheKey) {
+        let e = entries.remove(k).expect("victim exists");
+        self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        global_metrics().cache_evictions.inc();
+        self.debit_tenant(&e.tenant, e.bytes, true);
     }
 
     /// Look up an entry; bumps LRU clock and hit/miss counters. Takes only
@@ -275,19 +391,64 @@ impl CacheManager {
         fingerprint: (u64, u64),
         rebuild_cost: f64,
     ) -> bool {
+        self.put_with_cost_for(None, key, data, fingerprint, rebuild_cost)
+    }
+
+    /// [`CacheManager::put_with_cost`] on behalf of a tenant. The insert is
+    /// charged against the tenant's quota (see
+    /// [`CacheManager::set_tenant_budget`]): first the tenant's own
+    /// lowest-priority entries are evicted until the new entry fits within
+    /// its quota, then the global budget is enforced by evicting
+    /// lowest-priority *unprotected* entries — never another tenant's while
+    /// that tenant is at or under its own quota. Returns false when the
+    /// entry cannot fit without breaking a protection.
+    pub fn put_with_cost_for(
+        &self,
+        tenant: Option<&str>,
+        key: CacheKey,
+        data: CachedData,
+        fingerprint: (u64, u64),
+        rebuild_cost: f64,
+    ) -> bool {
         let bytes = data.approx_bytes();
         if bytes > self.budget_bytes {
+            return false;
+        }
+        let quota = tenant.and_then(|t| self.tenant_quota(t));
+        if quota.is_some_and(|q| bytes > q) {
             return false;
         }
         let mut entries = self.entries.write();
         let clock = self.tick();
         if let Some(old) = entries.remove(&key) {
             self.used_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+            self.debit_tenant(&old.tenant, old.bytes, false);
         }
-        // Evict lowest-priority entries until the new entry fits.
+        // Quota enforcement: this tenant stays within its own budget by
+        // shedding its own coldest entries first.
+        if let (Some(t), Some(q)) = (tenant, quota) {
+            while self.tenant_used(t) + bytes > q {
+                let victim = entries
+                    .iter()
+                    .filter(|(_, e)| e.tenant.as_deref() == Some(t))
+                    .min_by(|(_, a), (_, b)| {
+                        a.priority()
+                            .partial_cmp(&b.priority())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(k) => self.evict_entry(&mut entries, &k),
+                    None => return false,
+                }
+            }
+        }
+        // Global budget: evict lowest-priority unprotected entries until
+        // the new entry fits.
         while self.used_bytes.load(Ordering::Relaxed) + bytes > self.budget_bytes {
             let victim = entries
                 .iter()
+                .filter(|(_, e)| self.entry_evictable(tenant, e))
                 .min_by(|(_, a), (_, b)| {
                     a.priority()
                         .partial_cmp(&b.priority())
@@ -295,17 +456,15 @@ impl CacheManager {
                 })
                 .map(|(k, _)| k.clone());
             match victim {
-                Some(k) => {
-                    let e = entries.remove(&k).expect("victim exists");
-                    self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
-                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                    global_metrics().cache_evictions.inc();
-                }
-                None => break,
+                Some(k) => self.evict_entry(&mut entries, &k),
+                None => return false,
             }
         }
         self.used_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = tenant {
+            self.credit_tenant(t, bytes);
+        }
         let metrics = global_metrics();
         metrics.cache_insertions.inc();
         metrics.cache_replica_bytes.record(bytes as u64);
@@ -314,6 +473,7 @@ impl CacheManager {
             Entry {
                 data: Arc::new(data),
                 bytes,
+                tenant: tenant.map(str::to_string),
                 last_used: AtomicU64::new(clock),
                 rebuild_bonus: rebuild_cost.max(0.0),
                 fingerprint,
@@ -345,7 +505,7 @@ impl CacheManager {
         let added: usize = tail.iter().map(Value::approx_bytes).sum();
         let mut entries = self.entries.write();
         let clock = self.tick();
-        let full = {
+        let (full, owner) = {
             let entry = entries.get_mut(key)?;
             if entry.fingerprint != expect_fingerprint
                 || entry.data.layout() != Layout::Values
@@ -370,18 +530,25 @@ impl CacheManager {
                 self.used_bytes
                     .fetch_sub(removed - added, Ordering::Relaxed);
             }
+            if let Some(t) = &entry.tenant {
+                let mut tenants = self.tenants.write();
+                if let Some(state) = tenants.get_mut(t) {
+                    state.used = (state.used + added).saturating_sub(removed);
+                }
+            }
             let CachedData::Values(vec) = &*entry.data else {
                 unreachable!("layout checked above");
             };
-            Arc::clone(vec)
+            (Arc::clone(vec), entry.tenant.clone())
         };
-        // The growth may push usage over budget: evict other entries, never
-        // the one just extended (an oversized survivor is the next put's
+        // The growth may push usage over budget: evict other *unprotected*
+        // entries (same rule as an insert on the owner's behalf), never the
+        // one just extended (an oversized survivor is the next put's
         // problem, exactly as with a fresh oversized insert).
         while self.used_bytes.load(Ordering::Relaxed) > self.budget_bytes {
             let victim = entries
                 .iter()
-                .filter(|(k, _)| *k != key)
+                .filter(|(k, e)| *k != key && self.entry_evictable(owner.as_deref(), e))
                 .min_by(|(_, a), (_, b)| {
                     a.priority()
                         .partial_cmp(&b.priority())
@@ -389,12 +556,7 @@ impl CacheManager {
                 })
                 .map(|(k, _)| k.clone());
             match victim {
-                Some(k) => {
-                    let e = entries.remove(&k).expect("victim exists");
-                    self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
-                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                    global_metrics().cache_evictions.inc();
-                }
+                Some(k) => self.evict_entry(&mut entries, &k),
                 None => break,
             }
         }
@@ -425,6 +587,7 @@ impl CacheManager {
         match entries.remove(key) {
             Some(e) => {
                 self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+                self.debit_tenant(&e.tenant, e.bytes, false);
                 true
             }
             None => false,
@@ -456,6 +619,7 @@ impl CacheManager {
         for k in &stale {
             let e = entries.remove(k).expect("stale key exists");
             self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+            self.debit_tenant(&e.tenant, e.bytes, false);
         }
         self.stats
             .invalidations
@@ -489,6 +653,7 @@ impl CacheManager {
         for k in &stale {
             let e = entries.remove(k).expect("stale key exists");
             self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+            self.debit_tenant(&e.tenant, e.bytes, false);
         }
         self.stats
             .invalidations
@@ -510,6 +675,7 @@ impl CacheManager {
         for k in &keys {
             let e = entries.remove(k).expect("key exists");
             self.used_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+            self.debit_tenant(&e.tenant, e.bytes, false);
         }
         self.stats
             .invalidations
@@ -524,6 +690,11 @@ impl CacheManager {
         let mut entries = self.entries.write();
         entries.clear();
         self.used_bytes.store(0, Ordering::Relaxed);
+        // Budgets and cumulative counters survive; usage resets with the
+        // entries it accounted for.
+        for state in self.tenants.write().values_mut() {
+            state.used = 0;
+        }
     }
 
     /// How many replicas exist per layout, across all datasets (sorted by
@@ -534,6 +705,24 @@ impl CacheManager {
         let entries = self.entries.read();
         let mut counts: Vec<(Layout, usize)> = Vec::new();
         for k in entries.keys() {
+            match counts.iter_mut().find(|(l, _)| *l == k.layout) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((k.layout, 1)),
+            }
+        }
+        counts.sort_by_key(|(l, _)| l.name());
+        counts
+    }
+
+    /// [`CacheManager::layout_counts`] restricted to one tenant's entries —
+    /// the per-tenant split the server's stats endpoint reports.
+    pub fn layout_counts_for(&self, tenant: &str) -> Vec<(Layout, usize)> {
+        let entries = self.entries.read();
+        let mut counts: Vec<(Layout, usize)> = Vec::new();
+        for (k, e) in entries.iter() {
+            if e.tenant.as_deref() != Some(tenant) {
+                continue;
+            }
             match counts.iter_mut().find(|(l, _)| *l == k.layout) {
                 Some((_, n)) => *n += 1,
                 None => counts.push((k.layout, 1)),
@@ -906,6 +1095,185 @@ mod tests {
         );
         let counts = m.layout_counts();
         assert_eq!(counts, vec![(Layout::Positions, 1), (Layout::Values, 2)]);
+    }
+
+    #[test]
+    fn tenant_quota_sheds_own_coldest_entries_first() {
+        let one = col(100).approx_bytes();
+        // Global budget is roomy; tenant "a" may hold only two columns.
+        let m = CacheManager::new(one * 10);
+        m.set_tenant_budget("a", one * 2 + 10);
+        for f in ["x", "y"] {
+            assert!(m.put_with_cost_for(
+                Some("a"),
+                CacheKey::new("d", f, Layout::Values),
+                col(100),
+                (1, 1),
+                0.0,
+            ));
+        }
+        m.get(&CacheKey::new("d", "x", Layout::Values)).unwrap();
+        assert!(m.put_with_cost_for(
+            Some("a"),
+            CacheKey::new("d", "z", Layout::Values),
+            col(100),
+            (1, 1),
+            0.0,
+        ));
+        // "y" was a's LRU entry and pays for a's own growth.
+        assert!(m.contains(&CacheKey::new("d", "x", Layout::Values)));
+        assert!(!m.contains(&CacheKey::new("d", "y", Layout::Values)));
+        assert!(m.contains(&CacheKey::new("d", "z", Layout::Values)));
+        let stats = m.tenant_stats("a");
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.used_bytes <= stats.budget_bytes.unwrap());
+    }
+
+    #[test]
+    fn skewed_tenants_never_cross_evict_past_quota() {
+        let one = col(100).approx_bytes();
+        // Global budget fits four columns; "big" may hold three, "small" one.
+        let m = CacheManager::new(one * 4 + 20);
+        m.set_tenant_budget("big", one * 3 + 15);
+        m.set_tenant_budget("small", one + 5);
+        for f in ["b1", "b2", "b3"] {
+            assert!(m.put_with_cost_for(
+                Some("big"),
+                CacheKey::new("d", f, Layout::Values),
+                col(100),
+                (1, 1),
+                0.0,
+            ));
+        }
+        assert!(m.put_with_cost_for(
+            Some("small"),
+            CacheKey::new("d", "s1", Layout::Values),
+            col(100),
+            (1, 1),
+            0.0,
+        ));
+        // The cache is globally full and both tenants are at quota. Either
+        // tenant churning stays inside its own allotment:
+        assert!(m.put_with_cost_for(
+            Some("small"),
+            CacheKey::new("d", "s2", Layout::Values),
+            col(100),
+            (1, 1),
+            0.0,
+        ));
+        assert!(!m.contains(&CacheKey::new("d", "s1", Layout::Values)));
+        for f in ["b1", "b2", "b3"] {
+            assert!(
+                m.contains(&CacheKey::new("d", f, Layout::Values)),
+                "small's churn evicted big's {f} despite big being under quota"
+            );
+        }
+        assert!(m.put_with_cost_for(
+            Some("big"),
+            CacheKey::new("d", "b4", Layout::Values),
+            col(100),
+            (1, 1),
+            0.0,
+        ));
+        assert!(m.contains(&CacheKey::new("d", "s2", Layout::Values)));
+        // Eviction counters split per tenant.
+        assert_eq!(m.tenant_stats("small").evictions, 1);
+        assert_eq!(m.tenant_stats("big").evictions, 1);
+        assert_eq!(m.tenant_stats("big").insertions, 4);
+        assert_eq!(m.tenant_names(), vec!["big".to_string(), "small".into()]);
+    }
+
+    #[test]
+    fn untenanted_insert_cannot_victimize_protected_tenants() {
+        let one = col(100).approx_bytes();
+        let m = CacheManager::new(one * 2 + 10);
+        m.set_tenant_budget("a", one * 2 + 10);
+        for f in ["x", "y"] {
+            assert!(m.put_with_cost_for(
+                Some("a"),
+                CacheKey::new("d", f, Layout::Values),
+                col(100),
+                (1, 1),
+                0.0,
+            ));
+        }
+        // Globally full, every entry protected: the untenanted put must be
+        // refused rather than break a's quota.
+        assert!(!m.put(CacheKey::new("d", "anon", Layout::Values), col(100), (1, 1)));
+        assert!(m.contains(&CacheKey::new("d", "x", Layout::Values)));
+        assert!(m.contains(&CacheKey::new("d", "y", Layout::Values)));
+    }
+
+    #[test]
+    fn entry_larger_than_tenant_quota_refused() {
+        let m = CacheManager::new(1 << 20);
+        m.set_tenant_budget("tiny", 16);
+        assert!(!m.put_with_cost_for(
+            Some("tiny"),
+            CacheKey::new("d", "a", Layout::Values),
+            col(100),
+            (1, 1),
+            0.0,
+        ));
+        assert_eq!(m.tenant_stats("tiny").used_bytes, 0);
+    }
+
+    #[test]
+    fn layout_counts_split_per_tenant() {
+        let m = CacheManager::new(1 << 20);
+        m.put_with_cost_for(
+            Some("a"),
+            CacheKey::new("d", "x", Layout::Values),
+            col(3),
+            (1, 1),
+            0.0,
+        );
+        m.put_with_cost_for(
+            Some("a"),
+            CacheKey::new("d", "y", Layout::Positions),
+            CachedData::Positions(vec![(0, 5); 3]),
+            (1, 1),
+            0.0,
+        );
+        m.put_with_cost_for(
+            Some("b"),
+            CacheKey::new("d", "z", Layout::Values),
+            col(3),
+            (1, 1),
+            0.0,
+        );
+        assert_eq!(
+            m.layout_counts_for("a"),
+            vec![(Layout::Positions, 1), (Layout::Values, 1)]
+        );
+        assert_eq!(m.layout_counts_for("b"), vec![(Layout::Values, 1)]);
+        assert!(m.layout_counts_for("nobody").is_empty());
+        // The global view still sees everything.
+        assert_eq!(
+            m.layout_counts(),
+            vec![(Layout::Positions, 1), (Layout::Values, 2)]
+        );
+    }
+
+    #[test]
+    fn removal_paths_debit_tenant_usage() {
+        let m = CacheManager::new(1 << 20);
+        m.set_tenant_budget("a", 1 << 20);
+        let key = CacheKey::new("d", "x", Layout::Values);
+        m.put_with_cost_for(Some("a"), key.clone(), col(10), (1, 1), 0.0);
+        assert!(m.tenant_stats("a").used_bytes > 0);
+        m.remove(&key);
+        assert_eq!(m.tenant_stats("a").used_bytes, 0);
+
+        m.put_with_cost_for(Some("a"), key.clone(), col(10), (2, 2), 0.0);
+        assert_eq!(m.invalidate_stale("d", (3, 3)), 1);
+        assert_eq!(m.tenant_stats("a").used_bytes, 0);
+
+        m.put_with_cost_for(Some("a"), key.clone(), col(10), (3, 3), 0.0);
+        m.clear();
+        assert_eq!(m.tenant_stats("a").used_bytes, 0);
+        // The quota survives a clear.
+        assert_eq!(m.tenant_stats("a").budget_bytes, Some(1 << 20));
     }
 
     #[test]

@@ -20,16 +20,17 @@
 //! ```
 
 pub use vida_algebra::{execute_plan, lower, rewrite, Plan};
-pub use vida_cache::{CacheKey, CacheManager, CacheStats, CachedData, Layout};
+pub use vida_cache::{CacheKey, CacheManager, CacheStats, CachedData, Layout, TenantStats};
 pub use vida_exec::{
-    run_jit, run_jit_with_stats, run_volcano, ExecStats, JitOptions, MemoryCatalog, OutputFormat,
-    SourceProvider,
+    run_jit, run_jit_with_stats, run_volcano, Engine, ExecStats, JitOptions, MemoryCatalog,
+    OutputFormat, Session, SourceProvider,
 };
 pub use vida_formats::{open_plugin, DataFormat, InputPlugin, SourceDescription};
 pub use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SlotType};
 pub use vida_lang::{eval, parse, typecheck, Bindings, Expr, TypeEnv};
 pub use vida_optimizer::{CostModel, CostModelConfig, FieldObservation, Optimizer, Pass};
 pub use vida_parallel::{MorselPlan, WorkerPool};
+pub use vida_server::{QueryRequest, QueryServer, ServerConfig, ServerStats};
 pub use vida_sql::sql_to_comprehension;
 pub use vida_trace::{chrome_trace_json, global_metrics, MetricsRegistry, QueryTrace};
 pub use vida_types::{Monoid, Result, Schema, Type, Value, VidaError};
@@ -43,6 +44,7 @@ pub use vida_jit as jit;
 pub use vida_lang as lang;
 pub use vida_optimizer as optimizer;
 pub use vida_parallel as parallel;
+pub use vida_server as server;
 pub use vida_sql as sql;
 pub use vida_trace as trace;
 pub use vida_types as types;
@@ -116,6 +118,27 @@ mod tests {
         run_jit(&plan, &cat, &opts).unwrap();
         assert_eq!(model.profile("T", "x").unwrap().touches, 1);
         assert!(!cache.layout_counts().is_empty());
+    }
+
+    #[test]
+    fn facade_runs_a_resident_engine() {
+        use std::sync::Arc;
+        let cat = MemoryCatalog::new();
+        cat.register_records(
+            "T",
+            Schema::from_pairs([("x", Type::Int)]),
+            &[
+                Value::record([("x", Value::Int(2))]),
+                Value::record([("x", Value::Int(40))]),
+            ],
+        )
+        .unwrap();
+        let engine = Engine::new(Arc::new(cat), JitOptions::default());
+        let plan = rewrite(&lower(&parse("for { t <- T } yield sum t.x").unwrap()).unwrap());
+        let mut session = engine.session();
+        assert_eq!(session.execute(&plan).unwrap(), Value::Int(42));
+        assert_eq!(engine.execute(&plan).unwrap(), Value::Int(42));
+        assert_eq!(engine.stats().queries, 2);
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! materialize as parsed values, text, binary JSON, or CSV rows.
 
 pub mod catalog;
+pub mod engine;
 pub mod output;
 pub mod pipeline;
 pub mod stats;
 pub mod volcano;
 
 pub use catalog::{MemoryCatalog, SourceProvider};
+pub use engine::{Engine, Session};
 pub use output::OutputFormat;
 pub use pipeline::{run_jit, run_jit_with_stats, JitOptions};
 pub use stats::ExecStats;

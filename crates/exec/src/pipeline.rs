@@ -26,9 +26,10 @@
 //!   fused kernel;
 //! - **unnest stages**: `Plan::Unnest` flattens collection-valued paths
 //!   (nested JSON columns, including cached `BinaryJson` replicas) into the
-//!   flat register frames — numeric/bool elements get their own slots so
-//!   inner predicates compile to kernels, and everything else takes the
-//!   per-tuple interpreted fallback;
+//!   flat register frames — scalar elements get their own slots (strings
+//!   intern through the shared lock-guarded interner) so inner predicates
+//!   compile to kernels, and everything else takes the per-tuple
+//!   interpreted fallback;
 //! - **bushy joins lowered**: `vida_algebra::lower::left_deepen` rotates
 //!   bushy join trees into the left-deep chains the pipelines execute
 //!   before shape analysis, so directly-constructed bushy plans compile
@@ -89,7 +90,7 @@ use vida_cache::{bson, CacheKey, CacheManager, CachedData, FoldPartial, Layout};
 use vida_formats::Revalidation;
 use vida_jit::compile::path_of;
 use vida_jit::frame::{decode_output, StringInterner};
-use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SelectKernel, SlotType};
+use vida_jit::{CompiledKernel, FrameLayout, JitCompiler, SelectKernel, SharedInterner, SlotType};
 use vida_lang::{eval, BinOp, Bindings, Expr, Qualifier};
 use vida_optimizer::{CostModel, FieldObservation};
 use vida_parallel::{
@@ -291,10 +292,43 @@ pub fn run_jit(plan: &Plan, catalog: &dyn SourceProvider, opts: &JitOptions) -> 
 }
 
 /// Execute a plan with the JIT engine, returning execution statistics.
+///
+/// This is the compatibility shim over the resident-engine execution path:
+/// it synthesizes a per-call spawn-mode pool and a private interner, so
+/// behaviour matches the pre-resident engine exactly (worker threads spawn
+/// per parallel phase and string ids start at zero every call). Long-lived
+/// callers should hold an [`Engine`](crate::engine::Engine) instead and let
+/// its sessions share one parked worker pool, cache, and interner.
 pub fn run_jit_with_stats(
     plan: &Plan,
     catalog: &dyn SourceProvider,
     opts: &JitOptions,
+) -> Result<(Value, ExecStats)> {
+    let ctx = ExecContext {
+        pool: WorkerPool::new(opts.effective_threads()),
+        interner: Arc::new(SharedInterner::new()),
+        tenant: None,
+    };
+    execute_with_context(plan, catalog, opts, &ctx)
+}
+
+/// Cross-query execution state threaded from the resident engine (or
+/// synthesized per call by the [`run_jit`] shim): the worker pool every
+/// parallel phase submits to, the interner string slots resolve through,
+/// and the tenant that cache replica writes are billed to.
+pub(crate) struct ExecContext {
+    pub(crate) pool: WorkerPool,
+    pub(crate) interner: Arc<SharedInterner>,
+    pub(crate) tenant: Option<String>,
+}
+
+/// The one execution path both [`run_jit_with_stats`] and
+/// `Engine::execute` funnel into.
+pub(crate) fn execute_with_context(
+    plan: &Plan,
+    catalog: &dyn SourceProvider,
+    opts: &JitOptions,
+    ctx: &ExecContext,
 ) -> Result<(Value, ExecStats)> {
     let mut stats = ExecStats {
         queries: 1,
@@ -302,7 +336,7 @@ pub fn run_jit_with_stats(
         ..Default::default()
     };
     let t0 = Instant::now();
-    let pipeline = match PipelineBuilder::new(catalog, opts, &mut stats).build(plan)? {
+    let pipeline = match PipelineBuilder::new(catalog, opts, ctx, &mut stats).build(plan)? {
         Some(p) => p,
         None => {
             // Whole-query fallback: shape outside the generated pipelines.
@@ -451,9 +485,8 @@ struct UnnestStage {
     /// straight from the materialized column, no interpreter environment.
     src_col: Option<(usize, usize)>,
     /// Element slots: `None` = the element itself (scalar collections),
-    /// `Some(field)` = a record element's field. `Str` elements stay
-    /// interpreted (runtime interning is not worker-safe), so these are
-    /// always `Int`/`Float`/`Bool`.
+    /// `Some(field)` = a record element's field. `Str` slots intern their
+    /// elements through the pipeline's shared interner at runtime.
     slots: Vec<(Option<String>, usize, SlotType)>,
 }
 
@@ -475,12 +508,20 @@ struct Pipeline {
     monoid: Monoid,
     head: HeadPlan,
     frame_width: usize,
-    interner: StringInterner,
+    /// String table kernel constants were interned into and string frame
+    /// slots resolve through. Shared with the engine on the resident path
+    /// (so ids are stable across sessions) and lock-guarded, which is what
+    /// lets `Str` unnest elements intern from parallel workers.
+    interner: Arc<SharedInterner>,
     /// Datasets referenced inside nested head/predicate comprehensions,
     /// materialized up front (mirrors the Volcano engine).
     base_env: Bindings,
     /// Morsel-driven worker count; 1 = the serial path.
     threads: usize,
+    /// The pool parallel phases submit to: the engine's resident pool
+    /// (workers parked between queries, runs attached) or a per-query
+    /// spawn-mode pool under the `run_jit` shim.
+    pool: WorkerPool,
     /// Units per morsel (0 = `vida-parallel` default).
     morsel_rows: usize,
     /// Run the legacy materializing executor instead of the push loop.
@@ -726,10 +767,9 @@ fn encode_cell(ty: SlotType, v: &Value, interner: &mut StringInterner) -> Option
     }
 }
 
-/// Encode one unnest element (or element field) into a non-string slot.
-/// The runtime half of [`encode_cell`] minus interning — unnest stages
-/// never claim `Str` slots, so no interner access is needed in the
-/// (possibly parallel) hot loop.
+/// Encode one unnest element (or element field) into a non-string slot —
+/// the interner-free half of [`encode_elem`], shared by every non-`Str`
+/// element type.
 fn encode_scalar(ty: SlotType, v: &Value) -> Option<i64> {
     match (ty, v) {
         (SlotType::Int, Value::Int(x)) => Some(*x),
@@ -737,6 +777,17 @@ fn encode_scalar(ty: SlotType, v: &Value) -> Option<i64> {
         (SlotType::Float, Value::Int(x)) => Some((*x as f64).to_bits() as i64),
         (SlotType::Bool, Value::Bool(b)) => Some(*b as i64),
         _ => None,
+    }
+}
+
+/// Encode one unnest element (or element field) into a slot at runtime.
+/// `Str` elements intern through the shared interner — safe from parallel
+/// workers because the table is lock-guarded, and cheap because the build
+/// pre-interned every string reachable through the direct-column path.
+fn encode_elem(ty: SlotType, v: &Value, interner: &SharedInterner) -> Option<i64> {
+    match (ty, v) {
+        (SlotType::Str, Value::Str(s)) => Some(interner.intern(s)),
+        _ => encode_scalar(ty, v),
     }
 }
 
@@ -846,6 +897,7 @@ impl vida_optimizer::PlanStats for CatalogEstimates<'_> {
 struct PipelineBuilder<'a> {
     catalog: &'a dyn SourceProvider,
     opts: &'a JitOptions,
+    ctx: &'a ExecContext,
     stats: &'a mut ExecStats,
     /// Revalidation verdicts of the datasets this query binds (absent =
     /// unchanged on disk, serve caches as usual).
@@ -856,13 +908,27 @@ impl<'a> PipelineBuilder<'a> {
     fn new(
         catalog: &'a dyn SourceProvider,
         opts: &'a JitOptions,
+        ctx: &'a ExecContext,
         stats: &'a mut ExecStats,
     ) -> Self {
         PipelineBuilder {
             catalog,
             opts,
+            ctx,
             stats,
             freshness: HashMap::new(),
+        }
+    }
+
+    /// Worker count execution actually uses: the resident pool's size when
+    /// one is attached (sessions share the engine's parked workers — a
+    /// per-query `threads` request cannot grow the pool), the clamped
+    /// option count otherwise.
+    fn exec_threads(&self) -> usize {
+        if self.ctx.pool.is_resident() {
+            self.ctx.pool.threads()
+        } else {
+            self.opts.effective_threads()
         }
     }
 
@@ -966,15 +1032,17 @@ impl<'a> PipelineBuilder<'a> {
 
         // Compile the operator tree (keys, predicates, selects). Bails
         // before any column is materialized, so fallback queries are not
-        // scanned twice.
-        let mut interner = StringInterner::new();
+        // scanned twice. String constants intern into the context's shared
+        // table — per-call and private under `run_jit`, engine-wide (ids
+        // stable across sessions) on the resident path.
+        let interner = Arc::clone(&self.ctx.interner);
         let mut unnest_cursor = 0usize;
         let mut join_cursor = 0usize;
         let Some(root) = self.assemble(
             &shape,
             &order,
             &layout,
-            &mut interner,
+            &interner,
             &mut unnest_cursor,
             &mut join_cursor,
         )?
@@ -1018,19 +1086,20 @@ impl<'a> PipelineBuilder<'a> {
                 .zip(&columns)
                 .map(|(&c, data)| (schema.fields()[c].name.clone(), Arc::clone(data)))
                 .collect();
-            let slot_cols = spec
-                .slot_meta
-                .iter()
-                .map(|&(ti, slot, ty)| {
-                    (
-                        slot,
-                        columns[ti]
-                            .iter()
-                            .map(|v| encode_cell(ty, v, &mut interner))
-                            .collect::<Vec<_>>(),
-                    )
-                })
-                .collect();
+            let slot_cols = interner.with_mut(|int| {
+                spec.slot_meta
+                    .iter()
+                    .map(|&(ti, slot, ty)| {
+                        (
+                            slot,
+                            columns[ti]
+                                .iter()
+                                .map(|v| encode_cell(ty, v, int))
+                                .collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect()
+            });
             let slots = spec.slot_meta.iter().map(|&(_, s, _)| s).collect();
             sources.push(Source {
                 binding: spec.binding,
@@ -1042,11 +1111,42 @@ impl<'a> PipelineBuilder<'a> {
                 fused_selects: None,
             });
         }
+        // Pre-intern string unnest elements reachable through the
+        // direct-column fast path: the per-element intern in the (possibly
+        // parallel) hot loop then almost always hits the read-locked
+        // lookup instead of contending on the write lock.
+        for u in &unnests {
+            if u.src_col.is_none() || !u.slots.iter().any(|&(_, _, t)| t == SlotType::Str) {
+                continue;
+            }
+            let (src, col) = u.src_col.expect("checked above");
+            interner.with_mut(|int| {
+                for coll in sources[src].env_fields[col].1.iter() {
+                    let Some(items) = coll.elements() else {
+                        continue;
+                    };
+                    for item in items {
+                        for (field, _, ty) in &u.slots {
+                            if *ty != SlotType::Str {
+                                continue;
+                            }
+                            let v = match field {
+                                None => Some(item),
+                                Some(f) => item.field(f),
+                            };
+                            if let Some(Value::Str(s)) = v {
+                                int.intern(s);
+                            }
+                        }
+                    }
+                }
+            });
+        }
         self.stats.span_begin(stage::CODEGEN);
-        self.attach_selects(&mut sources, &shape, &layout, &mut interner)?;
+        self.attach_selects(&mut sources, &shape, &layout, &interner)?;
         self.observe_select_stats(&sources, &shape);
 
-        let head_plan = self.plan_head(*monoid, head, &layout, &mut interner);
+        let head_plan = self.plan_head(*monoid, head, &layout, &interner);
         self.stats.span_end();
 
         // Base environment: datasets referenced by nested comprehensions
@@ -1110,7 +1210,8 @@ impl<'a> PipelineBuilder<'a> {
             frame_width: layout.len(),
             interner,
             base_env,
-            threads: self.opts.effective_threads(),
+            threads: self.exec_threads(),
+            pool: self.ctx.pool.clone(),
             morsel_rows: self.opts.morsel_rows,
             materialize_stages: self.opts.materialize_stages,
             fold_seam,
@@ -1219,15 +1320,11 @@ impl<'a> PipelineBuilder<'a> {
             } => {
                 self.bind_layout(input, fields_of, whole_record, layout, specs, unnests)?;
                 let (elem_ty, src_col) = unnest_elem_type(path, specs, unnests);
-                // `Str` elements stay interpreted: encoding one at runtime
-                // would have to intern new ids mid-execution, which the
-                // (shared, possibly parallel) pipeline cannot do safely.
-                let frameable = |t: &Type| {
-                    matches!(
-                        SlotType::of_type(t),
-                        Some(SlotType::Int | SlotType::Float | SlotType::Bool)
-                    )
-                };
+                // Every slot type frames — including `Str`, whose elements
+                // intern at runtime through the lock-guarded shared
+                // interner (pre-populated at build time, so the hot loop
+                // mostly takes the read-locked lookup).
+                let frameable = |t: &Type| SlotType::of_type(t).is_some();
                 let mut slots = Vec::new();
                 match &elem_ty {
                     t if frameable(t) && whole_record.get(binding).copied().unwrap_or(false) => {
@@ -1382,7 +1479,7 @@ impl<'a> PipelineBuilder<'a> {
                 0
             };
             let cols: Vec<usize> = grown.iter().map(|&(i, _)| touched[i]).collect();
-            let tails = if self.opts.effective_threads() > 1 {
+            let tails = if self.exec_threads() > 1 {
                 self.scan_columns_parallel(plugin, &cols, from)?
             } else {
                 let mut read: Vec<Vec<Value>> = vec![Vec::new(); cols.len()];
@@ -1464,7 +1561,7 @@ impl<'a> PipelineBuilder<'a> {
                 0
             };
             let cols: Vec<usize> = missing.iter().map(|&i| touched[i]).collect();
-            let read = if self.opts.effective_threads() > 1 {
+            let read = if self.exec_threads() > 1 {
                 self.scan_columns_parallel(plugin, &cols, 0)?
             } else {
                 let mut read: Vec<Vec<Value>> = vec![Vec::new(); cols.len()];
@@ -1524,13 +1621,12 @@ impl<'a> PipelineBuilder<'a> {
                 other => other.get(r),
             }
         };
-        let threads = self.opts.effective_threads();
+        let threads = self.exec_threads();
         if threads > 1 && nrows > 1 {
             let plan = MorselPlan::fixed(nrows, self.opts.morsel_rows);
             self.stats.morsels += plan.len() as u64;
             let epoch = self.stats.trace_epoch();
-            let pool = WorkerPool::new(threads);
-            let chunks = pool.run_morsels(
+            let chunks = self.ctx.pool.run_morsels(
                 plan.len(),
                 |w| w,
                 |w, m| {
@@ -1622,7 +1718,16 @@ impl<'a> PipelineBuilder<'a> {
                         .profile(dataset, field)
                         .map(|p| model.eviction_bonus(&p, chosen))
                         .unwrap_or(0.0);
-                    if cache.put_with_cost(key.clone(), replica, fingerprint, bonus) {
+                    // Replica storage is billed to the session's tenant:
+                    // its budget sheds its own coldest entries first, and
+                    // in-quota strangers are never victimized.
+                    if cache.put_with_cost_for(
+                        self.ctx.tenant.as_deref(),
+                        key.clone(),
+                        replica,
+                        fingerprint,
+                        bonus,
+                    ) {
                         self.stats.replicas_written += 1;
                     }
                 }
@@ -1689,8 +1794,7 @@ impl<'a> PipelineBuilder<'a> {
     ) -> Result<Vec<Vec<Value>>> {
         let plan = plan_scan_tail(plugin.as_ref(), self.opts.morsel_rows, from);
         let epoch = self.stats.trace_epoch();
-        let pool = WorkerPool::new(self.opts.effective_threads());
-        let chunks = pool.run_morsels(
+        let chunks = self.ctx.pool.run_morsels(
             plan.len(),
             |w| w,
             |w, m| {
@@ -1733,15 +1837,15 @@ impl<'a> PipelineBuilder<'a> {
         &mut self,
         predicate: &Expr,
         layout: &FrameLayout,
-        interner: &mut StringInterner,
+        interner: &SharedInterner,
     ) -> Result<Step> {
         if !self.opts.interpret_only
             && JitCompiler::try_prepare(predicate, layout) == Some(SlotType::Bool)
         {
             // Kernel ids are the query's dense compile order — the trace
             // layer's per-kernel invocation index.
-            let k = JitCompiler::new()?
-                .compile(predicate, layout, interner)?
+            let k = interner
+                .with_mut(|i| JitCompiler::new().and_then(|c| c.compile(predicate, layout, i)))?
                 .with_id(self.stats.kernels_compiled);
             self.stats.kernels_compiled += 1;
             return Ok(Step::Kernel(k, predicate.clone()));
@@ -1760,7 +1864,7 @@ impl<'a> PipelineBuilder<'a> {
         shape: &Shape,
         order: &[String],
         layout: &FrameLayout,
-        interner: &mut StringInterner,
+        interner: &SharedInterner,
         unnest_cursor: &mut usize,
         join_cursor: &mut usize,
     ) -> Result<Option<Node>> {
@@ -1836,11 +1940,15 @@ impl<'a> PipelineBuilder<'a> {
                             _ => None, // incomparable key types
                         };
                         if let Some(float_keys) = float_keys {
-                            let left_key = JitCompiler::new()?
-                                .compile(&lk_expr, layout, interner)?
+                            let left_key = interner
+                                .with_mut(|i| {
+                                    JitCompiler::new().and_then(|c| c.compile(&lk_expr, layout, i))
+                                })?
                                 .with_id(self.stats.kernels_compiled);
-                            let right_key = JitCompiler::new()?
-                                .compile(&rk_expr, layout, interner)?
+                            let right_key = interner
+                                .with_mut(|i| {
+                                    JitCompiler::new().and_then(|c| c.compile(&rk_expr, layout, i))
+                                })?
                                 .with_id(self.stats.kernels_compiled + 1);
                             self.stats.kernels_compiled += 2;
                             return Ok(Some(Node::HashJoin {
@@ -1871,11 +1979,15 @@ impl<'a> PipelineBuilder<'a> {
                     ) {
                         if numeric(lt) && numeric(rt) {
                             let float_keys = lt == SlotType::Float || rt == SlotType::Float;
-                            let left_key = JitCompiler::new()?
-                                .compile(&lk_expr, layout, interner)?
+                            let left_key = interner
+                                .with_mut(|i| {
+                                    JitCompiler::new().and_then(|c| c.compile(&lk_expr, layout, i))
+                                })?
                                 .with_id(self.stats.kernels_compiled);
-                            let right_key = JitCompiler::new()?
-                                .compile(&rk_expr, layout, interner)?
+                            let right_key = interner
+                                .with_mut(|i| {
+                                    JitCompiler::new().and_then(|c| c.compile(&rk_expr, layout, i))
+                                })?
                                 .with_id(self.stats.kernels_compiled + 1);
                             self.stats.kernels_compiled += 2;
                             band = Some(Band {
@@ -1910,7 +2022,7 @@ impl<'a> PipelineBuilder<'a> {
         sources: &mut [Source],
         shape: &Shape,
         layout: &FrameLayout,
-        interner: &mut StringInterner,
+        interner: &SharedInterner,
     ) -> Result<()> {
         match shape {
             Shape::Scan {
@@ -2043,7 +2155,7 @@ impl<'a> PipelineBuilder<'a> {
         monoid: Monoid,
         head: &Expr,
         layout: &FrameLayout,
-        interner: &mut StringInterner,
+        interner: &SharedInterner,
     ) -> HeadPlan {
         // `count` ignores head values entirely when the head is total.
         if monoid == Monoid::Primitive(PrimitiveMonoid::Count)
@@ -2053,7 +2165,9 @@ impl<'a> PipelineBuilder<'a> {
         }
         if !self.opts.interpret_only {
             if JitCompiler::try_prepare(head, layout).is_some() {
-                if let Ok(k) = JitCompiler::new().and_then(|c| c.compile(head, layout, interner)) {
+                if let Ok(k) = interner
+                    .with_mut(|i| JitCompiler::new().and_then(|c| c.compile(head, layout, i)))
+                {
                     let k = k.with_id(self.stats.kernels_compiled);
                     self.stats.kernels_compiled += 1;
                     return HeadPlan::Kernel(k, head.clone());
@@ -2068,7 +2182,9 @@ impl<'a> PipelineBuilder<'a> {
                     let mut ks = Vec::with_capacity(fields.len());
                     let mut ok = true;
                     for (n, e) in fields {
-                        match JitCompiler::new().and_then(|c| c.compile(e, layout, interner)) {
+                        match interner
+                            .with_mut(|i| JitCompiler::new().and_then(|c| c.compile(e, layout, i)))
+                        {
                             Ok(k) => {
                                 let id = self.stats.kernels_compiled + ks.len() as u32;
                                 ks.push((n.clone(), k.with_id(id)));
@@ -2670,7 +2786,7 @@ impl Pipeline {
                     None => Some(item),
                     Some(f) => item.field(f),
                 };
-                match v.and_then(|v| encode_scalar(*ty, v)) {
+                match v.and_then(|v| encode_elem(*ty, v, &self.interner)) {
                     Some(bits) => frame[*slot] = bits,
                     None => valid = false,
                 }
@@ -3166,12 +3282,12 @@ fn theta_candidates(
 
 impl Pipeline {
     fn execute_parallel(&self, stats: &mut ExecStats) -> Result<Value> {
-        let pool = WorkerPool::new(self.threads);
+        let pool = &self.pool;
         let joins = has_join(&self.root);
         if joins {
             stats.span_begin(stage::BUILD_SIDE);
         }
-        let builds = self.prepare_builds(Some(&pool), stats)?;
+        let builds = self.prepare_builds(Some(pool), stats)?;
         if joins {
             stats.span_end();
         }

@@ -48,7 +48,9 @@ use common::{
 use std::sync::Arc;
 use vida_algebra::{execute_plan, rewrite, Plan};
 use vida_cache::CacheManager;
-use vida_exec::{run_jit_with_stats, run_volcano, JitOptions, MemoryCatalog, SourceProvider};
+use vida_exec::{
+    run_jit_with_stats, run_volcano, Engine, JitOptions, MemoryCatalog, SourceProvider,
+};
 use vida_formats::csv::CsvFile;
 use vida_formats::json::JsonFile;
 use vida_formats::plugin::{CsvPlugin, JsonPlugin};
@@ -464,14 +466,40 @@ impl Gen {
 
 #[test]
 fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
-    let cat = catalog();
+    let cat = Arc::new(catalog());
     // The same fixtures as mmap'd files: the JIT sweep runs on both
     // backings and may not observe the difference.
-    let mapped = file_catalog("fuzz_shapes", MapMode::Auto);
+    let mapped = Arc::new(file_catalog("fuzz_shapes", MapMode::Auto));
     let mut env = Bindings::new();
     for name in cat.dataset_names() {
         env.insert(name.clone(), cat.materialize(&name).unwrap());
     }
+
+    // The resident-engine mode: one `Engine` per (threads × backing) cell,
+    // created once and reused for every plan of every seed — parked pools,
+    // shared interners, and accumulated caches may never change a result
+    // relative to the per-call `run_jit` path.
+    let residents: Vec<(String, Engine)> = [1usize, 2, 8]
+        .into_iter()
+        .flat_map(|threads| {
+            let opts = JitOptions {
+                threads,
+                morsel_rows: 4,
+                clamp_threads: false,
+                ..Default::default()
+            };
+            [
+                (
+                    format!("engine x{threads} owned"),
+                    Engine::new(cat.clone(), opts.clone()),
+                ),
+                (
+                    format!("engine x{threads} mmap"),
+                    Engine::new(mapped.clone(), opts),
+                ),
+            ]
+        })
+        .collect();
 
     // Across the whole matrix the optimizer-on leg must reorder *some*
     // plans — a sweep where `plan_opt` never fires would pin nothing.
@@ -484,7 +512,7 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
             let plan = rewrite(&raw);
             let ctx = |engine: &str| format!("seed={seed:#x} plan#{i} [{engine}]\n{plan}");
 
-            let oracle = run_volcano(&plan, &cat);
+            let oracle = run_volcano(&plan, &*cat);
             let algebra = execute_plan(&plan, &env);
             match &oracle {
                 Ok(expected) => {
@@ -499,7 +527,7 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
                                 plan_opt,
                                 ..Default::default()
                             };
-                            for (backing, provider) in [("owned", &cat), ("mmap", &mapped)] {
+                            for (backing, provider) in [("owned", &*cat), ("mmap", &*mapped)] {
                                 let tag = format!("jit x{threads} {backing} plan_opt={plan_opt}");
                                 let (v, stats) = run_jit_with_stats(&plan, provider, &opts)
                                     .unwrap_or_else(|e| panic!("{}: {e}", ctx(&tag)));
@@ -550,6 +578,14 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
                             }
                         }
                     }
+                    // Resident-engine mode: the same plan through every
+                    // long-lived engine must match the per-call runs.
+                    for (tag, engine) in &residents {
+                        let v = engine
+                            .execute(&plan)
+                            .unwrap_or_else(|e| panic!("{}: {e}", ctx(tag)));
+                        assert_eq!(&v, expected, "{}", ctx(&format!("{tag} deviates")));
+                    }
                 }
                 Err(_) => {
                     // The oracle rejected the plan (e.g. unnesting a path
@@ -565,7 +601,7 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
                                 plan_opt,
                                 ..Default::default()
                             };
-                            for (backing, provider) in [("owned", &cat), ("mmap", &mapped)] {
+                            for (backing, provider) in [("owned", &*cat), ("mmap", &*mapped)] {
                                 assert!(
                                     run_jit_with_stats(&plan, provider, &opts).is_err(),
                                     "{}",
@@ -575,6 +611,13 @@ fn fuzz_all_shapes_agree_across_engines_and_thread_counts() {
                                 );
                             }
                         }
+                    }
+                    for (tag, engine) in &residents {
+                        assert!(
+                            engine.execute(&plan).is_err(),
+                            "{}",
+                            ctx(&format!("{tag} accepted"))
+                        );
                     }
                 }
             }
@@ -613,7 +656,7 @@ fn fuzz_append_mutations_between_query_batches() {
 
     // The resident catalog: plugins stay registered across batches, so
     // every stale read would come from here.
-    let cat = MemoryCatalog::new();
+    let cat = Arc::new(MemoryCatalog::new());
     cat.register(Arc::new(CsvPlugin::new(
         CsvFile::open_with("A", &a_path, b',', true, a_schema(), MapMode::Auto).unwrap(),
     )));
@@ -624,6 +667,21 @@ fn fuzz_append_mutations_between_query_batches() {
         JsonFile::open_with("N", &n_path, n_schema(), MapMode::Auto).unwrap(),
     )));
     let cache = Arc::new(CacheManager::new(1 << 22));
+
+    // The resident-engine mode of the mutation fuzzer: one `Engine` over
+    // the growing files and the same shared cache, created before the
+    // first batch and reused after every append — stale-served state
+    // inside the engine would deviate from the cold oracle here.
+    let engine = Engine::new(
+        cat.clone(),
+        JitOptions {
+            cache: Some(Arc::clone(&cache)),
+            threads: 8,
+            morsel_rows: 4,
+            clamp_threads: false,
+            ..Default::default()
+        },
+    );
 
     // Fresh interpreted oracle over the bytes currently on disk.
     let oracle_catalog = || {
@@ -691,7 +749,7 @@ fn fuzz_append_mutations_between_query_batches() {
             (nb - sizes[batch.saturating_sub(1)].1) as u64,
         ]) {
             let expected = run_volcano(probe_plan, &oracle_cat).unwrap();
-            let (v, stats) = run_jit_with_stats(probe_plan, &cat, &serial).unwrap();
+            let (v, stats) = run_jit_with_stats(probe_plan, &*cat, &serial).unwrap();
             assert_eq!(v, expected, "batch {batch} probe deviates\n{probe_plan}");
             assert_eq!(
                 stats.tail_rows_scanned, appended,
@@ -717,7 +775,7 @@ fn fuzz_append_mutations_between_query_batches() {
                     clamp_threads: false,
                     ..Default::default()
                 };
-                let got = run_jit_with_stats(plan, &cat, &opts);
+                let got = run_jit_with_stats(plan, &*cat, &opts);
                 match &oracle {
                     Ok(expected) => {
                         let (v, _) = got.unwrap_or_else(|e| {
@@ -735,6 +793,26 @@ fn fuzz_append_mutations_between_query_batches() {
                          rejects\n{plan}"
                     ),
                 }
+            }
+            // The engine created before batch 0 re-runs the plan after
+            // every append: resident pool + interner + shared cache, and
+            // still nothing stale may be observable.
+            match &oracle {
+                Ok(expected) => {
+                    let v = engine.execute(plan).unwrap_or_else(|e| {
+                        panic!("batch {batch} plan#{i} [resident engine]: {e}\n{plan}")
+                    });
+                    assert_eq!(
+                        &v, expected,
+                        "batch {batch} plan#{i} [resident engine] deviates from a cold \
+                         re-scan of the grown file\n{plan}"
+                    );
+                }
+                Err(_) => assert!(
+                    engine.execute(plan).is_err(),
+                    "batch {batch} plan#{i} [resident engine] accepted a plan the \
+                     oracle rejects\n{plan}"
+                ),
             }
         }
     }

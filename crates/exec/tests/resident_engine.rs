@@ -1,0 +1,272 @@
+//! Resident-engine integration tests: concurrent client threads over one
+//! shared [`Engine`] — one parked worker pool, one interner, one replica
+//! cache — must be **bit-identical** to per-call `run_jit` runs, at every
+//! swept worker count (1/2/8) and on both raw-data backings (owned bytes
+//! and mmap'd files). On top of value identity, the metrics registry pins
+//! the two structural claims of the resident path:
+//!
+//! - **zero per-query thread spawns** (`pool_thread_spawns` delta is 0
+//!   across any number of resident queries — workers were counted once,
+//!   at engine construction), and
+//! - **morsel-granularity time slicing** (`pool_multiplexed_claims` goes
+//!   nonzero when ≥2 sessions' runs are in flight on one pool).
+//!
+//! The metrics registry is process-global and other tests in this binary
+//! also run pool work, so every test that reads a metrics *delta* (or
+//! whose spawn-mode baseline would bump one) serializes on a file-local
+//! lock.
+
+mod common;
+
+use common::{file_catalog, owned_catalog};
+use std::sync::{Arc, Mutex, MutexGuard};
+use vida_algebra::{rewrite, Plan};
+use vida_cache::CacheManager;
+use vida_exec::{global_metrics, run_jit, Engine, JitOptions, MemoryCatalog};
+use vida_formats::MapMode;
+use vida_lang::{BinOp, Expr};
+use vida_types::{CollectionKind, Monoid, PrimitiveMonoid, Value};
+
+/// Serializes the metrics-sensitive tests of this binary (see module doc).
+static METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+fn metrics_guard() -> MutexGuard<'static, ()> {
+    METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scan(dataset: &str, binding: &str) -> Plan {
+    Plan::Scan {
+        dataset: dataset.into(),
+        binding: binding.into(),
+    }
+}
+
+fn reduce(input: Plan, monoid: Monoid, head: Expr) -> Plan {
+    Plan::Reduce {
+        input: Box::new(input),
+        monoid,
+        head,
+    }
+}
+
+/// A fixed plan set spanning the pipeline shapes: filtered scans,
+/// order-sensitive string collection (hostile CSV/JSON strings), an equi
+/// join, a theta join, an unnest chain, and an exact dyadic float sum.
+fn plans() -> Vec<Plan> {
+    let sum = Monoid::Primitive(PrimitiveMonoid::Sum);
+    let count = Monoid::Primitive(PrimitiveMonoid::Count);
+    let list = Monoid::Collection(CollectionKind::List);
+    let raw = [
+        // Filtered scan, nullable column.
+        reduce(
+            Plan::Select {
+                input: Box::new(scan("A", "a")),
+                predicate: Expr::bin(BinOp::Gt, Expr::var("a").proj("x"), Expr::int(5)),
+            },
+            sum,
+            Expr::var("a").proj("k"),
+        ),
+        // Order-sensitive list of escaped CSV strings: any morsel
+        // misalignment or interner corruption changes the value.
+        reduce(scan("A", "a"), list, Expr::var("a").proj("s")),
+        // Same over surrogate-pair JSON strings.
+        reduce(scan("B", "b"), list, Expr::var("b").proj("s")),
+        // Equi join (hash pipeline).
+        reduce(
+            Plan::Join {
+                left: Box::new(scan("A", "a")),
+                right: Box::new(scan("B", "b")),
+                predicate: Expr::bin(
+                    BinOp::Eq,
+                    Expr::var("a").proj("k"),
+                    Expr::var("b").proj("k"),
+                ),
+            },
+            sum,
+            // `b.k` rather than the nullable `b.y`: sum over null errors.
+            Expr::var("b").proj("k"),
+        ),
+        // Band join (sort-probe theta pipeline).
+        reduce(
+            Plan::Join {
+                left: Box::new(scan("A", "a")),
+                right: Box::new(scan("B", "b")),
+                predicate: Expr::bin(
+                    BinOp::Lt,
+                    Expr::var("a").proj("k"),
+                    Expr::var("b").proj("k"),
+                ),
+            },
+            count,
+            Expr::int(1),
+        ),
+        // Unnest over the nested table.
+        reduce(
+            Plan::Unnest {
+                input: Box::new(scan("N", "n")),
+                binding: "e".into(),
+                path: Expr::var("n").proj("xs"),
+            },
+            sum,
+            Expr::var("e"),
+        ),
+        // Exact dyadic float sum: bit-identity catches merge-order drift.
+        reduce(scan("A", "a"), sum, Expr::var("a").proj("f")),
+    ];
+    raw.iter().map(rewrite).collect()
+}
+
+fn opts_for(workers: usize, cache: Option<Arc<CacheManager>>) -> JitOptions {
+    JitOptions {
+        threads: workers,
+        morsel_rows: 4,
+        clamp_threads: false,
+        cache,
+        ..Default::default()
+    }
+}
+
+/// N client threads over one shared engine (pool + cache + interner),
+/// swept at 1/2/8 workers on both backings: every concurrent result must
+/// equal the serial per-call `run_jit` baseline bit for bit.
+#[test]
+fn concurrent_clients_bit_identical_to_serial_across_workers_and_backings() {
+    let _guard = metrics_guard();
+    let plans = plans();
+    let backings: [(&str, Arc<MemoryCatalog>); 2] = [
+        ("owned", Arc::new(owned_catalog())),
+        (
+            "mmap",
+            Arc::new(file_catalog("resident_engine", MapMode::Auto)),
+        ),
+    ];
+    for (backing, cat) in &backings {
+        for workers in [1usize, 2, 8] {
+            // Serial baseline: the per-call path with its own cache.
+            let baseline_opts = opts_for(workers, Some(Arc::new(CacheManager::new(1 << 22))));
+            let expected: Vec<Value> = plans
+                .iter()
+                .map(|p| run_jit(p, &**cat, &baseline_opts).unwrap())
+                .collect();
+
+            let engine = Engine::new(
+                cat.clone(),
+                opts_for(workers, Some(Arc::new(CacheManager::new(1 << 22)))),
+            );
+            std::thread::scope(|scope| {
+                for client in 0..4 {
+                    let engine = &engine;
+                    let plans = &plans;
+                    let expected = &expected;
+                    scope.spawn(move || {
+                        let mut session = engine.session();
+                        // Three passes: the second and third run against a
+                        // warm cache and interner.
+                        for pass in 0..3 {
+                            for (i, plan) in plans.iter().enumerate() {
+                                let v = session.execute(plan).unwrap();
+                                assert_eq!(
+                                    v, expected[i],
+                                    "client {client} pass {pass} plan#{i} \
+                                     ({backing}, x{workers}) deviates from serial"
+                                );
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(engine.stats().queries as usize, 4 * 3 * plans.len());
+        }
+    }
+}
+
+/// The no-per-query-spawn claim: after engine construction, any number of
+/// resident queries adds **zero** to `pool_thread_spawns`, while the
+/// parallel ones attach runs to the parked pool instead.
+#[test]
+fn resident_queries_spawn_zero_threads() {
+    let _guard = metrics_guard();
+    let plans = plans();
+    let cat = Arc::new(owned_catalog());
+    let engine = Engine::new(cat, opts_for(2, None));
+    let before = global_metrics().snapshot();
+    let mut session = engine.session();
+    for _ in 0..4 {
+        for plan in &plans {
+            session.execute(plan).unwrap();
+        }
+    }
+    let delta = global_metrics().snapshot().since(&before);
+    assert_eq!(
+        delta.pool_thread_spawns, 0,
+        "resident queries must not spawn per-query threads"
+    );
+    assert!(
+        delta.pool_attached_runs > 0,
+        "2-worker queries should attach runs to the parked pool"
+    );
+}
+
+/// The time-slicing claim: two sessions driving the same 2-worker pool
+/// from different client threads interleave at morsel granularity —
+/// `pool_multiplexed_claims` (claims taken while ≥2 runs were attached)
+/// goes nonzero. Scheduling noise can serialize any single round, so the
+/// probe retries until the counter moves.
+#[test]
+fn concurrent_sessions_multiplex_one_pool() {
+    let _guard = metrics_guard();
+    let cat = Arc::new(owned_catalog());
+    // 1-row morsels: every query becomes many claim points.
+    let engine = Engine::new(
+        cat,
+        JitOptions {
+            threads: 2,
+            morsel_rows: 1,
+            clamp_threads: false,
+            ..Default::default()
+        },
+    );
+    let plan = rewrite(&reduce(
+        Plan::Join {
+            left: Box::new(scan("A", "a")),
+            right: Box::new(scan("B", "b")),
+            predicate: Expr::bin(
+                BinOp::Ne,
+                Expr::var("a").proj("k"),
+                Expr::var("b").proj("k"),
+            ),
+        },
+        Monoid::Primitive(PrimitiveMonoid::Count),
+        Expr::int(1),
+    ));
+    let expected = engine.execute(&plan).unwrap();
+
+    let mut multiplexed = 0u64;
+    for _round in 0..200 {
+        let before = global_metrics().snapshot();
+        std::thread::scope(|scope| {
+            for _client in 0..2 {
+                let engine = &engine;
+                let plan = &plan;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut session = engine.session();
+                    for _ in 0..4 {
+                        assert_eq!(&session.execute(plan).unwrap(), expected);
+                    }
+                });
+            }
+        });
+        multiplexed = global_metrics()
+            .snapshot()
+            .since(&before)
+            .pool_multiplexed_claims;
+        if multiplexed > 0 {
+            break;
+        }
+    }
+    assert!(
+        multiplexed > 0,
+        "two concurrent sessions never interleaved morsels on the shared pool"
+    );
+}

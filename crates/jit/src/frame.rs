@@ -110,6 +110,11 @@ impl StringInterner {
         id
     }
 
+    /// The id of an already-interned string, without interning.
+    pub fn lookup(&self, s: &str) -> Option<i64> {
+        self.map.get(s).copied()
+    }
+
     /// The string behind an id (the inverse of [`StringInterner::intern`]),
     /// used to decode `Str`-typed kernel outputs back into values.
     pub fn resolve(&self, id: i64) -> Option<&str> {
@@ -125,6 +130,53 @@ impl StringInterner {
 
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+}
+
+/// Engine-scoped string dictionary: a thread-safe [`StringInterner`] that
+/// concurrent sessions — and the parallel unnest hot loop encoding `Str`
+/// elements — can intern through with `&self`.
+///
+/// Ids are dense and stable for the life of the dictionary, so equal
+/// strings always compare equal by id across every query that shares it.
+/// The read-optimistic fast path makes re-interning an already-seen string
+/// (the common case once a session pre-interns its columns) a read-lock
+/// probe.
+#[derive(Debug, Default)]
+pub struct SharedInterner {
+    inner: vida_types::sync::RwLock<StringInterner>,
+}
+
+impl SharedInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its stable dense id.
+    pub fn intern(&self, s: &str) -> i64 {
+        if let Some(id) = self.inner.read().lookup(s) {
+            return id;
+        }
+        self.inner.write().intern(s)
+    }
+
+    /// The string behind an id, cloned out of the dictionary.
+    pub fn resolve(&self, id: i64) -> Option<String> {
+        self.inner.read().resolve(id).map(str::to_string)
+    }
+
+    /// Run `f` with exclusive access to the underlying [`StringInterner`] —
+    /// the bridge to `&mut`-shaped consumers like [`crate::JitCompiler`].
+    pub fn with_mut<T>(&self, f: impl FnOnce(&mut StringInterner) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
     }
 }
 
@@ -283,6 +335,32 @@ mod tests {
         assert_eq!(a1, a2);
         assert_ne!(a1, b);
         assert_eq!(i.len(), 2);
+        assert_eq!(i.lookup("alpha"), Some(a1));
+        assert_eq!(i.lookup("gamma"), None);
+    }
+
+    #[test]
+    fn shared_interner_agrees_across_threads() {
+        let shared = std::sync::Arc::new(SharedInterner::new());
+        let ids: Vec<Vec<i64>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let shared = std::sync::Arc::clone(&shared);
+                    scope.spawn(move || (0..50).map(|n| shared.intern(&format!("s{n}"))).collect())
+                })
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        // Every thread resolved every string to the same id, and the
+        // dictionary holds each string once.
+        for thread in &ids[1..] {
+            assert_eq!(thread, &ids[0]);
+        }
+        assert_eq!(shared.len(), 50);
+        assert_eq!(shared.resolve(ids[0][7]).as_deref(), Some("s7"));
+        shared.with_mut(|si| {
+            assert_eq!(si.lookup("s7"), Some(ids[0][7]));
+        });
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub mod compile;
 pub mod frame;
 
 pub use compile::{CompiledKernel, JitCompiler, KernelOutput, SelectKernel};
-pub use frame::{FrameBuilder, FrameLayout, SlotType};
+pub use frame::{FrameBuilder, FrameLayout, SharedInterner, SlotType, StringInterner};

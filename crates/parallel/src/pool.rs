@@ -1,5 +1,5 @@
-//! The worker pool: scoped threads pulling morsels from a shared claim
-//! counter.
+//! The worker pool: morsel-driven workers pulling from a shared claim
+//! counter, in two residency modes.
 //!
 //! Dispatch is the morsel-driven scheme: workers `fetch_add` a shared
 //! cursor to claim the next morsel, so fast workers naturally absorb skewed
@@ -8,34 +8,70 @@
 //! buffers) — the "per-worker state" half of the NUMA-friendly design, minus
 //! the NUMA placement `std` cannot express.
 //!
+//! A [`WorkerPool`] handle comes in two flavors:
+//!
+//! - **Per-run spawn** ([`WorkerPool::new`]): workers are spawned per run as
+//!   scoped threads borrowing the caller's data directly — the library
+//!   entry-point behavior `run_jit` keeps for compatibility.
+//! - **Resident** ([`WorkerPool::resident`]): workers are spawned once and
+//!   park between queries; each `run_morsels` call *attaches* a run to the
+//!   shared pool and *detaches* when its morsels drain. Workers rotate
+//!   round-robin across every attached run, claiming one morsel at a time,
+//!   so concurrent queries time-slice the same workers at morsel
+//!   granularity instead of oversubscribing the machine with per-query
+//!   threads.
+//!
 //! Results come back **in morsel order**, not completion order, which is
-//! what makes downstream merges deterministic.
+//! what makes downstream merges deterministic — in both modes, at every
+//! worker count, with any number of concurrently attached runs.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 use vida_trace::global_metrics;
 use vida_types::sync::{CachePadded, Mutex};
 
 /// A pool of `threads` workers executing morsel runs.
 ///
-/// The pool is a lightweight handle: workers are spawned per run as scoped
-/// threads (borrowing the caller's data directly), and a run with one
-/// thread executes inline on the caller with zero synchronization.
-#[derive(Debug, Clone, Copy)]
+/// The handle is cheap to clone. In spawn mode it is just a thread count;
+/// in resident mode clones share one set of parked worker threads, and the
+/// threads shut down (and are joined) when the last handle drops.
+#[derive(Debug, Clone)]
 pub struct WorkerPool {
     threads: usize,
+    resident: Option<Arc<ResidentPool>>,
 }
 
 impl WorkerPool {
-    /// A pool with `threads` workers (minimum 1).
+    /// A spawn-mode pool with `threads` workers (minimum 1): every threaded
+    /// run spawns its workers as scoped threads and joins them at run end.
     pub fn new(threads: usize) -> Self {
         WorkerPool {
             threads: threads.max(1),
+            resident: None,
+        }
+    }
+
+    /// A resident pool with `threads` workers (minimum 1), spawned now and
+    /// parked between runs. Runs attach to the shared workers instead of
+    /// spawning; concurrent runs from different threads interleave on the
+    /// same workers, one morsel claim at a time.
+    pub fn resident(threads: usize) -> Self {
+        let threads = threads.max(1);
+        WorkerPool {
+            threads,
+            resident: Some(Arc::new(ResidentPool::start(threads))),
         }
     }
 
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether this handle attaches runs to resident workers instead of
+    /// spawning per run.
+    pub fn is_resident(&self) -> bool {
+        self.resident.is_some()
     }
 
     /// Execute `morsels` work items and collect their results in morsel
@@ -44,8 +80,9 @@ impl WorkerPool {
     /// `init(worker)` builds one scratch value per worker; `work(&mut
     /// scratch, morsel)` processes one morsel. The first error cancels the
     /// run: in-flight morsels finish, unclaimed ones are skipped, and the
-    /// error is returned. With one thread everything runs inline on the
-    /// caller.
+    /// error is returned. In spawn mode a one-thread run executes inline on
+    /// the caller with zero synchronization; a resident run always attaches
+    /// to the pool so concurrent callers share the workers fairly.
     pub fn run_morsels<S, R, E, I, W>(
         &self,
         morsels: usize,
@@ -63,8 +100,16 @@ impl WorkerPool {
             return Ok(Vec::new());
         }
         if self.threads == 1 {
+            // One worker claims every morsel in order whether the run
+            // executes inline or on a parked resident worker — so run it
+            // inline and skip the wakeup round-trip. Concurrent callers of
+            // a 1-worker resident pool each drive their own morsels on
+            // their own thread; the OS scheduler is the time slicer.
             let mut scratch = init(0);
             return (0..morsels).map(|m| work(&mut scratch, m)).collect();
+        }
+        if let Some(pool) = &self.resident {
+            return pool.attach_run(morsels, &init, &work);
         }
 
         let cursor = CachePadded::new(AtomicUsize::new(0));
@@ -77,6 +122,7 @@ impl WorkerPool {
         let claims: Vec<CachePadded<AtomicUsize>> = (0..spawned)
             .map(|_| CachePadded::new(AtomicUsize::new(0)))
             .collect();
+        global_metrics().pool_thread_spawns.add(spawned as u64);
 
         std::thread::scope(|scope| {
             for worker in 0..spawned {
@@ -155,7 +201,10 @@ impl WorkerPool {
     /// caller sees is always the serial left fold over morsel-indexed
     /// partials, so the result is identical at every worker count (the
     /// determinism contract). The merge runs on the caller after all
-    /// partials exist.
+    /// partials exist. On a resident pool this is attach/detach, not
+    /// spawn/join: the caller parks on the run's completion latch while the
+    /// shared workers drain its morsels (interleaved with any other
+    /// attached runs), then folds.
     pub fn fold_morsels<A, P, E, W, M>(
         &self,
         morsels: usize,
@@ -178,30 +227,409 @@ impl WorkerPool {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Resident mode
+// ---------------------------------------------------------------------------
+
+/// One morsel of one attached run, seen untyped by the pool workers.
+///
+/// The typed closures, scratch, and result slots live on the *submitting*
+/// thread's stack inside [`ResidentPool::attach_run`]; workers reach them
+/// through the erased `job` pointer in [`RunEntry`].
+trait MorselJob: Sync {
+    /// Process morsel `m` as pool worker `worker`. Returns `false` when the
+    /// morsel failed (the run records the first error itself).
+    fn run_morsel(&self, worker: usize, m: usize) -> bool;
+}
+
+/// The typed half of an attached run, borrowed from the submitter's stack.
+struct Job<'a, S, R, E, I, W> {
+    init: &'a I,
+    work: &'a W,
+    /// Per-pool-worker scratch, created lazily on a worker's first claim.
+    /// Slot `w` is only ever touched by pool worker `w`, but the mutex
+    /// keeps the (cold, once-per-worker-per-run) access obviously safe.
+    scratch: Vec<Mutex<Option<S>>>,
+    /// Results in morsel order — the determinism contract.
+    slots: Vec<Mutex<Option<R>>>,
+    error: Mutex<Option<E>>,
+    /// Nanoseconds spent inside `work`, summed across workers.
+    busy_ns: AtomicU64,
+}
+
+impl<S, R, E, I, W> MorselJob for Job<'_, S, R, E, I, W>
+where
+    S: Send,
+    R: Send,
+    E: Send,
+    I: Fn(usize) -> S + Sync,
+    W: Fn(&mut S, usize) -> std::result::Result<R, E> + Sync,
+{
+    fn run_morsel(&self, worker: usize, m: usize) -> bool {
+        let mut slot = self.scratch[worker].lock();
+        let scratch = slot.get_or_insert_with(|| (self.init)(worker));
+        let t0 = Instant::now();
+        let result = (self.work)(scratch, m);
+        self.busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match result {
+            Ok(r) => {
+                *self.slots[m].lock() = Some(r);
+                true
+            }
+            Err(e) => {
+                let mut first = self.error.lock();
+                if first.is_none() {
+                    *first = Some(e);
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Claim/progress state of one attached run, shared between the submitter
+/// and the pool workers.
+struct RunEntry {
+    /// Erased pointer to the submitter's stack-held [`Job`].
+    ///
+    /// # Safety
+    /// Only valid while the submitter is parked inside `attach_run`. The
+    /// submitter returns only after observing `finished() && users == 0`
+    /// under the pool lock, and workers increment `users` under that same
+    /// lock before dereferencing — so no worker can touch the pointer after
+    /// the submitter's stack unwinds (the rayon-scope argument).
+    job: *const (dyn MorselJob + 'static),
+    morsels: usize,
+    /// The shared claim counter — the same `fetch_add` scheme as spawn
+    /// mode, which is what lets multiple runs' cursors coexist on one pool.
+    cursor: CachePadded<AtomicUsize>,
+    /// Morsels claimed and fully processed (success or failure).
+    completed: AtomicUsize,
+    /// Morsels claimed but still inside `run_morsel`.
+    in_flight: AtomicUsize,
+    failed: AtomicBool,
+    /// Workers currently between claim and release on this entry; guards
+    /// the `job` pointer (see above).
+    users: AtomicUsize,
+    /// Per-pool-worker claim counts for the spread metric.
+    claims: Vec<CachePadded<AtomicUsize>>,
+}
+
+// SAFETY: the raw `job` pointer is the only non-Sync field; its lifetime is
+// protected by the `users` protocol documented on the field.
+unsafe impl Send for RunEntry {}
+unsafe impl Sync for RunEntry {}
+
+impl RunEntry {
+    /// Does this entry still have unclaimed morsels worth a claim attempt?
+    fn claimable(&self) -> bool {
+        !self.failed.load(Ordering::Relaxed) && self.cursor.load(Ordering::Relaxed) < self.morsels
+    }
+
+    /// Has the run retired — every morsel processed, or failed with no
+    /// morsel still in flight?
+    fn finished(&self) -> bool {
+        if self.failed.load(Ordering::Relaxed) {
+            self.in_flight.load(Ordering::Relaxed) == 0
+        } else {
+            self.completed.load(Ordering::Relaxed) == self.morsels
+        }
+    }
+}
+
+struct PoolState {
+    /// Runs currently attached, in attach order.
+    runs: Vec<Arc<RunEntry>>,
+    /// Round-robin pick position — the rotation that time-slices workers
+    /// across attached runs.
+    next: usize,
+    shutdown: bool,
+}
+
+/// The long-lived half of a resident [`WorkerPool`]: parked worker threads
+/// plus the attached-run list they serve.
+#[derive(Debug)]
+struct ResidentPool {
+    threads: usize,
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Wakes parked workers on attach/shutdown and parked submitters on run
+    /// completion.
+    cv: Condvar,
+    /// Count of attached runs, readable without the state lock. Workers
+    /// use it to pick a claim strategy: while it reads 1, a worker drains
+    /// its current run with lock-free cursor claims (spawn-mode cost);
+    /// at ≥2 every claim goes through the locked round-robin pick — the
+    /// morsel-granularity time slice between concurrent queries.
+    active: AtomicUsize,
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared").finish_non_exhaustive()
+    }
+}
+
+impl ResidentPool {
+    fn start(threads: usize) -> ResidentPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                runs: Vec::new(),
+                next: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            active: AtomicUsize::new(0),
+        });
+        let handles = (0..threads)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vida-worker-{worker}"))
+                    .spawn(move || worker_loop(&shared, worker))
+                    .expect("spawn resident pool worker")
+            })
+            .collect();
+        // Resident threads are counted once, here — a zero delta of this
+        // counter across a query is the "no per-query spawns" proof.
+        global_metrics().pool_thread_spawns.add(threads as u64);
+        ResidentPool {
+            threads,
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Attach a run to the pool, park until its morsels drain, detach, and
+    /// collect the results in morsel order.
+    fn attach_run<S, R, E, I, W>(
+        &self,
+        morsels: usize,
+        init: &I,
+        work: &W,
+    ) -> std::result::Result<Vec<R>, E>
+    where
+        S: Send,
+        R: Send,
+        E: Send,
+        I: Fn(usize) -> S + Sync,
+        W: Fn(&mut S, usize) -> std::result::Result<R, E> + Sync,
+    {
+        let job = Job {
+            init,
+            work,
+            scratch: (0..self.threads).map(|_| Mutex::new(None)).collect(),
+            slots: (0..morsels).map(|_| Mutex::new(None)).collect(),
+            error: Mutex::new(None),
+            busy_ns: AtomicU64::new(0),
+        };
+        // SAFETY: erase the stack borrow to hand the job to long-lived
+        // workers; the `users` protocol on `RunEntry::job` guarantees no
+        // worker dereferences it after this function returns.
+        let erased: *const (dyn MorselJob + 'static) = unsafe {
+            std::mem::transmute::<&(dyn MorselJob + '_), *const (dyn MorselJob + 'static)>(&job)
+        };
+        let entry = Arc::new(RunEntry {
+            job: erased,
+            morsels,
+            cursor: CachePadded::new(AtomicUsize::new(0)),
+            completed: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            failed: AtomicBool::new(false),
+            users: AtomicUsize::new(0),
+            claims: (0..self.threads)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+        });
+
+        {
+            let mut state = self.shared.state.lock();
+            state.runs.push(Arc::clone(&entry));
+            self.shared
+                .active
+                .store(state.runs.len(), Ordering::Relaxed);
+            self.shared.cv.notify_all();
+            // Park on the completion latch: every morsel processed (or the
+            // run failed and drained) and no worker still inside the job.
+            // The Acquire load pairs with each worker's Release decrement,
+            // ordering the worker's last job access before our return.
+            while !(entry.finished() && entry.users.load(Ordering::Acquire) == 0) {
+                state = match self.shared.cv.wait(state) {
+                    Ok(g) => g,
+                    Err(e) => e.into_inner(),
+                };
+            }
+            state.runs.retain(|r| !Arc::ptr_eq(r, &entry));
+            self.shared
+                .active
+                .store(state.runs.len(), Ordering::Relaxed);
+        }
+
+        let metrics = global_metrics();
+        metrics.pool_runs.inc();
+        metrics.pool_attached_runs.inc();
+        metrics
+            .worker_busy_ns
+            .add(job.busy_ns.load(Ordering::Relaxed));
+        // Claim accounting mirrors spawn mode over the workers that
+        // actually served this run (parked-elsewhere workers are not idle
+        // on our account, so they don't enter the spread).
+        let counts: Vec<usize> = entry
+            .claims
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .filter(|&c| c > 0)
+            .collect();
+        for &c in &counts {
+            metrics.worker_morsel_claims.record(c as u64);
+        }
+        let spread =
+            counts.iter().max().copied().unwrap_or(0) - counts.iter().min().copied().unwrap_or(0);
+        metrics.morsel_claim_spread.record(spread as u64);
+
+        if let Some(e) = job.error.into_inner() {
+            return Err(e);
+        }
+        Ok(job
+            .slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("run completed without error"))
+            .collect())
+    }
+}
+
+impl Drop for ResidentPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The parked-worker loop: pick the next claimable run round-robin, claim
+/// one morsel, process it, repeat; park when nothing is claimable.
+fn worker_loop(shared: &PoolShared, worker: usize) {
+    let mut state = shared.state.lock();
+    loop {
+        if state.shutdown {
+            return;
+        }
+        // Round-robin across attached runs: one claim per pick is the
+        // morsel-granularity time slice between concurrent queries.
+        let n = state.runs.len();
+        let mut picked = None;
+        for i in 0..n {
+            let idx = (state.next + i) % n;
+            if state.runs[idx].claimable() {
+                state.next = (idx + 1) % n;
+                picked = Some((Arc::clone(&state.runs[idx]), n));
+                break;
+            }
+        }
+        let Some((entry, active_runs)) = picked else {
+            state = match shared.cv.wait(state) {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+            continue;
+        };
+        // Register as a user under the lock (so the submitter cannot
+        // retire the job while we hold the pointer), then work unlocked.
+        entry.users.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+
+        let mut did_work = false;
+        let mut multiplexed = active_runs >= 2;
+        loop {
+            if entry.failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let m = entry.cursor.fetch_add(1, Ordering::Relaxed);
+            if m >= entry.morsels {
+                break;
+            }
+            entry.in_flight.fetch_add(1, Ordering::Relaxed);
+            entry.claims[worker].fetch_add(1, Ordering::Relaxed);
+            if multiplexed {
+                global_metrics().pool_multiplexed_claims.inc();
+            }
+            // SAFETY: `users > 0` keeps the submitter parked, so the
+            // job pointer is live (see `RunEntry::job`).
+            let ok = unsafe { (*entry.job).run_morsel(worker, m) };
+            if !ok {
+                entry.failed.store(true, Ordering::Relaxed);
+            }
+            entry.completed.fetch_add(1, Ordering::Relaxed);
+            entry.in_flight.fetch_sub(1, Ordering::Relaxed);
+            did_work = true;
+            // Solo fast path: while this is the pool's only attached run
+            // there is nothing to time-slice against, so keep draining it
+            // with lock-free claims (spawn-mode cost). The moment another
+            // run attaches, fall back to the locked round-robin pick so
+            // concurrent queries interleave at morsel granularity.
+            multiplexed = shared.active.load(Ordering::Relaxed) >= 2;
+            if multiplexed {
+                break;
+            }
+        }
+        let remaining = entry.users.fetch_sub(1, Ordering::Release) - 1;
+
+        state = shared.state.lock();
+        // Wake the submitter when its run may have retired. `did_work`
+        // covers the last-morsel case; `remaining == 0` covers the
+        // cancelled-claim case where we were the user keeping a finished
+        // run pinned.
+        if (did_work || remaining == 0) && entry.finished() {
+            shared.cv.notify_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
 
+    fn pools(threads: usize) -> [WorkerPool; 2] {
+        [WorkerPool::new(threads), WorkerPool::resident(threads)]
+    }
+
     #[test]
     fn results_come_back_in_morsel_order() {
         for threads in [1, 2, 8] {
-            let pool = WorkerPool::new(threads);
-            let out: Vec<usize> = pool
-                .run_morsels(20, |_| (), |_, m| Ok::<_, ()>(m * m))
-                .unwrap();
-            assert_eq!(out, (0..20).map(|m| m * m).collect::<Vec<_>>());
+            for pool in pools(threads) {
+                let out: Vec<usize> = pool
+                    .run_morsels(20, |_| (), |_, m| Ok::<_, ()>(m * m))
+                    .unwrap();
+                assert_eq!(
+                    out,
+                    (0..20).map(|m| m * m).collect::<Vec<_>>(),
+                    "threads={threads} resident={}",
+                    pool.is_resident()
+                );
+            }
         }
     }
 
     #[test]
     fn every_morsel_is_claimed_exactly_once() {
-        let pool = WorkerPool::new(4);
-        let out: Vec<usize> = pool
-            .run_morsels(100, |_| (), |_, m| Ok::<_, ()>(m))
-            .unwrap();
-        let distinct: HashSet<_> = out.iter().copied().collect();
-        assert_eq!(distinct.len(), 100);
+        for pool in pools(4) {
+            let out: Vec<usize> = pool
+                .run_morsels(100, |_| (), |_, m| Ok::<_, ()>(m))
+                .unwrap();
+            let distinct: HashSet<_> = out.iter().copied().collect();
+            assert_eq!(distinct.len(), 100);
+        }
     }
 
     #[test]
@@ -209,44 +637,47 @@ mod tests {
         // Each worker counts the morsels it processed into its scratch; the
         // per-morsel results carry the worker id so we can check no scratch
         // was shared across workers mid-run.
-        let pool = WorkerPool::new(3);
-        let out = pool
-            .run_morsels(
-                50,
-                |worker| (worker, 0usize),
-                |scratch, _| {
-                    scratch.1 += 1;
-                    Ok::<_, ()>(scratch.0)
-                },
-            )
-            .unwrap();
-        assert_eq!(out.len(), 50);
-        for w in out {
-            assert!(w < 3);
+        for pool in pools(3) {
+            let out = pool
+                .run_morsels(
+                    50,
+                    |worker| (worker, 0usize),
+                    |scratch, _| {
+                        scratch.1 += 1;
+                        Ok::<_, ()>(scratch.0)
+                    },
+                )
+                .unwrap();
+            assert_eq!(out.len(), 50);
+            for w in out {
+                assert!(w < 3);
+            }
         }
     }
 
     #[test]
     fn first_error_cancels_the_run() {
-        let pool = WorkerPool::new(4);
-        let r: std::result::Result<Vec<()>, String> = pool.run_morsels(
-            1000,
-            |_| (),
-            |_, m| {
-                if m == 5 {
-                    Err("boom".to_string())
-                } else {
-                    Ok(())
-                }
-            },
-        );
-        assert_eq!(r.unwrap_err(), "boom");
+        for pool in pools(4) {
+            let r: std::result::Result<Vec<()>, String> = pool.run_morsels(
+                1000,
+                |_| (),
+                |_, m| {
+                    if m == 5 {
+                        Err("boom".to_string())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+            assert_eq!(r.unwrap_err(), "boom");
+        }
     }
 
     #[test]
     fn single_thread_runs_inline() {
         let pool = WorkerPool::new(1);
         assert_eq!(pool.threads(), 1);
+        assert!(!pool.is_resident());
         let out = pool
             .run_morsels(3, |_| 10usize, |s, m| Ok::<_, ()>(*s + m))
             .unwrap();
@@ -257,54 +688,62 @@ mod tests {
     fn fold_morsels_merges_in_morsel_order() {
         // A non-commutative fold (string concatenation) exposes any
         // completion-order merge: the result must equal the serial left
-        // fold at every worker count.
+        // fold at every worker count, in both residency modes.
         let expected: String = (0..32).map(|m| format!("[{m}]")).collect();
         for threads in [1, 2, 8] {
-            let pool = WorkerPool::new(threads);
-            let folded = pool
-                .fold_morsels(
-                    32,
-                    |_, m| Ok::<_, ()>(format!("[{m}]")),
-                    String::new(),
-                    |mut acc, p| {
-                        acc.push_str(&p);
-                        Ok(acc)
-                    },
-                )
-                .unwrap();
-            assert_eq!(folded, expected, "threads={threads}");
+            for pool in pools(threads) {
+                let folded = pool
+                    .fold_morsels(
+                        32,
+                        |_, m| Ok::<_, ()>(format!("[{m}]")),
+                        String::new(),
+                        |mut acc, p| {
+                            acc.push_str(&p);
+                            Ok(acc)
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(
+                    folded,
+                    expected,
+                    "threads={threads} resident={}",
+                    pool.is_resident()
+                );
+            }
         }
     }
 
     #[test]
     fn fold_morsels_propagates_errors() {
-        let pool = WorkerPool::new(4);
-        let r = pool.fold_morsels(
-            10,
-            |_, m| if m == 3 { Err("bad morsel") } else { Ok(m) },
-            0usize,
-            |acc, p| Ok(acc + p),
-        );
-        assert_eq!(r.unwrap_err(), "bad morsel");
+        for pool in pools(4) {
+            let r = pool.fold_morsels(
+                10,
+                |_, m| if m == 3 { Err("bad morsel") } else { Ok(m) },
+                0usize,
+                |acc, p| Ok(acc + p),
+            );
+            assert_eq!(r.unwrap_err(), "bad morsel");
+        }
     }
 
     #[test]
     fn fold_morsels_reports_worker_indexes() {
         for threads in [1, 2, 4] {
-            let pool = WorkerPool::new(threads);
-            let workers = pool
-                .fold_morsels(
-                    64,
-                    |w, _| Ok::<_, ()>(w),
-                    Vec::new(),
-                    |mut acc, w| {
-                        acc.push(w);
-                        Ok(acc)
-                    },
-                )
-                .unwrap();
-            assert_eq!(workers.len(), 64);
-            assert!(workers.iter().all(|&w| w < threads), "threads={threads}");
+            for pool in pools(threads) {
+                let workers = pool
+                    .fold_morsels(
+                        64,
+                        |w, _| Ok::<_, ()>(w),
+                        Vec::new(),
+                        |mut acc, w| {
+                            acc.push(w);
+                            Ok(acc)
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(workers.len(), 64);
+                assert!(workers.iter().all(|&w| w < threads), "threads={threads}");
+            }
         }
     }
 
@@ -321,12 +760,103 @@ mod tests {
         // Both workers published a claim count, and all 16 claims landed.
         assert!(delta.worker_morsel_claims.count() >= 2);
         assert!(delta.worker_morsel_claims.sum >= 16);
+        // Spawn mode really spawned this run's workers.
+        assert!(delta.pool_thread_spawns >= 2);
     }
 
     #[test]
     fn zero_morsels_is_empty() {
-        let pool = WorkerPool::new(8);
-        let out: Vec<u8> = pool.run_morsels(0, |_| (), |_, _| Ok::<_, ()>(0)).unwrap();
-        assert!(out.is_empty());
+        for pool in pools(8) {
+            let out: Vec<u8> = pool.run_morsels(0, |_| (), |_, _| Ok::<_, ()>(0)).unwrap();
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn resident_pool_spawns_nothing_per_run() {
+        let pool = WorkerPool::resident(4);
+        assert!(pool.is_resident());
+        let before = global_metrics().snapshot();
+        for _ in 0..10 {
+            let out: Vec<usize> = pool.run_morsels(32, |_| (), |_, m| Ok::<_, ()>(m)).unwrap();
+            assert_eq!(out.len(), 32);
+        }
+        let delta = global_metrics().snapshot().since(&before);
+        // Other tests may run spawn-mode pools concurrently, so count this
+        // pool's activity positively through the attach counter and prove
+        // claims landed without new threads via busy accounting instead of
+        // asserting a global spawn delta of zero (that exact assertion
+        // lives in vida-exec's resident_engine integration test, which
+        // controls its whole process).
+        assert!(delta.pool_attached_runs >= 10);
+        assert!(delta.pool_runs >= 10);
+    }
+
+    #[test]
+    fn resident_runs_from_concurrent_submitters_multiplex() {
+        // Two submitters attach sleepy runs back-to-back; with both runs in
+        // flight on one 2-worker pool, the round-robin claim loop must take
+        // claims while ≥2 runs are active. Retry the whole scenario a few
+        // times to absorb scheduler noise on tiny machines.
+        let pool = WorkerPool::resident(2);
+        let mut saw_multiplex = false;
+        for _ in 0..10 {
+            let before = global_metrics().snapshot();
+            let barrier = std::sync::Barrier::new(2);
+            let expected: String = (0..8).map(|m| format!("[{m}]")).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let pool = pool.clone();
+                    let barrier = &barrier;
+                    let expected = expected.clone();
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let folded = pool
+                            .fold_morsels(
+                                8,
+                                |_, m| {
+                                    std::thread::sleep(Duration::from_millis(8));
+                                    Ok::<_, ()>(format!("[{m}]"))
+                                },
+                                String::new(),
+                                |mut acc, p| {
+                                    acc.push_str(&p);
+                                    Ok(acc)
+                                },
+                            )
+                            .unwrap();
+                        // Interleaved claims must not disturb per-run
+                        // morsel-order determinism.
+                        assert_eq!(folded, expected);
+                    });
+                }
+            });
+            let delta = global_metrics().snapshot().since(&before);
+            // Lower bound, not equality: the registry is process-global and
+            // sibling tests may attach runs concurrently.
+            assert!(delta.pool_attached_runs >= 2);
+            if delta.pool_multiplexed_claims > 0 {
+                saw_multiplex = true;
+                break;
+            }
+        }
+        assert!(
+            saw_multiplex,
+            "no claim overlapped two in-flight runs in 10 attempts"
+        );
+    }
+
+    #[test]
+    fn resident_pool_shuts_down_on_last_handle_drop() {
+        let pool = WorkerPool::resident(2);
+        let clone = pool.clone();
+        let out: Vec<usize> = clone.run_morsels(4, |_| (), |_, m| Ok::<_, ()>(m)).unwrap();
+        assert_eq!(out.len(), 4);
+        drop(clone);
+        // Still serviceable through the surviving handle...
+        let out: Vec<usize> = pool.run_morsels(4, |_| (), |_, m| Ok::<_, ()>(m)).unwrap();
+        assert_eq!(out.len(), 4);
+        // ...and the final drop joins the workers (hangs here = regression).
+        drop(pool);
     }
 }

@@ -1,0 +1,34 @@
+//! # vida-server
+//!
+//! A query **service** front end over the resident [`vida_exec::Engine`]:
+//! the piece that turns "a library call per query" into "a long-lived
+//! process serving concurrent clients", the deployment shape the paper's
+//! in-situ engine assumes (queries arrive continuously against the same
+//! raw files, and all cross-query state — caches, positional maps, the
+//! cost model — pays off only if something stays resident to hold it).
+//!
+//! Three parts:
+//!
+//! - **Admission control** ([`QueryServer::submit`]): a bounded queue in
+//!   front of a fixed set of executor threads. A full queue rejects the
+//!   request immediately (with an error response on its sink) instead of
+//!   buffering unboundedly.
+//! - **Time-sliced execution**: each executor thread runs its query as an
+//!   engine [`Session`](vida_exec::Session), so every concurrent query's
+//!   parallel phases attach to the *same* resident worker pool and
+//!   interleave at morsel granularity (`pool_multiplexed_claims` in the
+//!   metrics registry counts exactly these interleavings).
+//! - **Streaming delivery** ([`protocol`]): results leave through the
+//!   existing output plugins ([`vida_exec::output`]) one row frame at a
+//!   time over a length-prefixed protocol; a slow client blocks only its
+//!   own executor thread (backpressure), never the engine.
+//!
+//! Shutdown is drain-first: [`QueryServer::shutdown`] (and `Drop`) stop
+//! admissions, let queued and in-flight queries finish, then park the
+//! executors.
+
+pub mod protocol;
+pub mod service;
+
+pub use protocol::{read_frame, read_response, write_frame, QueryResponse};
+pub use service::{QueryRequest, QueryServer, ServerConfig, ServerStats, SharedBuffer};

@@ -155,6 +155,17 @@ pub struct MetricsRegistry {
     pub worker_idle_ns: Counter,
     /// Threaded pool runs completed.
     pub pool_runs: Counter,
+    /// OS threads spawned for pool work. Per-run scoped spawns count every
+    /// worker of every run; a resident pool counts its workers once, at
+    /// construction — so a zero delta across a query proves the resident
+    /// path spawned nothing.
+    pub pool_thread_spawns: Counter,
+    /// Morsel runs attached to (and detached from) a resident pool.
+    pub pool_attached_runs: Counter,
+    /// Morsel claims taken while ≥2 runs were in flight on one resident
+    /// pool — the time-slicing signal: nonzero means concurrent queries
+    /// actually interleaved at morsel granularity.
+    pub pool_multiplexed_claims: Counter,
     /// Morsels claimed by one worker in one run (per-worker distribution;
     /// a wide spread between buckets means claim imbalance).
     pub worker_morsel_claims: Histogram,
@@ -182,6 +193,9 @@ impl MetricsRegistry {
             worker_busy_ns: self.worker_busy_ns.get(),
             worker_idle_ns: self.worker_idle_ns.get(),
             pool_runs: self.pool_runs.get(),
+            pool_thread_spawns: self.pool_thread_spawns.get(),
+            pool_attached_runs: self.pool_attached_runs.get(),
+            pool_multiplexed_claims: self.pool_multiplexed_claims.get(),
             worker_morsel_claims: self.worker_morsel_claims.snapshot(),
             morsel_claim_spread: self.morsel_claim_spread.snapshot(),
             kernel_invocations: self.kernel_invocations.get(),
@@ -201,6 +215,9 @@ pub struct MetricsSnapshot {
     pub worker_busy_ns: u64,
     pub worker_idle_ns: u64,
     pub pool_runs: u64,
+    pub pool_thread_spawns: u64,
+    pub pool_attached_runs: u64,
+    pub pool_multiplexed_claims: u64,
     pub worker_morsel_claims: HistogramSnapshot,
     pub morsel_claim_spread: HistogramSnapshot,
     pub kernel_invocations: u64,
@@ -224,6 +241,15 @@ impl MetricsSnapshot {
             worker_busy_ns: self.worker_busy_ns.saturating_sub(earlier.worker_busy_ns),
             worker_idle_ns: self.worker_idle_ns.saturating_sub(earlier.worker_idle_ns),
             pool_runs: self.pool_runs.saturating_sub(earlier.pool_runs),
+            pool_thread_spawns: self
+                .pool_thread_spawns
+                .saturating_sub(earlier.pool_thread_spawns),
+            pool_attached_runs: self
+                .pool_attached_runs
+                .saturating_sub(earlier.pool_attached_runs),
+            pool_multiplexed_claims: self
+                .pool_multiplexed_claims
+                .saturating_sub(earlier.pool_multiplexed_claims),
             worker_morsel_claims: self
                 .worker_morsel_claims
                 .since(&earlier.worker_morsel_claims),
@@ -253,6 +279,18 @@ impl MetricsSnapshot {
         out.push_str(&format!("\"worker_busy_ns\":{},", self.worker_busy_ns));
         out.push_str(&format!("\"worker_idle_ns\":{},", self.worker_idle_ns));
         out.push_str(&format!("\"pool_runs\":{},", self.pool_runs));
+        out.push_str(&format!(
+            "\"pool_thread_spawns\":{},",
+            self.pool_thread_spawns
+        ));
+        out.push_str(&format!(
+            "\"pool_attached_runs\":{},",
+            self.pool_attached_runs
+        ));
+        out.push_str(&format!(
+            "\"pool_multiplexed_claims\":{},",
+            self.pool_multiplexed_claims
+        ));
         out.push_str("\"worker_morsel_claims\":");
         self.worker_morsel_claims.write_json(&mut out);
         out.push(',');
